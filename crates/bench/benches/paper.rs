@@ -1,0 +1,118 @@
+//! One Criterion benchmark per table/figure of the paper's evaluation.
+//!
+//! Each bench runs the corresponding experiment kernel at the `quick`
+//! scale (tiny GA budgets, 20 k simulated cycles) so the whole suite
+//! completes in minutes; the experiment *binaries* regenerate the actual
+//! tables at reduced or full (`CLR_FULL=1`) scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use clr_experiments::kernels::{
+    aura_vs_ura, csp_design_points, csp_migration_comparison, motivation, prc_sweep,
+    red_vs_based, Bundle,
+};
+use clr_experiments::Env;
+
+fn env() -> Env {
+    Env::quick()
+}
+
+/// Fig. 1 — motivation: HW-Only vs CLR1 vs CLR2 fronts + J_avg bars.
+fn fig1_motivation(c: &mut Criterion) {
+    let e = env();
+    let bundle = Bundle::new(&e, 10);
+    c.bench_function("fig1_motivation", |b| {
+        b.iter(|| black_box(motivation(&e, &bundle)))
+    });
+}
+
+/// Table 4 — migration-cost reduction, ReD over BaseD (CSP, R = 0).
+fn table4_csp_migration(c: &mut Criterion) {
+    let e = env();
+    let mut group = c.benchmark_group("table4_csp_migration");
+    group.sample_size(10);
+    for &n in &e.task_counts {
+        let bundle = Bundle::new(&e, n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(csp_migration_comparison(&e, &bundle, 0)))
+        });
+    }
+    group.finish();
+}
+
+/// Fig. 5 — Pareto front + additional reconfiguration-cost-aware points.
+fn fig5_front(c: &mut Criterion) {
+    let e = env();
+    let bundle = Bundle::new(&e, 20);
+    c.bench_function("fig5_front", |b| {
+        b.iter(|| black_box(csp_design_points(&e, &bundle)))
+    });
+}
+
+/// Fig. 6 — dRC traces over the first 50 QoS changes.
+fn fig6_trace(c: &mut Criterion) {
+    let e = env();
+    let bundle = Bundle::new(&e, 20);
+    c.bench_function("fig6_trace", |b| {
+        b.iter(|| black_box(csp_migration_comparison(&e, &bundle, 50)))
+    });
+}
+
+/// Table 5 — p_RC = 0 vs p_RC = 1 trade-off on a single database.
+fn table5_tradeoff(c: &mut Criterion) {
+    let e = env();
+    let bundle = Bundle::new(&e, 20);
+    c.bench_function("table5_tradeoff", |b| {
+        b.iter(|| black_box(prc_sweep(&e, &bundle, &[0.0, 1.0])))
+    });
+}
+
+/// Fig. 7 — full p_RC sweep.
+fn fig7_prc_sweep(c: &mut Criterion) {
+    let e = env();
+    let bundle = Bundle::new(&e, 20);
+    let p_rcs: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
+    c.bench_function("fig7_prc_sweep", |b| {
+        b.iter(|| black_box(prc_sweep(&e, &bundle, &p_rcs)))
+    });
+}
+
+/// Table 6 — ReD vs BaseD at the p_RC extremes.
+fn table6_red_vs_based(c: &mut Criterion) {
+    let e = env();
+    let bundle = Bundle::new(&e, 20);
+    c.bench_function("table6_red_vs_based", |b| {
+        b.iter(|| {
+            black_box(red_vs_based(&e, &bundle, 0.0));
+            black_box(red_vs_based(&e, &bundle, 1.0));
+        })
+    });
+}
+
+/// Table 7 — AuRA vs uRA at the p_RC extremes.
+fn table7_aura_vs_ura(c: &mut Criterion) {
+    let e = env();
+    let bundle = Bundle::new(&e, 20);
+    c.bench_function("table7_aura_vs_ura", |b| {
+        b.iter(|| {
+            black_box(aura_vs_ura(&e, &bundle, 0.0));
+            black_box(aura_vs_ura(&e, &bundle, 1.0));
+        })
+    });
+}
+
+criterion_group! {
+    name = paper;
+    config = Criterion::default().sample_size(10);
+    targets =
+        fig1_motivation,
+        table4_csp_migration,
+        fig5_front,
+        fig6_trace,
+        table5_tradeoff,
+        fig7_prc_sweep,
+        table6_red_vs_based,
+        table7_aura_vs_ura,
+}
+criterion_main!(paper);

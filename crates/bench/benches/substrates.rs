@@ -1,0 +1,126 @@
+//! Micro-benchmarks of the substrates: scheduler, task-metric evaluation,
+//! reconfiguration distance, hyper-volume and the run-time decision loop.
+//! These are the per-operation costs the design-time GA and the run-time
+//! Monte-Carlo simulations multiply by millions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use clr_core::prelude::*;
+use clr_core::{DbChoice, HybridFlow};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn graph_of(n: usize) -> TaskGraph {
+    TgffGenerator::new(TgffConfig::with_tasks(n)).generate(n as u64)
+}
+
+/// Full mapping evaluation (Table-2 metrics + list schedule + Table-3
+/// aggregation) — the GA's inner loop.
+fn evaluate_mapping(c: &mut Criterion) {
+    let platform = Platform::dac19();
+    let mut group = c.benchmark_group("evaluate_mapping");
+    for n in [10usize, 50, 100] {
+        let graph = graph_of(n);
+        let eval = Evaluator::new(&graph, &platform, FaultModel::default());
+        let mapping = Mapping::first_fit(&graph, &platform).expect("maps");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(eval.evaluate(&mapping)))
+        });
+    }
+    group.finish();
+}
+
+/// Reconfiguration-distance computation between two mappings.
+fn reconfig_distance(c: &mut Criterion) {
+    let platform = Platform::dac19();
+    let graph = graph_of(100);
+    let a = Mapping::first_fit(&graph, &platform).expect("maps");
+    let mut b_map = a.clone();
+    let mut rng = StdRng::seed_from_u64(1);
+    for gene in b_map.genes_mut() {
+        if rng.gen_bool(0.3) {
+            gene.priority ^= 1;
+        }
+    }
+    c.bench_function("reconfiguration_cost_100_tasks", |bch| {
+        bch.iter(|| black_box(reconfiguration_cost(&graph, &platform, &a, &b_map)))
+    });
+}
+
+/// Task-level CLR metric evaluation (the reliability model).
+fn task_metrics(c: &mut Criterion) {
+    let platform = Platform::dac19();
+    let graph = jpeg_encoder();
+    let im = &graph.implementations(1.into())[0];
+    let ty = &platform.pe_types()[0];
+    let fm = FaultModel::default();
+    let cfg = ClrConfig::new(
+        HwMethod::PartialTmr,
+        SswMethod::Retry { max_retries: 2 },
+        AswMethod::Checksum,
+    );
+    c.bench_function("task_metrics_evaluate", |b| {
+        b.iter(|| black_box(TaskMetrics::evaluate(im, ty, &cfg, &fm)))
+    });
+}
+
+/// Exact hyper-volume of growing 3-D fronts.
+fn hypervolume_fronts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hypervolume_3d");
+    let mut rng = StdRng::seed_from_u64(2);
+    for size in [10usize, 50, 100] {
+        let pts: Vec<Vec<f64>> = (0..size)
+            .map(|_| (0..3).map(|_| rng.gen_range(0.0..1.0)).collect())
+            .collect();
+        let reference = vec![1.1, 1.1, 1.1];
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| black_box(clr_core::moea::hypervolume(&pts, &reference)))
+        });
+    }
+    group.finish();
+}
+
+/// One uRA decision over a realistic stored database.
+fn ura_decision(c: &mut Criterion) {
+    let graph = graph_of(20);
+    let platform = Platform::dac19();
+    let flow = HybridFlow::builder(&graph, &platform)
+        .ga(GaParams::small())
+        .seed(3)
+        .run();
+    let ctx = flow.context(DbChoice::Based);
+    let policy = UraPolicy::new(0.5).expect("valid p_rc");
+    let spec = QosSpec::new(f64::INFINITY, 0.0);
+    c.bench_function("ura_decision", |b| {
+        b.iter(|| black_box(policy.select(&ctx, 0, &spec)))
+    });
+}
+
+/// The list scheduler alone.
+fn scheduler(c: &mut Criterion) {
+    let platform = Platform::dac19();
+    let mut group = c.benchmark_group("list_schedule");
+    for n in [10usize, 50, 100] {
+        let graph = graph_of(n);
+        let mapping = Mapping::first_fit(&graph, &platform).expect("maps");
+        let times: Vec<f64> = graph.task_ids().map(|t| 10.0 + t.index() as f64).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(list_schedule(&graph, &mapping, &times)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = substrates;
+    config = Criterion::default().sample_size(20);
+    targets =
+        evaluate_mapping,
+        reconfig_distance,
+        task_metrics,
+        hypervolume_fronts,
+        ura_decision,
+        scheduler,
+}
+criterion_main!(substrates);

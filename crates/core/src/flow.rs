@@ -1,0 +1,299 @@
+//! The hybrid design-time/run-time flow.
+
+use clr_dse::{explore_based, explore_red, DesignPointDb, DseConfig, ExplorationMode, RedConfig};
+use clr_moea::GaParams;
+use clr_platform::Platform;
+use clr_reliability::{ConfigSpace, FaultModel};
+use clr_runtime::{
+    simulate, AuraAgent, QosVariationModel, RuntimeContext, SimConfig, SimResult, UraPolicy,
+};
+use clr_taskgraph::TaskGraph;
+
+/// Which stored database a run-time simulation adapts over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DbChoice {
+    /// The Pareto-only database (the state-of-the-art baseline, (ref.\ 11)).
+    Based,
+    /// The reconfiguration-cost-aware database (falls back to BaseD when
+    /// the ReD stage was not run).
+    Red,
+}
+
+/// Builder for [`HybridFlow`]; see the [crate-level example](crate).
+#[derive(Debug, Clone)]
+pub struct HybridFlowBuilder<'a> {
+    graph: &'a TaskGraph,
+    platform: &'a Platform,
+    fault_model: FaultModel,
+    config_space: ConfigSpace,
+    dse: DseConfig,
+    red: Option<RedConfig>,
+    qos_sigma_frac: f64,
+    qos_correlation: f64,
+    seed: u64,
+}
+
+impl<'a> HybridFlowBuilder<'a> {
+    /// Sets the fault environment (default: [`FaultModel::default`]).
+    pub fn fault_model(mut self, fm: FaultModel) -> Self {
+        self.fault_model = fm;
+        self
+    }
+
+    /// Sets the CLR configuration space (default: [`ConfigSpace::fine`]).
+    pub fn config_space(mut self, space: ConfigSpace) -> Self {
+        self.config_space = space;
+        self
+    }
+
+    /// Sets the GA parameters of the system-level MOEA.
+    pub fn ga(mut self, ga: GaParams) -> Self {
+        self.dse.ga = ga;
+        self
+    }
+
+    /// Sets the exploration mode (default: [`ExplorationMode::Full`]).
+    pub fn mode(mut self, mode: ExplorationMode) -> Self {
+        self.dse.mode = mode;
+        self
+    }
+
+    /// Supplies an explicit hyper-volume reference point.
+    pub fn reference(mut self, reference: Vec<f64>) -> Self {
+        self.dse.reference = Some(reference);
+        self
+    }
+
+    /// Caps the stored Pareto database at `max_points` design points
+    /// (paper Fig. 3's storage constraint); larger fronts are
+    /// crowding-pruned.
+    pub fn storage_limit(mut self, max_points: usize) -> Self {
+        self.dse.max_points = Some(max_points);
+        self
+    }
+
+    /// Enables the reconfiguration-cost-aware second stage (ReD).
+    pub fn red(mut self, red: RedConfig) -> Self {
+        self.red = Some(red);
+        self
+    }
+
+    /// Parameterises the QoS-variation model used for simulations and the
+    /// Monte-Carlo prior (σ as a fraction of the achievable QoS range, and
+    /// the correlation between the two requirements).
+    pub fn qos_variation(mut self, sigma_frac: f64, correlation: f64) -> Self {
+        self.qos_sigma_frac = sigma_frac;
+        self.qos_correlation = correlation;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Runs the design-time stages and returns the completed flow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the application cannot be mapped on the platform (see
+    /// [`explore_based`]).
+    pub fn run(self) -> HybridFlow<'a> {
+        // When a storage budget is set and the ReD stage runs, BaseD gets
+        // two thirds of it so the reconfiguration-aware extras have room.
+        let mut dse = self.dse.clone();
+        if let (Some(total), true) = (dse.max_points, self.red.is_some()) {
+            dse.max_points = Some((total * 2 / 3).max(2));
+        }
+        let based = explore_based(
+            self.graph,
+            self.platform,
+            self.fault_model,
+            self.config_space.clone(),
+            &dse,
+            self.seed,
+        );
+        let red = self.red.as_ref().map(|red_cfg| {
+            // The Fig. 3 storage constraint bounds the *whole* stored
+            // database, so the ReD stage inherits it unless the caller set
+            // an explicit total.
+            let mut red_cfg = *red_cfg;
+            if red_cfg.max_total.is_none() {
+                red_cfg.max_total = self.dse.max_points;
+            }
+            explore_red(
+                self.graph,
+                self.platform,
+                self.fault_model,
+                self.config_space.clone(),
+                self.dse.mode,
+                &based,
+                &red_cfg,
+                self.seed.wrapping_add(1),
+            )
+        });
+        HybridFlow {
+            graph: self.graph,
+            platform: self.platform,
+            qos_sigma_frac: self.qos_sigma_frac,
+            qos_correlation: self.qos_correlation,
+            seed: self.seed,
+            based,
+            red,
+        }
+    }
+}
+
+/// A completed design-time exploration, ready for run-time simulation.
+#[derive(Debug, Clone)]
+pub struct HybridFlow<'a> {
+    graph: &'a TaskGraph,
+    platform: &'a Platform,
+    qos_sigma_frac: f64,
+    qos_correlation: f64,
+    seed: u64,
+    based: DesignPointDb,
+    red: Option<DesignPointDb>,
+}
+
+impl<'a> HybridFlow<'a> {
+    /// Starts configuring a flow.
+    pub fn builder(graph: &'a TaskGraph, platform: &'a Platform) -> HybridFlowBuilder<'a> {
+        HybridFlowBuilder {
+            graph,
+            platform,
+            fault_model: FaultModel::default(),
+            config_space: ConfigSpace::fine(),
+            dse: DseConfig::default(),
+            red: None,
+            qos_sigma_frac: 0.25,
+            qos_correlation: 0.3,
+            seed: 0,
+        }
+    }
+
+    /// The application graph.
+    pub fn graph(&self) -> &'a TaskGraph {
+        self.graph
+    }
+
+    /// The platform.
+    pub fn platform(&self) -> &'a Platform {
+        self.platform
+    }
+
+    /// The Pareto-only database.
+    pub fn based(&self) -> &DesignPointDb {
+        &self.based
+    }
+
+    /// The ReD database, if the second stage ran.
+    pub fn red(&self) -> Option<&DesignPointDb> {
+        self.red.as_ref()
+    }
+
+    /// Resolves a database choice (ReD falls back to BaseD when absent).
+    pub fn db(&self, choice: DbChoice) -> &DesignPointDb {
+        match choice {
+            DbChoice::Based => &self.based,
+            DbChoice::Red => self.red.as_ref().unwrap_or(&self.based),
+        }
+    }
+
+    /// Builds a run-time context over the chosen database.
+    pub fn context(&self, choice: DbChoice) -> RuntimeContext<'_> {
+        RuntimeContext::new(self.graph, self.platform, self.db(choice))
+    }
+
+    /// The QoS-variation model calibrated against the chosen database.
+    pub fn qos_model(&self, choice: DbChoice) -> QosVariationModel {
+        QosVariationModel::calibrated_walk(self.db(choice), self.qos_sigma_frac, self.qos_correlation)
+    }
+
+    /// Runs a uRA Monte-Carlo simulation over the chosen database.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p_rc` is outside `[0, 1]`.
+    pub fn simulate_ura(&self, choice: DbChoice, p_rc: f64, config: &SimConfig) -> SimResult {
+        let ctx = self.context(choice);
+        let qos = self.qos_model(choice);
+        let mut policy = UraPolicy::new(p_rc).expect("p_rc must be in [0, 1]");
+        simulate(&ctx, &mut policy, &qos, config)
+    }
+
+    /// Runs an AuRA Monte-Carlo simulation over the chosen database: the
+    /// agent is first bootstrapped by `prior_episodes` offline episodes
+    /// against the known QoS-variation distribution, then evaluated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the agent parameters are invalid (see [`AuraAgent::new`]).
+    pub fn simulate_aura(
+        &self,
+        choice: DbChoice,
+        p_rc: f64,
+        gamma: f64,
+        alpha: f64,
+        prior_episodes: usize,
+        config: &SimConfig,
+    ) -> SimResult {
+        let ctx = self.context(choice);
+        let qos = self.qos_model(choice);
+        let mut agent =
+            AuraAgent::new(ctx.len(), p_rc, gamma, alpha).expect("agent parameters must be valid");
+        if prior_episodes > 0 {
+            agent.train_prior(&ctx, &qos, prior_episodes, config.episode_cycles, self.seed);
+        }
+        simulate(&ctx, &mut agent, &qos, config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clr_taskgraph::{TgffConfig, TgffGenerator};
+
+    fn flow<'a>(graph: &'a TaskGraph, platform: &'a Platform, with_red: bool) -> HybridFlow<'a> {
+        let mut b = HybridFlow::builder(graph, platform)
+            .ga(GaParams::small())
+            .mode(ExplorationMode::Full)
+            .seed(13);
+        if with_red {
+            b = b.red(RedConfig {
+                ga: GaParams::small(),
+                ..RedConfig::default()
+            });
+        }
+        b.run()
+    }
+
+    #[test]
+    fn flow_without_red_falls_back() {
+        let graph = TgffGenerator::new(TgffConfig::with_tasks(8)).generate(2);
+        let platform = Platform::dac19();
+        let f = flow(&graph, &platform, false);
+        assert!(f.red().is_none());
+        assert_eq!(f.db(DbChoice::Red).len(), f.based().len());
+    }
+
+    #[test]
+    fn flow_with_red_extends_database() {
+        let graph = TgffGenerator::new(TgffConfig::with_tasks(8)).generate(3);
+        let platform = Platform::dac19();
+        let f = flow(&graph, &platform, true);
+        let red = f.red().expect("red stage ran");
+        assert!(red.len() >= f.based().len());
+    }
+
+    #[test]
+    fn both_policies_simulate() {
+        let graph = TgffGenerator::new(TgffConfig::with_tasks(8)).generate(4);
+        let platform = Platform::dac19();
+        let f = flow(&graph, &platform, false);
+        let ura = f.simulate_ura(DbChoice::Based, 0.5, &SimConfig::quick(5));
+        let aura = f.simulate_aura(DbChoice::Based, 0.5, 0.6, 0.1, 10, &SimConfig::quick(5));
+        assert!(ura.events > 0 && aura.events > 0);
+    }
+}

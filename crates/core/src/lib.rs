@@ -1,0 +1,51 @@
+//! End-to-end orchestration of the hybrid design methodology (paper
+//! Fig. 3).
+//!
+//! [`HybridFlow`] wires the whole pipeline together:
+//!
+//! ```text
+//! design time:  system-level MOEA ──► BaseD ──► ReD (reconfig-cost-aware)
+//!                                              │
+//! run time:     Monte-Carlo prior ──► value functions
+//!               discrete events  ──► uRA / AuRA adaptation
+//! ```
+//!
+//! The [`prelude`] re-exports the workspace's commonly used types so
+//! downstream code can `use clr_core::prelude::*`.
+//!
+//! # Examples
+//!
+//! ```
+//! use clr_core::prelude::*;
+//! use clr_core::{DbChoice, HybridFlow};
+//!
+//! let graph = TgffGenerator::new(TgffConfig::with_tasks(10)).generate(5);
+//! let platform = Platform::dac19();
+//! let flow = HybridFlow::builder(&graph, &platform)
+//!     .ga(GaParams::small())
+//!     .red(RedConfig { ga: GaParams::small(), ..RedConfig::default() })
+//!     .seed(5)
+//!     .run();
+//!
+//! assert!(flow.based().len() > 0);
+//! let result = flow.simulate_ura(DbChoice::Red, 0.5, &SimConfig::quick(1));
+//! assert!(result.events > 0);
+//! ```
+
+mod flow;
+pub mod prelude;
+pub mod scenario;
+
+pub use flow::{DbChoice, HybridFlow, HybridFlowBuilder};
+pub use scenario::{ScenarioConfig, ScenarioInstance, ScenarioKind, ScenarioSuite};
+
+// Re-export the member crates so a single dependency gives access to the
+// full stack.
+pub use clr_dse as dse;
+pub use clr_moea as moea;
+pub use clr_platform as platform;
+pub use clr_reliability as reliability;
+pub use clr_runtime as runtime;
+pub use clr_sched as sched;
+pub use clr_stats as stats;
+pub use clr_taskgraph as taskgraph;

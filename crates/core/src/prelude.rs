@@ -1,0 +1,37 @@
+//! Convenience re-exports of the types most programs need.
+//!
+//! # Examples
+//!
+//! ```
+//! use clr_core::prelude::*;
+//!
+//! let platform = Platform::dac19();
+//! let graph = jpeg_encoder();
+//! let eval = Evaluator::new(&graph, &platform, FaultModel::default());
+//! let mapping = Mapping::first_fit(&graph, &platform).unwrap();
+//! let _ = eval.evaluate(&mapping);
+//! ```
+
+pub use clr_dse::{
+    explore_based, explore_red, ClrMappingProblem, DesignPoint, DesignPointDb, DseConfig,
+    ExplorationMode, PointOrigin, ProblemVariant, QosSpec, RedConfig,
+};
+pub use clr_moea::{GaParams, HvGa, Nsga2, ParetoArchive};
+pub use clr_platform::{Interconnect, Pe, PeId, PeKind, PeType, PeTypeId, Platform, Prr, PrrId};
+pub use clr_reliability::{
+    AswMethod, ClrConfig, ConfigSpace, FaultInjector, FaultModel, HwMethod, SswMethod,
+    TaskMetrics,
+};
+pub use clr_runtime::{
+    simulate, AdaptationPolicy, AuraAgent, EventStream, HvPolicy, QosVariationModel,
+    RuntimeContext, SimConfig, SimResult, UraPolicy, VariationMode,
+};
+pub use clr_sched::{
+    gantt_ascii, heft_mapping, list_schedule, reconfiguration_cost, schedule_csv, Evaluator,
+    Gene, Mapping, Schedule, SystemMetrics,
+};
+pub use clr_stats::{Normal, Summary};
+pub use clr_taskgraph::{
+    jpeg_encoder, Edge, Implementation, SwStack, Task, TaskGraph, TaskGraphBuilder, TaskId,
+    TgffConfig, TgffGenerator,
+};

@@ -1,0 +1,292 @@
+//! Operating-scenario instances (paper §4).
+//!
+//! The paper's working scenario keeps resource availability and the SEU
+//! rate constant while QoS requirements vary, and notes: *"Variations in
+//! other factors can be considered as separate instances of this scenario
+//! with different values for λ_SEU, and the number of available PEs."*
+//! [`ScenarioSuite`] builds exactly those instances — the nominal system,
+//! degraded-platform instances (one per failed PE) and shifted-λ
+//! instances — runs the design-time exploration per instance, and lets the
+//! run-time layer switch databases when the scenario changes.
+
+use clr_dse::RedConfig;
+use clr_moea::GaParams;
+use clr_platform::{PeId, Platform};
+use clr_reliability::{ConfigSpace, FaultModel};
+use clr_runtime::SimConfig;
+use clr_runtime::SimResult;
+use clr_taskgraph::TaskGraph;
+
+use crate::{DbChoice, HybridFlow};
+
+/// Identifies one operating-scenario instance.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioKind {
+    /// The nominal system: all PEs available, baseline λ_SEU.
+    Nominal,
+    /// A permanent fault removed one PE.
+    PeFailure {
+        /// The failed PE (index in the *nominal* platform).
+        failed: PeId,
+    },
+    /// The environment's SEU rate changed (e.g. orbital vs terrestrial).
+    LambdaShift {
+        /// The new raw SEU rate.
+        lambda_seu: f64,
+    },
+}
+
+impl std::fmt::Display for ScenarioKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioKind::Nominal => write!(f, "nominal"),
+            ScenarioKind::PeFailure { failed } => write!(f, "pe-failure:{failed}"),
+            ScenarioKind::LambdaShift { lambda_seu } => write!(f, "lambda:{lambda_seu:e}"),
+        }
+    }
+}
+
+/// One prepared instance: the (possibly degraded) platform and its own
+/// design-point databases.
+pub struct ScenarioInstance {
+    kind: ScenarioKind,
+    platform: Platform,
+    fault_model: FaultModel,
+}
+
+impl ScenarioInstance {
+    /// The instance's identity.
+    pub fn kind(&self) -> &ScenarioKind {
+        &self.kind
+    }
+
+    /// The instance's platform (degraded for PE-failure instances).
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// The instance's fault environment.
+    pub fn fault_model(&self) -> &FaultModel {
+        &self.fault_model
+    }
+
+    /// `true` if every task of `graph` has an implementation compatible
+    /// with this instance's (possibly degraded) platform. A PE failure can
+    /// orphan tasks whose only implementations target the failed PE's
+    /// type; such instances cannot host the application at all.
+    pub fn supports(&self, graph: &TaskGraph) -> bool {
+        graph.task_ids().all(|t| {
+            graph.implementations(t).iter().any(|im| {
+                self.platform
+                    .pes()
+                    .iter()
+                    .any(|pe| pe.type_id() == im.pe_type())
+            })
+        })
+    }
+
+    /// Runs the hybrid design-time flow for this instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the application cannot be mapped on the instance's
+    /// platform (check [`ScenarioInstance::supports`] first — e.g. the
+    /// failed PE may have hosted the only compatible type).
+    pub fn explore<'a>(&'a self, graph: &'a TaskGraph, config: &ScenarioConfig) -> HybridFlow<'a> {
+        let mut builder = HybridFlow::builder(graph, &self.platform)
+            .fault_model(self.fault_model)
+            .ga(config.ga)
+            .config_space(config.config_space.clone())
+            .seed(config.seed);
+        if let Some(red) = config.red {
+            builder = builder.red(red);
+        }
+        if let Some(cap) = config.storage_limit {
+            builder = builder.storage_limit(cap);
+        }
+        builder.run()
+    }
+
+    /// Convenience: explore + simulate uRA in one call, returning the
+    /// Monte-Carlo outcome for this instance.
+    pub fn evaluate(
+        &self,
+        graph: &TaskGraph,
+        config: &ScenarioConfig,
+        p_rc: f64,
+        sim: &SimConfig,
+    ) -> SimResult {
+        let flow = self.explore(graph, config);
+        flow.simulate_ura(DbChoice::Red, p_rc, sim)
+    }
+}
+
+/// Exploration configuration shared by all instances of a suite.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// GA parameters of each instance's exploration.
+    pub ga: GaParams,
+    /// ReD stage (None = BaseD only).
+    pub red: Option<RedConfig>,
+    /// CLR configuration space.
+    pub config_space: ConfigSpace,
+    /// Storage constraint per instance.
+    pub storage_limit: Option<usize>,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        Self {
+            ga: GaParams::default(),
+            red: Some(RedConfig::default()),
+            config_space: ConfigSpace::fine(),
+            storage_limit: Some(24),
+            seed: 0,
+        }
+    }
+}
+
+/// Builds the set of operating-scenario instances for one system.
+///
+/// # Examples
+///
+/// ```
+/// use clr_core::scenario::ScenarioSuite;
+/// use clr_core::prelude::*;
+///
+/// let platform = Platform::dac19();
+/// let suite = ScenarioSuite::new(&platform, FaultModel::default())
+///     .with_pe_failures()
+///     .with_lambda_shifts(&[1e-3]);
+/// // nominal + 5 single-PE failures + 1 lambda shift
+/// assert_eq!(suite.instances().len(), 7);
+/// ```
+pub struct ScenarioSuite {
+    instances: Vec<ScenarioInstance>,
+}
+
+impl ScenarioSuite {
+    /// Starts a suite with the nominal instance.
+    pub fn new(platform: &Platform, fault_model: FaultModel) -> Self {
+        Self {
+            instances: vec![ScenarioInstance {
+                kind: ScenarioKind::Nominal,
+                platform: platform.clone(),
+                fault_model,
+            }],
+        }
+    }
+
+    /// Adds one degraded instance per single-PE failure (failures leaving
+    /// the platform empty are skipped).
+    pub fn with_pe_failures(mut self) -> Self {
+        let nominal = self.instances[0].platform.clone();
+        let fm = self.instances[0].fault_model;
+        for id in nominal.pe_ids() {
+            if let Ok(degraded) = nominal.without_pe(id) {
+                self.instances.push(ScenarioInstance {
+                    kind: ScenarioKind::PeFailure { failed: id },
+                    platform: degraded,
+                    fault_model: fm,
+                });
+            }
+        }
+        self
+    }
+
+    /// Adds one instance per shifted SEU rate.
+    pub fn with_lambda_shifts(mut self, lambdas: &[f64]) -> Self {
+        let nominal = self.instances[0].platform.clone();
+        let fm = self.instances[0].fault_model;
+        for &lambda in lambdas {
+            self.instances.push(ScenarioInstance {
+                kind: ScenarioKind::LambdaShift { lambda_seu: lambda },
+                platform: nominal.clone(),
+                fault_model: fm.with_lambda_seu(lambda),
+            });
+        }
+        self
+    }
+
+    /// The prepared instances (nominal first).
+    pub fn instances(&self) -> &[ScenarioInstance] {
+        &self.instances
+    }
+
+    /// Finds an instance by kind.
+    pub fn instance(&self, kind: &ScenarioKind) -> Option<&ScenarioInstance> {
+        self.instances.iter().find(|i| i.kind() == kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clr_runtime::SimConfig;
+    use clr_taskgraph::{TgffConfig, TgffGenerator};
+
+    fn config() -> ScenarioConfig {
+        ScenarioConfig {
+            ga: GaParams::small(),
+            red: None,
+            seed: 3,
+            ..ScenarioConfig::default()
+        }
+    }
+
+    #[test]
+    fn suite_enumerates_instances() {
+        let platform = Platform::dac19();
+        let suite = ScenarioSuite::new(&platform, FaultModel::default())
+            .with_pe_failures()
+            .with_lambda_shifts(&[1e-3, 5e-3]);
+        assert_eq!(suite.instances().len(), 1 + 5 + 2);
+        assert!(suite.instance(&ScenarioKind::Nominal).is_some());
+        assert!(suite
+            .instance(&ScenarioKind::PeFailure { failed: PeId::new(4) })
+            .is_some());
+    }
+
+    #[test]
+    fn degraded_instances_explore_and_simulate() {
+        let platform = Platform::dac19();
+        let graph = TgffGenerator::new(TgffConfig::with_tasks(8)).generate(3);
+        let suite = ScenarioSuite::new(&platform, FaultModel::default()).with_pe_failures();
+        let degraded = suite
+            .instances()
+            .iter()
+            .skip(1)
+            .find(|i| i.supports(&graph))
+            .expect("some single-pe failure leaves the app mappable");
+        assert_eq!(degraded.platform().num_pes(), platform.num_pes() - 1);
+        let r = degraded.evaluate(&graph, &config(), 0.5, &SimConfig::quick(1));
+        assert!(r.events > 0);
+    }
+
+    #[test]
+    fn lambda_shift_raises_error_rates() {
+        let platform = Platform::dac19();
+        let graph = TgffGenerator::new(TgffConfig::with_tasks(8)).generate(4);
+        let suite = ScenarioSuite::new(&platform, FaultModel::default())
+            .with_lambda_shifts(&[5e-3]);
+        let cfg = config();
+        let nominal_flow = suite.instances()[0].explore(&graph, &cfg);
+        let harsh_flow = suite.instances()[1].explore(&graph, &cfg);
+        let best_nominal = nominal_flow
+            .based()
+            .iter()
+            .map(|p| p.metrics.reliability)
+            .fold(0.0f64, f64::max);
+        let best_harsh = harsh_flow
+            .based()
+            .iter()
+            .map(|p| p.metrics.reliability)
+            .fold(0.0f64, f64::max);
+        assert!(
+            best_harsh <= best_nominal + 1e-12,
+            "harsher environment cannot be more reliable: {best_harsh} vs {best_nominal}"
+        );
+    }
+}

@@ -1,0 +1,233 @@
+//! The system-level MOEA producing the BaseD database (paper Eq. 5).
+
+use clr_moea::{HvGa, Nsga2, Problem};
+use clr_platform::Platform;
+use clr_reliability::{ConfigSpace, FaultModel};
+use clr_taskgraph::TaskGraph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::{ClrMappingProblem, DesignPoint, DesignPointDb, DseConfig, PointOrigin};
+
+/// Runs the design-time system-level MOEA and returns the Pareto-front
+/// database **BaseD**: the purely performance-oriented stored design points
+/// against which the reconfiguration-cost-aware stage is compared.
+///
+/// If the configuration supplies no hyper-volume reference point, one is
+/// auto-calibrated as 1.05× the per-objective maxima of a random sample,
+/// so the whole reachable region is initially rewarded.
+///
+/// # Panics
+///
+/// Panics if the application cannot be mapped on the platform at all, or a
+/// supplied reference point's dimension disagrees with the mode.
+///
+/// # Examples
+///
+/// See the [crate-level example](crate).
+pub fn explore_based(
+    graph: &TaskGraph,
+    platform: &Platform,
+    fault_model: FaultModel,
+    config_space: ConfigSpace,
+    config: &DseConfig,
+    seed: u64,
+) -> DesignPointDb {
+    let problem = ClrMappingProblem::new(graph, platform, fault_model, config_space, config.mode);
+    let reference = match &config.reference {
+        Some(r) => {
+            assert_eq!(
+                r.len(),
+                config.mode.num_objectives(),
+                "reference dimension must match exploration mode"
+            );
+            r.clone()
+        }
+        None => calibrate_reference(&problem, seed),
+    };
+
+    let evaluator = problem.evaluator().clone();
+
+    // A too-tight reference (or a heavily constrained platform) can leave
+    // the archive empty; relax the reference geometrically rather than
+    // returning an unusable database.
+    let mut reference = reference;
+    let mut db = DesignPointDb::new("based");
+    for attempt in 0..4 {
+        let hv = HvGa::new(problem.clone(), config.ga, reference.clone());
+        let archive = hv.run(seed.wrapping_add(attempt));
+        for (mapping, _objectives) in archive.into_entries() {
+            let metrics = evaluator.evaluate(&mapping);
+            db.push_if_new(DesignPoint::new(mapping, metrics, PointOrigin::Pareto));
+        }
+        if !db.is_empty() {
+            break;
+        }
+        for r in &mut reference {
+            *r *= 2.0;
+        }
+    }
+
+    // Enrich the front with an NSGA-II pass (the paper's DEAP/PYGMO GAs):
+    // the hyper-volume fitness concentrates around the knee, while
+    // NSGA-II's crowding pressure spreads along the whole front — the
+    // union gives the run-time layer more adaptation choices.
+    let nsga = Nsga2::new(problem, config.ga);
+    for ind in nsga.run(seed ^ 0x4e53_4741_0000_0002) {
+        if !ind.is_feasible() {
+            continue;
+        }
+        let inside = ind
+            .objectives
+            .iter()
+            .zip(&reference)
+            .all(|(o, r)| o <= r);
+        if !inside {
+            continue;
+        }
+        let metrics = evaluator.evaluate(&ind.solution);
+        db.push_if_new(DesignPoint::new(ind.solution, metrics, PointOrigin::Pareto));
+    }
+
+    // Keep only the mutually non-dominated subset of the merged fronts.
+    prune_dominated(&mut db, config.mode);
+
+    // Honour the storage constraint (paper Fig. 3): crowding-prune down to
+    // the budgeted number of points, preserving the extremes.
+    if let Some(cap) = config.max_points {
+        enforce_storage(&mut db, config.mode, cap);
+    }
+    db
+}
+
+/// Crowding-based pruning to at most `cap` points.
+fn enforce_storage(db: &mut DesignPointDb, mode: crate::ExplorationMode, cap: usize) {
+    use clr_moea::ParetoArchive;
+    if db.len() <= cap || cap == 0 {
+        return;
+    }
+    let mut archive = ParetoArchive::bounded(cap);
+    for p in db.iter() {
+        archive.insert(p.clone(), mode.objectives_of(&p.metrics));
+    }
+    let mut pruned = DesignPointDb::new(db.name().to_string());
+    for (p, _) in archive.into_entries() {
+        pruned.push(p);
+    }
+    *db = pruned;
+}
+
+/// Drops points dominated in the mode's objective space.
+fn prune_dominated(db: &mut DesignPointDb, mode: crate::ExplorationMode) {
+    use clr_moea::dominates;
+    let objs: Vec<Vec<f64>> = db.iter().map(|p| mode.objectives_of(&p.metrics)).collect();
+    let keep: Vec<bool> = (0..objs.len())
+        .map(|i| !objs.iter().enumerate().any(|(j, o)| j != i && dominates(o, &objs[i])))
+        .collect();
+    let mut pruned = DesignPointDb::new(db.name().to_string());
+    for (i, p) in db.iter().enumerate() {
+        if keep[i] {
+            pruned.push(p.clone());
+        }
+    }
+    *db = pruned;
+}
+
+/// Reference-point auto-calibration: 1.05× the objective maxima over a
+/// 32-solution random sample.
+fn calibrate_reference(problem: &ClrMappingProblem<'_>, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xca11_b8a7_e000_0000);
+    let mut maxima = vec![f64::NEG_INFINITY; problem.mode().num_objectives()];
+    for _ in 0..32 {
+        let s = problem.random_solution(&mut rng);
+        for (m, o) in maxima.iter_mut().zip(problem.objectives(&s)) {
+            if o > *m {
+                *m = o;
+            }
+        }
+    }
+    maxima
+        .into_iter()
+        .map(|m| if m > 0.0 { m * 1.05 } else { 1e-6 })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ExplorationMode;
+    use clr_moea::{dominates, GaParams};
+    use clr_taskgraph::{TgffConfig, TgffGenerator};
+
+    fn run(mode: ExplorationMode, seed: u64) -> DesignPointDb {
+        let graph = TgffGenerator::new(TgffConfig::with_tasks(12)).generate(seed);
+        let platform = Platform::dac19();
+        let cfg = DseConfig {
+            ga: GaParams::small(),
+            mode,
+            reference: None,
+            max_points: None,
+        };
+        explore_based(
+            &graph,
+            &platform,
+            FaultModel::default(),
+            ConfigSpace::fine(),
+            &cfg,
+            seed,
+        )
+    }
+
+    #[test]
+    fn based_produces_nonempty_front() {
+        let db = run(ExplorationMode::Full, 1);
+        assert!(!db.is_empty());
+        assert_eq!(db.count_origin(PointOrigin::Pareto), db.len());
+    }
+
+    #[test]
+    fn based_points_are_mutually_non_dominated_in_full_space() {
+        let db = run(ExplorationMode::Full, 2);
+        let objs: Vec<Vec<f64>> = db
+            .iter()
+            .map(|p| vec![p.metrics.makespan, p.metrics.error_rate(), p.metrics.energy])
+            .collect();
+        for (i, a) in objs.iter().enumerate() {
+            for (j, b) in objs.iter().enumerate() {
+                assert!(i == j || !dominates(a, b), "{a:?} dominates {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn csp_mode_spans_the_qos_plane() {
+        let db = run(ExplorationMode::Csp, 3);
+        assert!(!db.is_empty());
+        // The QoS Pareto front of a CSP run is the whole database.
+        assert_eq!(db.qos_pareto_indices().len(), db.len());
+    }
+
+    #[test]
+    fn lifetime_mode_adds_mttf_objective() {
+        let db = run(ExplorationMode::Lifetime, 9);
+        assert!(!db.is_empty());
+        // The lifetime front may keep points that the 3-objective front
+        // would drop: verify the objective vector has 4 entries and the
+        // mttf term is finite and positive.
+        for p in &db {
+            let o = ExplorationMode::Lifetime.objectives_of(&p.metrics);
+            assert_eq!(o.len(), 4);
+            assert!(o[3] > 0.0 && o[3].is_finite());
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = run(ExplorationMode::Full, 7);
+        let b = run(ExplorationMode::Full, 7);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.metrics, y.metrics);
+        }
+    }
+}

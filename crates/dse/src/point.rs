@@ -1,0 +1,141 @@
+//! Design points and QoS specifications.
+
+use clr_sched::{Mapping, SystemMetrics};
+use serde::{Deserialize, Serialize};
+
+/// How a stored design point was discovered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PointOrigin {
+    /// Member of the performance-oriented Pareto front (BaseD).
+    Pareto,
+    /// Additional non-dominant point from the reconfiguration-cost-aware
+    /// stage (the points marked `>` in paper Fig. 5).
+    ReconfigAware,
+}
+
+/// One stored CLR-integrated task-mapping design point `X_i` with its
+/// evaluated system-level metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignPoint {
+    /// The mapping configuration.
+    pub mapping: Mapping,
+    /// Its Table-3 metrics.
+    pub metrics: SystemMetrics,
+    /// Discovery origin.
+    pub origin: PointOrigin,
+}
+
+impl DesignPoint {
+    /// Creates a design point.
+    pub fn new(mapping: Mapping, metrics: SystemMetrics, origin: PointOrigin) -> Self {
+        Self {
+            mapping,
+            metrics,
+            origin,
+        }
+    }
+
+    /// The QoS-space objective vector `(S_app, 1 − F_app)` used for
+    /// dominance/feasibility bookkeeping.
+    pub fn qos_objectives(&self) -> [f64; 2] {
+        [self.metrics.makespan, self.metrics.error_rate()]
+    }
+
+    /// `true` if this point satisfies a QoS requirement.
+    pub fn satisfies(&self, spec: &QosSpec) -> bool {
+        spec.admits(&self.metrics)
+    }
+}
+
+/// A QoS requirement `(S_SPEC, F_SPEC)`: the maximum acceptable average
+/// makespan and the minimum acceptable functional reliability.
+///
+/// # Examples
+///
+/// ```
+/// use clr_dse::QosSpec;
+/// let spec = QosSpec::new(1000.0, 0.98);
+/// assert!((spec.max_error_rate() - 0.02).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QosSpec {
+    /// Maximum acceptable average makespan `S_SPEC`.
+    pub max_makespan: f64,
+    /// Minimum acceptable functional reliability `F_SPEC ∈ [0, 1]`.
+    pub min_reliability: f64,
+}
+
+impl QosSpec {
+    /// Creates a QoS specification.
+    pub fn new(max_makespan: f64, min_reliability: f64) -> Self {
+        Self {
+            max_makespan,
+            min_reliability,
+        }
+    }
+
+    /// The specification expressed as a maximum application error rate.
+    pub fn max_error_rate(&self) -> f64 {
+        1.0 - self.min_reliability
+    }
+
+    /// `true` if metrics meet both requirements.
+    pub fn admits(&self, metrics: &SystemMetrics) -> bool {
+        metrics.makespan <= self.max_makespan && metrics.reliability >= self.min_reliability
+    }
+
+    /// Clamps the spec into sane numeric bounds (reliability into `[0, 1]`,
+    /// makespan non-negative) — used when sampling specs from unbounded
+    /// Gaussian QoS variations.
+    pub fn clamped(&self) -> Self {
+        Self {
+            max_makespan: self.max_makespan.max(0.0),
+            min_reliability: self.min_reliability.clamp(0.0, 1.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(makespan: f64, reliability: f64) -> SystemMetrics {
+        SystemMetrics {
+            makespan,
+            reliability,
+            energy: 100.0,
+            peak_power: 10.0,
+            mean_mttf: 1e6,
+        }
+    }
+
+    #[test]
+    fn admits_is_a_conjunction() {
+        let spec = QosSpec::new(100.0, 0.9);
+        assert!(spec.admits(&metrics(90.0, 0.95)));
+        assert!(!spec.admits(&metrics(110.0, 0.95)));
+        assert!(!spec.admits(&metrics(90.0, 0.85)));
+    }
+
+    #[test]
+    fn boundary_values_are_admitted() {
+        let spec = QosSpec::new(100.0, 0.9);
+        assert!(spec.admits(&metrics(100.0, 0.9)));
+    }
+
+    #[test]
+    fn clamped_repairs_wild_samples() {
+        let spec = QosSpec::new(-5.0, 1.7).clamped();
+        assert_eq!(spec.max_makespan, 0.0);
+        assert_eq!(spec.min_reliability, 1.0);
+    }
+
+    #[test]
+    fn design_point_objectives_expose_qos_plane() {
+        let m = metrics(50.0, 0.97);
+        let p = DesignPoint::new(Mapping::new(vec![]), m, PointOrigin::Pareto);
+        let o = p.qos_objectives();
+        assert_eq!(o[0], 50.0);
+        assert!((o[1] - 0.03).abs() < 1e-12);
+    }
+}

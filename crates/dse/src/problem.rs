@@ -1,0 +1,437 @@
+//! The CLR-integrated task-mapping optimisation problem (Eq. 4).
+
+use clr_moea::{Evaluation, GaParams, Problem};
+use clr_platform::{PeId, Platform};
+use clr_reliability::{ConfigSpace, FaultModel};
+use clr_sched::{Evaluator, Gene, Mapping};
+use clr_taskgraph::{ImplId, TaskGraph};
+use rand::{Rng, RngCore};
+use serde::{Deserialize, Serialize};
+
+/// Which objective set the exploration optimises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum ExplorationMode {
+    /// The full problem of Eq. (5): minimise
+    /// `(S_app, 1 − F_app, J_app)`.
+    #[default]
+    Full,
+    /// The constraint-satisfaction problem of §5.2 (`R(X_i) = 0`):
+    /// minimise `(S_app, 1 − F_app)` only.
+    Csp,
+    /// The lifetime extension the paper names ("Other metrics such as MTTF
+    /// can be added to R(X_i) for optimization of system lifetime"):
+    /// minimise `(S_app, 1 − F_app, J_app, 1/MTTF)`.
+    Lifetime,
+}
+
+impl ExplorationMode {
+    /// Number of objectives in this mode.
+    pub fn num_objectives(&self) -> usize {
+        match self {
+            ExplorationMode::Full => 3,
+            ExplorationMode::Csp => 2,
+            ExplorationMode::Lifetime => 4,
+        }
+    }
+
+    /// The (minimised) objective vector of a metrics record in this mode.
+    pub fn objectives_of(&self, m: &clr_sched::SystemMetrics) -> Vec<f64> {
+        match self {
+            ExplorationMode::Full => vec![m.makespan, m.error_rate(), m.energy],
+            ExplorationMode::Csp => vec![m.makespan, m.error_rate()],
+            ExplorationMode::Lifetime => vec![
+                m.makespan,
+                m.error_rate(),
+                m.energy,
+                1.0 / m.mean_mttf.max(1e-12),
+            ],
+        }
+    }
+}
+
+/// Design-time DSE configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DseConfig {
+    /// GA hyper-parameters (paper defaults: crossover 0.7, mutation 0.03,
+    /// tournament 5).
+    pub ga: GaParams,
+    /// Objective set.
+    pub mode: ExplorationMode,
+    /// Reference point for the hyper-volume fitness (one bound per
+    /// objective, same order as the mode's objective vector). `None`
+    /// auto-calibrates from random sampling.
+    pub reference: Option<Vec<f64>>,
+    /// Storage constraint (paper Fig. 3): the embedded target can hold at
+    /// most this many design points; larger fronts are pruned by crowding
+    /// distance (extreme trade-offs are kept). `None` stores everything.
+    pub max_points: Option<usize>,
+}
+
+impl Default for DseConfig {
+    fn default() -> Self {
+        Self {
+            ga: GaParams::default(),
+            mode: ExplorationMode::Full,
+            reference: None,
+            max_points: None,
+        }
+    }
+}
+
+/// Which decision variables the exploration may vary — the three `Ψt`
+/// cases of Eq. (4).
+#[derive(Debug, Clone, Default)]
+pub enum ProblemVariant {
+    /// `Ψt = Mt × Ct`: bindings, implementations, schedule positions *and*
+    /// CLR configurations (the paper's main case).
+    #[default]
+    Integrated,
+    /// `Ψt = Mt`: task-mapping only; every task keeps `ClrConfig::NONE`.
+    MappingOnly,
+    /// `Ψt = Ct`: CLR-implementation only; bindings/implementations/
+    /// priorities stay fixed to the given base mapping.
+    ClrOnly {
+        /// The frozen task mapping whose CLR axis is explored.
+        base: Mapping,
+    },
+}
+
+/// [`Problem`] implementation over [`Mapping`] genotypes.
+///
+/// Genes mutate within the pre-computed per-task compatibility lists
+/// (`(PE, implementation)` pairs whose PE types match), so every generated
+/// mapping is structurally valid; the memory-capacity constraint is
+/// reported as the evaluation's violation.
+#[derive(Debug, Clone)]
+pub struct ClrMappingProblem<'a> {
+    evaluator: Evaluator<'a>,
+    config_space: ConfigSpace,
+    mode: ExplorationMode,
+    variant: ProblemVariant,
+    /// Per task: all `(pe, impl)` pairs with matching PE types.
+    compat: Vec<Vec<(PeId, ImplId)>>,
+}
+
+impl<'a> ClrMappingProblem<'a> {
+    /// Creates the problem.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some task has no implementation compatible with any PE of
+    /// the platform (the application cannot run at all) or the CLR
+    /// configuration space is empty.
+    pub fn new(
+        graph: &'a TaskGraph,
+        platform: &'a Platform,
+        fault_model: FaultModel,
+        config_space: ConfigSpace,
+        mode: ExplorationMode,
+    ) -> Self {
+        assert!(!config_space.is_empty(), "config space must not be empty");
+        let mut compat = Vec::with_capacity(graph.num_tasks());
+        for t in graph.task_ids() {
+            let mut options = Vec::new();
+            for im in graph.implementations(t) {
+                for pe in platform.pes() {
+                    if pe.type_id() == im.pe_type() {
+                        options.push((pe.id(), im.id()));
+                    }
+                }
+            }
+            assert!(
+                !options.is_empty(),
+                "task {t} has no platform-compatible implementation"
+            );
+            compat.push(options);
+        }
+        Self {
+            evaluator: Evaluator::new(graph, platform, fault_model),
+            config_space,
+            mode,
+            variant: ProblemVariant::Integrated,
+            compat,
+        }
+    }
+
+    /// Restricts the explored decision variables to one of Eq. (4)'s `Ψt`
+    /// cases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `ClrOnly` base mapping does not match the graph's task
+    /// count.
+    pub fn with_variant(mut self, variant: ProblemVariant) -> Self {
+        if let ProblemVariant::ClrOnly { base } = &variant {
+            assert_eq!(
+                base.len(),
+                self.compat.len(),
+                "clr-only base mapping must cover every task"
+            );
+        }
+        self.variant = variant;
+        self
+    }
+
+    /// The active problem variant.
+    pub fn variant(&self) -> &ProblemVariant {
+        &self.variant
+    }
+
+    /// The bound evaluator.
+    pub fn evaluator(&self) -> &Evaluator<'a> {
+        &self.evaluator
+    }
+
+    /// The CLR configuration space in use.
+    pub fn config_space(&self) -> &ConfigSpace {
+        &self.config_space
+    }
+
+    /// The exploration mode.
+    pub fn mode(&self) -> ExplorationMode {
+        self.mode
+    }
+
+    /// The objective vector of a mapping under the current mode.
+    pub fn objectives(&self, mapping: &Mapping) -> Vec<f64> {
+        let m = self.evaluator.evaluate(mapping);
+        self.mode.objectives_of(&m)
+    }
+
+    /// Memory-capacity violation: summed fractional overflow over PEs.
+    fn memory_violation(&self, mapping: &Mapping) -> f64 {
+        let graph = self.evaluator.graph();
+        let platform = self.evaluator.platform();
+        mapping
+            .memory_footprint(graph, platform)
+            .iter()
+            .zip(platform.pes())
+            .map(|(&used, pe)| {
+                let cap = pe.local_memory_kib() as f64;
+                ((used as f64 - cap) / cap).max(0.0)
+            })
+            .sum()
+    }
+
+    fn random_clr(&self, rng: &mut dyn RngCore) -> clr_reliability::ClrConfig {
+        *self
+            .config_space
+            .get(rng.gen_range(0..self.config_space.len()))
+            .expect("index in range")
+    }
+
+    fn random_gene(&self, task: usize, rng: &mut dyn RngCore) -> Gene {
+        match &self.variant {
+            ProblemVariant::Integrated => {
+                let options = &self.compat[task];
+                let (pe, impl_id) = options[rng.gen_range(0..options.len())];
+                Gene {
+                    pe,
+                    impl_id,
+                    clr: self.random_clr(rng),
+                    priority: rng.gen_range(0..1024),
+                }
+            }
+            ProblemVariant::MappingOnly => {
+                let options = &self.compat[task];
+                let (pe, impl_id) = options[rng.gen_range(0..options.len())];
+                Gene {
+                    pe,
+                    impl_id,
+                    clr: clr_reliability::ClrConfig::NONE,
+                    priority: rng.gen_range(0..1024),
+                }
+            }
+            ProblemVariant::ClrOnly { base } => {
+                let mut gene = *base.gene(clr_taskgraph::TaskId::new(task));
+                gene.clr = self.random_clr(rng);
+                gene
+            }
+        }
+    }
+}
+
+impl Problem for ClrMappingProblem<'_> {
+    type Solution = Mapping;
+
+    fn random_solution(&self, rng: &mut dyn RngCore) -> Mapping {
+        let genes = (0..self.compat.len())
+            .map(|t| self.random_gene(t, rng))
+            .collect();
+        Mapping::new(genes)
+    }
+
+    fn evaluate(&self, mapping: &Mapping) -> Evaluation {
+        let m = self.evaluator.evaluate(mapping);
+        let objectives = self.mode.objectives_of(&m);
+        Evaluation::with_violation(objectives, self.memory_violation(mapping))
+    }
+
+    fn crossover(&self, a: &Mapping, b: &Mapping, rng: &mut dyn RngCore) -> Mapping {
+        // Uniform per-gene crossover.
+        let genes = a
+            .genes()
+            .iter()
+            .zip(b.genes())
+            .map(|(ga, gb)| if rng.gen_bool(0.5) { *ga } else { *gb })
+            .collect();
+        Mapping::new(genes)
+    }
+
+    fn mutate(&self, mapping: &mut Mapping, rng: &mut dyn RngCore) {
+        // Perturb one to three random genes; the perturbations available
+        // depend on the Eq.-4 variant.
+        let n = mapping.len();
+        if n == 0 {
+            return;
+        }
+        let count = rng.gen_range(1..=3usize.min(n));
+        for _ in 0..count {
+            let t = rng.gen_range(0..n);
+            let action = match self.variant {
+                ProblemVariant::Integrated => rng.gen_range(0..3),
+                ProblemVariant::MappingOnly => [0usize, 2][rng.gen_range(0..2)],
+                ProblemVariant::ClrOnly { .. } => 1,
+            };
+            match action {
+                0 => {
+                    let options = &self.compat[t];
+                    let (pe, impl_id) = options[rng.gen_range(0..options.len())];
+                    mapping.genes_mut()[t].pe = pe;
+                    mapping.genes_mut()[t].impl_id = impl_id;
+                }
+                1 => {
+                    mapping.genes_mut()[t].clr = self.random_clr(rng);
+                }
+                _ => {
+                    mapping.genes_mut()[t].priority = rng.gen_range(0..1024);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clr_taskgraph::{jpeg_encoder, TgffConfig, TgffGenerator};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn problem<'a>(
+        graph: &'a TaskGraph,
+        platform: &'a Platform,
+        mode: ExplorationMode,
+    ) -> ClrMappingProblem<'a> {
+        ClrMappingProblem::new(
+            graph,
+            platform,
+            FaultModel::default(),
+            ConfigSpace::fine(),
+            mode,
+        )
+    }
+
+    #[test]
+    fn random_solutions_are_always_valid() {
+        let g = jpeg_encoder();
+        let p = Platform::dac19();
+        let prob = problem(&g, &p, ExplorationMode::Full);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let m = prob.random_solution(&mut rng);
+            assert!(m.validate(&g, &p).is_ok());
+        }
+    }
+
+    #[test]
+    fn crossover_and_mutation_preserve_validity() {
+        let g = TgffGenerator::new(TgffConfig::with_tasks(20)).generate(3);
+        let p = Platform::dac19();
+        let prob = problem(&g, &p, ExplorationMode::Full);
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = prob.random_solution(&mut rng);
+        let b = prob.random_solution(&mut rng);
+        let mut child = prob.crossover(&a, &b, &mut rng);
+        for _ in 0..20 {
+            prob.mutate(&mut child, &mut rng);
+        }
+        assert!(child.validate(&g, &p).is_ok());
+    }
+
+    #[test]
+    fn csp_mode_has_two_objectives() {
+        let g = jpeg_encoder();
+        let p = Platform::dac19();
+        let prob = problem(&g, &p, ExplorationMode::Csp);
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = prob.random_solution(&mut rng);
+        let e = prob.evaluate(&m);
+        assert_eq!(e.objectives.len(), 2);
+        assert_eq!(ExplorationMode::Csp.num_objectives(), 2);
+        assert_eq!(ExplorationMode::Full.num_objectives(), 3);
+    }
+
+    #[test]
+    fn evaluation_matches_objectives_helper() {
+        let g = jpeg_encoder();
+        let p = Platform::dac19();
+        let prob = problem(&g, &p, ExplorationMode::Full);
+        let mut rng = StdRng::seed_from_u64(4);
+        let m = prob.random_solution(&mut rng);
+        assert_eq!(prob.evaluate(&m).objectives, prob.objectives(&m));
+    }
+
+    #[test]
+    fn mapping_only_variant_keeps_clr_none() {
+        let g = jpeg_encoder();
+        let p = Platform::dac19();
+        let prob = problem(&g, &p, ExplorationMode::Full).with_variant(ProblemVariant::MappingOnly);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut m = prob.random_solution(&mut rng);
+        for _ in 0..30 {
+            prob.mutate(&mut m, &mut rng);
+        }
+        assert!(m.genes().iter().all(|gene| gene.clr.is_none()));
+        assert!(m.validate(&g, &p).is_ok());
+    }
+
+    #[test]
+    fn clr_only_variant_freezes_the_mapping() {
+        let g = jpeg_encoder();
+        let p = Platform::dac19();
+        let base = clr_sched::Mapping::first_fit(&g, &p).unwrap();
+        let prob = problem(&g, &p, ExplorationMode::Full)
+            .with_variant(ProblemVariant::ClrOnly { base: base.clone() });
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut m = prob.random_solution(&mut rng);
+        for _ in 0..30 {
+            prob.mutate(&mut m, &mut rng);
+        }
+        for (gene, frozen) in m.genes().iter().zip(base.genes()) {
+            assert_eq!(gene.pe, frozen.pe);
+            assert_eq!(gene.impl_id, frozen.impl_id);
+            assert_eq!(gene.priority, frozen.priority);
+        }
+        // ... while the CLR axis actually moved for at least one task.
+        assert!(m.genes().iter().any(|gene| !gene.clr.is_none()));
+    }
+
+    #[test]
+    #[should_panic(expected = "base mapping must cover")]
+    fn clr_only_variant_rejects_wrong_length() {
+        let g = jpeg_encoder();
+        let p = Platform::dac19();
+        let _ = problem(&g, &p, ExplorationMode::Full)
+            .with_variant(ProblemVariant::ClrOnly { base: Mapping::new(vec![]) });
+    }
+
+    #[test]
+    #[should_panic(expected = "config space")]
+    fn empty_config_space_is_rejected() {
+        let g = jpeg_encoder();
+        let p = Platform::dac19();
+        let empty = ConfigSpace::product("empty", &[], &[], &[]);
+        let _ = ClrMappingProblem::new(&g, &p, FaultModel::default(), empty, ExplorationMode::Full);
+    }
+}

@@ -1,0 +1,282 @@
+//! Run-time-reconfiguration-cost-aware DSE — **ReD** (paper §4.2.1,
+//! Fig. 4b).
+//!
+//! Rationale: when the QoS requirement moves from `S` to `S'`, adapting
+//! between pure Pareto points (`F_Op → F'_Op`) can migrate many tasks.
+//! Some *non-dominant* point `F''_Op` may satisfy the new requirement at a
+//! far smaller reconfiguration distance from wherever the system currently
+//! sits. This stage grows the database with exactly such points: each
+//! Pareto point seeds a neighbourhood GA whose extra objective is the
+//! average `dRC` to the Pareto set, under a bounded tolerance on the
+//! degradation of the seed's own QoS/performance metrics.
+
+use clr_moea::{Evaluation, GaParams, Nsga2, Problem};
+use clr_platform::Platform;
+use clr_reliability::{ConfigSpace, FaultModel};
+use clr_sched::{reconfiguration_cost, Mapping};
+use clr_taskgraph::TaskGraph;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+use crate::{ClrMappingProblem, DesignPoint, DesignPointDb, ExplorationMode, PointOrigin};
+
+/// Configuration of the reconfiguration-cost-aware stage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RedConfig {
+    /// Tolerated relative degradation of each of the seed point's
+    /// objectives (paper: "within some tolerance limit w.r.t. the
+    /// degradation of that point's QoS metrics and R(X_i)").
+    pub tolerance: f64,
+    /// GA parameters of each per-seed neighbourhood search.
+    pub ga: GaParams,
+    /// At most this many additional points are kept per seed (the lowest
+    /// average-`dRC` candidates).
+    pub max_extra_per_seed: usize,
+    /// Storage constraint on the *whole* ReD database (paper Fig. 3): when
+    /// set, the lowest-value extras (highest average `dRC`) are dropped
+    /// until BaseD + extras fit the budget. BaseD points are never dropped.
+    pub max_total: Option<usize>,
+}
+
+impl Default for RedConfig {
+    fn default() -> Self {
+        Self {
+            tolerance: 0.15,
+            ga: GaParams {
+                population: 40,
+                generations: 20,
+                ..GaParams::default()
+            },
+            max_extra_per_seed: 3,
+            max_total: None,
+        }
+    }
+}
+
+/// Runs the reconfiguration-cost-aware stage over a BaseD database and
+/// returns **ReD**: every BaseD point plus the additional low-`dRC`
+/// non-dominant points.
+///
+/// # Panics
+///
+/// Panics if `based` is empty (there is nothing to seed from) or its
+/// mappings do not fit the graph/platform.
+pub fn explore_red(
+    graph: &TaskGraph,
+    platform: &Platform,
+    fault_model: FaultModel,
+    config_space: ConfigSpace,
+    mode: ExplorationMode,
+    based: &DesignPointDb,
+    config: &RedConfig,
+    seed: u64,
+) -> DesignPointDb {
+    assert!(!based.is_empty(), "based database must not be empty");
+    let based_mappings: Vec<Mapping> = based.iter().map(|p| p.mapping.clone()).collect();
+
+    let mut db = DesignPointDb::new("red");
+    for p in based {
+        db.push(p.clone());
+    }
+
+    for (i, seed_point) in based.iter().enumerate() {
+        let inner =
+            ClrMappingProblem::new(graph, platform, fault_model, config_space.clone(), mode);
+        let evaluator = inner.evaluator().clone();
+        let seed_objs = inner.objectives(&seed_point.mapping);
+        let seed_avg_drc = average_drc(graph, platform, &based_mappings, &seed_point.mapping);
+        let problem = RedProblem {
+            inner,
+            graph,
+            platform,
+            seed_mapping: seed_point.mapping.clone(),
+            seed_objectives: seed_objs,
+            based_mappings: &based_mappings,
+            tolerance: config.tolerance,
+        };
+        let front = Nsga2::new(problem, config.ga).run(seed.wrapping_add(i as u64 * 7919));
+
+        // Keep the candidates that actually beat the seed on average dRC.
+        let mut candidates: Vec<(Mapping, f64)> = front
+            .into_iter()
+            .filter(|ind| ind.is_feasible())
+            .map(|ind| {
+                let drc = *ind.objectives.last().expect("red problem appends drc");
+                (ind.solution, drc)
+            })
+            .filter(|(_, drc)| *drc + 1e-9 < seed_avg_drc)
+            .collect();
+        candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("drc is finite"));
+        for (mapping, _) in candidates.into_iter().take(config.max_extra_per_seed) {
+            let metrics = evaluator.evaluate(&mapping);
+            db.push_if_new(DesignPoint::new(mapping, metrics, PointOrigin::ReconfigAware));
+        }
+    }
+
+    // Honour the total storage constraint: extras are evicted worst (highest
+    // average dRC to the Pareto set) first; Pareto points always survive.
+    if let Some(cap) = config.max_total {
+        while db.len() > cap.max(based.len()) {
+            let victim = db
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.origin == PointOrigin::ReconfigAware)
+                .max_by(|(_, a), (_, b)| {
+                    let da = average_drc(graph, platform, &based_mappings, &a.mapping);
+                    let dbv = average_drc(graph, platform, &based_mappings, &b.mapping);
+                    da.partial_cmp(&dbv).expect("drc is finite")
+                })
+                .map(|(i, _)| i);
+            match victim {
+                Some(i) => {
+                    let mut pruned = DesignPointDb::new(db.name().to_string());
+                    for (j, p) in db.iter().enumerate() {
+                        if j != i {
+                            pruned.push(p.clone());
+                        }
+                    }
+                    db = pruned;
+                }
+                None => break,
+            }
+        }
+    }
+    db
+}
+
+/// Mean reconfiguration cost of adapting from each stored mapping to `to`.
+pub(crate) fn average_drc(
+    graph: &TaskGraph,
+    platform: &Platform,
+    from_set: &[Mapping],
+    to: &Mapping,
+) -> f64 {
+    if from_set.is_empty() {
+        return 0.0;
+    }
+    from_set
+        .iter()
+        .map(|from| reconfiguration_cost(graph, platform, from, to).total())
+        .sum::<f64>()
+        / from_set.len() as f64
+}
+
+/// The per-seed neighbourhood problem: the inner mapping objectives plus
+/// the average `dRC` to the Pareto set, constrained to the tolerance band
+/// around the seed point.
+struct RedProblem<'a> {
+    inner: ClrMappingProblem<'a>,
+    graph: &'a TaskGraph,
+    platform: &'a Platform,
+    seed_mapping: Mapping,
+    seed_objectives: Vec<f64>,
+    based_mappings: &'a [Mapping],
+    tolerance: f64,
+}
+
+impl Problem for RedProblem<'_> {
+    type Solution = Mapping;
+
+    fn random_solution(&self, rng: &mut dyn RngCore) -> Mapping {
+        // Neighbourhood initialisation: a lightly mutated copy of the seed.
+        let mut m = self.seed_mapping.clone();
+        let hops = (rng.next_u32() % 4) + 1;
+        for _ in 0..hops {
+            self.inner.mutate(&mut m, rng);
+        }
+        m
+    }
+
+    fn evaluate(&self, mapping: &Mapping) -> Evaluation {
+        let inner_eval = self.inner.evaluate(mapping);
+        let mut violation = inner_eval.violation;
+        // Tolerance band around the seed's objectives.
+        for (o, s) in inner_eval.objectives.iter().zip(&self.seed_objectives) {
+            let bound = if *s >= 0.0 {
+                s * (1.0 + self.tolerance) + 1e-12
+            } else {
+                s * (1.0 - self.tolerance)
+            };
+            if *o > bound {
+                let scale = s.abs().max(1e-9);
+                violation += (o - bound) / scale;
+            }
+        }
+        let drc = average_drc(self.graph, self.platform, self.based_mappings, mapping);
+        let mut objectives = inner_eval.objectives;
+        objectives.push(drc);
+        Evaluation::with_violation(objectives, violation)
+    }
+
+    fn crossover(&self, a: &Mapping, b: &Mapping, rng: &mut dyn RngCore) -> Mapping {
+        self.inner.crossover(a, b, rng)
+    }
+
+    fn mutate(&self, mapping: &mut Mapping, rng: &mut dyn RngCore) {
+        self.inner.mutate(mapping, rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{explore_based, DseConfig};
+    use clr_taskgraph::{TgffConfig, TgffGenerator};
+
+    fn pipeline(seed: u64) -> (DesignPointDb, DesignPointDb) {
+        let graph = TgffGenerator::new(TgffConfig::with_tasks(10)).generate(seed);
+        let platform = Platform::dac19();
+        let fm = FaultModel::default();
+        let dse_cfg = DseConfig {
+            ga: GaParams::small(),
+            mode: ExplorationMode::Csp,
+            reference: None,
+            max_points: None,
+        };
+        let based = explore_based(&graph, &platform, fm, ConfigSpace::fine(), &dse_cfg, seed);
+        let red_cfg = RedConfig {
+            ga: GaParams::small(),
+            ..RedConfig::default()
+        };
+        let red = explore_red(
+            &graph,
+            &platform,
+            fm,
+            ConfigSpace::fine(),
+            ExplorationMode::Csp,
+            &based,
+            &red_cfg,
+            seed,
+        );
+        (based, red)
+    }
+
+    #[test]
+    fn red_contains_every_based_point() {
+        let (based, red) = pipeline(5);
+        assert!(red.len() >= based.len());
+        for p in &based {
+            assert!(
+                red.iter().any(|q| q.metrics == p.metrics),
+                "based point missing from red"
+            );
+        }
+    }
+
+    #[test]
+    fn red_extras_are_marked() {
+        let (based, red) = pipeline(6);
+        let extras = red.count_origin(PointOrigin::ReconfigAware);
+        assert_eq!(red.len(), based.len() + extras);
+    }
+
+    #[test]
+    fn average_drc_of_member_counts_self_as_zero() {
+        let graph = TgffGenerator::new(TgffConfig::with_tasks(8)).generate(1);
+        let platform = Platform::dac19();
+        let m = Mapping::first_fit(&graph, &platform).unwrap();
+        let d = average_drc(&graph, &platform, std::slice::from_ref(&m), &m);
+        assert_eq!(d, 0.0);
+        assert_eq!(average_drc(&graph, &platform, &[], &m), 0.0);
+    }
+}

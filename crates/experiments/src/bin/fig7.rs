@@ -1,0 +1,47 @@
+//! Fig. 7 — relative variation of average energy and average
+//! reconfiguration cost as the user-modulation parameter p_RC sweeps from
+//! 0 to 1, for five applications of 20–100 tasks. Values are normalised to
+//! the p_RC = 1 (pure performance) operating point, matching the figure's
+//! relative axes.
+
+use clr_experiments::kernels::{prc_sweep, Bundle};
+use clr_experiments::report::{f3, Table};
+use clr_experiments::Env;
+
+fn main() {
+    let env = Env::from_env();
+    println!("# Fig. 7 — relative energy (green) and reconfiguration cost (red) vs p_RC");
+    let p_rcs: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
+    let apps = [20usize, 40, 60, 80, 100];
+
+    let mut table = Table::new(
+        "Relative avg energy and avg dRC vs p_RC (normalised to p_RC = 1)",
+        &["tasks", "p_rc", "rel_energy", "rel_drc"],
+    );
+    for &n in &apps {
+        let bundle = Bundle::new(&env, n);
+        let sweep = prc_sweep(&env, &bundle, &p_rcs);
+        let ref_energy = sweep.last().expect("sweep non-empty").1.avg_energy;
+        let ref_drc = sweep
+            .last()
+            .expect("sweep non-empty")
+            .1
+            .avg_reconfig_cost
+            .max(1e-12);
+        for (p_rc, r) in &sweep {
+            table.row([
+                n.to_string(),
+                format!("{p_rc:.1}"),
+                f3(r.avg_energy / ref_energy),
+                f3(r.avg_reconfig_cost / ref_drc),
+            ]);
+        }
+        eprintln!("  done n = {n}");
+    }
+    table.emit("fig7");
+    println!(
+        "\nPaper shape: energy is lowest (relative 1.0) and adaptation cost maximal at \
+         p_RC = 1; lowering p_RC trades a small energy increase for a large dRC drop, \
+         with the dRC curve saturating (only a few non-dominant points drive the savings)."
+    );
+}

@@ -1,0 +1,46 @@
+//! Characterises the synthetic workloads the evaluation sweeps: structural
+//! metrics of the TGFF-style layered graphs (the paper's generator) and of
+//! the fork-join alternative, across 10–100 tasks.
+
+use clr_core::taskgraph::{fork_join_graph, graph_metrics, TgffConfig, TgffGenerator};
+use clr_experiments::report::{f1, Table};
+use clr_experiments::Env;
+
+fn main() {
+    let env = Env::from_env();
+    println!("# Workload characterisation");
+    let mut table = Table::new(
+        "Structural metrics of the generated applications",
+        &[
+            "tasks",
+            "style",
+            "edges",
+            "depth",
+            "width",
+            "parallelism",
+            "ccr",
+            "impls/task",
+            "accel_frac",
+        ],
+    );
+    for &n in &env.task_counts {
+        let cfg = TgffConfig::with_tasks(n);
+        let layered = TgffGenerator::new(cfg.clone()).generate(env.seed ^ (n as u64) << 8);
+        let fj = fork_join_graph(&cfg, env.seed ^ (n as u64) << 8);
+        for (style, g) in [("layered", &layered), ("fork-join", &fj)] {
+            let m = graph_metrics(g);
+            table.row([
+                n.to_string(),
+                style.to_string(),
+                m.edges.to_string(),
+                m.depth.to_string(),
+                m.width.to_string(),
+                f1(m.parallelism),
+                f1(m.ccr),
+                f1(m.mean_impls_per_task),
+                f1(m.accelerated_fraction),
+            ]);
+        }
+    }
+    table.emit("workloads");
+}

@@ -1,0 +1,187 @@
+//! Bounded non-dominated archive.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dominance::{crowding_distances, dominates};
+
+/// An archive keeping mutually non-dominated `(solution, objectives)`
+/// pairs, optionally bounded by crowding-based pruning.
+///
+/// # Examples
+///
+/// ```
+/// use clr_moea::ParetoArchive;
+/// let mut a = ParetoArchive::unbounded();
+/// assert!(a.insert("x", vec![1.0, 2.0]));
+/// assert!(!a.insert("y", vec![2.0, 3.0])); // dominated
+/// assert!(a.insert("z", vec![0.5, 2.5])); // trade-off
+/// assert_eq!(a.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParetoArchive<S> {
+    entries: Vec<(S, Vec<f64>)>,
+    capacity: Option<usize>,
+}
+
+impl<S: Clone> ParetoArchive<S> {
+    /// An archive with no size bound.
+    pub fn unbounded() -> Self {
+        Self {
+            entries: Vec::new(),
+            capacity: None,
+        }
+    }
+
+    /// An archive pruned to `capacity` entries by crowding distance
+    /// (most-crowded entries are dropped first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn bounded(capacity: usize) -> Self {
+        assert!(capacity > 0, "archive capacity must be positive");
+        Self {
+            entries: Vec::new(),
+            capacity: Some(capacity),
+        }
+    }
+
+    /// Attempts to insert a candidate. Returns `true` if the candidate was
+    /// admitted (it is not dominated by, nor identical in objectives to,
+    /// any current entry); dominated incumbents are evicted.
+    pub fn insert(&mut self, solution: S, objectives: Vec<f64>) -> bool {
+        for (_, existing) in &self.entries {
+            if dominates(existing, &objectives) || *existing == objectives {
+                return false;
+            }
+        }
+        self.entries
+            .retain(|(_, existing)| !dominates(&objectives, existing));
+        self.entries.push((solution, objectives));
+        if let Some(cap) = self.capacity {
+            while self.entries.len() > cap {
+                self.prune_most_crowded();
+            }
+        }
+        true
+    }
+
+    fn prune_most_crowded(&mut self) {
+        let objs: Vec<Vec<f64>> = self.entries.iter().map(|(_, o)| o.clone()).collect();
+        let dist = crowding_distances(&objs);
+        let (victim, _) = dist
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("crowding is not NaN"))
+            .expect("archive is non-empty when pruning");
+        self.entries.swap_remove(victim);
+    }
+
+    /// The archived entries.
+    pub fn entries(&self) -> &[(S, Vec<f64>)] {
+        &self.entries
+    }
+
+    /// The archived objective vectors.
+    pub fn objectives(&self) -> Vec<Vec<f64>> {
+        self.entries.iter().map(|(_, o)| o.clone()).collect()
+    }
+
+    /// Number of archived entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if the archive holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over the archived entries.
+    pub fn iter(&self) -> std::slice::Iter<'_, (S, Vec<f64>)> {
+        self.entries.iter()
+    }
+
+    /// Consumes the archive into its entries.
+    pub fn into_entries(self) -> Vec<(S, Vec<f64>)> {
+        self.entries
+    }
+}
+
+impl<'a, S: Clone> IntoIterator for &'a ParetoArchive<S> {
+    type Item = &'a (S, Vec<f64>);
+    type IntoIter = std::slice::Iter<'a, (S, Vec<f64>)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dominating_insert_evicts_incumbents() {
+        let mut a = ParetoArchive::unbounded();
+        a.insert(1, vec![3.0, 3.0]);
+        a.insert(2, vec![4.0, 2.0]);
+        assert!(a.insert(3, vec![1.0, 1.0]));
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.entries()[0].0, 3);
+    }
+
+    #[test]
+    fn duplicate_objectives_are_rejected() {
+        let mut a = ParetoArchive::unbounded();
+        assert!(a.insert(1, vec![1.0, 2.0]));
+        assert!(!a.insert(2, vec![1.0, 2.0]));
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn bounded_archive_respects_capacity() {
+        let mut a = ParetoArchive::bounded(3);
+        // Insert 6 mutually non-dominated points.
+        for i in 0..6 {
+            let x = i as f64;
+            a.insert(i, vec![x, 5.0 - x]);
+        }
+        assert_eq!(a.len(), 3);
+        // The extremes survive crowding pruning.
+        let objs = a.objectives();
+        assert!(objs.iter().any(|o| o[0] == 0.0));
+        assert!(objs.iter().any(|o| o[0] == 5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _: ParetoArchive<u8> = ParetoArchive::bounded(0);
+    }
+
+    proptest! {
+        #[test]
+        fn archive_is_always_mutually_non_dominated(
+            pts in proptest::collection::vec(proptest::collection::vec(0.0f64..10.0, 2), 1..40)
+        ) {
+            let mut a = ParetoArchive::unbounded();
+            for (i, p) in pts.iter().enumerate() {
+                a.insert(i, p.clone());
+            }
+            let objs = a.objectives();
+            for (i, x) in objs.iter().enumerate() {
+                for (j, y) in objs.iter().enumerate() {
+                    if i != j {
+                        prop_assert!(!dominates(x, y), "{x:?} dominates {y:?}");
+                    }
+                }
+            }
+            // Every input point is dominated-or-equal by some archive entry.
+            for p in &pts {
+                prop_assert!(objs.iter().any(|o| o == p || dominates(o, p)));
+            }
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Pareto dominance, fast non-dominated sorting and crowding distance
+//! (Deb et al., NSGA-II).
+
+/// `true` if `a` Pareto-dominates `b` under minimisation: `a` is no worse
+/// in every objective and strictly better in at least one.
+///
+/// # Panics
+///
+/// Panics if the objective vectors have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use clr_moea::dominates;
+/// assert!(dominates(&[1.0, 2.0], &[2.0, 2.0]));
+/// assert!(!dominates(&[1.0, 3.0], &[2.0, 2.0])); // incomparable
+/// assert!(!dominates(&[1.0, 2.0], &[1.0, 2.0])); // equal
+/// ```
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    assert_eq!(a.len(), b.len(), "objective vectors must have equal length");
+    let mut strictly_better = false;
+    for (x, y) in a.iter().zip(b) {
+        if x > y {
+            return false;
+        }
+        if x < y {
+            strictly_better = true;
+        }
+    }
+    strictly_better
+}
+
+/// Fast non-dominated sort: partitions indices `0..points.len()` into
+/// Pareto fronts; `result[0]` is the non-dominated front.
+///
+/// # Examples
+///
+/// ```
+/// use clr_moea::non_dominated_sort;
+/// let pts = vec![vec![1.0, 1.0], vec![2.0, 2.0], vec![0.5, 3.0]];
+/// let fronts = non_dominated_sort(&pts);
+/// assert_eq!(fronts[0], vec![0, 2]); // point 1 is dominated by point 0
+/// ```
+pub fn non_dominated_sort(points: &[Vec<f64>]) -> Vec<Vec<usize>> {
+    let n = points.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut dominated_by: Vec<Vec<usize>> = vec![Vec::new(); n]; // i dominates these
+    let mut dom_count = vec![0usize; n]; // how many dominate i
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if dominates(&points[i], &points[j]) {
+                dominated_by[i].push(j);
+                dom_count[j] += 1;
+            } else if dominates(&points[j], &points[i]) {
+                dominated_by[j].push(i);
+                dom_count[i] += 1;
+            }
+        }
+    }
+    let mut fronts: Vec<Vec<usize>> = Vec::new();
+    let mut current: Vec<usize> = (0..n).filter(|&i| dom_count[i] == 0).collect();
+    while !current.is_empty() {
+        let mut next = Vec::new();
+        for &i in &current {
+            for &j in &dominated_by[i] {
+                dom_count[j] -= 1;
+                if dom_count[j] == 0 {
+                    next.push(j);
+                }
+            }
+        }
+        fronts.push(std::mem::replace(&mut current, next));
+    }
+    fronts
+}
+
+/// Crowding distances of the given points (larger = more isolated;
+/// boundary points get `f64::INFINITY`). Used to preserve diversity when
+/// truncating a front.
+///
+/// # Examples
+///
+/// ```
+/// use clr_moea::crowding_distances;
+/// let pts = vec![vec![0.0, 3.0], vec![1.0, 2.0], vec![3.0, 0.0]];
+/// let d = crowding_distances(&pts);
+/// assert!(d[0].is_infinite() && d[2].is_infinite());
+/// assert!(d[1].is_finite());
+/// ```
+pub fn crowding_distances(points: &[Vec<f64>]) -> Vec<f64> {
+    let n = points.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let m = points[0].len();
+    let mut dist = vec![0.0f64; n];
+    if n <= 2 {
+        return vec![f64::INFINITY; n];
+    }
+    for obj in 0..m {
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.sort_by(|&a, &b| {
+            points[a][obj]
+                .partial_cmp(&points[b][obj])
+                .expect("objectives must not be NaN")
+        });
+        let lo = points[idx[0]][obj];
+        let hi = points[idx[n - 1]][obj];
+        dist[idx[0]] = f64::INFINITY;
+        dist[idx[n - 1]] = f64::INFINITY;
+        let range = hi - lo;
+        if range <= 0.0 {
+            continue;
+        }
+        for w in 1..n - 1 {
+            let spread = points[idx[w + 1]][obj] - points[idx[w - 1]][obj];
+            dist[idx[w]] += spread / range;
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dominance_is_irreflexive() {
+        let p = vec![1.0, 2.0, 3.0];
+        assert!(!dominates(&p, &p));
+    }
+
+    #[test]
+    fn dominance_is_asymmetric() {
+        let a = [1.0, 1.0];
+        let b = [2.0, 2.0];
+        assert!(dominates(&a, &b));
+        assert!(!dominates(&b, &a));
+    }
+
+    #[test]
+    fn fronts_partition_all_points() {
+        let pts = vec![
+            vec![1.0, 5.0],
+            vec![2.0, 4.0],
+            vec![3.0, 3.0],
+            vec![4.0, 4.0],
+            vec![5.0, 5.0],
+        ];
+        let fronts = non_dominated_sort(&pts);
+        let total: usize = fronts.iter().map(Vec::len).sum();
+        assert_eq!(total, pts.len());
+        assert_eq!(fronts[0], vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_input_yields_no_fronts() {
+        assert!(non_dominated_sort(&[]).is_empty());
+        assert!(crowding_distances(&[]).is_empty());
+    }
+
+    #[test]
+    fn duplicate_points_share_a_front() {
+        let pts = vec![vec![1.0, 1.0], vec![1.0, 1.0]];
+        let fronts = non_dominated_sort(&pts);
+        assert_eq!(fronts.len(), 1);
+        assert_eq!(fronts[0].len(), 2);
+    }
+
+    #[test]
+    fn crowding_handles_degenerate_axis() {
+        // All points share objective 1; no NaNs may appear.
+        let pts = vec![vec![0.0, 1.0], vec![1.0, 1.0], vec![2.0, 1.0], vec![3.0, 1.0]];
+        let d = crowding_distances(&pts);
+        assert!(d.iter().all(|x| !x.is_nan()));
+    }
+
+    proptest! {
+        #[test]
+        fn dominance_is_transitive(
+            a in proptest::collection::vec(0.0f64..10.0, 3),
+            delta1 in proptest::collection::vec(0.0f64..5.0, 3),
+            delta2 in proptest::collection::vec(0.0f64..5.0, 3),
+        ) {
+            let b: Vec<f64> = a.iter().zip(&delta1).map(|(x, d)| x + d + 0.01).collect();
+            let c: Vec<f64> = b.iter().zip(&delta2).map(|(x, d)| x + d + 0.01).collect();
+            prop_assert!(dominates(&a, &b));
+            prop_assert!(dominates(&b, &c));
+            prop_assert!(dominates(&a, &c));
+        }
+
+        #[test]
+        fn first_front_is_mutually_non_dominated(
+            pts in proptest::collection::vec(proptest::collection::vec(0.0f64..10.0, 2), 1..30)
+        ) {
+            let fronts = non_dominated_sort(&pts);
+            let f0 = &fronts[0];
+            for &i in f0 {
+                for &j in f0 {
+                    prop_assert!(!dominates(&pts[i], &pts[j]) || i == j || pts[i] == pts[j]);
+                }
+            }
+            // Every non-first-front point is dominated by someone.
+            for front in fronts.iter().skip(1) {
+                for &i in front {
+                    prop_assert!(pts.iter().any(|p| dominates(p, &pts[i])));
+                }
+            }
+        }
+    }
+}

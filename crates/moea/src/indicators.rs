@@ -1,0 +1,160 @@
+//! Front-quality indicators beyond the hyper-volume: inverted
+//! generational distance (IGD) against a reference front, and Schott's
+//! spacing metric. Used by the ablation studies to compare GA engines.
+
+use crate::dominance::dominates;
+
+fn euclid(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Inverted generational distance: the mean distance from each point of
+/// the `reference` front to its nearest neighbour in `front` (lower is
+/// better; 0 means the front covers the reference).
+///
+/// Returns `None` when either set is empty.
+///
+/// # Examples
+///
+/// ```
+/// use clr_moea::igd;
+/// let reference = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+/// let exact = igd(&reference, &reference).unwrap();
+/// assert_eq!(exact, 0.0);
+/// let off = igd(&[vec![0.5, 1.5]], &reference).unwrap();
+/// assert!(off > 0.0);
+/// ```
+pub fn igd(front: &[Vec<f64>], reference: &[Vec<f64>]) -> Option<f64> {
+    if front.is_empty() || reference.is_empty() {
+        return None;
+    }
+    let total: f64 = reference
+        .iter()
+        .map(|r| {
+            front
+                .iter()
+                .map(|p| euclid(p, r))
+                .fold(f64::INFINITY, f64::min)
+        })
+        .sum();
+    Some(total / reference.len() as f64)
+}
+
+/// Schott's spacing metric: the standard deviation of nearest-neighbour
+/// distances within a front (lower = more evenly spread). Returns `None`
+/// for fronts with fewer than two points.
+///
+/// # Examples
+///
+/// ```
+/// use clr_moea::spacing;
+/// // Perfectly even staircase → spacing 0.
+/// let even = vec![vec![0.0, 2.0], vec![1.0, 1.0], vec![2.0, 0.0]];
+/// assert!(spacing(&even).unwrap() < 1e-12);
+/// ```
+pub fn spacing(front: &[Vec<f64>]) -> Option<f64> {
+    if front.len() < 2 {
+        return None;
+    }
+    let nn: Vec<f64> = front
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            front
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, q)| euclid(p, q))
+                .fold(f64::INFINITY, f64::min)
+        })
+        .collect();
+    let mean = nn.iter().sum::<f64>() / nn.len() as f64;
+    let var = nn.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / (nn.len() - 1) as f64;
+    Some(var.sqrt())
+}
+
+/// The coverage indicator `C(a, b)`: the fraction of `b` weakly dominated
+/// by some point of `a` (1 = `a` completely covers `b`). Returns `None`
+/// when `b` is empty.
+///
+/// # Examples
+///
+/// ```
+/// use clr_moea::coverage;
+/// let a = vec![vec![0.0, 0.0]];
+/// let b = vec![vec![1.0, 1.0], vec![-1.0, 2.0]];
+/// assert_eq!(coverage(&a, &b), Some(0.5));
+/// ```
+pub fn coverage(a: &[Vec<f64>], b: &[Vec<f64>]) -> Option<f64> {
+    if b.is_empty() {
+        return None;
+    }
+    let covered = b
+        .iter()
+        .filter(|q| a.iter().any(|p| p == *q || dominates(p, q)))
+        .count();
+    Some(covered as f64 / b.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn igd_empty_inputs() {
+        assert_eq!(igd(&[], &[vec![0.0]]), None);
+        assert_eq!(igd(&[vec![0.0]], &[]), None);
+    }
+
+    #[test]
+    fn igd_improves_with_closer_fronts() {
+        let reference = vec![vec![0.0, 1.0], vec![0.5, 0.5], vec![1.0, 0.0]];
+        let near = vec![vec![0.1, 1.0], vec![0.5, 0.6], vec![1.0, 0.1]];
+        let far = vec![vec![2.0, 2.0]];
+        assert!(igd(&near, &reference).unwrap() < igd(&far, &reference).unwrap());
+    }
+
+    #[test]
+    fn spacing_requires_two_points() {
+        assert_eq!(spacing(&[vec![1.0, 1.0]]), None);
+    }
+
+    #[test]
+    fn uneven_fronts_have_higher_spacing() {
+        let even = vec![vec![0.0, 3.0], vec![1.0, 2.0], vec![2.0, 1.0], vec![3.0, 0.0]];
+        let clumped = vec![vec![0.0, 3.0], vec![0.1, 2.9], vec![0.2, 2.8], vec![3.0, 0.0]];
+        assert!(spacing(&clumped).unwrap() > spacing(&even).unwrap());
+    }
+
+    #[test]
+    fn coverage_of_self_is_total() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 1.0]];
+        assert_eq!(coverage(&a, &a), Some(1.0));
+        assert_eq!(coverage(&a, &[]), None);
+    }
+
+    proptest! {
+        #[test]
+        fn igd_is_nonnegative_and_zero_on_self(
+            pts in proptest::collection::vec(proptest::collection::vec(0.0f64..10.0, 2), 1..20)
+        ) {
+            let v = igd(&pts, &pts).unwrap();
+            prop_assert!(v.abs() < 1e-12);
+        }
+
+        #[test]
+        fn coverage_is_a_fraction(
+            a in proptest::collection::vec(proptest::collection::vec(0.0f64..10.0, 2), 1..10),
+            b in proptest::collection::vec(proptest::collection::vec(0.0f64..10.0, 2), 1..10),
+        ) {
+            let c = coverage(&a, &b).unwrap();
+            prop_assert!((0.0..=1.0).contains(&c));
+        }
+    }
+}

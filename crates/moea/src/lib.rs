@@ -1,0 +1,73 @@
+//! Generic multi-objective evolutionary optimisation engine.
+//!
+//! The paper's design-time exploration (§4.2) runs genetic algorithms from
+//! the DEAP and PYGMO packages; this crate is a from-scratch replacement
+//! providing exactly what the methodology needs:
+//!
+//! - Pareto [`dominance`](dominates) and fast non-dominated sorting with
+//!   crowding distances ([`non_dominated_sort`], [`crowding_distances`]),
+//! - exact [`hypervolume`] in any dimension plus the *signed*
+//!   single-point hyper-volume fitness of Fig. 4a
+//!   ([`signed_hypervolume_fitness`]): feasible points earn the volume they
+//!   dominate w.r.t. the reference point, infeasible points are penalised
+//!   by the violation box,
+//! - [`Nsga2`] — the standard constraint-dominated NSGA-II,
+//! - [`HvGa`] — a hyper-volume-fitness GA maximising `V(p_i)` of Eq. (5),
+//! - a non-dominated [`ParetoArchive`].
+//!
+//! All objectives are **minimised**; callers negate maximisation goals.
+//! GA parameters default to the paper's setup: crossover 0.7, mutation
+//! 0.03, tournament selection with 5 individuals.
+//!
+//! # Examples
+//!
+//! ```
+//! use clr_moea::{GaParams, Nsga2, Problem, Evaluation};
+//! use rand::Rng;
+//!
+//! /// Schaffer's bi-objective problem: min (x², (x−2)²).
+//! struct Schaffer;
+//! impl Problem for Schaffer {
+//!     type Solution = f64;
+//!     fn random_solution(&self, rng: &mut dyn rand::RngCore) -> f64 {
+//!         rng.gen_range(-10.0..10.0)
+//!     }
+//!     fn evaluate(&self, x: &f64) -> Evaluation {
+//!         Evaluation::feasible(vec![x * x, (x - 2.0) * (x - 2.0)])
+//!     }
+//!     fn crossover(&self, a: &f64, b: &f64, _rng: &mut dyn rand::RngCore) -> f64 {
+//!         (a + b) / 2.0
+//!     }
+//!     fn mutate(&self, x: &mut f64, rng: &mut dyn rand::RngCore) {
+//!         *x += rng.gen_range(-0.5..0.5);
+//!     }
+//! }
+//!
+//! let params = GaParams { population: 40, generations: 30, ..GaParams::default() };
+//! let front = Nsga2::new(Schaffer, params).run(7);
+//! assert!(!front.is_empty());
+//! // The Pareto set is x ∈ [0, 2].
+//! assert!(front.iter().all(|ind| (-0.5..2.5).contains(&ind.solution)));
+//! ```
+
+mod archive;
+mod dominance;
+mod hvga;
+mod hypervolume;
+mod indicators;
+mod local_search;
+mod nsga2;
+mod params;
+mod spea2;
+mod problem;
+
+pub use archive::ParetoArchive;
+pub use dominance::{crowding_distances, dominates, non_dominated_sort};
+pub use hvga::HvGa;
+pub use hypervolume::{hypervolume, signed_hypervolume_fitness};
+pub use indicators::{coverage, igd, spacing};
+pub use local_search::LocalSearch;
+pub use nsga2::{Individual, Nsga2};
+pub use params::GaParams;
+pub use spea2::Spea2;
+pub use problem::{Evaluation, Problem};

@@ -1,0 +1,67 @@
+//! GA hyper-parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of the evolutionary loops.
+///
+/// Defaults match the paper's experimental setup (§5.1): crossover
+/// probability 0.7, mutation probability 0.03, tournament selection with
+/// 5 individuals.
+///
+/// # Examples
+///
+/// ```
+/// use clr_moea::GaParams;
+/// let p = GaParams::default();
+/// assert_eq!(p.crossover_prob, 0.7);
+/// assert_eq!(p.mutation_prob, 0.03);
+/// assert_eq!(p.tournament, 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GaParams {
+    /// Population size.
+    pub population: usize,
+    /// Number of generations to evolve.
+    pub generations: usize,
+    /// Probability of applying crossover to a mating pair.
+    pub crossover_prob: f64,
+    /// Per-offspring probability of mutation (the problem's `mutate`
+    /// decides the per-gene behaviour).
+    pub mutation_prob: f64,
+    /// Tournament size for parent selection.
+    pub tournament: usize,
+}
+
+impl Default for GaParams {
+    fn default() -> Self {
+        Self {
+            population: 100,
+            generations: 60,
+            crossover_prob: 0.7,
+            mutation_prob: 0.03,
+            tournament: 5,
+        }
+    }
+}
+
+impl GaParams {
+    /// A small, fast configuration for tests and smoke benches.
+    pub fn small() -> Self {
+        Self {
+            population: 24,
+            generations: 12,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_is_smaller() {
+        assert!(GaParams::small().population < GaParams::default().population);
+        assert_eq!(GaParams::small().crossover_prob, 0.7);
+    }
+}

@@ -1,0 +1,80 @@
+//! The optimisation-problem abstraction.
+
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+/// The result of evaluating one candidate solution: objective values (all
+/// minimised) and an aggregate constraint violation (`0` = feasible).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// Objective values, all to be minimised.
+    pub objectives: Vec<f64>,
+    /// Aggregate constraint violation; `0.0` means feasible, larger is
+    /// worse. Constraint-dominated comparisons use this before objectives.
+    pub violation: f64,
+}
+
+impl Evaluation {
+    /// A feasible evaluation.
+    pub fn feasible(objectives: Vec<f64>) -> Self {
+        Self {
+            objectives,
+            violation: 0.0,
+        }
+    }
+
+    /// An evaluation with the given violation.
+    pub fn with_violation(objectives: Vec<f64>, violation: f64) -> Self {
+        Self {
+            objectives,
+            violation: violation.max(0.0),
+        }
+    }
+
+    /// `true` if no constraint is violated.
+    pub fn is_feasible(&self) -> bool {
+        self.violation <= 0.0
+    }
+}
+
+/// A multi-objective optimisation problem over solutions of type
+/// [`Problem::Solution`].
+///
+/// The engine owns the evolutionary loop; the problem supplies the
+/// domain-specific pieces — random initialisation, evaluation and the
+/// variation operators. Operators take `dyn RngCore` so problems stay
+/// object-safe and the engine controls seeding.
+pub trait Problem {
+    /// The genotype being evolved.
+    type Solution: Clone;
+
+    /// Samples a random valid solution.
+    fn random_solution(&self, rng: &mut dyn RngCore) -> Self::Solution;
+
+    /// Evaluates a solution into objectives + constraint violation.
+    fn evaluate(&self, solution: &Self::Solution) -> Evaluation;
+
+    /// Recombines two parents into an offspring.
+    fn crossover(
+        &self,
+        a: &Self::Solution,
+        b: &Self::Solution,
+        rng: &mut dyn RngCore,
+    ) -> Self::Solution;
+
+    /// Mutates a solution in place.
+    fn mutate(&self, solution: &mut Self::Solution, rng: &mut dyn RngCore);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feasibility_flags() {
+        assert!(Evaluation::feasible(vec![1.0]).is_feasible());
+        assert!(!Evaluation::with_violation(vec![1.0], 0.5).is_feasible());
+        // Negative violations are clamped to zero.
+        assert!(Evaluation::with_violation(vec![1.0], -3.0).is_feasible());
+    }
+}

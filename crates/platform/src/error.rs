@@ -1,0 +1,55 @@
+//! Error type for platform construction and lookup.
+
+use std::fmt;
+
+/// Error produced while building or querying a [`crate::Platform`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlatformError {
+    /// A PE references a type index that was never registered.
+    UnknownPeType {
+        /// Index of the offending PE.
+        pe: usize,
+        /// The dangling type index.
+        type_id: usize,
+    },
+    /// The platform has no processing elements.
+    NoPes,
+    /// The platform has no PE types registered.
+    NoPeTypes,
+    /// A numeric parameter was out of its valid domain.
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// Human-readable constraint that was violated.
+        constraint: &'static str,
+    },
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::UnknownPeType { pe, type_id } => {
+                write!(f, "pe {pe} references unknown pe type {type_id}")
+            }
+            PlatformError::NoPes => write!(f, "platform must contain at least one pe"),
+            PlatformError::NoPeTypes => write!(f, "platform must register at least one pe type"),
+            PlatformError::InvalidParameter { name, constraint } => {
+                write!(f, "invalid parameter {name}: must satisfy {constraint}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_concise() {
+        let e = PlatformError::UnknownPeType { pe: 3, type_id: 9 };
+        assert_eq!(e.to_string(), "pe 3 references unknown pe type 9");
+        assert!(PlatformError::NoPes.to_string().starts_with("platform"));
+    }
+}

@@ -1,0 +1,151 @@
+//! On-chip interconnect cost model.
+//!
+//! Reconfiguration (copying task binaries between PEs' local memories, §3.5)
+//! and inter-task communication both traverse the interconnect; this model
+//! prices a transfer in time and energy as an affine function of its size.
+
+use serde::{Deserialize, Serialize};
+
+use crate::PlatformError;
+
+/// Affine time/energy model of the on-chip interconnect.
+///
+/// A transfer of `s` KiB costs `base_latency + s / bandwidth` time units and
+/// `s × energy_per_kib` millijoule-scale energy units.
+///
+/// # Examples
+///
+/// ```
+/// use clr_platform::Interconnect;
+/// let ic = Interconnect::new(4.0, 2.0, 0.01).unwrap();
+/// assert!((ic.transfer_time(8.0) - (2.0 + 8.0 / 4.0)).abs() < 1e-12);
+/// assert!((ic.transfer_energy(8.0) - 0.08).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Interconnect {
+    /// Bandwidth in KiB per abstract time unit.
+    bandwidth_kib: f64,
+    /// Fixed per-transfer latency in abstract time units.
+    base_latency: f64,
+    /// Energy per KiB transferred.
+    energy_per_kib: f64,
+}
+
+impl Interconnect {
+    /// Creates an interconnect model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::InvalidParameter`] unless `bandwidth > 0`
+    /// and the latency / energy coefficients are non-negative and finite.
+    pub fn new(
+        bandwidth_kib: f64,
+        base_latency: f64,
+        energy_per_kib: f64,
+    ) -> Result<Self, PlatformError> {
+        if !(bandwidth_kib > 0.0 && bandwidth_kib.is_finite()) {
+            return Err(PlatformError::InvalidParameter {
+                name: "bandwidth_kib",
+                constraint: "bandwidth_kib > 0",
+            });
+        }
+        if !(base_latency >= 0.0 && base_latency.is_finite()) {
+            return Err(PlatformError::InvalidParameter {
+                name: "base_latency",
+                constraint: "base_latency >= 0",
+            });
+        }
+        if !(energy_per_kib >= 0.0 && energy_per_kib.is_finite()) {
+            return Err(PlatformError::InvalidParameter {
+                name: "energy_per_kib",
+                constraint: "energy_per_kib >= 0",
+            });
+        }
+        Ok(Self {
+            bandwidth_kib,
+            base_latency,
+            energy_per_kib,
+        })
+    }
+
+    /// Bandwidth in KiB per time unit.
+    pub fn bandwidth_kib(&self) -> f64 {
+        self.bandwidth_kib
+    }
+
+    /// Fixed per-transfer latency.
+    pub fn base_latency(&self) -> f64 {
+        self.base_latency
+    }
+
+    /// Energy per KiB transferred.
+    pub fn energy_per_kib(&self) -> f64 {
+        self.energy_per_kib
+    }
+
+    /// Time to move `size_kib` KiB across the interconnect.
+    pub fn transfer_time(&self, size_kib: f64) -> f64 {
+        if size_kib <= 0.0 {
+            return 0.0;
+        }
+        self.base_latency + size_kib / self.bandwidth_kib
+    }
+
+    /// Energy to move `size_kib` KiB across the interconnect.
+    pub fn transfer_energy(&self, size_kib: f64) -> f64 {
+        if size_kib <= 0.0 {
+            return 0.0;
+        }
+        size_kib * self.energy_per_kib
+    }
+}
+
+impl Default for Interconnect {
+    /// A neutral interconnect: 8 KiB / time-unit bandwidth, 1 time-unit
+    /// setup latency, 0.02 energy units per KiB.
+    fn default() -> Self {
+        Self {
+            bandwidth_kib: 8.0,
+            base_latency: 1.0,
+            energy_per_kib: 0.02,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        assert!(Interconnect::new(0.0, 0.0, 0.0).is_err());
+        assert!(Interconnect::new(1.0, -1.0, 0.0).is_err());
+        assert!(Interconnect::new(1.0, 0.0, -0.5).is_err());
+        assert!(Interconnect::new(1.0, 0.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn zero_size_transfers_are_free() {
+        let ic = Interconnect::default();
+        assert_eq!(ic.transfer_time(0.0), 0.0);
+        assert_eq!(ic.transfer_energy(0.0), 0.0);
+        assert_eq!(ic.transfer_time(-3.0), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn transfer_costs_are_monotone_in_size(
+            bw in 0.1f64..100.0,
+            lat in 0.0f64..10.0,
+            e in 0.0f64..1.0,
+            s1 in 0.001f64..1e4,
+            s2 in 0.001f64..1e4,
+        ) {
+            let ic = Interconnect::new(bw, lat, e).unwrap();
+            let (lo, hi) = if s1 < s2 { (s1, s2) } else { (s2, s1) };
+            prop_assert!(ic.transfer_time(lo) <= ic.transfer_time(hi));
+            prop_assert!(ic.transfer_energy(lo) <= ic.transfer_energy(hi));
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Heterogeneous MPSoC architecture model (paper §3.1, Fig. 2a).
+//!
+//! The DAC'19 evaluation platform is an HMPSoC with a distributed shared
+//! memory architecture and centralised control of task-remapping: `P`
+//! processing elements (PEs) of a small number of *types* — where a type
+//! bundles the processor kind, the aging-related fault profile (Weibull
+//! shape `β`) and the soft-error masking factor (an AVF-style factor,
+//! paper ref.\ 9) — plus a reconfigurable-logic region divided into
+//! partially reconfigurable regions (PRRs) that can host task accelerators,
+//! all connected by an on-chip interconnect.
+//!
+//! The concrete evaluation platform (5 PEs of 3 types + 3 PRRs) is available
+//! as [`Platform::dac19`].
+//!
+//! # Examples
+//!
+//! ```
+//! use clr_platform::Platform;
+//!
+//! let platform = Platform::dac19();
+//! assert_eq!(platform.num_pes(), 5);
+//! assert_eq!(platform.num_prrs(), 3);
+//! for pe in platform.pes() {
+//!     let ty = platform.pe_type(pe.type_id());
+//!     assert!(ty.masking_factor() > 0.0 && ty.masking_factor() <= 1.0);
+//! }
+//! ```
+
+mod error;
+mod interconnect;
+mod pe;
+mod platform;
+mod presets;
+mod prr;
+
+pub use error::PlatformError;
+pub use interconnect::Interconnect;
+pub use pe::{Pe, PeId, PeKind, PeType, PeTypeId};
+pub use platform::{Platform, PlatformBuilder};
+pub use prr::{Prr, PrrId};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dac19_preset_matches_paper_setup() {
+        let p = Platform::dac19();
+        assert_eq!(p.num_pes(), 5);
+        assert_eq!(p.num_prrs(), 3);
+        // "3 different types that vary in masking factor"
+        let mut maskings: Vec<f64> = p
+            .pe_types()
+            .iter()
+            .map(|t| t.masking_factor())
+            .collect();
+        maskings.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        maskings.dedup();
+        assert_eq!(maskings.len(), 3);
+    }
+}

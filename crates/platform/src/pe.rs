@@ -1,0 +1,326 @@
+//! Processing elements and their types.
+//!
+//! Paper §3.1: each PE is characterised by `(ID_p, PEType_p)` where the type
+//! captures (1) the kind of processor (general-purpose core vs. accelerator
+//! on reconfigurable logic), (2) the aging-related fault profile (`β_p`) and
+//! (3) the soft-error masking factor (AVF-style, Mukherjee et al.\ 2003).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::PlatformError;
+
+/// Index of a processing element within a [`crate::Platform`].
+///
+/// # Examples
+///
+/// ```
+/// use clr_platform::PeId;
+/// let id = PeId::new(2);
+/// assert_eq!(id.index(), 2);
+/// assert_eq!(id.to_string(), "PE2");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct PeId(usize);
+
+impl PeId {
+    /// Creates a PE index.
+    pub fn new(index: usize) -> Self {
+        Self(index)
+    }
+
+    /// The underlying index.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for PeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PE{}", self.0)
+    }
+}
+
+impl From<usize> for PeId {
+    fn from(index: usize) -> Self {
+        Self(index)
+    }
+}
+
+/// Index of a PE *type* within a [`crate::Platform`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct PeTypeId(usize);
+
+impl PeTypeId {
+    /// Creates a PE-type index.
+    pub fn new(index: usize) -> Self {
+        Self(index)
+    }
+
+    /// The underlying index.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for PeTypeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl From<usize> for PeTypeId {
+    fn from(index: usize) -> Self {
+        Self(index)
+    }
+}
+
+/// The broad kind of a processing element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PeKind {
+    /// A general-purpose embedded processor core.
+    GeneralPurpose,
+    /// An accelerator slot realised on reconfigurable logic; tasks mapped
+    /// here occupy a partially reconfigurable region and changing the hosted
+    /// accelerator requires a bit-stream reload.
+    ReconfigurableFabric,
+}
+
+impl fmt::Display for PeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PeKind::GeneralPurpose => write!(f, "gpp"),
+            PeKind::ReconfigurableFabric => write!(f, "fabric"),
+        }
+    }
+}
+
+/// A PE type: the heterogeneity descriptor shared by all PEs of that type.
+///
+/// # Examples
+///
+/// ```
+/// use clr_platform::{PeKind, PeType};
+///
+/// let t = PeType::new("big-core", PeKind::GeneralPurpose)
+///     .with_masking_factor(0.4).unwrap()
+///     .with_aging_beta(2.0).unwrap()
+///     .with_speed_factor(1.5).unwrap()
+///     .with_power(120.0, 20.0).unwrap();
+/// assert_eq!(t.name(), "big-core");
+/// assert!(t.speed_factor() > 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PeType {
+    name: String,
+    kind: PeKind,
+    /// Soft-error masking factor in `(0, 1]`: the fraction of raw SEUs that
+    /// become architecturally visible on this PE (an AVF-style derating).
+    /// Lower is more robust.
+    masking_factor: f64,
+    /// Weibull shape parameter `β` of the aging-related fault profile.
+    aging_beta: f64,
+    /// Relative execution speed: a task's nominal execution time is divided
+    /// by this factor when run on this type.
+    speed_factor: f64,
+    /// Active (dynamic) power draw in milliwatts while executing a task.
+    active_power_mw: f64,
+    /// Idle (static) power draw in milliwatts.
+    idle_power_mw: f64,
+}
+
+impl PeType {
+    /// Creates a PE type with neutral defaults (masking 1.0, β 1.0, speed
+    /// 1.0, 100 mW active / 10 mW idle). Adjust via the `with_*` builders.
+    pub fn new(name: impl Into<String>, kind: PeKind) -> Self {
+        Self {
+            name: name.into(),
+            kind,
+            masking_factor: 1.0,
+            aging_beta: 1.0,
+            speed_factor: 1.0,
+            active_power_mw: 100.0,
+            idle_power_mw: 10.0,
+        }
+    }
+
+    /// Sets the soft-error masking factor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::InvalidParameter`] unless `0 < m <= 1`.
+    pub fn with_masking_factor(mut self, m: f64) -> Result<Self, PlatformError> {
+        if !(m > 0.0 && m <= 1.0) {
+            return Err(PlatformError::InvalidParameter {
+                name: "masking_factor",
+                constraint: "0 < masking_factor <= 1",
+            });
+        }
+        self.masking_factor = m;
+        Ok(self)
+    }
+
+    /// Sets the Weibull aging shape parameter `β`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::InvalidParameter`] unless `β > 0`.
+    pub fn with_aging_beta(mut self, beta: f64) -> Result<Self, PlatformError> {
+        if !(beta > 0.0 && beta.is_finite()) {
+            return Err(PlatformError::InvalidParameter {
+                name: "aging_beta",
+                constraint: "aging_beta > 0",
+            });
+        }
+        self.aging_beta = beta;
+        Ok(self)
+    }
+
+    /// Sets the relative speed factor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::InvalidParameter`] unless `s > 0`.
+    pub fn with_speed_factor(mut self, s: f64) -> Result<Self, PlatformError> {
+        if !(s > 0.0 && s.is_finite()) {
+            return Err(PlatformError::InvalidParameter {
+                name: "speed_factor",
+                constraint: "speed_factor > 0",
+            });
+        }
+        self.speed_factor = s;
+        Ok(self)
+    }
+
+    /// Sets the active and idle power draws in milliwatts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::InvalidParameter`] unless
+    /// `active >= idle >= 0`.
+    pub fn with_power(mut self, active_mw: f64, idle_mw: f64) -> Result<Self, PlatformError> {
+        if !(idle_mw >= 0.0 && active_mw >= idle_mw && active_mw.is_finite()) {
+            return Err(PlatformError::InvalidParameter {
+                name: "power",
+                constraint: "active_mw >= idle_mw >= 0",
+            });
+        }
+        self.active_power_mw = active_mw;
+        self.idle_power_mw = idle_mw;
+        Ok(self)
+    }
+
+    /// Type name (informational).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The broad processor kind.
+    pub fn kind(&self) -> PeKind {
+        self.kind
+    }
+
+    /// Soft-error masking factor in `(0, 1]` (lower masks more faults).
+    pub fn masking_factor(&self) -> f64 {
+        self.masking_factor
+    }
+
+    /// Weibull shape parameter `β` of the aging fault profile.
+    pub fn aging_beta(&self) -> f64 {
+        self.aging_beta
+    }
+
+    /// Relative execution speed factor.
+    pub fn speed_factor(&self) -> f64 {
+        self.speed_factor
+    }
+
+    /// Active power draw in milliwatts.
+    pub fn active_power_mw(&self) -> f64 {
+        self.active_power_mw
+    }
+
+    /// Idle power draw in milliwatts.
+    pub fn idle_power_mw(&self) -> f64 {
+        self.idle_power_mw
+    }
+}
+
+/// One processing element instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Pe {
+    id: PeId,
+    type_id: PeTypeId,
+    /// Local memory capacity in KiB available for resident task binaries.
+    local_memory_kib: u32,
+}
+
+impl Pe {
+    /// Creates a PE of the given type with the given local-memory capacity.
+    pub fn new(id: PeId, type_id: PeTypeId, local_memory_kib: u32) -> Self {
+        Self {
+            id,
+            type_id,
+            local_memory_kib,
+        }
+    }
+
+    /// This PE's index.
+    pub fn id(&self) -> PeId {
+        self.id
+    }
+
+    /// Index of this PE's type descriptor.
+    pub fn type_id(&self) -> PeTypeId {
+        self.type_id
+    }
+
+    /// Local memory capacity in KiB.
+    pub fn local_memory_kib(&self) -> u32 {
+        self.local_memory_kib
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pe_id_roundtrip_and_display() {
+        let id: PeId = 7.into();
+        assert_eq!(id.index(), 7);
+        assert_eq!(format!("{id}"), "PE7");
+        assert_eq!(PeTypeId::new(1).to_string(), "T1");
+    }
+
+    #[test]
+    fn pe_type_builder_validates() {
+        let base = PeType::new("t", PeKind::GeneralPurpose);
+        assert!(base.clone().with_masking_factor(0.0).is_err());
+        assert!(base.clone().with_masking_factor(1.1).is_err());
+        assert!(base.clone().with_aging_beta(-1.0).is_err());
+        assert!(base.clone().with_speed_factor(0.0).is_err());
+        assert!(base.clone().with_power(5.0, 10.0).is_err());
+        assert!(base.with_power(10.0, 5.0).is_ok());
+    }
+
+    #[test]
+    fn pe_type_defaults_are_neutral() {
+        let t = PeType::new("x", PeKind::ReconfigurableFabric);
+        assert_eq!(t.masking_factor(), 1.0);
+        assert_eq!(t.speed_factor(), 1.0);
+        assert_eq!(t.kind(), PeKind::ReconfigurableFabric);
+    }
+
+    #[test]
+    fn pe_accessors() {
+        let pe = Pe::new(PeId::new(1), PeTypeId::new(2), 256);
+        assert_eq!(pe.id().index(), 1);
+        assert_eq!(pe.type_id().index(), 2);
+        assert_eq!(pe.local_memory_kib(), 256);
+    }
+}

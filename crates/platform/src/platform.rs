@@ -1,0 +1,315 @@
+//! The HMPSoC platform aggregate and its builder.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Interconnect, Pe, PeId, PeType, PeTypeId, PlatformError, Prr, PrrId};
+
+/// A heterogeneous MPSoC platform: PE types, PE instances, PRRs and the
+/// interconnect (paper Fig. 2a).
+///
+/// Construct via [`PlatformBuilder`] or the [`Platform::dac19`] preset.
+///
+/// # Examples
+///
+/// ```
+/// use clr_platform::{Interconnect, PeKind, PeType, Platform};
+///
+/// let platform = Platform::builder()
+///     .pe_type(PeType::new("core", PeKind::GeneralPurpose))
+///     .pe(0.into(), 256)
+///     .pe(0.into(), 256)
+///     .interconnect(Interconnect::default())
+///     .build()?;
+/// assert_eq!(platform.num_pes(), 2);
+/// # Ok::<(), clr_platform::PlatformError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Platform {
+    pe_types: Vec<PeType>,
+    pes: Vec<Pe>,
+    prrs: Vec<Prr>,
+    interconnect: Interconnect,
+}
+
+impl Platform {
+    /// Starts building a platform.
+    pub fn builder() -> PlatformBuilder {
+        PlatformBuilder::default()
+    }
+
+    /// All registered PE types.
+    pub fn pe_types(&self) -> &[PeType] {
+        &self.pe_types
+    }
+
+    /// All PE instances, ordered by [`PeId`].
+    pub fn pes(&self) -> &[Pe] {
+        &self.pes
+    }
+
+    /// All partially reconfigurable regions.
+    pub fn prrs(&self) -> &[Prr] {
+        &self.prrs
+    }
+
+    /// The interconnect cost model.
+    pub fn interconnect(&self) -> &Interconnect {
+        &self.interconnect
+    }
+
+    /// Number of processing elements.
+    pub fn num_pes(&self) -> usize {
+        self.pes.len()
+    }
+
+    /// Number of PRRs.
+    pub fn num_prrs(&self) -> usize {
+        self.prrs.len()
+    }
+
+    /// Looks up a PE instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range (a mapping referencing a foreign
+    /// platform is a logic error, not a recoverable condition).
+    pub fn pe(&self, id: PeId) -> &Pe {
+        &self.pes[id.index()]
+    }
+
+    /// Looks up a PE type descriptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn pe_type(&self, id: PeTypeId) -> &PeType {
+        &self.pe_types[id.index()]
+    }
+
+    /// Looks up a PRR.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn prr(&self, id: PrrId) -> &Prr {
+        &self.prrs[id.index()]
+    }
+
+    /// The type descriptor of PE `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn type_of(&self, id: PeId) -> &PeType {
+        self.pe_type(self.pe(id).type_id())
+    }
+
+    /// Iterator over all PE ids.
+    pub fn pe_ids(&self) -> impl Iterator<Item = PeId> + '_ {
+        (0..self.pes.len()).map(PeId::new)
+    }
+
+    /// Returns a copy of this platform with PE `failed` removed and the
+    /// remaining PEs re-indexed — the *reduced resource availability*
+    /// instance of the paper's §4 (a permanent fault takes a PE offline;
+    /// the methodology re-runs its design-time exploration against the
+    /// degraded platform).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::NoPes`] if removing `failed` would leave
+    /// no PEs, or [`PlatformError::UnknownPeType`] (with the failed index)
+    /// if `failed` does not exist.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use clr_platform::{PeId, Platform};
+    /// let full = Platform::dac19();
+    /// let degraded = full.without_pe(PeId::new(2))?;
+    /// assert_eq!(degraded.num_pes(), full.num_pes() - 1);
+    /// # Ok::<(), clr_platform::PlatformError>(())
+    /// ```
+    pub fn without_pe(&self, failed: PeId) -> Result<Platform, PlatformError> {
+        if failed.index() >= self.pes.len() {
+            return Err(PlatformError::UnknownPeType {
+                pe: failed.index(),
+                type_id: usize::MAX,
+            });
+        }
+        if self.pes.len() == 1 {
+            return Err(PlatformError::NoPes);
+        }
+        let pes = self
+            .pes
+            .iter()
+            .filter(|pe| pe.id() != failed)
+            .enumerate()
+            .map(|(i, pe)| Pe::new(PeId::new(i), pe.type_id(), pe.local_memory_kib()))
+            .collect();
+        Ok(Platform {
+            pe_types: self.pe_types.clone(),
+            pes,
+            prrs: self.prrs.clone(),
+            interconnect: self.interconnect,
+        })
+    }
+}
+
+/// Builder for [`Platform`].
+#[derive(Debug, Clone, Default)]
+pub struct PlatformBuilder {
+    pe_types: Vec<PeType>,
+    pes: Vec<(PeTypeId, u32)>,
+    prrs: Vec<Prr>,
+    interconnect: Option<Interconnect>,
+}
+
+impl PlatformBuilder {
+    /// Registers a PE type and returns the builder (the type gets the next
+    /// sequential [`PeTypeId`]).
+    pub fn pe_type(mut self, ty: PeType) -> Self {
+        self.pe_types.push(ty);
+        self
+    }
+
+    /// Adds a PE instance of the given type with `local_memory_kib` KiB of
+    /// local binary storage.
+    pub fn pe(mut self, type_id: PeTypeId, local_memory_kib: u32) -> Self {
+        self.pes.push((type_id, local_memory_kib));
+        self
+    }
+
+    /// Adds `n` identical PE instances of the given type.
+    pub fn pes(mut self, n: usize, type_id: PeTypeId, local_memory_kib: u32) -> Self {
+        for _ in 0..n {
+            self.pes.push((type_id, local_memory_kib));
+        }
+        self
+    }
+
+    /// Adds a PRR with the given bit-stream size and per-KiB reload time
+    /// (the PRR gets the next sequential [`PrrId`]).
+    pub fn prr(mut self, bitstream_kib: u32, reload_time_per_kib: f64) -> Self {
+        let id = PrrId::new(self.prrs.len());
+        self.prrs.push(Prr::new(id, bitstream_kib, reload_time_per_kib));
+        self
+    }
+
+    /// Sets the interconnect model (defaults to [`Interconnect::default`]).
+    pub fn interconnect(mut self, ic: Interconnect) -> Self {
+        self.interconnect = Some(ic);
+        self
+    }
+
+    /// Finalises the platform.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError`] if no PE types / PEs were registered or a
+    /// PE references an unknown type.
+    pub fn build(self) -> Result<Platform, PlatformError> {
+        if self.pe_types.is_empty() {
+            return Err(PlatformError::NoPeTypes);
+        }
+        if self.pes.is_empty() {
+            return Err(PlatformError::NoPes);
+        }
+        let mut pes = Vec::with_capacity(self.pes.len());
+        for (i, (type_id, mem)) in self.pes.into_iter().enumerate() {
+            if type_id.index() >= self.pe_types.len() {
+                return Err(PlatformError::UnknownPeType {
+                    pe: i,
+                    type_id: type_id.index(),
+                });
+            }
+            pes.push(Pe::new(PeId::new(i), type_id, mem));
+        }
+        Ok(Platform {
+            pe_types: self.pe_types,
+            pes,
+            prrs: self.prrs,
+            interconnect: self.interconnect.unwrap_or_default(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PeKind;
+
+    fn simple_type() -> PeType {
+        PeType::new("t", PeKind::GeneralPurpose)
+    }
+
+    #[test]
+    fn builder_requires_types_and_pes() {
+        assert_eq!(
+            Platform::builder().build().unwrap_err(),
+            PlatformError::NoPeTypes
+        );
+        assert_eq!(
+            Platform::builder().pe_type(simple_type()).build().unwrap_err(),
+            PlatformError::NoPes
+        );
+    }
+
+    #[test]
+    fn builder_detects_dangling_type() {
+        let err = Platform::builder()
+            .pe_type(simple_type())
+            .pe(PeTypeId::new(3), 64)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, PlatformError::UnknownPeType { pe: 0, type_id: 3 });
+    }
+
+    #[test]
+    fn pes_get_sequential_ids() {
+        let p = Platform::builder()
+            .pe_type(simple_type())
+            .pes(4, PeTypeId::new(0), 128)
+            .build()
+            .unwrap();
+        for (i, pe) in p.pes().iter().enumerate() {
+            assert_eq!(pe.id().index(), i);
+        }
+        assert_eq!(p.pe_ids().count(), 4);
+    }
+
+    #[test]
+    fn type_of_resolves_through_instance() {
+        let p = Platform::builder()
+            .pe_type(simple_type())
+            .pe_type(PeType::new("u", PeKind::ReconfigurableFabric))
+            .pe(PeTypeId::new(1), 64)
+            .build()
+            .unwrap();
+        assert_eq!(p.type_of(PeId::new(0)).name(), "u");
+    }
+
+    #[test]
+    fn prrs_get_sequential_ids() {
+        let p = Platform::builder()
+            .pe_type(simple_type())
+            .pe(PeTypeId::new(0), 64)
+            .prr(100, 0.1)
+            .prr(200, 0.1)
+            .build()
+            .unwrap();
+        assert_eq!(p.prr(PrrId::new(1)).bitstream_kib(), 200);
+        assert_eq!(p.num_prrs(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn pe_lookup_out_of_range_panics() {
+        let p = Platform::builder()
+            .pe_type(simple_type())
+            .pe(PeTypeId::new(0), 64)
+            .build()
+            .unwrap();
+        let _ = p.pe(PeId::new(9));
+    }
+}

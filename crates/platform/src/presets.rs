@@ -1,0 +1,117 @@
+//! Ready-made platforms, including the paper's evaluation setup.
+
+use crate::{Interconnect, PeKind, PeType, PeTypeId, Platform};
+
+impl Platform {
+    /// The DAC'19 evaluation platform: an HMPSoC with **5 PEs of 3 types
+    /// that vary in masking factor**, plus **3 partially reconfigurable
+    /// regions** hosting task accelerators (paper §5.1).
+    ///
+    /// The three types model, in decreasing vulnerability:
+    ///
+    /// | type | kind | masking (AVF) | β | speed | power (act/idle mW) |
+    /// |------|------|---------------|-----|-------|---------------------|
+    /// | `lp-core`  | GPP    | 0.85 | 1.5 | 0.8 | 60 / 6   |
+    /// | `hp-core`  | GPP    | 0.55 | 2.0 | 1.4 | 140 / 14 |
+    /// | `hard-core`| GPP    | 0.30 | 2.5 | 1.0 | 110 / 11 |
+    ///
+    /// PE layout: 2 × `lp-core`, 2 × `hp-core`, 1 × `hard-core`; 2 MiB of
+    /// local binary memory each. The 3 PRRs carry 384/512/768 KiB partial
+    /// bit-streams at 0.02 time-units per KiB.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let p = clr_platform::Platform::dac19();
+    /// assert_eq!(p.num_pes(), 5);
+    /// assert_eq!(p.num_prrs(), 3);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Never panics — the preset parameters are statically valid (covered by
+    /// unit tests).
+    pub fn dac19() -> Platform {
+        let lp = PeType::new("lp-core", PeKind::GeneralPurpose)
+            .with_masking_factor(0.85)
+            .and_then(|t| t.with_aging_beta(1.5))
+            .and_then(|t| t.with_speed_factor(0.8))
+            .and_then(|t| t.with_power(60.0, 6.0))
+            .expect("lp-core preset is valid");
+        let hp = PeType::new("hp-core", PeKind::GeneralPurpose)
+            .with_masking_factor(0.55)
+            .and_then(|t| t.with_aging_beta(2.0))
+            .and_then(|t| t.with_speed_factor(1.4))
+            .and_then(|t| t.with_power(140.0, 14.0))
+            .expect("hp-core preset is valid");
+        let hard = PeType::new("hard-core", PeKind::GeneralPurpose)
+            .with_masking_factor(0.30)
+            .and_then(|t| t.with_aging_beta(2.5))
+            .and_then(|t| t.with_speed_factor(1.0))
+            .and_then(|t| t.with_power(110.0, 11.0))
+            .expect("hard-core preset is valid");
+
+        Platform::builder()
+            .pe_type(lp)
+            .pe_type(hp)
+            .pe_type(hard)
+            .pes(2, PeTypeId::new(0), 2048)
+            .pes(2, PeTypeId::new(1), 2048)
+            .pes(1, PeTypeId::new(2), 2048)
+            .prr(384, 0.02)
+            .prr(512, 0.02)
+            .prr(768, 0.02)
+            .interconnect(Interconnect::default())
+            .build()
+            .expect("dac19 preset is valid")
+    }
+
+    /// A minimal two-PE homogeneous platform, handy for unit tests and the
+    /// quickstart example.
+    pub fn tiny() -> Platform {
+        let core = PeType::new("core", PeKind::GeneralPurpose)
+            .with_masking_factor(0.5)
+            .expect("preset masking valid");
+        Platform::builder()
+            .pe_type(core)
+            .pes(2, PeTypeId::new(0), 128)
+            .build()
+            .expect("tiny preset is valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PeId;
+
+    #[test]
+    fn dac19_has_expected_shape() {
+        let p = Platform::dac19();
+        assert_eq!(p.num_pes(), 5);
+        assert_eq!(p.pe_types().len(), 3);
+        assert_eq!(p.num_prrs(), 3);
+        // Exactly one hardened core.
+        let hardened = p
+            .pe_ids()
+            .filter(|&id| p.type_of(id).name() == "hard-core")
+            .count();
+        assert_eq!(hardened, 1);
+    }
+
+    #[test]
+    fn dac19_masking_orders_by_robustness() {
+        let p = Platform::dac19();
+        let lp = p.pe_types()[0].masking_factor();
+        let hp = p.pe_types()[1].masking_factor();
+        let hard = p.pe_types()[2].masking_factor();
+        assert!(lp > hp && hp > hard, "{lp} {hp} {hard}");
+    }
+
+    #[test]
+    fn tiny_is_usable() {
+        let p = Platform::tiny();
+        assert_eq!(p.num_pes(), 2);
+        assert_eq!(p.type_of(PeId::new(0)).name(), "core");
+    }
+}

@@ -1,0 +1,109 @@
+//! Partially reconfigurable regions (PRRs).
+//!
+//! Paper §3.5: mapping a different accelerator onto a PRR requires loading a
+//! new partial bit-stream through the ICAP, which contributes to the
+//! reconfiguration cost `dRC` of a run-time adaptation.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a partially reconfigurable region within a [`crate::Platform`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct PrrId(usize);
+
+impl PrrId {
+    /// Creates a PRR index.
+    pub fn new(index: usize) -> Self {
+        Self(index)
+    }
+
+    /// The underlying index.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for PrrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PRR{}", self.0)
+    }
+}
+
+impl From<usize> for PrrId {
+    fn from(index: usize) -> Self {
+        Self(index)
+    }
+}
+
+/// One partially reconfigurable region.
+///
+/// # Examples
+///
+/// ```
+/// use clr_platform::{Prr, PrrId};
+/// let prr = Prr::new(PrrId::new(0), 512, 0.05);
+/// // Reloading the full bit-stream costs size × per-KiB time.
+/// assert!((prr.reload_cost() - 25.6).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Prr {
+    id: PrrId,
+    /// Partial bit-stream size for this region in KiB.
+    bitstream_kib: u32,
+    /// ICAP reconfiguration time per KiB of bit-stream (abstract time units,
+    /// same scale as task execution times).
+    reload_time_per_kib: f64,
+}
+
+impl Prr {
+    /// Creates a PRR with the given bit-stream size and per-KiB reload time.
+    pub fn new(id: PrrId, bitstream_kib: u32, reload_time_per_kib: f64) -> Self {
+        Self {
+            id,
+            bitstream_kib,
+            reload_time_per_kib,
+        }
+    }
+
+    /// This PRR's index.
+    pub fn id(&self) -> PrrId {
+        self.id
+    }
+
+    /// Partial bit-stream size in KiB.
+    pub fn bitstream_kib(&self) -> u32 {
+        self.bitstream_kib
+    }
+
+    /// ICAP reload time per KiB.
+    pub fn reload_time_per_kib(&self) -> f64 {
+        self.reload_time_per_kib
+    }
+
+    /// Total cost (abstract time units) of swapping the accelerator hosted
+    /// by this region.
+    pub fn reload_cost(&self) -> f64 {
+        self.bitstream_kib as f64 * self.reload_time_per_kib
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prr_display_and_accessors() {
+        let prr = Prr::new(PrrId::new(2), 128, 0.1);
+        assert_eq!(prr.id().to_string(), "PRR2");
+        assert_eq!(prr.bitstream_kib(), 128);
+        assert!((prr.reload_cost() - 12.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_bitstream_costs_nothing() {
+        let prr = Prr::new(PrrId::new(0), 0, 1.0);
+        assert_eq!(prr.reload_cost(), 0.0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Application-software-layer (information redundancy) methods.
+//!
+//! Table 2: sample methods are code tripling, Hamming correction and
+//! checksums (Nicolaidis 2010). Information redundancy either *detects*
+//! errors — enabling the system-software layer to retry — or *corrects*
+//! them in place.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error-detection coverage available with no explicit ASW method: a share
+/// of corruptions crash or trap and are thus detected by the runtime.
+const BASELINE_DETECTION: f64 = 0.50;
+
+/// An application-software-layer fault-mitigation method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum AswMethod {
+    /// No information redundancy; only crash-style errors are detected.
+    #[default]
+    None,
+    /// Checksums over task outputs: high detection coverage at low cost,
+    /// no correction.
+    Checksum,
+    /// Hamming-coded critical state: single-bit errors are corrected in
+    /// place (85 % of manifested errors), the rest are mostly detected.
+    HammingCorrection,
+    /// Application-level code tripling with majority voting on results:
+    /// executes the kernel three times, escaping only on double faults,
+    /// and detects disagreement otherwise.
+    CodeTripling,
+}
+
+impl AswMethod {
+    /// All application-software methods, cheapest first.
+    pub const ALL: [AswMethod; 4] = [
+        AswMethod::None,
+        AswMethod::Checksum,
+        AswMethod::HammingCorrection,
+        AswMethod::CodeTripling,
+    ];
+
+    /// Execution-time inflation factor (encoding, voting, re-execution).
+    pub fn time_factor(&self) -> f64 {
+        match self {
+            AswMethod::None => 1.0,
+            AswMethod::Checksum => 1.05,
+            AswMethod::HammingCorrection => 1.15,
+            AswMethod::CodeTripling => 3.15,
+        }
+    }
+
+    /// Power inflation factor (extra memory traffic while encoding).
+    pub fn power_factor(&self) -> f64 {
+        match self {
+            AswMethod::None => 1.0,
+            AswMethod::Checksum => 1.02,
+            AswMethod::HammingCorrection => 1.10,
+            AswMethod::CodeTripling => 1.05,
+        }
+    }
+
+    /// Transforms the per-attempt error probability by in-place
+    /// *correction* (before any detection/retry).
+    pub fn correct(&self, p: f64) -> f64 {
+        let p = p.clamp(0.0, 1.0);
+        match self {
+            AswMethod::None | AswMethod::Checksum => p,
+            // 85 % of manifested errors are single-bit and corrected.
+            AswMethod::HammingCorrection => 0.15 * p,
+            // Majority vote over three executions: double faults escape.
+            AswMethod::CodeTripling => (3.0 * p * p * (1.0 - p) + p * p * p).clamp(0.0, 1.0),
+        }
+    }
+
+    /// Detection coverage for the errors that survive correction — the
+    /// probability a surviving error is flagged so the system-software
+    /// layer can retry or roll back.
+    pub fn detection(&self) -> f64 {
+        match self {
+            AswMethod::None => BASELINE_DETECTION,
+            AswMethod::Checksum => 0.95,
+            AswMethod::HammingCorrection => 0.90,
+            AswMethod::CodeTripling => 0.85,
+        }
+    }
+}
+
+impl fmt::Display for AswMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AswMethod::None => write!(f, "asw:none"),
+            AswMethod::Checksum => write!(f, "asw:cksum"),
+            AswMethod::HammingCorrection => write!(f, "asw:hamming"),
+            AswMethod::CodeTripling => write!(f, "asw:triple"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn correction_orders_as_expected() {
+        let p = 0.01;
+        assert_eq!(AswMethod::None.correct(p), p);
+        assert_eq!(AswMethod::Checksum.correct(p), p);
+        assert!(AswMethod::HammingCorrection.correct(p) < p);
+        assert!(AswMethod::CodeTripling.correct(p) < AswMethod::HammingCorrection.correct(p));
+    }
+
+    #[test]
+    fn checksum_buys_detection_not_correction() {
+        assert!(AswMethod::Checksum.detection() > AswMethod::None.detection());
+        assert_eq!(AswMethod::Checksum.correct(0.2), 0.2);
+    }
+
+    #[test]
+    fn tripling_costs_three_executions() {
+        assert!(AswMethod::CodeTripling.time_factor() > 3.0);
+    }
+
+    proptest! {
+        #[test]
+        fn correct_stays_in_unit_interval(p in 0.0f64..1.0) {
+            for m in AswMethod::ALL {
+                let q = m.correct(p);
+                prop_assert!((0.0..=1.0).contains(&q));
+                if p < 0.5 {
+                    prop_assert!(q <= p + 1e-12);
+                }
+            }
+        }
+
+        #[test]
+        fn detection_is_a_probability(_x in 0..1i32) {
+            for m in AswMethod::ALL {
+                prop_assert!((0.0..=1.0).contains(&m.detection()));
+            }
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Environmental fault model.
+
+use serde::{Deserialize, Serialize};
+
+/// The operating environment's fault characteristics.
+///
+/// The paper's working scenario keeps the single-event-upset rate `λ_SEU`
+/// and resource availability constant while QoS requirements vary;
+/// different `λ_SEU` values (e.g. orbital vs. terrestrial operation) are
+/// separate instances of this model.
+///
+/// # Examples
+///
+/// ```
+/// use clr_reliability::FaultModel;
+/// let harsh = FaultModel::new(5e-4, 1.0e6, 1.0);
+/// assert!(harsh.lambda_seu() > FaultModel::default().lambda_seu());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultModel {
+    /// Raw single-event-upset rate per abstract time unit of exposed
+    /// execution.
+    lambda_seu: f64,
+    /// Baseline Weibull scale parameter `η₀` (abstract time units) of the
+    /// aging process at reference stress.
+    eta0: f64,
+    /// Exponent of the power-stress derating of `η`: doubling the power
+    /// draw divides the scale parameter by `2^theta`.
+    stress_theta: f64,
+}
+
+impl FaultModel {
+    /// Reference power (mW) at which `η = η₀`.
+    pub const REFERENCE_POWER_MW: f64 = 100.0;
+
+    /// Creates a fault model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda_seu < 0`, `eta0 <= 0` or `stress_theta < 0`
+    /// (invalid environments indicate configuration bugs).
+    pub fn new(lambda_seu: f64, eta0: f64, stress_theta: f64) -> Self {
+        assert!(lambda_seu >= 0.0, "lambda_seu must be >= 0");
+        assert!(eta0 > 0.0, "eta0 must be > 0");
+        assert!(stress_theta >= 0.0, "stress_theta must be >= 0");
+        Self {
+            lambda_seu,
+            eta0,
+            stress_theta,
+        }
+    }
+
+    /// The raw SEU rate per time unit.
+    pub fn lambda_seu(&self) -> f64 {
+        self.lambda_seu
+    }
+
+    /// Baseline Weibull scale parameter.
+    pub fn eta0(&self) -> f64 {
+        self.eta0
+    }
+
+    /// Power-stress exponent.
+    pub fn stress_theta(&self) -> f64 {
+        self.stress_theta
+    }
+
+    /// Returns a copy with a different SEU rate (e.g. a changed operating
+    /// environment).
+    pub fn with_lambda_seu(mut self, lambda: f64) -> Self {
+        assert!(lambda >= 0.0, "lambda_seu must be >= 0");
+        self.lambda_seu = lambda;
+        self
+    }
+}
+
+impl Default for FaultModel {
+    /// A moderate environment: `λ_SEU = 1e-4` per time unit, `η₀ = 1e6`,
+    /// linear power-stress derating (`θ = 1`).
+    fn default() -> Self {
+        Self {
+            lambda_seu: 1e-4,
+            eta0: 1e6,
+            stress_theta: 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        let fm = FaultModel::default();
+        assert!(fm.lambda_seu() > 0.0);
+        assert!(fm.eta0() > 0.0);
+    }
+
+    #[test]
+    fn with_lambda_updates_only_rate() {
+        let fm = FaultModel::default().with_lambda_seu(3e-3);
+        assert_eq!(fm.lambda_seu(), 3e-3);
+        assert_eq!(fm.eta0(), FaultModel::default().eta0());
+    }
+
+    #[test]
+    #[should_panic(expected = "eta0")]
+    fn rejects_nonpositive_eta0() {
+        let _ = FaultModel::new(1e-4, 0.0, 1.0);
+    }
+}

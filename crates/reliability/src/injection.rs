@@ -1,0 +1,418 @@
+//! Monte-Carlo fault injection: an *executable* model of one task
+//! execution under a CLR configuration.
+//!
+//! Where [`crate::TaskMetrics::evaluate`] derives the Table-2 metrics
+//! analytically, [`FaultInjector`] samples them by simulating individual
+//! executions — SEUs strike during the exposure window, TMR replicas vote,
+//! the application-software layer corrects/detects, and the
+//! system-software layer retries or rolls back to checkpoints. The two
+//! models share only the raw exposure probability, so agreement between
+//! them is a meaningful cross-validation (exercised by this module's tests
+//! and the `fault_injection` example).
+
+use clr_platform::PeType;
+use clr_taskgraph::Implementation;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::{AswMethod, ClrConfig, FaultModel, HwMethod, SswMethod};
+
+/// Fraction of logic protected by partial TMR (mirrors the analytical
+/// model's coverage).
+const PARTIAL_TMR_COVERAGE: f64 = 0.6;
+/// In-place correction probability of Hamming-coded state.
+const HAMMING_CORRECTION: f64 = 0.85;
+
+/// Outcome of one injected execution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InjectionOutcome {
+    /// Wall-clock execution time including retries/rollbacks.
+    pub time: f64,
+    /// `true` if an error escaped into the task's output.
+    pub erroneous: bool,
+    /// Number of whole-task attempts executed (≥ 1; segments of a
+    /// checkpointed run count fractionally through `time` instead).
+    pub attempts: u32,
+}
+
+/// Aggregate over many injected executions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InjectionEstimate {
+    /// Number of simulated executions.
+    pub trials: u32,
+    /// Empirical escape probability (compare: `TaskMetrics::err_prob`).
+    pub err_prob: f64,
+    /// Empirical mean execution time (compare: `TaskMetrics::avg_ex_t`).
+    pub avg_time: f64,
+    /// Largest observed execution time.
+    pub max_time: f64,
+}
+
+/// Simulates single-task executions under a CLR configuration.
+///
+/// # Examples
+///
+/// ```
+/// use clr_reliability::{ClrConfig, FaultInjector, FaultModel};
+/// use clr_platform::{PeKind, PeType};
+/// use clr_taskgraph::{ImplId, Implementation, SwStack};
+///
+/// let pe = PeType::new("core", PeKind::GeneralPurpose);
+/// let im = Implementation::new(ImplId::new(0), 0.into(), SwStack::Rtos, 100.0);
+/// let fm = FaultModel::new(1e-3, 1e6, 1.0);
+/// let injector = FaultInjector::new(&im, &pe, ClrConfig::NONE, fm);
+/// let est = injector.estimate(10_000, 7);
+/// assert!(est.err_prob > 0.0 && est.err_prob < 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    /// Per-attempt execution time (HW + ASW inflation applied).
+    attempt_time: f64,
+    /// Effective SEU rate seen by the logic.
+    lambda_eff: f64,
+    hw: HwMethod,
+    ssw: SswMethod,
+    asw: AswMethod,
+    /// Per-retry orchestration overhead (absolute time).
+    retry_overhead: f64,
+    /// Checkpointing per-interval overhead fraction.
+    ckpt_overhead: f64,
+}
+
+impl FaultInjector {
+    /// Builds an injector for one `(implementation, PE type, CLR config,
+    /// environment)` — the same inputs as [`crate::TaskMetrics::evaluate`].
+    pub fn new(
+        im: &Implementation,
+        pe_type: &PeType,
+        cfg: ClrConfig,
+        fm: FaultModel,
+    ) -> Self {
+        let t_base = im.nominal_time() / pe_type.speed_factor();
+        let attempt_time = t_base * cfg.hw.time_factor() * cfg.asw.time_factor();
+        let lambda_eff = fm.lambda_seu() * pe_type.masking_factor() * cfg.hw.rate_factor();
+        let stack_overhead = match im.sw_stack() {
+            clr_taskgraph::SwStack::BareMetal => 0.10,
+            clr_taskgraph::SwStack::Rtos => 0.04,
+        };
+        Self {
+            attempt_time,
+            lambda_eff,
+            hw: cfg.hw,
+            ssw: cfg.ssw,
+            asw: cfg.asw,
+            retry_overhead: stack_overhead * attempt_time,
+            ckpt_overhead: stack_overhead,
+        }
+    }
+
+    /// Per-exposure raw manifested-error probability over `t` time units.
+    fn p_raw(&self, t: f64) -> f64 {
+        1.0 - (-self.lambda_eff * t).exp()
+    }
+
+    /// Samples whether a single execution window of `t` units ends with a
+    /// manifested error after hardware spatial redundancy.
+    fn sample_hw_error(&self, t: f64, rng: &mut StdRng) -> bool {
+        let p = self.p_raw(t);
+        match self.hw {
+            HwMethod::None | HwMethod::Hardening => rng.gen_bool(p),
+            HwMethod::FullTmr => {
+                let fails = (0..3).filter(|_| rng.gen_bool(p)).count();
+                fails >= 2
+            }
+            HwMethod::PartialTmr => {
+                if rng.gen_bool(PARTIAL_TMR_COVERAGE) {
+                    // Error potential lands in the protected region.
+                    let fails = (0..3).filter(|_| rng.gen_bool(p)).count();
+                    fails >= 2
+                } else {
+                    rng.gen_bool(p)
+                }
+            }
+        }
+    }
+
+    /// Applies the application-software layer to a manifested error:
+    /// returns `(still_erroneous, detected)`.
+    fn sample_asw(&self, t: f64, erroneous: bool, rng: &mut StdRng) -> (bool, bool) {
+        match self.asw {
+            AswMethod::None | AswMethod::Checksum => {
+                let d = erroneous && rng.gen_bool(self.asw.detection());
+                (erroneous, d)
+            }
+            AswMethod::HammingCorrection => {
+                if erroneous && rng.gen_bool(HAMMING_CORRECTION) {
+                    (false, false) // corrected in place
+                } else {
+                    let d = erroneous && rng.gen_bool(self.asw.detection());
+                    (erroneous, d)
+                }
+            }
+            AswMethod::CodeTripling => {
+                // Three virtual executions vote; exposure is per-execution.
+                // The attempt time already includes the 3× inflation, so
+                // each virtual run is exposed for roughly a third.
+                let per_run = self.p_raw(t / 3.0);
+                let fails = (0..3).filter(|_| rng.gen_bool(per_run)).count();
+                let _ = erroneous; // the vote replaces the single-run sample
+                let err = fails >= 2;
+                let detected = (err || fails == 1) && rng.gen_bool(self.asw.detection());
+                (err, err && detected)
+            }
+        }
+    }
+
+    /// One whole-task attempt: `(erroneous, detected)`.
+    fn sample_attempt(&self, t: f64, rng: &mut StdRng) -> (bool, bool) {
+        if matches!(self.asw, AswMethod::CodeTripling) {
+            // Tripling subsumes the single-execution sample.
+            self.sample_asw(t, false, rng)
+        } else {
+            let hw_err = self.sample_hw_error(t, rng);
+            if !hw_err {
+                return (false, false);
+            }
+            self.sample_asw(t, true, rng)
+        }
+    }
+
+    /// Simulates one execution.
+    pub fn run_once(&self, rng: &mut StdRng) -> InjectionOutcome {
+        match self.ssw {
+            SswMethod::None => {
+                let (err, _) = self.sample_attempt(self.attempt_time, rng);
+                InjectionOutcome {
+                    time: self.attempt_time,
+                    erroneous: err,
+                    attempts: 1,
+                }
+            }
+            SswMethod::Retry { max_retries } => {
+                let mut time = 0.0;
+                let mut attempts = 0u32;
+                loop {
+                    attempts += 1;
+                    time += self.attempt_time + if attempts > 1 { self.retry_overhead } else { 0.0 };
+                    let (err, detected) = self.sample_attempt(self.attempt_time, rng);
+                    if !err {
+                        return InjectionOutcome {
+                            time,
+                            erroneous: false,
+                            attempts,
+                        };
+                    }
+                    if !detected || attempts > max_retries as u32 {
+                        // Undetected escape, or retry budget exhausted.
+                        return InjectionOutcome {
+                            time,
+                            erroneous: true,
+                            attempts,
+                        };
+                    }
+                }
+            }
+            SswMethod::Checkpoint { intervals } => {
+                let n = intervals.max(1) as u32;
+                let t_total = self.attempt_time * (1.0 + self.ckpt_overhead * n as f64 / 2.0);
+                let seg = t_total / n as f64;
+                let mut time = 0.0;
+                let mut escaped = false;
+                for _ in 0..n {
+                    // Re-run a segment while its error is detected.
+                    loop {
+                        time += seg;
+                        let (err, detected) = self.sample_attempt(seg, rng);
+                        if !err {
+                            break;
+                        }
+                        if !detected {
+                            escaped = true;
+                            break;
+                        }
+                    }
+                }
+                InjectionOutcome {
+                    time,
+                    erroneous: escaped,
+                    attempts: 1,
+                }
+            }
+        }
+    }
+
+    /// Runs `trials` seeded executions and aggregates them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials == 0`.
+    pub fn estimate(&self, trials: u32, seed: u64) -> InjectionEstimate {
+        assert!(trials > 0, "at least one trial is required");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x1417_ec70_4a11_0001);
+        let mut errors = 0u32;
+        let mut time_sum = 0.0;
+        let mut max_time = 0.0f64;
+        for _ in 0..trials {
+            let out = self.run_once(&mut rng);
+            if out.erroneous {
+                errors += 1;
+            }
+            time_sum += out.time;
+            if out.time > max_time {
+                max_time = out.time;
+            }
+        }
+        InjectionEstimate {
+            trials,
+            err_prob: errors as f64 / trials as f64,
+            avg_time: time_sum / trials as f64,
+            max_time,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TaskMetrics;
+    use clr_platform::PeKind;
+    use clr_taskgraph::{ImplId, SwStack};
+
+    fn pe() -> PeType {
+        PeType::new("c", PeKind::GeneralPurpose)
+            .with_masking_factor(0.6)
+            .unwrap()
+    }
+
+    fn im() -> Implementation {
+        Implementation::new(ImplId::new(0), 0.into(), SwStack::Rtos, 100.0)
+    }
+
+    fn harsh() -> FaultModel {
+        FaultModel::new(2e-3, 1e6, 1.0)
+    }
+
+    /// Relative agreement check with a floor for tiny probabilities.
+    fn close(analytic: f64, empirical: f64, rel: f64, abs_floor: f64) -> bool {
+        (analytic - empirical).abs() <= rel * analytic.max(empirical) + abs_floor
+    }
+
+    #[test]
+    fn bare_execution_matches_analytic_error() {
+        let injector = FaultInjector::new(&im(), &pe(), ClrConfig::NONE, harsh());
+        let est = injector.estimate(40_000, 1);
+        let analytic = TaskMetrics::evaluate(&im(), &pe(), &ClrConfig::NONE, &harsh());
+        assert!(
+            close(analytic.err_prob, est.err_prob, 0.05, 1e-3),
+            "analytic {} vs empirical {}",
+            analytic.err_prob,
+            est.err_prob
+        );
+        assert!((est.avg_time - analytic.avg_ex_t).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tmr_injection_matches_analytic_masking() {
+        let cfg = ClrConfig::new(HwMethod::FullTmr, SswMethod::None, AswMethod::None);
+        let injector = FaultInjector::new(&im(), &pe(), cfg, harsh());
+        let est = injector.estimate(200_000, 2);
+        let analytic = TaskMetrics::evaluate(&im(), &pe(), &cfg, &harsh());
+        assert!(
+            close(analytic.err_prob, est.err_prob, 0.25, 5e-4),
+            "analytic {} vs empirical {}",
+            analytic.err_prob,
+            est.err_prob
+        );
+    }
+
+    #[test]
+    fn retry_injection_matches_analytic_residual_and_time() {
+        let cfg = ClrConfig::new(
+            HwMethod::None,
+            SswMethod::Retry { max_retries: 2 },
+            AswMethod::Checksum,
+        );
+        let injector = FaultInjector::new(&im(), &pe(), cfg, harsh());
+        let est = injector.estimate(100_000, 3);
+        let analytic = TaskMetrics::evaluate(&im(), &pe(), &cfg, &harsh());
+        assert!(
+            close(analytic.err_prob, est.err_prob, 0.35, 1e-3),
+            "analytic {} vs empirical {}",
+            analytic.err_prob,
+            est.err_prob
+        );
+        assert!(
+            close(analytic.avg_ex_t, est.avg_time, 0.02, 0.0),
+            "analytic {} vs empirical {}",
+            analytic.avg_ex_t,
+            est.avg_time
+        );
+        assert!(est.max_time > est.avg_time, "some executions retried");
+    }
+
+    #[test]
+    fn checkpoint_injection_escapes_only_undetected_errors() {
+        let cfg = ClrConfig::new(
+            HwMethod::None,
+            SswMethod::Checkpoint { intervals: 4 },
+            AswMethod::Checksum,
+        );
+        let injector = FaultInjector::new(&im(), &pe(), cfg, harsh());
+        let est = injector.estimate(100_000, 4);
+        let analytic = TaskMetrics::evaluate(&im(), &pe(), &cfg, &harsh());
+        assert!(
+            close(analytic.err_prob, est.err_prob, 0.5, 1e-3),
+            "analytic {} vs empirical {}",
+            analytic.err_prob,
+            est.err_prob
+        );
+    }
+
+    #[test]
+    fn mitigation_ordering_is_preserved_empirically() {
+        let none = FaultInjector::new(&im(), &pe(), ClrConfig::NONE, harsh()).estimate(50_000, 5);
+        let tmr = FaultInjector::new(
+            &im(),
+            &pe(),
+            ClrConfig::new(HwMethod::FullTmr, SswMethod::None, AswMethod::None),
+            harsh(),
+        )
+        .estimate(50_000, 5);
+        let full = FaultInjector::new(
+            &im(),
+            &pe(),
+            ClrConfig::new(
+                HwMethod::FullTmr,
+                SswMethod::Retry { max_retries: 2 },
+                AswMethod::Checksum,
+            ),
+            harsh(),
+        )
+        .estimate(50_000, 5);
+        assert!(tmr.err_prob < none.err_prob);
+        assert!(full.err_prob <= tmr.err_prob);
+    }
+
+    #[test]
+    fn zero_rate_never_errs() {
+        let injector =
+            FaultInjector::new(&im(), &pe(), ClrConfig::NONE, FaultModel::new(0.0, 1e6, 1.0));
+        let est = injector.estimate(1_000, 6);
+        assert_eq!(est.err_prob, 0.0);
+        assert_eq!(est.avg_time, est.max_time);
+    }
+
+    #[test]
+    fn estimates_are_deterministic_per_seed() {
+        let injector = FaultInjector::new(&im(), &pe(), ClrConfig::NONE, harsh());
+        assert_eq!(injector.estimate(5_000, 9), injector.estimate(5_000, 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_panics() {
+        let injector = FaultInjector::new(&im(), &pe(), ClrConfig::NONE, harsh());
+        let _ = injector.estimate(0, 1);
+    }
+}

@@ -1,0 +1,80 @@
+//! Cross-layer reliability (CLR) model (paper §3.3, Table 2).
+//!
+//! Fault mitigation is distributed over three layers of the system stack:
+//!
+//! | layer | redundancy | methods |
+//! |-------|------------|---------|
+//! | Hardware (`HWRel`) | spatial | circuit hardening, partial/full TMR |
+//! | System software (`SSWRel`) | temporal | retry, checkpointing |
+//! | Application software (`ASWRel`) | information | checksum, Hamming correction, code tripling |
+//!
+//! A per-task CLR configuration [`ClrConfig`] selects one method per layer;
+//! [`TaskMetrics::evaluate`] derives the task-level performance metrics of
+//! Table 2 — minimum/average execution time, probability of error during
+//! execution, average power, Weibull scale parameter `η` and `MTTF` — for
+//! one implementation of a task executing on one PE type under a given
+//! [`FaultModel`]. These analytical models follow the CLRFrame approach of
+//! the authors' earlier work (ref.\ 13 in the paper); the exact coefficients
+//! are documented on each method type.
+//!
+//! # Examples
+//!
+//! ```
+//! use clr_reliability::{AswMethod, ClrConfig, FaultModel, HwMethod, SswMethod, TaskMetrics};
+//! use clr_platform::{PeKind, PeType};
+//! use clr_taskgraph::{ImplId, Implementation, SwStack};
+//!
+//! let pe = PeType::new("core", PeKind::GeneralPurpose);
+//! let im = Implementation::new(ImplId::new(0), 0.into(), SwStack::Rtos, 100.0);
+//! let fm = FaultModel::default();
+//!
+//! let bare = TaskMetrics::evaluate(&im, &pe, &ClrConfig::NONE, &fm);
+//! let tmr = TaskMetrics::evaluate(
+//!     &im,
+//!     &pe,
+//!     &ClrConfig::new(HwMethod::FullTmr, SswMethod::None, AswMethod::None),
+//!     &fm,
+//! );
+//! assert!(tmr.err_prob < bare.err_prob); // redundancy lowers error rate
+//! assert!(tmr.power_mw > bare.power_mw); // ... at a power cost
+//! ```
+
+mod asw;
+mod config;
+mod fault;
+mod hw;
+mod injection;
+mod lifetime;
+mod metrics;
+mod select;
+mod ssw;
+
+pub use asw::AswMethod;
+pub use config::{ClrConfig, ConfigSpace};
+pub use fault::FaultModel;
+pub use hw::HwMethod;
+pub use injection::{FaultInjector, InjectionEstimate, InjectionOutcome};
+pub use lifetime::{mttf, weibull_scale};
+pub use metrics::TaskMetrics;
+pub use select::{cheapest_config_meeting, pareto_configs};
+pub use ssw::SswMethod;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clr_platform::{PeKind, PeType};
+    use clr_taskgraph::{ImplId, Implementation, SwStack};
+
+    #[test]
+    fn every_config_in_fine_space_yields_valid_metrics() {
+        let pe = PeType::new("c", PeKind::GeneralPurpose);
+        let im = Implementation::new(ImplId::new(0), 0.into(), SwStack::BareMetal, 50.0);
+        let fm = FaultModel::default();
+        for cfg in ConfigSpace::fine().configs() {
+            let m = TaskMetrics::evaluate(&im, &pe, cfg, &fm);
+            assert!((0.0..=1.0).contains(&m.err_prob), "{cfg:?}: {}", m.err_prob);
+            assert!(m.min_ex_t > 0.0 && m.avg_ex_t >= m.min_ex_t - 1e-9);
+            assert!(m.power_mw > 0.0 && m.mttf > 0.0);
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Weibull lifetime / aging model.
+//!
+//! Table 2 lists the Weibull *scale parameter* `η(t, i)` — a stress
+//! indicator derived from the thermal profile of executing `Impl(t, i)` —
+//! and the `MTTF` among the task-level metrics. We model the scale
+//! parameter as the baseline `η₀` derated by the power (∝ thermal) stress
+//! of the implementation, and the MTTF by the Weibull mean
+//! `η · Γ(1 + 1/β)` with the PE type's aging shape `β`.
+
+use clr_stats::gamma;
+
+use crate::FaultModel;
+
+/// Derates the baseline Weibull scale parameter `η₀` by power stress.
+///
+/// `η = η₀ · (W_ref / W)^θ` with the reference power and stress exponent
+/// taken from the [`FaultModel`]; hotter (higher-power) implementations age
+/// the silicon faster and shrink `η`.
+///
+/// # Examples
+///
+/// ```
+/// use clr_reliability::{weibull_scale, FaultModel};
+/// let fm = FaultModel::default();
+/// let cool = weibull_scale(&fm, 50.0);
+/// let hot = weibull_scale(&fm, 200.0);
+/// assert!(cool > hot);
+/// ```
+pub fn weibull_scale(fm: &FaultModel, power_mw: f64) -> f64 {
+    let w = power_mw.max(1e-9);
+    fm.eta0() * (FaultModel::REFERENCE_POWER_MW / w).powf(fm.stress_theta())
+}
+
+/// Mean time to failure of a Weibull process with scale `eta` and shape
+/// `beta`: `MTTF = η · Γ(1 + 1/β)`.
+///
+/// # Panics
+///
+/// Panics if `beta <= 0` (a platform-model bug).
+///
+/// # Examples
+///
+/// ```
+/// // β = 1 degenerates to the exponential distribution: MTTF = η.
+/// let m = clr_reliability::mttf(5000.0, 1.0);
+/// assert!((m - 5000.0).abs() < 1e-6);
+/// ```
+pub fn mttf(eta: f64, beta: f64) -> f64 {
+    assert!(beta > 0.0, "weibull shape beta must be > 0, got {beta}");
+    eta * gamma(1.0 + 1.0 / beta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn reference_power_is_identity() {
+        let fm = FaultModel::default();
+        let eta = weibull_scale(&fm, FaultModel::REFERENCE_POWER_MW);
+        assert!((eta - fm.eta0()).abs() / fm.eta0() < 1e-12);
+    }
+
+    #[test]
+    fn higher_shape_changes_mttf_modestly() {
+        // For β in [1, 3], Γ(1 + 1/β) stays within [Γ(4/3), Γ(2)] ≈ [0.893, 1].
+        let m1 = mttf(1000.0, 1.0);
+        let m2 = mttf(1000.0, 2.0);
+        assert!(m2 < m1 && m2 > 0.85 * m1);
+    }
+
+    #[test]
+    #[should_panic(expected = "beta must be > 0")]
+    fn mttf_rejects_bad_shape() {
+        let _ = mttf(1.0, 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn scale_is_monotone_decreasing_in_power(w1 in 1.0f64..1e4, w2 in 1.0f64..1e4) {
+            let fm = FaultModel::default();
+            let (lo, hi) = if w1 < w2 { (w1, w2) } else { (w2, w1) };
+            prop_assert!(weibull_scale(&fm, lo) >= weibull_scale(&fm, hi));
+        }
+
+        #[test]
+        fn mttf_positive(eta in 1.0f64..1e9, beta in 0.2f64..5.0) {
+            prop_assert!(mttf(eta, beta) > 0.0);
+        }
+    }
+}

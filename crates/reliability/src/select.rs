@@ -1,0 +1,160 @@
+//! Per-task CLR configuration selection helpers.
+//!
+//! The system-level DSE explores whole mappings, but users (and the
+//! JPEG-encoder example) often want the per-task view: which
+//! configurations of one implementation are Pareto-efficient, and which
+//! is the cheapest one meeting an error budget.
+
+use clr_platform::PeType;
+use clr_taskgraph::Implementation;
+
+use crate::{ClrConfig, ConfigSpace, FaultModel, TaskMetrics};
+
+/// The Pareto-efficient configurations of one `(implementation, PE type)`
+/// pair in the `(ErrProb, AvgExT, energy)` space, in the order the space
+/// lists them.
+///
+/// # Examples
+///
+/// ```
+/// use clr_reliability::{pareto_configs, ClrConfig, ConfigSpace, FaultModel};
+/// use clr_platform::{PeKind, PeType};
+/// use clr_taskgraph::{ImplId, Implementation, SwStack};
+///
+/// let pe = PeType::new("c", PeKind::GeneralPurpose);
+/// let im = Implementation::new(ImplId::new(0), 0.into(), SwStack::Rtos, 50.0);
+/// let front = pareto_configs(&im, &pe, &FaultModel::default(), &ConfigSpace::coarse());
+/// assert!(!front.is_empty());
+/// // The unprotected config is always efficient (cheapest/fastest).
+/// assert!(front.iter().any(|(c, _)| c.is_none()));
+/// ```
+pub fn pareto_configs(
+    im: &Implementation,
+    pe_type: &PeType,
+    fm: &FaultModel,
+    space: &ConfigSpace,
+) -> Vec<(ClrConfig, TaskMetrics)> {
+    let evaluated: Vec<(ClrConfig, TaskMetrics)> = space
+        .configs()
+        .iter()
+        .map(|cfg| (*cfg, TaskMetrics::evaluate(im, pe_type, cfg, fm)))
+        .collect();
+    let objs: Vec<[f64; 3]> = evaluated
+        .iter()
+        .map(|(_, m)| [m.err_prob, m.avg_ex_t, m.energy()])
+        .collect();
+    evaluated
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| {
+            !objs.iter().enumerate().any(|(j, o)| {
+                j != *i
+                    && o.iter().zip(&objs[*i]).all(|(a, b)| a <= b)
+                    && o.iter().zip(&objs[*i]).any(|(a, b)| a < b)
+            })
+        })
+        .map(|(_, e)| *e)
+        .collect()
+}
+
+/// The lowest-energy configuration whose residual error probability is at
+/// most `max_err_prob`, or `None` when no configuration in the space
+/// meets the budget.
+///
+/// # Examples
+///
+/// ```
+/// use clr_reliability::{cheapest_config_meeting, ConfigSpace, FaultModel};
+/// use clr_platform::{PeKind, PeType};
+/// use clr_taskgraph::{ImplId, Implementation, SwStack};
+///
+/// let pe = PeType::new("c", PeKind::GeneralPurpose);
+/// let im = Implementation::new(ImplId::new(0), 0.into(), SwStack::Rtos, 50.0);
+/// let fm = FaultModel::new(2e-3, 1e6, 1.0);
+/// let strict = cheapest_config_meeting(&im, &pe, &fm, &ConfigSpace::fine(), 1e-2);
+/// let lax = cheapest_config_meeting(&im, &pe, &fm, &ConfigSpace::fine(), 0.5);
+/// let impossible = cheapest_config_meeting(&im, &pe, &fm, &ConfigSpace::fine(), 0.0);
+/// assert!(strict.is_some() && lax.is_some());
+/// assert!(impossible.is_none());
+/// // A stricter budget can only cost more energy.
+/// assert!(strict.unwrap().1.energy() >= lax.unwrap().1.energy());
+/// ```
+pub fn cheapest_config_meeting(
+    im: &Implementation,
+    pe_type: &PeType,
+    fm: &FaultModel,
+    space: &ConfigSpace,
+    max_err_prob: f64,
+) -> Option<(ClrConfig, TaskMetrics)> {
+    space
+        .configs()
+        .iter()
+        .map(|cfg| (*cfg, TaskMetrics::evaluate(im, pe_type, cfg, fm)))
+        .filter(|(_, m)| m.err_prob <= max_err_prob)
+        .min_by(|a, b| {
+            a.1.energy()
+                .partial_cmp(&b.1.energy())
+                .expect("energies are finite")
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clr_platform::PeKind;
+    use clr_taskgraph::{ImplId, SwStack};
+
+    fn setup() -> (Implementation, PeType, FaultModel) {
+        (
+            Implementation::new(ImplId::new(0), 0.into(), SwStack::Rtos, 100.0),
+            PeType::new("c", PeKind::GeneralPurpose)
+                .with_masking_factor(0.6)
+                .unwrap(),
+            FaultModel::new(2e-3, 1e6, 1.0),
+        )
+    }
+
+    #[test]
+    fn pareto_configs_are_mutually_non_dominated() {
+        let (im, pe, fm) = setup();
+        let front = pareto_configs(&im, &pe, &fm, &ConfigSpace::fine());
+        assert!(front.len() >= 2, "expected a real trade-off");
+        for (i, (_, a)) in front.iter().enumerate() {
+            for (j, (_, b)) in front.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let dominates = a.err_prob <= b.err_prob
+                    && a.avg_ex_t <= b.avg_ex_t
+                    && a.energy() <= b.energy()
+                    && (a.err_prob < b.err_prob
+                        || a.avg_ex_t < b.avg_ex_t
+                        || a.energy() < b.energy());
+                assert!(!dominates);
+            }
+        }
+    }
+
+    #[test]
+    fn budget_selection_is_monotone() {
+        let (im, pe, fm) = setup();
+        let space = ConfigSpace::fine();
+        let mut last_energy = 0.0f64;
+        // Walking the budget from strict to lax can only reduce energy.
+        for budget in [1e-4, 1e-3, 1e-2, 1e-1, 1.0] {
+            if let Some((_, m)) = cheapest_config_meeting(&im, &pe, &fm, &space, budget) {
+                if last_energy > 0.0 {
+                    assert!(m.energy() <= last_energy + 1e-9);
+                }
+                last_energy = m.energy();
+            }
+        }
+        assert!(last_energy > 0.0, "lax budget must be satisfiable");
+    }
+
+    #[test]
+    fn unreachable_budget_yields_none() {
+        let (im, pe, fm) = setup();
+        assert!(cheapest_config_meeting(&im, &pe, &fm, &ConfigSpace::hw_only(), 0.0).is_none());
+    }
+}

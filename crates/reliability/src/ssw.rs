@@ -1,0 +1,200 @@
+//! System-software-layer (temporal redundancy) methods.
+//!
+//! Table 2: sample methods are retry and checkpointing. Temporal redundancy
+//! re-executes work when the application-software layer (or the runtime)
+//! *detects* an error; its effectiveness therefore depends on the detection
+//! coverage `d` supplied by [`crate::AswMethod::detection`].
+
+use clr_taskgraph::SwStack;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A system-software-layer fault-mitigation method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum SswMethod {
+    /// No temporal redundancy: the first attempt is the only attempt.
+    #[default]
+    None,
+    /// Re-execute the whole task up to `max_retries` additional times when
+    /// an error is detected.
+    Retry {
+        /// Maximum number of re-executions after the first attempt.
+        max_retries: u8,
+    },
+    /// Checkpoint the task into `intervals` equal segments; a detected
+    /// error rolls back to the last checkpoint instead of restarting the
+    /// task.
+    Checkpoint {
+        /// Number of checkpoint intervals (≥ 1).
+        intervals: u8,
+    },
+}
+
+impl SswMethod {
+    /// A representative selection, cheapest first.
+    pub const COMMON: [SswMethod; 5] = [
+        SswMethod::None,
+        SswMethod::Retry { max_retries: 1 },
+        SswMethod::Retry { max_retries: 2 },
+        SswMethod::Checkpoint { intervals: 2 },
+        SswMethod::Checkpoint { intervals: 4 },
+    ];
+
+    /// Per-attempt orchestration overhead as a fraction of the attempt
+    /// time; RTOS stacks checkpoint/retry more cheaply than bare metal.
+    fn overhead(stack: SwStack) -> f64 {
+        match stack {
+            SwStack::BareMetal => 0.10,
+            SwStack::Rtos => 0.04,
+        }
+    }
+
+    /// Applies temporal redundancy.
+    ///
+    /// Inputs: per-attempt time `t`, per-attempt surviving error
+    /// probability `p` (after HW masking and ASW correction), detection
+    /// coverage `d`, and the hosting software stack.
+    ///
+    /// Returns `(min_time, avg_time, residual_error)`:
+    /// `min_time` is the fault-free execution time (including fixed
+    /// checkpointing overhead but no retries), `avg_time` the expectation
+    /// over fault outcomes, `residual_error` the probability an error
+    /// escapes into the task's output.
+    pub fn apply(&self, t: f64, p: f64, d: f64, stack: SwStack) -> (f64, f64, f64) {
+        let p = p.clamp(0.0, 1.0);
+        let d = d.clamp(0.0, 1.0);
+        // Undetected errors always escape; detected ones trigger recovery.
+        let p_undetected = p * (1.0 - d);
+        let p_detected = p * d;
+        match *self {
+            SswMethod::None => (t, t, p),
+            SswMethod::Retry { max_retries } => {
+                let k = max_retries as i32;
+                let ovh = Self::overhead(stack) * t;
+                // Expected attempts: truncated geometric in p_detected.
+                let mut expected_attempts = 0.0;
+                let mut prob_reaching = 1.0;
+                for _ in 0..=k {
+                    expected_attempts += prob_reaching;
+                    prob_reaching *= p_detected;
+                }
+                let avg = t + (expected_attempts - 1.0) * (t + ovh);
+                // Escapes: an undetected error on any executed attempt, or
+                // detection budget exhausted.
+                let exhausted = p_detected.powi(k + 1);
+                let residual = (p_undetected * expected_attempts / (1.0 - p_detected).max(1e-12)
+                    * (1.0 - p_detected)
+                    + exhausted)
+                    .clamp(0.0, 1.0);
+                (t, avg, residual)
+            }
+            SswMethod::Checkpoint { intervals } => {
+                let n = intervals.max(1) as f64;
+                let ovh = Self::overhead(stack);
+                // Fixed cost: one checkpoint per interval.
+                let t_cp = t * (1.0 + ovh * n / 2.0);
+                // A detected error re-executes only the failed segment
+                // (expected one extra segment per detected error, retried
+                // until the segment passes — segments are short, a single
+                // retry almost always suffices; we charge the expectation).
+                let seg = t_cp / n;
+                let expected_rollback = p_detected * seg / (1.0 - p_detected).max(1e-12);
+                let avg = t_cp + expected_rollback;
+                // Segment-level retry keeps re-running detected errors, so
+                // only undetected errors escape.
+                let residual = p_undetected.clamp(0.0, 1.0);
+                (t_cp, avg, residual)
+            }
+        }
+    }
+}
+
+impl fmt::Display for SswMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SswMethod::None => write!(f, "ssw:none"),
+            SswMethod::Retry { max_retries } => write!(f, "ssw:retry{max_retries}"),
+            SswMethod::Checkpoint { intervals } => write!(f, "ssw:ckpt{intervals}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const T: f64 = 100.0;
+
+    #[test]
+    fn none_is_identity() {
+        let (mn, avg, res) = SswMethod::None.apply(T, 0.02, 0.9, SwStack::Rtos);
+        assert_eq!(mn, T);
+        assert_eq!(avg, T);
+        assert_eq!(res, 0.02);
+    }
+
+    #[test]
+    fn retry_reduces_residual_error() {
+        let p = 0.05;
+        let d = 0.9;
+        let (_, avg1, res1) = SswMethod::Retry { max_retries: 1 }.apply(T, p, d, SwStack::Rtos);
+        let (_, avg3, res3) = SswMethod::Retry { max_retries: 3 }.apply(T, p, d, SwStack::Rtos);
+        assert!(res1 < p);
+        assert!(res3 < res1);
+        assert!(avg3 >= avg1);
+        assert!(avg1 > T);
+    }
+
+    #[test]
+    fn retry_without_detection_is_useless() {
+        let (_, avg, res) = SswMethod::Retry { max_retries: 3 }.apply(T, 0.05, 0.0, SwStack::Rtos);
+        assert!((res - 0.05).abs() < 1e-12);
+        assert!((avg - T).abs() < 1e-9);
+    }
+
+    #[test]
+    fn checkpoint_costs_fixed_overhead() {
+        let (mn, avg, res) =
+            SswMethod::Checkpoint { intervals: 4 }.apply(T, 0.05, 0.9, SwStack::BareMetal);
+        assert!(mn > T);
+        assert!(avg > mn);
+        // Only the 10% undetected fraction escapes.
+        assert!((res - 0.05 * 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rtos_checkpoints_cheaper_than_bare_metal() {
+        let (bm, _, _) = SswMethod::Checkpoint { intervals: 4 }.apply(T, 0.0, 0.9, SwStack::BareMetal);
+        let (rt, _, _) = SswMethod::Checkpoint { intervals: 4 }.apply(T, 0.0, 0.9, SwStack::Rtos);
+        assert!(rt < bm);
+    }
+
+    #[test]
+    fn display_encodes_parameters() {
+        assert_eq!(SswMethod::Retry { max_retries: 2 }.to_string(), "ssw:retry2");
+        assert_eq!(SswMethod::Checkpoint { intervals: 4 }.to_string(), "ssw:ckpt4");
+    }
+
+    proptest! {
+        #[test]
+        fn apply_outputs_are_well_formed(
+            p in 0.0f64..0.5,
+            d in 0.0f64..1.0,
+            k in 0u8..5,
+            n in 1u8..8,
+        ) {
+            for (m, stack) in [
+                (SswMethod::None, SwStack::Rtos),
+                (SswMethod::Retry { max_retries: k }, SwStack::BareMetal),
+                (SswMethod::Checkpoint { intervals: n }, SwStack::Rtos),
+            ] {
+                let (mn, avg, res) = m.apply(T, p, d, stack);
+                prop_assert!(mn > 0.0);
+                prop_assert!(avg >= mn - 1e-9, "{m}: avg {avg} < min {mn}");
+                prop_assert!((0.0..=1.0).contains(&res));
+                prop_assert!(res <= p + 1e-12, "{m}: residual grew");
+            }
+        }
+    }
+}

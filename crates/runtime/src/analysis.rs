@@ -1,0 +1,192 @@
+//! Post-hoc analysis of adaptation traces.
+//!
+//! The Monte-Carlo simulation can retain per-event [`crate::TraceRecord`]s;
+//! this module aggregates them into the quantities one inspects when
+//! debugging a policy or database: per-point occupancy, dwell times,
+//! reconfiguration-cost histograms and violation runs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::TraceRecord;
+
+/// Aggregated statistics of one adaptation trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceAnalysis {
+    /// Number of analysed records.
+    pub events: usize,
+    /// Fraction of events that moved the operating point.
+    pub move_rate: f64,
+    /// Fraction of events with no feasible stored point.
+    pub violation_rate: f64,
+    /// Longest run of consecutive violating events.
+    pub longest_violation_run: usize,
+    /// Visits per design point (index = point id; sized to the largest
+    /// point index seen + 1).
+    pub visits: Vec<usize>,
+    /// The most visited point and its visit count.
+    pub hottest_point: Option<(usize, usize)>,
+    /// Histogram of paid reconfiguration costs over `bins` equal-width
+    /// buckets spanning `[0, max_drc]`; empty when no cost was paid.
+    pub drc_histogram: Vec<usize>,
+    /// Upper edge of the histogram (the largest paid cost).
+    pub max_drc: f64,
+}
+
+impl TraceAnalysis {
+    /// Analyses a trace with the given number of histogram bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0`.
+    pub fn of(trace: &[TraceRecord], bins: usize) -> TraceAnalysis {
+        assert!(bins > 0, "histogram needs at least one bin");
+        let events = trace.len();
+        let mut moves = 0usize;
+        let mut violations = 0usize;
+        let mut longest_run = 0usize;
+        let mut run = 0usize;
+        let mut visits: Vec<usize> = Vec::new();
+        let max_drc = trace.iter().map(|t| t.drc).fold(0.0f64, f64::max);
+        let mut histogram = vec![0usize; bins];
+
+        for t in trace {
+            if t.to != t.from {
+                moves += 1;
+            }
+            if t.violated {
+                violations += 1;
+                run += 1;
+                longest_run = longest_run.max(run);
+            } else {
+                run = 0;
+            }
+            if t.to >= visits.len() {
+                visits.resize(t.to + 1, 0);
+            }
+            visits[t.to] += 1;
+            if t.drc > 0.0 && max_drc > 0.0 {
+                let bin = ((t.drc / max_drc) * bins as f64).ceil() as usize;
+                histogram[bin.clamp(1, bins) - 1] += 1;
+            }
+        }
+
+        let hottest_point = visits
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &v)| v)
+            .filter(|(_, &v)| v > 0)
+            .map(|(i, &v)| (i, v));
+
+        TraceAnalysis {
+            events,
+            move_rate: ratio(moves, events),
+            violation_rate: ratio(violations, events),
+            longest_violation_run: longest_run,
+            visits,
+            hottest_point,
+            drc_histogram: histogram,
+            max_drc,
+        }
+    }
+
+    /// Renders the analysis as a short human-readable report.
+    pub fn report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "events:            {}", self.events);
+        let _ = writeln!(out, "move rate:         {:.1}%", self.move_rate * 100.0);
+        let _ = writeln!(out, "violation rate:    {:.1}%", self.violation_rate * 100.0);
+        let _ = writeln!(out, "longest violation: {} events", self.longest_violation_run);
+        if let Some((p, v)) = self.hottest_point {
+            let _ = writeln!(out, "hottest point:     #{p} ({v} visits)");
+        }
+        if self.max_drc > 0.0 {
+            let _ = writeln!(out, "paid dRC histogram (0 .. {:.1}):", self.max_drc);
+            let peak = self.drc_histogram.iter().copied().max().unwrap_or(1).max(1);
+            for (i, &count) in self.drc_histogram.iter().enumerate() {
+                let bar = "#".repeat(count * 40 / peak);
+                let _ = writeln!(out, "  bin {i:>2}: {count:>5} {bar}");
+            }
+        }
+        out
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clr_dse::QosSpec;
+
+    fn record(from: usize, to: usize, drc: f64, violated: bool) -> TraceRecord {
+        TraceRecord {
+            time: 0.0,
+            spec: QosSpec::new(1.0, 0.5),
+            from,
+            to,
+            drc,
+            violated,
+        }
+    }
+
+    #[test]
+    fn empty_trace_is_all_zero() {
+        let a = TraceAnalysis::of(&[], 4);
+        assert_eq!(a.events, 0);
+        assert_eq!(a.move_rate, 0.0);
+        assert!(a.hottest_point.is_none());
+        assert_eq!(a.max_drc, 0.0);
+    }
+
+    #[test]
+    fn rates_and_runs_are_computed() {
+        let trace = vec![
+            record(0, 1, 5.0, false),
+            record(1, 1, 0.0, true),
+            record(1, 1, 0.0, true),
+            record(1, 2, 3.0, false),
+        ];
+        let a = TraceAnalysis::of(&trace, 4);
+        assert_eq!(a.events, 4);
+        assert!((a.move_rate - 0.5).abs() < 1e-12);
+        assert!((a.violation_rate - 0.5).abs() < 1e-12);
+        assert_eq!(a.longest_violation_run, 2);
+        assert_eq!(a.visits[1], 3);
+        assert_eq!(a.hottest_point, Some((1, 3)));
+    }
+
+    #[test]
+    fn histogram_buckets_paid_costs() {
+        let trace = vec![
+            record(0, 1, 1.0, false),
+            record(1, 2, 10.0, false),
+            record(2, 3, 9.5, false),
+            record(3, 3, 0.0, false), // free stay: not binned
+        ];
+        let a = TraceAnalysis::of(&trace, 2);
+        assert_eq!(a.max_drc, 10.0);
+        assert_eq!(a.drc_histogram, vec![1, 2]);
+    }
+
+    #[test]
+    fn report_is_nonempty_and_mentions_rates() {
+        let trace = vec![record(0, 1, 2.0, false)];
+        let a = TraceAnalysis::of(&trace, 3);
+        let r = a.report();
+        assert!(r.contains("move rate"));
+        assert!(r.contains("histogram"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        let _ = TraceAnalysis::of(&[], 0);
+    }
+}

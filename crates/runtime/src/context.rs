@@ -1,0 +1,175 @@
+//! Shared run-time adaptation context: the stored database plus
+//! pre-computed reconfiguration distances and normalisers.
+
+use clr_dse::{DesignPointDb, QosSpec};
+use clr_platform::Platform;
+use clr_sched::reconfiguration_cost;
+use clr_stats::Normalizer;
+use clr_taskgraph::TaskGraph;
+
+/// Pre-computed run-time state: the pairwise `dRC` matrix between stored
+/// design points and the min–max normalisers Algorithm 1 applies to
+/// `R(p)` and `dRC(p)`.
+///
+/// The matrix makes each adaptation decision O(|DB|) instead of
+/// O(|DB| · |tasks|), which is what lets the Monte-Carlo evaluation run
+/// for a million application cycles.
+#[derive(Debug, Clone)]
+pub struct RuntimeContext<'a> {
+    db: &'a DesignPointDb,
+    /// `drc[from][to]`.
+    drc: Vec<Vec<f64>>,
+    energy_norm: Normalizer,
+    drc_norm: Normalizer,
+}
+
+impl<'a> RuntimeContext<'a> {
+    /// Builds the context for a stored database on its graph/platform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the database is empty or a stored mapping does not fit
+    /// the graph (databases produced by `clr-dse` always fit).
+    pub fn new(graph: &TaskGraph, platform: &Platform, db: &'a DesignPointDb) -> Self {
+        assert!(!db.is_empty(), "runtime context needs a non-empty database");
+        let n = db.len();
+        let mut drc = vec![vec![0.0f64; n]; n];
+        let mut max_drc = 0.0f64;
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let c = reconfiguration_cost(
+                    graph,
+                    platform,
+                    &db.point(i).mapping,
+                    &db.point(j).mapping,
+                )
+                .total();
+                drc[i][j] = c;
+                if c > max_drc {
+                    max_drc = c;
+                }
+            }
+        }
+        let energy_norm = Normalizer::from_iter(db.iter().map(|p| p.metrics.energy))
+            .expect("db energies are finite");
+        let drc_norm = Normalizer::new(0.0, max_drc.max(1e-12)).expect("drc range is valid");
+        Self {
+            db,
+            drc,
+            energy_norm,
+            drc_norm,
+        }
+    }
+
+    /// The stored database.
+    pub fn db(&self) -> &'a DesignPointDb {
+        self.db
+    }
+
+    /// Number of stored design points (= RL states).
+    pub fn len(&self) -> usize {
+        self.db.len()
+    }
+
+    /// `true` if the database holds no points (never true post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.db.is_empty()
+    }
+
+    /// Reconfiguration cost of moving from point `from` to point `to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn drc(&self, from: usize, to: usize) -> f64 {
+        self.drc[from][to]
+    }
+
+    /// Normalised (0–1) reconfiguration cost.
+    pub fn norm_drc(&self, from: usize, to: usize) -> f64 {
+        self.drc_norm.normalize(self.drc[from][to])
+    }
+
+    /// Normalised (0–1) performance `R(p) = −J(p)`: 1 is the *best*
+    /// (lowest-energy) stored point.
+    pub fn norm_performance(&self, point: usize) -> f64 {
+        1.0 - self.energy_norm.normalize(self.db.point(point).metrics.energy)
+    }
+
+    /// Indices of points satisfying `spec` (Algorithm 1's `FEAS`).
+    pub fn feasible(&self, spec: &QosSpec) -> Vec<usize> {
+        self.db.feasible_indices(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clr_dse::{explore_based, DseConfig, ExplorationMode};
+    use clr_moea::GaParams;
+    use clr_reliability::{ConfigSpace, FaultModel};
+    use clr_taskgraph::{TgffConfig, TgffGenerator};
+
+    fn fixture() -> (clr_taskgraph::TaskGraph, Platform, DesignPointDb) {
+        let graph = TgffGenerator::new(TgffConfig::with_tasks(8)).generate(17);
+        let platform = Platform::dac19();
+        let cfg = DseConfig {
+            ga: GaParams::small(),
+            mode: ExplorationMode::Full,
+            reference: None,
+            max_points: None,
+        };
+        let db = explore_based(
+            &graph,
+            &platform,
+            FaultModel::default(),
+            ConfigSpace::fine(),
+            &cfg,
+            17,
+        );
+        (graph, platform, db)
+    }
+
+    #[test]
+    fn diagonal_is_free_and_matrix_is_nonnegative() {
+        let (g, p, db) = fixture();
+        let ctx = RuntimeContext::new(&g, &p, &db);
+        for i in 0..ctx.len() {
+            assert_eq!(ctx.drc(i, i), 0.0);
+            for j in 0..ctx.len() {
+                assert!(ctx.drc(i, j) >= 0.0);
+                assert!((0.0..=1.0).contains(&ctx.norm_drc(i, j)));
+            }
+        }
+    }
+
+    #[test]
+    fn best_energy_point_has_unit_performance() {
+        let (g, p, db) = fixture();
+        let ctx = RuntimeContext::new(&g, &p, &db);
+        let best = (0..db.len())
+            .min_by(|&a, &b| {
+                db.point(a)
+                    .metrics
+                    .energy
+                    .partial_cmp(&db.point(b).metrics.energy)
+                    .unwrap()
+            })
+            .unwrap();
+        assert!((ctx.norm_performance(best) - 1.0).abs() < 1e-12);
+        for i in 0..ctx.len() {
+            assert!((0.0..=1.0).contains(&ctx.norm_performance(i)));
+        }
+    }
+
+    #[test]
+    fn feasible_matches_db_filter() {
+        let (g, p, db) = fixture();
+        let ctx = RuntimeContext::new(&g, &p, &db);
+        let spec = QosSpec::new(f64::INFINITY, 0.0);
+        assert_eq!(ctx.feasible(&spec).len(), db.len());
+    }
+}

@@ -1,0 +1,123 @@
+//! The purely performance/hyper-volume-oriented baseline policy.
+//!
+//! Paper §5.2 attributes BaseD's higher run-time cost to "the search for
+//! the best hyper-volume design point for every change in QoS
+//! requirements": on each event the baseline moves to the feasible stored
+//! point sweeping the largest area w.r.t. the new requirement, regardless
+//! of the migration this causes. This is the behaviour of the
+//! state-of-the-art hybrid remapping of Rehman et al.\ (ref.\ 11) that Tables 4–6
+//! compare against.
+
+use clr_dse::QosSpec;
+use clr_moea::signed_hypervolume_fitness;
+use serde::{Deserialize, Serialize};
+
+use crate::sim::AdaptationPolicy;
+use crate::RuntimeContext;
+
+/// Baseline policy: reconfigure to the feasible point with the largest
+/// hyper-volume w.r.t. the event's QoS requirement (ties broken toward the
+/// lower index).
+///
+/// # Examples
+///
+/// ```
+/// use clr_runtime::HvPolicy;
+/// let p = HvPolicy::new();
+/// assert_eq!(p, HvPolicy::default());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct HvPolicy;
+
+impl HvPolicy {
+    /// Creates the baseline policy.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Selects the feasible point with maximum hyper-volume fitness w.r.t.
+    /// the requirement `(S_SPEC, max error rate)`, or `None` when nothing
+    /// is feasible.
+    pub fn select(&self, ctx: &RuntimeContext<'_>, spec: &QosSpec) -> Option<usize> {
+        let reference = [spec.max_makespan, spec.max_error_rate()];
+        ctx.feasible(spec)
+            .into_iter()
+            .map(|p| {
+                let m = &ctx.db().point(p).metrics;
+                let fit = signed_hypervolume_fitness(&[m.makespan, m.error_rate()], &reference);
+                (p, fit)
+            })
+            .max_by(|a, b| {
+                a.1.partial_cmp(&b.1)
+                    .expect("fitness is finite")
+                    .then(b.0.cmp(&a.0))
+            })
+            .map(|(p, _)| p)
+    }
+}
+
+impl AdaptationPolicy for HvPolicy {
+    fn decide(&mut self, ctx: &RuntimeContext<'_>, _current: usize, spec: &QosSpec)
+        -> Option<usize> {
+        self.select(ctx, spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clr_dse::{explore_based, DseConfig, ExplorationMode};
+    use clr_moea::GaParams;
+    use clr_platform::Platform;
+    use clr_reliability::{ConfigSpace, FaultModel};
+    use clr_taskgraph::{TgffConfig, TgffGenerator};
+
+    #[test]
+    fn baseline_ignores_current_point() {
+        let graph = TgffGenerator::new(TgffConfig::with_tasks(10)).generate(51);
+        let platform = Platform::dac19();
+        let cfg = DseConfig {
+            ga: GaParams::small(),
+            mode: ExplorationMode::Csp,
+            reference: None,
+            max_points: None,
+        };
+        let db = explore_based(
+            &graph,
+            &platform,
+            FaultModel::default(),
+            ConfigSpace::fine(),
+            &cfg,
+            51,
+        );
+        let ctx = RuntimeContext::new(&graph, &platform, &db);
+        let spec = QosSpec::new(f64::INFINITY, 0.0);
+        let mut p = HvPolicy::new();
+        let choice0 = p.decide(&ctx, 0, &spec);
+        let choice_last = p.decide(&ctx, db.len() - 1, &spec);
+        assert_eq!(choice0, choice_last);
+        assert!(choice0.is_some());
+    }
+
+    #[test]
+    fn infeasible_spec_returns_none() {
+        let graph = TgffGenerator::new(TgffConfig::with_tasks(8)).generate(52);
+        let platform = Platform::dac19();
+        let cfg = DseConfig {
+            ga: GaParams::small(),
+            mode: ExplorationMode::Csp,
+            reference: None,
+            max_points: None,
+        };
+        let db = explore_based(
+            &graph,
+            &platform,
+            FaultModel::default(),
+            ConfigSpace::fine(),
+            &cfg,
+            52,
+        );
+        let ctx = RuntimeContext::new(&graph, &platform, &db);
+        assert_eq!(HvPolicy::new().select(&ctx, &QosSpec::new(0.0, 1.0)), None);
+    }
+}

@@ -1,0 +1,383 @@
+//! QoS-requirement variation: the discrete-event workload of the
+//! Monte-Carlo evaluation (paper §5.1).
+//!
+//! "Bivariate Gaussian and exponential distributions, with a rate of 100
+//! cycles, were used ... for emulating changes in QoS specification and
+//! the time between discrete events respectively."
+
+use clr_dse::{DesignPointDb, QosSpec};
+use clr_stats::{BivariateNormal, Exponential, Summary};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// How successive QoS requirements relate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VariationMode {
+    /// Each event draws an independent requirement from the bivariate
+    /// Gaussian (the distribution *of* the requirement).
+    Independent,
+    /// Each event adds a zero-mean bivariate-Gaussian *change* to the
+    /// previous requirement (the distribution of the *changes*, matching
+    /// the paper's "emulating changes in QoS specification"), reflected at
+    /// the achievable bounds. Requirements then drift with temporal
+    /// structure — the regime in which learned value functions (AuRA)
+    /// pay off over myopic adaptation.
+    RandomWalk,
+}
+
+/// The bivariate-Gaussian model of QoS-requirement variation.
+///
+/// Axis 0 is the maximum acceptable makespan `S_SPEC`, axis 1 the minimum
+/// acceptable reliability `F_SPEC`; samples are clamped into sane bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QosVariationModel {
+    /// Independent mode: the requirement distribution. Walk mode: the mean
+    /// is the walk's starting requirement, the σ/ρ describe the steps.
+    dist: BivariateNormal,
+    mode: VariationMode,
+    /// Reflection bounds of the random walk (makespan axis).
+    bounds_s: (f64, f64),
+    /// Reflection bounds of the random walk (reliability axis).
+    bounds_f: (f64, f64),
+}
+
+impl QosVariationModel {
+    /// Creates an independent-sampling model from explicit
+    /// means/std-devs/correlation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the distribution parameters are invalid (negative σ or
+    /// |ρ| > 1) — these are experiment-configuration bugs.
+    pub fn new(
+        mean_makespan: f64,
+        std_makespan: f64,
+        mean_reliability: f64,
+        std_reliability: f64,
+        correlation: f64,
+    ) -> Self {
+        let dist = BivariateNormal::new(
+            [mean_makespan, mean_reliability],
+            [std_makespan, std_reliability],
+            correlation,
+        )
+        .expect("qos variation parameters must be valid");
+        Self {
+            dist,
+            mode: VariationMode::Independent,
+            bounds_s: (0.0, f64::MAX),
+            bounds_f: (0.0, 1.0),
+        }
+    }
+
+    /// Creates a random-walk model: requirements start at
+    /// `(start_makespan, start_reliability)` and change by zero-mean
+    /// Gaussian steps, reflected into the given per-axis bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the step parameters are invalid or a bound interval is
+    /// empty.
+    pub fn random_walk(
+        start: [f64; 2],
+        step_std: [f64; 2],
+        correlation: f64,
+        bounds_s: (f64, f64),
+        bounds_f: (f64, f64),
+    ) -> Self {
+        assert!(bounds_s.0 < bounds_s.1, "empty makespan bounds");
+        assert!(bounds_f.0 < bounds_f.1, "empty reliability bounds");
+        let dist = BivariateNormal::new(start, step_std, correlation)
+            .expect("qos walk parameters must be valid");
+        Self {
+            dist,
+            mode: VariationMode::RandomWalk,
+            bounds_s,
+            bounds_f,
+        }
+    }
+
+    /// Calibrates an independent-sampling model against a stored database
+    /// so that sampled requirements land around the achievable QoS region:
+    /// the strict (worst-case) requirements live in the ~2σ tail,
+    /// mirroring the paper's worst-case provisioning argument.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the database is empty.
+    pub fn calibrated(db: &DesignPointDb, sigma_frac: f64, correlation: f64) -> Self {
+        let (makespans, rels, span_s, span_f) = db_spans(db);
+        Self::new(
+            makespans.mean + 0.10 * span_s,
+            sigma_frac * span_s,
+            rels.mean - 0.10 * span_f,
+            sigma_frac * span_f,
+            correlation,
+        )
+    }
+
+    /// Calibrates a random-walk model against a stored database: the walk
+    /// starts at the centre of the achievable region, steps are
+    /// `sigma_frac` of the spans, and the walk reflects at the region's
+    /// edges (slightly padded so both very lax and just-unreachable
+    /// requirements occur).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the database is empty.
+    pub fn calibrated_walk(db: &DesignPointDb, sigma_frac: f64, correlation: f64) -> Self {
+        let (makespans, rels, span_s, span_f) = db_spans(db);
+        Self::random_walk(
+            [makespans.mean + 0.10 * span_s, rels.mean - 0.10 * span_f],
+            [sigma_frac * span_s, sigma_frac * span_f],
+            correlation,
+            (makespans.min - 0.10 * span_s, makespans.max + 0.50 * span_s),
+            (
+                (rels.min - 0.50 * span_f).max(0.0),
+                (rels.max + 0.02 * span_f).min(1.0),
+            ),
+        )
+    }
+
+    /// The variation mode.
+    pub fn mode(&self) -> VariationMode {
+        self.mode
+    }
+
+    /// Draws the next QoS requirement, advancing `state` (the previous
+    /// requirement pair; pass `None` initially).
+    pub fn next(&self, state: &mut Option<[f64; 2]>, rng: &mut StdRng) -> QosSpec {
+        match self.mode {
+            VariationMode::Independent => {
+                let [s, f] = self.dist.sample(rng);
+                QosSpec::new(s, f).clamped()
+            }
+            VariationMode::RandomWalk => {
+                let current = state.unwrap_or(self.dist.mean());
+                let step = {
+                    // Steps are zero-mean: subtract the stored start.
+                    let [ds, df] = self.dist.sample(rng);
+                    let mean = self.dist.mean();
+                    [ds - mean[0], df - mean[1]]
+                };
+                let s = reflect(current[0] + step[0], self.bounds_s.0, self.bounds_s.1);
+                let f = reflect(current[1] + step[1], self.bounds_f.0, self.bounds_f.1);
+                *state = Some([s, f]);
+                QosSpec::new(s, f).clamped()
+            }
+        }
+    }
+
+    /// Draws one requirement without walk state (independent-mode
+    /// convenience; in walk mode this samples one step from the start).
+    pub fn sample(&self, rng: &mut StdRng) -> QosSpec {
+        let mut state = None;
+        self.next(&mut state, rng)
+    }
+
+    /// The underlying bivariate distribution.
+    pub fn distribution(&self) -> &BivariateNormal {
+        &self.dist
+    }
+}
+
+fn db_spans(db: &DesignPointDb) -> (Summary, Summary, f64, f64) {
+    assert!(!db.is_empty(), "cannot calibrate against an empty database");
+    let makespans = Summary::from_iter(db.iter().map(|p| p.metrics.makespan));
+    let rels = Summary::from_iter(db.iter().map(|p| p.metrics.reliability));
+    let span_s = (makespans.max - makespans.min).max(makespans.mean.abs() * 0.05 + 1e-9);
+    let span_f = (rels.max - rels.min).max(1e-6);
+    (makespans, rels, span_s, span_f)
+}
+
+/// Reflects `x` into `[lo, hi]` (triangle-wave folding, exact for any
+/// overshoot).
+fn reflect(x: f64, lo: f64, hi: f64) -> f64 {
+    let width = hi - lo;
+    debug_assert!(width > 0.0);
+    let mut t = (x - lo).rem_euclid(2.0 * width);
+    if t > width {
+        t = 2.0 * width - t;
+    }
+    lo + t
+}
+
+/// One discrete event: a QoS-requirement change at a point in time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QosEvent {
+    /// Absolute simulation time (application-cycle units).
+    pub time: f64,
+    /// The new requirement.
+    pub spec: QosSpec,
+}
+
+/// Seeded stream of QoS-change events with exponential inter-arrival
+/// times (mean 100 cycles by default, per the paper).
+///
+/// # Examples
+///
+/// ```
+/// use clr_runtime::{EventStream, QosVariationModel};
+/// let qos = QosVariationModel::new(100.0, 10.0, 0.95, 0.01, 0.0);
+/// let mut events = EventStream::new(qos, 100.0, 7);
+/// let e1 = events.next_event();
+/// let e2 = events.next_event();
+/// assert!(e2.time > e1.time);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventStream {
+    qos: QosVariationModel,
+    gaps: Exponential,
+    rng: StdRng,
+    now: f64,
+    state: Option<[f64; 2]>,
+}
+
+impl EventStream {
+    /// Creates a stream with the given mean inter-event gap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean_gap <= 0`.
+    pub fn new(qos: QosVariationModel, mean_gap: f64, seed: u64) -> Self {
+        let gaps = Exponential::with_mean(mean_gap).expect("mean gap must be positive");
+        Self {
+            qos,
+            gaps,
+            rng: StdRng::seed_from_u64(seed ^ 0x0e57_11ea_0000_0001),
+            now: 0.0,
+            state: None,
+        }
+    }
+
+    /// Current simulation time (time of the last event).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Advances to and returns the next event.
+    pub fn next_event(&mut self) -> QosEvent {
+        self.now += self.gaps.sample(&mut self.rng);
+        QosEvent {
+            time: self.now,
+            spec: self.qos.next(&mut self.state, &mut self.rng),
+        }
+    }
+}
+
+impl Iterator for EventStream {
+    type Item = QosEvent;
+
+    fn next(&mut self) -> Option<QosEvent> {
+        Some(self.next_event())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> QosVariationModel {
+        QosVariationModel::new(1000.0, 100.0, 0.95, 0.02, 0.4)
+    }
+
+    #[test]
+    fn samples_are_clamped_sane() {
+        let m = QosVariationModel::new(10.0, 100.0, 0.5, 2.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..500 {
+            let s = m.sample(&mut rng);
+            assert!(s.max_makespan >= 0.0);
+            assert!((0.0..=1.0).contains(&s.min_reliability));
+        }
+    }
+
+    #[test]
+    fn stream_time_is_strictly_increasing() {
+        let mut es = EventStream::new(model(), 100.0, 5);
+        let mut last = 0.0;
+        for e in es.by_ref().take(200) {
+            assert!(e.time > last);
+            last = e.time;
+        }
+    }
+
+    #[test]
+    fn stream_mean_gap_matches() {
+        let mut es = EventStream::new(model(), 100.0, 6);
+        let n = 20_000;
+        for _ in 0..n {
+            es.next_event();
+        }
+        let mean_gap = es.now() / n as f64;
+        assert!((mean_gap - 100.0).abs() < 3.0, "mean gap {mean_gap}");
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let a: Vec<QosEvent> = EventStream::new(model(), 100.0, 9).take(20).collect();
+        let b: Vec<QosEvent> = EventStream::new(model(), 100.0, 9).take(20).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn walk_stays_within_bounds() {
+        let m = QosVariationModel::random_walk(
+            [100.0, 0.9],
+            [20.0, 0.05],
+            0.0,
+            (50.0, 150.0),
+            (0.7, 0.99),
+        );
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut state = None;
+        for _ in 0..2_000 {
+            let s = m.next(&mut state, &mut rng);
+            assert!((50.0..=150.0).contains(&s.max_makespan), "{s:?}");
+            assert!((0.7..=0.99).contains(&s.min_reliability), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn walk_is_temporally_correlated() {
+        // Successive requirements of a walk are much closer than
+        // independent draws with the same marginal spread.
+        let m = QosVariationModel::random_walk(
+            [100.0, 0.9],
+            [2.0, 0.002],
+            0.0,
+            (50.0, 150.0),
+            (0.7, 0.99),
+        );
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut state = None;
+        let mut prev = m.next(&mut state, &mut rng);
+        let mut max_jump = 0.0f64;
+        for _ in 0..1_000 {
+            let s = m.next(&mut state, &mut rng);
+            max_jump = max_jump.max((s.max_makespan - prev.max_makespan).abs());
+            prev = s;
+        }
+        assert!(max_jump < 10.0, "walk jumped {max_jump}");
+    }
+
+    #[test]
+    fn reflect_handles_all_cases() {
+        assert_eq!(reflect(5.0, 0.0, 10.0), 5.0);
+        assert_eq!(reflect(-2.0, 0.0, 10.0), 2.0);
+        assert_eq!(reflect(12.0, 0.0, 10.0), 8.0);
+        // Multi-bounce overshoots fold like a triangle wave.
+        assert_eq!(reflect(25.0, 0.0, 10.0), 5.0);
+        assert_eq!(reflect(-25.0, 0.0, 10.0), 5.0);
+        assert_eq!(reflect(0.0, 0.0, 10.0), 0.0);
+        assert_eq!(reflect(10.0, 0.0, 10.0), 10.0);
+    }
+
+    #[test]
+    fn mode_accessor_reports_variant() {
+        assert_eq!(model().mode(), VariationMode::Independent);
+        let w = QosVariationModel::random_walk([1.0, 0.5], [0.1, 0.1], 0.0, (0.0, 2.0), (0.0, 1.0));
+        assert_eq!(w.mode(), VariationMode::RandomWalk);
+    }
+}

@@ -1,0 +1,330 @@
+//! Discrete-event Monte-Carlo simulation of run-time adaptation
+//! (paper §5.1–5.2).
+
+use clr_dse::QosSpec;
+use serde::{Deserialize, Serialize};
+
+use crate::{EventStream, QosVariationModel, RuntimeContext};
+
+/// A run-time adaptation policy driving the discrete-event simulation.
+///
+/// [`crate::UraPolicy`] is stateless; [`crate::AuraAgent`] learns from the
+/// `observe`/`end_episode` callbacks.
+pub trait AdaptationPolicy {
+    /// Selects the next design point for the new requirement, or `None`
+    /// when no stored point is feasible (the system then keeps its
+    /// current configuration).
+    fn decide(&mut self, ctx: &RuntimeContext<'_>, current: usize, spec: &QosSpec)
+        -> Option<usize>;
+
+    /// Notified after each executed transition (including staying put).
+    fn observe(&mut self, _ctx: &RuntimeContext<'_>, _from: usize, _to: usize) {}
+
+    /// Notified at each episode boundary (a fixed number of application
+    /// cycles; paper: "typically a thousand application execution cycles").
+    fn end_episode(&mut self) {}
+}
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Total simulated application execution cycles.
+    pub total_cycles: f64,
+    /// Mean inter-event gap in cycles (paper: 100).
+    pub mean_event_gap: f64,
+    /// Episode length in cycles for RL value updates (paper: ~1000).
+    pub episode_cycles: f64,
+    /// RNG seed for the event stream.
+    pub seed: u64,
+    /// Index of the initially active design point.
+    pub initial_point: usize,
+    /// Cap on the number of retained trace records (0 = keep none).
+    pub max_trace: usize,
+}
+
+impl SimConfig {
+    /// The paper's full evaluation: one million application execution
+    /// cycles, 100-cycle mean gaps, 1000-cycle episodes.
+    pub fn paper(seed: u64) -> Self {
+        Self {
+            total_cycles: 1_000_000.0,
+            mean_event_gap: 100.0,
+            episode_cycles: 1_000.0,
+            seed,
+            initial_point: 0,
+            max_trace: 0,
+        }
+    }
+
+    /// A fast configuration for tests and smoke benches (20 k cycles).
+    pub fn quick(seed: u64) -> Self {
+        Self {
+            total_cycles: 20_000.0,
+            ..Self::paper(seed)
+        }
+    }
+
+    /// Returns a copy retaining up to `n` trace records.
+    pub fn with_trace(mut self, n: usize) -> Self {
+        self.max_trace = n;
+        self
+    }
+}
+
+/// One retained adaptation event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Event time in cycles.
+    pub time: f64,
+    /// The new QoS requirement.
+    pub spec: QosSpec,
+    /// Active point before the event.
+    pub from: usize,
+    /// Active point after the event.
+    pub to: usize,
+    /// Reconfiguration cost paid.
+    pub drc: f64,
+    /// `true` if no stored point satisfied the requirement.
+    pub violated: bool,
+}
+
+/// Aggregate outcome of one Monte-Carlo run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Number of QoS-change events processed.
+    pub events: usize,
+    /// Number of events that actually moved the operating point.
+    pub reconfigurations: usize,
+    /// Events for which no stored point was feasible.
+    pub violations: usize,
+    /// Sum of all paid reconfiguration costs.
+    pub total_reconfig_cost: f64,
+    /// Mean reconfiguration cost per event (the paper's "average
+    /// reconfiguration cost").
+    pub avg_reconfig_cost: f64,
+    /// Largest single reconfiguration cost (`ΔdRC` in Fig. 6).
+    pub max_reconfig_cost: f64,
+    /// Time-weighted mean energy of the active operating point (the
+    /// paper's "average energy consumption" `J_avg`).
+    pub avg_energy: f64,
+    /// Total run-time DSE work: stored design points scanned across all
+    /// adaptation decisions (each event filters and scores the whole
+    /// database). This is the run-time DSE latency the paper's conclusion
+    /// warns grows with the number of stored points.
+    pub decision_work: u64,
+    /// Retained per-event records (up to `SimConfig::max_trace`).
+    pub trace: Vec<TraceRecord>,
+}
+
+/// Runs the discrete-event Monte-Carlo simulation.
+///
+/// # Panics
+///
+/// Panics if `initial_point` is out of range for the context's database.
+///
+/// # Examples
+///
+/// See the [crate-level example](crate).
+pub fn simulate<P: AdaptationPolicy + ?Sized>(
+    ctx: &RuntimeContext<'_>,
+    policy: &mut P,
+    qos: &QosVariationModel,
+    config: &SimConfig,
+) -> SimResult {
+    assert!(
+        config.initial_point < ctx.len(),
+        "initial point {} out of range ({} stored)",
+        config.initial_point,
+        ctx.len()
+    );
+    let mut events = EventStream::new(*qos, config.mean_event_gap, config.seed);
+    let mut current = config.initial_point;
+    let mut last_time = 0.0f64;
+    let mut next_episode_end = config.episode_cycles;
+
+    let mut result = SimResult {
+        events: 0,
+        reconfigurations: 0,
+        violations: 0,
+        total_reconfig_cost: 0.0,
+        avg_reconfig_cost: 0.0,
+        max_reconfig_cost: 0.0,
+        avg_energy: 0.0,
+        decision_work: 0,
+        trace: Vec::new(),
+    };
+    let mut energy_time_integral = 0.0f64;
+
+    loop {
+        let event = events.next_event();
+        let horizon = event.time.min(config.total_cycles);
+        // Accumulate dwell energy of the active point.
+        energy_time_integral += ctx.db().point(current).metrics.energy * (horizon - last_time);
+        last_time = horizon;
+
+        // Episode boundaries passed before this event.
+        while next_episode_end <= horizon {
+            policy.end_episode();
+            next_episode_end += config.episode_cycles;
+        }
+        if event.time >= config.total_cycles {
+            break;
+        }
+
+        result.events += 1;
+        result.decision_work += ctx.len() as u64;
+        let decision = policy.decide(ctx, current, &event.spec);
+        let (to, violated) = match decision {
+            Some(p) => (p, false),
+            None => (current, true),
+        };
+        let drc = ctx.drc(current, to);
+        policy.observe(ctx, current, to);
+
+        if violated {
+            result.violations += 1;
+        }
+        if to != current {
+            result.reconfigurations += 1;
+        }
+        result.total_reconfig_cost += drc;
+        if drc > result.max_reconfig_cost {
+            result.max_reconfig_cost = drc;
+        }
+        if result.trace.len() < config.max_trace {
+            result.trace.push(TraceRecord {
+                time: event.time,
+                spec: event.spec,
+                from: current,
+                to,
+                drc,
+                violated,
+            });
+        }
+        current = to;
+    }
+
+    result.avg_reconfig_cost = if result.events > 0 {
+        result.total_reconfig_cost / result.events as f64
+    } else {
+        0.0
+    };
+    result.avg_energy = if config.total_cycles > 0.0 {
+        energy_time_integral / config.total_cycles
+    } else {
+        0.0
+    };
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UraPolicy;
+    use clr_dse::{explore_based, DesignPointDb, DseConfig, ExplorationMode};
+    use clr_moea::GaParams;
+    use clr_platform::Platform;
+    use clr_reliability::{ConfigSpace, FaultModel};
+    use clr_taskgraph::{TgffConfig, TgffGenerator};
+
+    fn fixture(seed: u64) -> (clr_taskgraph::TaskGraph, Platform, DesignPointDb) {
+        let graph = TgffGenerator::new(TgffConfig::with_tasks(10)).generate(seed);
+        let platform = Platform::dac19();
+        let cfg = DseConfig {
+            ga: GaParams::small(),
+            mode: ExplorationMode::Full,
+            reference: None,
+            max_points: None,
+        };
+        let db = explore_based(
+            &graph,
+            &platform,
+            FaultModel::default(),
+            ConfigSpace::fine(),
+            &cfg,
+            seed,
+        );
+        (graph, platform, db)
+    }
+
+    #[test]
+    fn simulation_is_deterministic_per_seed() {
+        let (g, p, db) = fixture(31);
+        let ctx = RuntimeContext::new(&g, &p, &db);
+        let qos = QosVariationModel::calibrated(&db, 0.25, 0.3);
+        let mut pol1 = UraPolicy::new(0.5).unwrap();
+        let mut pol2 = UraPolicy::new(0.5).unwrap();
+        let a = simulate(&ctx, &mut pol1, &qos, &SimConfig::quick(1));
+        let b = simulate(&ctx, &mut pol2, &qos, &SimConfig::quick(1));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn event_count_tracks_mean_gap() {
+        let (g, p, db) = fixture(32);
+        let ctx = RuntimeContext::new(&g, &p, &db);
+        let qos = QosVariationModel::calibrated(&db, 0.25, 0.3);
+        let mut pol = UraPolicy::new(0.5).unwrap();
+        let cfg = SimConfig::quick(2); // 20k cycles, mean gap 100 → ~200 events
+        let r = simulate(&ctx, &mut pol, &qos, &cfg);
+        assert!((150..=260).contains(&r.events), "events {}", r.events);
+        assert!(r.reconfigurations <= r.events);
+    }
+
+    #[test]
+    fn p_rc_zero_reconfigures_less_than_p_rc_one() {
+        let (g, p, db) = fixture(33);
+        let ctx = RuntimeContext::new(&g, &p, &db);
+        let qos = QosVariationModel::calibrated(&db, 0.25, 0.3);
+        let cfg = SimConfig::quick(3);
+        let mut lazy = UraPolicy::new(0.0).unwrap();
+        let mut eager = UraPolicy::new(1.0).unwrap();
+        let r_lazy = simulate(&ctx, &mut lazy, &qos, &cfg);
+        let r_eager = simulate(&ctx, &mut eager, &qos, &cfg);
+        assert!(
+            r_lazy.total_reconfig_cost <= r_eager.total_reconfig_cost,
+            "lazy {} vs eager {}",
+            r_lazy.total_reconfig_cost,
+            r_eager.total_reconfig_cost
+        );
+        // ... and the eager policy buys at-most-equal energy.
+        assert!(r_eager.avg_energy <= r_lazy.avg_energy + 1e-9);
+    }
+
+    #[test]
+    fn decision_work_scales_with_db_and_events() {
+        let (g, p, db) = fixture(36);
+        let ctx = RuntimeContext::new(&g, &p, &db);
+        let qos = QosVariationModel::calibrated(&db, 0.25, 0.3);
+        let mut pol = UraPolicy::new(0.5).unwrap();
+        let r = simulate(&ctx, &mut pol, &qos, &SimConfig::quick(7));
+        assert_eq!(r.decision_work, r.events as u64 * db.len() as u64);
+    }
+
+    #[test]
+    fn trace_is_capped() {
+        let (g, p, db) = fixture(34);
+        let ctx = RuntimeContext::new(&g, &p, &db);
+        let qos = QosVariationModel::calibrated(&db, 0.25, 0.3);
+        let mut pol = UraPolicy::new(0.5).unwrap();
+        let r = simulate(&ctx, &mut pol, &qos, &SimConfig::quick(4).with_trace(50));
+        assert!(r.trace.len() <= 50);
+        assert!(!r.trace.is_empty());
+        // Trace times are increasing.
+        for w in r.trace.windows(2) {
+            assert!(w[1].time > w[0].time);
+        }
+    }
+
+    #[test]
+    fn avg_energy_is_within_db_range() {
+        let (g, p, db) = fixture(35);
+        let ctx = RuntimeContext::new(&g, &p, &db);
+        let qos = QosVariationModel::calibrated(&db, 0.25, 0.3);
+        let mut pol = UraPolicy::new(0.7).unwrap();
+        let r = simulate(&ctx, &mut pol, &qos, &SimConfig::quick(5));
+        let min = db.iter().map(|p| p.metrics.energy).fold(f64::INFINITY, f64::min);
+        let max = db.iter().map(|p| p.metrics.energy).fold(0.0f64, f64::max);
+        assert!(r.avg_energy >= min - 1e-9 && r.avg_energy <= max + 1e-9);
+    }
+}

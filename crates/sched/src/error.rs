@@ -1,0 +1,77 @@
+//! Error type for mapping construction and validation.
+
+use std::fmt;
+
+/// Error produced while constructing or validating a [`crate::Mapping`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MappingError {
+    /// The gene vector length does not match the task count.
+    LengthMismatch {
+        /// Number of genes supplied.
+        genes: usize,
+        /// Number of tasks in the graph.
+        tasks: usize,
+    },
+    /// A gene binds a task to a PE index outside the platform.
+    UnknownPe {
+        /// The offending task index.
+        task: usize,
+        /// The dangling PE index.
+        pe: usize,
+    },
+    /// A gene selects an implementation index outside the task's set.
+    UnknownImpl {
+        /// The offending task index.
+        task: usize,
+        /// The dangling implementation index.
+        impl_id: usize,
+    },
+    /// The selected implementation targets a different PE type than the
+    /// bound PE.
+    IncompatiblePeType {
+        /// The offending task index.
+        task: usize,
+    },
+    /// No implementation of this task is compatible with any PE of the
+    /// platform (the task cannot be mapped at all).
+    Unmappable {
+        /// The offending task index.
+        task: usize,
+    },
+}
+
+impl fmt::Display for MappingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MappingError::LengthMismatch { genes, tasks } => {
+                write!(f, "mapping has {genes} genes for {tasks} tasks")
+            }
+            MappingError::UnknownPe { task, pe } => {
+                write!(f, "task {task} bound to nonexistent pe {pe}")
+            }
+            MappingError::UnknownImpl { task, impl_id } => {
+                write!(f, "task {task} selects nonexistent implementation {impl_id}")
+            }
+            MappingError::IncompatiblePeType { task } => {
+                write!(f, "task {task}: implementation targets a different pe type")
+            }
+            MappingError::Unmappable { task } => {
+                write!(f, "task {task} has no implementation compatible with the platform")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MappingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_identifies_task() {
+        assert!(MappingError::IncompatiblePeType { task: 4 }
+            .to_string()
+            .contains("task 4"));
+    }
+}

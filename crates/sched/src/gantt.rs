@@ -1,0 +1,152 @@
+//! Schedule visualisation: ASCII Gantt charts and CSV export.
+
+use std::fmt::Write as _;
+
+use clr_taskgraph::TaskGraph;
+
+use crate::Schedule;
+
+/// Renders an ASCII Gantt chart of a schedule, one row per PE, `width`
+/// character columns spanning the makespan.
+///
+/// Each task paints its id's last digit across its execution window; idle
+/// time is `·`. Tasks shorter than one column still paint one cell.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use clr_platform::Platform;
+/// use clr_sched::{gantt_ascii, list_schedule, Mapping};
+/// use clr_taskgraph::jpeg_encoder;
+///
+/// let g = jpeg_encoder();
+/// let p = Platform::dac19();
+/// let m = Mapping::first_fit(&g, &p).unwrap();
+/// let times: Vec<f64> = g.task_ids().map(|_| 10.0).collect();
+/// let s = list_schedule(&g, &m, &times);
+/// let chart = gantt_ascii(&s, 60);
+/// assert!(chart.contains("PE"));
+/// ```
+pub fn gantt_ascii(schedule: &Schedule, width: usize) -> String {
+    assert!(width > 0, "gantt width must be positive");
+    let makespan = schedule.makespan().max(1e-12);
+    let num_pes = schedule
+        .entries()
+        .iter()
+        .map(|e| e.pe + 1)
+        .max()
+        .unwrap_or(1);
+    let mut rows = vec![vec![b'\xB7'; width]; num_pes]; // placeholder, replaced below
+    for row in &mut rows {
+        for c in row.iter_mut() {
+            *c = b'.';
+        }
+    }
+    for e in schedule.entries() {
+        let from = ((e.start / makespan) * width as f64).floor() as usize;
+        let to = ((e.end / makespan) * width as f64).ceil() as usize;
+        let glyph = b'0' + (e.task.index() % 10) as u8;
+        let from = from.min(width - 1);
+        let to = to.clamp(from + 1, width);
+        for c in &mut rows[e.pe][from..to] {
+            *c = glyph;
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "time 0 .. {:.1}", schedule.makespan());
+    for (pe, row) in rows.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "PE{pe} |{}|",
+            String::from_utf8(row.clone()).expect("ascii by construction")
+        );
+    }
+    out
+}
+
+/// Renders a schedule as CSV (`task,name,pe,start,end`).
+///
+/// # Examples
+///
+/// ```
+/// use clr_platform::Platform;
+/// use clr_sched::{list_schedule, schedule_csv, Mapping};
+/// use clr_taskgraph::jpeg_encoder;
+///
+/// let g = jpeg_encoder();
+/// let p = Platform::dac19();
+/// let m = Mapping::first_fit(&g, &p).unwrap();
+/// let times: Vec<f64> = g.task_ids().map(|_| 10.0).collect();
+/// let csv = schedule_csv(&g, &list_schedule(&g, &m, &times));
+/// assert!(csv.starts_with("task,name,pe,start,end"));
+/// ```
+pub fn schedule_csv(graph: &TaskGraph, schedule: &Schedule) -> String {
+    let mut out = String::from("task,name,pe,start,end\n");
+    for e in schedule.entries() {
+        let _ = writeln!(
+            out,
+            "{},{},{},{:.3},{:.3}",
+            e.task.index(),
+            graph.task(e.task).name(),
+            e.pe,
+            e.start,
+            e.end
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{list_schedule, Mapping};
+    use clr_platform::Platform;
+    use clr_taskgraph::jpeg_encoder;
+
+    fn schedule() -> (clr_taskgraph::TaskGraph, Schedule) {
+        let g = jpeg_encoder();
+        let p = Platform::dac19();
+        let m = Mapping::first_fit(&g, &p).unwrap();
+        let times: Vec<f64> = g.task_ids().map(|t| 10.0 + t.index() as f64).collect();
+        let s = list_schedule(&g, &m, &times);
+        (g, s)
+    }
+
+    #[test]
+    fn gantt_has_one_row_per_used_pe() {
+        let (_, s) = schedule();
+        let chart = gantt_ascii(&s, 40);
+        let rows = chart.lines().filter(|l| l.starts_with("PE")).count();
+        let used = s.entries().iter().map(|e| e.pe + 1).max().unwrap();
+        assert_eq!(rows, used);
+    }
+
+    #[test]
+    fn every_task_paints_at_least_one_cell() {
+        let (_, s) = schedule();
+        let chart = gantt_ascii(&s, 80);
+        for e in s.entries() {
+            let glyph = char::from(b'0' + (e.task.index() % 10) as u8);
+            assert!(chart.contains(glyph), "missing glyph for {:?}", e.task);
+        }
+    }
+
+    #[test]
+    fn csv_has_one_row_per_task() {
+        let (g, s) = schedule();
+        let csv = schedule_csv(&g, &s);
+        assert_eq!(csv.lines().count(), g.num_tasks() + 1);
+        assert!(csv.contains("QZ"));
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn zero_width_panics() {
+        let (_, s) = schedule();
+        let _ = gantt_ascii(&s, 0);
+    }
+}

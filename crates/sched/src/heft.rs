@@ -1,0 +1,207 @@
+//! HEFT-style constructive mapping (Topcuoglu et al., *Heterogeneous
+//! Earliest Finish Time*).
+//!
+//! The design-time GA benefits from a good constructive seed: HEFT ranks
+//! tasks by *upward rank* (critical-path distance to the exit, using mean
+//! execution/communication costs) and greedily places each task on the
+//! PE/implementation pair minimising its earliest finish time. The result
+//! doubles as a competitive deterministic baseline mapping.
+
+use clr_platform::{PeId, Platform};
+use clr_reliability::{ClrConfig, FaultModel, TaskMetrics};
+use clr_taskgraph::{ImplId, TaskGraph, TaskId};
+
+use crate::{Gene, Mapping, MappingError};
+
+/// Builds a HEFT mapping of `graph` on `platform` under `fault_model`
+/// (no CLR mitigation; the GA explores that axis).
+///
+/// The returned mapping's priorities encode the upward-rank order, so
+/// [`crate::list_schedule`] reproduces HEFT's scheduling decisions.
+///
+/// # Errors
+///
+/// Returns [`MappingError::Unmappable`] if some task has no
+/// platform-compatible implementation.
+///
+/// # Examples
+///
+/// ```
+/// use clr_platform::Platform;
+/// use clr_reliability::FaultModel;
+/// use clr_sched::{heft_mapping, Evaluator, Mapping};
+/// use clr_taskgraph::jpeg_encoder;
+///
+/// let g = jpeg_encoder();
+/// let p = Platform::dac19();
+/// let fm = FaultModel::default();
+/// let heft = heft_mapping(&g, &p, &fm)?;
+/// let naive = Mapping::first_fit(&g, &p)?;
+/// let eval = Evaluator::new(&g, &p, fm);
+/// // HEFT is at least as good as first-fit on makespan.
+/// assert!(eval.evaluate(&heft).makespan <= eval.evaluate(&naive).makespan + 1e-9);
+/// # Ok::<(), clr_sched::MappingError>(())
+/// ```
+pub fn heft_mapping(
+    graph: &TaskGraph,
+    platform: &Platform,
+    fault_model: &FaultModel,
+) -> Result<Mapping, MappingError> {
+    let n = graph.num_tasks();
+
+    // --- Per-task candidate (pe, impl) pairs and mean execution times. --
+    let mut candidates: Vec<Vec<(PeId, ImplId, f64)>> = Vec::with_capacity(n);
+    let mut mean_time = vec![0.0f64; n];
+    for t in graph.task_ids() {
+        let mut options = Vec::new();
+        for im in graph.implementations(t) {
+            for pe in platform.pes() {
+                if pe.type_id() == im.pe_type() {
+                    let m = TaskMetrics::evaluate(
+                        im,
+                        platform.pe_type(pe.type_id()),
+                        &ClrConfig::NONE,
+                        fault_model,
+                    );
+                    options.push((pe.id(), im.id(), m.avg_ex_t));
+                }
+            }
+        }
+        if options.is_empty() {
+            return Err(MappingError::Unmappable { task: t.index() });
+        }
+        mean_time[t.index()] =
+            options.iter().map(|(_, _, t)| t).sum::<f64>() / options.len() as f64;
+        candidates.push(options);
+    }
+
+    // --- Upward ranks (reverse topological order). ----------------------
+    let mut rank = vec![0.0f64; n];
+    for &t in graph.topological_order().iter().rev() {
+        let mut best_succ = 0.0f64;
+        for e in graph.out_edges(t) {
+            // Mean communication: half the edge cost (same-PE comm is free).
+            let candidate = rank[e.dst().index()] + e.comm_time() * 0.5;
+            if candidate > best_succ {
+                best_succ = candidate;
+            }
+        }
+        rank[t.index()] = mean_time[t.index()] + best_succ;
+    }
+
+    // --- Greedy earliest-finish-time placement in rank order. -----------
+    let mut order: Vec<TaskId> = graph.task_ids().collect();
+    order.sort_by(|a, b| {
+        rank[b.index()]
+            .partial_cmp(&rank[a.index()])
+            .expect("ranks are finite")
+    });
+
+    let mut pe_free = vec![0.0f64; platform.num_pes()];
+    let mut finish = vec![0.0f64; n];
+    let mut chosen: Vec<Option<(PeId, ImplId)>> = vec![None; n];
+    let mut placed_pe = vec![PeId::new(0); n];
+    for &t in &order {
+        let mut best: Option<(PeId, ImplId, f64, f64)> = None; // (pe, impl, start, finish)
+        for &(pe, impl_id, exec) in &candidates[t.index()] {
+            // Data-ready time on this PE.
+            let mut ready = 0.0f64;
+            for e in graph.in_edges(t) {
+                let src = e.src().index();
+                let arrival = if placed_pe[src] == pe && chosen[src].is_some() {
+                    finish[src]
+                } else {
+                    finish[src] + e.comm_time()
+                };
+                if arrival > ready {
+                    ready = arrival;
+                }
+            }
+            let start = ready.max(pe_free[pe.index()]);
+            let fin = start + exec;
+            let better = match &best {
+                None => true,
+                Some((_, _, _, best_fin)) => fin < *best_fin,
+            };
+            if better {
+                best = Some((pe, impl_id, start, fin));
+            }
+        }
+        let (pe, impl_id, _start, fin) =
+            best.expect("candidates are non-empty by construction");
+        pe_free[pe.index()] = fin;
+        finish[t.index()] = fin;
+        chosen[t.index()] = Some((pe, impl_id));
+        placed_pe[t.index()] = pe;
+    }
+
+    // --- Encode as a mapping; priorities follow rank order. --------------
+    let mut genes = Vec::with_capacity(n);
+    for t in graph.task_ids() {
+        let (pe, impl_id) = chosen[t.index()].expect("all tasks placed");
+        genes.push(Gene {
+            pe,
+            impl_id,
+            clr: ClrConfig::NONE,
+            priority: 0,
+        });
+    }
+    let mut mapping = Mapping::new(genes);
+    for (pos, &t) in order.iter().enumerate() {
+        mapping.genes_mut()[t.index()].priority = (n - pos) as u32;
+    }
+    Ok(mapping)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Evaluator;
+    use clr_taskgraph::{jpeg_encoder, TgffConfig, TgffGenerator};
+
+    #[test]
+    fn heft_is_valid_and_beats_first_fit_on_average() {
+        let platform = Platform::dac19();
+        let fm = FaultModel::default();
+        let mut wins = 0usize;
+        let mut total = 0usize;
+        for seed in 0..8u64 {
+            let graph = TgffGenerator::new(TgffConfig::with_tasks(25)).generate(seed);
+            let heft = heft_mapping(&graph, &platform, &fm).unwrap();
+            assert!(heft.validate(&graph, &platform).is_ok());
+            let naive = Mapping::first_fit(&graph, &platform).unwrap();
+            let eval = Evaluator::new(&graph, &platform, fm);
+            let hm = eval.evaluate(&heft).makespan;
+            let nm = eval.evaluate(&naive).makespan;
+            total += 1;
+            if hm <= nm + 1e-9 {
+                wins += 1;
+            }
+        }
+        assert!(
+            wins * 2 >= total,
+            "heft should beat first-fit usually: {wins}/{total}"
+        );
+    }
+
+    #[test]
+    fn heft_uses_multiple_pes_for_parallel_work() {
+        let platform = Platform::dac19();
+        let graph = jpeg_encoder();
+        let heft = heft_mapping(&graph, &platform, &FaultModel::default()).unwrap();
+        let distinct: std::collections::HashSet<_> =
+            heft.genes().iter().map(|g| g.pe).collect();
+        assert!(distinct.len() > 1, "heft serialised everything on one pe");
+    }
+
+    #[test]
+    fn heft_priorities_are_distinct() {
+        let platform = Platform::dac19();
+        let graph = jpeg_encoder();
+        let heft = heft_mapping(&graph, &platform, &FaultModel::default()).unwrap();
+        let mut prios: Vec<u32> = heft.genes().iter().map(|g| g.priority).collect();
+        prios.sort_unstable();
+        prios.dedup();
+        assert_eq!(prios.len(), graph.num_tasks());
+    }
+}

@@ -1,0 +1,227 @@
+//! Reconfiguration model (paper §3.5): the cost `dRC` of moving the system
+//! between two CLR-integrated task-mapping configurations.
+//!
+//! The four adaptation modes and their costs:
+//!
+//! 1. **Re-ordering** task execution on each PE — free (priorities are
+//!    control state).
+//! 2. **Changing the CLR configuration** of a task — free (every PE stores
+//!    the binaries of the tasks mapped on it, and reliability-method
+//!    selection is control state).
+//! 3. **Changing the implementation** used for a task — pays the new
+//!    binary's copy over the interconnect (plus a PRR bit-stream reload if
+//!    the new implementation is an accelerator).
+//! 4. **Re-binding a task to a different PE** — pays the binary copy to the
+//!    destination PE's local memory (plus the bit-stream reload for
+//!    accelerated implementations).
+
+use clr_platform::Platform;
+use clr_taskgraph::TaskGraph;
+use serde::{Deserialize, Serialize};
+
+use crate::Mapping;
+
+/// Itemised reconfiguration cost between two mappings.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ReconfigBreakdown {
+    /// Time spent copying task binaries across the interconnect.
+    pub migration_time: f64,
+    /// Time spent reloading PRR bit-streams through the ICAP.
+    pub bitstream_time: f64,
+    /// Interconnect energy of the binary copies.
+    pub migration_energy: f64,
+    /// Number of tasks whose binding or implementation changed.
+    pub migrated_tasks: usize,
+}
+
+impl ReconfigBreakdown {
+    /// The scalar reconfiguration cost `dRC` (time components summed) used
+    /// by the run-time policies.
+    pub fn total(&self) -> f64 {
+        self.migration_time + self.bitstream_time
+    }
+
+    /// `true` if the adaptation touches nothing that costs.
+    pub fn is_free(&self) -> bool {
+        self.migrated_tasks == 0
+    }
+}
+
+/// Computes the reconfiguration distance `dRC(from → to)`.
+///
+/// A task contributes cost iff its PE binding or its implementation
+/// changes; pure CLR-configuration or priority changes are free. Each
+/// migrated accelerated implementation additionally reloads the bit-stream
+/// of the PRR it lands in (PRRs are assigned round-robin by task index,
+/// matching the platform's fixed PRR count).
+///
+/// # Panics
+///
+/// Panics if either mapping's length disagrees with the graph (validate
+/// mappings before costing them).
+///
+/// # Examples
+///
+/// ```
+/// use clr_platform::Platform;
+/// use clr_sched::{reconfiguration_cost, Mapping};
+/// use clr_taskgraph::jpeg_encoder;
+///
+/// let g = jpeg_encoder();
+/// let p = Platform::dac19();
+/// let m = Mapping::first_fit(&g, &p).unwrap();
+/// assert!(reconfiguration_cost(&g, &p, &m, &m).is_free());
+/// ```
+pub fn reconfiguration_cost(
+    graph: &TaskGraph,
+    platform: &Platform,
+    from: &Mapping,
+    to: &Mapping,
+) -> ReconfigBreakdown {
+    let n = graph.num_tasks();
+    assert_eq!(from.len(), n, "`from` mapping length mismatch");
+    assert_eq!(to.len(), n, "`to` mapping length mismatch");
+
+    let ic = platform.interconnect();
+    let mut out = ReconfigBreakdown::default();
+    for t in graph.task_ids() {
+        let a = from.gene(t);
+        let b = to.gene(t);
+        let moved = a.pe != b.pe || a.impl_id != b.impl_id;
+        if !moved {
+            continue;
+        }
+        out.migrated_tasks += 1;
+        let im = graph.implementation(t, b.impl_id);
+        let kib = im.binary_kib() as f64;
+        out.migration_time += ic.transfer_time(kib);
+        out.migration_energy += ic.transfer_energy(kib);
+        if im.accelerated() && platform.num_prrs() > 0 {
+            let prr = platform.prrs()[t.index() % platform.num_prrs()];
+            out.bitstream_time += prr.reload_cost();
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clr_reliability::{AswMethod, ClrConfig, HwMethod, SswMethod};
+    use clr_taskgraph::jpeg_encoder;
+    use proptest::prelude::*;
+
+    fn setup() -> (clr_taskgraph::TaskGraph, Platform, Mapping) {
+        let g = jpeg_encoder();
+        let p = Platform::dac19();
+        let m = Mapping::first_fit(&g, &p).unwrap();
+        (g, p, m)
+    }
+
+    #[test]
+    fn identity_is_free() {
+        let (g, p, m) = setup();
+        let c = reconfiguration_cost(&g, &p, &m, &m);
+        assert!(c.is_free());
+        assert_eq!(c.total(), 0.0);
+    }
+
+    #[test]
+    fn clr_and_priority_changes_are_free() {
+        let (g, p, m) = setup();
+        let mut m2 = m.clone();
+        for gene in m2.genes_mut() {
+            gene.clr = ClrConfig::new(
+                HwMethod::FullTmr,
+                SswMethod::Retry { max_retries: 2 },
+                AswMethod::Checksum,
+            );
+            gene.priority = gene.priority.wrapping_add(17);
+        }
+        assert!(reconfiguration_cost(&g, &p, &m, &m2).is_free());
+    }
+
+    #[test]
+    fn rebinding_pays_binary_copy() {
+        let (g, p, m) = setup();
+        let mut m2 = m.clone();
+        // Move task 0 to another PE of the same type (dac19 has two
+        // lp-cores and two hp-cores).
+        let t0_type = p.pe(m.gene(0.into()).pe).type_id();
+        let other = p
+            .pe_ids()
+            .find(|&id| id != m.gene(0.into()).pe && p.pe(id).type_id() == t0_type)
+            .expect("dac19 has pe pairs per type");
+        m2.genes_mut()[0].pe = other;
+        let c = reconfiguration_cost(&g, &p, &m, &m2);
+        assert_eq!(c.migrated_tasks, 1);
+        let kib = g.implementation(0.into(), m.gene(0.into()).impl_id).binary_kib() as f64;
+        assert!((c.migration_time - p.interconnect().transfer_time(kib)).abs() < 1e-12);
+        assert!(c.migration_energy > 0.0);
+    }
+
+    #[test]
+    fn accelerator_change_pays_bitstream() {
+        let (g, p, m) = setup();
+        // Task 1 (a DCT) has an accelerated implementation in the sample.
+        let accel_impl = g
+            .implementations(1.into())
+            .iter()
+            .find(|i| i.accelerated())
+            .expect("dct has accelerator");
+        let mut m2 = m.clone();
+        m2.genes_mut()[1].impl_id = accel_impl.id();
+        // Bind to a PE of the accelerator's type.
+        let pe = p
+            .pe_ids()
+            .find(|&id| p.pe(id).type_id() == accel_impl.pe_type())
+            .unwrap();
+        m2.genes_mut()[1].pe = pe;
+        let c = reconfiguration_cost(&g, &p, &m, &m2);
+        assert!(c.bitstream_time > 0.0);
+        assert!(c.total() > c.migration_time);
+    }
+
+    #[test]
+    fn cost_is_additive_over_tasks() {
+        let (g, p, m) = setup();
+        // Two independent single-task moves cost the same as both together.
+        let t0_type = p.pe(m.gene(0.into()).pe).type_id();
+        let other0 = p
+            .pe_ids()
+            .find(|&id| id != m.gene(0.into()).pe && p.pe(id).type_id() == t0_type)
+            .unwrap();
+        let t5_type = p.pe(m.gene(5.into()).pe).type_id();
+        let other5 = p
+            .pe_ids()
+            .find(|&id| id != m.gene(5.into()).pe && p.pe(id).type_id() == t5_type)
+            .unwrap();
+        let mut only0 = m.clone();
+        only0.genes_mut()[0].pe = other0;
+        let mut only5 = m.clone();
+        only5.genes_mut()[5].pe = other5;
+        let mut both = m.clone();
+        both.genes_mut()[0].pe = other0;
+        both.genes_mut()[5].pe = other5;
+        let c0 = reconfiguration_cost(&g, &p, &m, &only0).total();
+        let c5 = reconfiguration_cost(&g, &p, &m, &only5).total();
+        let cb = reconfiguration_cost(&g, &p, &m, &both).total();
+        assert!((cb - (c0 + c5)).abs() < 1e-9);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn drc_is_nonnegative_and_zero_only_for_no_moves(shift in 0usize..5) {
+            let (g, p, m) = setup();
+            let mut m2 = m.clone();
+            // Shift some priorities (free) and possibly one binding.
+            for gene in m2.genes_mut() {
+                gene.priority += shift as u32;
+            }
+            let c = reconfiguration_cost(&g, &p, &m, &m2);
+            prop_assert!(c.total() >= 0.0);
+            prop_assert!(c.is_free());
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Schedule validation and resource-utilisation statistics.
+
+use clr_taskgraph::TaskGraph;
+use serde::{Deserialize, Serialize};
+
+use crate::{Mapping, Schedule};
+
+/// Per-PE utilisation of a schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Utilization {
+    /// Busy time per PE (index = PE id).
+    pub busy: Vec<f64>,
+    /// Busy fraction per PE over the makespan.
+    pub utilization: Vec<f64>,
+    /// Mean busy fraction across PEs that host at least one task.
+    pub mean_active_utilization: f64,
+    /// Number of PEs hosting at least one task.
+    pub active_pes: usize,
+}
+
+/// Computes per-PE utilisation over `num_pes` processing elements.
+///
+/// # Examples
+///
+/// ```
+/// use clr_platform::Platform;
+/// use clr_sched::{list_schedule, utilization, Mapping};
+/// use clr_taskgraph::jpeg_encoder;
+///
+/// let g = jpeg_encoder();
+/// let p = Platform::dac19();
+/// let m = Mapping::first_fit(&g, &p).unwrap();
+/// let times: Vec<f64> = g.task_ids().map(|_| 10.0).collect();
+/// let s = list_schedule(&g, &m, &times);
+/// let u = utilization(&s, p.num_pes());
+/// assert!(u.active_pes >= 1);
+/// assert!(u.mean_active_utilization > 0.0);
+/// ```
+pub fn utilization(schedule: &Schedule, num_pes: usize) -> Utilization {
+    let mut busy = vec![0.0f64; num_pes];
+    for e in schedule.entries() {
+        if e.pe < num_pes {
+            busy[e.pe] += e.end - e.start;
+        }
+    }
+    let makespan = schedule.makespan().max(1e-12);
+    let utilization: Vec<f64> = busy.iter().map(|b| b / makespan).collect();
+    let active: Vec<f64> = utilization.iter().copied().filter(|&u| u > 0.0).collect();
+    let active_pes = active.len();
+    let mean_active_utilization = if active_pes == 0 {
+        0.0
+    } else {
+        active.iter().sum::<f64>() / active_pes as f64
+    };
+    Utilization {
+        busy,
+        utilization,
+        mean_active_utilization,
+        active_pes,
+    }
+}
+
+/// Structural error found by [`validate_schedule`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScheduleViolation {
+    /// A task ends before it starts.
+    NegativeDuration {
+        /// The offending task index.
+        task: usize,
+    },
+    /// Two tasks overlap on one PE.
+    PeOverlap {
+        /// The shared PE.
+        pe: usize,
+        /// The earlier task.
+        first: usize,
+        /// The overlapping task.
+        second: usize,
+    },
+    /// A dependency starts before its producer's data can arrive.
+    PrecedenceBreach {
+        /// The producing task.
+        src: usize,
+        /// The consuming task.
+        dst: usize,
+    },
+}
+
+impl std::fmt::Display for ScheduleViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleViolation::NegativeDuration { task } => {
+                write!(f, "task {task} has negative duration")
+            }
+            ScheduleViolation::PeOverlap { pe, first, second } => {
+                write!(f, "tasks {first} and {second} overlap on pe {pe}")
+            }
+            ScheduleViolation::PrecedenceBreach { src, dst } => {
+                write!(f, "task {dst} starts before data from task {src} arrives")
+            }
+        }
+    }
+}
+
+/// Exhaustively checks a schedule against its graph and mapping: no
+/// negative durations, no same-PE overlap, and every edge's destination
+/// starts after the producer finishes (plus the edge's transfer time when
+/// the endpoints sit on different PEs).
+///
+/// Returns all violations found (empty = valid). The engine's own list
+/// scheduler is covered by property tests; this check exists for
+/// externally supplied or hand-edited schedules.
+pub fn validate_schedule(
+    graph: &TaskGraph,
+    mapping: &Mapping,
+    schedule: &Schedule,
+) -> Vec<ScheduleViolation> {
+    let mut violations = Vec::new();
+    for e in schedule.entries() {
+        if e.end < e.start - 1e-9 {
+            violations.push(ScheduleViolation::NegativeDuration {
+                task: e.task.index(),
+            });
+        }
+    }
+    // PE exclusivity.
+    let num_pes = schedule.entries().iter().map(|e| e.pe + 1).max().unwrap_or(0);
+    for pe in 0..num_pes {
+        let mut on_pe: Vec<_> = schedule.entries().iter().filter(|e| e.pe == pe).collect();
+        on_pe.sort_by(|a, b| a.start.partial_cmp(&b.start).expect("times are finite"));
+        for w in on_pe.windows(2) {
+            if w[1].start < w[0].end - 1e-9 {
+                violations.push(ScheduleViolation::PeOverlap {
+                    pe,
+                    first: w[0].task.index(),
+                    second: w[1].task.index(),
+                });
+            }
+        }
+    }
+    // Precedence.
+    for edge in graph.edges() {
+        let src = schedule.entry(edge.src());
+        let dst = schedule.entry(edge.dst());
+        let bound = if mapping.gene(edge.src()).pe == mapping.gene(edge.dst()).pe {
+            src.end
+        } else {
+            src.end + edge.comm_time()
+        };
+        if dst.start < bound - 1e-9 {
+            violations.push(ScheduleViolation::PrecedenceBreach {
+                src: edge.src().index(),
+                dst: edge.dst().index(),
+            });
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{list_schedule, Mapping};
+    use clr_platform::Platform;
+    use clr_taskgraph::{jpeg_encoder, TgffConfig, TgffGenerator};
+
+    #[test]
+    fn generated_schedules_validate_clean() {
+        let p = Platform::dac19();
+        for seed in 0..5u64 {
+            let g = TgffGenerator::new(TgffConfig::with_tasks(20)).generate(seed);
+            let m = Mapping::first_fit(&g, &p).unwrap();
+            let times: Vec<f64> = g.task_ids().map(|t| 5.0 + t.index() as f64).collect();
+            let s = list_schedule(&g, &m, &times);
+            assert!(validate_schedule(&g, &m, &s).is_empty());
+        }
+    }
+
+    #[test]
+    fn utilization_sums_busy_time() {
+        let g = jpeg_encoder();
+        let p = Platform::dac19();
+        let m = Mapping::first_fit(&g, &p).unwrap();
+        let times: Vec<f64> = g.task_ids().map(|_| 10.0).collect();
+        let s = list_schedule(&g, &m, &times);
+        let u = utilization(&s, p.num_pes());
+        let total_busy: f64 = u.busy.iter().sum();
+        assert!((total_busy - 10.0 * g.num_tasks() as f64).abs() < 1e-9);
+        assert!(u.utilization.iter().all(|&x| (0.0..=1.0 + 1e-9).contains(&x)));
+    }
+
+    #[test]
+    fn corrupted_schedule_is_caught() {
+        let g = jpeg_encoder();
+        let p = Platform::dac19();
+        let m = Mapping::first_fit(&g, &p).unwrap();
+        let times: Vec<f64> = g.task_ids().map(|_| 10.0).collect();
+        let s = list_schedule(&g, &m, &times);
+        // Rebuild a corrupted schedule where every task starts at 0 — that
+        // necessarily overlaps or breaks precedence somewhere.
+        let corrupted: Vec<_> = s
+            .entries()
+            .iter()
+            .map(|e| crate::ScheduleEntry {
+                start: 0.0,
+                end: 10.0,
+                ..*e
+            })
+            .collect();
+        let broken = crate::Schedule::from_entries(corrupted);
+        let violations = validate_schedule(&g, &m, &broken);
+        assert!(!violations.is_empty());
+        assert!(!violations[0].to_string().is_empty());
+    }
+}

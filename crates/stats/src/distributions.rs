@@ -1,0 +1,336 @@
+//! Distribution samplers used by the Monte-Carlo run-time simulation.
+//!
+//! All samplers take a caller-provided [`rand::Rng`] so that every experiment
+//! in the workspace is reproducible from a single seed.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error returned when constructing a distribution with invalid parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistributionError {
+    what: String,
+}
+
+impl DistributionError {
+    fn new(what: impl Into<String>) -> Self {
+        Self { what: what.into() }
+    }
+}
+
+impl fmt::Display for DistributionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.what)
+    }
+}
+
+impl std::error::Error for DistributionError {}
+
+/// A univariate normal (Gaussian) distribution sampled via Box–Muller.
+///
+/// # Examples
+///
+/// ```
+/// # use clr_stats::Normal;
+/// # use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let n = Normal::new(5.0, 0.5).unwrap();
+/// let x = n.sample(&mut rng);
+/// assert!(x.is_finite());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution with the given mean and standard
+    /// deviation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistributionError`] if `std_dev` is negative or either
+    /// parameter is non-finite.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, DistributionError> {
+        if !mean.is_finite() || !std_dev.is_finite() {
+            return Err(DistributionError::new("normal parameters must be finite"));
+        }
+        if std_dev < 0.0 {
+            return Err(DistributionError::new("normal std_dev must be >= 0"));
+        }
+        Ok(Self { mean, std_dev })
+    }
+
+    /// The distribution mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The distribution standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * standard_normal(rng)
+    }
+}
+
+/// Draws one standard-normal variate via the Box–Muller transform.
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0, 1] so the log is finite.
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// A bivariate normal distribution with per-axis mean/std-dev and a
+/// correlation coefficient, sampled via the Cholesky factor of the 2×2
+/// covariance matrix.
+///
+/// The paper uses this to emulate correlated changes of the two QoS
+/// requirements (maximum average makespan, minimum functional reliability).
+///
+/// # Examples
+///
+/// ```
+/// # use clr_stats::BivariateNormal;
+/// # use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+/// let d = BivariateNormal::new([0.0, 0.0], [1.0, 1.0], 0.8).unwrap();
+/// let [x, y] = d.sample(&mut rng);
+/// assert!(x.is_finite() && y.is_finite());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BivariateNormal {
+    mean: [f64; 2],
+    std_dev: [f64; 2],
+    rho: f64,
+}
+
+impl BivariateNormal {
+    /// Creates a bivariate normal distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistributionError`] if either std-dev is negative, the
+    /// correlation `rho` is outside `[-1, 1]`, or any parameter is
+    /// non-finite.
+    pub fn new(mean: [f64; 2], std_dev: [f64; 2], rho: f64) -> Result<Self, DistributionError> {
+        if mean.iter().chain(std_dev.iter()).any(|v| !v.is_finite()) || !rho.is_finite() {
+            return Err(DistributionError::new(
+                "bivariate normal parameters must be finite",
+            ));
+        }
+        if std_dev.iter().any(|&s| s < 0.0) {
+            return Err(DistributionError::new(
+                "bivariate normal std_dev must be >= 0",
+            ));
+        }
+        if !(-1.0..=1.0).contains(&rho) {
+            return Err(DistributionError::new(
+                "bivariate normal correlation must be in [-1, 1]",
+            ));
+        }
+        Ok(Self { mean, std_dev, rho })
+    }
+
+    /// The per-axis means.
+    pub fn mean(&self) -> [f64; 2] {
+        self.mean
+    }
+
+    /// The per-axis standard deviations.
+    pub fn std_dev(&self) -> [f64; 2] {
+        self.std_dev
+    }
+
+    /// The correlation coefficient.
+    pub fn correlation(&self) -> f64 {
+        self.rho
+    }
+
+    /// Draws one correlated pair.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> [f64; 2] {
+        let z0 = standard_normal(rng);
+        let z1 = standard_normal(rng);
+        // Cholesky factor of [[1, rho], [rho, 1]].
+        let y0 = z0;
+        let y1 = self.rho * z0 + (1.0 - self.rho * self.rho).sqrt() * z1;
+        [
+            self.mean[0] + self.std_dev[0] * y0,
+            self.mean[1] + self.std_dev[1] * y1,
+        ]
+    }
+}
+
+/// An exponential distribution parameterised by its rate `λ` (events per
+/// unit), used for the time between discrete QoS-change events.
+///
+/// # Examples
+///
+/// ```
+/// # use clr_stats::Exponential;
+/// # use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// // Mean inter-arrival of 100 cycles, as in the paper's Monte-Carlo setup.
+/// let gaps = Exponential::with_mean(100.0).unwrap();
+/// assert!(gaps.sample(&mut rng) > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with rate `λ > 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistributionError`] if `rate` is not strictly positive and
+    /// finite.
+    pub fn new(rate: f64) -> Result<Self, DistributionError> {
+        if !rate.is_finite() || rate <= 0.0 {
+            return Err(DistributionError::new(
+                "exponential rate must be finite and > 0",
+            ));
+        }
+        Ok(Self { rate })
+    }
+
+    /// Creates an exponential distribution with the given mean `1/λ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistributionError`] if `mean` is not strictly positive and
+    /// finite.
+    pub fn with_mean(mean: f64) -> Result<Self, DistributionError> {
+        if !mean.is_finite() || mean <= 0.0 {
+            return Err(DistributionError::new(
+                "exponential mean must be finite and > 0",
+            ));
+        }
+        Self::new(1.0 / mean)
+    }
+
+    /// The rate parameter `λ`.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// The distribution mean `1/λ`.
+    pub fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+
+    /// Draws one sample (always strictly positive).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = 1.0 - rng.gen::<f64>();
+        -u.ln() / self.rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Summary;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn normal_rejects_bad_parameters() {
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(0.0, f64::INFINITY).is_err());
+        assert!(Normal::new(0.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn normal_zero_std_is_constant() {
+        let mut r = rng(2);
+        let n = Normal::new(42.0, 0.0).unwrap();
+        for _ in 0..10 {
+            assert_eq!(n.sample(&mut r), 42.0);
+        }
+    }
+
+    #[test]
+    fn normal_moments_match() {
+        let mut r = rng(3);
+        let n = Normal::new(-4.0, 3.0).unwrap();
+        let s = Summary::from_iter((0..50_000).map(|_| n.sample(&mut r)));
+        assert!((s.mean + 4.0).abs() < 0.05, "mean {}", s.mean);
+        assert!((s.std_dev - 3.0).abs() < 0.05, "std {}", s.std_dev);
+    }
+
+    #[test]
+    fn bivariate_rejects_bad_parameters() {
+        assert!(BivariateNormal::new([0.0, 0.0], [1.0, 1.0], 1.5).is_err());
+        assert!(BivariateNormal::new([0.0, 0.0], [-1.0, 1.0], 0.0).is_err());
+        assert!(BivariateNormal::new([f64::NAN, 0.0], [1.0, 1.0], 0.0).is_err());
+        assert!(BivariateNormal::new([0.0, 0.0], [1.0, 1.0], -1.0).is_ok());
+    }
+
+    #[test]
+    fn bivariate_correlation_is_reproduced() {
+        let mut r = rng(4);
+        let d = BivariateNormal::new([1.0, -1.0], [2.0, 0.5], 0.7).unwrap();
+        let n = 50_000;
+        let samples: Vec<[f64; 2]> = (0..n).map(|_| d.sample(&mut r)).collect();
+        let mx = samples.iter().map(|s| s[0]).sum::<f64>() / n as f64;
+        let my = samples.iter().map(|s| s[1]).sum::<f64>() / n as f64;
+        let mut cov = 0.0;
+        let mut vx = 0.0;
+        let mut vy = 0.0;
+        for s in &samples {
+            cov += (s[0] - mx) * (s[1] - my);
+            vx += (s[0] - mx).powi(2);
+            vy += (s[1] - my).powi(2);
+        }
+        let rho = cov / (vx.sqrt() * vy.sqrt());
+        assert!((rho - 0.7).abs() < 0.02, "rho {rho}");
+        assert!((mx - 1.0).abs() < 0.05);
+        assert!((my + 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn bivariate_extreme_correlation_is_degenerate() {
+        let mut r = rng(5);
+        let d = BivariateNormal::new([0.0, 0.0], [1.0, 1.0], 1.0).unwrap();
+        for _ in 0..100 {
+            let [x, y] = d.sample(&mut r);
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn exponential_rejects_bad_parameters() {
+        assert!(Exponential::new(0.0).is_err());
+        assert!(Exponential::new(-1.0).is_err());
+        assert!(Exponential::new(f64::NAN).is_err());
+        assert!(Exponential::with_mean(0.0).is_err());
+    }
+
+    #[test]
+    fn exponential_mean_matches() {
+        let mut r = rng(6);
+        let d = Exponential::with_mean(100.0).unwrap();
+        assert!((d.mean() - 100.0).abs() < 1e-12);
+        let s = Summary::from_iter((0..50_000).map(|_| d.sample(&mut r)));
+        assert!((s.mean - 100.0).abs() < 2.0, "mean {}", s.mean);
+        assert!(s.min > 0.0);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = Normal::new(0.0, -1.0).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("std_dev"), "{msg}");
+    }
+}

@@ -1,0 +1,203 @@
+//! Fixed-bin histograms and percentile estimation.
+//!
+//! The experiment harness summarises Monte-Carlo traces (dwell times,
+//! reconfiguration costs, per-event energies); these helpers provide the
+//! aggregation beyond plain means.
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-width-bin histogram over `[lo, hi]`.
+///
+/// # Examples
+///
+/// ```
+/// use clr_stats::Histogram;
+/// let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+/// for v in [1.0, 2.5, 2.6, 9.9, 11.0] {
+///     h.add(v);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.bin_counts()[1], 2); // 2.5 and 2.6
+/// assert_eq!(h.overflow(), 1);      // 11.0
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width buckets over `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` when `lo >= hi`, a bound is non-finite, or
+    /// `bins == 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Option<Self> {
+        if !(lo.is_finite() && hi.is_finite() && lo < hi && bins > 0) {
+            return None;
+        }
+        Some(Self {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        })
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, value: f64) {
+        if value < self.lo {
+            self.underflow += 1;
+        } else if value > self.hi {
+            self.overflow += 1;
+        } else {
+            let t = (value - self.lo) / (self.hi - self.lo);
+            let bin = ((t * self.bins.len() as f64) as usize).min(self.bins.len() - 1);
+            self.bins[bin] += 1;
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn bin_counts(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations above the range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations (including under/overflow).
+    pub fn count(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Lower edge of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bin_edge(&self, i: usize) -> f64 {
+        assert!(i <= self.bins.len(), "bin index out of range");
+        self.lo + (self.hi - self.lo) * i as f64 / self.bins.len() as f64
+    }
+}
+
+impl Extend<f64> for Histogram {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for v in iter {
+            self.add(v);
+        }
+    }
+}
+
+/// The `q`-th percentile (0–100) of a sample, by linear interpolation
+/// between closest ranks; `None` for an empty sample or out-of-range `q`.
+///
+/// # Examples
+///
+/// ```
+/// use clr_stats::percentile;
+/// let xs = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(percentile(&xs, 0.0), Some(1.0));
+/// assert_eq!(percentile(&xs, 100.0), Some(4.0));
+/// assert_eq!(percentile(&xs, 50.0), Some(2.5));
+/// ```
+pub fn percentile(sample: &[f64], q: f64) -> Option<f64> {
+    if sample.is_empty() || !(0.0..=100.0).contains(&q) {
+        return None;
+    }
+    let mut sorted: Vec<f64> = sample.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("sample must not contain NaN"));
+    let rank = q / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(Histogram::new(1.0, 1.0, 4).is_none());
+        assert!(Histogram::new(0.0, 1.0, 0).is_none());
+        assert!(Histogram::new(f64::NAN, 1.0, 4).is_none());
+    }
+
+    #[test]
+    fn boundary_values_land_in_edge_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 10).unwrap();
+        h.add(0.0);
+        h.add(10.0);
+        assert_eq!(h.bin_counts()[0], 1);
+        assert_eq!(h.bin_counts()[9], 1);
+        assert_eq!(h.underflow() + h.overflow(), 0);
+    }
+
+    #[test]
+    fn extend_collects() {
+        let mut h = Histogram::new(0.0, 1.0, 2).unwrap();
+        h.extend([0.1, 0.9, 0.4]);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.bin_edge(1), 0.5);
+    }
+
+    #[test]
+    fn percentile_handles_singletons_and_bad_q() {
+        assert_eq!(percentile(&[7.0], 50.0), Some(7.0));
+        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(percentile(&[1.0], 101.0), None);
+    }
+
+    #[test]
+    fn median_of_known_sample() {
+        let xs = [5.0, 1.0, 3.0];
+        assert_eq!(percentile(&xs, 50.0), Some(3.0));
+    }
+
+    proptest! {
+        #[test]
+        fn counts_are_conserved(values in proptest::collection::vec(-5.0f64..15.0, 0..200)) {
+            let mut h = Histogram::new(0.0, 10.0, 7).unwrap();
+            h.extend(values.iter().copied());
+            prop_assert_eq!(h.count(), values.len() as u64);
+        }
+
+        #[test]
+        fn percentile_is_monotone_in_q(
+            values in proptest::collection::vec(-1e3f64..1e3, 1..100),
+            q1 in 0.0f64..100.0,
+            q2 in 0.0f64..100.0,
+        ) {
+            let (lo, hi) = if q1 < q2 { (q1, q2) } else { (q2, q1) };
+            let a = percentile(&values, lo).unwrap();
+            let b = percentile(&values, hi).unwrap();
+            prop_assert!(a <= b + 1e-9);
+        }
+
+        #[test]
+        fn percentile_is_within_sample_range(
+            values in proptest::collection::vec(-1e3f64..1e3, 1..100),
+            q in 0.0f64..100.0,
+        ) {
+            let p = percentile(&values, q).unwrap();
+            let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(p >= min - 1e-9 && p <= max + 1e-9);
+        }
+    }
+}

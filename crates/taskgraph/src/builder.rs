@@ -1,0 +1,226 @@
+//! Incremental construction of task graphs.
+
+use clr_platform::PeTypeId;
+
+use crate::graph::validate_and_sort;
+use crate::{
+    Edge, EdgeId, GraphError, ImplId, Implementation, SwStack, Task, TaskGraph, TaskId, TaskTypeId,
+};
+
+/// Builder for [`TaskGraph`].
+///
+/// Tasks are appended with [`TaskGraphBuilder::task`], which returns a
+/// [`TaskHandle`] used to attach implementations; edges are appended with
+/// [`TaskGraphBuilder::edge`]. [`TaskGraphBuilder::build`] validates the
+/// whole graph (non-empty, DAG, no dangling edges, every task has at least
+/// one implementation).
+///
+/// # Examples
+///
+/// ```
+/// use clr_taskgraph::{SwStack, TaskGraphBuilder};
+/// use clr_platform::PeTypeId;
+///
+/// let mut b = TaskGraphBuilder::new("pipeline", 500.0);
+/// b.task("src").implementation(PeTypeId::new(0), SwStack::BareMetal, 10.0);
+/// b.task("dst").implementation(PeTypeId::new(0), SwStack::BareMetal, 20.0);
+/// b.edge(0.into(), 1.into(), 2.0, 16.0);
+/// let g = b.build()?;
+/// assert_eq!(g.num_tasks(), 2);
+/// # Ok::<(), clr_taskgraph::GraphError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TaskGraphBuilder {
+    name: String,
+    period: f64,
+    tasks: Vec<Task>,
+    impls: Vec<Vec<Implementation>>,
+    edges: Vec<Edge>,
+}
+
+impl TaskGraphBuilder {
+    /// Starts a graph with the given name and period.
+    pub fn new(name: impl Into<String>, period: f64) -> Self {
+        Self {
+            name: name.into(),
+            period,
+            tasks: Vec::new(),
+            impls: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Appends a task whose functionality type equals its index (each task
+    /// is a distinct function). Returns a handle for adding implementations.
+    pub fn task(&mut self, name: impl Into<String>) -> TaskHandle<'_> {
+        let id = TaskId::new(self.tasks.len());
+        let ty = TaskTypeId::new(self.tasks.len());
+        self.tasks.push(Task::new(id, ty, name));
+        self.impls.push(Vec::new());
+        TaskHandle { builder: self, id }
+    }
+
+    /// Appends a task with an explicit functionality type (tasks sharing a
+    /// type share binaries/bit-streams).
+    pub fn task_with_type(&mut self, name: impl Into<String>, ty: TaskTypeId) -> TaskHandle<'_> {
+        let id = TaskId::new(self.tasks.len());
+        self.tasks.push(Task::new(id, ty, name));
+        self.impls.push(Vec::new());
+        TaskHandle { builder: self, id }
+    }
+
+    /// Appends a dependency edge with a cross-PE transfer time and payload.
+    pub fn edge(&mut self, src: TaskId, dst: TaskId, comm_time: f64, data_kib: f64) -> EdgeId {
+        let id = EdgeId::new(self.edges.len());
+        self.edges.push(Edge::new(id, src, dst, comm_time, data_kib));
+        id
+    }
+
+    /// Number of tasks added so far.
+    pub fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Validates and finalises the graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] if the graph is empty, has dangling or
+    /// self-loop edges, contains a cycle, or any task lacks implementations.
+    pub fn build(self) -> Result<TaskGraph, GraphError> {
+        let (preds, succs, topo) = validate_and_sort(&self.tasks, &self.edges, &self.impls)?;
+        Ok(TaskGraph::from_validated_parts(
+            self.name, self.tasks, self.edges, self.impls, self.period, preds, succs, topo,
+        ))
+    }
+}
+
+/// Handle for attaching implementations to a just-added task.
+#[derive(Debug)]
+pub struct TaskHandle<'a> {
+    builder: &'a mut TaskGraphBuilder,
+    id: TaskId,
+}
+
+impl TaskHandle<'_> {
+    /// The id of the task this handle refers to.
+    pub fn id(&self) -> TaskId {
+        self.id
+    }
+
+    /// Adds a plain (non-accelerated) implementation and returns the handle
+    /// for chaining.
+    pub fn implementation(
+        &mut self,
+        pe_type: PeTypeId,
+        sw_stack: SwStack,
+        nominal_time: f64,
+    ) -> &mut Self {
+        let set = &mut self.builder.impls[self.id.index()];
+        let im = Implementation::new(ImplId::new(set.len()), pe_type, sw_stack, nominal_time);
+        set.push(im);
+        self
+    }
+
+    /// Adds a fully specified implementation (the implementation's `ImplId`
+    /// is rewritten to the next slot in this task's set).
+    pub fn implementation_full(&mut self, im: Implementation) -> &mut Self {
+        let set = &mut self.builder.impls[self.id.index()];
+        let next = ImplId::new(set.len());
+        let rebuilt = Implementation::new(next, im.pe_type(), im.sw_stack(), im.nominal_time())
+            .with_binary_kib(im.binary_kib())
+            .with_power_scale(im.power_scale())
+            .with_accelerated(im.accelerated());
+        set.push(rebuilt);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn add_task(b: &mut TaskGraphBuilder, name: &str) -> TaskId {
+        let mut h = b.task(name);
+        h.implementation(PeTypeId::new(0), SwStack::BareMetal, 1.0);
+        h.id()
+    }
+
+    #[test]
+    fn empty_graph_is_rejected() {
+        assert_eq!(
+            TaskGraphBuilder::new("e", 1.0).build().unwrap_err(),
+            GraphError::Empty
+        );
+    }
+
+    #[test]
+    fn missing_implementations_are_rejected() {
+        let mut b = TaskGraphBuilder::new("m", 1.0);
+        b.task("lonely");
+        assert_eq!(
+            b.build().unwrap_err(),
+            GraphError::NoImplementations { task: 0 }
+        );
+    }
+
+    #[test]
+    fn dangling_edge_is_rejected() {
+        let mut b = TaskGraphBuilder::new("d", 1.0);
+        add_task(&mut b, "a");
+        b.edge(0.into(), 7.into(), 1.0, 1.0);
+        assert_eq!(b.build().unwrap_err(), GraphError::DanglingEdge { edge: 0 });
+    }
+
+    #[test]
+    fn self_loop_is_rejected() {
+        let mut b = TaskGraphBuilder::new("s", 1.0);
+        add_task(&mut b, "a");
+        b.edge(0.into(), 0.into(), 1.0, 1.0);
+        assert_eq!(b.build().unwrap_err(), GraphError::SelfLoop { task: 0 });
+    }
+
+    #[test]
+    fn cycle_is_rejected() {
+        let mut b = TaskGraphBuilder::new("c", 1.0);
+        add_task(&mut b, "a");
+        add_task(&mut b, "b");
+        b.edge(0.into(), 1.into(), 1.0, 1.0);
+        b.edge(1.into(), 0.into(), 1.0, 1.0);
+        assert_eq!(b.build().unwrap_err(), GraphError::Cycle);
+    }
+
+    #[test]
+    fn implementations_get_sequential_ids() {
+        let mut b = TaskGraphBuilder::new("i", 1.0);
+        b.task("a")
+            .implementation(PeTypeId::new(0), SwStack::BareMetal, 1.0)
+            .implementation(PeTypeId::new(1), SwStack::Rtos, 2.0);
+        let g = b.build().unwrap();
+        let set = g.implementations(0.into());
+        assert_eq!(set.len(), 2);
+        assert_eq!(set[0].id().index(), 0);
+        assert_eq!(set[1].id().index(), 1);
+    }
+
+    #[test]
+    fn implementation_full_rewrites_id() {
+        let mut b = TaskGraphBuilder::new("f", 1.0);
+        let donor = Implementation::new(ImplId::new(9), PeTypeId::new(0), SwStack::Rtos, 3.0)
+            .with_accelerated(true);
+        b.task("a").implementation_full(donor);
+        let g = b.build().unwrap();
+        let im = g.implementation(0.into(), ImplId::new(0));
+        assert_eq!(im.id().index(), 0);
+        assert!(im.accelerated());
+    }
+
+    #[test]
+    fn shared_task_types_are_preserved() {
+        let mut b = TaskGraphBuilder::new("t", 1.0);
+        b.task_with_type("a", TaskTypeId::new(5))
+            .implementation(PeTypeId::new(0), SwStack::BareMetal, 1.0);
+        let g = b.build().unwrap();
+        assert_eq!(g.task(0.into()).type_id(), TaskTypeId::new(5));
+    }
+}

@@ -1,0 +1,74 @@
+//! Graphviz (DOT) export for task graphs.
+
+use std::fmt::Write as _;
+
+use crate::TaskGraph;
+
+/// Renders a task graph in Graphviz DOT syntax.
+///
+/// Nodes are labelled `name (Tn)`, edges carry their transfer time, and
+/// tasks with an accelerated implementation are drawn as boxes.
+///
+/// # Examples
+///
+/// ```
+/// let g = clr_taskgraph::jpeg_encoder();
+/// let dot = clr_taskgraph::to_dot(&g);
+/// assert!(dot.starts_with("digraph"));
+/// assert!(dot.contains("QZ"));
+/// ```
+pub fn to_dot(graph: &TaskGraph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", graph.name());
+    let _ = writeln!(out, "  rankdir=TB;");
+    for t in graph.tasks() {
+        let accelerated = graph
+            .implementations(t.id())
+            .iter()
+            .any(|im| im.accelerated());
+        let shape = if accelerated { "box" } else { "ellipse" };
+        let _ = writeln!(
+            out,
+            "  t{} [label=\"{} ({})\", shape={}];",
+            t.id().index(),
+            t.name(),
+            t.id(),
+            shape
+        );
+    }
+    for e in graph.edges() {
+        let _ = writeln!(
+            out,
+            "  t{} -> t{} [label=\"{:.1}\"];",
+            e.src().index(),
+            e.dst().index(),
+            e.comm_time()
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jpeg_encoder;
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let g = jpeg_encoder();
+        let dot = to_dot(&g);
+        assert_eq!(dot.matches(" -> ").count(), g.num_edges());
+        for t in g.tasks() {
+            assert!(dot.contains(t.name()));
+        }
+    }
+
+    #[test]
+    fn accelerated_tasks_are_boxes() {
+        let g = jpeg_encoder();
+        let dot = to_dot(&g);
+        assert!(dot.contains("shape=box"));
+        assert!(dot.contains("shape=ellipse"));
+    }
+}

@@ -1,0 +1,114 @@
+//! Dependency edges.
+//!
+//! Paper §3.2: each edge `E_e` is characterised by
+//! `(ID_e, Src_e, Dst_e, CommT_e)` — index, source and sink task nodes, and
+//! the data transfer time. We additionally carry the payload size so the
+//! interconnect model can price communication energy.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::TaskId;
+
+/// Index of an edge within a [`crate::TaskGraph`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct EdgeId(usize);
+
+impl EdgeId {
+    /// Creates an edge index.
+    pub fn new(index: usize) -> Self {
+        Self(index)
+    }
+
+    /// The underlying index.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "E{}", self.0)
+    }
+}
+
+impl From<usize> for EdgeId {
+    fn from(index: usize) -> Self {
+        Self(index)
+    }
+}
+
+/// One directed dependency edge.
+///
+/// # Examples
+///
+/// ```
+/// use clr_taskgraph::{Edge, EdgeId, TaskId};
+/// let e = Edge::new(EdgeId::new(0), TaskId::new(0), TaskId::new(1), 3.5, 16.0);
+/// assert_eq!(e.src(), TaskId::new(0));
+/// assert_eq!(e.comm_time(), 3.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Edge {
+    id: EdgeId,
+    src: TaskId,
+    dst: TaskId,
+    /// Data-transfer time when source and destination run on *different*
+    /// PEs (same-PE communication through local memory is free).
+    comm_time: f64,
+    /// Payload size in KiB (for communication-energy accounting).
+    data_kib: f64,
+}
+
+impl Edge {
+    /// Creates an edge.
+    pub fn new(id: EdgeId, src: TaskId, dst: TaskId, comm_time: f64, data_kib: f64) -> Self {
+        Self {
+            id,
+            src,
+            dst,
+            comm_time,
+            data_kib,
+        }
+    }
+
+    /// This edge's index.
+    pub fn id(&self) -> EdgeId {
+        self.id
+    }
+
+    /// Source task.
+    pub fn src(&self) -> TaskId {
+        self.src
+    }
+
+    /// Destination task.
+    pub fn dst(&self) -> TaskId {
+        self.dst
+    }
+
+    /// Cross-PE data-transfer time.
+    pub fn comm_time(&self) -> f64 {
+        self.comm_time
+    }
+
+    /// Payload size in KiB.
+    pub fn data_kib(&self) -> f64 {
+        self.data_kib
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_accessors() {
+        let e = Edge::new(EdgeId::new(2), TaskId::new(0), TaskId::new(3), 1.0, 8.0);
+        assert_eq!(e.id().to_string(), "E2");
+        assert_eq!(e.dst().index(), 3);
+        assert_eq!(e.data_kib(), 8.0);
+    }
+}

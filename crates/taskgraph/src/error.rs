@@ -1,0 +1,56 @@
+//! Error type for task-graph construction.
+
+use std::fmt;
+
+/// Error produced while validating a [`crate::TaskGraph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// The graph has no tasks.
+    Empty,
+    /// An edge references a task index that does not exist.
+    DanglingEdge {
+        /// Index of the offending edge.
+        edge: usize,
+    },
+    /// An edge connects a task to itself.
+    SelfLoop {
+        /// Index of the offending task.
+        task: usize,
+    },
+    /// The dependency relation contains a cycle.
+    Cycle,
+    /// A task has an empty implementation set.
+    NoImplementations {
+        /// Index of the offending task.
+        task: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Empty => write!(f, "task graph must contain at least one task"),
+            GraphError::DanglingEdge { edge } => {
+                write!(f, "edge {edge} references a nonexistent task")
+            }
+            GraphError::SelfLoop { task } => write!(f, "task {task} has a self-loop"),
+            GraphError::Cycle => write!(f, "task graph contains a dependency cycle"),
+            GraphError::NoImplementations { task } => {
+                write!(f, "task {task} has no implementations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_meaningful() {
+        assert!(GraphError::Cycle.to_string().contains("cycle"));
+        assert!(GraphError::DanglingEdge { edge: 5 }.to_string().contains('5'));
+    }
+}

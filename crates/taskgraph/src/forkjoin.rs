@@ -1,0 +1,178 @@
+//! Fork-join (series-parallel) synthetic graphs.
+//!
+//! TGFF's generation style produces layered fan-in/fan-out DAGs (see
+//! [`crate::TgffGenerator`]); many embedded pipelines are instead strict
+//! *series-parallel* compositions — a sequence of fork-join blocks like
+//! the JPEG encoder's DCT stage. This generator produces such graphs with
+//! the same attribute ranges as the TGFF-style one, giving the experiment
+//! harness a second workload shape.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{SwStack, TaskGraph, TaskGraphBuilder, TaskId, TgffConfig};
+use clr_platform::PeTypeId;
+
+/// Generates a series-parallel (fork-join) task graph with exactly
+/// `config.num_tasks` tasks, reusing the attribute ranges of a
+/// [`TgffConfig`].
+///
+/// Structure: a chain of blocks; each block is either a single task or a
+/// fork of 2–4 parallel branches (1–2 tasks each) closed by a join task.
+///
+/// # Panics
+///
+/// Panics if the configuration requests zero tasks or zero PE types.
+///
+/// # Examples
+///
+/// ```
+/// use clr_taskgraph::{fork_join_graph, graph_metrics, TgffConfig};
+/// let g = fork_join_graph(&TgffConfig::with_tasks(20), 3);
+/// assert_eq!(g.num_tasks(), 20);
+/// // Fork-join graphs are single-source chains of blocks.
+/// assert_eq!(g.sources().len(), 1);
+/// ```
+pub fn fork_join_graph(config: &TgffConfig, seed: u64) -> TaskGraph {
+    assert!(config.num_tasks > 0, "need at least one task");
+    assert!(config.num_pe_types > 0, "need at least one pe type");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xf04c_5011_0000_0007);
+    let mut b = TaskGraphBuilder::new(format!("forkjoin-{}-{seed}", config.num_tasks), 0.0);
+    let mut avg_time_sum = 0.0f64;
+
+    let add_task = |b: &mut TaskGraphBuilder, rng: &mut StdRng, sum: &mut f64| -> TaskId {
+        let base = rng.gen_range(config.time_range.0..config.time_range.1);
+        *sum += base;
+        let idx = b.num_tasks();
+        let mut h = b.task(format!("t{idx}"));
+        let mut any = false;
+        for ty in 0..config.num_pe_types {
+            if rng.gen_bool(0.7) {
+                any = true;
+                let affinity = rng.gen_range(0.7..1.5);
+                let stack = if rng.gen_bool(0.5) {
+                    SwStack::BareMetal
+                } else {
+                    SwStack::Rtos
+                };
+                let im = crate::Implementation::new(
+                    crate::ImplId::new(0),
+                    PeTypeId::new(ty),
+                    stack,
+                    base * affinity,
+                )
+                .with_binary_kib(rng.gen_range(config.binary_kib_range.0..config.binary_kib_range.1));
+                h.implementation_full(im);
+            }
+        }
+        if !any {
+            h.implementation(
+                PeTypeId::new(rng.gen_range(0..config.num_pe_types)),
+                SwStack::Rtos,
+                base,
+            );
+        }
+        h.id()
+    };
+
+    let comm = |rng: &mut StdRng| -> (f64, f64) {
+        (
+            rng.gen_range(config.time_range.0..config.time_range.1) * config.ccr,
+            rng.gen_range(2.0..32.0),
+        )
+    };
+
+    // Head of the chain.
+    let mut tail = add_task(&mut b, &mut rng, &mut avg_time_sum);
+    let mut remaining = config.num_tasks - 1;
+    while remaining > 0 {
+        // A fork block needs ≥ 3 further tasks (2 branches + join); fall
+        // back to chain links otherwise.
+        let fork_width = rng.gen_range(2..=4usize);
+        let branch_len = rng.gen_range(1..=2usize);
+        let block_cost = fork_width * branch_len + 1;
+        if remaining >= block_cost && rng.gen_bool(0.6) {
+            let mut branch_tails = Vec::with_capacity(fork_width);
+            for _ in 0..fork_width {
+                let mut prev = tail;
+                for _ in 0..branch_len {
+                    let t = add_task(&mut b, &mut rng, &mut avg_time_sum);
+                    let (ct, kib) = comm(&mut rng);
+                    b.edge(prev, t, ct, kib);
+                    prev = t;
+                }
+                branch_tails.push(prev);
+            }
+            let join = add_task(&mut b, &mut rng, &mut avg_time_sum);
+            for bt in branch_tails {
+                let (ct, kib) = comm(&mut rng);
+                b.edge(bt, join, ct, kib);
+            }
+            tail = join;
+            remaining -= block_cost;
+        } else {
+            let t = add_task(&mut b, &mut rng, &mut avg_time_sum);
+            let (ct, kib) = comm(&mut rng);
+            b.edge(tail, t, ct, kib);
+            tail = t;
+            remaining -= 1;
+        }
+    }
+
+    // Rebuild with the computed period (mirrors the TGFF-style generator).
+    let period = config.period_slack * avg_time_sum / 4.0;
+    let g = b.build().expect("fork-join construction is valid");
+    let mut b2 = TaskGraphBuilder::new(g.name().to_string(), period);
+    for task in g.tasks() {
+        let mut h = b2.task_with_type(task.name().to_string(), task.type_id());
+        for im in g.implementations(task.id()) {
+            h.implementation_full(*im);
+        }
+    }
+    for e in g.edges() {
+        b2.edge(e.src(), e.dst(), e.comm_time(), e.data_kib());
+    }
+    b2.build().expect("period rebuild preserves validity")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph_metrics;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exact_task_count_and_single_source() {
+        for n in [1usize, 2, 5, 20, 57] {
+            let g = fork_join_graph(&TgffConfig::with_tasks(n), 9);
+            assert_eq!(g.num_tasks(), n);
+            assert!(g.sources().len() == 1 || n == 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = TgffConfig::with_tasks(25);
+        assert_eq!(fork_join_graph(&cfg, 3), fork_join_graph(&cfg, 3));
+        assert_ne!(fork_join_graph(&cfg, 3), fork_join_graph(&cfg, 4));
+    }
+
+    #[test]
+    fn forks_create_width() {
+        let g = fork_join_graph(&TgffConfig::with_tasks(40), 11);
+        let m = graph_metrics(&g);
+        assert!(m.width >= 2, "expected at least one fork, width {}", m.width);
+        assert_eq!(g.sinks().len(), 1, "chain of blocks ends in one sink");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn always_valid_dags(n in 1usize..60, seed in 0u64..300) {
+            let g = fork_join_graph(&TgffConfig::with_tasks(n), seed);
+            prop_assert_eq!(g.num_tasks(), n);
+            prop_assert_eq!(g.topological_order().len(), n);
+            prop_assert!(g.period() > 0.0);
+        }
+    }
+}

@@ -1,0 +1,365 @@
+//! The task graph aggregate: nodes, edges, implementation sets, adjacency
+//! and graph algorithms (topological order, criticality, critical path).
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Edge, GraphError, ImplId, Implementation, Task, TaskId};
+
+/// A validated, periodic application task graph.
+///
+/// Construct via [`crate::TaskGraphBuilder`]; validation guarantees the
+/// graph is a non-empty DAG, every edge endpoint exists, and every task has
+/// at least one implementation.
+///
+/// # Examples
+///
+/// ```
+/// let g = clr_taskgraph::jpeg_encoder();
+/// assert_eq!(g.num_tasks(), 11);
+/// assert_eq!(g.num_edges(), 13);
+/// let order = g.topological_order();
+/// assert_eq!(order.len(), 11);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskGraph {
+    name: String,
+    tasks: Vec<Task>,
+    edges: Vec<Edge>,
+    /// `impls[t]` is the implementation set of task `t`.
+    impls: Vec<Vec<Implementation>>,
+    period: f64,
+    /// `preds[t]` / `succs[t]`: edge indices entering / leaving task `t`.
+    preds: Vec<Vec<usize>>,
+    succs: Vec<Vec<usize>>,
+    topo: Vec<TaskId>,
+}
+
+impl TaskGraph {
+    /// Internal constructor used by the builder after validation.
+    pub(crate) fn from_validated_parts(
+        name: String,
+        tasks: Vec<Task>,
+        edges: Vec<Edge>,
+        impls: Vec<Vec<Implementation>>,
+        period: f64,
+        preds: Vec<Vec<usize>>,
+        succs: Vec<Vec<usize>>,
+        topo: Vec<TaskId>,
+    ) -> Self {
+        Self {
+            name,
+            tasks,
+            edges,
+            impls,
+            period,
+            preds,
+            succs,
+            topo,
+        }
+    }
+
+    /// Application name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All task nodes, ordered by [`TaskId`].
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// All edges, ordered by [`crate::EdgeId`].
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// The application period `P_app`.
+    pub fn period(&self) -> f64 {
+        self.period
+    }
+
+    /// Number of tasks.
+    pub fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Looks up a task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id.index()]
+    }
+
+    /// The implementation set of task `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn implementations(&self, id: TaskId) -> &[Implementation] {
+        &self.impls[id.index()]
+    }
+
+    /// Looks up one implementation of a task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn implementation(&self, task: TaskId, im: ImplId) -> &Implementation {
+        &self.impls[task.index()][im.index()]
+    }
+
+    /// Iterator over all task ids.
+    pub fn task_ids(&self) -> impl Iterator<Item = TaskId> + '_ {
+        (0..self.tasks.len()).map(TaskId::new)
+    }
+
+    /// Edges entering `id` (dependencies).
+    pub fn in_edges(&self, id: TaskId) -> impl Iterator<Item = &Edge> + '_ {
+        self.preds[id.index()].iter().map(|&e| &self.edges[e])
+    }
+
+    /// Edges leaving `id` (dependents).
+    pub fn out_edges(&self, id: TaskId) -> impl Iterator<Item = &Edge> + '_ {
+        self.succs[id.index()].iter().map(|&e| &self.edges[e])
+    }
+
+    /// Direct predecessors of `id`.
+    pub fn predecessors(&self, id: TaskId) -> impl Iterator<Item = TaskId> + '_ {
+        self.in_edges(id).map(|e| e.src())
+    }
+
+    /// Direct successors of `id`.
+    pub fn successors(&self, id: TaskId) -> impl Iterator<Item = TaskId> + '_ {
+        self.out_edges(id).map(|e| e.dst())
+    }
+
+    /// Tasks with no predecessors.
+    pub fn sources(&self) -> Vec<TaskId> {
+        self.task_ids()
+            .filter(|t| self.preds[t.index()].is_empty())
+            .collect()
+    }
+
+    /// Tasks with no successors.
+    pub fn sinks(&self) -> Vec<TaskId> {
+        self.task_ids()
+            .filter(|t| self.succs[t.index()].is_empty())
+            .collect()
+    }
+
+    /// A topological ordering of the tasks (computed once at build time).
+    pub fn topological_order(&self) -> &[TaskId] {
+        &self.topo
+    }
+
+    /// Number of tasks reachable from `id` (including `id` itself); the raw
+    /// ingredient of the criticality weights `ζ_t` in Eq. (2).
+    pub fn downstream_reach(&self, id: TaskId) -> usize {
+        let mut seen = vec![false; self.tasks.len()];
+        let mut stack = vec![id];
+        let mut count = 0usize;
+        while let Some(t) = stack.pop() {
+            if seen[t.index()] {
+                continue;
+            }
+            seen[t.index()] = true;
+            count += 1;
+            for s in self.successors(t) {
+                if !seen[s.index()] {
+                    stack.push(s);
+                }
+            }
+        }
+        count
+    }
+
+    /// Normalised task criticalities `ζ_t` (sum to 1): the fraction of the
+    /// application's downstream work that depends on each task. A task whose
+    /// output feeds many others is more critical to functional reliability
+    /// (Eq. 2 uses `F_app = Σ ζ_t · F_t`).
+    pub fn criticalities(&self) -> Vec<f64> {
+        let reach: Vec<f64> = self
+            .task_ids()
+            .map(|t| self.downstream_reach(t) as f64)
+            .collect();
+        let total: f64 = reach.iter().sum();
+        if total == 0.0 {
+            return vec![1.0 / self.tasks.len() as f64; self.tasks.len()];
+        }
+        reach.iter().map(|r| r / total).collect()
+    }
+
+    /// Length of the critical path through the graph when each task `t`
+    /// costs `task_time(t)` and each cross-task edge costs its
+    /// `comm_time`. This lower-bounds any schedule's makespan on a platform
+    /// with unlimited PEs.
+    pub fn critical_path(&self, mut task_time: impl FnMut(TaskId) -> f64) -> f64 {
+        let mut finish = vec![0.0f64; self.tasks.len()];
+        for &t in &self.topo {
+            let mut ready = 0.0f64;
+            for e in self.in_edges(t) {
+                let candidate = finish[e.src().index()] + e.comm_time();
+                if candidate > ready {
+                    ready = candidate;
+                }
+            }
+            finish[t.index()] = ready + task_time(t);
+        }
+        finish.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// The fastest implementation time of each task (minimum nominal time
+    /// over its implementation set).
+    pub fn min_nominal_times(&self) -> Vec<f64> {
+        self.impls
+            .iter()
+            .map(|set| {
+                set.iter()
+                    .map(Implementation::nominal_time)
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect()
+    }
+}
+
+/// Validation and topological sorting shared with the builder.
+pub(crate) fn validate_and_sort(
+    tasks: &[Task],
+    edges: &[Edge],
+    impls: &[Vec<Implementation>],
+) -> Result<(Vec<Vec<usize>>, Vec<Vec<usize>>, Vec<TaskId>), GraphError> {
+    if tasks.is_empty() {
+        return Err(GraphError::Empty);
+    }
+    let n = tasks.len();
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, e) in edges.iter().enumerate() {
+        if e.src().index() >= n || e.dst().index() >= n {
+            return Err(GraphError::DanglingEdge { edge: i });
+        }
+        if e.src() == e.dst() {
+            return Err(GraphError::SelfLoop { task: e.src().index() });
+        }
+        preds[e.dst().index()].push(i);
+        succs[e.src().index()].push(i);
+    }
+    for (t, set) in impls.iter().enumerate() {
+        if set.is_empty() {
+            return Err(GraphError::NoImplementations { task: t });
+        }
+    }
+    // Kahn's algorithm.
+    let mut in_deg: Vec<usize> = preds.iter().map(Vec::len).collect();
+    let mut queue: Vec<TaskId> = (0..n).filter(|&t| in_deg[t] == 0).map(TaskId::new).collect();
+    let mut topo = Vec::with_capacity(n);
+    while let Some(t) = queue.pop() {
+        topo.push(t);
+        for &e in &succs[t.index()] {
+            let d = edges[e].dst().index();
+            in_deg[d] -= 1;
+            if in_deg[d] == 0 {
+                queue.push(TaskId::new(d));
+            }
+        }
+    }
+    if topo.len() != n {
+        return Err(GraphError::Cycle);
+    }
+    Ok((preds, succs, topo))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{jpeg_encoder, TaskGraphBuilder};
+    use clr_platform::PeTypeId;
+    use crate::SwStack;
+
+    fn diamond() -> TaskGraph {
+        // 0 -> {1, 2} -> 3
+        let mut b = TaskGraphBuilder::new("diamond", 100.0);
+        for i in 0..4 {
+            b.task(format!("t{i}"))
+                .implementation(PeTypeId::new(0), SwStack::BareMetal, 10.0 + i as f64);
+        }
+        b.edge(0.into(), 1.into(), 1.0, 4.0);
+        b.edge(0.into(), 2.into(), 1.0, 4.0);
+        b.edge(1.into(), 3.into(), 1.0, 4.0);
+        b.edge(2.into(), 3.into(), 1.0, 4.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn adjacency_is_consistent() {
+        let g = diamond();
+        assert_eq!(g.sources(), vec![TaskId::new(0)]);
+        assert_eq!(g.sinks(), vec![TaskId::new(3)]);
+        let preds: Vec<_> = g.predecessors(3.into()).collect();
+        assert_eq!(preds.len(), 2);
+        assert_eq!(g.successors(0.into()).count(), 2);
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let g = diamond();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; g.num_tasks()];
+            for (i, t) in g.topological_order().iter().enumerate() {
+                p[t.index()] = i;
+            }
+            p
+        };
+        for e in g.edges() {
+            assert!(pos[e.src().index()] < pos[e.dst().index()]);
+        }
+    }
+
+    #[test]
+    fn downstream_reach_counts_descendants() {
+        let g = diamond();
+        assert_eq!(g.downstream_reach(0.into()), 4);
+        assert_eq!(g.downstream_reach(1.into()), 2);
+        assert_eq!(g.downstream_reach(3.into()), 1);
+    }
+
+    #[test]
+    fn criticalities_sum_to_one_and_rank_sources_highest() {
+        let g = diamond();
+        let z = g.criticalities();
+        let sum: f64 = z.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!(z[0] > z[1]);
+        assert!(z[1] > z[3] - 1e-12);
+    }
+
+    #[test]
+    fn critical_path_is_longest_chain() {
+        let g = diamond();
+        // Path 0 -> 2 -> 3: 10 + 1 + 12 + 1 + 13 = 37.
+        let cp = g.critical_path(|t| 10.0 + t.index() as f64);
+        assert!((cp - 37.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jpeg_sample_has_paper_shape() {
+        let g = jpeg_encoder();
+        assert_eq!(g.num_tasks(), 11);
+        assert_eq!(g.num_edges(), 13);
+        assert_eq!(g.sources().len(), 1);
+    }
+
+    #[test]
+    fn min_nominal_times_pick_fastest_impl() {
+        let g = diamond();
+        let times = g.min_nominal_times();
+        assert_eq!(times[2], 12.0);
+    }
+}

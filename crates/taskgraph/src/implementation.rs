@@ -1,0 +1,200 @@
+//! Task implementations.
+//!
+//! Paper §3.2: each implementation `Impl(t, i)` of task `T_t` is
+//! characterised by (1) the type of PE it targets, (2) the system software
+//! (bare-metal or an operating system) and (3) the application software
+//! (algorithm / language variant). The nominal (fault-free, redundancy-free)
+//! execution time, power scaling and binary size stored here are the raw
+//! inputs from which `clr-reliability` derives the task-level performance
+//! metrics of Table 2 for any cross-layer reliability configuration.
+
+use clr_platform::PeTypeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of an implementation within one task's implementation set.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ImplId(usize);
+
+impl ImplId {
+    /// Creates an implementation index.
+    pub fn new(index: usize) -> Self {
+        Self(index)
+    }
+
+    /// The underlying index.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ImplId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "I{}", self.0)
+    }
+}
+
+impl From<usize> for ImplId {
+    fn from(index: usize) -> Self {
+        Self(index)
+    }
+}
+
+/// The system-software stack an implementation runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SwStack {
+    /// Bare-metal execution: lowest overhead, no OS services for temporal
+    /// redundancy bookkeeping (retry/checkpoint carry a higher relative
+    /// setup cost).
+    BareMetal,
+    /// A lightweight RTOS: small constant overhead, cheaper checkpoint and
+    /// retry orchestration.
+    Rtos,
+}
+
+impl fmt::Display for SwStack {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SwStack::BareMetal => write!(f, "bare-metal"),
+            SwStack::Rtos => write!(f, "rtos"),
+        }
+    }
+}
+
+/// One candidate implementation of a task.
+///
+/// # Examples
+///
+/// ```
+/// use clr_taskgraph::{ImplId, Implementation, SwStack};
+/// use clr_platform::PeTypeId;
+///
+/// let im = Implementation::new(ImplId::new(0), PeTypeId::new(1), SwStack::Rtos, 120.0)
+///     .with_binary_kib(48)
+///     .with_power_scale(1.2)
+///     .with_accelerated(true);
+/// assert!(im.accelerated());
+/// assert_eq!(im.nominal_time(), 120.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Implementation {
+    id: ImplId,
+    pe_type: PeTypeId,
+    sw_stack: SwStack,
+    /// Fault-free execution time on a speed-factor-1.0 PE of the target
+    /// type, with no redundancy applied.
+    nominal_time: f64,
+    /// Binary (or configuration data) size in KiB that must reside in the
+    /// hosting PE's local memory; this is what task migration copies.
+    binary_kib: u32,
+    /// Multiplier on the hosting PE type's active power while this
+    /// implementation executes.
+    power_scale: f64,
+    /// Whether this implementation is a hardware accelerator that occupies
+    /// a partially reconfigurable region (changing it costs a bit-stream
+    /// reload in `dRC`).
+    accelerated: bool,
+}
+
+impl Implementation {
+    /// Creates an implementation with 32 KiB binary, power scale 1.0 and no
+    /// acceleration; adjust via the `with_*` methods.
+    pub fn new(id: ImplId, pe_type: PeTypeId, sw_stack: SwStack, nominal_time: f64) -> Self {
+        Self {
+            id,
+            pe_type,
+            sw_stack,
+            nominal_time,
+            binary_kib: 32,
+            power_scale: 1.0,
+            accelerated: false,
+        }
+    }
+
+    /// Sets the binary size in KiB.
+    pub fn with_binary_kib(mut self, kib: u32) -> Self {
+        self.binary_kib = kib;
+        self
+    }
+
+    /// Sets the power-scale multiplier.
+    pub fn with_power_scale(mut self, scale: f64) -> Self {
+        self.power_scale = scale;
+        self
+    }
+
+    /// Marks this implementation as a PRR-hosted accelerator.
+    pub fn with_accelerated(mut self, accelerated: bool) -> Self {
+        self.accelerated = accelerated;
+        self
+    }
+
+    /// This implementation's index within its task's set.
+    pub fn id(&self) -> ImplId {
+        self.id
+    }
+
+    /// The PE type this implementation targets.
+    pub fn pe_type(&self) -> PeTypeId {
+        self.pe_type
+    }
+
+    /// The system-software stack.
+    pub fn sw_stack(&self) -> SwStack {
+        self.sw_stack
+    }
+
+    /// Fault-free, redundancy-free execution time at speed factor 1.0.
+    pub fn nominal_time(&self) -> f64 {
+        self.nominal_time
+    }
+
+    /// Binary size in KiB.
+    pub fn binary_kib(&self) -> u32 {
+        self.binary_kib
+    }
+
+    /// Power-scale multiplier.
+    pub fn power_scale(&self) -> f64 {
+        self.power_scale
+    }
+
+    /// Whether this implementation occupies a PRR.
+    pub fn accelerated(&self) -> bool {
+        self.accelerated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain_sets_fields() {
+        let im = Implementation::new(ImplId::new(3), PeTypeId::new(0), SwStack::BareMetal, 10.0)
+            .with_binary_kib(64)
+            .with_power_scale(0.8)
+            .with_accelerated(true);
+        assert_eq!(im.id().index(), 3);
+        assert_eq!(im.binary_kib(), 64);
+        assert_eq!(im.power_scale(), 0.8);
+        assert!(im.accelerated());
+        assert_eq!(im.sw_stack(), SwStack::BareMetal);
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let im = Implementation::new(ImplId::new(0), PeTypeId::new(0), SwStack::Rtos, 5.0);
+        assert_eq!(im.binary_kib(), 32);
+        assert_eq!(im.power_scale(), 1.0);
+        assert!(!im.accelerated());
+    }
+
+    #[test]
+    fn sw_stack_display() {
+        assert_eq!(SwStack::BareMetal.to_string(), "bare-metal");
+        assert_eq!(SwStack::Rtos.to_string(), "rtos");
+    }
+}

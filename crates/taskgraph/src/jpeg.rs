@@ -1,0 +1,120 @@
+//! The JPEG-encoder sample application of paper Fig. 2b.
+//!
+//! The figure shows an 11-task, 13-edge graph: a source `S`, a quantisation
+//! stage `QZ`, five Huffman-related tasks `H1..H5`, and four DCT tasks `D`,
+//! converging into the entropy-coded output. The exact wiring in the figure
+//! is stylised; we reproduce the same node/edge counts and the
+//! split-process-merge structure of a JPEG encoder.
+
+use clr_platform::PeTypeId;
+
+use crate::{ImplId, Implementation, SwStack, TaskGraph, TaskGraphBuilder, TaskTypeId};
+
+/// Builds the JPEG-encoder task graph of Fig. 2b (11 tasks, 13 edges).
+///
+/// Tasks: `S` (colour-space + block split), `D0..D3` (parallel DCT over
+/// four block stripes), `QZ` (quantisation), `H1..H4` (Huffman stages),
+/// `OUT` (bit-stream assembly). The four DCT tasks share one functionality
+/// type, so they can share a binary / accelerator bit-stream.
+///
+/// # Examples
+///
+/// ```
+/// let g = clr_taskgraph::jpeg_encoder();
+/// assert_eq!(g.num_tasks(), 11);
+/// assert_eq!(g.num_edges(), 13);
+/// ```
+pub fn jpeg_encoder() -> TaskGraph {
+    let mut b = TaskGraphBuilder::new("jpeg-encoder", 2000.0);
+
+    let dct_type = TaskTypeId::new(100);
+
+    // T0: source / block split.
+    b.task("S")
+        .implementation(PeTypeId::new(0), SwStack::Rtos, 40.0)
+        .implementation(PeTypeId::new(1), SwStack::Rtos, 28.0);
+
+    // T1..T4: DCT stripes — compute-heavy, accelerator candidates.
+    for i in 0..4 {
+        let mut h = b.task_with_type(format!("D{i}"), dct_type);
+        h.implementation(PeTypeId::new(1), SwStack::BareMetal, 110.0)
+            .implementation(PeTypeId::new(2), SwStack::BareMetal, 135.0);
+        h.implementation_full(
+            Implementation::new(ImplId::new(0), PeTypeId::new(1), SwStack::BareMetal, 30.0)
+                .with_binary_kib(72)
+                .with_power_scale(1.5)
+                .with_accelerated(true),
+        );
+    }
+
+    // T5: quantisation.
+    b.task("QZ")
+        .implementation(PeTypeId::new(0), SwStack::Rtos, 55.0)
+        .implementation(PeTypeId::new(2), SwStack::Rtos, 48.0);
+
+    // T6..T9: Huffman pipeline stages.
+    for i in 1..=4 {
+        b.task(format!("H{i}"))
+            .implementation(PeTypeId::new(0), SwStack::Rtos, 60.0 + 5.0 * i as f64)
+            .implementation(PeTypeId::new(2), SwStack::BareMetal, 50.0 + 5.0 * i as f64);
+    }
+
+    // T10: output assembly.
+    b.task("OUT")
+        .implementation(PeTypeId::new(0), SwStack::Rtos, 35.0)
+        .implementation(PeTypeId::new(1), SwStack::Rtos, 25.0);
+
+    // 13 edges: S fans out to the 4 DCTs, DCTs converge on QZ, QZ feeds the
+    // Huffman chain H1→H2→H3→H4, H2 and H4 feed OUT.
+    for i in 1..=4 {
+        b.edge(0.into(), i.into(), 8.0, 24.0); // S  -> Di   (4)
+        b.edge(i.into(), 5.into(), 6.0, 24.0); // Di -> QZ   (4)
+    }
+    b.edge(5.into(), 6.into(), 5.0, 16.0); // QZ -> H1
+    b.edge(6.into(), 7.into(), 4.0, 12.0); // H1 -> H2
+    b.edge(7.into(), 8.into(), 4.0, 12.0); // H2 -> H3
+    b.edge(8.into(), 9.into(), 4.0, 12.0); // H3 -> H4
+    b.edge(9.into(), 10.into(), 3.0, 8.0); // H4 -> OUT
+
+    b.build().expect("jpeg encoder sample graph is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_fig_2b_counts() {
+        let g = jpeg_encoder();
+        assert_eq!(g.num_tasks(), 11);
+        assert_eq!(g.num_edges(), 13);
+    }
+
+    #[test]
+    fn dct_tasks_share_type_and_have_accelerators() {
+        let g = jpeg_encoder();
+        let dcts: Vec<_> = g
+            .tasks()
+            .iter()
+            .filter(|t| t.name().starts_with('D') && t.name() != "OUT")
+            .collect();
+        assert_eq!(dcts.len(), 4);
+        let ty = dcts[0].type_id();
+        for d in &dcts {
+            assert_eq!(d.type_id(), ty);
+            assert!(g
+                .implementations(d.id())
+                .iter()
+                .any(|im| im.accelerated()));
+        }
+    }
+
+    #[test]
+    fn single_source_single_sink() {
+        let g = jpeg_encoder();
+        assert_eq!(g.sources().len(), 1);
+        assert_eq!(g.sinks().len(), 1);
+        assert_eq!(g.task(g.sources()[0]).name(), "S");
+        assert_eq!(g.task(g.sinks()[0]).name(), "OUT");
+    }
+}

@@ -1,0 +1,70 @@
+//! Application model (paper §3.2, Fig. 2b) and synthetic workload generator.
+//!
+//! An application is a periodic task graph `G_app = (T_app, E_app, P_app)`:
+//! task nodes, directed dependency edges with data-transfer times, and the
+//! application period. Each task carries a set of candidate
+//! *implementations* `Impl(t, i)` — combinations of target PE type, system
+//! software and application software — among which the design-space
+//! exploration chooses.
+//!
+//! The paper generates its 10–100-task synthetic applications with the TGFF
+//! tool; [`TgffGenerator`] is a faithful stand-in producing seeded,
+//! reproducible layered DAGs with TGFF-style parameters. The JPEG-encoder
+//! example of Fig. 2b is available as [`jpeg_encoder`].
+//!
+//! # Examples
+//!
+//! ```
+//! use clr_taskgraph::{TgffConfig, TgffGenerator};
+//!
+//! let graph = TgffGenerator::new(TgffConfig::with_tasks(20)).generate(42);
+//! assert_eq!(graph.num_tasks(), 20);
+//! assert!(graph.topological_order().len() == 20);
+//! ```
+
+mod builder;
+mod dot;
+mod edge;
+mod error;
+mod forkjoin;
+mod graph;
+mod implementation;
+mod jpeg;
+mod metrics;
+mod task;
+mod tgff;
+mod tgff_parse;
+
+pub use builder::{TaskGraphBuilder, TaskHandle};
+pub use dot::to_dot;
+pub use edge::{Edge, EdgeId};
+pub use error::GraphError;
+pub use forkjoin::fork_join_graph;
+pub use graph::TaskGraph;
+pub use implementation::{ImplId, Implementation, SwStack};
+pub use jpeg::jpeg_encoder;
+pub use metrics::{graph_metrics, GraphMetrics};
+pub use task::{Task, TaskId, TaskTypeId};
+pub use tgff::{TgffConfig, TgffGenerator};
+pub use tgff_parse::{parse_tgff, TgffParseError, TgffParseOptions};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_graphs_are_dags_with_impls() {
+        for seed in 0..5 {
+            let g = TgffGenerator::new(TgffConfig::with_tasks(30)).generate(seed);
+            assert_eq!(g.num_tasks(), 30);
+            assert_eq!(g.topological_order().len(), 30);
+            for t in g.tasks() {
+                assert!(
+                    !g.implementations(t.id()).is_empty(),
+                    "task {} has no implementations",
+                    t.id()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Structural metrics of task graphs.
+//!
+//! The evaluation sweeps applications from 10 to 100 tasks; these metrics
+//! characterise what the generator produced (depth, width, parallelism,
+//! communication-to-computation ratio) so experiments can report workload
+//! shape alongside results.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Implementation, TaskGraph};
+
+/// Structural summary of a task graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphMetrics {
+    /// Number of task nodes.
+    pub tasks: usize,
+    /// Number of dependency edges.
+    pub edges: usize,
+    /// Longest path length in *hops* (nodes on the longest chain).
+    pub depth: usize,
+    /// Maximum number of tasks at one depth level (graph width).
+    pub width: usize,
+    /// `tasks / depth`: the average parallelism available.
+    pub parallelism: f64,
+    /// Sum of edge transfer times / sum of minimum task execution times —
+    /// the communication-to-computation ratio of the graph.
+    pub ccr: f64,
+    /// Mean implementations per task.
+    pub mean_impls_per_task: f64,
+    /// Fraction of tasks with at least one accelerated implementation.
+    pub accelerated_fraction: f64,
+}
+
+/// Computes the structural metrics of a graph.
+///
+/// # Examples
+///
+/// ```
+/// use clr_taskgraph::{graph_metrics, jpeg_encoder};
+/// let m = graph_metrics(&jpeg_encoder());
+/// assert_eq!(m.tasks, 11);
+/// assert_eq!(m.depth, 8); // S → D → QZ → H1 → H2 → H3 → H4 → OUT
+/// assert!(m.parallelism > 1.0);
+/// ```
+pub fn graph_metrics(graph: &TaskGraph) -> GraphMetrics {
+    let n = graph.num_tasks();
+    // Depth levels via longest path in hops.
+    let mut level = vec![0usize; n];
+    for &t in graph.topological_order() {
+        let l = graph
+            .predecessors(t)
+            .map(|p| level[p.index()] + 1)
+            .max()
+            .unwrap_or(0);
+        level[t.index()] = l;
+    }
+    let depth = level.iter().copied().max().unwrap_or(0) + 1;
+    let mut width_at = vec![0usize; depth];
+    for &l in &level {
+        width_at[l] += 1;
+    }
+    let width = width_at.iter().copied().max().unwrap_or(0);
+
+    let comm: f64 = graph.edges().iter().map(|e| e.comm_time()).sum();
+    let comp: f64 = graph.min_nominal_times().iter().sum();
+    let impls: usize = graph
+        .task_ids()
+        .map(|t| graph.implementations(t).len())
+        .sum();
+    let accelerated = graph
+        .task_ids()
+        .filter(|&t| {
+            graph
+                .implementations(t)
+                .iter()
+                .any(Implementation::accelerated)
+        })
+        .count();
+
+    GraphMetrics {
+        tasks: n,
+        edges: graph.num_edges(),
+        depth,
+        width,
+        parallelism: n as f64 / depth as f64,
+        ccr: if comp > 0.0 { comm / comp } else { 0.0 },
+        mean_impls_per_task: impls as f64 / n as f64,
+        accelerated_fraction: accelerated as f64 / n as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{jpeg_encoder, TgffConfig, TgffGenerator};
+    use proptest::prelude::*;
+
+    #[test]
+    fn jpeg_metrics_match_structure() {
+        let m = graph_metrics(&jpeg_encoder());
+        assert_eq!(m.tasks, 11);
+        assert_eq!(m.edges, 13);
+        assert_eq!(m.width, 4); // the four parallel DCT stripes
+        assert!(m.accelerated_fraction > 0.3);
+        assert!(m.mean_impls_per_task >= 2.0);
+    }
+
+    #[test]
+    fn chain_has_depth_equal_tasks() {
+        use crate::{SwStack, TaskGraphBuilder};
+        use clr_platform::PeTypeId;
+        let mut b = TaskGraphBuilder::new("chain", 10.0);
+        for i in 0..5 {
+            b.task(format!("t{i}"))
+                .implementation(PeTypeId::new(0), SwStack::BareMetal, 1.0);
+        }
+        for i in 1..5 {
+            b.edge((i - 1).into(), i.into(), 1.0, 1.0);
+        }
+        let m = graph_metrics(&b.build().unwrap());
+        assert_eq!(m.depth, 5);
+        assert_eq!(m.width, 1);
+        assert!((m.parallelism - 1.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn metric_invariants_hold_for_generated_graphs(n in 2usize..60, seed in 0u64..200) {
+            let g = TgffGenerator::new(TgffConfig::with_tasks(n)).generate(seed);
+            let m = graph_metrics(&g);
+            prop_assert_eq!(m.tasks, n);
+            prop_assert!(m.depth >= 1 && m.depth <= n);
+            prop_assert!(m.width >= 1 && m.width <= n);
+            prop_assert!(m.parallelism >= 1.0 - 1e-12);
+            prop_assert!(m.parallelism <= n as f64 + 1e-12);
+            prop_assert!(m.ccr >= 0.0);
+            prop_assert!((0.0..=1.0).contains(&m.accelerated_fraction));
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Task nodes.
+//!
+//! Paper §3.2: each task `T_t` is characterised by `(ID_t, Type_t, Impl_t)`
+//! — index, functionality type, and the set of implementations. The
+//! implementation set is stored on the [`crate::TaskGraph`]; this module
+//! holds the node itself.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a task within a [`crate::TaskGraph`].
+///
+/// # Examples
+///
+/// ```
+/// use clr_taskgraph::TaskId;
+/// assert_eq!(TaskId::new(4).to_string(), "T4");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct TaskId(usize);
+
+impl TaskId {
+    /// Creates a task index.
+    pub fn new(index: usize) -> Self {
+        Self(index)
+    }
+
+    /// The underlying index.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl From<usize> for TaskId {
+    fn from(index: usize) -> Self {
+        Self(index)
+    }
+}
+
+/// Functionality type of a task (e.g. "DCT", "Huffman"): tasks of the same
+/// type can share binaries and accelerator bit-streams.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct TaskTypeId(usize);
+
+impl TaskTypeId {
+    /// Creates a task-type index.
+    pub fn new(index: usize) -> Self {
+        Self(index)
+    }
+
+    /// The underlying index.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for TaskTypeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "F{}", self.0)
+    }
+}
+
+impl From<usize> for TaskTypeId {
+    fn from(index: usize) -> Self {
+        Self(index)
+    }
+}
+
+/// One task node of the application graph.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Task {
+    id: TaskId,
+    type_id: TaskTypeId,
+    name: String,
+}
+
+impl Task {
+    /// Creates a task node.
+    pub fn new(id: TaskId, type_id: TaskTypeId, name: impl Into<String>) -> Self {
+        Self {
+            id,
+            type_id,
+            name: name.into(),
+        }
+    }
+
+    /// This task's index.
+    pub fn id(&self) -> TaskId {
+        self.id
+    }
+
+    /// This task's functionality type.
+    pub fn type_id(&self) -> TaskTypeId {
+        self.type_id
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_roundtrip() {
+        assert_eq!(TaskId::from(9).index(), 9);
+        assert_eq!(TaskTypeId::from(2).index(), 2);
+        assert_eq!(TaskTypeId::new(2).to_string(), "F2");
+    }
+
+    #[test]
+    fn task_accessors() {
+        let t = Task::new(TaskId::new(1), TaskTypeId::new(3), "dct");
+        assert_eq!(t.id().index(), 1);
+        assert_eq!(t.type_id().index(), 3);
+        assert_eq!(t.name(), "dct");
+    }
+}

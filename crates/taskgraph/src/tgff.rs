@@ -1,0 +1,336 @@
+//! TGFF-style synthetic task-graph generator.
+//!
+//! The paper generates its synthetic applications (10–100 tasks) with the
+//! *Task Graphs For Free* tool (Dick, Rhodes & Wolf, CODES'98). TGFF is
+//! itself a seeded pseudo-random generator of layered fan-in/fan-out DAGs
+//! with user-chosen task counts, degrees and attribute ranges — this module
+//! reimplements that generation scheme so the evaluation is fully
+//! self-contained and reproducible from a `u64` seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::{SwStack, TaskGraph, TaskGraphBuilder};
+use clr_platform::PeTypeId;
+
+/// Parameters of the synthetic generator (TGFF-style).
+///
+/// # Examples
+///
+/// ```
+/// use clr_taskgraph::TgffConfig;
+/// let cfg = TgffConfig::with_tasks(40);
+/// assert_eq!(cfg.num_tasks, 40);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TgffConfig {
+    /// Number of task nodes to generate.
+    pub num_tasks: usize,
+    /// Maximum out-degree of any node (fan-out limit).
+    pub max_out_degree: usize,
+    /// Maximum in-degree of any non-source node (fan-in limit).
+    pub max_in_degree: usize,
+    /// Average number of tasks per DAG layer (controls depth vs. width).
+    pub avg_layer_width: f64,
+    /// Nominal task execution time range `[min, max)`.
+    pub time_range: (f64, f64),
+    /// Communication-to-computation ratio: edge transfer times are drawn
+    /// from `ccr × time_range`.
+    pub ccr: f64,
+    /// Number of PE types implementations may target (matches the hosting
+    /// platform's type count).
+    pub num_pe_types: usize,
+    /// Probability that a task also gets a PRR-hosted accelerator
+    /// implementation.
+    pub accel_fraction: f64,
+    /// Task binary size range in KiB `[min, max)`.
+    pub binary_kib_range: (u32, u32),
+    /// Application period as a multiple of the sum of average task times
+    /// divided by a nominal PE count (slack for scheduling).
+    pub period_slack: f64,
+}
+
+impl TgffConfig {
+    /// A configuration matching the paper's setup for `num_tasks` tasks:
+    /// 3 PE types, moderate fan-out, CCR 0.2, ~25 % accelerated tasks.
+    pub fn with_tasks(num_tasks: usize) -> Self {
+        Self {
+            num_tasks,
+            max_out_degree: 3,
+            max_in_degree: 3,
+            avg_layer_width: (num_tasks as f64 / 5.0).max(2.0),
+            time_range: (20.0, 120.0),
+            ccr: 0.2,
+            num_pe_types: 3,
+            accel_fraction: 0.25,
+            binary_kib_range: (16, 96),
+            period_slack: 3.0,
+        }
+    }
+}
+
+impl Default for TgffConfig {
+    fn default() -> Self {
+        Self::with_tasks(20)
+    }
+}
+
+/// Seeded generator of TGFF-style task graphs.
+///
+/// # Examples
+///
+/// ```
+/// use clr_taskgraph::{TgffConfig, TgffGenerator};
+/// let gen = TgffGenerator::new(TgffConfig::with_tasks(10));
+/// let a = gen.generate(1);
+/// let b = gen.generate(1);
+/// assert_eq!(a, b); // fully deterministic per seed
+/// ```
+#[derive(Debug, Clone)]
+pub struct TgffGenerator {
+    config: TgffConfig,
+}
+
+impl TgffGenerator {
+    /// Creates a generator with the given configuration.
+    pub fn new(config: TgffConfig) -> Self {
+        Self { config }
+    }
+
+    /// The generator's configuration.
+    pub fn config(&self) -> &TgffConfig {
+        &self.config
+    }
+
+    /// Generates one task graph from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration requests zero tasks or zero PE types
+    /// (a configuration bug, not a data-dependent condition).
+    pub fn generate(&self, seed: u64) -> TaskGraph {
+        let c = &self.config;
+        assert!(c.num_tasks > 0, "tgff config must request at least 1 task");
+        assert!(c.num_pe_types > 0, "tgff config must have at least 1 pe type");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x7a5f_00d5_c0ff_ee00);
+
+        // --- 1. Assign tasks to layers. -------------------------------
+        let mut layers: Vec<Vec<usize>> = Vec::new();
+        let mut t = 0usize;
+        while t < c.num_tasks {
+            let width = (rng.gen_range(0.5..1.5) * c.avg_layer_width).round().max(1.0) as usize;
+            let width = width.min(c.num_tasks - t);
+            layers.push((t..t + width).collect());
+            t += width;
+        }
+
+        // --- 2. Build nodes + implementations. ------------------------
+        let mut avg_time_sum = 0.0f64;
+        let mut b = TaskGraphBuilder::new(format!("tgff-{}-{seed}", c.num_tasks), 0.0);
+        let mut node_base_times = Vec::with_capacity(c.num_tasks);
+        for i in 0..c.num_tasks {
+            let base = rng.gen_range(c.time_range.0..c.time_range.1);
+            node_base_times.push(base);
+            avg_time_sum += base;
+            let mut h = b.task(format!("t{i}"));
+            // Each task supports a random non-empty subset of PE types with
+            // type-affinity-scaled nominal times.
+            let mut any = false;
+            for ty in 0..c.num_pe_types {
+                if rng.gen_bool(0.7) {
+                    any = true;
+                    add_sw_impl(&mut h, &mut rng, ty, base, c);
+                }
+            }
+            if !any {
+                let ty = rng.gen_range(0..c.num_pe_types);
+                add_sw_impl(&mut h, &mut rng, ty, base, c);
+            }
+            if rng.gen_bool(c.accel_fraction) {
+                // Accelerators are much faster but occupy a PRR; they
+                // target the type hosting the reconfigurable fabric (we use
+                // type 0's id space — the scheduler only constrains by
+                // pe_type compatibility).
+                let ty = rng.gen_range(0..c.num_pe_types);
+                let speedup = rng.gen_range(2.0..5.0);
+                let im = crate::Implementation::new(
+                    crate::ImplId::new(0),
+                    PeTypeId::new(ty),
+                    SwStack::BareMetal,
+                    base / speedup,
+                )
+                .with_binary_kib(rng.gen_range(c.binary_kib_range.0..c.binary_kib_range.1))
+                .with_power_scale(rng.gen_range(1.2..1.8))
+                .with_accelerated(true);
+                h.implementation_full(im);
+            }
+        }
+
+        // --- 3. Wire layered edges. ------------------------------------
+        let mut in_deg = vec![0usize; c.num_tasks];
+        let mut out_deg = vec![0usize; c.num_tasks];
+        for li in 1..layers.len() {
+            // Candidate parents: previous layer primarily, occasionally any
+            // earlier layer (TGFF's "hops").
+            let this_layer = layers[li].clone();
+            for &node in &this_layer {
+                let fan_in = rng.gen_range(1..=c.max_in_degree);
+                for _ in 0..fan_in {
+                    let parent_layer = if rng.gen_bool(0.8) || li == 1 {
+                        li - 1
+                    } else {
+                        rng.gen_range(0..li)
+                    };
+                    // Pick a parent with spare out-degree.
+                    let candidates: Vec<usize> = layers[parent_layer]
+                        .iter()
+                        .copied()
+                        .filter(|&p| out_deg[p] < c.max_out_degree)
+                        .collect();
+                    let Some(&parent) = pick(&mut rng, &candidates) else {
+                        continue;
+                    };
+                    if in_deg[node] >= c.max_in_degree {
+                        break;
+                    }
+                    let comm = rng.gen_range(c.time_range.0..c.time_range.1) * c.ccr;
+                    let data = rng.gen_range(2.0..32.0);
+                    b.edge(parent.into(), node.into(), comm, data);
+                    in_deg[node] += 1;
+                    out_deg[parent] += 1;
+                }
+                // Guarantee connectivity: every non-first-layer node needs
+                // at least one parent even if degree limits bound above.
+                if in_deg[node] == 0 {
+                    let parent = *layers[li - 1]
+                        .first()
+                        .expect("layers are non-empty by construction");
+                    let comm = rng.gen_range(c.time_range.0..c.time_range.1) * c.ccr;
+                    b.edge(parent.into(), node.into(), comm, 8.0);
+                    in_deg[node] += 1;
+                    out_deg[parent] += 1;
+                }
+            }
+        }
+
+        // --- 4. Period with slack. --------------------------------------
+        let period = c.period_slack * avg_time_sum / 4.0;
+        let mut g = b.build().expect("generated graph is valid by construction");
+        // Rebuild with the computed period (builder captured period 0).
+        g = {
+            let mut b2 = TaskGraphBuilder::new(g.name().to_string(), period);
+            for task in g.tasks() {
+                let mut h = b2.task_with_type(task.name().to_string(), task.type_id());
+                for im in g.implementations(task.id()) {
+                    h.implementation_full(*im);
+                }
+            }
+            for e in g.edges() {
+                b2.edge(e.src(), e.dst(), e.comm_time(), e.data_kib());
+            }
+            b2.build().expect("period rebuild preserves validity")
+        };
+        g
+    }
+}
+
+fn add_sw_impl(
+    h: &mut crate::builder::TaskHandle<'_>,
+    rng: &mut StdRng,
+    ty: usize,
+    base: f64,
+    c: &TgffConfig,
+) {
+    let affinity = rng.gen_range(0.7..1.5);
+    let stack = if rng.gen_bool(0.5) {
+        SwStack::BareMetal
+    } else {
+        SwStack::Rtos
+    };
+    let im = crate::Implementation::new(
+        crate::ImplId::new(0),
+        PeTypeId::new(ty),
+        stack,
+        base * affinity,
+    )
+    .with_binary_kib(rng.gen_range(c.binary_kib_range.0..c.binary_kib_range.1))
+    .with_power_scale(rng.gen_range(0.8..1.2));
+    h.implementation_full(im);
+}
+
+fn pick<'a, T>(rng: &mut StdRng, xs: &'a [T]) -> Option<&'a T> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(&xs[rng.gen_range(0..xs.len())])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let gen = TgffGenerator::new(TgffConfig::with_tasks(25));
+        assert_eq!(gen.generate(7), gen.generate(7));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let gen = TgffGenerator::new(TgffConfig::with_tasks(25));
+        assert_ne!(gen.generate(1), gen.generate(2));
+    }
+
+    #[test]
+    fn all_paper_sizes_generate() {
+        for n in (10..=100).step_by(10) {
+            let g = TgffGenerator::new(TgffConfig::with_tasks(n)).generate(n as u64);
+            assert_eq!(g.num_tasks(), n);
+            assert!(g.num_edges() >= n / 2, "{n} tasks, {} edges", g.num_edges());
+            assert!(g.period() > 0.0);
+        }
+    }
+
+    #[test]
+    fn degree_limits_are_respected() {
+        let cfg = TgffConfig {
+            max_out_degree: 2,
+            max_in_degree: 2,
+            ..TgffConfig::with_tasks(50)
+        };
+        let g = TgffGenerator::new(cfg).generate(3);
+        for t in g.task_ids() {
+            // The connectivity fallback may add one extra edge beyond the
+            // planned fan-in, never more.
+            assert!(g.predecessors(t).count() <= 3);
+        }
+    }
+
+    #[test]
+    fn some_tasks_are_accelerated() {
+        let g = TgffGenerator::new(TgffConfig::with_tasks(60)).generate(11);
+        let accel = g
+            .task_ids()
+            .filter(|&t| g.implementations(t).iter().any(|i| i.accelerated()))
+            .count();
+        assert!(accel > 0, "expected some accelerated tasks");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn generated_graph_is_always_valid_dag(n in 1usize..60, seed in 0u64..1000) {
+            let g = TgffGenerator::new(TgffConfig::with_tasks(n)).generate(seed);
+            prop_assert_eq!(g.num_tasks(), n);
+            prop_assert_eq!(g.topological_order().len(), n);
+            // Every non-source task has a parent (single connected flow per
+            // layer chain).
+            for t in g.task_ids() {
+                prop_assert!(!g.implementations(t).is_empty());
+            }
+        }
+    }
+}

@@ -1,0 +1,386 @@
+//! Parser for the textual output format of the original TGFF tool
+//! (Dick, Rhodes & Wolf, CODES'98) — `.tgff` files.
+//!
+//! The paper generated its workloads with TGFF; this parser lets the
+//! library consume graphs produced by the real tool, not only by the
+//! built-in [`crate::TgffGenerator`]. The supported subset covers the
+//! task-graph sections TGFF emits by default:
+//!
+//! ```text
+//! @TASK_GRAPH 0 {
+//!   PERIOD 300
+//!   TASK t0_0  TYPE 2
+//!   TASK t0_1  TYPE 0
+//!   ARC a0_0  FROM t0_0 TO t0_1  TYPE 1
+//! }
+//! ```
+//!
+//! Task `TYPE n` indexes a functionality type; arc `TYPE n` indexes a
+//! message type whose size/latency TGFF tabulates separately — here arcs
+//! get a transfer time proportional to the type index (callers can rescale
+//! with [`TgffParseOptions`]). Every parsed task receives one default
+//! implementation per configured PE type, scaled by its task type, so the
+//! graph is immediately usable by the DSE.
+
+use std::collections::HashMap;
+
+use clr_platform::PeTypeId;
+
+use crate::{GraphError, SwStack, TaskGraph, TaskGraphBuilder, TaskId, TaskTypeId};
+
+/// Options controlling how raw TGFF records map onto model quantities.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TgffParseOptions {
+    /// Base nominal execution time of a type-0 task.
+    pub base_task_time: f64,
+    /// Additional time per task-type index (type `n` costs
+    /// `base + n × per_type`).
+    pub time_per_type: f64,
+    /// Base transfer time of a type-0 arc.
+    pub base_comm_time: f64,
+    /// Additional transfer time per arc-type index.
+    pub comm_per_type: f64,
+    /// Payload KiB per arc-type index (plus 4 KiB base).
+    pub kib_per_type: f64,
+    /// PE types implementations are generated for.
+    pub num_pe_types: usize,
+}
+
+impl Default for TgffParseOptions {
+    fn default() -> Self {
+        Self {
+            base_task_time: 40.0,
+            time_per_type: 15.0,
+            base_comm_time: 4.0,
+            comm_per_type: 2.0,
+            kib_per_type: 4.0,
+            num_pe_types: 3,
+        }
+    }
+}
+
+/// Error produced while parsing a `.tgff` document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TgffParseError {
+    /// The document contains no `@TASK_GRAPH` section.
+    NoTaskGraph,
+    /// A malformed record (line contents attached).
+    Malformed {
+        /// The offending line.
+        line: String,
+    },
+    /// An arc references an undeclared task name.
+    UnknownTask {
+        /// The dangling task name.
+        name: String,
+    },
+    /// The assembled graph failed validation.
+    Graph(GraphError),
+}
+
+impl std::fmt::Display for TgffParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TgffParseError::NoTaskGraph => write!(f, "no @TASK_GRAPH section found"),
+            TgffParseError::Malformed { line } => write!(f, "malformed tgff record: {line}"),
+            TgffParseError::UnknownTask { name } => {
+                write!(f, "arc references undeclared task {name}")
+            }
+            TgffParseError::Graph(e) => write!(f, "invalid parsed graph: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TgffParseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TgffParseError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for TgffParseError {
+    fn from(e: GraphError) -> Self {
+        TgffParseError::Graph(e)
+    }
+}
+
+/// Parses the **first** `@TASK_GRAPH` section of a `.tgff` document.
+///
+/// # Errors
+///
+/// Returns [`TgffParseError`] on malformed records, dangling arc
+/// endpoints, or an invalid resulting graph.
+///
+/// # Examples
+///
+/// ```
+/// let doc = r"
+/// @TASK_GRAPH 0 {
+///   PERIOD 300
+///   TASK t0_0 TYPE 2
+///   TASK t0_1 TYPE 0
+///   ARC a0_0 FROM t0_0 TO t0_1 TYPE 1
+/// }";
+/// let g = clr_taskgraph::parse_tgff(doc, &Default::default())?;
+/// assert_eq!(g.num_tasks(), 2);
+/// assert_eq!(g.num_edges(), 1);
+/// assert_eq!(g.period(), 300.0);
+/// # Ok::<(), clr_taskgraph::TgffParseError>(())
+/// ```
+pub fn parse_tgff(doc: &str, options: &TgffParseOptions) -> Result<TaskGraph, TgffParseError> {
+    let mut in_graph = false;
+    let mut graph_name = String::from("tgff-import");
+    let mut period = 0.0f64;
+    let mut tasks: Vec<(String, usize)> = Vec::new();
+    let mut arcs: Vec<(String, String, usize)> = Vec::new();
+
+    for raw in doc.lines() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if !in_graph {
+            if let Some(rest) = line.strip_prefix("@TASK_GRAPH") {
+                in_graph = true;
+                let id = rest.trim().trim_end_matches('{').trim();
+                if !id.is_empty() {
+                    graph_name = format!("tgff-import-{id}");
+                }
+            }
+            continue;
+        }
+        if line.starts_with('}') {
+            break; // only the first task graph
+        }
+        let mut words = line.split_whitespace();
+        match words.next() {
+            Some("PERIOD") => {
+                period = words
+                    .next()
+                    .and_then(|w| w.parse().ok())
+                    .ok_or_else(|| TgffParseError::Malformed { line: line.into() })?;
+            }
+            Some("TASK") => {
+                let name = words
+                    .next()
+                    .ok_or_else(|| TgffParseError::Malformed { line: line.into() })?;
+                let ty = parse_keyed(&mut words, "TYPE")
+                    .ok_or_else(|| TgffParseError::Malformed { line: line.into() })?;
+                tasks.push((name.to_string(), ty));
+            }
+            Some("ARC") => {
+                let _arc_name = words
+                    .next()
+                    .ok_or_else(|| TgffParseError::Malformed { line: line.into() })?;
+                let mut from = None;
+                let mut to = None;
+                let mut ty = 0usize;
+                let rest: Vec<&str> = words.collect();
+                let mut i = 0;
+                while i + 1 < rest.len() + 1 {
+                    match rest.get(i) {
+                        Some(&"FROM") => {
+                            from = rest.get(i + 1).map(|s| s.to_string());
+                            i += 2;
+                        }
+                        Some(&"TO") => {
+                            to = rest.get(i + 1).map(|s| s.to_string());
+                            i += 2;
+                        }
+                        Some(&"TYPE") => {
+                            ty = rest
+                                .get(i + 1)
+                                .and_then(|w| w.parse().ok())
+                                .ok_or_else(|| TgffParseError::Malformed { line: line.into() })?;
+                            i += 2;
+                        }
+                        Some(_) => i += 1,
+                        None => break,
+                    }
+                }
+                let (from, to) = match (from, to) {
+                    (Some(f), Some(t)) => (f, t),
+                    _ => return Err(TgffParseError::Malformed { line: line.into() }),
+                };
+                arcs.push((from, to, ty));
+            }
+            // TGFF emits other attributes (HARD_DEADLINE etc.); skip them.
+            _ => {}
+        }
+    }
+
+    if !in_graph {
+        return Err(TgffParseError::NoTaskGraph);
+    }
+
+    let index: HashMap<&str, usize> = tasks
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _))| (name.as_str(), i))
+        .collect();
+
+    let mut b = TaskGraphBuilder::new(graph_name, if period > 0.0 { period } else { 1000.0 });
+    for (name, ty) in &tasks {
+        let nominal = options.base_task_time + options.time_per_type * *ty as f64;
+        let mut h = b.task_with_type(name.clone(), TaskTypeId::new(*ty));
+        for pe_ty in 0..options.num_pe_types.max(1) {
+            // Mild heterogeneity: later PE types run a task type faster or
+            // slower deterministically, so implementations differ.
+            let affinity = 1.0 + 0.15 * ((pe_ty + ty) % 3) as f64 - 0.15;
+            h.implementation(PeTypeId::new(pe_ty), SwStack::Rtos, nominal * affinity);
+        }
+    }
+    for (from, to, ty) in &arcs {
+        let src = *index
+            .get(from.as_str())
+            .ok_or_else(|| TgffParseError::UnknownTask { name: from.clone() })?;
+        let dst = *index
+            .get(to.as_str())
+            .ok_or_else(|| TgffParseError::UnknownTask { name: to.clone() })?;
+        let comm = options.base_comm_time + options.comm_per_type * *ty as f64;
+        let kib = 4.0 + options.kib_per_type * *ty as f64;
+        b.edge(TaskId::new(src), TaskId::new(dst), comm, kib);
+    }
+    Ok(b.build()?)
+}
+
+fn parse_keyed<'a, I: Iterator<Item = &'a str>>(words: &mut I, key: &str) -> Option<usize> {
+    let mut saw_key = false;
+    for w in words {
+        if saw_key {
+            return w.parse().ok();
+        }
+        if w == key {
+            saw_key = true;
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r"
+# generated by tgff
+@HYPERPERIOD 1200
+
+@TASK_GRAPH 0 {
+  PERIOD 300
+  TASK t0_0  TYPE 2
+  TASK t0_1  TYPE 0
+  TASK t0_2  TYPE 1
+  TASK t0_3  TYPE 2
+  ARC a0_0  FROM t0_0 TO t0_1 TYPE 0
+  ARC a0_1  FROM t0_0 TO t0_2 TYPE 1
+  ARC a0_2  FROM t0_1 TO t0_3 TYPE 2
+  ARC a0_3  FROM t0_2 TO t0_3 TYPE 0
+  HARD_DEADLINE d0_0 ON t0_3 AT 300
+}
+
+@TASK_GRAPH 1 {
+  PERIOD 100
+  TASK t1_0  TYPE 0
+}
+";
+
+    #[test]
+    fn parses_first_graph_only() {
+        let g = parse_tgff(SAMPLE, &TgffParseOptions::default()).unwrap();
+        assert_eq!(g.num_tasks(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.period(), 300.0);
+        assert_eq!(g.name(), "tgff-import-0");
+    }
+
+    #[test]
+    fn task_types_and_times_follow_records() {
+        let opts = TgffParseOptions::default();
+        let g = parse_tgff(SAMPLE, &opts).unwrap();
+        assert_eq!(g.task(TaskId::new(0)).type_id(), TaskTypeId::new(2));
+        assert_eq!(g.task(TaskId::new(1)).type_id(), TaskTypeId::new(0));
+        // Type-2 tasks are slower than type-0 tasks on the same PE type.
+        let t0 = g.implementations(TaskId::new(0))[0].nominal_time();
+        let t1 = g.implementations(TaskId::new(1))[0].nominal_time();
+        assert!(t0 > t1);
+    }
+
+    #[test]
+    fn arcs_carry_type_scaled_comm() {
+        let opts = TgffParseOptions::default();
+        let g = parse_tgff(SAMPLE, &opts).unwrap();
+        let e_type0 = &g.edges()[0];
+        let e_type2 = &g.edges()[2];
+        assert!(e_type2.comm_time() > e_type0.comm_time());
+    }
+
+    #[test]
+    fn rejects_missing_section_and_dangling_arcs() {
+        assert_eq!(
+            parse_tgff("TASK a TYPE 0", &TgffParseOptions::default()).unwrap_err(),
+            TgffParseError::NoTaskGraph
+        );
+        let bad = "@TASK_GRAPH 0 {\n TASK a TYPE 0\n ARC x FROM a TO ghost TYPE 0\n}";
+        assert!(matches!(
+            parse_tgff(bad, &TgffParseOptions::default()).unwrap_err(),
+            TgffParseError::UnknownTask { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_records() {
+        let bad = "@TASK_GRAPH 0 {\n PERIOD abc\n}";
+        assert!(matches!(
+            parse_tgff(bad, &TgffParseOptions::default()).unwrap_err(),
+            TgffParseError::Malformed { .. }
+        ));
+        let bad2 = "@TASK_GRAPH 0 {\n TASK t0\n}";
+        assert!(matches!(
+            parse_tgff(bad2, &TgffParseOptions::default()).unwrap_err(),
+            TgffParseError::Malformed { .. }
+        ));
+    }
+
+    #[test]
+    fn comments_and_unknown_records_are_skipped() {
+        let doc = "@TASK_GRAPH 0 {\n # comment\n TASK a TYPE 0 # trailing\n SOFT_DEADLINE x ON a AT 5\n}";
+        let g = parse_tgff(doc, &TgffParseOptions::default()).unwrap();
+        assert_eq!(g.num_tasks(), 1);
+    }
+
+    #[test]
+    fn parsed_graph_is_schedulable() {
+        use clr_platform::Platform;
+        let g = parse_tgff(SAMPLE, &TgffParseOptions::default()).unwrap();
+        let p = Platform::dac19();
+        let m = tests_support::first_fit(&g, &p);
+        assert!(m.is_some());
+    }
+}
+
+/// Test-only helper shared with integration points that need a quick
+/// validity probe without depending on `clr-sched`.
+#[cfg(test)]
+pub(crate) mod tests_support {
+    use clr_platform::Platform;
+
+    use crate::TaskGraph;
+
+    /// `Some(())` if every task has a platform-compatible implementation.
+    pub fn first_fit(graph: &TaskGraph, platform: &Platform) -> Option<()> {
+        for t in graph.task_ids() {
+            let ok = graph.implementations(t).iter().any(|im| {
+                platform
+                    .pes()
+                    .iter()
+                    .any(|pe| pe.type_id() == im.pe_type())
+            });
+            if !ok {
+                return None;
+            }
+        }
+        Some(())
+    }
+}

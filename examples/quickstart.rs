@@ -1,0 +1,66 @@
+//! Quickstart: the full hybrid methodology in ~40 lines.
+//!
+//! Generates a 15-task synthetic application, runs the design-time
+//! exploration (BaseD + ReD) on the paper's 5-PE platform, then simulates
+//! run-time adaptation to 100k cycles of QoS-requirement changes with uRA
+//! and AuRA.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use hybrid_clr::prelude::*;
+use hybrid_clr::{DbChoice, HybridFlow};
+
+fn main() {
+    // 1. The application and platform.
+    let graph = TgffGenerator::new(TgffConfig::with_tasks(15)).generate(42);
+    let platform = Platform::dac19();
+    println!(
+        "application: {} tasks, {} edges on {} PEs + {} PRRs",
+        graph.num_tasks(),
+        graph.num_edges(),
+        platform.num_pes(),
+        platform.num_prrs()
+    );
+
+    // 2. Design-time exploration: Pareto front + reconfiguration-aware
+    //    extras.
+    let flow = HybridFlow::builder(&graph, &platform)
+        .ga(GaParams {
+            population: 60,
+            generations: 40,
+            ..GaParams::default()
+        })
+        .red(RedConfig::default())
+        .seed(42)
+        .run();
+    let red = flow.red().expect("red stage was configured");
+    println!(
+        "design time: BaseD = {} Pareto points, ReD adds {} low-dRC points",
+        flow.based().len(),
+        red.len() - flow.based().len()
+    );
+    for (i, p) in red.iter().enumerate().take(5) {
+        println!(
+            "  point {i}: makespan {:.0}, reliability {:.4}, energy {:.0} ({:?})",
+            p.metrics.makespan, p.metrics.reliability, p.metrics.energy, p.origin
+        );
+    }
+
+    // 3. Run-time adaptation: 100k cycles of QoS variation.
+    let sim = SimConfig {
+        total_cycles: 100_000.0,
+        ..SimConfig::paper(7)
+    };
+    for p_rc in [0.0, 0.5, 1.0] {
+        let r = flow.simulate_ura(DbChoice::Red, p_rc, &sim);
+        println!(
+            "uRA  p_RC={p_rc:.1}: {} events, {} reconfigs, avg dRC {:.2}, avg energy {:.0}",
+            r.events, r.reconfigurations, r.avg_reconfig_cost, r.avg_energy
+        );
+    }
+    let r = flow.simulate_aura(DbChoice::Red, 0.5, 0.6, 0.1, 50, &sim);
+    println!(
+        "AuRA p_RC=0.5: {} events, {} reconfigs, avg dRC {:.2}, avg energy {:.0}",
+        r.events, r.reconfigurations, r.avg_reconfig_cost, r.avg_energy
+    );
+}

@@ -1,0 +1,139 @@
+//! Cross-crate behavioural tests of the run-time policies over real
+//! explored databases.
+
+use hybrid_clr::prelude::*;
+use hybrid_clr::{DbChoice, HybridFlow};
+
+fn flow<'a>(graph: &'a TaskGraph, platform: &'a Platform, seed: u64) -> HybridFlow<'a> {
+    HybridFlow::builder(graph, platform)
+        .ga(GaParams::small())
+        .red(RedConfig {
+            ga: GaParams::small(),
+            ..RedConfig::default()
+        })
+        .storage_limit(16)
+        .seed(seed)
+        .run()
+}
+
+#[test]
+fn p_rc_sweep_is_monotone_at_the_extremes() {
+    let graph = TgffGenerator::new(TgffConfig::with_tasks(15)).generate(200);
+    let platform = Platform::dac19();
+    let f = flow(&graph, &platform, 200);
+    let sim = SimConfig::quick(1);
+    let lazy = f.simulate_ura(DbChoice::Red, 0.0, &sim);
+    let eager = f.simulate_ura(DbChoice::Red, 1.0, &sim);
+    assert!(lazy.total_reconfig_cost <= eager.total_reconfig_cost + 1e-9);
+    assert!(eager.avg_energy <= lazy.avg_energy + 1e-9);
+}
+
+#[test]
+fn policies_only_choose_feasible_points() {
+    let graph = TgffGenerator::new(TgffConfig::with_tasks(12)).generate(201);
+    let platform = Platform::dac19();
+    let f = flow(&graph, &platform, 201);
+    let ctx = f.context(DbChoice::Red);
+    let db = f.db(DbChoice::Red);
+
+    // A spec admitting exactly the most reliable point.
+    let best_rel = db
+        .iter()
+        .map(|p| p.metrics.reliability)
+        .fold(0.0f64, f64::max);
+    let spec = QosSpec::new(f64::INFINITY, best_rel - 1e-12);
+
+    let ura = UraPolicy::new(0.5).unwrap();
+    if let Some(choice) = ura.select(&ctx, 0, &spec) {
+        assert!(db.point(choice).satisfies(&spec));
+    }
+    let hv = HvPolicy::new();
+    if let Some(choice) = hv.select(&ctx, &spec) {
+        assert!(db.point(choice).satisfies(&spec));
+    }
+}
+
+#[test]
+fn aura_with_gamma_zero_replays_ura_trajectory() {
+    let graph = TgffGenerator::new(TgffConfig::with_tasks(12)).generate(202);
+    let platform = Platform::dac19();
+    let f = flow(&graph, &platform, 202);
+    let ctx = f.context(DbChoice::Red);
+    let qos = f.qos_model(DbChoice::Red);
+    let sim = SimConfig::quick(3);
+
+    let mut ura = UraPolicy::new(0.4).unwrap();
+    let a = simulate(&ctx, &mut ura, &qos, &sim);
+    let mut agent = AuraAgent::new(ctx.len(), 0.4, 0.0, 0.1).unwrap();
+    let b = simulate(&ctx, &mut agent, &qos, &sim);
+    assert_eq!(a.reconfigurations, b.reconfigurations);
+    assert!((a.total_reconfig_cost - b.total_reconfig_cost).abs() < 1e-9);
+    assert!((a.avg_energy - b.avg_energy).abs() < 1e-9);
+}
+
+#[test]
+fn hv_baseline_pays_at_least_as_much_as_cost_aware_ura() {
+    let graph = TgffGenerator::new(TgffConfig::with_tasks(15)).generate(203);
+    let platform = Platform::dac19();
+    let f = flow(&graph, &platform, 203);
+    let ctx = f.context(DbChoice::Red);
+    let qos = f.qos_model(DbChoice::Red);
+    let sim = SimConfig::quick(4);
+
+    let mut hv = HvPolicy::new();
+    let baseline = simulate(&ctx, &mut hv, &qos, &sim);
+    let mut ura = UraPolicy::new(0.0).unwrap();
+    let frugal = simulate(&ctx, &mut ura, &qos, &sim);
+    assert!(frugal.total_reconfig_cost <= baseline.total_reconfig_cost + 1e-9);
+}
+
+#[test]
+fn simulation_scales_events_with_horizon() {
+    let graph = TgffGenerator::new(TgffConfig::with_tasks(10)).generate(204);
+    let platform = Platform::dac19();
+    let f = flow(&graph, &platform, 204);
+    let short = f.simulate_ura(
+        DbChoice::Red,
+        0.5,
+        &SimConfig {
+            total_cycles: 10_000.0,
+            ..SimConfig::paper(5)
+        },
+    );
+    let long = f.simulate_ura(
+        DbChoice::Red,
+        0.5,
+        &SimConfig {
+            total_cycles: 40_000.0,
+            ..SimConfig::paper(5)
+        },
+    );
+    assert!(long.events > short.events * 2);
+}
+
+#[test]
+fn scenario_suite_integrates_with_runtime() {
+    use hybrid_clr::core::scenario::{ScenarioConfig, ScenarioSuite};
+    let graph = TgffGenerator::new(TgffConfig::with_tasks(10)).generate(205);
+    let platform = Platform::dac19();
+    let suite = ScenarioSuite::new(&platform, FaultModel::default()).with_pe_failures();
+    let config = ScenarioConfig {
+        ga: GaParams::small(),
+        red: None,
+        seed: 205,
+        ..ScenarioConfig::default()
+    };
+    // Every *viable* degraded instance still explores and simulates; a
+    // failure can orphan tasks whose only implementations target the dead
+    // PE's type, and `supports` reports exactly that.
+    let mut viable = 0;
+    for instance in suite.instances() {
+        if !instance.supports(&graph) {
+            continue;
+        }
+        viable += 1;
+        let r = instance.evaluate(&graph, &config, 0.5, &SimConfig::quick(6));
+        assert!(r.events > 0, "{}", instance.kind());
+    }
+    assert!(viable >= 1, "at least the nominal instance is viable");
+}

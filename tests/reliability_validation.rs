@@ -1,0 +1,100 @@
+//! Cross-crate validation: the analytical system-level reliability of a
+//! mapping (Table 3, Eq. 2) against a whole-application Monte-Carlo fault
+//! injection composed from per-task injectors.
+
+use hybrid_clr::prelude::*;
+use hybrid_clr::reliability::FaultInjector;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Empirically estimates `F_app = Σ ζ_t (1 − ErrProb_t)` by injecting
+/// every task `trials` times and combining the per-task escape rates with
+/// the evaluator's criticality weights.
+fn injected_f_app(
+    graph: &TaskGraph,
+    platform: &Platform,
+    mapping: &Mapping,
+    fm: FaultModel,
+    trials: u32,
+    seed: u64,
+) -> f64 {
+    let eval = Evaluator::new(graph, platform, fm);
+    graph
+        .task_ids()
+        .zip(eval.criticalities())
+        .map(|(t, &zeta)| {
+            let gene = mapping.gene(t);
+            let im = graph.implementation(t, gene.impl_id);
+            let pe_type = platform.type_of(gene.pe);
+            let injector = FaultInjector::new(im, pe_type, gene.clr, fm);
+            let est = injector.estimate(trials, seed ^ (t.index() as u64) << 16);
+            zeta * (1.0 - est.err_prob)
+        })
+        .sum()
+}
+
+#[test]
+fn system_level_reliability_matches_injection() {
+    let graph = jpeg_encoder();
+    let platform = Platform::dac19();
+    let fm = FaultModel::new(2e-3, 1e6, 1.0);
+    let eval = Evaluator::new(&graph, &platform, fm);
+
+    // Both an unprotected and a CLR-protected mapping must agree.
+    let bare = Mapping::first_fit(&graph, &platform).unwrap();
+    let mut protected = bare.clone();
+    for gene in protected.genes_mut() {
+        gene.clr = ClrConfig::new(
+            HwMethod::PartialTmr,
+            SswMethod::Retry { max_retries: 2 },
+            AswMethod::Checksum,
+        );
+    }
+
+    for (label, mapping) in [("bare", &bare), ("protected", &protected)] {
+        let analytic = eval.evaluate(mapping).reliability;
+        let injected = injected_f_app(&graph, &platform, mapping, fm, 30_000, 99);
+        assert!(
+            (analytic - injected).abs() < 0.01,
+            "{label}: analytic {analytic} vs injected {injected}"
+        );
+    }
+}
+
+#[test]
+fn protection_ordering_survives_injection() {
+    // The DSE's decisions rest on the analytical ordering of
+    // configurations; check the ordering empirically at the system level.
+    let graph = jpeg_encoder();
+    let platform = Platform::dac19();
+    let fm = FaultModel::new(2e-3, 1e6, 1.0);
+
+    let bare = Mapping::first_fit(&graph, &platform).unwrap();
+    let mut protected = bare.clone();
+    for gene in protected.genes_mut() {
+        gene.clr = ClrConfig::new(
+            HwMethod::FullTmr,
+            SswMethod::Retry { max_retries: 2 },
+            AswMethod::Checksum,
+        );
+    }
+    let f_bare = injected_f_app(&graph, &platform, &bare, fm, 20_000, 7);
+    let f_prot = injected_f_app(&graph, &platform, &protected, fm, 20_000, 7);
+    assert!(
+        f_prot > f_bare,
+        "protection must raise empirical reliability: {f_prot} vs {f_bare}"
+    );
+}
+
+#[test]
+fn injection_is_deterministic_across_the_stack() {
+    let graph = jpeg_encoder();
+    let platform = Platform::dac19();
+    let fm = FaultModel::new(1e-3, 1e6, 1.0);
+    let m = Mapping::first_fit(&graph, &platform).unwrap();
+    let a = injected_f_app(&graph, &platform, &m, fm, 5_000, 3);
+    let b = injected_f_app(&graph, &platform, &m, fm, 5_000, 3);
+    assert_eq!(a, b);
+    // Unused RNG seed sanity (exercise StdRng path used by the injector).
+    let _ = StdRng::seed_from_u64(0);
+}
