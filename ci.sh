@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Local CI gate for the hybrid-clr workspace.
+#
+# Runs, in order:
+#   1. cargo fmt --check           — formatting wall
+#   2. cargo clippy -D warnings    — workspace lint wall (all targets)
+#   3. cargo test -q               — full test suite
+#   4. clr-verify all              — cross-layer model audit of the bundled
+#                                    presets (platforms, generators, HEFT,
+#                                    BaseD/ReD database, dRC matrix, policies,
+#                                    scenario suite)
+#   5. clr-verify tgff <examples>  — audit of the example TGFF inputs
+#   6. export_db + clr-verify db   — text-codec round-trip of a real BaseD
+#                                    database through the file-level auditor
+#
+# Any failure aborts the script (set -e); clr-verify exits nonzero on
+# deny-level findings, so a model regression fails CI like a test would.
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+step "cargo fmt --check"
+cargo fmt --all -- --check
+
+step "cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets --quiet -- -D warnings
+
+step "cargo test -q"
+cargo test --workspace -q
+
+step "build clr-verify + examples"
+cargo build --release --quiet -p clr-verify --bin clr-verify
+cargo build --release --quiet --example export_db
+VERIFY=target/release/clr-verify
+
+step "clr-verify all (bundled scenario presets)"
+"$VERIFY" all
+
+step "clr-verify tgff (example TGFF inputs)"
+"$VERIFY" tgff examples/data/*.tgff
+
+step "clr-verify db (exported BaseD database)"
+DB=target/ci-based.db
+./target/release/examples/export_db "$DB"
+"$VERIFY" db "$DB"
+
+printf '\nci.sh: all gates passed.\n'

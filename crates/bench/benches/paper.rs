@@ -9,8 +9,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use clr_experiments::kernels::{
-    aura_vs_ura, csp_design_points, csp_migration_comparison, motivation, prc_sweep,
-    red_vs_based, Bundle,
+    aura_vs_ura, csp_design_points, csp_migration_comparison, motivation, prc_sweep, red_vs_based,
+    Bundle,
 };
 use clr_experiments::Env;
 
@@ -23,7 +23,7 @@ fn fig1_motivation(c: &mut Criterion) {
     let e = env();
     let bundle = Bundle::new(&e, 10);
     c.bench_function("fig1_motivation", |b| {
-        b.iter(|| black_box(motivation(&e, &bundle)))
+        b.iter(|| black_box(motivation(&e, &bundle)));
     });
 }
 
@@ -35,7 +35,7 @@ fn table4_csp_migration(c: &mut Criterion) {
     for &n in &e.task_counts {
         let bundle = Bundle::new(&e, n);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| black_box(csp_migration_comparison(&e, &bundle, 0)))
+            b.iter(|| black_box(csp_migration_comparison(&e, &bundle, 0)));
         });
     }
     group.finish();
@@ -46,7 +46,7 @@ fn fig5_front(c: &mut Criterion) {
     let e = env();
     let bundle = Bundle::new(&e, 20);
     c.bench_function("fig5_front", |b| {
-        b.iter(|| black_box(csp_design_points(&e, &bundle)))
+        b.iter(|| black_box(csp_design_points(&e, &bundle)));
     });
 }
 
@@ -55,7 +55,7 @@ fn fig6_trace(c: &mut Criterion) {
     let e = env();
     let bundle = Bundle::new(&e, 20);
     c.bench_function("fig6_trace", |b| {
-        b.iter(|| black_box(csp_migration_comparison(&e, &bundle, 50)))
+        b.iter(|| black_box(csp_migration_comparison(&e, &bundle, 50)));
     });
 }
 
@@ -64,7 +64,7 @@ fn table5_tradeoff(c: &mut Criterion) {
     let e = env();
     let bundle = Bundle::new(&e, 20);
     c.bench_function("table5_tradeoff", |b| {
-        b.iter(|| black_box(prc_sweep(&e, &bundle, &[0.0, 1.0])))
+        b.iter(|| black_box(prc_sweep(&e, &bundle, &[0.0, 1.0])));
     });
 }
 
@@ -74,7 +74,7 @@ fn fig7_prc_sweep(c: &mut Criterion) {
     let bundle = Bundle::new(&e, 20);
     let p_rcs: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
     c.bench_function("fig7_prc_sweep", |b| {
-        b.iter(|| black_box(prc_sweep(&e, &bundle, &p_rcs)))
+        b.iter(|| black_box(prc_sweep(&e, &bundle, &p_rcs)));
     });
 }
 
@@ -86,7 +86,7 @@ fn table6_red_vs_based(c: &mut Criterion) {
         b.iter(|| {
             black_box(red_vs_based(&e, &bundle, 0.0));
             black_box(red_vs_based(&e, &bundle, 1.0));
-        })
+        });
     });
 }
 
@@ -98,7 +98,7 @@ fn table7_aura_vs_ura(c: &mut Criterion) {
         b.iter(|| {
             black_box(aura_vs_ura(&e, &bundle, 0.0));
             black_box(aura_vs_ura(&e, &bundle, 1.0));
-        })
+        });
     });
 }
 

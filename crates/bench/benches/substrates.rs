@@ -25,7 +25,7 @@ fn evaluate_mapping(c: &mut Criterion) {
         let eval = Evaluator::new(&graph, &platform, FaultModel::default());
         let mapping = Mapping::first_fit(&graph, &platform).expect("maps");
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| black_box(eval.evaluate(&mapping)))
+            b.iter(|| black_box(eval.evaluate(&mapping)));
         });
     }
     group.finish();
@@ -44,7 +44,7 @@ fn reconfig_distance(c: &mut Criterion) {
         }
     }
     c.bench_function("reconfiguration_cost_100_tasks", |bch| {
-        bch.iter(|| black_box(reconfiguration_cost(&graph, &platform, &a, &b_map)))
+        bch.iter(|| black_box(reconfiguration_cost(&graph, &platform, &a, &b_map)));
     });
 }
 
@@ -61,7 +61,7 @@ fn task_metrics(c: &mut Criterion) {
         AswMethod::Checksum,
     );
     c.bench_function("task_metrics_evaluate", |b| {
-        b.iter(|| black_box(TaskMetrics::evaluate(im, ty, &cfg, &fm)))
+        b.iter(|| black_box(TaskMetrics::evaluate(im, ty, &cfg, &fm)));
     });
 }
 
@@ -75,7 +75,7 @@ fn hypervolume_fronts(c: &mut Criterion) {
             .collect();
         let reference = vec![1.1, 1.1, 1.1];
         group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
-            b.iter(|| black_box(clr_core::moea::hypervolume(&pts, &reference)))
+            b.iter(|| black_box(clr_core::moea::hypervolume(&pts, &reference)));
         });
     }
     group.finish();
@@ -93,7 +93,7 @@ fn ura_decision(c: &mut Criterion) {
     let policy = UraPolicy::new(0.5).expect("valid p_rc");
     let spec = QosSpec::new(f64::INFINITY, 0.0);
     c.bench_function("ura_decision", |b| {
-        b.iter(|| black_box(policy.select(&ctx, 0, &spec)))
+        b.iter(|| black_box(policy.select(&ctx, 0, &spec)));
     });
 }
 
@@ -106,7 +106,7 @@ fn scheduler(c: &mut Criterion) {
         let mapping = Mapping::first_fit(&graph, &platform).expect("maps");
         let times: Vec<f64> = graph.task_ids().map(|t| 10.0 + t.index() as f64).collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| black_box(list_schedule(&graph, &mapping, &times)))
+            b.iter(|| black_box(list_schedule(&graph, &mapping, &times)));
         });
     }
     group.finish();

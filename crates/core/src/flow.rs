@@ -208,7 +208,11 @@ impl<'a> HybridFlow<'a> {
 
     /// The QoS-variation model calibrated against the chosen database.
     pub fn qos_model(&self, choice: DbChoice) -> QosVariationModel {
-        QosVariationModel::calibrated_walk(self.db(choice), self.qos_sigma_frac, self.qos_correlation)
+        QosVariationModel::calibrated_walk(
+            self.db(choice),
+            self.qos_sigma_frac,
+            self.qos_correlation,
+        )
     }
 
     /// Runs a uRA Monte-Carlo simulation over the chosen database.

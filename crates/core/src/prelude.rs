@@ -19,16 +19,15 @@ pub use clr_dse::{
 pub use clr_moea::{GaParams, HvGa, Nsga2, ParetoArchive};
 pub use clr_platform::{Interconnect, Pe, PeId, PeKind, PeType, PeTypeId, Platform, Prr, PrrId};
 pub use clr_reliability::{
-    AswMethod, ClrConfig, ConfigSpace, FaultInjector, FaultModel, HwMethod, SswMethod,
-    TaskMetrics,
+    AswMethod, ClrConfig, ConfigSpace, FaultInjector, FaultModel, HwMethod, SswMethod, TaskMetrics,
 };
 pub use clr_runtime::{
     simulate, AdaptationPolicy, AuraAgent, EventStream, HvPolicy, QosVariationModel,
     RuntimeContext, SimConfig, SimResult, UraPolicy, VariationMode,
 };
 pub use clr_sched::{
-    gantt_ascii, heft_mapping, list_schedule, reconfiguration_cost, schedule_csv, Evaluator,
-    Gene, Mapping, Schedule, SystemMetrics,
+    gantt_ascii, heft_mapping, list_schedule, reconfiguration_cost, schedule_csv, Evaluator, Gene,
+    Mapping, Schedule, SystemMetrics,
 };
 pub use clr_stats::{Normal, Summary};
 pub use clr_taskgraph::{

@@ -48,6 +48,7 @@ impl std::fmt::Display for ScenarioKind {
 
 /// One prepared instance: the (possibly degraded) platform and its own
 /// design-point databases.
+#[derive(Debug)]
 pub struct ScenarioInstance {
     kind: ScenarioKind,
     platform: Platform,
@@ -163,6 +164,7 @@ impl Default for ScenarioConfig {
 /// // nominal + 5 single-PE failures + 1 lambda shift
 /// assert_eq!(suite.instances().len(), 7);
 /// ```
+#[derive(Debug)]
 pub struct ScenarioSuite {
     instances: Vec<ScenarioInstance>,
 }
@@ -245,7 +247,9 @@ mod tests {
         assert_eq!(suite.instances().len(), 1 + 5 + 2);
         assert!(suite.instance(&ScenarioKind::Nominal).is_some());
         assert!(suite
-            .instance(&ScenarioKind::PeFailure { failed: PeId::new(4) })
+            .instance(&ScenarioKind::PeFailure {
+                failed: PeId::new(4)
+            })
             .is_some());
     }
 
@@ -269,8 +273,8 @@ mod tests {
     fn lambda_shift_raises_error_rates() {
         let platform = Platform::dac19();
         let graph = TgffGenerator::new(TgffConfig::with_tasks(8)).generate(4);
-        let suite = ScenarioSuite::new(&platform, FaultModel::default())
-            .with_lambda_shifts(&[5e-3]);
+        let suite =
+            ScenarioSuite::new(&platform, FaultModel::default()).with_lambda_shifts(&[5e-3]);
         let cfg = config();
         let nominal_flow = suite.instances()[0].explore(&graph, &cfg);
         let harsh_flow = suite.instances()[1].explore(&graph, &cfg);

@@ -77,11 +77,7 @@ pub fn explore_based(
         if !ind.is_feasible() {
             continue;
         }
-        let inside = ind
-            .objectives
-            .iter()
-            .zip(&reference)
-            .all(|(o, r)| o <= r);
+        let inside = ind.objectives.iter().zip(&reference).all(|(o, r)| o <= r);
         if !inside {
             continue;
         }
@@ -122,7 +118,12 @@ fn prune_dominated(db: &mut DesignPointDb, mode: crate::ExplorationMode) {
     use clr_moea::dominates;
     let objs: Vec<Vec<f64>> = db.iter().map(|p| mode.objectives_of(&p.metrics)).collect();
     let keep: Vec<bool> = (0..objs.len())
-        .map(|i| !objs.iter().enumerate().any(|(j, o)| j != i && dominates(o, &objs[i])))
+        .map(|i| {
+            !objs
+                .iter()
+                .enumerate()
+                .any(|(j, o)| j != i && dominates(o, &objs[i]))
+        })
         .collect();
     let mut pruned = DesignPointDb::new(db.name().to_string());
     for (i, p) in db.iter().enumerate() {

@@ -1,0 +1,382 @@
+//! A line-oriented text codec for [`DesignPointDb`] artifacts.
+//!
+//! The run-time layer consumes databases *persisted* by the design-time
+//! stage; this codec defines that on-disk form. The format is plain text
+//! so audits (and humans) can diff it, and every floating-point value is
+//! rendered with Rust's shortest round-trip formatting so that
+//! `from_text(to_text(db)) == db` holds bit-for-bit for finite metrics —
+//! exactly the invariant the `clr-verify` round-trip lint checks.
+//!
+//! ```text
+//! clr-design-point-db v1
+//! name based
+//! points 2
+//! point Pareto
+//! metrics 104.25 0.99921 1520.0 84.5 1.2e6
+//! gene 0 1 none retry:2 checksum 9
+//! ...
+//! ```
+
+use std::fmt;
+
+use clr_platform::PeId;
+use clr_reliability::{AswMethod, ClrConfig, HwMethod, SswMethod};
+use clr_sched::{Gene, Mapping, SystemMetrics};
+use clr_taskgraph::ImplId;
+
+use crate::{DesignPoint, DesignPointDb, PointOrigin};
+
+/// Magic first line identifying the format and its version.
+const HEADER: &str = "clr-design-point-db v1";
+
+/// A parse failure while decoding a persisted database.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError {
+    /// 1-based line number of the offending line (0 = whole document).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn err(line: usize, message: impl Into<String>) -> CodecError {
+    CodecError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn encode_hw(m: HwMethod) -> &'static str {
+    match m {
+        HwMethod::None => "none",
+        HwMethod::Hardening => "hardening",
+        HwMethod::PartialTmr => "partial_tmr",
+        HwMethod::FullTmr => "full_tmr",
+    }
+}
+
+fn decode_hw(s: &str, line: usize) -> Result<HwMethod, CodecError> {
+    match s {
+        "none" => Ok(HwMethod::None),
+        "hardening" => Ok(HwMethod::Hardening),
+        "partial_tmr" => Ok(HwMethod::PartialTmr),
+        "full_tmr" => Ok(HwMethod::FullTmr),
+        other => Err(err(line, format!("unknown hw method {other:?}"))),
+    }
+}
+
+fn encode_ssw(m: SswMethod) -> String {
+    match m {
+        SswMethod::None => "none".into(),
+        SswMethod::Retry { max_retries } => format!("retry:{max_retries}"),
+        SswMethod::Checkpoint { intervals } => format!("checkpoint:{intervals}"),
+    }
+}
+
+fn decode_ssw(s: &str, line: usize) -> Result<SswMethod, CodecError> {
+    if s == "none" {
+        return Ok(SswMethod::None);
+    }
+    let (kind, arg) = s
+        .split_once(':')
+        .ok_or_else(|| err(line, format!("unknown ssw method {s:?}")))?;
+    let n: u8 = arg
+        .parse()
+        .map_err(|_| err(line, format!("bad ssw parameter {arg:?}")))?;
+    match kind {
+        "retry" => Ok(SswMethod::Retry { max_retries: n }),
+        "checkpoint" => Ok(SswMethod::Checkpoint { intervals: n }),
+        other => Err(err(line, format!("unknown ssw method {other:?}"))),
+    }
+}
+
+fn encode_asw(m: AswMethod) -> &'static str {
+    match m {
+        AswMethod::None => "none",
+        AswMethod::Checksum => "checksum",
+        AswMethod::HammingCorrection => "hamming",
+        AswMethod::CodeTripling => "tripling",
+    }
+}
+
+fn decode_asw(s: &str, line: usize) -> Result<AswMethod, CodecError> {
+    match s {
+        "none" => Ok(AswMethod::None),
+        "checksum" => Ok(AswMethod::Checksum),
+        "hamming" => Ok(AswMethod::HammingCorrection),
+        "tripling" => Ok(AswMethod::CodeTripling),
+        other => Err(err(line, format!("unknown asw method {other:?}"))),
+    }
+}
+
+fn decode_f64(s: &str, line: usize) -> Result<f64, CodecError> {
+    s.parse().map_err(|_| err(line, format!("bad float {s:?}")))
+}
+
+impl DesignPointDb {
+    /// Serialises the database into the v1 text form.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use clr_dse::DesignPointDb;
+    /// let db = DesignPointDb::new("based");
+    /// let text = db.to_text();
+    /// assert_eq!(DesignPointDb::from_text(&text).unwrap(), db);
+    /// ```
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{HEADER}");
+        let _ = writeln!(out, "name {}", self.name());
+        let _ = writeln!(out, "points {}", self.len());
+        for p in self {
+            let origin = match p.origin {
+                PointOrigin::Pareto => "Pareto",
+                PointOrigin::ReconfigAware => "ReconfigAware",
+            };
+            let _ = writeln!(out, "point {origin}");
+            let m = &p.metrics;
+            // `{:?}` is Rust's shortest round-trip float form.
+            let _ = writeln!(
+                out,
+                "metrics {:?} {:?} {:?} {:?} {:?}",
+                m.makespan, m.reliability, m.energy, m.peak_power, m.mean_mttf
+            );
+            for g in p.mapping.genes() {
+                let _ = writeln!(
+                    out,
+                    "gene {} {} {} {} {} {}",
+                    g.pe.index(),
+                    g.impl_id.index(),
+                    encode_hw(g.clr.hw),
+                    encode_ssw(g.clr.ssw),
+                    encode_asw(g.clr.asw),
+                    g.priority
+                );
+            }
+        }
+        out
+    }
+
+    /// Parses a database from its v1 text form.
+    ///
+    /// Decoding does **not** re-validate the artifact semantically — that
+    /// is `clr-verify`'s job — but it does reject structural damage
+    /// (unknown directives, truncated documents, malformed numbers).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] naming the first offending line.
+    pub fn from_text(text: &str) -> Result<DesignPointDb, CodecError> {
+        let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l.trim()));
+        let (_, header) = lines.next().ok_or_else(|| err(0, "empty document"))?;
+        if header != HEADER {
+            return Err(err(
+                1,
+                format!("bad header {header:?}, expected {HEADER:?}"),
+            ));
+        }
+        let (n_line, name_line) = lines.next().ok_or_else(|| err(0, "missing name line"))?;
+        let name = name_line
+            .strip_prefix("name ")
+            .ok_or_else(|| err(n_line, "expected `name <label>`"))?
+            .to_string();
+        let (c_line, count_line) = lines.next().ok_or_else(|| err(0, "missing points line"))?;
+        let count: usize = count_line
+            .strip_prefix("points ")
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| err(c_line, "expected `points <count>`"))?;
+
+        let mut points: Vec<DesignPoint> = Vec::with_capacity(count);
+        let mut current: Option<(PointOrigin, Option<SystemMetrics>, Vec<Gene>)> = None;
+        let flush = |current: &mut Option<(PointOrigin, Option<SystemMetrics>, Vec<Gene>)>,
+                     points: &mut Vec<DesignPoint>,
+                     line: usize|
+         -> Result<(), CodecError> {
+            if let Some((origin, metrics, genes)) = current.take() {
+                let metrics = metrics.ok_or_else(|| err(line, "point without a metrics line"))?;
+                points.push(DesignPoint::new(Mapping::new(genes), metrics, origin));
+            }
+            Ok(())
+        };
+
+        for (ln, line) in lines {
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(origin) = line.strip_prefix("point ") {
+                flush(&mut current, &mut points, ln)?;
+                let origin = match origin {
+                    "Pareto" => PointOrigin::Pareto,
+                    "ReconfigAware" => PointOrigin::ReconfigAware,
+                    other => return Err(err(ln, format!("unknown origin {other:?}"))),
+                };
+                current = Some((origin, None, Vec::new()));
+            } else if let Some(rest) = line.strip_prefix("metrics ") {
+                let slot = current
+                    .as_mut()
+                    .ok_or_else(|| err(ln, "metrics line outside a point"))?;
+                let vals: Vec<&str> = rest.split_whitespace().collect();
+                if vals.len() != 5 {
+                    return Err(err(ln, format!("expected 5 metrics, got {}", vals.len())));
+                }
+                slot.1 = Some(SystemMetrics {
+                    makespan: decode_f64(vals[0], ln)?,
+                    reliability: decode_f64(vals[1], ln)?,
+                    energy: decode_f64(vals[2], ln)?,
+                    peak_power: decode_f64(vals[3], ln)?,
+                    mean_mttf: decode_f64(vals[4], ln)?,
+                });
+            } else if let Some(rest) = line.strip_prefix("gene ") {
+                let slot = current
+                    .as_mut()
+                    .ok_or_else(|| err(ln, "gene line outside a point"))?;
+                let vals: Vec<&str> = rest.split_whitespace().collect();
+                if vals.len() != 6 {
+                    return Err(err(
+                        ln,
+                        format!("expected 6 gene fields, got {}", vals.len()),
+                    ));
+                }
+                let pe: usize = vals[0]
+                    .parse()
+                    .map_err(|_| err(ln, format!("bad pe index {:?}", vals[0])))?;
+                let impl_id: usize = vals[1]
+                    .parse()
+                    .map_err(|_| err(ln, format!("bad impl index {:?}", vals[1])))?;
+                let priority: u32 = vals[5]
+                    .parse()
+                    .map_err(|_| err(ln, format!("bad priority {:?}", vals[5])))?;
+                slot.2.push(Gene {
+                    pe: PeId::new(pe),
+                    impl_id: ImplId::new(impl_id),
+                    clr: ClrConfig::new(
+                        decode_hw(vals[2], ln)?,
+                        decode_ssw(vals[3], ln)?,
+                        decode_asw(vals[4], ln)?,
+                    ),
+                    priority,
+                });
+            } else {
+                return Err(err(ln, format!("unknown directive {line:?}")));
+            }
+        }
+        flush(&mut current, &mut points, text.lines().count())?;
+        if points.len() != count {
+            return Err(err(
+                c_line,
+                format!("declared {count} points but found {}", points.len()),
+            ));
+        }
+        Ok(DesignPointDb::from_raw_parts(name, points))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::QosSpec;
+
+    fn sample_db() -> DesignPointDb {
+        let mut db = DesignPointDb::new("based");
+        let gene = |pe: usize, hw, ssw, asw, prio| Gene {
+            pe: PeId::new(pe),
+            impl_id: ImplId::new(0),
+            clr: ClrConfig::new(hw, ssw, asw),
+            priority: prio,
+        };
+        db.push(DesignPoint::new(
+            Mapping::new(vec![
+                gene(0, HwMethod::None, SswMethod::None, AswMethod::None, 3),
+                gene(
+                    1,
+                    HwMethod::FullTmr,
+                    SswMethod::Retry { max_retries: 2 },
+                    AswMethod::Checksum,
+                    2,
+                ),
+            ]),
+            SystemMetrics {
+                makespan: 104.25,
+                reliability: 0.999_21,
+                energy: 1520.0,
+                peak_power: 84.5,
+                mean_mttf: 1.2e6,
+            },
+            PointOrigin::Pareto,
+        ));
+        db.push(DesignPoint::new(
+            Mapping::new(vec![gene(
+                2,
+                HwMethod::Hardening,
+                SswMethod::Checkpoint { intervals: 4 },
+                AswMethod::HammingCorrection,
+                1,
+            )]),
+            SystemMetrics {
+                makespan: 88.125,
+                reliability: 0.875,
+                energy: 990.5,
+                peak_power: 60.0,
+                mean_mttf: 3.4e5,
+            },
+            PointOrigin::ReconfigAware,
+        ));
+        db
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        let db = sample_db();
+        let decoded = DesignPointDb::from_text(&db.to_text()).unwrap();
+        assert_eq!(decoded, db);
+    }
+
+    #[test]
+    fn round_trip_preserves_behaviour() {
+        let db = sample_db();
+        let decoded = DesignPointDb::from_text(&db.to_text()).unwrap();
+        let spec = QosSpec::new(100.0, 0.5);
+        assert_eq!(decoded.feasible_indices(&spec), db.feasible_indices(&spec));
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let e = DesignPointDb::from_text("nonsense v9\n").unwrap_err();
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn rejects_count_mismatch() {
+        let text = "clr-design-point-db v1\nname t\npoints 2\npoint Pareto\nmetrics 1 1 1 1 1\n";
+        let e = DesignPointDb::from_text(text).unwrap_err();
+        assert!(e.message.contains("declared 2"), "{e}");
+    }
+
+    #[test]
+    fn rejects_unknown_directive() {
+        let text = "clr-design-point-db v1\nname t\npoints 0\nwat 3\n";
+        let e = DesignPointDb::from_text(text).unwrap_err();
+        assert_eq!(e.line, 4);
+    }
+
+    #[test]
+    fn nan_survives_encoding_but_not_equality() {
+        // A tampered artifact with a NaN makespan still *parses* — catching
+        // it is the metric-range lint's job — but breaks round-trip
+        // equality, which is exactly what the round-trip lint reports.
+        let mut text = sample_db().to_text();
+        text = text.replace("104.25", "NaN");
+        let decoded = DesignPointDb::from_text(&text).unwrap();
+        assert!(decoded.point(0).metrics.makespan.is_nan());
+        assert_ne!(decoded, DesignPointDb::from_text(&text).unwrap());
+    }
+}

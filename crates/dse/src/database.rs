@@ -1,6 +1,7 @@
 //! The stored design-point database the run-time layer adapts over.
 
 use clr_moea::dominates;
+use clr_stats::{approx_eq_probability, approx_eq_time};
 use serde::{Deserialize, Serialize};
 
 use crate::{DesignPoint, PointOrigin, QosSpec};
@@ -40,13 +41,36 @@ impl DesignPointDb {
         &self.points
     }
 
+    /// The point at `index`, or `None` if the index is out of range.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use clr_dse::DesignPointDb;
+    /// let db = DesignPointDb::new("based");
+    /// assert!(db.get(0).is_none());
+    /// ```
+    pub fn get(&self, index: usize) -> Option<&DesignPoint> {
+        self.points.get(index)
+    }
+
     /// The point at `index`.
+    ///
+    /// Convenience shim over [`DesignPointDb::get`] for call sites that
+    /// have already bounds-checked the index (e.g. iterating `0..len()`);
+    /// prefer `get` when the index comes from external input.
     ///
     /// # Panics
     ///
     /// Panics if `index` is out of range.
     pub fn point(&self, index: usize) -> &DesignPoint {
-        &self.points[index]
+        self.get(index).unwrap_or_else(|| {
+            panic!(
+                "design-point index {index} out of range for database {:?} of {} points",
+                self.name,
+                self.points.len()
+            )
+        })
     }
 
     /// Number of stored points.
@@ -61,16 +85,20 @@ impl DesignPointDb {
 
     /// Appends a point unconditionally.
     pub fn push(&mut self, point: DesignPoint) {
+        debug_assert_point_sane(&point);
         self.points.push(point);
     }
 
     /// Appends a point unless an existing point has (numerically) the same
-    /// metrics. Returns `true` if inserted.
+    /// metrics under the workspace tolerances ([`clr_stats::EPS_TIME`] for
+    /// makespan/energy, [`clr_stats::EPS_PROBABILITY`] for reliability).
+    /// Returns `true` if inserted.
     pub fn push_if_new(&mut self, point: DesignPoint) -> bool {
+        debug_assert_point_sane(&point);
         let duplicate = self.points.iter().any(|p| {
-            (p.metrics.makespan - point.metrics.makespan).abs() < 1e-9
-                && (p.metrics.reliability - point.metrics.reliability).abs() < 1e-12
-                && (p.metrics.energy - point.metrics.energy).abs() < 1e-9
+            approx_eq_time(p.metrics.makespan, point.metrics.makespan)
+                && approx_eq_probability(p.metrics.reliability, point.metrics.reliability)
+                && approx_eq_time(p.metrics.energy, point.metrics.energy)
         });
         if duplicate {
             return false;
@@ -96,7 +124,12 @@ impl DesignPointDb {
             .map(|p| p.qos_objectives().to_vec())
             .collect();
         (0..objs.len())
-            .filter(|&i| !objs.iter().enumerate().any(|(j, o)| j != i && dominates(o, &objs[i])))
+            .filter(|&i| {
+                !objs
+                    .iter()
+                    .enumerate()
+                    .any(|(j, o)| j != i && dominates(o, &objs[i]))
+            })
             .collect()
     }
 
@@ -130,6 +163,38 @@ impl DesignPointDb {
         }
         out
     }
+}
+
+impl DesignPointDb {
+    /// Reassembles a database from a label and raw points, bypassing the
+    /// insertion-time sanity checks — reserved for the text codec, which
+    /// must faithfully reconstruct *whatever* was persisted (including
+    /// artifacts later flagged by `clr-verify`).
+    pub(crate) fn from_raw_parts(name: String, points: Vec<DesignPoint>) -> Self {
+        Self { name, points }
+    }
+}
+
+/// Debug-build sanity check at the database mutation site: the cheapest
+/// subset of the `clr-verify` metric-range lints, so corrupted metrics
+/// fail fast at insertion during development instead of surfacing later
+/// in an audit.
+fn debug_assert_point_sane(point: &DesignPoint) {
+    debug_assert!(
+        point.metrics.makespan.is_finite() && point.metrics.makespan >= 0.0,
+        "design point makespan must be finite and non-negative, got {}",
+        point.metrics.makespan
+    );
+    debug_assert!(
+        (0.0..=1.0).contains(&point.metrics.reliability),
+        "design point reliability must lie in [0, 1], got {}",
+        point.metrics.reliability
+    );
+    debug_assert!(
+        point.metrics.energy.is_finite() && point.metrics.energy >= 0.0,
+        "design point energy must be finite and non-negative, got {}",
+        point.metrics.energy
+    );
 }
 
 impl<'a> IntoIterator for &'a DesignPointDb {
@@ -175,6 +240,21 @@ mod tests {
         assert!(!db.push_if_new(pt(10.0, 0.9, 5.0, PointOrigin::ReconfigAware)));
         assert!(db.push_if_new(pt(11.0, 0.9, 5.0, PointOrigin::Pareto)));
         assert_eq!(db.len(), 2);
+    }
+
+    #[test]
+    fn get_is_total_and_point_agrees_in_range() {
+        let mut db = DesignPointDb::new("t");
+        db.push(pt(10.0, 0.9, 5.0, PointOrigin::Pareto));
+        assert_eq!(db.get(0), Some(db.point(0)));
+        assert!(db.get(1).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn point_panics_with_context() {
+        let db = DesignPointDb::new("t");
+        let _ = db.point(3);
     }
 
     #[test]

@@ -246,6 +246,9 @@ mod tests {
         // GA front for a large majority of the front (the GA also explores
         // schedule priorities, so it may even strictly dominate).
         let covered = coverage(&ga_objs, &exact_objs).unwrap();
-        assert!(covered >= 0.7, "ga covered only {covered:.2} of the exact front");
+        assert!(
+            covered >= 0.7,
+            "ga covered only {covered:.2} of the exact front"
+        );
     }
 }

@@ -39,6 +39,7 @@
 //! ```
 
 mod based;
+mod codec;
 mod database;
 mod enumerate;
 mod point;
@@ -46,6 +47,7 @@ mod problem;
 mod red;
 
 pub use based::explore_based;
+pub use codec::CodecError;
 pub use database::DesignPointDb;
 pub use enumerate::{enumerate_exact, SpaceTooLarge};
 pub use point::{DesignPoint, PointOrigin, QosSpec};

@@ -422,8 +422,9 @@ mod tests {
     fn clr_only_variant_rejects_wrong_length() {
         let g = jpeg_encoder();
         let p = Platform::dac19();
-        let _ = problem(&g, &p, ExplorationMode::Full)
-            .with_variant(ProblemVariant::ClrOnly { base: Mapping::new(vec![]) });
+        let _ = problem(&g, &p, ExplorationMode::Full).with_variant(ProblemVariant::ClrOnly {
+            base: Mapping::new(vec![]),
+        });
     }
 
     #[test]

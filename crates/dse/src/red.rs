@@ -61,6 +61,9 @@ impl Default for RedConfig {
 ///
 /// Panics if `based` is empty (there is nothing to seed from) or its
 /// mappings do not fit the graph/platform.
+// Mirrors `explore_based`'s parameter list plus the seed database; a
+// params struct would just restate the problem definition.
+#[allow(clippy::too_many_arguments)]
 pub fn explore_red(
     graph: &TaskGraph,
     platform: &Platform,
@@ -99,7 +102,7 @@ pub fn explore_red(
         // Keep the candidates that actually beat the seed on average dRC.
         let mut candidates: Vec<(Mapping, f64)> = front
             .into_iter()
-            .filter(|ind| ind.is_feasible())
+            .filter(clr_moea::Individual::is_feasible)
             .map(|ind| {
                 let drc = *ind.objectives.last().expect("red problem appends drc");
                 (ind.solution, drc)
@@ -109,7 +112,11 @@ pub fn explore_red(
         candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("drc is finite"));
         for (mapping, _) in candidates.into_iter().take(config.max_extra_per_seed) {
             let metrics = evaluator.evaluate(&mapping);
-            db.push_if_new(DesignPoint::new(mapping, metrics, PointOrigin::ReconfigAware));
+            db.push_if_new(DesignPoint::new(
+                mapping,
+                metrics,
+                PointOrigin::ReconfigAware,
+            ));
         }
     }
 

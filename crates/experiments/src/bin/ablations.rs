@@ -189,8 +189,11 @@ fn drc_prr_term(env: &Env) {
             .storage_limit(env.storage_limit)
             .seed(env.seed)
             .run();
-        let qos =
-            QosVariationModel::calibrated_walk(flow.based(), env.qos_sigma_frac, env.qos_correlation);
+        let qos = QosVariationModel::calibrated_walk(
+            flow.based(),
+            env.qos_sigma_frac,
+            env.qos_correlation,
+        );
         let config = env.sim_config(env.seed ^ 40);
         let mut hv = HvPolicy::new();
         let base = simulate(&flow.context(DbChoice::Based), &mut hv, &qos, &config);
@@ -239,7 +242,13 @@ fn storage_sweep(env: &Env) {
     let bundle = Bundle::new(env, 40);
     let mut table = Table::new(
         "Ablation 4 — storage constraint vs adaptation quality (40 tasks, p_RC = 0.5)",
-        &["max_points", "stored", "avg_drc", "avg_energy", "violations"],
+        &[
+            "max_points",
+            "stored",
+            "avg_drc",
+            "avg_energy",
+            "violations",
+        ],
     );
     for cap in [8usize, 16, 24, 48] {
         let flow = HybridFlow::builder(&bundle.graph, &bundle.platform)

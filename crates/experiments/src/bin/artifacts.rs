@@ -36,7 +36,10 @@ fn main() -> std::io::Result<()> {
     let eval = Evaluator::new(&graph, &platform, fm);
     let (metrics, schedule) = eval.evaluate_with_schedule(&heft);
     fs::write(format!("{out}/heft_gantt.txt"), gantt_ascii(&schedule, 100))?;
-    fs::write(format!("{out}/heft_schedule.csv"), schedule_csv(&graph, &schedule))?;
+    fs::write(
+        format!("{out}/heft_schedule.csv"),
+        schedule_csv(&graph, &schedule),
+    )?;
     println!(
         "heft schedule: makespan {:.1}, energy {:.0}, reliability {:.5}",
         metrics.makespan, metrics.energy, metrics.reliability
@@ -54,7 +57,10 @@ fn main() -> std::io::Result<()> {
         format!("{out}/design_points.csv"),
         flow.db(DbChoice::Red).to_csv(),
     )?;
-    println!("database: {} stored design points", flow.db(DbChoice::Red).len());
+    println!(
+        "database: {} stored design points",
+        flow.db(DbChoice::Red).len()
+    );
 
     // --- A traced uRA run + analysis. --------------------------------------
     let ctx = flow.context(DbChoice::Red);
@@ -73,4 +79,3 @@ fn main() -> std::io::Result<()> {
     );
     Ok(())
 }
-

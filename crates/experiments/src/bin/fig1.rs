@@ -25,7 +25,13 @@ fn main() {
 
     let mut bars = Table::new(
         "Average energy: fixed (<=2% error at all times) vs dynamic (J_avg)",
-        &["system", "design_points", "fixed_energy", "dynamic_energy", "dynamic_saving_%"],
+        &[
+            "system",
+            "design_points",
+            "fixed_energy",
+            "dynamic_energy",
+            "dynamic_saving_%",
+        ],
     );
     for s in &systems {
         let saving = clr_experiments::pct_reduction(s.fixed_energy, s.dynamic_energy);

@@ -21,12 +21,7 @@ fn main() {
     for i in 0..n {
         let b = &c.baseline.trace[i];
         let r = &c.proposed.trace[i];
-        table.row([
-            (i + 1).to_string(),
-            f1(b.time),
-            f1(b.drc),
-            f1(r.drc),
-        ]);
+        table.row([(i + 1).to_string(), f1(b.time), f1(b.drc), f1(r.drc)]);
     }
     table.emit("fig6");
 
@@ -38,7 +33,12 @@ fn main() {
         .iter()
         .map(|t| t.drc)
         .fold(0.0f64, f64::max);
-    let red_max = c.proposed.trace.iter().map(|t| t.drc).fold(0.0f64, f64::max);
+    let red_max = c
+        .proposed
+        .trace
+        .iter()
+        .map(|t| t.drc)
+        .fold(0.0f64, f64::max);
     println!(
         "\nIn this window: BaseD reconfigured {based_moves}× (ΔdRC max {based_max:.1}), \
          ReD reconfigured {red_moves}× (max {red_max:.1}).\n\

@@ -7,8 +7,17 @@ use std::path::PathBuf;
 use std::process::Command;
 
 const BINARIES: [&str; 11] = [
-    "fig1", "table4", "fig5", "fig6", "table5", "table6", "table7", "fig7", "ablations",
-    "artifacts", "workloads",
+    "fig1",
+    "table4",
+    "fig5",
+    "fig6",
+    "table5",
+    "table6",
+    "table7",
+    "fig7",
+    "ablations",
+    "artifacts",
+    "workloads",
 ];
 
 fn main() {

@@ -13,11 +13,7 @@ fn main() {
     println!("# Table 5 — reconfiguration-cost minimisation on a single database");
     let mut table = Table::new(
         "p_RC = 0 vs p_RC = 1 on one (ReD) database",
-        &[
-            "tasks",
-            "reduction_avg_drc_%",
-            "increase_avg_energy_%",
-        ],
+        &["tasks", "reduction_avg_drc_%", "increase_avg_energy_%"],
     );
     for &n in &env.task_counts {
         let bundle = Bundle::new(&env, n);
@@ -34,7 +30,5 @@ fn main() {
         eprintln!("  done n = {n}");
     }
     table.emit("table5");
-    println!(
-        "\nPaper shape: large dRC reductions (8–51%) at single-digit energy increases."
-    );
+    println!("\nPaper shape: large dRC reductions (8–51%) at single-digit energy increases.");
 }

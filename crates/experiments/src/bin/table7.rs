@@ -28,7 +28,10 @@ fn main() {
                 at0.baseline.avg_reconfig_cost,
                 at0.proposed.avg_reconfig_cost,
             )),
-            f1(pct_reduction(at1.baseline.avg_energy, at1.proposed.avg_energy)),
+            f1(pct_reduction(
+                at1.baseline.avg_energy,
+                at1.proposed.avg_energy,
+            )),
         ]);
         eprintln!("  done n = {n}");
     }

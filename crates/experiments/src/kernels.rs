@@ -2,9 +2,9 @@
 //! benches. Each kernel regenerates the data behind one table or figure.
 
 use clr_core::prelude::*;
-use clr_core::{DbChoice, HybridFlow};
 use clr_core::runtime::HvPolicy;
 use clr_core::stats::Summary;
+use clr_core::{DbChoice, HybridFlow};
 
 use crate::Env;
 
@@ -39,7 +39,6 @@ impl Bundle {
             .run()
     }
 }
-
 
 /// Runs `f` once per replica seed and averages the scalar aggregates
 /// (costs, energy, counts) into one [`SimResult`]; the first replica's
@@ -92,20 +91,31 @@ pub struct Comparison {
 /// arms replay the same event stream (calibrated on BaseD).
 pub fn csp_migration_comparison(env: &Env, bundle: &Bundle, trace: usize) -> Comparison {
     let flow = bundle.flow(env, ExplorationMode::Csp);
-    let qos = QosVariationModel::calibrated_walk(flow.based(), env.qos_sigma_frac, env.qos_correlation);
+    let qos =
+        QosVariationModel::calibrated_walk(flow.based(), env.qos_sigma_frac, env.qos_correlation);
     let seed = env.seed ^ (bundle.graph.num_tasks() as u64);
     let replicas = if trace > 0 { 1 } else { env.replicas };
 
     let ctx_based = flow.context(DbChoice::Based);
     let baseline = replicated(replicas, seed, |s| {
         let mut policy = HvPolicy::new();
-        simulate(&ctx_based, &mut policy, &qos, &env.sim_config(s).with_trace(trace))
+        simulate(
+            &ctx_based,
+            &mut policy,
+            &qos,
+            &env.sim_config(s).with_trace(trace),
+        )
     });
 
     let ctx_red = flow.context(DbChoice::Red);
     let proposed = replicated(replicas, seed, |s| {
         let mut policy = UraPolicy::new(0.0).expect("0 is a valid p_rc");
-        simulate(&ctx_red, &mut policy, &qos, &env.sim_config(s).with_trace(trace))
+        simulate(
+            &ctx_red,
+            &mut policy,
+            &qos,
+            &env.sim_config(s).with_trace(trace),
+        )
     });
 
     Comparison { baseline, proposed }
@@ -125,7 +135,8 @@ pub fn csp_design_points(env: &Env, bundle: &Bundle) -> Vec<(f64, f64, PointOrig
 /// event stream.
 pub fn red_vs_based(env: &Env, bundle: &Bundle, p_rc: f64) -> Comparison {
     let flow = bundle.flow(env, ExplorationMode::Full);
-    let qos = QosVariationModel::calibrated_walk(flow.based(), env.qos_sigma_frac, env.qos_correlation);
+    let qos =
+        QosVariationModel::calibrated_walk(flow.based(), env.qos_sigma_frac, env.qos_correlation);
     let seed = env.seed ^ (bundle.graph.num_tasks() as u64).rotate_left(17);
 
     let ctx_based = flow.context(DbChoice::Based);
@@ -174,10 +185,13 @@ pub fn aura_vs_ura(env: &Env, bundle: &Bundle, p_rc: f64) -> Comparison {
         simulate(&ctx, &mut ura, &qos, &env.sim_config(s))
     });
 
-    let prior_episodes = if env.sim_cycles >= 1_000_000.0 { 500 } else { 200 };
+    let prior_episodes = if env.sim_cycles >= 1_000_000.0 {
+        500
+    } else {
+        200
+    };
     let proposed = replicated(env.replicas, seed, |s| {
-        let mut agent =
-            AuraAgent::new(ctx.len(), p_rc, 0.3, 0.05).expect("valid agent parameters");
+        let mut agent = AuraAgent::new(ctx.len(), p_rc, 0.3, 0.05).expect("valid agent parameters");
         agent.train_prior(&ctx, &qos, prior_episodes, 1_000.0, env.seed ^ 0xa17a);
         simulate(&ctx, &mut agent, &qos, &env.sim_config(s))
     });
@@ -239,7 +253,7 @@ pub fn motivation(env: &Env, bundle: &Bundle) -> Vec<MotivationSystem> {
 
             // The acceptable-error-rate requirement is normally
             // distributed; the makespan requirement stays non-binding.
-            let rels = Summary::from_iter(db.iter().map(|p| p.metrics.reliability));
+            let rels = Summary::from_values(db.iter().map(|p| p.metrics.reliability));
             let sigma = ((rels.max - rels.min) * 0.25).max(1e-6);
             let mean_req = (rels.mean - sigma).max(0.0);
             // Worst-case provisioning: the fixed configuration must satisfy
@@ -285,7 +299,7 @@ pub fn motivation(env: &Env, bundle: &Bundle) -> Vec<MotivationSystem> {
 
 /// Summary helper: mean of a slice (0 when empty).
 pub fn mean(xs: &[f64]) -> f64 {
-    Summary::from_iter(xs.iter().copied()).mean
+    Summary::from_values(xs.iter().copied()).mean
 }
 
 #[cfg(test)]

@@ -42,7 +42,7 @@ pub struct Env {
 impl Env {
     /// Scale selected by `CLR_FULL` (see the [crate docs](crate)).
     pub fn from_env() -> Self {
-        if std::env::var("CLR_FULL").map(|v| v == "1").unwrap_or(false) {
+        if std::env::var("CLR_FULL").is_ok_and(|v| v == "1") {
             Self::paper()
         } else {
             Self::reduced()

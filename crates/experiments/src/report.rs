@@ -18,7 +18,10 @@ impl Table {
     pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
         Self {
             title: title.into(),
-            columns: columns.iter().map(|c| c.to_string()).collect(),
+            columns: columns
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect(),
             rows: Vec::new(),
         }
     }
@@ -56,7 +59,11 @@ impl Table {
         let _ = writeln!(
             out,
             "|{}|",
-            self.columns.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.columns
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         );
         for row in &self.rows {
             let _ = writeln!(out, "| {} |", row.join(" | "));

@@ -99,6 +99,9 @@ pub fn crowding_distances(points: &[Vec<f64>]) -> Vec<f64> {
     if n <= 2 {
         return vec![f64::INFINITY; n];
     }
+    // Index-based: `obj` selects a column across rows, and `idx` is a sort
+    // permutation over rows — iterator forms would obscure both.
+    #[allow(clippy::needless_range_loop)]
     for obj in 0..m {
         let mut idx: Vec<usize> = (0..n).collect();
         idx.sort_by(|&a, &b| {
@@ -173,7 +176,12 @@ mod tests {
     #[test]
     fn crowding_handles_degenerate_axis() {
         // All points share objective 1; no NaNs may appear.
-        let pts = vec![vec![0.0, 1.0], vec![1.0, 1.0], vec![2.0, 1.0], vec![3.0, 1.0]];
+        let pts = vec![
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+            vec![2.0, 1.0],
+            vec![3.0, 1.0],
+        ];
         let d = crowding_distances(&pts);
         assert!(d.iter().all(|x| !x.is_nan()));
     }

@@ -65,10 +65,7 @@ fn non_dominated(points: Vec<Vec<f64>>) -> Vec<Vec<f64>> {
 fn hv_recursive(points: &mut [Vec<f64>], reference: &[f64]) -> f64 {
     let d = reference.len();
     if d == 1 {
-        let best = points
-            .iter()
-            .map(|p| p[0])
-            .fold(f64::INFINITY, f64::min);
+        let best = points.iter().map(|p| p[0]).fold(f64::INFINITY, f64::min);
         return (reference[0] - best).max(0.0);
     }
     // Sort by first objective ascending.
@@ -85,8 +82,7 @@ fn hv_recursive(points: &mut [Vec<f64>], reference: &[f64]) -> f64 {
             continue;
         }
         // Points 0..=i are active in this slab; project to d−1 dims.
-        let mut projected: Vec<Vec<f64>> =
-            points[..=i].iter().map(|p| p[1..].to_vec()).collect();
+        let mut projected: Vec<Vec<f64>> = points[..=i].iter().map(|p| p[1..].to_vec()).collect();
         projected = non_dominated(projected);
         volume += width * hv_recursive(&mut projected, &reference[1..]);
     }
@@ -152,7 +148,10 @@ mod tests {
         // Two boxes: (0,0,1) and (1,1,0) vs ref (2,2,2).
         // Box A: [0,2]x[0,2]x[1,2] vol 4; Box B: [1,2]x[1,2]x[0,2] vol 2;
         // overlap [1,2]x[1,2]x[1,2] vol 1 → 5.
-        let hv = hypervolume(&[vec![0.0, 0.0, 1.0], vec![1.0, 1.0, 0.0]], &[2.0, 2.0, 2.0]);
+        let hv = hypervolume(
+            &[vec![0.0, 0.0, 1.0], vec![1.0, 1.0, 0.0]],
+            &[2.0, 2.0, 2.0],
+        );
         assert!((hv - 5.0).abs() < 1e-12, "hv {hv}");
     }
 
@@ -211,7 +210,7 @@ mod tests {
             // Independent 2-D implementation: sort the non-dominated set by
             // x and accumulate staircase slabs.
             let reference = [6.0f64, 6.0];
-            let hv = hypervolume(&pts, &reference.to_vec());
+            let hv = hypervolume(&pts, reference.as_ref());
             let mut nd: Vec<Vec<f64>> = Vec::new();
             'outer: for p in &pts {
                 for q in &pts {

@@ -127,8 +127,18 @@ mod tests {
 
     #[test]
     fn uneven_fronts_have_higher_spacing() {
-        let even = vec![vec![0.0, 3.0], vec![1.0, 2.0], vec![2.0, 1.0], vec![3.0, 0.0]];
-        let clumped = vec![vec![0.0, 3.0], vec![0.1, 2.9], vec![0.2, 2.8], vec![3.0, 0.0]];
+        let even = vec![
+            vec![0.0, 3.0],
+            vec![1.0, 2.0],
+            vec![2.0, 1.0],
+            vec![3.0, 0.0],
+        ];
+        let clumped = vec![
+            vec![0.0, 3.0],
+            vec![0.1, 2.9],
+            vec![0.2, 2.8],
+            vec![3.0, 0.0],
+        ];
         assert!(spacing(&clumped).unwrap() > spacing(&even).unwrap());
     }
 

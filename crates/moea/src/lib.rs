@@ -58,8 +58,8 @@ mod indicators;
 mod local_search;
 mod nsga2;
 mod params;
-mod spea2;
 mod problem;
+mod spea2;
 
 pub use archive::ParetoArchive;
 pub use dominance::{crowding_distances, dominates, non_dominated_sort};
@@ -69,5 +69,5 @@ pub use indicators::{coverage, igd, spacing};
 pub use local_search::LocalSearch;
 pub use nsga2::{Individual, Nsga2};
 pub use params::GaParams;
-pub use spea2::Spea2;
 pub use problem::{Evaluation, Problem};
+pub use spea2::Spea2;

@@ -74,7 +74,12 @@ impl<P: Problem> LocalSearch<P> {
 
     /// Runs `steps` mutation trials from `seed_solution`, keeping strict
     /// improvements; returns the best solution found and its fitness.
-    pub fn refine(&self, seed_solution: P::Solution, steps: usize, seed: u64) -> (P::Solution, f64) {
+    pub fn refine(
+        &self,
+        seed_solution: P::Solution,
+        steps: usize,
+        seed: u64,
+    ) -> (P::Solution, f64) {
         let mut rng = StdRng::seed_from_u64(seed ^ 0x10ca_15ea_2c40_0001);
         let mut best = seed_solution;
         let mut best_score = self.score(&best);

@@ -150,7 +150,10 @@ fn assign_rank_and_crowding<S>(pop: &mut [Individual<S>]) {
     let feasible: Vec<usize> = (0..pop.len()).filter(|&i| pop[i].is_feasible()).collect();
     let infeasible: Vec<usize> = (0..pop.len()).filter(|&i| !pop[i].is_feasible()).collect();
 
-    let objs: Vec<Vec<f64>> = feasible.iter().map(|&i| pop[i].objectives.clone()).collect();
+    let objs: Vec<Vec<f64>> = feasible
+        .iter()
+        .map(|&i| pop[i].objectives.clone())
+        .collect();
     let fronts = non_dominated_sort(&objs);
     let mut num_fronts = 0;
     for (rank, front) in fronts.iter().enumerate() {
@@ -180,9 +183,11 @@ fn assign_rank_and_crowding<S>(pop: &mut [Individual<S>]) {
 /// Keeps the best `n` individuals by `(rank, crowding)`.
 fn environmental_selection<S>(mut pop: Vec<Individual<S>>, n: usize) -> Vec<Individual<S>> {
     pop.sort_by(|a, b| {
-        a.rank
-            .cmp(&b.rank)
-            .then(b.crowding.partial_cmp(&a.crowding).expect("crowding is not NaN"))
+        a.rank.cmp(&b.rank).then(
+            b.crowding
+                .partial_cmp(&a.crowding)
+                .expect("crowding is not NaN"),
+        )
     });
     pop.truncate(n);
     pop

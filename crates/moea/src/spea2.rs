@@ -250,6 +250,17 @@ fn truncate_by_density<S>(entries: &[Entry<S>], mut chosen: Vec<usize>, cap: usi
     chosen
 }
 
+fn tournament(fitness: &[f64], k: usize, rng: &mut StdRng) -> usize {
+    let mut best = rng.gen_range(0..fitness.len());
+    for _ in 1..k.max(1) {
+        let c = rng.gen_range(0..fitness.len());
+        if fitness[c] < fitness[best] {
+            best = c;
+        }
+    }
+    best
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -299,11 +310,7 @@ mod tests {
         let front = Spea2::new(Schaffer, params).run(1);
         assert!(front.len() >= 5, "front size {}", front.len());
         for ind in &front {
-            assert!(
-                (-0.5..=2.5).contains(&ind.solution),
-                "x = {}",
-                ind.solution
-            );
+            assert!((-0.5..=2.5).contains(&ind.solution), "x = {}", ind.solution);
         }
     }
 
@@ -344,15 +351,4 @@ mod tests {
             assert!(ind.is_feasible(), "x = {}", ind.solution);
         }
     }
-}
-
-fn tournament(fitness: &[f64], k: usize, rng: &mut StdRng) -> usize {
-    let mut best = rng.gen_range(0..fitness.len());
-    for _ in 1..k.max(1) {
-        let c = rng.gen_range(0..fitness.len());
-        if fitness[c] < fitness[best] {
-            best = c;
-        }
-    }
-    best
 }

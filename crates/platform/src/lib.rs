@@ -52,7 +52,7 @@ mod tests {
         let mut maskings: Vec<f64> = p
             .pe_types()
             .iter()
-            .map(|t| t.masking_factor())
+            .map(super::pe::PeType::masking_factor)
             .collect();
         maskings.sort_by(|a, b| a.partial_cmp(b).unwrap());
         maskings.dedup();

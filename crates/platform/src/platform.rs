@@ -192,7 +192,8 @@ impl PlatformBuilder {
     /// (the PRR gets the next sequential [`PrrId`]).
     pub fn prr(mut self, bitstream_kib: u32, reload_time_per_kib: f64) -> Self {
         let id = PrrId::new(self.prrs.len());
-        self.prrs.push(Prr::new(id, bitstream_kib, reload_time_per_kib));
+        self.prrs
+            .push(Prr::new(id, bitstream_kib, reload_time_per_kib));
         self
     }
 
@@ -250,7 +251,10 @@ mod tests {
             PlatformError::NoPeTypes
         );
         assert_eq!(
-            Platform::builder().pe_type(simple_type()).build().unwrap_err(),
+            Platform::builder()
+                .pe_type(simple_type())
+                .build()
+                .unwrap_err(),
             PlatformError::NoPes
         );
     }

@@ -190,7 +190,11 @@ mod tests {
 
     #[test]
     fn spaces_contain_the_none_config() {
-        for s in [ConfigSpace::hw_only(), ConfigSpace::coarse(), ConfigSpace::fine()] {
+        for s in [
+            ConfigSpace::hw_only(),
+            ConfigSpace::coarse(),
+            ConfigSpace::fine(),
+        ] {
             assert!(s.configs().contains(&ClrConfig::NONE), "{}", s.name());
         }
     }

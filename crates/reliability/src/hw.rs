@@ -139,7 +139,10 @@ mod tests {
 
     #[test]
     fn display_is_unique() {
-        let mut names: Vec<String> = HwMethod::ALL.iter().map(|m| m.to_string()).collect();
+        let mut names: Vec<String> = HwMethod::ALL
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect();
         names.sort();
         names.dedup();
         assert_eq!(names.len(), HwMethod::ALL.len());

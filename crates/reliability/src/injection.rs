@@ -83,12 +83,7 @@ pub struct FaultInjector {
 impl FaultInjector {
     /// Builds an injector for one `(implementation, PE type, CLR config,
     /// environment)` — the same inputs as [`crate::TaskMetrics::evaluate`].
-    pub fn new(
-        im: &Implementation,
-        pe_type: &PeType,
-        cfg: ClrConfig,
-        fm: FaultModel,
-    ) -> Self {
+    pub fn new(im: &Implementation, pe_type: &PeType, cfg: ClrConfig, fm: FaultModel) -> Self {
         let t_base = im.nominal_time() / pe_type.speed_factor();
         let attempt_time = t_base * cfg.hw.time_factor() * cfg.asw.time_factor();
         let lambda_eff = fm.lambda_seu() * pe_type.masking_factor() * cfg.hw.rate_factor();
@@ -194,7 +189,12 @@ impl FaultInjector {
                 let mut attempts = 0u32;
                 loop {
                     attempts += 1;
-                    time += self.attempt_time + if attempts > 1 { self.retry_overhead } else { 0.0 };
+                    time += self.attempt_time
+                        + if attempts > 1 {
+                            self.retry_overhead
+                        } else {
+                            0.0
+                        };
                     let (err, detected) = self.sample_attempt(self.attempt_time, rng);
                     if !err {
                         return InjectionOutcome {
@@ -396,8 +396,12 @@ mod tests {
 
     #[test]
     fn zero_rate_never_errs() {
-        let injector =
-            FaultInjector::new(&im(), &pe(), ClrConfig::NONE, FaultModel::new(0.0, 1e6, 1.0));
+        let injector = FaultInjector::new(
+            &im(),
+            &pe(),
+            ClrConfig::NONE,
+            FaultModel::new(0.0, 1e6, 1.0),
+        );
         let est = injector.estimate(1_000, 6);
         assert_eq!(est.err_prob, 0.0);
         assert_eq!(est.avg_time, est.max_time);

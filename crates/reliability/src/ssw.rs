@@ -165,15 +165,22 @@ mod tests {
 
     #[test]
     fn rtos_checkpoints_cheaper_than_bare_metal() {
-        let (bm, _, _) = SswMethod::Checkpoint { intervals: 4 }.apply(T, 0.0, 0.9, SwStack::BareMetal);
+        let (bm, _, _) =
+            SswMethod::Checkpoint { intervals: 4 }.apply(T, 0.0, 0.9, SwStack::BareMetal);
         let (rt, _, _) = SswMethod::Checkpoint { intervals: 4 }.apply(T, 0.0, 0.9, SwStack::Rtos);
         assert!(rt < bm);
     }
 
     #[test]
     fn display_encodes_parameters() {
-        assert_eq!(SswMethod::Retry { max_retries: 2 }.to_string(), "ssw:retry2");
-        assert_eq!(SswMethod::Checkpoint { intervals: 4 }.to_string(), "ssw:ckpt4");
+        assert_eq!(
+            SswMethod::Retry { max_retries: 2 }.to_string(),
+            "ssw:retry2"
+        );
+        assert_eq!(
+            SswMethod::Checkpoint { intervals: 4 }.to_string(),
+            "ssw:ckpt4"
+        );
     }
 
     proptest! {

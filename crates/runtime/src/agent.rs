@@ -140,8 +140,12 @@ fn prior_mask() -> u64 {
 }
 
 impl AdaptationPolicy for AuraAgent {
-    fn decide(&mut self, ctx: &RuntimeContext<'_>, current: usize, spec: &QosSpec)
-        -> Option<usize> {
+    fn decide(
+        &mut self,
+        ctx: &RuntimeContext<'_>,
+        current: usize,
+        spec: &QosSpec,
+    ) -> Option<usize> {
         let feas = ctx.feasible(spec);
         ura_argmax(
             ctx,
@@ -219,7 +223,10 @@ mod tests {
         let ura = UraPolicy::new(0.6).unwrap();
         let spec = QosSpec::new(f64::INFINITY, 0.0);
         for current in 0..db.len() {
-            assert_eq!(agent.decide(&ctx, current, &spec), ura.select(&ctx, current, &spec));
+            assert_eq!(
+                agent.decide(&ctx, current, &spec),
+                ura.select(&ctx, current, &spec)
+            );
         }
     }
 

@@ -95,8 +95,16 @@ impl TraceAnalysis {
         let mut out = String::new();
         let _ = writeln!(out, "events:            {}", self.events);
         let _ = writeln!(out, "move rate:         {:.1}%", self.move_rate * 100.0);
-        let _ = writeln!(out, "violation rate:    {:.1}%", self.violation_rate * 100.0);
-        let _ = writeln!(out, "longest violation: {} events", self.longest_violation_run);
+        let _ = writeln!(
+            out,
+            "violation rate:    {:.1}%",
+            self.violation_rate * 100.0
+        );
+        let _ = writeln!(
+            out,
+            "longest violation: {} events",
+            self.longest_violation_run
+        );
         if let Some((p, v)) = self.hottest_point {
             let _ = writeln!(out, "hottest point:     #{p} ({v} visits)");
         }

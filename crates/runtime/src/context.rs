@@ -35,8 +35,8 @@ impl<'a> RuntimeContext<'a> {
         let n = db.len();
         let mut drc = vec![vec![0.0f64; n]; n];
         let mut max_drc = 0.0f64;
-        for i in 0..n {
-            for j in 0..n {
+        for (i, row) in drc.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
                 if i == j {
                     continue;
                 }
@@ -47,13 +47,13 @@ impl<'a> RuntimeContext<'a> {
                     &db.point(j).mapping,
                 )
                 .total();
-                drc[i][j] = c;
+                *cell = c;
                 if c > max_drc {
                     max_drc = c;
                 }
             }
         }
-        let energy_norm = Normalizer::from_iter(db.iter().map(|p| p.metrics.energy))
+        let energy_norm = Normalizer::from_values(db.iter().map(|p| p.metrics.energy))
             .expect("db energies are finite");
         let drc_norm = Normalizer::new(0.0, max_drc.max(1e-12)).expect("drc range is valid");
         Self {
@@ -96,7 +96,9 @@ impl<'a> RuntimeContext<'a> {
     /// Normalised (0–1) performance `R(p) = −J(p)`: 1 is the *best*
     /// (lowest-energy) stored point.
     pub fn norm_performance(&self, point: usize) -> f64 {
-        1.0 - self.energy_norm.normalize(self.db.point(point).metrics.energy)
+        1.0 - self
+            .energy_norm
+            .normalize(self.db.point(point).metrics.energy)
     }
 
     /// Indices of points satisfying `spec` (Algorithm 1's `FEAS`).

@@ -57,8 +57,12 @@ impl HvPolicy {
 }
 
 impl AdaptationPolicy for HvPolicy {
-    fn decide(&mut self, ctx: &RuntimeContext<'_>, _current: usize, spec: &QosSpec)
-        -> Option<usize> {
+    fn decide(
+        &mut self,
+        ctx: &RuntimeContext<'_>,
+        _current: usize,
+        spec: &QosSpec,
+    ) -> Option<usize> {
         self.select(ctx, spec)
     }
 }

@@ -184,8 +184,8 @@ impl QosVariationModel {
 
 fn db_spans(db: &DesignPointDb) -> (Summary, Summary, f64, f64) {
     assert!(!db.is_empty(), "cannot calibrate against an empty database");
-    let makespans = Summary::from_iter(db.iter().map(|p| p.metrics.makespan));
-    let rels = Summary::from_iter(db.iter().map(|p| p.metrics.reliability));
+    let makespans = Summary::from_values(db.iter().map(|p| p.metrics.makespan));
+    let rels = Summary::from_values(db.iter().map(|p| p.metrics.reliability));
     let span_s = (makespans.max - makespans.min).max(makespans.mean.abs() * 0.05 + 1e-9);
     let span_f = (rels.max - rels.min).max(1e-6);
     (makespans, rels, span_s, span_f)

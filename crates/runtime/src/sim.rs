@@ -323,7 +323,10 @@ mod tests {
         let qos = QosVariationModel::calibrated(&db, 0.25, 0.3);
         let mut pol = UraPolicy::new(0.7).unwrap();
         let r = simulate(&ctx, &mut pol, &qos, &SimConfig::quick(5));
-        let min = db.iter().map(|p| p.metrics.energy).fold(f64::INFINITY, f64::min);
+        let min = db
+            .iter()
+            .map(|p| p.metrics.energy)
+            .fold(f64::INFINITY, f64::min);
         let max = db.iter().map(|p| p.metrics.energy).fold(0.0f64, f64::max);
         assert!(r.avg_energy >= min - 1e-9 && r.avg_energy <= max + 1e-9);
     }

@@ -80,8 +80,7 @@ pub(crate) fn ura_argmax(
         .iter()
         .copied()
         .map(|p| {
-            let ret = p_rc * ctx.norm_performance(p)
-                - (1.0 - p_rc) * ctx.norm_drc(current, p)
+            let ret = p_rc * ctx.norm_performance(p) - (1.0 - p_rc) * ctx.norm_drc(current, p)
                 + gamma * value(p);
             (p, ret, ctx.norm_performance(p))
         })
@@ -99,7 +98,12 @@ pub(crate) fn ura_argmax(
 }
 
 impl AdaptationPolicy for UraPolicy {
-    fn decide(&mut self, ctx: &RuntimeContext<'_>, current: usize, spec: &QosSpec) -> Option<usize> {
+    fn decide(
+        &mut self,
+        ctx: &RuntimeContext<'_>,
+        current: usize,
+        spec: &QosSpec,
+    ) -> Option<usize> {
         self.select(ctx, current, spec)
     }
 }
@@ -154,7 +158,10 @@ mod tests {
         let f = fixture(21);
         let ctx = RuntimeContext::new(&f.graph, &f.platform, &f.db);
         let impossible = QosSpec::new(0.0, 1.0);
-        assert_eq!(UraPolicy::new(0.5).unwrap().select(&ctx, 0, &impossible), None);
+        assert_eq!(
+            UraPolicy::new(0.5).unwrap().select(&ctx, 0, &impossible),
+            None
+        );
     }
 
     #[test]
@@ -184,7 +191,10 @@ mod tests {
         let ctx = RuntimeContext::new(&f.graph, &f.platform, &f.db);
         let spec = QosSpec::new(f64::INFINITY, 0.0);
         for current in 0..f.db.len() {
-            let chosen = UraPolicy::new(0.0).unwrap().select(&ctx, current, &spec).unwrap();
+            let chosen = UraPolicy::new(0.0)
+                .unwrap()
+                .select(&ctx, current, &spec)
+                .unwrap();
             // Staying is free (norm_drc = 0) and maximal, so the policy
             // must pick a zero-cost destination — the current point itself
             // unless another point is also zero-dRC away.

@@ -50,13 +50,19 @@ impl fmt::Display for MappingError {
                 write!(f, "task {task} bound to nonexistent pe {pe}")
             }
             MappingError::UnknownImpl { task, impl_id } => {
-                write!(f, "task {task} selects nonexistent implementation {impl_id}")
+                write!(
+                    f,
+                    "task {task} selects nonexistent implementation {impl_id}"
+                )
             }
             MappingError::IncompatiblePeType { task } => {
                 write!(f, "task {task}: implementation targets a different pe type")
             }
             MappingError::Unmappable { task } => {
-                write!(f, "task {task} has no implementation compatible with the platform")
+                write!(
+                    f,
+                    "task {task} has no implementation compatible with the platform"
+                )
             }
         }
     }

@@ -146,8 +146,7 @@ impl<'a> Evaluator<'a> {
         let energy: f64 = task_metrics.iter().map(TaskMetrics::energy).sum();
         let peak_power = peak_power(&schedule, &task_metrics);
 
-        let mean_mttf =
-            task_metrics.iter().map(|m| m.mttf).sum::<f64>() / n.max(1) as f64;
+        let mean_mttf = task_metrics.iter().map(|m| m.mttf).sum::<f64>() / n.max(1) as f64;
 
         (
             SystemMetrics {
@@ -246,10 +245,7 @@ mod tests {
         // == max task power.
         let m = Mapping::first_fit(&g, &p).unwrap();
         let single_pe = m.genes()[0].pe;
-        let all_same = m
-            .genes()
-            .iter()
-            .all(|gene| gene.pe == single_pe);
+        let all_same = m.genes().iter().all(|gene| gene.pe == single_pe);
         let sm = eval.evaluate(&m);
         let max_task_power = g
             .task_ids()

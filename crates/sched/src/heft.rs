@@ -127,8 +127,7 @@ pub fn heft_mapping(
                 best = Some((pe, impl_id, start, fin));
             }
         }
-        let (pe, impl_id, _start, fin) =
-            best.expect("candidates are non-empty by construction");
+        let (pe, impl_id, _start, fin) = best.expect("candidates are non-empty by construction");
         pe_free[pe.index()] = fin;
         finish[t.index()] = fin;
         chosen[t.index()] = Some((pe, impl_id));
@@ -150,6 +149,13 @@ pub fn heft_mapping(
     for (pos, &t) in order.iter().enumerate() {
         mapping.genes_mut()[t.index()].priority = (n - pos) as u32;
     }
+    // Debug-build post-condition at the construction site (mirrors the
+    // `clr-verify` mapping-compatibility lints): HEFT must only emit
+    // mappings that validate against the graph/platform it was given.
+    debug_assert!(
+        mapping.validate(graph, platform).is_ok(),
+        "heft_mapping produced an invalid mapping"
+    );
     Ok(mapping)
 }
 
@@ -189,8 +195,7 @@ mod tests {
         let platform = Platform::dac19();
         let graph = jpeg_encoder();
         let heft = heft_mapping(&graph, &platform, &FaultModel::default()).unwrap();
-        let distinct: std::collections::HashSet<_> =
-            heft.genes().iter().map(|g| g.pe).collect();
+        let distinct: std::collections::HashSet<_> = heft.genes().iter().map(|g| g.pe).collect();
         assert!(distinct.len() > 1, "heft serialised everything on one pe");
     }
 

@@ -71,9 +71,6 @@ mod tests {
         assert!(sm.energy > 0.0);
         assert!(sm.peak_power > 0.0);
         // Identity reconfiguration is free.
-        assert_eq!(
-            reconfiguration_cost(&graph, &platform, &m, &m).total(),
-            0.0
-        );
+        assert_eq!(reconfiguration_cost(&graph, &platform, &m, &m).total(), 0.0);
     }
 }

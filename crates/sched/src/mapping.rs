@@ -153,11 +153,7 @@ impl Mapping {
         let mut seen: Vec<(usize, usize, usize)> = Vec::new(); // (pe, task type, impl)
         for (t, g) in self.genes.iter().enumerate() {
             let task = graph.task(TaskId::new(t));
-            let key = (
-                g.pe.index(),
-                task.type_id().index(),
-                g.impl_id.index(),
-            );
+            let key = (g.pe.index(), task.type_id().index(), g.impl_id.index());
             if seen.contains(&key) {
                 continue;
             }
@@ -185,8 +181,10 @@ mod tests {
 
     fn tiny_graph() -> TaskGraph {
         let mut b = TaskGraphBuilder::new("t", 100.0);
-        b.task("a").implementation(PeTypeId::new(0), SwStack::BareMetal, 10.0);
-        b.task("b").implementation(PeTypeId::new(0), SwStack::BareMetal, 10.0);
+        b.task("a")
+            .implementation(PeTypeId::new(0), SwStack::BareMetal, 10.0);
+        b.task("b")
+            .implementation(PeTypeId::new(0), SwStack::BareMetal, 10.0);
         b.edge(0.into(), 1.into(), 1.0, 4.0);
         b.build().unwrap()
     }

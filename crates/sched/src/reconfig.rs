@@ -155,7 +155,9 @@ mod tests {
         m2.genes_mut()[0].pe = other;
         let c = reconfiguration_cost(&g, &p, &m, &m2);
         assert_eq!(c.migrated_tasks, 1);
-        let kib = g.implementation(0.into(), m.gene(0.into()).impl_id).binary_kib() as f64;
+        let kib = g
+            .implementation(0.into(), m.gene(0.into()).impl_id)
+            .binary_kib() as f64;
         assert!((c.migration_time - p.interconnect().transfer_time(kib)).abs() < 1e-12);
         assert!(c.migration_energy > 0.0);
     }

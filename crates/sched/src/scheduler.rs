@@ -99,8 +99,10 @@ pub fn list_schedule(graph: &TaskGraph, mapping: &Mapping, exec_time: &[f64]) ->
         .max()
         .unwrap_or(1);
     let mut pe_free = vec![0.0f64; num_pes];
-    let mut remaining_preds: Vec<usize> =
-        graph.task_ids().map(|t| graph.predecessors(t).count()).collect();
+    let mut remaining_preds: Vec<usize> = graph
+        .task_ids()
+        .map(|t| graph.predecessors(t).count())
+        .collect();
     // data_ready[t]: all predecessor outputs (incl. comm) available.
     let mut data_ready = vec![0.0f64; n];
     let mut done = vec![false; n];
@@ -155,14 +157,33 @@ pub fn list_schedule(graph: &TaskGraph, mapping: &Mapping, exec_time: &[f64]) ->
     }
 
     let makespan = entries.iter().map(|e| e.end).fold(0.0, f64::max);
+
+    // Debug-build post-conditions at the construction site: the cheapest
+    // subset of the `clr-verify` schedule lints (well-formed intervals and
+    // precedence edges), so scheduler regressions fail here rather than in
+    // a downstream audit.
+    debug_assert!(
+        entries
+            .iter()
+            .all(|e| e.start.is_finite() && e.end.is_finite() && e.end >= e.start),
+        "list_schedule produced a malformed entry interval"
+    );
+    debug_assert!(
+        graph
+            .edges()
+            .iter()
+            .all(|e| { entries[e.dst().index()].start >= entries[e.src().index()].end - 1e-9 }),
+        "list_schedule violated a precedence edge"
+    );
+
     Schedule { entries, makespan }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use clr_platform::{PeId, Platform};
     use clr_platform::PeTypeId;
+    use clr_platform::{PeId, Platform};
     use clr_taskgraph::{SwStack, TaskGraph, TaskGraphBuilder};
     use proptest::prelude::*;
 
@@ -274,7 +295,7 @@ mod tests {
 
             // Upper bound: complete serialisation of all work + all comm.
             let total: f64 = times.iter().sum::<f64>()
-                + g.edges().iter().map(|e| e.comm_time()).sum::<f64>();
+                + g.edges().iter().map(clr_taskgraph::Edge::comm_time).sum::<f64>();
             prop_assert!(s.makespan() <= total + 1e-9);
         }
     }

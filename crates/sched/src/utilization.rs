@@ -124,7 +124,12 @@ pub fn validate_schedule(
         }
     }
     // PE exclusivity.
-    let num_pes = schedule.entries().iter().map(|e| e.pe + 1).max().unwrap_or(0);
+    let num_pes = schedule
+        .entries()
+        .iter()
+        .map(|e| e.pe + 1)
+        .max()
+        .unwrap_or(0);
     for pe in 0..num_pes {
         let mut on_pe: Vec<_> = schedule.entries().iter().filter(|e| e.pe == pe).collect();
         on_pe.sort_by(|a, b| a.start.partial_cmp(&b.start).expect("times are finite"));
@@ -186,7 +191,10 @@ mod tests {
         let u = utilization(&s, p.num_pes());
         let total_busy: f64 = u.busy.iter().sum();
         assert!((total_busy - 10.0 * g.num_tasks() as f64).abs() < 1e-9);
-        assert!(u.utilization.iter().all(|&x| (0.0..=1.0 + 1e-9).contains(&x)));
+        assert!(u
+            .utilization
+            .iter()
+            .all(|&x| (0.0..=1.0 + 1e-9).contains(&x)));
     }
 
     #[test]

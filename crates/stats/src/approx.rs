@@ -1,0 +1,81 @@
+//! Named floating-point tolerances and approximate-equality helpers.
+//!
+//! The workspace compares derived metrics (makespans, energies,
+//! reliabilities, reconfiguration distances) all over the pipeline; this
+//! module replaces the ad-hoc `1e-9`/`1e-12` literals with named
+//! constants so every layer — the design-point database's duplicate
+//! detection, the scheduler's precedence checks and the `clr-verify`
+//! lints — agrees on what "numerically equal" means.
+
+/// Absolute tolerance for *time-* and *energy-like* quantities
+/// (makespans, execution times, energies, reconfiguration distances):
+/// values with magnitudes around `1e0`–`1e6` where accumulated rounding
+/// across a schedule stays far below a nanosecond-scale unit.
+pub const EPS_TIME: f64 = 1e-9;
+
+/// Absolute tolerance for *probability-like* quantities (reliabilities,
+/// error rates, masking factors): values confined to `[0, 1]` where
+/// double precision leaves ~`1e-16` of headroom.
+pub const EPS_PROBABILITY: f64 = 1e-12;
+
+/// `true` if `a` and `b` differ by at most `eps`.
+///
+/// Non-finite inputs are never approximately equal (`NaN` breaks every
+/// comparison; two same-signed infinities still compare unequal so that
+/// corrupted metrics cannot masquerade as duplicates).
+///
+/// # Examples
+///
+/// ```
+/// use clr_stats::{approx_eq, EPS_TIME};
+/// assert!(approx_eq(1.0, 1.0 + 1e-12, EPS_TIME));
+/// assert!(!approx_eq(1.0, 1.1, EPS_TIME));
+/// assert!(!approx_eq(f64::NAN, f64::NAN, EPS_TIME));
+/// ```
+#[must_use]
+pub fn approx_eq(a: f64, b: f64, eps: f64) -> bool {
+    a.is_finite() && b.is_finite() && (a - b).abs() <= eps
+}
+
+/// `true` if two time-like values are equal under [`EPS_TIME`].
+#[must_use]
+pub fn approx_eq_time(a: f64, b: f64) -> bool {
+    approx_eq(a, b, EPS_TIME)
+}
+
+/// `true` if two probability-like values are equal under
+/// [`EPS_PROBABILITY`].
+#[must_use]
+pub fn approx_eq_probability(a: f64, b: f64) -> bool {
+    approx_eq(a, b, EPS_PROBABILITY)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn within_tolerance_is_equal() {
+        assert!(approx_eq_time(5.0, 5.0 + 0.5 * EPS_TIME));
+        assert!(approx_eq_probability(0.9, 0.9 + 0.5 * EPS_PROBABILITY));
+    }
+
+    #[test]
+    fn outside_tolerance_is_unequal() {
+        assert!(!approx_eq_time(5.0, 5.0 + 2.0 * EPS_TIME));
+        assert!(!approx_eq_probability(0.9, 0.9 + 2.0 * EPS_PROBABILITY));
+    }
+
+    #[test]
+    fn non_finite_never_equal() {
+        assert!(!approx_eq(f64::NAN, 0.0, EPS_TIME));
+        assert!(!approx_eq(f64::INFINITY, f64::INFINITY, EPS_TIME));
+        assert!(!approx_eq(0.0, f64::NEG_INFINITY, EPS_TIME));
+    }
+
+    #[test]
+    fn tolerance_is_inclusive() {
+        // 0.0 and EPS_TIME differ by exactly EPS_TIME (no rounding).
+        assert!(approx_eq(0.0, EPS_TIME, EPS_TIME));
+    }
+}

@@ -264,7 +264,7 @@ mod tests {
     fn normal_moments_match() {
         let mut r = rng(3);
         let n = Normal::new(-4.0, 3.0).unwrap();
-        let s = Summary::from_iter((0..50_000).map(|_| n.sample(&mut r)));
+        let s = Summary::from_values((0..50_000).map(|_| n.sample(&mut r)));
         assert!((s.mean + 4.0).abs() < 0.05, "mean {}", s.mean);
         assert!((s.std_dev - 3.0).abs() < 0.05, "std {}", s.std_dev);
     }
@@ -322,7 +322,7 @@ mod tests {
         let mut r = rng(6);
         let d = Exponential::with_mean(100.0).unwrap();
         assert!((d.mean() - 100.0).abs() < 1e-12);
-        let s = Summary::from_iter((0..50_000).map(|_| d.sample(&mut r)));
+        let s = Summary::from_values((0..50_000).map(|_| d.sample(&mut r)));
         assert!((s.mean - 100.0).abs() < 2.0, "mean {}", s.mean);
         assert!(s.min > 0.0);
     }

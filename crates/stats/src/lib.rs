@@ -17,16 +17,18 @@
 //! let normal = Normal::new(10.0, 2.0).unwrap();
 //! let exp = Exponential::new(0.01).unwrap();
 //! let xs: Vec<f64> = (0..1000).map(|_| normal.sample(&mut rng)).collect();
-//! let summary = Summary::from_iter(xs.iter().copied());
+//! let summary = Summary::from_values(xs.iter().copied());
 //! assert!((summary.mean - 10.0).abs() < 0.5);
 //! let _gap = exp.sample(&mut rng);
 //! ```
 
+mod approx;
 mod distributions;
 mod histogram;
 mod special;
 mod summary;
 
+pub use approx::{approx_eq, approx_eq_probability, approx_eq_time, EPS_PROBABILITY, EPS_TIME};
 pub use distributions::{BivariateNormal, DistributionError, Exponential, Normal};
 pub use histogram::{percentile, Histogram};
 pub use special::{gamma, ln_gamma};
@@ -41,7 +43,7 @@ mod tests {
     fn crate_level_smoke() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         let n = Normal::new(0.0, 1.0).unwrap();
-        let s = Summary::from_iter((0..10_000).map(|_| n.sample(&mut rng)));
+        let s = Summary::from_values((0..10_000).map(|_| n.sample(&mut rng)));
         assert!(s.mean.abs() < 0.05, "mean {}", s.mean);
         assert!((s.std_dev - 1.0).abs() < 0.05, "std {}", s.std_dev);
     }

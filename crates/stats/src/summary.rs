@@ -14,7 +14,7 @@ use serde::{Deserialize, Serialize};
 ///
 /// ```
 /// use clr_stats::Summary;
-/// let s = Summary::from_iter([1.0, 2.0, 3.0, 4.0]);
+/// let s = Summary::from_values([1.0, 2.0, 3.0, 4.0]);
 /// assert_eq!(s.count, 4);
 /// assert_eq!(s.mean, 2.5);
 /// assert_eq!(s.min, 1.0);
@@ -38,7 +38,7 @@ pub struct Summary {
 
 impl Summary {
     /// Computes summary statistics over an iterator of observations.
-    pub fn from_iter<I: IntoIterator<Item = f64>>(values: I) -> Self {
+    pub fn from_values<I: IntoIterator<Item = f64>>(values: I) -> Self {
         let mut count = 0usize;
         let mut mean = 0.0f64;
         let mut m2 = 0.0f64;
@@ -87,7 +87,7 @@ impl Default for Summary {
 
 impl FromIterator<f64> for Summary {
     fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
-        Summary::from_iter(iter)
+        Summary::from_values(iter)
     }
 }
 
@@ -100,7 +100,7 @@ impl FromIterator<f64> for Summary {
 ///
 /// ```
 /// use clr_stats::Normalizer;
-/// let n = Normalizer::from_iter([10.0, 20.0, 30.0]).unwrap();
+/// let n = Normalizer::from_values([10.0, 20.0, 30.0]).unwrap();
 /// assert_eq!(n.normalize(10.0), 0.0);
 /// assert_eq!(n.normalize(30.0), 1.0);
 /// assert_eq!(n.normalize(20.0), 0.5);
@@ -127,7 +127,7 @@ impl Normalizer {
     /// Builds a normaliser from the observed range of an iterator.
     ///
     /// Returns `None` if the iterator is empty or contains non-finite values.
-    pub fn from_iter<I: IntoIterator<Item = f64>>(values: I) -> Option<Self> {
+    pub fn from_values<I: IntoIterator<Item = f64>>(values: I) -> Option<Self> {
         let mut min = f64::INFINITY;
         let mut max = f64::NEG_INFINITY;
         let mut any = false;
@@ -198,7 +198,7 @@ mod tests {
 
     #[test]
     fn summary_single_value() {
-        let s = Summary::from_iter([7.5]);
+        let s = Summary::from_values([7.5]);
         assert_eq!(s.count, 1);
         assert_eq!(s.mean, 7.5);
         assert_eq!(s.std_dev, 0.0);
@@ -208,7 +208,7 @@ mod tests {
 
     #[test]
     fn summary_known_std() {
-        let s = Summary::from_iter([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        let s = Summary::from_values([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
         assert!((s.mean - 5.0).abs() < 1e-12);
         // Sample std-dev of this classic data set is sqrt(32/7).
         assert!((s.std_dev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
@@ -224,8 +224,8 @@ mod tests {
     fn normalizer_rejects_bad_ranges() {
         assert!(Normalizer::new(2.0, 1.0).is_none());
         assert!(Normalizer::new(f64::NAN, 1.0).is_none());
-        assert!(Normalizer::from_iter(std::iter::empty()).is_none());
-        assert!(Normalizer::from_iter([1.0, f64::INFINITY]).is_none());
+        assert!(Normalizer::from_values(std::iter::empty()).is_none());
+        assert!(Normalizer::from_values([1.0, f64::INFINITY]).is_none());
     }
 
     #[test]
@@ -252,7 +252,7 @@ mod tests {
 
         #[test]
         fn summary_mean_within_bounds(values in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
-            let s = Summary::from_iter(values.iter().copied());
+            let s = Summary::from_values(values.iter().copied());
             prop_assert!(s.min <= s.mean + 1e-9);
             prop_assert!(s.mean <= s.max + 1e-9);
             prop_assert_eq!(s.count, values.len());

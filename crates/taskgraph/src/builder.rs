@@ -72,7 +72,8 @@ impl TaskGraphBuilder {
     /// Appends a dependency edge with a cross-PE transfer time and payload.
     pub fn edge(&mut self, src: TaskId, dst: TaskId, comm_time: f64, data_kib: f64) -> EdgeId {
         let id = EdgeId::new(self.edges.len());
-        self.edges.push(Edge::new(id, src, dst, comm_time, data_kib));
+        self.edges
+            .push(Edge::new(id, src, dst, comm_time, data_kib));
         id
     }
 
@@ -88,9 +89,14 @@ impl TaskGraphBuilder {
     /// Returns [`GraphError`] if the graph is empty, has dangling or
     /// self-loop edges, contains a cycle, or any task lacks implementations.
     pub fn build(self) -> Result<TaskGraph, GraphError> {
-        let (preds, succs, topo) = validate_and_sort(&self.tasks, &self.edges, &self.impls)?;
+        let topology = validate_and_sort(&self.tasks, &self.edges, &self.impls)?;
         Ok(TaskGraph::from_validated_parts(
-            self.name, self.tasks, self.edges, self.impls, self.period, preds, succs, topo,
+            self.name,
+            self.tasks,
+            self.edges,
+            self.impls,
+            self.period,
+            topology,
         ))
     }
 }
@@ -218,8 +224,11 @@ mod tests {
     #[test]
     fn shared_task_types_are_preserved() {
         let mut b = TaskGraphBuilder::new("t", 1.0);
-        b.task_with_type("a", TaskTypeId::new(5))
-            .implementation(PeTypeId::new(0), SwStack::BareMetal, 1.0);
+        b.task_with_type("a", TaskTypeId::new(5)).implementation(
+            PeTypeId::new(0),
+            SwStack::BareMetal,
+            1.0,
+        );
         let g = b.build().unwrap();
         assert_eq!(g.task(0.into()).type_id(), TaskTypeId::new(5));
     }

@@ -25,7 +25,7 @@ pub fn to_dot(graph: &TaskGraph) -> String {
         let accelerated = graph
             .implementations(t.id())
             .iter()
-            .any(|im| im.accelerated());
+            .any(super::implementation::Implementation::accelerated);
         let shape = if accelerated { "box" } else { "ellipse" };
         let _ = writeln!(
             out,

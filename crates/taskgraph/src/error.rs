@@ -51,6 +51,8 @@ mod tests {
     #[test]
     fn display_is_meaningful() {
         assert!(GraphError::Cycle.to_string().contains("cycle"));
-        assert!(GraphError::DanglingEdge { edge: 5 }.to_string().contains('5'));
+        assert!(GraphError::DanglingEdge { edge: 5 }
+            .to_string()
+            .contains('5'));
     }
 }

@@ -61,7 +61,9 @@ pub fn fork_join_graph(config: &TgffConfig, seed: u64) -> TaskGraph {
                     stack,
                     base * affinity,
                 )
-                .with_binary_kib(rng.gen_range(config.binary_kib_range.0..config.binary_kib_range.1));
+                .with_binary_kib(
+                    rng.gen_range(config.binary_kib_range.0..config.binary_kib_range.1),
+                );
                 h.implementation_full(im);
             }
         }
@@ -120,8 +122,13 @@ pub fn fork_join_graph(config: &TgffConfig, seed: u64) -> TaskGraph {
     }
 
     // Rebuild with the computed period (mirrors the TGFF-style generator).
-    let period = config.period_slack * avg_time_sum / 4.0;
+    // The slack heuristic assumes ~4-way parallelism, which a mostly
+    // serial chain violates, so never drop below the fastest critical
+    // path (the infinite-PE makespan lower bound).
     let g = b.build().expect("fork-join construction is valid");
+    let min_times = g.min_nominal_times();
+    let floor = g.critical_path(|t| min_times[t.index()]);
+    let period = (config.period_slack * avg_time_sum / 4.0).max(floor);
     let mut b2 = TaskGraphBuilder::new(g.name().to_string(), period);
     for task in g.tasks() {
         let mut h = b2.task_with_type(task.name().to_string(), task.type_id());
@@ -161,7 +168,11 @@ mod tests {
     fn forks_create_width() {
         let g = fork_join_graph(&TgffConfig::with_tasks(40), 11);
         let m = graph_metrics(&g);
-        assert!(m.width >= 2, "expected at least one fork, width {}", m.width);
+        assert!(
+            m.width >= 2,
+            "expected at least one fork, width {}",
+            m.width
+        );
         assert_eq!(g.sinks().len(), 1, "chain of blocks ends in one sink");
     }
 

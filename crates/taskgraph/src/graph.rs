@@ -42,10 +42,9 @@ impl TaskGraph {
         edges: Vec<Edge>,
         impls: Vec<Vec<Implementation>>,
         period: f64,
-        preds: Vec<Vec<usize>>,
-        succs: Vec<Vec<usize>>,
-        topo: Vec<TaskId>,
+        topology: ValidatedTopology,
     ) -> Self {
+        let (preds, succs, topo) = topology;
         Self {
             name,
             tasks,
@@ -132,12 +131,12 @@ impl TaskGraph {
 
     /// Direct predecessors of `id`.
     pub fn predecessors(&self, id: TaskId) -> impl Iterator<Item = TaskId> + '_ {
-        self.in_edges(id).map(|e| e.src())
+        self.in_edges(id).map(super::edge::Edge::src)
     }
 
     /// Direct successors of `id`.
     pub fn successors(&self, id: TaskId) -> impl Iterator<Item = TaskId> + '_ {
-        self.out_edges(id).map(|e| e.dst())
+        self.out_edges(id).map(super::edge::Edge::dst)
     }
 
     /// Tasks with no predecessors.
@@ -229,12 +228,16 @@ impl TaskGraph {
     }
 }
 
+/// Adjacency lists (`preds`, `succs`) and a topological order, as produced
+/// by [`validate_and_sort`].
+pub(crate) type ValidatedTopology = (Vec<Vec<usize>>, Vec<Vec<usize>>, Vec<TaskId>);
+
 /// Validation and topological sorting shared with the builder.
 pub(crate) fn validate_and_sort(
     tasks: &[Task],
     edges: &[Edge],
     impls: &[Vec<Implementation>],
-) -> Result<(Vec<Vec<usize>>, Vec<Vec<usize>>, Vec<TaskId>), GraphError> {
+) -> Result<ValidatedTopology, GraphError> {
     if tasks.is_empty() {
         return Err(GraphError::Empty);
     }
@@ -246,7 +249,9 @@ pub(crate) fn validate_and_sort(
             return Err(GraphError::DanglingEdge { edge: i });
         }
         if e.src() == e.dst() {
-            return Err(GraphError::SelfLoop { task: e.src().index() });
+            return Err(GraphError::SelfLoop {
+                task: e.src().index(),
+            });
         }
         preds[e.dst().index()].push(i);
         succs[e.src().index()].push(i);
@@ -258,7 +263,10 @@ pub(crate) fn validate_and_sort(
     }
     // Kahn's algorithm.
     let mut in_deg: Vec<usize> = preds.iter().map(Vec::len).collect();
-    let mut queue: Vec<TaskId> = (0..n).filter(|&t| in_deg[t] == 0).map(TaskId::new).collect();
+    let mut queue: Vec<TaskId> = (0..n)
+        .filter(|&t| in_deg[t] == 0)
+        .map(TaskId::new)
+        .collect();
     let mut topo = Vec::with_capacity(n);
     while let Some(t) = queue.pop() {
         topo.push(t);
@@ -279,16 +287,19 @@ pub(crate) fn validate_and_sort(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::SwStack;
     use crate::{jpeg_encoder, TaskGraphBuilder};
     use clr_platform::PeTypeId;
-    use crate::SwStack;
 
     fn diamond() -> TaskGraph {
         // 0 -> {1, 2} -> 3
         let mut b = TaskGraphBuilder::new("diamond", 100.0);
         for i in 0..4 {
-            b.task(format!("t{i}"))
-                .implementation(PeTypeId::new(0), SwStack::BareMetal, 10.0 + i as f64);
+            b.task(format!("t{i}")).implementation(
+                PeTypeId::new(0),
+                SwStack::BareMetal,
+                10.0 + i as f64,
+            );
         }
         b.edge(0.into(), 1.into(), 1.0, 4.0);
         b.edge(0.into(), 2.into(), 1.0, 4.0);

@@ -105,7 +105,7 @@ mod tests {
             assert!(g
                 .implementations(d.id())
                 .iter()
-                .any(|im| im.accelerated()));
+                .any(super::super::implementation::Implementation::accelerated));
         }
     }
 

@@ -61,7 +61,7 @@ pub fn graph_metrics(graph: &TaskGraph) -> GraphMetrics {
     }
     let width = width_at.iter().copied().max().unwrap_or(0);
 
-    let comm: f64 = graph.edges().iter().map(|e| e.comm_time()).sum();
+    let comm: f64 = graph.edges().iter().map(super::edge::Edge::comm_time).sum();
     let comp: f64 = graph.min_nominal_times().iter().sum();
     let impls: usize = graph
         .task_ids()

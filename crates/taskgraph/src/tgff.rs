@@ -112,14 +112,19 @@ impl TgffGenerator {
     pub fn generate(&self, seed: u64) -> TaskGraph {
         let c = &self.config;
         assert!(c.num_tasks > 0, "tgff config must request at least 1 task");
-        assert!(c.num_pe_types > 0, "tgff config must have at least 1 pe type");
+        assert!(
+            c.num_pe_types > 0,
+            "tgff config must have at least 1 pe type"
+        );
         let mut rng = StdRng::seed_from_u64(seed ^ 0x7a5f_00d5_c0ff_ee00);
 
         // --- 1. Assign tasks to layers. -------------------------------
         let mut layers: Vec<Vec<usize>> = Vec::new();
         let mut t = 0usize;
         while t < c.num_tasks {
-            let width = (rng.gen_range(0.5..1.5) * c.avg_layer_width).round().max(1.0) as usize;
+            let width = (rng.gen_range(0.5..1.5) * c.avg_layer_width)
+                .round()
+                .max(1.0) as usize;
             let width = width.min(c.num_tasks - t);
             layers.push((t..t + width).collect());
             t += width;
@@ -215,8 +220,13 @@ impl TgffGenerator {
         }
 
         // --- 4. Period with slack. --------------------------------------
-        let period = c.period_slack * avg_time_sum / 4.0;
+        // The slack heuristic assumes ~4-way parallelism; clamp to the
+        // fastest critical path so deep layered graphs keep a feasible
+        // period (the infinite-PE makespan lower bound).
         let mut g = b.build().expect("generated graph is valid by construction");
+        let min_times = g.min_nominal_times();
+        let floor = g.critical_path(|t| min_times[t.index()]);
+        let period = (c.period_slack * avg_time_sum / 4.0).max(floor);
         // Rebuild with the computed period (builder captured period 0).
         g = {
             let mut b2 = TaskGraphBuilder::new(g.name().to_string(), period);
@@ -314,7 +324,11 @@ mod tests {
         let g = TgffGenerator::new(TgffConfig::with_tasks(60)).generate(11);
         let accel = g
             .task_ids()
-            .filter(|&t| g.implementations(t).iter().any(|i| i.accelerated()))
+            .filter(|&t| {
+                g.implementations(t)
+                    .iter()
+                    .any(super::super::implementation::Implementation::accelerated)
+            })
             .count();
         assert!(accel > 0, "expected some accelerated tasks");
     }

@@ -182,11 +182,11 @@ pub fn parse_tgff(doc: &str, options: &TgffParseOptions) -> Result<TaskGraph, Tg
                 while i + 1 < rest.len() + 1 {
                     match rest.get(i) {
                         Some(&"FROM") => {
-                            from = rest.get(i + 1).map(|s| s.to_string());
+                            from = rest.get(i + 1).map(std::string::ToString::to_string);
                             i += 2;
                         }
                         Some(&"TO") => {
-                            to = rest.get(i + 1).map(|s| s.to_string());
+                            to = rest.get(i + 1).map(std::string::ToString::to_string);
                             i += 2;
                         }
                         Some(&"TYPE") => {
@@ -200,9 +200,8 @@ pub fn parse_tgff(doc: &str, options: &TgffParseOptions) -> Result<TaskGraph, Tg
                         None => break,
                     }
                 }
-                let (from, to) = match (from, to) {
-                    (Some(f), Some(t)) => (f, t),
-                    _ => return Err(TgffParseError::Malformed { line: line.into() }),
+                let (Some(from), Some(to)) = (from, to) else {
+                    return Err(TgffParseError::Malformed { line: line.into() });
                 };
                 arcs.push((from, to, ty));
             }
@@ -345,7 +344,8 @@ mod tests {
 
     #[test]
     fn comments_and_unknown_records_are_skipped() {
-        let doc = "@TASK_GRAPH 0 {\n # comment\n TASK a TYPE 0 # trailing\n SOFT_DEADLINE x ON a AT 5\n}";
+        let doc =
+            "@TASK_GRAPH 0 {\n # comment\n TASK a TYPE 0 # trailing\n SOFT_DEADLINE x ON a AT 5\n}";
         let g = parse_tgff(doc, &TgffParseOptions::default()).unwrap();
         assert_eq!(g.num_tasks(), 1);
     }
@@ -371,12 +371,10 @@ pub(crate) mod tests_support {
     /// `Some(())` if every task has a platform-compatible implementation.
     pub fn first_fit(graph: &TaskGraph, platform: &Platform) -> Option<()> {
         for t in graph.task_ids() {
-            let ok = graph.implementations(t).iter().any(|im| {
-                platform
-                    .pes()
-                    .iter()
-                    .any(|pe| pe.type_id() == im.pe_type())
-            });
+            let ok = graph
+                .implementations(t)
+                .iter()
+                .any(|im| platform.pes().iter().any(|pe| pe.type_id() == im.pe_type()));
             if !ok {
                 return None;
             }

@@ -1,0 +1,309 @@
+//! The lint registry: every check `clr-verify` performs has a stable
+//! `CLR0xx` code, a fixed severity and a one-line fix hint.
+//!
+//! Codes are grouped by pipeline stage: `CLR00x` task graphs, `CLR01x`
+//! platforms, `CLR02x` mappings/schedules, `CLR03x` design-point
+//! databases, `CLR04x` run-time policies. Codes are append-only — a
+//! retired lint's number is never reused.
+
+use crate::Severity;
+
+/// A registered lint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum LintCode {
+    // ----- task graphs (CLR00x) -----------------------------------------
+    /// CLR001: the task graph contains a dependency cycle.
+    GraphCycle,
+    /// CLR002: an edge endpoint indexes a task that does not exist.
+    EdgeEndpointOutOfRange,
+    /// CLR003: a task has an empty implementation set.
+    EmptyImplementationSet,
+    /// CLR004: a nominal execution time, communication time or payload is
+    /// negative or non-finite.
+    NegativeTiming,
+    /// CLR005: the graph period is non-positive or non-finite.
+    NonPositivePeriod,
+    /// CLR006: the period is shorter than the zero-communication critical
+    /// path of the fastest implementations — no mapping can meet it.
+    PeriodBelowCriticalPath,
+
+    // ----- platforms (CLR01x) -------------------------------------------
+    /// CLR010: the platform has no processing elements.
+    NoProcessingElements,
+    /// CLR011: the interconnect model is unusable (non-positive or
+    /// non-finite bandwidth, negative latency or energy).
+    InterconnectInvalid,
+    /// CLR012: a PE advertises zero local memory — nothing can be mapped
+    /// onto it.
+    ZeroMemoryPe,
+    /// CLR013: the application carries accelerated implementations but the
+    /// platform has no partially reconfigurable regions to host them.
+    AcceleratedWithoutPrr,
+    /// CLR014: a PRR has a zero-size bit-stream, making reconfiguration of
+    /// that region free — almost certainly a modelling mistake.
+    PrrZeroBitstream,
+
+    // ----- mappings & schedules (CLR02x) --------------------------------
+    /// CLR020: the mapping's shape does not fit the graph/platform (gene
+    /// count, unknown PE, unknown implementation).
+    MappingShapeMismatch,
+    /// CLR021: a task is bound to a PE whose type cannot execute the
+    /// chosen implementation.
+    MappingIncompatiblePeType,
+    /// CLR022: the binaries resident on some PE exceed its local memory.
+    MemoryCapacityExceeded,
+    /// CLR023: a task starts before a predecessor's data can arrive.
+    SchedulePrecedenceBreach,
+    /// CLR024: two tasks overlap on one PE (double booking).
+    SchedulePeOverlap,
+    /// CLR025: a schedule entry ends before it starts.
+    ScheduleNegativeDuration,
+
+    // ----- design-point databases (CLR03x) ------------------------------
+    /// CLR030: the database holds no points — the run-time layer cannot
+    /// adapt over it.
+    EmptyDatabase,
+    /// CLR031: a Pareto-origin point is dominated by another stored point
+    /// in the exploration objective space.
+    DominatedParetoPoint,
+    /// CLR032: a reconfiguration-aware extra degrades beyond the tolerance
+    /// band of every Pareto point it could have been seeded from.
+    RedDegradationExceeded,
+    /// CLR033: two stored points have numerically identical metrics.
+    DuplicatePoints,
+    /// CLR034: a stored metric is out of range (non-finite or negative
+    /// time/energy, reliability outside `[0, 1]`).
+    MetricOutOfRange,
+    /// CLR035: the database does not survive a text-codec round trip.
+    RoundTripMismatch,
+    /// CLR036: stored metrics disagree with re-evaluating the stored
+    /// mapping (stale or tampered artifact).
+    StaleMetrics,
+    /// CLR037: a persisted `dRC` matrix entry disagrees with the
+    /// recomputed reconfiguration distance.
+    DrcMatrixMismatch,
+
+    // ----- run-time policies (CLR04x) -----------------------------------
+    /// CLR040: a policy parameter is outside its domain
+    /// (`p_RC ∉ [0, 1]`, `γ ∉ [0, 1)`, `α ∉ (0, 1]`).
+    PolicyParamOutOfRange,
+    /// CLR041: an AuRA agent claiming `γ = 0` diverges from uRA — the
+    /// Algorithm-1 equivalence is broken.
+    AuraUraDivergence,
+}
+
+impl LintCode {
+    /// Every registered lint, in code order.
+    pub const ALL: [LintCode; 27] = [
+        LintCode::GraphCycle,
+        LintCode::EdgeEndpointOutOfRange,
+        LintCode::EmptyImplementationSet,
+        LintCode::NegativeTiming,
+        LintCode::NonPositivePeriod,
+        LintCode::PeriodBelowCriticalPath,
+        LintCode::NoProcessingElements,
+        LintCode::InterconnectInvalid,
+        LintCode::ZeroMemoryPe,
+        LintCode::AcceleratedWithoutPrr,
+        LintCode::PrrZeroBitstream,
+        LintCode::MappingShapeMismatch,
+        LintCode::MappingIncompatiblePeType,
+        LintCode::MemoryCapacityExceeded,
+        LintCode::SchedulePrecedenceBreach,
+        LintCode::SchedulePeOverlap,
+        LintCode::ScheduleNegativeDuration,
+        LintCode::EmptyDatabase,
+        LintCode::DominatedParetoPoint,
+        LintCode::RedDegradationExceeded,
+        LintCode::DuplicatePoints,
+        LintCode::MetricOutOfRange,
+        LintCode::RoundTripMismatch,
+        LintCode::StaleMetrics,
+        LintCode::DrcMatrixMismatch,
+        LintCode::PolicyParamOutOfRange,
+        LintCode::AuraUraDivergence,
+    ];
+
+    /// The stable `CLRnnn` code string.
+    pub fn code(&self) -> &'static str {
+        match self {
+            LintCode::GraphCycle => "CLR001",
+            LintCode::EdgeEndpointOutOfRange => "CLR002",
+            LintCode::EmptyImplementationSet => "CLR003",
+            LintCode::NegativeTiming => "CLR004",
+            LintCode::NonPositivePeriod => "CLR005",
+            LintCode::PeriodBelowCriticalPath => "CLR006",
+            LintCode::NoProcessingElements => "CLR010",
+            LintCode::InterconnectInvalid => "CLR011",
+            LintCode::ZeroMemoryPe => "CLR012",
+            LintCode::AcceleratedWithoutPrr => "CLR013",
+            LintCode::PrrZeroBitstream => "CLR014",
+            LintCode::MappingShapeMismatch => "CLR020",
+            LintCode::MappingIncompatiblePeType => "CLR021",
+            LintCode::MemoryCapacityExceeded => "CLR022",
+            LintCode::SchedulePrecedenceBreach => "CLR023",
+            LintCode::SchedulePeOverlap => "CLR024",
+            LintCode::ScheduleNegativeDuration => "CLR025",
+            LintCode::EmptyDatabase => "CLR030",
+            LintCode::DominatedParetoPoint => "CLR031",
+            LintCode::RedDegradationExceeded => "CLR032",
+            LintCode::DuplicatePoints => "CLR033",
+            LintCode::MetricOutOfRange => "CLR034",
+            LintCode::RoundTripMismatch => "CLR035",
+            LintCode::StaleMetrics => "CLR036",
+            LintCode::DrcMatrixMismatch => "CLR037",
+            LintCode::PolicyParamOutOfRange => "CLR040",
+            LintCode::AuraUraDivergence => "CLR041",
+        }
+    }
+
+    /// The fixed severity of this lint.
+    pub fn severity(&self) -> Severity {
+        match self {
+            LintCode::PeriodBelowCriticalPath
+            | LintCode::ZeroMemoryPe
+            | LintCode::AcceleratedWithoutPrr
+            | LintCode::PrrZeroBitstream
+            | LintCode::DuplicatePoints => Severity::Warn,
+            _ => Severity::Deny,
+        }
+    }
+
+    /// A one-line description of what the lint checks.
+    pub fn description(&self) -> &'static str {
+        match self {
+            LintCode::GraphCycle => "task graph must be a DAG",
+            LintCode::EdgeEndpointOutOfRange => "edge endpoints must reference existing tasks",
+            LintCode::EmptyImplementationSet => "every task needs at least one implementation",
+            LintCode::NegativeTiming => "times and payloads must be finite and non-negative",
+            LintCode::NonPositivePeriod => "the application period must be positive",
+            LintCode::PeriodBelowCriticalPath => {
+                "the period should cover the fastest critical path"
+            }
+            LintCode::NoProcessingElements => "a platform needs at least one PE",
+            LintCode::InterconnectInvalid => "the interconnect model must be physically sane",
+            LintCode::ZeroMemoryPe => "PEs should have non-zero local memory",
+            LintCode::AcceleratedWithoutPrr => {
+                "accelerated implementations need PRRs to be reloadable"
+            }
+            LintCode::PrrZeroBitstream => "PRR bit-streams should be non-empty",
+            LintCode::MappingShapeMismatch => "mappings must structurally fit graph and platform",
+            LintCode::MappingIncompatiblePeType => {
+                "tasks must run on PEs compatible with their implementation"
+            }
+            LintCode::MemoryCapacityExceeded => "resident binaries must fit each PE's memory",
+            LintCode::SchedulePrecedenceBreach => "schedules must respect dependency edges",
+            LintCode::SchedulePeOverlap => "a PE executes one task at a time",
+            LintCode::ScheduleNegativeDuration => "schedule intervals must be well-formed",
+            LintCode::EmptyDatabase => "stored databases must hold at least one point",
+            LintCode::DominatedParetoPoint => "BaseD points must be pairwise non-dominated",
+            LintCode::RedDegradationExceeded => {
+                "ReD extras must stay within the degradation tolerance"
+            }
+            LintCode::DuplicatePoints => "stored points should be numerically distinct",
+            LintCode::MetricOutOfRange => "stored metrics must lie in their physical ranges",
+            LintCode::RoundTripMismatch => "databases must survive a codec round trip",
+            LintCode::StaleMetrics => "stored metrics must match re-evaluation",
+            LintCode::DrcMatrixMismatch => "persisted dRC matrices must match recomputation",
+            LintCode::PolicyParamOutOfRange => "policy parameters must lie in their domains",
+            LintCode::AuraUraDivergence => "AuRA at γ = 0 must reproduce uRA decisions",
+        }
+    }
+
+    /// A one-line suggestion for fixing a finding.
+    pub fn fix_hint(&self) -> &'static str {
+        match self {
+            LintCode::GraphCycle => "remove or reverse one edge of the reported cycle",
+            LintCode::EdgeEndpointOutOfRange => "drop the edge or add the missing task",
+            LintCode::EmptyImplementationSet => "add an implementation for a platform PE type",
+            LintCode::NegativeTiming => "re-derive the offending time from its source data",
+            LintCode::NonPositivePeriod => {
+                "set the period to the application's real iteration interval"
+            }
+            LintCode::PeriodBelowCriticalPath => {
+                "raise the period or provide faster implementations"
+            }
+            LintCode::NoProcessingElements => "add at least one PE to the platform description",
+            LintCode::InterconnectInvalid => {
+                "use positive finite bandwidth and non-negative latency/energy"
+            }
+            LintCode::ZeroMemoryPe => "give the PE its real local memory capacity",
+            LintCode::AcceleratedWithoutPrr => {
+                "add PRRs to the platform or drop the accelerated variants"
+            }
+            LintCode::PrrZeroBitstream => "set the PRR's real bit-stream size",
+            LintCode::MappingShapeMismatch => {
+                "regenerate the mapping against the current graph/platform"
+            }
+            LintCode::MappingIncompatiblePeType => {
+                "rebind the task to a PE of the implementation's type"
+            }
+            LintCode::MemoryCapacityExceeded => {
+                "move tasks off the overfull PE or pick smaller binaries"
+            }
+            LintCode::SchedulePrecedenceBreach => {
+                "re-run the list scheduler; do not hand-edit start times"
+            }
+            LintCode::SchedulePeOverlap => {
+                "re-run the list scheduler; entries on one PE must serialise"
+            }
+            LintCode::ScheduleNegativeDuration => {
+                "recompute the entry's end as start + execution time"
+            }
+            LintCode::EmptyDatabase => "re-run the design-space exploration before deploying",
+            LintCode::DominatedParetoPoint => {
+                "re-run non-dominated sorting before persisting BaseD"
+            }
+            LintCode::RedDegradationExceeded => {
+                "re-run the ReD stage with the configured tolerance"
+            }
+            LintCode::DuplicatePoints => "insert through push_if_new to deduplicate on metrics",
+            LintCode::MetricOutOfRange => {
+                "re-evaluate the point; reject NaN/negative metrics at the source"
+            }
+            LintCode::RoundTripMismatch => "re-export the database; check for non-finite metrics",
+            LintCode::StaleMetrics => "re-evaluate stored mappings after model changes",
+            LintCode::DrcMatrixMismatch => {
+                "rebuild the runtime context instead of editing the matrix"
+            }
+            LintCode::PolicyParamOutOfRange => "clamp the parameter into its documented domain",
+            LintCode::AuraUraDivergence => {
+                "audit the agent's value function; γ = 0 must subsume uRA"
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn codes_are_unique_and_stable_format() {
+        let mut seen = HashSet::new();
+        for lint in LintCode::ALL {
+            let c = lint.code();
+            assert!(c.starts_with("CLR") && c.len() == 6, "bad code {c}");
+            assert!(c[3..].chars().all(|ch| ch.is_ascii_digit()));
+            assert!(seen.insert(c), "duplicate code {c}");
+        }
+    }
+
+    #[test]
+    fn every_code_has_nonempty_metadata() {
+        for lint in LintCode::ALL {
+            assert!(!lint.description().is_empty());
+            assert!(!lint.fix_hint().is_empty());
+        }
+    }
+
+    #[test]
+    fn all_is_sorted_by_code() {
+        let codes: Vec<&str> = LintCode::ALL.iter().map(LintCode::code).collect();
+        let mut sorted = codes.clone();
+        sorted.sort_unstable();
+        assert_eq!(codes, sorted);
+    }
+}

@@ -1,0 +1,311 @@
+//! Task-graph lints (`CLR001`–`CLR006`).
+//!
+//! Graphs built through [`clr_taskgraph::TaskGraphBuilder`] are validated
+//! at construction, so the checks operate on [`GraphFacts`] — a plain
+//! extraction of the structural facts — which persisted or foreign
+//! artifacts (and the corruption tests) can assemble directly.
+
+use clr_taskgraph::TaskGraph;
+
+use crate::{Diagnostic, LintCode, Report};
+
+/// The structural facts of a task graph, decoupled from the validated
+/// [`TaskGraph`] type so damaged artifacts remain expressible.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphFacts {
+    /// Number of tasks.
+    pub num_tasks: usize,
+    /// Directed edges `(src, dst)` with their communication time and
+    /// payload KiB.
+    pub edges: Vec<(usize, usize, f64, f64)>,
+    /// Per task: the nominal execution times of its implementations.
+    pub impl_times: Vec<Vec<f64>>,
+    /// The application period.
+    pub period: f64,
+}
+
+impl GraphFacts {
+    /// Extracts the facts of a validated graph.
+    pub fn from_graph(graph: &TaskGraph) -> Self {
+        Self {
+            num_tasks: graph.num_tasks(),
+            edges: graph
+                .edges()
+                .iter()
+                .map(|e| {
+                    (
+                        e.src().index(),
+                        e.dst().index(),
+                        e.comm_time(),
+                        e.data_kib(),
+                    )
+                })
+                .collect(),
+            impl_times: graph
+                .task_ids()
+                .map(|t| {
+                    graph
+                        .implementations(t)
+                        .iter()
+                        .map(clr_taskgraph::Implementation::nominal_time)
+                        .collect()
+                })
+                .collect(),
+            period: graph.period(),
+        }
+    }
+}
+
+/// Runs every graph lint over a validated [`TaskGraph`].
+pub fn check_task_graph(graph: &TaskGraph) -> Report {
+    check_graph_facts(&GraphFacts::from_graph(graph), graph.name())
+}
+
+/// Runs every graph lint over raw [`GraphFacts`]; `name` labels findings.
+pub fn check_graph_facts(facts: &GraphFacts, name: &str) -> Report {
+    let artifact = format!("graph:{name}");
+    let mut report = Report::new();
+
+    // CLR002: dangling edge endpoints.
+    for (i, &(src, dst, _, _)) in facts.edges.iter().enumerate() {
+        if src >= facts.num_tasks || dst >= facts.num_tasks {
+            report.push(Diagnostic::new(
+                LintCode::EdgeEndpointOutOfRange,
+                &artifact,
+                format!("edge {i}"),
+                format!(
+                    "edge {src} -> {dst} references a task outside 0..{}",
+                    facts.num_tasks
+                ),
+            ));
+        }
+    }
+
+    // CLR001: cycles (Kahn's algorithm over the in-range edges).
+    let in_range = || {
+        facts
+            .edges
+            .iter()
+            .filter(|&&(s, d, _, _)| s < facts.num_tasks && d < facts.num_tasks)
+    };
+    let mut in_degree = vec![0usize; facts.num_tasks];
+    for &(_, dst, _, _) in in_range() {
+        in_degree[dst] += 1;
+    }
+    let mut queue: Vec<usize> = (0..facts.num_tasks)
+        .filter(|&t| in_degree[t] == 0)
+        .collect();
+    let mut visited = 0usize;
+    while let Some(t) = queue.pop() {
+        visited += 1;
+        for &(src, dst, _, _) in in_range() {
+            if src == t {
+                in_degree[dst] -= 1;
+                if in_degree[dst] == 0 {
+                    queue.push(dst);
+                }
+            }
+        }
+    }
+    let is_dag = visited == facts.num_tasks;
+    if !is_dag {
+        let stuck: Vec<usize> = (0..facts.num_tasks).filter(|&t| in_degree[t] > 0).collect();
+        report.push(Diagnostic::new(
+            LintCode::GraphCycle,
+            &artifact,
+            format!("tasks {stuck:?}"),
+            format!("{} task(s) participate in at least one cycle", stuck.len()),
+        ));
+    }
+
+    // CLR003: empty implementation sets.
+    for (t, impls) in facts.impl_times.iter().enumerate() {
+        if impls.is_empty() {
+            report.push(Diagnostic::new(
+                LintCode::EmptyImplementationSet,
+                &artifact,
+                format!("task {t}"),
+                "no implementation can execute this task".to_string(),
+            ));
+        }
+    }
+
+    // CLR004: negative or non-finite times/payloads.
+    for (t, impls) in facts.impl_times.iter().enumerate() {
+        for (i, &time) in impls.iter().enumerate() {
+            if !time.is_finite() || time < 0.0 {
+                report.push(Diagnostic::new(
+                    LintCode::NegativeTiming,
+                    &artifact,
+                    format!("task {t} impl {i}"),
+                    format!("nominal execution time {time} is not a valid duration"),
+                ));
+            }
+        }
+    }
+    for (i, &(_, _, comm, kib)) in facts.edges.iter().enumerate() {
+        if !comm.is_finite() || comm < 0.0 {
+            report.push(Diagnostic::new(
+                LintCode::NegativeTiming,
+                &artifact,
+                format!("edge {i}"),
+                format!("communication time {comm} is not a valid duration"),
+            ));
+        }
+        if !kib.is_finite() || kib < 0.0 {
+            report.push(Diagnostic::new(
+                LintCode::NegativeTiming,
+                &artifact,
+                format!("edge {i}"),
+                format!("payload {kib} KiB is not a valid size"),
+            ));
+        }
+    }
+
+    // CLR005: the period must be positive.
+    if !facts.period.is_finite() || facts.period <= 0.0 {
+        report.push(Diagnostic::new(
+            LintCode::NonPositivePeriod,
+            &artifact,
+            "period",
+            format!("period {} is not a positive duration", facts.period),
+        ));
+    } else if is_dag && facts.impl_times.iter().all(|v| !v.is_empty()) {
+        // CLR006: even with the fastest implementation everywhere and free
+        // communication, the critical path must fit the period.
+        let fastest: Vec<f64> = facts
+            .impl_times
+            .iter()
+            .map(|v| v.iter().copied().fold(f64::INFINITY, f64::min))
+            .collect();
+        if fastest.iter().all(|t| t.is_finite() && *t >= 0.0) {
+            let cp = critical_path(facts, &fastest);
+            if cp > facts.period {
+                report.push(Diagnostic::new(
+                    LintCode::PeriodBelowCriticalPath,
+                    &artifact,
+                    "period",
+                    format!(
+                        "fastest zero-communication critical path {cp:.3} exceeds period {}",
+                        facts.period
+                    ),
+                ));
+            }
+        }
+    }
+
+    report
+}
+
+/// Longest path through the DAG using `time[t]` per task and free
+/// communication. Caller guarantees the facts form a DAG.
+fn critical_path(facts: &GraphFacts, time: &[f64]) -> f64 {
+    let n = facts.num_tasks;
+    let mut finish = time.to_vec();
+    // Relax edges until fixpoint; bounded by n iterations in a DAG.
+    for _ in 0..n {
+        let mut changed = false;
+        for &(src, dst, _, _) in &facts.edges {
+            if src < n && dst < n {
+                let candidate = finish[src] + time[dst];
+                if candidate > finish[dst] {
+                    finish[dst] = candidate;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    finish.iter().copied().fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clr_platform::PeTypeId;
+    use clr_taskgraph::{SwStack, TaskGraphBuilder};
+
+    fn valid_facts() -> GraphFacts {
+        GraphFacts {
+            num_tasks: 3,
+            edges: vec![(0, 1, 2.0, 4.0), (1, 2, 2.0, 4.0)],
+            impl_times: vec![vec![10.0], vec![10.0, 8.0], vec![10.0]],
+            period: 100.0,
+        }
+    }
+
+    #[test]
+    fn valid_facts_pass_clean() {
+        assert!(check_graph_facts(&valid_facts(), "t").is_empty());
+    }
+
+    #[test]
+    fn builder_graph_passes_clean() {
+        let mut b = TaskGraphBuilder::new("ok", 100.0);
+        b.task("a")
+            .implementation(PeTypeId::new(0), SwStack::BareMetal, 10.0);
+        b.task("b")
+            .implementation(PeTypeId::new(0), SwStack::BareMetal, 10.0);
+        b.edge(0.into(), 1.into(), 1.0, 4.0);
+        let g = b.build().unwrap();
+        assert!(check_task_graph(&g).is_empty());
+    }
+
+    #[test]
+    fn cycle_fires_clr001() {
+        let mut f = valid_facts();
+        f.edges.push((2, 0, 1.0, 1.0));
+        let r = check_graph_facts(&f, "t");
+        assert!(r.has_code(LintCode::GraphCycle));
+        assert_eq!(r.exit_code(), 1);
+    }
+
+    #[test]
+    fn dangling_edge_fires_clr002() {
+        let mut f = valid_facts();
+        f.edges.push((1, 9, 1.0, 1.0));
+        let r = check_graph_facts(&f, "t");
+        assert!(r.has_code(LintCode::EdgeEndpointOutOfRange));
+        // The remaining in-range edges still form a DAG — no bogus CLR001.
+        assert!(!r.has_code(LintCode::GraphCycle));
+    }
+
+    #[test]
+    fn empty_impl_set_fires_clr003() {
+        let mut f = valid_facts();
+        f.impl_times[1].clear();
+        assert!(check_graph_facts(&f, "t").has_code(LintCode::EmptyImplementationSet));
+    }
+
+    #[test]
+    fn negative_times_fire_clr004() {
+        let mut f = valid_facts();
+        f.impl_times[0][0] = -1.0;
+        f.edges[0].2 = f64::NAN;
+        let r = check_graph_facts(&f, "t");
+        let hits = r
+            .diagnostics()
+            .iter()
+            .filter(|d| d.code == LintCode::NegativeTiming)
+            .count();
+        assert_eq!(hits, 2);
+    }
+
+    #[test]
+    fn bad_period_fires_clr005() {
+        let mut f = valid_facts();
+        f.period = 0.0;
+        assert!(check_graph_facts(&f, "t").has_code(LintCode::NonPositivePeriod));
+    }
+
+    #[test]
+    fn tight_period_fires_clr006_as_warning() {
+        let mut f = valid_facts();
+        f.period = 20.0; // fastest chain is 10 + 8 + 10 = 28
+        let r = check_graph_facts(&f, "t");
+        assert!(r.has_code(LintCode::PeriodBelowCriticalPath));
+        assert_eq!(r.exit_code(), 0, "CLR006 is warn-level");
+    }
+}

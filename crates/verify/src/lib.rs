@@ -1,0 +1,48 @@
+//! `clr-verify`: a cross-layer model linter for the hybrid CLR design
+//! flow.
+//!
+//! Every artifact the methodology produces — task graphs (built, generated
+//! or TGFF-parsed), platform models, mappings, schedules, design-point
+//! databases and runtime-agent policies — is audited against a registry of
+//! stable lint codes (`CLR001`–`CLR041`). Each [`LintCode`] carries a
+//! severity ([`Severity::Deny`] fails an audit, [`Severity::Warn`] does
+//! not) and a one-line fix hint; findings accumulate in a [`Report`]
+//! renderable for humans or as JSON.
+//!
+//! The cheapest of these invariants are additionally enforced as
+//! `debug_assert!`s at the mutation sites themselves (database insertion,
+//! list scheduling, HEFT construction), so debug builds catch corruption
+//! at the source while this crate audits artifacts end-to-end.
+//!
+//! # Examples
+//!
+//! ```
+//! use clr_taskgraph::jpeg_encoder;
+//! use clr_verify::{check_task_graph, GraphFacts, LintCode};
+//!
+//! // A library preset is clean.
+//! assert!(check_task_graph(&jpeg_encoder()).is_empty());
+//!
+//! // A corrupted artifact is not.
+//! let mut facts = GraphFacts::from_graph(&jpeg_encoder());
+//! facts.edges.push((facts.num_tasks - 1, 0, 0.0, 0.0)); // close a cycle
+//! let report = clr_verify::check_graph_facts(&facts, "tampered");
+//! assert!(report.has_code(LintCode::GraphCycle));
+//! assert_eq!(report.exit_code(), 1);
+//! ```
+
+mod codes;
+mod database;
+mod diag;
+mod graph;
+mod mapping;
+mod platform;
+mod policy;
+
+pub use codes::LintCode;
+pub use database::{check_database, check_database_standalone, check_drc_matrix};
+pub use diag::{Diagnostic, Report, Severity};
+pub use graph::{check_graph_facts, check_task_graph, GraphFacts};
+pub use mapping::{check_mapping, check_schedule};
+pub use platform::{check_platform, check_platform_facts, check_platform_supports, PlatformFacts};
+pub use policy::{check_aura_subsumes_ura, check_policy_params};

@@ -1,0 +1,247 @@
+//! `clr-verify` — audit cross-layer design artifacts against the lint
+//! registry and exit nonzero when a deny-level invariant is broken.
+//!
+//! ```text
+//! clr-verify [--json] all           end-to-end audit of the bundled artifacts
+//! clr-verify [--json] tgff <FILE>.. parse and lint TGFF task graphs
+//! clr-verify [--json] db <FILE>..   decode and lint design-point databases
+//! clr-verify list                   print the lint registry
+//! ```
+//!
+//! Exit codes: `0` clean or warn-only, `1` at least one deny-level
+//! finding, `2` usage / IO / parse error.
+
+use std::process::ExitCode;
+
+use clr_core::{ScenarioKind, ScenarioSuite};
+use clr_dse::{explore_based, DesignPointDb, DseConfig, ExplorationMode, QosSpec, RedConfig};
+use clr_moea::GaParams;
+use clr_platform::Platform;
+use clr_reliability::{ConfigSpace, FaultModel};
+use clr_runtime::{AuraAgent, RuntimeContext};
+use clr_sched::heft_mapping;
+use clr_sched::Evaluator;
+use clr_taskgraph::{
+    fork_join_graph, jpeg_encoder, parse_tgff, TgffConfig, TgffGenerator, TgffParseOptions,
+};
+use clr_verify::{
+    check_aura_subsumes_ura, check_database, check_database_standalone, check_drc_matrix,
+    check_mapping, check_platform, check_platform_supports, check_policy_params, check_schedule,
+    check_task_graph, LintCode, Report,
+};
+
+const USAGE: &str = "usage: clr-verify [--json] <all | tgff FILE.. | db FILE.. | list>";
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    args.retain(|a| {
+        if a == "--json" {
+            json = true;
+            false
+        } else {
+            true
+        }
+    });
+    let Some(command) = args.first().cloned() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let operands = &args[1..];
+
+    let report = match command.as_str() {
+        "list" => {
+            print_registry();
+            return ExitCode::SUCCESS;
+        }
+        "all" => {
+            if !operands.is_empty() {
+                eprintln!("{USAGE}");
+                return ExitCode::from(2);
+            }
+            audit_all()
+        }
+        "tgff" => match audit_files(operands, audit_tgff_file) {
+            Ok(r) => r,
+            Err(code) => return code,
+        },
+        "db" => match audit_files(operands, audit_db_file) {
+            Ok(r) => r,
+            Err(code) => return code,
+        },
+        other => {
+            eprintln!("clr-verify: unknown command {other:?}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+    ExitCode::from(u8::try_from(report.exit_code()).unwrap_or(1))
+}
+
+/// Prints the lint registry as an aligned table.
+fn print_registry() {
+    println!("{:<8} {:<5} description", "code", "level");
+    for lint in LintCode::ALL {
+        println!(
+            "{:<8} {:<5} {}",
+            lint.code(),
+            lint.severity().to_string(),
+            lint.description()
+        );
+        println!("{:<14} fix: {}", "", lint.fix_hint());
+    }
+}
+
+/// Runs `audit` over each operand file, merging reports; IO errors are
+/// fatal (exit 2).
+fn audit_files(
+    files: &[String],
+    audit: impl Fn(&str, &str) -> Result<Report, String>,
+) -> Result<Report, ExitCode> {
+    if files.is_empty() {
+        eprintln!("{USAGE}");
+        return Err(ExitCode::from(2));
+    }
+    let mut report = Report::new();
+    for path in files {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("clr-verify: cannot read {path}: {e}");
+                return Err(ExitCode::from(2));
+            }
+        };
+        match audit(&text, path) {
+            Ok(r) => report.merge(r),
+            Err(e) => {
+                eprintln!("clr-verify: {path}: {e}");
+                return Err(ExitCode::from(2));
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Parses one TGFF document and lints every graph-level invariant.
+fn audit_tgff_file(text: &str, path: &str) -> Result<Report, String> {
+    let graph = parse_tgff(text, &TgffParseOptions::default())
+        .map_err(|e| format!("TGFF parse error: {e}"))?;
+    let mut report = check_task_graph(&graph);
+    report.merge(check_platform_supports(&graph, &Platform::dac19(), "dac19"));
+    eprintln!(
+        "clr-verify: {path}: graph {:?} ({} tasks, {} edges)",
+        graph.name(),
+        graph.num_tasks(),
+        graph.num_edges()
+    );
+    Ok(report)
+}
+
+/// Decodes one design-point database and runs the context-free lints.
+fn audit_db_file(text: &str, path: &str) -> Result<Report, String> {
+    let db = DesignPointDb::from_text(text).map_err(|e| format!("database decode error: {e}"))?;
+    eprintln!(
+        "clr-verify: {path}: database {:?} ({} points)",
+        db.name(),
+        db.len()
+    );
+    Ok(check_database_standalone(
+        &db,
+        ExplorationMode::Full,
+        RedConfig::default().tolerance,
+    ))
+}
+
+/// End-to-end audit of the bundled artifacts: presets, TGFF generation,
+/// HEFT mapping/scheduling, a small BaseD exploration with its dRC
+/// matrix, the runtime policies and every scenario-suite instance.
+fn audit_all() -> Report {
+    let mut report = Report::new();
+    let fm = FaultModel::default();
+    let dac19 = Platform::dac19();
+
+    // Platforms.
+    report.merge(check_platform(&dac19, "dac19"));
+    report.merge(check_platform(&Platform::tiny(), "tiny"));
+
+    // Graphs: the JPEG preset plus generated TGFF and fork-join graphs.
+    let jpeg = jpeg_encoder();
+    report.merge(check_task_graph(&jpeg));
+    report.merge(check_platform_supports(&jpeg, &dac19, "dac19"));
+    for seed in 0..2u64 {
+        let g = TgffGenerator::new(TgffConfig::with_tasks(20)).generate(seed);
+        report.merge(check_task_graph(&g));
+        report.merge(check_platform_supports(&g, &dac19, "dac19"));
+        let fj = fork_join_graph(&TgffConfig::with_tasks(16), seed);
+        report.merge(check_task_graph(&fj));
+    }
+
+    // Mapping + schedule via HEFT on the JPEG preset.
+    match heft_mapping(&jpeg, &dac19, &fm) {
+        Ok(mapping) => {
+            report.merge(check_mapping(&jpeg, &dac19, &mapping, "heft-jpeg"));
+            let eval = Evaluator::new(&jpeg, &dac19, fm);
+            let (_, schedule) = eval.evaluate_with_schedule(&mapping);
+            report.merge(check_schedule(&jpeg, &mapping, &schedule, "heft-jpeg"));
+        }
+        Err(e) => eprintln!("clr-verify: heft on jpeg/dac19 failed: {e:?}"),
+    }
+
+    // A small BaseD exploration, its codec round-trip and dRC matrix.
+    let dse = DseConfig {
+        ga: GaParams::small(),
+        mode: ExplorationMode::Full,
+        reference: None,
+        max_points: None,
+    };
+    let db = explore_based(&jpeg, &dac19, fm, ConfigSpace::fine(), &dse, 7);
+    report.merge(check_database(
+        &jpeg,
+        &dac19,
+        &fm,
+        dse.mode,
+        &db,
+        RedConfig::default().tolerance,
+    ));
+    let ctx = RuntimeContext::new(&jpeg, &dac19, &db);
+    let matrix: Vec<Vec<f64>> = (0..db.len())
+        .map(|i| (0..db.len()).map(|j| ctx.drc(i, j)).collect())
+        .collect();
+    report.merge(check_drc_matrix(&jpeg, &dac19, &db, &matrix));
+
+    // Runtime policies: parameter ranges and the AuRA-subsumes-uRA law.
+    report.merge(check_policy_params(0.5, 0.9, 0.1, "defaults"));
+    match AuraAgent::new(db.len(), 0.5, 0.0, 0.5) {
+        Ok(mut agent) => {
+            let specs = [QosSpec::new(f64::INFINITY, 0.0), QosSpec::new(1e6, 0.5)];
+            report.merge(check_aura_subsumes_ura(
+                &ctx,
+                &mut agent,
+                &specs,
+                "aura-gamma0",
+            ));
+        }
+        Err(bad) => eprintln!("clr-verify: cannot build aura agent: bad parameter {bad}"),
+    }
+
+    // Scenario suite: every degraded platform must still lint clean and
+    // keep supporting the application.
+    let suite = ScenarioSuite::new(&dac19, fm)
+        .with_pe_failures()
+        .with_lambda_shifts(&[2e-6, 5e-5]);
+    for instance in suite.instances() {
+        let label = instance.kind().to_string();
+        report.merge(check_platform(instance.platform(), &label));
+        if matches!(instance.kind(), ScenarioKind::PeFailure { .. }) && !instance.supports(&jpeg) {
+            eprintln!("clr-verify: scenario {label} no longer supports the jpeg graph");
+        }
+        report.merge(check_platform_supports(&jpeg, instance.platform(), &label));
+    }
+
+    report
+}

@@ -1,0 +1,232 @@
+//! Mapping and schedule lints (`CLR020`–`CLR025`).
+
+use clr_platform::Platform;
+use clr_sched::{validate_schedule, Mapping, Schedule, ScheduleViolation};
+use clr_taskgraph::{TaskGraph, TaskId};
+
+use crate::{Diagnostic, LintCode, Report};
+
+/// Runs every mapping lint: gene-vector shape, PE/implementation index
+/// validity, PE-type compatibility and per-PE memory capacity.
+///
+/// Unlike [`Mapping::validate`], which stops at the first error, this
+/// reports every finding.
+pub fn check_mapping(
+    graph: &TaskGraph,
+    platform: &Platform,
+    mapping: &Mapping,
+    name: &str,
+) -> Report {
+    let artifact = format!("mapping:{name}");
+    let mut report = Report::new();
+
+    // CLR020: shape and index validity.
+    if mapping.len() != graph.num_tasks() {
+        report.push(Diagnostic::new(
+            LintCode::MappingShapeMismatch,
+            &artifact,
+            "genes",
+            format!(
+                "mapping carries {} gene(s) for a graph of {} task(s)",
+                mapping.len(),
+                graph.num_tasks()
+            ),
+        ));
+        // Per-gene checks below would mis-attribute tasks; stop here.
+        return report;
+    }
+    let mut indices_valid = true;
+    for (t, g) in mapping.genes().iter().enumerate() {
+        if g.pe.index() >= platform.num_pes() {
+            indices_valid = false;
+            report.push(Diagnostic::new(
+                LintCode::MappingShapeMismatch,
+                &artifact,
+                format!("task {t}"),
+                format!(
+                    "gene targets PE {} but the platform has {}",
+                    g.pe.index(),
+                    platform.num_pes()
+                ),
+            ));
+        }
+        let impls = graph.implementations(TaskId::new(t));
+        if g.impl_id.index() >= impls.len() {
+            indices_valid = false;
+            report.push(Diagnostic::new(
+                LintCode::MappingShapeMismatch,
+                &artifact,
+                format!("task {t}"),
+                format!(
+                    "gene selects implementation {} but the task offers {}",
+                    g.impl_id.index(),
+                    impls.len()
+                ),
+            ));
+        } else if g.pe.index() < platform.num_pes() {
+            // CLR021: the chosen implementation must target the PE's type.
+            let im = &impls[g.impl_id.index()];
+            if platform.pe(g.pe).type_id() != im.pe_type() {
+                report.push(Diagnostic::new(
+                    LintCode::MappingIncompatiblePeType,
+                    &artifact,
+                    format!("task {t}"),
+                    format!(
+                        "implementation {} targets PE type {} but PE {} is of type {}",
+                        g.impl_id.index(),
+                        im.pe_type().index(),
+                        g.pe.index(),
+                        platform.pe(g.pe).type_id().index()
+                    ),
+                ));
+            }
+        }
+    }
+
+    // CLR022: resident binaries must fit each PE's local memory. Only
+    // meaningful once all indices resolve.
+    if indices_valid {
+        let footprint = mapping.memory_footprint(graph, platform);
+        for (pe, &used) in footprint.iter().enumerate() {
+            let capacity = u64::from(platform.pe(clr_platform::PeId::new(pe)).local_memory_kib());
+            if used > capacity {
+                report.push(Diagnostic::new(
+                    LintCode::MemoryCapacityExceeded,
+                    &artifact,
+                    format!("pe {pe}"),
+                    format!("resident binaries need {used} KiB but PE offers {capacity} KiB"),
+                ));
+            }
+        }
+    }
+
+    report
+}
+
+/// Runs every schedule lint (`CLR023`–`CLR025`) by translating
+/// [`validate_schedule`] violations into diagnostics.
+pub fn check_schedule(
+    graph: &TaskGraph,
+    mapping: &Mapping,
+    schedule: &Schedule,
+    name: &str,
+) -> Report {
+    let artifact = format!("schedule:{name}");
+    let mut report = Report::new();
+    for v in validate_schedule(graph, mapping, schedule) {
+        let (code, location) = match &v {
+            ScheduleViolation::PrecedenceBreach { src, dst } => (
+                LintCode::SchedulePrecedenceBreach,
+                format!("edge {src} -> {dst}"),
+            ),
+            ScheduleViolation::PeOverlap { pe, .. } => {
+                (LintCode::SchedulePeOverlap, format!("pe {pe}"))
+            }
+            ScheduleViolation::NegativeDuration { task } => {
+                (LintCode::ScheduleNegativeDuration, format!("task {task}"))
+            }
+        };
+        report.push(Diagnostic::new(code, &artifact, location, v.to_string()));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clr_reliability::FaultModel;
+    use clr_sched::{heft_mapping, Evaluator, ScheduleEntry};
+    use clr_taskgraph::jpeg_encoder;
+
+    fn setup() -> (TaskGraph, Platform, Mapping) {
+        let graph = jpeg_encoder();
+        let platform = Platform::dac19();
+        let mapping = heft_mapping(&graph, &platform, &FaultModel::default()).unwrap();
+        (graph, platform, mapping)
+    }
+
+    #[test]
+    fn heft_artifacts_pass_clean() {
+        let (graph, platform, mapping) = setup();
+        assert!(check_mapping(&graph, &platform, &mapping, "heft").is_empty());
+        let eval = Evaluator::new(&graph, &platform, FaultModel::default());
+        let (_, schedule) = eval.evaluate_with_schedule(&mapping);
+        assert!(check_schedule(&graph, &mapping, &schedule, "heft").is_empty());
+    }
+
+    #[test]
+    fn truncated_mapping_fires_clr020() {
+        let (graph, platform, mapping) = setup();
+        let mut genes = mapping.genes().to_vec();
+        genes.pop();
+        let r = check_mapping(&graph, &platform, &Mapping::new(genes), "short");
+        assert!(r.has_code(LintCode::MappingShapeMismatch));
+        assert_eq!(r.exit_code(), 1);
+    }
+
+    #[test]
+    fn foreign_pe_index_fires_clr020() {
+        let (graph, platform, mapping) = setup();
+        let mut genes = mapping.genes().to_vec();
+        genes[0].pe = clr_platform::PeId::new(platform.num_pes() + 3);
+        let r = check_mapping(&graph, &platform, &Mapping::new(genes), "alien-pe");
+        assert!(r.has_code(LintCode::MappingShapeMismatch));
+    }
+
+    #[test]
+    fn incompatible_pe_type_fires_clr021() {
+        let (graph, platform, mapping) = setup();
+        let mut genes = mapping.genes().to_vec();
+        // Find a gene whose implementation does not target some other PE's
+        // type, then retarget it there.
+        let mut corrupted = false;
+        'outer: for (t, g) in mapping.genes().iter().enumerate() {
+            let im = &graph.implementations(TaskId::new(t))[g.impl_id.index()];
+            for pe in platform.pes() {
+                if pe.type_id() != im.pe_type() {
+                    genes[t].pe = pe.id();
+                    corrupted = true;
+                    break 'outer;
+                }
+            }
+        }
+        assert!(corrupted, "dac19 is heterogeneous; a mismatch must exist");
+        let r = check_mapping(&graph, &platform, &Mapping::new(genes), "wrong-type");
+        assert!(r.has_code(LintCode::MappingIncompatiblePeType));
+        assert_eq!(r.exit_code(), 1);
+    }
+
+    #[test]
+    fn schedule_corruptions_fire_clr023_024_025() {
+        let (graph, platform, mapping) = setup();
+        let eval = Evaluator::new(&graph, &platform, FaultModel::default());
+        let (_, schedule) = eval.evaluate_with_schedule(&mapping);
+
+        // CLR023: pull one consumer's start before its producer finishes.
+        let mut entries: Vec<ScheduleEntry> = schedule.entries().to_vec();
+        let edge = &graph.edges()[0];
+        entries[edge.dst().index()].start = 0.0;
+        let r = check_schedule(&graph, &mapping, &Schedule::from_entries(entries), "tamper");
+        assert!(r.has_code(LintCode::SchedulePrecedenceBreach));
+        assert_eq!(r.exit_code(), 1);
+
+        // CLR024: double-book two tasks on one PE over the same interval.
+        let mut entries: Vec<ScheduleEntry> = schedule.entries().to_vec();
+        let pe0 = entries[0].pe;
+        let (s0, e0) = (entries[0].start, entries[0].end);
+        let other = (1..entries.len())
+            .find(|&i| graph.in_edges(TaskId::new(i)).next().is_none() && i != 0)
+            .unwrap_or(1);
+        entries[other].pe = pe0;
+        entries[other].start = s0;
+        entries[other].end = e0.max(s0 + 1.0);
+        let r = check_schedule(&graph, &mapping, &Schedule::from_entries(entries), "tamper");
+        assert!(r.has_code(LintCode::SchedulePeOverlap));
+
+        // CLR025: a task that ends before it starts.
+        let mut entries: Vec<ScheduleEntry> = schedule.entries().to_vec();
+        entries[0].end = entries[0].start - 5.0;
+        let r = check_schedule(&graph, &mapping, &Schedule::from_entries(entries), "tamper");
+        assert!(r.has_code(LintCode::ScheduleNegativeDuration));
+    }
+}

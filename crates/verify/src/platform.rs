@@ -1,0 +1,244 @@
+//! Platform lints (`CLR010`–`CLR014`) plus the cross-artifact
+//! graph-on-platform support check (`CLR013`).
+//!
+//! [`PlatformBuilder`](clr_platform::PlatformBuilder) and
+//! [`Interconnect::new`](clr_platform::Interconnect::new) already reject
+//! most nonsense at construction, so — mirroring the graph module — the
+//! checks run over [`PlatformFacts`], which persisted or foreign artifacts
+//! (and the corruption tests) can assemble directly.
+
+use clr_platform::Platform;
+use clr_taskgraph::TaskGraph;
+
+use crate::{Diagnostic, LintCode, Report};
+
+/// The auditable facts of a platform, decoupled from the validated
+/// [`Platform`] type so damaged artifacts remain expressible.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlatformFacts {
+    /// Local memory per PE, KiB.
+    pub pe_memory_kib: Vec<u32>,
+    /// Bitstream size per PRR, KiB.
+    pub prr_bitstream_kib: Vec<u32>,
+    /// Interconnect bandwidth, KiB per time unit.
+    pub bandwidth_kib: f64,
+    /// Fixed per-transfer interconnect latency.
+    pub base_latency: f64,
+    /// Interconnect energy per KiB transferred.
+    pub energy_per_kib: f64,
+}
+
+impl PlatformFacts {
+    /// Extracts the facts of a validated platform.
+    pub fn from_platform(platform: &Platform) -> Self {
+        Self {
+            pe_memory_kib: platform
+                .pes()
+                .iter()
+                .map(clr_platform::Pe::local_memory_kib)
+                .collect(),
+            prr_bitstream_kib: platform
+                .prrs()
+                .iter()
+                .map(clr_platform::Prr::bitstream_kib)
+                .collect(),
+            bandwidth_kib: platform.interconnect().bandwidth_kib(),
+            base_latency: platform.interconnect().base_latency(),
+            energy_per_kib: platform.interconnect().energy_per_kib(),
+        }
+    }
+}
+
+/// Runs every standalone platform lint over a validated [`Platform`].
+pub fn check_platform(platform: &Platform, name: &str) -> Report {
+    check_platform_facts(&PlatformFacts::from_platform(platform), name)
+}
+
+/// Runs every standalone platform lint over raw [`PlatformFacts`].
+pub fn check_platform_facts(facts: &PlatformFacts, name: &str) -> Report {
+    let artifact = format!("platform:{name}");
+    let mut report = Report::new();
+
+    // CLR010: a platform without PEs cannot host anything.
+    if facts.pe_memory_kib.is_empty() {
+        report.push(Diagnostic::new(
+            LintCode::NoProcessingElements,
+            &artifact,
+            "pes",
+            "platform declares zero processing elements".to_string(),
+        ));
+    }
+
+    // CLR011: the interconnect cost model must be physically plausible.
+    if !(facts.bandwidth_kib > 0.0 && facts.bandwidth_kib.is_finite()) {
+        report.push(Diagnostic::new(
+            LintCode::InterconnectInvalid,
+            &artifact,
+            "interconnect",
+            format!("bandwidth {} KiB/s is not positive", facts.bandwidth_kib),
+        ));
+    }
+    if !(facts.base_latency >= 0.0 && facts.base_latency.is_finite()) {
+        report.push(Diagnostic::new(
+            LintCode::InterconnectInvalid,
+            &artifact,
+            "interconnect",
+            format!(
+                "base latency {} is negative or non-finite",
+                facts.base_latency
+            ),
+        ));
+    }
+    if !(facts.energy_per_kib >= 0.0 && facts.energy_per_kib.is_finite()) {
+        report.push(Diagnostic::new(
+            LintCode::InterconnectInvalid,
+            &artifact,
+            "interconnect",
+            format!(
+                "energy per KiB {} is negative or non-finite",
+                facts.energy_per_kib
+            ),
+        ));
+    }
+
+    // CLR012: zero-memory PEs can host nothing with a footprint.
+    for (i, &mem) in facts.pe_memory_kib.iter().enumerate() {
+        if mem == 0 {
+            report.push(Diagnostic::new(
+                LintCode::ZeroMemoryPe,
+                &artifact,
+                format!("pe {i}"),
+                "PE has zero local memory; any task binary will overflow it".to_string(),
+            ));
+        }
+    }
+
+    // CLR014: PRRs with a zero-size bitstream make reconfiguration free,
+    // which silently distorts every dRC computation.
+    for (i, &kib) in facts.prr_bitstream_kib.iter().enumerate() {
+        if kib == 0 {
+            report.push(Diagnostic::new(
+                LintCode::PrrZeroBitstream,
+                &artifact,
+                format!("prr {i}"),
+                "PRR bitstream size is zero, so reloads cost nothing".to_string(),
+            ));
+        }
+    }
+
+    report
+}
+
+/// Cross-artifact check (`CLR013`): if the graph offers accelerated
+/// implementations, the platform should expose at least one PRR to host
+/// them — otherwise the reconfiguration-aware parts of the flow silently
+/// degenerate.
+pub fn check_platform_supports(graph: &TaskGraph, platform: &Platform, name: &str) -> Report {
+    let artifact = format!("platform:{name}");
+    let mut report = Report::new();
+    let accelerated: Vec<usize> = graph
+        .task_ids()
+        .filter(|&t| {
+            graph
+                .implementations(t)
+                .iter()
+                .any(clr_taskgraph::Implementation::accelerated)
+        })
+        .map(|t| t.index())
+        .collect();
+    if !accelerated.is_empty() && platform.num_prrs() == 0 {
+        report.push(Diagnostic::new(
+            LintCode::AcceleratedWithoutPrr,
+            &artifact,
+            format!("tasks {accelerated:?}"),
+            format!(
+                "graph {:?} offers accelerated implementations but the platform exposes \
+                 no PRR to host them",
+                graph.name(),
+            ),
+        ));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clr_platform::{Interconnect, PeKind, PeType};
+    use clr_taskgraph::jpeg_encoder;
+
+    #[test]
+    fn dac19_preset_is_clean() {
+        assert!(check_platform(&Platform::dac19(), "dac19").is_empty());
+        assert!(check_platform_supports(&jpeg_encoder(), &Platform::dac19(), "dac19").is_empty());
+    }
+
+    #[test]
+    fn tiny_preset_is_clean() {
+        assert!(check_platform(&Platform::tiny(), "tiny").is_empty());
+    }
+
+    #[test]
+    fn empty_pe_list_fires_clr010() {
+        let f = PlatformFacts {
+            pe_memory_kib: vec![],
+            prr_bitstream_kib: vec![],
+            bandwidth_kib: 64.0,
+            base_latency: 0.1,
+            energy_per_kib: 0.01,
+        };
+        let r = check_platform_facts(&f, "empty");
+        assert!(r.has_code(LintCode::NoProcessingElements));
+        assert_eq!(r.exit_code(), 1);
+    }
+
+    #[test]
+    fn bad_interconnect_fires_clr011() {
+        let mut f = PlatformFacts::from_platform(&Platform::dac19());
+        f.bandwidth_kib = 0.0;
+        f.base_latency = -1.0;
+        f.energy_per_kib = f64::NAN;
+        let r = check_platform_facts(&f, "bad-ic");
+        let hits = r
+            .diagnostics()
+            .iter()
+            .filter(|d| d.code == LintCode::InterconnectInvalid)
+            .count();
+        assert_eq!(hits, 3);
+        assert_eq!(r.exit_code(), 1);
+    }
+
+    #[test]
+    fn zero_memory_pe_fires_clr012_as_warning() {
+        let p = Platform::builder()
+            .pe_type(PeType::new("core", PeKind::GeneralPurpose))
+            .pe(0.into(), 0)
+            .interconnect(Interconnect::default())
+            .build()
+            .unwrap();
+        let r = check_platform(&p, "zero-mem");
+        assert!(r.has_code(LintCode::ZeroMemoryPe));
+        assert_eq!(r.exit_code(), 0);
+    }
+
+    #[test]
+    fn zero_bitstream_prr_fires_clr014() {
+        let mut f = PlatformFacts::from_platform(&Platform::dac19());
+        f.prr_bitstream_kib[1] = 0;
+        assert!(check_platform_facts(&f, "free-prr").has_code(LintCode::PrrZeroBitstream));
+    }
+
+    #[test]
+    fn accelerated_graph_on_prr_less_platform_fires_clr013() {
+        // jpeg_encoder offers accelerated implementations; strip the fabric.
+        let p = Platform::builder()
+            .pe_type(PeType::new("core", PeKind::GeneralPurpose))
+            .pes(2, 0.into(), 512)
+            .interconnect(Interconnect::default())
+            .build()
+            .unwrap();
+        let r = check_platform_supports(&jpeg_encoder(), &p, "no-fabric");
+        assert!(r.has_code(LintCode::AcceleratedWithoutPrr));
+        assert_eq!(r.exit_code(), 0, "CLR013 is warn-level");
+    }
+}

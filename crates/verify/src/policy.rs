@@ -1,0 +1,168 @@
+//! Runtime-policy lints (`CLR040`–`CLR041`).
+
+use clr_dse::QosSpec;
+use clr_runtime::{AdaptationPolicy, AuraAgent, RuntimeContext, UraPolicy};
+
+use crate::{Diagnostic, LintCode, Report};
+
+/// `CLR040`: the runtime agent's hyper-parameters must lie in their valid
+/// ranges (`p_RC ∈ [0, 1]`, `γ ∈ [0, 1]`, `α ∈ (0, 1]`). The constructors
+/// reject these too; the lint covers parameters loaded from configuration
+/// before construction.
+pub fn check_policy_params(p_rc: f64, gamma: f64, alpha: f64, name: &str) -> Report {
+    let artifact = format!("policy:{name}");
+    let mut report = Report::new();
+    let mut bad = |param: &str, value: f64, range: &str| {
+        report.push(Diagnostic::new(
+            LintCode::PolicyParamOutOfRange,
+            &artifact,
+            param,
+            format!("{param} = {value} is outside {range}"),
+        ));
+    };
+    if !(p_rc.is_finite() && (0.0..=1.0).contains(&p_rc)) {
+        bad("p_rc", p_rc, "[0, 1]");
+    }
+    if !(gamma.is_finite() && (0.0..=1.0).contains(&gamma)) {
+        bad("gamma", gamma, "[0, 1]");
+    }
+    if !(alpha.is_finite() && alpha > 0.0 && alpha <= 1.0) {
+        bad("alpha", alpha, "(0, 1]");
+    }
+    report
+}
+
+/// `CLR041`: an AuRA agent whose discount is zero must reproduce uRA
+/// exactly (the paper's AuRA-subsumes-uRA property) — its learned state
+/// values cannot influence a `γ = 0` decision rule. The check replays
+/// every (current point, spec) pair through both policies; any divergence
+/// means the agent artifact no longer honours its declared discount (e.g.
+/// a tampered or mislabelled value table).
+pub fn check_aura_subsumes_ura(
+    ctx: &RuntimeContext<'_>,
+    agent: &mut AuraAgent,
+    specs: &[QosSpec],
+    name: &str,
+) -> Report {
+    let artifact = format!("policy:{name}");
+    let mut report = Report::new();
+    let ura = match UraPolicy::new(agent.p_rc()) {
+        Ok(p) => p,
+        Err(bad) => {
+            report.push(Diagnostic::new(
+                LintCode::PolicyParamOutOfRange,
+                &artifact,
+                "p_rc",
+                format!("p_rc = {bad} is outside [0, 1]"),
+            ));
+            return report;
+        }
+    };
+    for (s, spec) in specs.iter().enumerate() {
+        for current in 0..ctx.len() {
+            let via_agent = agent.decide(ctx, current, spec);
+            let via_ura = ura.select(ctx, current, spec);
+            if via_agent != via_ura {
+                report.push(Diagnostic::new(
+                    LintCode::AuraUraDivergence,
+                    &artifact,
+                    format!("spec {s}, current point {current}"),
+                    format!(
+                        "agent (gamma = {}) selects {via_agent:?} where uRA at the same \
+                         p_RC = {} selects {via_ura:?}",
+                        agent.gamma(),
+                        agent.p_rc(),
+                    ),
+                ));
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clr_dse::{DesignPoint, DesignPointDb, PointOrigin};
+    use clr_platform::Platform;
+    use clr_reliability::FaultModel;
+    use clr_sched::{heft_mapping, Evaluator, Mapping};
+    use clr_taskgraph::{jpeg_encoder, TaskGraph};
+
+    fn fixture() -> (TaskGraph, Platform, DesignPointDb) {
+        let graph = jpeg_encoder();
+        let platform = Platform::dac19();
+        let fm = FaultModel::default();
+        let eval = Evaluator::new(&graph, &platform, fm);
+        let mut db = DesignPointDb::new("fixture");
+        for mapping in [
+            heft_mapping(&graph, &platform, &fm).unwrap(),
+            Mapping::first_fit(&graph, &platform).unwrap(),
+        ] {
+            let metrics = eval.evaluate(&mapping);
+            db.push_if_new(DesignPoint::new(mapping, metrics, PointOrigin::Pareto));
+        }
+        (graph, platform, db)
+    }
+
+    #[test]
+    fn valid_params_pass_clean() {
+        assert!(check_policy_params(0.5, 0.9, 0.1, "agent").is_empty());
+    }
+
+    #[test]
+    fn bad_params_fire_clr040() {
+        let r = check_policy_params(1.5, -0.1, 0.0, "agent");
+        let hits = r
+            .diagnostics()
+            .iter()
+            .filter(|d| d.code == LintCode::PolicyParamOutOfRange)
+            .count();
+        assert_eq!(hits, 3);
+        assert_eq!(r.exit_code(), 1);
+    }
+
+    #[test]
+    fn zero_gamma_agent_subsumes_ura() {
+        let (graph, platform, db) = fixture();
+        let ctx = RuntimeContext::new(&graph, &platform, &db);
+        let mut agent = AuraAgent::new(db.len(), 0.6, 0.0, 0.5).unwrap();
+        let specs = [QosSpec::new(f64::INFINITY, 0.0), QosSpec::new(1e6, 0.5)];
+        assert!(check_aura_subsumes_ura(&ctx, &mut agent, &specs, "agent").is_empty());
+    }
+
+    #[test]
+    fn value_skewed_agent_fires_clr041() {
+        let (graph, platform, db) = fixture();
+        let ctx = RuntimeContext::new(&graph, &platform, &db);
+        // Index of the better performer (norm_performance = 1) and the
+        // worse one; switching toward `better` costs dRC, so a value table
+        // trained (α = 1 pins V exactly) to penalise `better` can flip a
+        // marginal uRA decision once γ is near 1.
+        let (better, worse) = if ctx.norm_performance(0) > ctx.norm_performance(1) {
+            (0usize, 1usize)
+        } else {
+            (1usize, 0usize)
+        };
+        let specs = [QosSpec::new(f64::INFINITY, 0.0)];
+        let mut fired = false;
+        for step in 1..100 {
+            let p_rc = f64::from(step) * 0.01;
+            let mut agent = AuraAgent::new(db.len(), p_rc, 0.99, 1.0).unwrap();
+            // Episode (worse→better, better→worse, worse→better): with
+            // α = 1, V(better) absorbs the negative reward of the
+            // worse-ward transition while V(worse) stays positive.
+            agent.observe(&ctx, worse, better);
+            agent.observe(&ctx, better, worse);
+            agent.observe(&ctx, worse, better);
+            agent.end_episode();
+            let r = check_aura_subsumes_ura(&ctx, &mut agent, &specs, "agent");
+            if r.has_code(LintCode::AuraUraDivergence) {
+                assert_eq!(r.exit_code(), 1);
+                fired = true;
+                break;
+            }
+        }
+        assert!(fired, "some p_rc must expose the skewed value table");
+    }
+}

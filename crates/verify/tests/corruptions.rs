@@ -1,0 +1,329 @@
+//! Seeded-corruption suite: every deliberate act of vandalism against a
+//! valid artifact must trigger exactly the lint code that guards the
+//! broken invariant, with a deny-level (nonzero) exit — and the pristine
+//! artifact must pass clean first. Property tests at the bottom confirm
+//! the linter stays quiet across the generator space.
+
+use clr_dse::{explore_based, DesignPointDb, DseConfig, ExplorationMode, PointOrigin};
+use clr_moea::GaParams;
+use clr_platform::{Interconnect, PeKind, PeType, Platform};
+use clr_reliability::{ConfigSpace, FaultModel};
+use clr_sched::{heft_mapping, reconfiguration_cost, Evaluator, Gene, Mapping};
+use clr_taskgraph::{fork_join_graph, jpeg_encoder, TaskGraph, TgffConfig, TgffGenerator};
+use clr_verify::{
+    check_database, check_database_standalone, check_drc_matrix, check_mapping, LintCode, Report,
+};
+
+const TOLERANCE: f64 = 0.15; // RedConfig::default().tolerance
+
+fn fixture() -> (TaskGraph, Platform, FaultModel) {
+    (jpeg_encoder(), Platform::dac19(), FaultModel::default())
+}
+
+/// A genuinely explored BaseD database with at least two points (a naive
+/// hand-built pair will not do: HEFT outright dominates first-fit on the
+/// JPEG preset, so labelling both Pareto would itself be a lie the linter
+/// rightly rejects).
+fn explored_db() -> (TaskGraph, Platform, FaultModel, DesignPointDb) {
+    let (graph, platform, fm) = fixture();
+    let dse = DseConfig {
+        ga: GaParams::small(),
+        mode: ExplorationMode::Full,
+        reference: None,
+        max_points: None,
+    };
+    for seed in [7u64, 3, 11, 42] {
+        let db = explore_based(&graph, &platform, fm, ConfigSpace::fine(), &dse, seed);
+        if db.len() >= 2 {
+            return (graph, platform, fm, db);
+        }
+    }
+    panic!("no BaseD seed yielded a multi-point front");
+}
+
+fn assert_denies(report: &Report, code: LintCode, what: &str) {
+    assert!(
+        report.has_code(code),
+        "{what}: expected {} in:\n{}",
+        code.code(),
+        report.render_human()
+    );
+    assert_eq!(report.exit_code(), 1, "{what}: must exit nonzero");
+}
+
+#[test]
+fn pristine_database_passes_full_check() {
+    let (graph, platform, fm, db) = explored_db();
+    let report = check_database(
+        &graph,
+        &platform,
+        &fm,
+        ExplorationMode::Full,
+        &db,
+        TOLERANCE,
+    );
+    // The two mappings may duplicate each other metrically (warn) but no
+    // deny-level lint may fire on an honestly built database.
+    assert_eq!(report.exit_code(), 0, "{}", report.render_human());
+}
+
+#[test]
+fn empty_database_fires_clr030() {
+    let db = DesignPointDb::new("void");
+    let report = check_database_standalone(&db, ExplorationMode::Full, TOLERANCE);
+    assert_denies(&report, LintCode::EmptyDatabase, "empty db");
+}
+
+#[test]
+fn dominated_pareto_insertion_fires_clr031() {
+    let (_, _, _, mut db) = explored_db();
+    // Forge a "Pareto" point strictly worse than point 0 on every Full-mode
+    // objective (makespan, error rate, energy).
+    let base = db.point(0).clone();
+    let mut worse = base.clone();
+    worse.metrics.makespan += 10.0;
+    worse.metrics.reliability = (base.metrics.reliability - 0.05).max(0.0);
+    worse.metrics.energy += 10.0;
+    worse.origin = PointOrigin::Pareto;
+    db.push(worse);
+    let report = check_database_standalone(&db, ExplorationMode::Full, TOLERANCE);
+    assert_denies(
+        &report,
+        LintCode::DominatedParetoPoint,
+        "dominated insertion",
+    );
+}
+
+#[test]
+fn degraded_red_extra_fires_clr032() {
+    let (_, _, _, mut db) = explored_db();
+    // A reconfiguration-aware extra degrading *every* objective to double
+    // the worst value any BaseD seed attains — far beyond the 15 %
+    // tolerance of every seed.
+    let worst = |f: fn(&clr_sched::SystemMetrics) -> f64| {
+        db.iter().map(|p| f(&p.metrics)).fold(0.0, f64::max)
+    };
+    let worst_makespan = worst(|m| m.makespan);
+    let worst_error = worst(clr_sched::SystemMetrics::error_rate);
+    let worst_energy = worst(|m| m.energy);
+    let mut extra = db.point(0).clone();
+    extra.metrics.makespan = worst_makespan * 2.0;
+    extra.metrics.reliability = (1.0 - worst_error * 2.0).clamp(0.0, 1.0);
+    extra.metrics.energy = worst_energy * 2.0;
+    extra.origin = PointOrigin::ReconfigAware;
+    db.push(extra);
+    let report = check_database_standalone(&db, ExplorationMode::Full, TOLERANCE);
+    assert_denies(&report, LintCode::RedDegradationExceeded, "degraded extra");
+}
+
+#[test]
+fn duplicate_insertion_fires_clr033_as_warning() {
+    let (_, _, _, mut db) = explored_db();
+    db.push(db.point(0).clone()); // push() skips the dedup of push_if_new
+    let report = check_database_standalone(&db, ExplorationMode::Full, TOLERANCE);
+    assert!(
+        report.has_code(LintCode::DuplicatePoints),
+        "{}",
+        report.render_human()
+    );
+    // Duplicates waste storage but break nothing: warn-level, exit 0.
+    assert_eq!(report.exit_code(), 0);
+}
+
+#[test]
+fn out_of_range_metric_fires_clr034() {
+    let (_, _, _, db) = explored_db();
+    // Tamper at the text level (the decoder deliberately accepts damaged
+    // artifacts so they can be audited).
+    let text = db.to_text();
+    let first_metrics = text
+        .lines()
+        .find(|l| l.starts_with("metrics "))
+        .expect("codec emits metrics lines");
+    let mut fields: Vec<String> = first_metrics.split_whitespace().map(String::from).collect();
+    fields[2] = "1.5".to_string(); // reliability > 1
+    let tampered = text.replacen(first_metrics, &fields.join(" "), 1);
+    let db = DesignPointDb::from_text(&tampered).expect("tampered db still parses");
+    let report = check_database_standalone(&db, ExplorationMode::Full, TOLERANCE);
+    assert_denies(&report, LintCode::MetricOutOfRange, "reliability 1.5");
+}
+
+#[test]
+fn nan_metric_fires_clr035_round_trip() {
+    let (_, _, _, db) = explored_db();
+    let text = db.to_text();
+    let first_metrics = text
+        .lines()
+        .find(|l| l.starts_with("metrics "))
+        .expect("codec emits metrics lines");
+    let mut fields: Vec<String> = first_metrics.split_whitespace().map(String::from).collect();
+    fields[1] = "NaN".to_string(); // makespan
+    let tampered = text.replacen(first_metrics, &fields.join(" "), 1);
+    let db = DesignPointDb::from_text(&tampered).expect("NaN parses");
+    let report = check_database_standalone(&db, ExplorationMode::Full, TOLERANCE);
+    // NaN breaks PartialEq, so decode(encode(db)) != db.
+    assert_denies(&report, LintCode::RoundTripMismatch, "NaN metric");
+    assert!(report.has_code(LintCode::MetricOutOfRange));
+}
+
+#[test]
+fn tampered_metrics_fire_clr036() {
+    let (graph, platform, fm, mut db) = explored_db();
+    // Shave the stored makespan: still in range, still non-dominated, but
+    // no longer what the mapping actually evaluates to.
+    let mut p = db.point(0).clone();
+    p.metrics.makespan += 5.0;
+    p.metrics.energy += 5.0;
+    db.push(p);
+    let report = check_database(
+        &graph,
+        &platform,
+        &fm,
+        ExplorationMode::Full,
+        &db,
+        TOLERANCE,
+    );
+    assert_denies(&report, LintCode::StaleMetrics, "tampered makespan");
+}
+
+#[test]
+fn tampered_drc_cell_fires_clr037() {
+    let (graph, platform, _, db) = explored_db();
+    let mut matrix: Vec<Vec<f64>> = (0..db.len())
+        .map(|i| {
+            (0..db.len())
+                .map(|j| {
+                    reconfiguration_cost(
+                        &graph,
+                        &platform,
+                        &db.point(i).mapping,
+                        &db.point(j).mapping,
+                    )
+                    .total()
+                })
+                .collect()
+        })
+        .collect();
+    // The honest matrix passes.
+    assert!(check_drc_matrix(&graph, &platform, &db, &matrix).is_empty());
+    // One tampered cell does not.
+    matrix[0][1] += 1.0;
+    let report = check_drc_matrix(&graph, &platform, &db, &matrix);
+    assert_denies(&report, LintCode::DrcMatrixMismatch, "tampered drc cell");
+    // A mis-shaped matrix is caught too.
+    let report = check_drc_matrix(&graph, &platform, &db, &[]);
+    assert_denies(&report, LintCode::DrcMatrixMismatch, "mis-shaped matrix");
+}
+
+#[test]
+fn oversubscribed_memory_fires_clr022() {
+    // One 8 KiB PE hosting two 100 KiB binaries of different task types.
+    let platform = Platform::builder()
+        .pe_type(PeType::new("core", PeKind::GeneralPurpose))
+        .pe(0.into(), 8)
+        .interconnect(Interconnect::default())
+        .build()
+        .expect("single-pe platform is valid");
+    let mut b = clr_taskgraph::TaskGraphBuilder::new("fat", 1000.0);
+    for name in ["a", "b"] {
+        let mut h = b.task(name);
+        h.implementation_full(
+            clr_taskgraph::Implementation::new(
+                clr_taskgraph::ImplId::new(0),
+                0.into(),
+                clr_taskgraph::SwStack::BareMetal,
+                10.0,
+            )
+            .with_binary_kib(100),
+        );
+    }
+    b.edge(0.into(), 1.into(), 1.0, 4.0);
+    let graph = b.build().expect("two-task graph is valid");
+    let mapping = Mapping::new(vec![
+        Gene {
+            pe: 0.into(),
+            impl_id: clr_taskgraph::ImplId::new(0),
+            clr: clr_reliability::ClrConfig::NONE,
+            priority: 1,
+        };
+        2
+    ]);
+    let report = check_mapping(&graph, &platform, &mapping, "fat");
+    assert_denies(
+        &report,
+        LintCode::MemoryCapacityExceeded,
+        "oversubscribed pe",
+    );
+}
+
+#[test]
+fn based_exploration_output_is_lint_clean() {
+    // The real pipeline end-to-end: whatever BaseD stores must satisfy
+    // every deny-level database invariant.
+    let (graph, platform, fm) = fixture();
+    let dse = DseConfig {
+        ga: GaParams::small(),
+        mode: ExplorationMode::Full,
+        reference: None,
+        max_points: None,
+    };
+    for seed in [3u64, 11] {
+        let db = explore_based(&graph, &platform, fm, ConfigSpace::fine(), &dse, seed);
+        let report = check_database(
+            &graph,
+            &platform,
+            &fm,
+            ExplorationMode::Full,
+            &db,
+            TOLERANCE,
+        );
+        assert_eq!(
+            report.exit_code(),
+            0,
+            "seed {seed}:\n{}",
+            report.render_human()
+        );
+    }
+}
+
+mod properties {
+    use super::*;
+    use clr_verify::check_task_graph;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Every TGFF-style generated graph lints clean.
+        #[test]
+        fn tgff_generator_is_lint_clean(n in 2usize..40, seed in 0u64..500) {
+            let g = TgffGenerator::new(TgffConfig::with_tasks(n)).generate(seed);
+            let report = check_task_graph(&g);
+            prop_assert!(report.is_empty(), "{}", report.render_human());
+        }
+
+        /// Every fork-join generated graph lints clean (including the
+        /// period-vs-critical-path warning, thanks to the period floor).
+        #[test]
+        fn fork_join_generator_is_lint_clean(n in 1usize..40, seed in 0u64..500) {
+            let g = fork_join_graph(&TgffConfig::with_tasks(n), seed);
+            let report = check_task_graph(&g);
+            prop_assert!(report.is_empty(), "{}", report.render_human());
+        }
+
+        /// HEFT mappings and their schedules lint clean across workloads.
+        #[test]
+        fn heft_pipeline_is_lint_clean(n in 4usize..25, seed in 0u64..200) {
+            let graph = TgffGenerator::new(TgffConfig::with_tasks(n)).generate(seed);
+            let platform = Platform::dac19();
+            let fm = FaultModel::default();
+            let mapping = heft_mapping(&graph, &platform, &fm).expect("generated graphs map");
+            let report = clr_verify::check_mapping(&graph, &platform, &mapping, "heft");
+            prop_assert!(report.is_empty(), "{}", report.render_human());
+            let eval = Evaluator::new(&graph, &platform, fm);
+            let (_, schedule) = eval.evaluate_with_schedule(&mapping);
+            let report = clr_verify::check_schedule(&graph, &mapping, &schedule, "heft");
+            prop_assert!(report.is_empty(), "{}", report.render_human());
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Exporting a BaseD design-point database through the text codec, ready
+//! for auditing with `clr-verify db`.
+//!
+//! Run with: `cargo run --release --example export_db [OUT_PATH]`
+//! (default output: `target/based.db`).
+
+use hybrid_clr::dse::{explore_based, DesignPointDb, DseConfig, ExplorationMode};
+use hybrid_clr::moea::GaParams;
+use hybrid_clr::prelude::*;
+use hybrid_clr::reliability::ConfigSpace;
+use hybrid_clr::taskgraph::jpeg_encoder;
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "target/based.db".to_string());
+    let graph = jpeg_encoder();
+    let platform = Platform::dac19();
+    let config = DseConfig {
+        ga: GaParams::small(),
+        mode: ExplorationMode::Full,
+        reference: None,
+        max_points: None,
+    };
+    let db = explore_based(
+        &graph,
+        &platform,
+        FaultModel::default(),
+        ConfigSpace::fine(),
+        &config,
+        7,
+    );
+    std::fs::write(&out, db.to_text()).expect("write database file");
+    println!("wrote {} point(s) to {out}", db.len());
+
+    // Round-trip sanity before anyone audits the file.
+    let back = DesignPointDb::from_text(&db.to_text()).expect("own output re-parses");
+    assert_eq!(back, db, "text codec must round-trip");
+}

@@ -12,16 +12,27 @@ use hybrid_clr::prelude::*;
 fn main() {
     let graph = jpeg_encoder();
     let platform = Platform::dac19();
-    println!("JPEG encoder: {} tasks / {} edges", graph.num_tasks(), graph.num_edges());
+    println!(
+        "JPEG encoder: {} tasks / {} edges",
+        graph.num_tasks(),
+        graph.num_edges()
+    );
     println!("\n{}", clr_taskgraph::to_dot(&graph));
 
     // --- Table-2 metrics of one DCT task across CLR configurations. ----
     let dct = TaskId::new(1);
     let im = &graph.implementations(dct)[0];
-    let pe_type = platform.pe_types().iter().next().expect("platform has types");
+    let pe_type = platform
+        .pe_types()
+        .iter()
+        .next()
+        .expect("platform has types");
     let fm = FaultModel::new(1e-3, 1e6, 1.0); // harsh orbital environment
     println!("DCT task-level metrics by CLR configuration (λ_SEU = 1e-3):");
-    println!("{:<34} {:>9} {:>9} {:>12} {:>9}", "config", "MinExT", "AvgExT", "ErrProb", "W (mW)");
+    println!(
+        "{:<34} {:>9} {:>9} {:>12} {:>9}",
+        "config", "MinExT", "AvgExT", "ErrProb", "W (mW)"
+    );
     for cfg in ConfigSpace::coarse().configs() {
         let m = TaskMetrics::evaluate(im, pe_type, cfg, &fm);
         println!(

@@ -55,10 +55,7 @@ fn main() {
         .iter()
         .map(|p| p.metrics.reliability)
         .fold(1.0f64, f64::min);
-    let max_makespan = db
-        .iter()
-        .map(|p| p.metrics.makespan)
-        .fold(0.0f64, f64::max);
+    let max_makespan = db.iter().map(|p| p.metrics.makespan).fold(0.0f64, f64::max);
 
     let phases = [
         Phase {

@@ -1,0 +1,229 @@
+//! Offline stand-in for the subset of the `proptest` API this workspace
+//! uses.
+//!
+//! Supports the `proptest!` macro with `ident in strategy` bindings, the
+//! `#![proptest_config(ProptestConfig::with_cases(n))]` inner attribute,
+//! `prop_assert!`/`prop_assert_eq!`, range strategies over the numeric
+//! types, and `proptest::collection::vec`. Cases are generated from a
+//! deterministic per-case RNG (no shrinking: a failing case reports its
+//! inputs via the panic message instead).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Test-runner configuration (`proptest::test_runner::Config` analogue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// A value generator (`proptest::strategy::Strategy` analogue).
+///
+/// Strategies here are plain samplers: no value tree, no shrinking.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Collection strategies (`proptest::collection` analogue).
+pub mod collection {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Length specifications accepted by [`vec`]: an exact length or a
+    /// half-open range of lengths.
+    pub trait SizeRange {
+        /// Draws a concrete length.
+        fn pick(&self, rng: &mut StdRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut StdRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn pick(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Strategy generating a `Vec` of values from an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    /// Creates a strategy producing vectors whose elements come from
+    /// `element` and whose length is drawn from `len`.
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let n = self.len.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Deterministic per-property case runner used by the [`proptest!`]
+/// expansion. Not part of the upstream API surface.
+#[derive(Debug)]
+pub struct CaseRunner {
+    config: ProptestConfig,
+    name_hash: u64,
+}
+
+impl CaseRunner {
+    /// Creates a runner for the property named `name`.
+    #[must_use]
+    pub fn new(config: ProptestConfig, name: &str) -> Self {
+        // FNV-1a over the property name decorrelates sibling properties.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self {
+            config,
+            name_hash: h,
+        }
+    }
+
+    /// Number of cases to run.
+    #[must_use]
+    pub fn cases(&self) -> u32 {
+        self.config.cases
+    }
+
+    /// The RNG for case `case`.
+    #[must_use]
+    pub fn rng(&self, case: u32) -> StdRng {
+        StdRng::seed_from_u64(self.name_hash ^ (u64::from(case).wrapping_mul(0x9E37_79B9)))
+    }
+}
+
+/// Defines property tests: each `#[test] fn name(x in strategy, ...)`
+/// item expands to a plain `#[test]` that runs the body over generated
+/// cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (@cfg ($cfg:expr) $(
+        $(#[$meta:meta])+
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let runner = $crate::CaseRunner::new($cfg, stringify!($name));
+                for case in 0..runner.cases() {
+                    let mut case_rng = runner.rng(case);
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut case_rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// `assert!` inside a property (no shrinking; fails the whole test).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` inside a property (no shrinking; fails the whole test).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// The usual glob-import surface (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn ranges_stay_in_bounds(x in 1usize..10, y in -1.0f64..1.0) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&y));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn vec_lengths_respect_spec(
+            v in collection::vec(0.0f64..1.0, 3..7),
+            w in collection::vec(collection::vec(0u64..5, 2), 1..4),
+        ) {
+            prop_assert!((3..7).contains(&v.len()));
+            prop_assert!((1..4).contains(&w.len()));
+            for inner in &w {
+                prop_assert_eq!(inner.len(), 2);
+            }
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Offline stand-in for the subset of the `serde` API this workspace uses.
+//!
+//! The workspace only ever *derives* `Serialize`/`Deserialize` as forward
+//! compatibility for future persistence work — no serializer is invoked
+//! anywhere. This stub therefore provides the two marker traits (blanket
+//! implemented for every type) and re-exports no-op derive macros, so the
+//! existing `#[derive(Serialize, Deserialize)]` annotations compile
+//! unchanged without network access to crates.io. Actual artifact
+//! persistence is handled by the explicit text codecs in `clr-dse`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

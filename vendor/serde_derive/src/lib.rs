@@ -1,0 +1,20 @@
+//! No-op `Serialize`/`Deserialize` derive macros for the vendored serde
+//! stand-in.
+//!
+//! The real traits are blanket-implemented in the `serde` stub crate, so
+//! these derives only need to *exist* for `#[derive(Serialize)]` /
+//! `#[derive(Deserialize)]` annotations to parse; they emit no code.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
