@@ -4,14 +4,21 @@
 # Runs, in order:
 #   1. cargo fmt --check           — formatting wall
 #   2. cargo clippy -D warnings    — workspace lint wall (all targets)
-#   3. cargo test -q               — full test suite
+#   3. cargo test -q, twice        — full test suite at CLR_THREADS=1 and
+#                                    CLR_THREADS=4: the parallel evaluation
+#                                    layer must be bit-identical at every
+#                                    thread count, so a divergence (or a
+#                                    thread-count-sensitive test) fails here
 #   4. clr-verify all              — cross-layer model audit of the bundled
 #                                    presets (platforms, generators, HEFT,
 #                                    BaseD/ReD database, dRC matrix, policies,
 #                                    scenario suite)
 #   5. clr-verify tgff <examples>  — audit of the example TGFF inputs
 #   6. export_db + clr-verify db   — text-codec round-trip of a real BaseD
-#                                    database through the file-level auditor
+#                                    database through the file-level auditor;
+#                                    the database is exported once per thread
+#                                    count and byte-compared, then the
+#                                    parallel-run export is audited
 #
 # Any failure aborts the script (set -e); clr-verify exits nonzero on
 # deny-level findings, so a model regression fails CI like a test would.
@@ -27,8 +34,11 @@ cargo fmt --all -- --check
 step "cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets --quiet -- -D warnings
 
-step "cargo test -q"
-cargo test --workspace -q
+step "cargo test -q (CLR_THREADS=1)"
+CLR_THREADS=1 cargo test --workspace -q
+
+step "cargo test -q (CLR_THREADS=4)"
+CLR_THREADS=4 cargo test --workspace -q
 
 step "build clr-verify + examples"
 cargo build --release --quiet -p clr-verify --bin clr-verify
@@ -41,9 +51,13 @@ step "clr-verify all (bundled scenario presets)"
 step "clr-verify tgff (example TGFF inputs)"
 "$VERIFY" tgff examples/data/*.tgff
 
-step "clr-verify db (exported BaseD database)"
-DB=target/ci-based.db
-./target/release/examples/export_db "$DB"
-"$VERIFY" db "$DB"
+step "clr-verify db (BaseD database exported from a parallel run)"
+DB_SERIAL=target/ci-based-t1.db
+DB_PARALLEL=target/ci-based-t4.db
+CLR_THREADS=1 ./target/release/examples/export_db "$DB_SERIAL"
+CLR_THREADS=4 ./target/release/examples/export_db "$DB_PARALLEL"
+cmp "$DB_SERIAL" "$DB_PARALLEL" \
+  || { echo "serial and parallel DSE runs diverged"; exit 1; }
+"$VERIFY" db "$DB_PARALLEL"
 
 printf '\nci.sh: all gates passed.\n'

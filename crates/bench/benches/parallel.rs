@@ -1,0 +1,154 @@
+//! Serial vs parallel wall-clock comparison of the four fan-out sites the
+//! `clr-par` worker pool wires up: MOEA population evaluation (HvGA and
+//! NSGA-II on the CLR mapping problem), Monte-Carlo replications, and
+//! fault-injection campaigns. Every site is bit-identical across thread
+//! counts, so these benches measure pure wall-clock — the `threads=1` and
+//! `threads=N` rows of each group must agree on their outputs and differ
+//! only in time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use clr_core::prelude::*;
+use clr_core::runtime::simulate_replications;
+
+const THREAD_COUNTS: [usize; 2] = [1, 4];
+
+fn graph_of(n: usize) -> TaskGraph {
+    TgffGenerator::new(TgffConfig::with_tasks(n)).generate(n as u64)
+}
+
+/// HvGA population evaluation on the CLR mapping problem (Eq. 5 loop).
+fn hvga_evaluation(c: &mut Criterion) {
+    let platform = Platform::dac19();
+    let graph = graph_of(30);
+    let mut group = c.benchmark_group("hvga_eval_30_tasks");
+    for threads in THREAD_COUNTS {
+        let problem = ClrMappingProblem::new(
+            &graph,
+            &platform,
+            FaultModel::default(),
+            ConfigSpace::fine(),
+            ExplorationMode::Csp,
+        );
+        let params = GaParams {
+            threads,
+            ..GaParams::small()
+        };
+        // Generous QoS box over the CSP-mode objective pair.
+        let reference = vec![1e6, 1e6];
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("threads={threads}")),
+            &threads,
+            |b, _| {
+                b.iter(|| black_box(HvGa::new(problem.clone(), params, reference.clone()).run(1)));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// NSGA-II population evaluation on the CLR mapping problem.
+fn nsga2_evaluation(c: &mut Criterion) {
+    let platform = Platform::dac19();
+    let graph = graph_of(30);
+    let mut group = c.benchmark_group("nsga2_eval_30_tasks");
+    for threads in THREAD_COUNTS {
+        let problem = ClrMappingProblem::new(
+            &graph,
+            &platform,
+            FaultModel::default(),
+            ConfigSpace::fine(),
+            ExplorationMode::Csp,
+        );
+        let params = GaParams {
+            threads,
+            ..GaParams::small()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("threads={threads}")),
+            &threads,
+            |b, _| {
+                b.iter(|| black_box(Nsga2::new(problem.clone(), params).run(1)));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Independent Monte-Carlo replications of the run-time simulation.
+fn mc_replications(c: &mut Criterion) {
+    let platform = Platform::dac19();
+    let graph = graph_of(15);
+    let cfg = DseConfig {
+        ga: GaParams::small(),
+        mode: ExplorationMode::Csp,
+        reference: None,
+        max_points: None,
+    };
+    let db = explore_based(
+        &graph,
+        &platform,
+        FaultModel::default(),
+        ConfigSpace::fine(),
+        &cfg,
+        15,
+    );
+    let ctx = RuntimeContext::new(&graph, &platform, &db);
+    let qos = QosVariationModel::calibrated(&db, 0.25, 0.3);
+    let sim_cfg = SimConfig::quick(5);
+    let mut group = c.benchmark_group("mc_replications_x8");
+    for threads in THREAD_COUNTS {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("threads={threads}")),
+            &threads,
+            |b, &t| {
+                b.iter(|| {
+                    black_box(simulate_replications(
+                        &ctx,
+                        |_| UraPolicy::new(0.5).unwrap(),
+                        &qos,
+                        &sim_cfg,
+                        8,
+                        t,
+                    ))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Fault-injection campaign over many derived per-trial RNG streams.
+fn injection_campaign(c: &mut Criterion) {
+    let graph = jpeg_encoder();
+    let platform = Platform::dac19();
+    let im = &graph.implementations(1.into())[0];
+    let ty = &platform.pe_types()[0];
+    let cfg = ClrConfig::new(
+        HwMethod::PartialTmr,
+        SswMethod::Retry { max_retries: 2 },
+        AswMethod::Checksum,
+    );
+    let injector = FaultInjector::new(im, ty, cfg, FaultModel::new(2e-3, 1e6, 1.0));
+    let mut group = c.benchmark_group("fault_injection_100k");
+    for threads in THREAD_COUNTS {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("threads={threads}")),
+            &threads,
+            |b, &t| {
+                b.iter(|| black_box(injector.estimate_with_threads(100_000, 7, t)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    hvga_evaluation,
+    nsga2_evaluation,
+    mc_replications,
+    injection_campaign
+);
+criterion_main!(benches);

@@ -82,7 +82,17 @@ pub fn explore_red(
         db.push(p.clone());
     }
 
-    for (i, seed_point) in based.iter().enumerate() {
+    // Per-seed neighbourhood searches are independent: fan them out over
+    // the worker pool (`config.ga.threads`, `0` = automatic) and merge the
+    // resulting candidate lists serially in seed order, so the database is
+    // bit-identical for every thread count. Each inner GA runs serially
+    // (threads = 1) — the parallelism budget is spent across seeds.
+    let inner_ga = GaParams {
+        threads: 1,
+        ..config.ga
+    };
+    let seed_points: Vec<&DesignPoint> = based.iter().collect();
+    let per_seed = clr_par::par_map(config.ga.threads, &seed_points, |i, seed_point| {
         let inner =
             ClrMappingProblem::new(graph, platform, fault_model, config_space.clone(), mode);
         let evaluator = inner.evaluator().clone();
@@ -97,7 +107,7 @@ pub fn explore_red(
             based_mappings: &based_mappings,
             tolerance: config.tolerance,
         };
-        let front = Nsga2::new(problem, config.ga).run(seed.wrapping_add(i as u64 * 7919));
+        let front = Nsga2::new(problem, inner_ga).run(seed.wrapping_add(i as u64 * 7919));
 
         // Keep the candidates that actually beat the seed on average dRC.
         let mut candidates: Vec<(Mapping, f64)> = front
@@ -109,15 +119,18 @@ pub fn explore_red(
             })
             .filter(|(_, drc)| *drc + 1e-9 < seed_avg_drc)
             .collect();
-        candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("drc is finite"));
-        for (mapping, _) in candidates.into_iter().take(config.max_extra_per_seed) {
-            let metrics = evaluator.evaluate(&mapping);
-            db.push_if_new(DesignPoint::new(
-                mapping,
-                metrics,
-                PointOrigin::ReconfigAware,
-            ));
-        }
+        candidates.sort_by(|a, b| a.1.total_cmp(&b.1));
+        candidates
+            .into_iter()
+            .take(config.max_extra_per_seed)
+            .map(|(mapping, _)| {
+                let metrics = evaluator.evaluate(&mapping);
+                DesignPoint::new(mapping, metrics, PointOrigin::ReconfigAware)
+            })
+            .collect::<Vec<DesignPoint>>()
+    });
+    for point in per_seed.into_iter().flatten() {
+        db.push_if_new(point);
     }
 
     // Honour the total storage constraint: extras are evicted worst (highest
@@ -131,7 +144,7 @@ pub fn explore_red(
                 .max_by(|(_, a), (_, b)| {
                     let da = average_drc(graph, platform, &based_mappings, &a.mapping);
                     let dbv = average_drc(graph, platform, &based_mappings, &b.mapping);
-                    da.partial_cmp(&dbv).expect("drc is finite")
+                    da.total_cmp(&dbv)
                 })
                 .map(|(i, _)| i);
             match victim {
@@ -267,6 +280,47 @@ mod tests {
                 red.iter().any(|q| q.metrics == p.metrics),
                 "based point missing from red"
             );
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_red_runs_are_bit_identical() {
+        let graph = TgffGenerator::new(TgffConfig::with_tasks(8)).generate(3);
+        let platform = Platform::dac19();
+        let fm = FaultModel::default();
+        let dse_cfg = DseConfig {
+            ga: GaParams::small(),
+            mode: ExplorationMode::Csp,
+            reference: None,
+            max_points: None,
+        };
+        let based = explore_based(&graph, &platform, fm, ConfigSpace::fine(), &dse_cfg, 3);
+        let run = |threads: usize| {
+            let red_cfg = RedConfig {
+                ga: GaParams {
+                    threads,
+                    ..GaParams::small()
+                },
+                ..RedConfig::default()
+            };
+            explore_red(
+                &graph,
+                &platform,
+                fm,
+                ConfigSpace::fine(),
+                ExplorationMode::Csp,
+                &based,
+                &red_cfg,
+                3,
+            )
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(parallel.iter()) {
+            assert_eq!(a.mapping, b.mapping);
+            assert_eq!(a.metrics, b.metrics);
+            assert_eq!(a.origin, b.origin);
         }
     }
 

@@ -93,7 +93,10 @@ fn front_construction(env: &Env) {
         table.row([
             name.to_string(),
             objs.len().to_string(),
-            format!("{:.3e}", hypervolume(objs, &reference)),
+            format!(
+                "{:.3e}",
+                hypervolume(objs, &reference).expect("finite front")
+            ),
         ]);
     }
     table.emit("ablation_front_construction");
@@ -151,7 +154,10 @@ fn eq4_variants(env: &Env) {
         table.row([
             name.clone(),
             objs.len().to_string(),
-            format!("{:.3e}", hypervolume(objs, &reference)),
+            format!(
+                "{:.3e}",
+                hypervolume(objs, &reference).expect("finite front")
+            ),
         ]);
     }
     table.emit("ablation_eq4_variants");

@@ -50,11 +50,35 @@ impl<S: Clone> ParetoArchive<S> {
     /// admitted (it is not dominated by, nor identical in objectives to,
     /// any current entry); dominated incumbents are evicted.
     pub fn insert(&mut self, solution: S, objectives: Vec<f64>) -> bool {
-        for (_, existing) in &self.entries {
-            if dominates(existing, &objectives) || *existing == objectives {
-                return false;
-            }
+        if !self.admissible(&objectives) {
+            return false;
         }
+        self.commit(solution, objectives);
+        true
+    }
+
+    /// Like [`insert`](Self::insert), but takes the solution by reference
+    /// and clones it **only if it is admitted** — the right call in scoring
+    /// loops where most candidates are rejected.
+    pub fn offer(&mut self, solution: &S, objectives: Vec<f64>) -> bool {
+        if !self.admissible(&objectives) {
+            return false;
+        }
+        self.commit(solution.clone(), objectives);
+        true
+    }
+
+    /// `true` if the candidate objectives are neither dominated by nor
+    /// identical to any current entry.
+    fn admissible(&self, objectives: &[f64]) -> bool {
+        !self.entries.iter().any(|(_, existing)| {
+            dominates(existing, objectives) || existing.as_slice() == objectives
+        })
+    }
+
+    /// Inserts an admissible candidate: evicts dominated incumbents, then
+    /// enforces the capacity bound.
+    fn commit(&mut self, solution: S, objectives: Vec<f64>) {
         self.entries
             .retain(|(_, existing)| !dominates(&objectives, existing));
         self.entries.push((solution, objectives));
@@ -63,7 +87,6 @@ impl<S: Clone> ParetoArchive<S> {
                 self.prune_most_crowded();
             }
         }
-        true
     }
 
     fn prune_most_crowded(&mut self) {
@@ -72,7 +95,7 @@ impl<S: Clone> ParetoArchive<S> {
         let (victim, _) = dist
             .iter()
             .enumerate()
-            .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("crowding is not NaN"))
+            .min_by(|(_, a), (_, b)| a.total_cmp(b))
             .expect("archive is non-empty when pruning");
         self.entries.swap_remove(victim);
     }
@@ -138,6 +161,25 @@ mod tests {
         assert!(a.insert(1, vec![1.0, 2.0]));
         assert!(!a.insert(2, vec![1.0, 2.0]));
         assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn offer_matches_insert_semantics() {
+        let mut by_value = ParetoArchive::unbounded();
+        let mut by_ref = ParetoArchive::unbounded();
+        let points = [
+            vec![3.0, 3.0],
+            vec![4.0, 2.0],
+            vec![1.0, 1.0],
+            vec![1.0, 1.0],
+            vec![0.5, 2.0],
+        ];
+        for (i, p) in points.iter().enumerate() {
+            let a = by_value.insert(i, p.clone());
+            let b = by_ref.offer(&i, p.clone());
+            assert_eq!(a, b, "divergence at point {i}");
+        }
+        assert_eq!(by_value.entries(), by_ref.entries());
     }
 
     #[test]

@@ -104,11 +104,7 @@ pub fn crowding_distances(points: &[Vec<f64>]) -> Vec<f64> {
     #[allow(clippy::needless_range_loop)]
     for obj in 0..m {
         let mut idx: Vec<usize> = (0..n).collect();
-        idx.sort_by(|&a, &b| {
-            points[a][obj]
-                .partial_cmp(&points[b][obj])
-                .expect("objectives must not be NaN")
-        });
+        idx.sort_by(|&a, &b| points[a][obj].total_cmp(&points[b][obj]));
         let lo = points[idx[0]][obj];
         let hi = points[idx[n - 1]][obj];
         dist[idx[0]] = f64::INFINITY;

@@ -78,6 +78,10 @@ impl<P: Problem> HvGa<P> {
     /// Runs the GA and returns the non-dominated archive of *feasible*
     /// design points discovered across all generations.
     ///
+    /// Population evaluation fans out over `params.threads` workers
+    /// (`0` = automatic); all RNG-driven variation stays on the master
+    /// thread, so the result is bit-identical for every thread count.
+    ///
     /// # Panics
     ///
     /// Panics if the problem emits objective vectors whose length differs
@@ -87,18 +91,15 @@ impl<P: Problem> HvGa<P> {
         let mut rng = StdRng::seed_from_u64(seed ^ 0x4856_4741_8d5a_11c3);
         let mut archive = ParetoArchive::unbounded();
 
-        // (solution, fitness, feasible?, objectives)
-        let mut pop: Vec<(P::Solution, f64, bool)> = (0..p.population)
-            .map(|_| {
-                let s = self.problem.random_solution(&mut rng);
-                let (fit, feas) = self.score(&s, &mut archive);
-                (s, fit, feas)
-            })
+        let initial: Vec<P::Solution> = (0..p.population)
+            .map(|_| self.problem.random_solution(&mut rng))
             .collect();
+        // (solution, fitness, feasible?)
+        let mut pop = self.score_all(initial, &mut archive);
 
         for _ in 0..p.generations {
-            let mut next = Vec::with_capacity(p.population);
-            while next.len() < p.population {
+            let mut children = Vec::with_capacity(p.population);
+            while children.len() < p.population {
                 let a = self.tournament(&pop, &mut rng);
                 let b = self.tournament(&pop, &mut rng);
                 let mut child = if rng.gen_bool(p.crossover_prob) {
@@ -109,30 +110,62 @@ impl<P: Problem> HvGa<P> {
                 if rng.gen_bool(p.mutation_prob.clamp(0.0, 1.0)) {
                     self.problem.mutate(&mut child, &mut rng);
                 }
-                let (fit, feas) = self.score(&child, &mut archive);
-                next.push((child, fit, feas));
+                children.push(child);
             }
-            // Elitism: keep the single best of the old generation.
+            let mut next = self.score_all(children, &mut archive);
+            // Elitism: keep the single best of the old generation. The old
+            // population is about to be dropped, so swapping the elite into
+            // slot 0 is allocation-free (the displaced child was already
+            // scored and offered to the archive above).
             if let Some(best) = pop
                 .iter()
-                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("fitness is finite"))
+                .enumerate()
+                .max_by(|(_, a), (_, b)| a.1.total_cmp(&b.1))
+                .map(|(i, _)| i)
             {
-                next[0] = best.clone();
+                std::mem::swap(&mut next[0], &mut pop[best]);
             }
             pop = next;
         }
         archive
     }
 
-    /// Evaluates a solution: archives feasible points, returns its signed
-    /// hyper-volume fitness.
-    fn score(&self, s: &P::Solution, archive: &mut ParetoArchive<P::Solution>) -> (f64, bool) {
-        let eval = self.problem.evaluate(s);
+    /// Evaluates a batch of solutions on the worker pool, then — serially,
+    /// in index order — offers feasible points to the archive and attaches
+    /// each solution's signed hyper-volume fitness.
+    fn score_all(
+        &self,
+        solutions: Vec<P::Solution>,
+        archive: &mut ParetoArchive<P::Solution>,
+    ) -> Vec<(P::Solution, f64, bool)> {
+        let evals = clr_par::par_map(self.params.threads, &solutions, |_, s| {
+            self.problem.evaluate(s)
+        });
+        solutions
+            .into_iter()
+            .zip(evals)
+            .map(|(s, eval)| {
+                let (fitness, feasible) = self.score(&eval);
+                if feasible {
+                    archive.offer(&s, eval.objectives);
+                }
+                (s, fitness, feasible)
+            })
+            .collect()
+    }
+
+    /// Signed hyper-volume fitness of one evaluation. Non-finite objective
+    /// vectors are treated as hard-infeasible (`-inf` fitness) so they can
+    /// never reach the archive or poison comparisons with NaN.
+    fn score(&self, eval: &crate::Evaluation) -> (f64, bool) {
         assert_eq!(
             eval.objectives.len(),
             self.reference.len(),
             "objective/reference dimension mismatch"
         );
+        if eval.objectives.iter().any(|o| !o.is_finite()) {
+            return (f64::NEG_INFINITY, false);
+        }
         let mut fitness = signed_hypervolume_fitness(&eval.objectives, &self.reference);
         if !eval.is_feasible() {
             // Problem-level constraint violations (beyond the reference
@@ -140,9 +173,6 @@ impl<P: Problem> HvGa<P> {
             fitness -= eval.violation.max(0.0) * (1.0 + fitness.abs());
         }
         let feasible = eval.is_feasible() && fitness >= 0.0;
-        if feasible {
-            archive.insert(s.clone(), eval.objectives);
-        }
         (fitness, feasible)
     }
 
@@ -201,6 +231,72 @@ mod tests {
         let a = HvGa::new(Diagonal, GaParams::small(), vec![1.0, 1.0]).run(5);
         let b = HvGa::new(Diagonal, GaParams::small(), vec![1.0, 1.0]).run(5);
         assert_eq!(a.objectives(), b.objectives());
+    }
+
+    #[test]
+    fn serial_and_parallel_runs_are_bit_identical() {
+        for seed in [0u64, 7, 42] {
+            let serial = HvGa::new(
+                Diagonal,
+                GaParams {
+                    threads: 1,
+                    ..GaParams::small()
+                },
+                vec![1.0, 1.0],
+            )
+            .run(seed);
+            let parallel = HvGa::new(
+                Diagonal,
+                GaParams {
+                    threads: 4,
+                    ..GaParams::small()
+                },
+                vec![1.0, 1.0],
+            )
+            .run(seed);
+            let a: Vec<Vec<u64>> = serial
+                .objectives()
+                .iter()
+                .map(|o| o.iter().map(|x| x.to_bits()).collect())
+                .collect();
+            let b: Vec<Vec<u64>> = parallel
+                .objectives()
+                .iter()
+                .map(|o| o.iter().map(|x| x.to_bits()).collect())
+                .collect();
+            assert_eq!(a, b, "seed {seed}");
+        }
+    }
+
+    /// Emits a NaN objective for part of the search space; the GA must
+    /// treat those candidates as hard-infeasible instead of panicking.
+    struct PartiallyNaN;
+    impl Problem for PartiallyNaN {
+        type Solution = f64;
+        fn random_solution(&self, rng: &mut dyn RngCore) -> f64 {
+            unit(rng) * 2.0
+        }
+        fn evaluate(&self, x: &f64) -> Evaluation {
+            if *x > 1.0 {
+                Evaluation::feasible(vec![f64::NAN, *x])
+            } else {
+                Evaluation::feasible(vec![*x, 1.0 - x])
+            }
+        }
+        fn crossover(&self, a: &f64, b: &f64, _r: &mut dyn RngCore) -> f64 {
+            (a + b) / 2.0
+        }
+        fn mutate(&self, x: &mut f64, rng: &mut dyn RngCore) {
+            *x = (*x + unit(rng) * 0.8 - 0.4).clamp(0.0, 2.0);
+        }
+    }
+
+    #[test]
+    fn nan_objectives_never_reach_the_archive() {
+        let archive = HvGa::new(PartiallyNaN, GaParams::small(), vec![1.0, 1.0]).run(11);
+        for (_, o) in &archive {
+            assert!(o.iter().all(|x| x.is_finite()), "{o:?} archived");
+        }
     }
 
     #[test]

@@ -7,7 +7,53 @@
 //! relative to `R`; infeasible points are charged the (negative) box
 //! between `R` and their violating coordinates.
 
+use std::fmt;
+
 use crate::dominance::dominates;
+
+/// Rejected input to [`hypervolume`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HypervolumeError {
+    /// Point `index` has a different dimensionality than the reference.
+    DimensionMismatch {
+        /// Index of the offending point in the input slice.
+        index: usize,
+        /// The reference point's dimensionality.
+        expected: usize,
+        /// The offending point's dimensionality.
+        found: usize,
+    },
+    /// Point `index` contains a NaN or infinite coordinate.
+    NonFinitePoint {
+        /// Index of the offending point in the input slice.
+        index: usize,
+    },
+    /// The reference point contains a NaN or infinite coordinate.
+    NonFiniteReference,
+}
+
+impl fmt::Display for HypervolumeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DimensionMismatch {
+                index,
+                expected,
+                found,
+            } => write!(
+                f,
+                "point {index} has {found} objectives, reference has {expected}"
+            ),
+            Self::NonFinitePoint { index } => {
+                write!(f, "point {index} has a NaN or infinite coordinate")
+            }
+            Self::NonFiniteReference => {
+                write!(f, "reference point has a NaN or infinite coordinate")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HypervolumeError {}
 
 /// Exact hypervolume (minimisation) of `points` w.r.t. `reference`:
 /// the Lebesgue measure of `⋃_p [p, reference]` for points dominating the
@@ -18,34 +64,52 @@ use crate::dominance::dominates;
 /// exact in any dimension, efficient for the front sizes the DSE handles
 /// (tens to a few hundred points).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if point dimensionalities disagree with the reference.
+/// Returns a [`HypervolumeError`] if a point's dimensionality disagrees
+/// with the reference or any coordinate is NaN/infinite — instead of
+/// panicking (or silently mis-sorting) deep inside the recursion.
 ///
 /// # Examples
 ///
 /// ```
 /// use clr_moea::hypervolume;
 /// // A single point (1, 1) vs reference (3, 3) sweeps a 2×2 square.
-/// assert_eq!(hypervolume(&[vec![1.0, 1.0]], &[3.0, 3.0]), 4.0);
+/// assert_eq!(hypervolume(&[vec![1.0, 1.0]], &[3.0, 3.0]).unwrap(), 4.0);
 /// // A dominated point adds nothing.
-/// let hv = hypervolume(&[vec![1.0, 1.0], vec![2.0, 2.0]], &[3.0, 3.0]);
+/// let hv = hypervolume(&[vec![1.0, 1.0], vec![2.0, 2.0]], &[3.0, 3.0]).unwrap();
 /// assert_eq!(hv, 4.0);
+/// // Non-finite coordinates are rejected with a clear error.
+/// assert!(hypervolume(&[vec![f64::NAN, 1.0]], &[3.0, 3.0]).is_err());
 /// ```
-pub fn hypervolume(points: &[Vec<f64>], reference: &[f64]) -> f64 {
+pub fn hypervolume(points: &[Vec<f64>], reference: &[f64]) -> Result<f64, HypervolumeError> {
     let d = reference.len();
+    if !reference.iter().all(|r| r.is_finite()) {
+        return Err(HypervolumeError::NonFiniteReference);
+    }
+    for (index, p) in points.iter().enumerate() {
+        if p.len() != d {
+            return Err(HypervolumeError::DimensionMismatch {
+                index,
+                expected: d,
+                found: p.len(),
+            });
+        }
+        if !p.iter().all(|x| x.is_finite()) {
+            return Err(HypervolumeError::NonFinitePoint { index });
+        }
+    }
     let mut inside: Vec<Vec<f64>> = points
         .iter()
-        .inspect(|p| assert_eq!(p.len(), d, "point dimension mismatch"))
         .filter(|p| p.iter().zip(reference).all(|(x, r)| x < r))
         .cloned()
         .collect();
     if inside.is_empty() {
-        return 0.0;
+        return Ok(0.0);
     }
     // Keep only the non-dominated subset (dominated points add nothing).
     inside = non_dominated(inside);
-    hv_recursive(&mut inside, reference)
+    Ok(hv_recursive(&mut inside, reference))
 }
 
 fn non_dominated(points: Vec<Vec<f64>>) -> Vec<Vec<f64>> {
@@ -68,8 +132,9 @@ fn hv_recursive(points: &mut [Vec<f64>], reference: &[f64]) -> f64 {
         let best = points.iter().map(|p| p[0]).fold(f64::INFINITY, f64::min);
         return (reference[0] - best).max(0.0);
     }
-    // Sort by first objective ascending.
-    points.sort_by(|a, b| a[0].partial_cmp(&b[0]).expect("objectives must not be NaN"));
+    // Sort by first objective ascending (coordinates are validated finite
+    // at the entry point; total_cmp keeps the sort a total order anyway).
+    points.sort_by(|a, b| a[0].total_cmp(&b[0]));
     let mut volume = 0.0;
     let n = points.len();
     for i in 0..n {
@@ -133,13 +198,13 @@ mod tests {
         // (1,2) and (2,1) vs (3,3): union area = 2*1 + 1*2 + 1*1 = wait —
         // compute directly: boxes [1,3]x[2,3] (area 2) ∪ [2,3]x[1,3]
         // (area 2), overlap [2,3]x[2,3] (area 1) → 3.
-        let hv = hypervolume(&[vec![1.0, 2.0], vec![2.0, 1.0]], &[3.0, 3.0]);
+        let hv = hypervolume(&[vec![1.0, 2.0], vec![2.0, 1.0]], &[3.0, 3.0]).unwrap();
         assert!((hv - 3.0).abs() < 1e-12, "hv {hv}");
     }
 
     #[test]
     fn three_dimensional_box() {
-        let hv = hypervolume(&[vec![0.0, 0.0, 0.0]], &[2.0, 3.0, 4.0]);
+        let hv = hypervolume(&[vec![0.0, 0.0, 0.0]], &[2.0, 3.0, 4.0]).unwrap();
         assert!((hv - 24.0).abs() < 1e-12);
     }
 
@@ -151,21 +216,51 @@ mod tests {
         let hv = hypervolume(
             &[vec![0.0, 0.0, 1.0], vec![1.0, 1.0, 0.0]],
             &[2.0, 2.0, 2.0],
-        );
+        )
+        .unwrap();
         assert!((hv - 5.0).abs() < 1e-12, "hv {hv}");
     }
 
     #[test]
     fn points_outside_reference_contribute_nothing() {
-        let hv = hypervolume(&[vec![4.0, 1.0]], &[3.0, 3.0]);
+        let hv = hypervolume(&[vec![4.0, 1.0]], &[3.0, 3.0]).unwrap();
         assert_eq!(hv, 0.0);
-        assert_eq!(hypervolume(&[], &[1.0, 1.0]), 0.0);
+        assert_eq!(hypervolume(&[], &[1.0, 1.0]).unwrap(), 0.0);
     }
 
     #[test]
     fn duplicates_do_not_double_count() {
-        let hv = hypervolume(&[vec![1.0, 1.0], vec![1.0, 1.0]], &[2.0, 2.0]);
+        let hv = hypervolume(&[vec![1.0, 1.0], vec![1.0, 1.0]], &[2.0, 2.0]).unwrap();
         assert!((hv - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected_not_panicked() {
+        assert_eq!(
+            hypervolume(&[vec![1.0], vec![1.0, 2.0]], &[3.0]),
+            Err(HypervolumeError::DimensionMismatch {
+                index: 1,
+                expected: 1,
+                found: 2
+            })
+        );
+        assert_eq!(
+            hypervolume(&[vec![1.0, f64::NAN]], &[3.0, 3.0]),
+            Err(HypervolumeError::NonFinitePoint { index: 0 })
+        );
+        assert_eq!(
+            hypervolume(&[vec![1.0, f64::INFINITY]], &[3.0, 3.0]),
+            Err(HypervolumeError::NonFinitePoint { index: 0 })
+        );
+        assert_eq!(
+            hypervolume(&[vec![1.0, 1.0]], &[3.0, f64::NAN]),
+            Err(HypervolumeError::NonFiniteReference)
+        );
+        // The errors render human-readable diagnostics.
+        let msg = hypervolume(&[vec![f64::NAN]], &[1.0])
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("point 0"), "{msg}");
     }
 
     #[test]
@@ -186,10 +281,10 @@ mod tests {
             extra in proptest::collection::vec(0.0f64..5.0, 2),
         ) {
             let reference = vec![6.0, 6.0];
-            let base = hypervolume(&pts, &reference);
+            let base = hypervolume(&pts, &reference).unwrap();
             let mut more = pts.clone();
             more.push(extra);
-            let bigger = hypervolume(&more, &reference);
+            let bigger = hypervolume(&more, &reference).unwrap();
             prop_assert!(bigger >= base - 1e-9);
         }
 
@@ -198,7 +293,7 @@ mod tests {
             pts in proptest::collection::vec(proptest::collection::vec(0.0f64..5.0, 3), 1..8),
         ) {
             let reference = vec![5.0, 5.0, 5.0];
-            let hv = hypervolume(&pts, &reference);
+            let hv = hypervolume(&pts, &reference).unwrap();
             prop_assert!(hv <= 125.0 + 1e-9);
             prop_assert!(hv >= 0.0);
         }
@@ -210,7 +305,7 @@ mod tests {
             // Independent 2-D implementation: sort the non-dominated set by
             // x and accumulate staircase slabs.
             let reference = [6.0f64, 6.0];
-            let hv = hypervolume(&pts, reference.as_ref());
+            let hv = hypervolume(&pts, reference.as_ref()).unwrap();
             let mut nd: Vec<Vec<f64>> = Vec::new();
             'outer: for p in &pts {
                 for q in &pts {
@@ -218,7 +313,7 @@ mod tests {
                 }
                 if !nd.contains(p) { nd.push(p.clone()); }
             }
-            nd.sort_by(|a, b| a[0].partial_cmp(&b[0]).unwrap());
+            nd.sort_by(|a, b| a[0].total_cmp(&b[0]));
             let mut area = 0.0;
             let mut prev_y = reference[1];
             for p in &nd {

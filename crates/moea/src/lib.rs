@@ -64,7 +64,7 @@ mod spea2;
 pub use archive::ParetoArchive;
 pub use dominance::{crowding_distances, dominates, non_dominated_sort};
 pub use hvga::HvGa;
-pub use hypervolume::{hypervolume, signed_hypervolume_fitness};
+pub use hypervolume::{hypervolume, signed_hypervolume_fitness, HypervolumeError};
 pub use indicators::{coverage, igd, spacing};
 pub use local_search::LocalSearch;
 pub use nsga2::{Individual, Nsga2};

@@ -83,21 +83,22 @@ impl<P: Problem> Nsga2<P> {
 
     /// Runs the evolutionary loop and returns the entire final population
     /// with ranks and crowding assigned.
+    ///
+    /// Population evaluation fans out over `params.threads` workers
+    /// (`0` = automatic); all RNG-driven variation stays on the master
+    /// thread, so the result is bit-identical for every thread count.
     pub fn run_population(&self, seed: u64) -> Vec<Individual<P::Solution>> {
         let p = &self.params;
         let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_5eed_0bad_f00d);
-        let mut pop: Vec<Individual<P::Solution>> = (0..p.population)
-            .map(|_| {
-                let s = self.problem.random_solution(&mut rng);
-                let e = self.problem.evaluate(&s);
-                Individual::new(s, e)
-            })
+        let initial: Vec<P::Solution> = (0..p.population)
+            .map(|_| self.problem.random_solution(&mut rng))
             .collect();
+        let mut pop = self.evaluate_all(initial);
         assign_rank_and_crowding(&mut pop);
 
         for _ in 0..p.generations {
-            let mut offspring = Vec::with_capacity(p.population);
-            while offspring.len() < p.population {
+            let mut children = Vec::with_capacity(p.population);
+            while children.len() < p.population {
                 let a = tournament(&pop, p.tournament, &mut rng);
                 let b = tournament(&pop, p.tournament, &mut rng);
                 let mut child = if rng.gen_bool(p.crossover_prob) {
@@ -109,15 +110,27 @@ impl<P: Problem> Nsga2<P> {
                 if rng.gen_bool(p.mutation_prob.clamp(0.0, 1.0)) {
                     self.problem.mutate(&mut child, &mut rng);
                 }
-                let e = self.problem.evaluate(&child);
-                offspring.push(Individual::new(child, e));
+                children.push(child);
             }
-            pop.extend(offspring);
+            pop.extend(self.evaluate_all(children));
             assign_rank_and_crowding(&mut pop);
             pop = environmental_selection(pop, p.population);
         }
         assign_rank_and_crowding(&mut pop);
         pop
+    }
+
+    /// Evaluates a batch of genotypes on the worker pool, preserving input
+    /// order.
+    fn evaluate_all(&self, solutions: Vec<P::Solution>) -> Vec<Individual<P::Solution>> {
+        let evals = clr_par::par_map(self.params.threads, &solutions, |_, s| {
+            self.problem.evaluate(s)
+        });
+        solutions
+            .into_iter()
+            .zip(evals)
+            .map(|(s, e)| Individual::new(s, e))
+            .collect()
     }
 }
 
@@ -168,12 +181,7 @@ fn assign_rank_and_crowding<S>(pop: &mut [Individual<S>]) {
     }
     // Infeasible: ranked past every feasible front, ordered by violation.
     let mut by_violation = infeasible;
-    by_violation.sort_by(|&a, &b| {
-        pop[a]
-            .violation
-            .partial_cmp(&pop[b].violation)
-            .expect("violations are finite")
-    });
+    by_violation.sort_by(|&a, &b| pop[a].violation.total_cmp(&pop[b].violation));
     for (pos, idx) in by_violation.into_iter().enumerate() {
         pop[idx].rank = num_fronts + pos;
         pop[idx].crowding = 0.0;
@@ -182,13 +190,7 @@ fn assign_rank_and_crowding<S>(pop: &mut [Individual<S>]) {
 
 /// Keeps the best `n` individuals by `(rank, crowding)`.
 fn environmental_selection<S>(mut pop: Vec<Individual<S>>, n: usize) -> Vec<Individual<S>> {
-    pop.sort_by(|a, b| {
-        a.rank.cmp(&b.rank).then(
-            b.crowding
-                .partial_cmp(&a.crowding)
-                .expect("crowding is not NaN"),
-        )
-    });
+    pop.sort_by(|a, b| a.rank.cmp(&b.rank).then(b.crowding.total_cmp(&a.crowding)));
     pop.truncate(n);
     pop
 }
@@ -254,6 +256,47 @@ mod tests {
         let ax: Vec<f64> = a.iter().map(|i| i.solution).collect();
         let bx: Vec<f64> = b.iter().map(|i| i.solution).collect();
         assert_eq!(ax, bx);
+    }
+
+    #[test]
+    fn serial_and_parallel_runs_are_bit_identical() {
+        for seed in [0u64, 9, 77] {
+            let serial = Nsga2::new(
+                ConstrainedSchaffer,
+                GaParams {
+                    threads: 1,
+                    ..GaParams::small()
+                },
+            )
+            .run_population(seed);
+            let parallel = Nsga2::new(
+                ConstrainedSchaffer,
+                GaParams {
+                    threads: 4,
+                    ..GaParams::small()
+                },
+            )
+            .run_population(seed);
+            let a: Vec<(u64, Vec<u64>)> = serial
+                .iter()
+                .map(|i| {
+                    (
+                        i.solution.to_bits(),
+                        i.objectives.iter().map(|o| o.to_bits()).collect(),
+                    )
+                })
+                .collect();
+            let b: Vec<(u64, Vec<u64>)> = parallel
+                .iter()
+                .map(|i| {
+                    (
+                        i.solution.to_bits(),
+                        i.objectives.iter().map(|o| o.to_bits()).collect(),
+                    )
+                })
+                .collect();
+            assert_eq!(a, b, "seed {seed}");
+        }
     }
 
     #[test]

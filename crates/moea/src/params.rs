@@ -30,6 +30,12 @@ pub struct GaParams {
     pub mutation_prob: f64,
     /// Tournament size for parent selection.
     pub tournament: usize,
+    /// Worker threads for population evaluation (`0` = automatic: the
+    /// `CLR_THREADS` environment variable, falling back to the machine's
+    /// available parallelism). Results are bit-identical for every value;
+    /// the thread count only changes wall-clock time.
+    #[serde(default)]
+    pub threads: usize,
 }
 
 impl Default for GaParams {
@@ -40,6 +46,7 @@ impl Default for GaParams {
             crossover_prob: 0.7,
             mutation_prob: 0.03,
             tournament: 5,
+            threads: 0,
         }
     }
 }

@@ -44,9 +44,15 @@ impl Evaluation {
 /// domain-specific pieces — random initialisation, evaluation and the
 /// variation operators. Operators take `dyn RngCore` so problems stay
 /// object-safe and the engine controls seeding.
-pub trait Problem {
+///
+/// Problems and their solutions must be [`Sync`]/[`Send`]: `evaluate`
+/// takes `&self` and is free of shared mutable state, so the engines
+/// fan population evaluation out across a worker pool (`clr-par`) while
+/// all RNG-driven variation stays on the master thread — results are
+/// bit-identical for every thread count.
+pub trait Problem: Sync {
     /// The genotype being evolved.
-    type Solution: Clone;
+    type Solution: Clone + Send + Sync;
 
     /// Samples a random valid solution.
     fn random_solution(&self, rng: &mut dyn RngCore) -> Self::Solution;

@@ -64,16 +64,17 @@ impl<P: Problem> Spea2<P> {
 
     /// Runs SPEA2 from `seed` and returns the final archive's feasible
     /// non-dominated individuals (the whole archive if none is feasible).
+    ///
+    /// Population evaluation fans out over `params.threads` workers
+    /// (`0` = automatic); all RNG-driven variation stays on the master
+    /// thread, so the result is bit-identical for every thread count.
     pub fn run(&self, seed: u64) -> Vec<Individual<P::Solution>> {
         let p = &self.params;
         let mut rng = StdRng::seed_from_u64(seed ^ 0x5bea_2000_dead_beef);
-        let mut population: Vec<Entry<P::Solution>> = (0..p.population)
-            .map(|_| {
-                let solution = self.problem.random_solution(&mut rng);
-                let eval = self.problem.evaluate(&solution);
-                Entry { solution, eval }
-            })
+        let initial: Vec<P::Solution> = (0..p.population)
+            .map(|_| self.problem.random_solution(&mut rng))
             .collect();
+        let mut population = self.evaluate_all(initial);
         let mut archive: Vec<Entry<P::Solution>> = Vec::new();
 
         for _ in 0..=p.generations {
@@ -85,11 +86,7 @@ impl<P: Problem> Spea2<P> {
 
             // --- Environmental selection into the next archive. ---------
             let mut idx: Vec<usize> = (0..union.len()).collect();
-            idx.sort_by(|&a, &b| {
-                fitness[a]
-                    .partial_cmp(&fitness[b])
-                    .expect("fitness is finite")
-            });
+            idx.sort_by(|&a, &b| fitness[a].total_cmp(&fitness[b]));
             let cap = p.population;
             let non_dominated: Vec<usize> =
                 idx.iter().copied().filter(|&i| fitness[i] < 1.0).collect();
@@ -112,7 +109,7 @@ impl<P: Problem> Spea2<P> {
 
             // --- Mating from the archive. --------------------------------
             let arch_fitness = spea2_fitness(&archive);
-            population = (0..cap)
+            let children: Vec<P::Solution> = (0..cap)
                 .map(|_| {
                     let a = tournament(&arch_fitness, p.tournament, &mut rng);
                     let b = tournament(&arch_fitness, p.tournament, &mut rng);
@@ -125,13 +122,10 @@ impl<P: Problem> Spea2<P> {
                     if rng.gen_bool(p.mutation_prob.clamp(0.0, 1.0)) {
                         self.problem.mutate(&mut child, &mut rng);
                     }
-                    let eval = self.problem.evaluate(&child);
-                    Entry {
-                        solution: child,
-                        eval,
-                    }
+                    child
                 })
                 .collect();
+            population = self.evaluate_all(children);
         }
 
         // --- Extract the feasible non-dominated archive members. ---------
@@ -158,6 +152,19 @@ impl<P: Problem> Spea2<P> {
             });
         }
         out
+    }
+
+    /// Evaluates a batch of genotypes on the worker pool, preserving input
+    /// order.
+    fn evaluate_all(&self, solutions: Vec<P::Solution>) -> Vec<Entry<P::Solution>> {
+        let evals = clr_par::par_map(self.params.threads, &solutions, |_, s| {
+            self.problem.evaluate(s)
+        });
+        solutions
+            .into_iter()
+            .zip(evals)
+            .map(|(solution, eval)| Entry { solution, eval })
+            .collect()
     }
 }
 
@@ -208,7 +215,7 @@ fn spea2_fitness<S>(entries: &[Entry<S>]) -> Vec<f64> {
             .filter(|&j| j != i)
             .map(|j| euclid(&entries[i].eval.objectives, &entries[j].eval.objectives))
             .collect();
-        dists.sort_by(|a, b| a.partial_cmp(b).expect("distances are finite"));
+        dists.sort_by(f64::total_cmp);
         let sigma_k = dists.get(k.saturating_sub(1)).copied().unwrap_or(0.0);
         fitness.push(raw[i] + 1.0 / (sigma_k + 2.0));
     }
@@ -327,6 +334,31 @@ mod tests {
             .map(|i| i.solution)
             .collect();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn serial_and_parallel_runs_are_bit_identical() {
+        for seed in [0u64, 4, 31] {
+            let serial = Spea2::new(
+                ConstrainedSchaffer,
+                GaParams {
+                    threads: 1,
+                    ..GaParams::small()
+                },
+            )
+            .run(seed);
+            let parallel = Spea2::new(
+                ConstrainedSchaffer,
+                GaParams {
+                    threads: 4,
+                    ..GaParams::small()
+                },
+            )
+            .run(seed);
+            let a: Vec<u64> = serial.iter().map(|i| i.solution.to_bits()).collect();
+            let b: Vec<u64> = parallel.iter().map(|i| i.solution.to_bits()).collect();
+            assert_eq!(a, b, "seed {seed}");
+        }
     }
 
     #[test]

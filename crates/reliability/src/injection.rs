@@ -244,33 +244,76 @@ impl FaultInjector {
 
     /// Runs `trials` seeded executions and aggregates them.
     ///
+    /// Each trial draws from its own RNG stream derived from
+    /// `(seed, trial index)`, and times are accumulated in fixed
+    /// [`TRIAL_CHUNK`]-sized partial sums combined in chunk order, so the
+    /// estimate is bit-identical for every worker-thread count.
+    ///
     /// # Panics
     ///
     /// Panics if `trials == 0`.
     pub fn estimate(&self, trials: u32, seed: u64) -> InjectionEstimate {
+        self.estimate_with_threads(trials, seed, 0)
+    }
+
+    /// [`estimate`](Self::estimate) with an explicit worker-thread count
+    /// (`0` = automatic: the `CLR_THREADS` environment variable, falling
+    /// back to available parallelism).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials == 0`.
+    pub fn estimate_with_threads(
+        &self,
+        trials: u32,
+        seed: u64,
+        threads: usize,
+    ) -> InjectionEstimate {
         assert!(trials > 0, "at least one trial is required");
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x1417_ec70_4a11_0001);
+        let scrambled = seed ^ 0x1417_ec70_4a11_0001;
+        let chunks: Vec<(u32, u32)> = (0..trials)
+            .step_by(TRIAL_CHUNK as usize)
+            .map(|start| (start, trials.min(start + TRIAL_CHUNK)))
+            .collect();
+        let partials = clr_par::par_map(threads, &chunks, |_, &(start, end)| {
+            let mut errors = 0u32;
+            let mut time_sum = 0.0f64;
+            let mut max_time = 0.0f64;
+            for trial in start..end {
+                let mut rng =
+                    StdRng::seed_from_u64(clr_par::derive_seed(scrambled, u64::from(trial)));
+                let out = self.run_once(&mut rng);
+                if out.erroneous {
+                    errors += 1;
+                }
+                time_sum += out.time;
+                if out.time > max_time {
+                    max_time = out.time;
+                }
+            }
+            (errors, time_sum, max_time)
+        });
         let mut errors = 0u32;
-        let mut time_sum = 0.0;
+        let mut time_sum = 0.0f64;
         let mut max_time = 0.0f64;
-        for _ in 0..trials {
-            let out = self.run_once(&mut rng);
-            if out.erroneous {
-                errors += 1;
-            }
-            time_sum += out.time;
-            if out.time > max_time {
-                max_time = out.time;
-            }
+        for (e, t, m) in partials {
+            errors += e;
+            time_sum += t;
+            max_time = max_time.max(m);
         }
         InjectionEstimate {
             trials,
-            err_prob: errors as f64 / trials as f64,
-            avg_time: time_sum / trials as f64,
+            err_prob: f64::from(errors) / f64::from(trials),
+            avg_time: time_sum / f64::from(trials),
             max_time,
         }
     }
 }
+
+/// Trials per partial-sum chunk of [`FaultInjector::estimate`]: partials
+/// are reduced in chunk order, making the floating-point accumulation (and
+/// hence the estimate) independent of the worker-thread count.
+pub const TRIAL_CHUNK: u32 = 1024;
 
 #[cfg(test)]
 mod tests {
@@ -411,6 +454,18 @@ mod tests {
     fn estimates_are_deterministic_per_seed() {
         let injector = FaultInjector::new(&im(), &pe(), ClrConfig::NONE, harsh());
         assert_eq!(injector.estimate(5_000, 9), injector.estimate(5_000, 9));
+    }
+
+    #[test]
+    fn serial_and_parallel_estimates_are_bit_identical() {
+        let injector = FaultInjector::new(&im(), &pe(), ClrConfig::NONE, harsh());
+        // 5000 trials span multiple TRIAL_CHUNK chunks.
+        let serial = injector.estimate_with_threads(5_000, 9, 1);
+        let parallel = injector.estimate_with_threads(5_000, 9, 4);
+        assert_eq!(serial.trials, parallel.trials);
+        assert_eq!(serial.err_prob.to_bits(), parallel.err_prob.to_bits());
+        assert_eq!(serial.avg_time.to_bits(), parallel.avg_time.to_bits());
+        assert_eq!(serial.max_time.to_bits(), parallel.max_time.to_bits());
     }
 
     #[test]

@@ -53,7 +53,7 @@ pub use asw::AswMethod;
 pub use config::{ClrConfig, ConfigSpace};
 pub use fault::FaultModel;
 pub use hw::HwMethod;
-pub use injection::{FaultInjector, InjectionEstimate, InjectionOutcome};
+pub use injection::{FaultInjector, InjectionEstimate, InjectionOutcome, TRIAL_CHUNK};
 pub use lifetime::{mttf, weibull_scale};
 pub use metrics::TaskMetrics;
 pub use select::{cheapest_config_meeting, pareto_configs};

@@ -106,11 +106,19 @@ impl AuraAgent {
         self.p_rc * ctx.norm_performance(to) - (1.0 - self.p_rc) * ctx.norm_drc(from, to)
     }
 
-    /// Offline Monte-Carlo prior: simulates `episodes` episodes of
-    /// `cycles_per_episode` cycles against the known QoS-variation
+    /// Offline Monte-Carlo prior: simulates `episodes` independent episodes
+    /// of `cycles_per_episode` cycles against the known QoS-variation
     /// distribution, updating the value functions with the fixed policy.
     /// Call before deployment to inject prior knowledge about the
     /// operating environment.
+    ///
+    /// Episodes run in batches of [`PRIOR_BATCH`]: within a batch each
+    /// episode simulates against a frozen snapshot of the value functions
+    /// (its RNG stream derived from `(seed, episode index)`), then the
+    /// collected trajectories apply their value updates serially in episode
+    /// order. Batches are therefore free to fan out over worker threads —
+    /// see [`train_prior_with`](Self::train_prior_with) — and the learned
+    /// values are bit-identical for every thread count.
     pub fn train_prior(
         &mut self,
         ctx: &RuntimeContext<'_>,
@@ -119,19 +127,55 @@ impl AuraAgent {
         cycles_per_episode: f64,
         seed: u64,
     ) {
-        let config = SimConfig {
-            total_cycles: episodes as f64 * cycles_per_episode,
-            mean_event_gap: 100.0,
-            episode_cycles: cycles_per_episode,
-            seed: seed ^ prior_mask(),
-            initial_point: 0,
-            max_trace: 0,
-        };
-        let _ = simulate(ctx, self, qos, &config);
-        // A dangling partial episode still carries information.
-        self.end_episode();
+        self.train_prior_with(ctx, qos, episodes, cycles_per_episode, seed, 0);
+    }
+
+    /// [`train_prior`](Self::train_prior) with an explicit worker-thread
+    /// count (`0` = automatic: the `CLR_THREADS` environment variable,
+    /// falling back to available parallelism).
+    pub fn train_prior_with(
+        &mut self,
+        ctx: &RuntimeContext<'_>,
+        qos: &QosVariationModel,
+        episodes: usize,
+        cycles_per_episode: f64,
+        seed: u64,
+        threads: usize,
+    ) {
+        let indices: Vec<u64> = (0..episodes as u64).collect();
+        for batch in indices.chunks(PRIOR_BATCH) {
+            // Frozen policy snapshot: every episode of the batch sees the
+            // value functions as of the batch start, which decouples the
+            // episodes from each other and from evaluation order.
+            let snapshot = self.clone();
+            let trajectories = clr_par::par_map(threads, batch, |_, &ep| {
+                let mut probe = snapshot.clone();
+                probe.episode.clear();
+                let config = SimConfig {
+                    total_cycles: cycles_per_episode,
+                    mean_event_gap: 100.0,
+                    // One simulate() call is exactly one episode; the
+                    // trajectory is harvested below, so the simulation
+                    // itself must never fire `end_episode`.
+                    episode_cycles: f64::INFINITY,
+                    seed: clr_par::derive_seed(seed ^ prior_mask(), ep),
+                    initial_point: 0,
+                    max_trace: 0,
+                };
+                let _ = simulate(ctx, &mut probe, qos, &config);
+                probe.episode
+            });
+            // Value updates are sequential in episode order.
+            for trajectory in trajectories {
+                self.episode = trajectory;
+                self.end_episode();
+            }
+        }
     }
 }
+
+/// Episodes per frozen-snapshot batch of the offline prior pass.
+pub const PRIOR_BATCH: usize = 8;
 
 /// Seed scrambling constant for the offline prior pass.
 #[inline]
@@ -260,6 +304,22 @@ mod tests {
         b.train_prior(&ctx, &qos, 20, 1000.0, 7);
         assert_eq!(a.values(), b.values());
         assert!(a.values().iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn serial_and_parallel_prior_training_are_bit_identical() {
+        let (g, p, db) = fixture(45);
+        let ctx = RuntimeContext::new(&g, &p, &db);
+        let qos = QosVariationModel::calibrated(&db, 0.25, 0.3);
+        let mut serial = AuraAgent::new(db.len(), 0.5, 0.6, 0.1).unwrap();
+        let mut parallel = AuraAgent::new(db.len(), 0.5, 0.6, 0.1).unwrap();
+        // 20 episodes span multiple PRIOR_BATCH batches.
+        serial.train_prior_with(&ctx, &qos, 20, 1000.0, 7, 1);
+        parallel.train_prior_with(&ctx, &qos, 20, 1000.0, 7, 4);
+        let a: Vec<u64> = serial.values().iter().map(|v| v.to_bits()).collect();
+        let b: Vec<u64> = parallel.values().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(a, b);
+        assert!(serial.values().iter().any(|&v| v != 0.0));
     }
 
     #[test]

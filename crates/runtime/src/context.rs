@@ -55,7 +55,10 @@ impl<'a> RuntimeContext<'a> {
         }
         let energy_norm = Normalizer::from_values(db.iter().map(|p| p.metrics.energy))
             .expect("db energies are finite");
-        let drc_norm = Normalizer::new(0.0, max_drc.max(1e-12)).expect("drc range is valid");
+        // A single-point database (or identical-cost points) gives a
+        // degenerate [0, 0] range; `Normalizer` maps it to 0 rather than
+        // dividing by zero.
+        let drc_norm = Normalizer::new(0.0, max_drc).expect("drc range is valid");
         Self {
             db,
             drc,
@@ -95,7 +98,15 @@ impl<'a> RuntimeContext<'a> {
 
     /// Normalised (0–1) performance `R(p) = −J(p)`: 1 is the *best*
     /// (lowest-energy) stored point.
+    ///
+    /// When every stored point has the same energy (`max == min`, e.g. a
+    /// single-point database) the score is `0.0` for all points — the
+    /// candidates are indistinguishable on performance and must not inject
+    /// NaN/inf into [`ura_argmax`](crate::UraPolicy).
     pub fn norm_performance(&self, point: usize) -> f64 {
+        if self.energy_norm.max() <= self.energy_norm.min() {
+            return 0.0;
+        }
         1.0 - self
             .energy_norm
             .normalize(self.db.point(point).metrics.energy)
@@ -165,6 +176,19 @@ mod tests {
         for i in 0..ctx.len() {
             assert!((0.0..=1.0).contains(&ctx.norm_performance(i)));
         }
+    }
+
+    #[test]
+    fn single_point_db_has_zero_norms() {
+        // Degenerate feasible set: one stored point, so both the energy
+        // range and the dRC range collapse to a single value. All
+        // normalised scores must be exactly 0, never NaN or inf.
+        let (g, p, db) = fixture();
+        let mut single = DesignPointDb::new("single");
+        single.push(db.point(0).clone());
+        let ctx = RuntimeContext::new(&g, &p, &single);
+        assert_eq!(ctx.norm_performance(0), 0.0);
+        assert_eq!(ctx.norm_drc(0, 0), 0.0);
     }
 
     #[test]

@@ -47,11 +47,7 @@ impl HvPolicy {
                 let fit = signed_hypervolume_fitness(&[m.makespan, m.error_rate()], &reference);
                 (p, fit)
             })
-            .max_by(|a, b| {
-                a.1.partial_cmp(&b.1)
-                    .expect("fitness is finite")
-                    .then(b.0.cmp(&a.0))
-            })
+            .max_by(|a, b| a.1.total_cmp(&b.1).then(b.0.cmp(&a.0)))
             .map(|(p, _)| p)
     }
 }

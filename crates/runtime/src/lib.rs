@@ -51,10 +51,12 @@ mod qos;
 mod sim;
 mod ura;
 
-pub use agent::AuraAgent;
+pub use agent::{AuraAgent, PRIOR_BATCH};
 pub use analysis::TraceAnalysis;
 pub use context::RuntimeContext;
 pub use hv_policy::HvPolicy;
 pub use qos::{EventStream, QosEvent, QosVariationModel, VariationMode};
-pub use sim::{simulate, AdaptationPolicy, SimConfig, SimResult, TraceRecord};
+pub use sim::{
+    simulate, simulate_replications, AdaptationPolicy, SimConfig, SimResult, TraceRecord,
+};
 pub use ura::UraPolicy;

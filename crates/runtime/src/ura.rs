@@ -85,13 +85,12 @@ pub(crate) fn ura_argmax(
             (p, ret, ctx.norm_performance(p))
         })
         .max_by(|a, b| {
-            a.1.partial_cmp(&b.1)
-                .expect("ret scores are finite")
-                // Equal-RET candidates (e.g. several zero-dRC moves at
-                // p_RC = 0 — points differing only in CLR configuration
-                // are free to switch between) resolve toward the better
-                // performer, then the lower index for determinism.
-                .then(a.2.partial_cmp(&b.2).expect("performance is finite"))
+            // Equal-RET candidates (e.g. several zero-dRC moves at
+            // p_RC = 0 — points differing only in CLR configuration
+            // are free to switch between) resolve toward the better
+            // performer, then the lower index for determinism.
+            a.1.total_cmp(&b.1)
+                .then(a.2.total_cmp(&b.2))
                 .then(b.0.cmp(&a.0))
         })
         .map(|(p, _, _)| p)
@@ -199,6 +198,23 @@ mod tests {
             // must pick a zero-cost destination — the current point itself
             // unless another point is also zero-dRC away.
             assert_eq!(ctx.drc(current, chosen), 0.0);
+        }
+    }
+
+    #[test]
+    fn single_point_feasible_set_is_well_defined() {
+        // Regression: with a one-point database the energy and dRC ranges
+        // are degenerate (max == min). The normalisers must yield 0 (not
+        // NaN/inf) so the arg-max still selects the lone feasible point,
+        // at every p_RC setting.
+        let f = fixture(25);
+        let mut single = clr_dse::DesignPointDb::new("single");
+        single.push(f.db.point(0).clone());
+        let ctx = RuntimeContext::new(&f.graph, &f.platform, &single);
+        let spec = QosSpec::new(f64::INFINITY, 0.0);
+        for p_rc in [0.0, 0.5, 1.0] {
+            let chosen = UraPolicy::new(p_rc).unwrap().select(&ctx, 0, &spec);
+            assert_eq!(chosen, Some(0), "p_rc = {p_rc}");
         }
     }
 

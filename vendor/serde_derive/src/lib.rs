@@ -3,18 +3,20 @@
 //!
 //! The real traits are blanket-implemented in the `serde` stub crate, so
 //! these derives only need to *exist* for `#[derive(Serialize)]` /
-//! `#[derive(Deserialize)]` annotations to parse; they emit no code.
+//! `#[derive(Deserialize)]` annotations to parse; they emit no code. The
+//! `serde` helper attribute is registered so field/container attributes
+//! (e.g. `#[serde(default)]`) parse as they would with the real crate.
 
 use proc_macro::TokenStream;
 
 /// No-op stand-in for `serde_derive::Serialize`.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
 
 /// No-op stand-in for `serde_derive::Deserialize`.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
