@@ -19,6 +19,11 @@
 #                                    the database is exported once per thread
 #                                    count and byte-compared, then the
 #                                    parallel-run export is audited
+#   7. instrumented smoke          — table4 at the quick scale with
+#                                    CLR_OBS=json, once per thread count:
+#                                    the deterministic journal sections must
+#                                    be byte-identical and pass the
+#                                    clr-verify journal lints (CLR05x)
 #
 # Any failure aborts the script (set -e); clr-verify exits nonzero on
 # deny-level findings, so a model regression fails CI like a test would.
@@ -59,5 +64,26 @@ CLR_THREADS=4 ./target/release/examples/export_db "$DB_PARALLEL"
 cmp "$DB_SERIAL" "$DB_PARALLEL" \
   || { echo "serial and parallel DSE runs diverged"; exit 1; }
 "$VERIFY" db "$DB_PARALLEL"
+
+step "instrumented smoke (CLR_OBS=json, journal byte-compare + lint)"
+cargo build --release --quiet -p clr-experiments --bin table4
+JOURNAL=results/table4.obs.jsonl
+JOURNAL_SERIAL=target/ci-table4-t1.obs.jsonl
+# The smoke runs at the quick scale; shelter the committed reduced-scale
+# CSV so CI leaves the checkout clean.
+CSV_BACKUP=
+if [ -f results/table4.csv ]; then
+  CSV_BACKUP=target/ci-table4.csv.bak
+  cp results/table4.csv "$CSV_BACKUP"
+fi
+CLR_QUICK=1 CLR_OBS=json CLR_THREADS=1 ./target/release/table4 >/dev/null
+mv "$JOURNAL" "$JOURNAL_SERIAL"
+CLR_QUICK=1 CLR_OBS=json CLR_THREADS=8 ./target/release/table4 >/dev/null
+cmp "$JOURNAL_SERIAL" "$JOURNAL" \
+  || { echo "deterministic journal sections diverged across thread counts"; exit 1; }
+"$VERIFY" journal "$JOURNAL"
+if [ -n "$CSV_BACKUP" ]; then
+  mv "$CSV_BACKUP" results/table4.csv
+fi
 
 printf '\nci.sh: all gates passed.\n'

@@ -1,0 +1,87 @@
+//! Overhead of the observability layer: each group runs the same kernel
+//! with a disabled handle (the production default) and with a JSON
+//! journal attached. The disabled rows must stay within noise of the
+//! pre-observability baseline — the acceptance bar is <5% regression —
+//! while the enabled rows price the journal itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use clr_core::prelude::*;
+use clr_experiments::kernels::{csp_migration_comparison, Bundle};
+use clr_experiments::Env;
+use clr_obs::{Obs, ObsMode};
+
+/// The quick-scale environment with the given observability handle.
+fn env_with(obs: Obs) -> Env {
+    let mut e = Env::quick();
+    e.obs = obs;
+    e
+}
+
+/// Table4-style CSP comparison (DSE + two instrumented simulations), obs
+/// off vs. on.
+fn csp_comparison_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_csp_comparison");
+    group.sample_size(10);
+    for (label, mode) in [("off", ObsMode::Off), ("json", ObsMode::Json)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &mode, |b, &mode| {
+            b.iter(|| {
+                // A fresh handle per iteration so the journal does not
+                // grow across samples and skew later ones.
+                let e = env_with(Obs::new(mode));
+                let bundle = Bundle::new(&e, 10);
+                black_box(csp_migration_comparison(&e, &bundle, 0))
+            });
+        });
+    }
+    group.finish();
+}
+
+/// A bare Monte-Carlo simulation (the hottest instrumented loop), obs off
+/// vs. on.
+fn simulate_overhead(c: &mut Criterion) {
+    let e = Env::quick();
+    let bundle = Bundle::new(&e, 10);
+    let flow = bundle.flow(&e, ExplorationMode::Csp);
+    let ctx = flow.context(clr_core::DbChoice::Based);
+    let qos = flow.qos_model(clr_core::DbChoice::Based);
+    let config = e.sim_config(7);
+    let mut group = c.benchmark_group("obs_simulate");
+    for (label, mode) in [("off", ObsMode::Off), ("json", ObsMode::Json)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &mode, |b, &mode| {
+            b.iter(|| {
+                let obs = Obs::new(mode);
+                let mut policy = UraPolicy::new(0.5).expect("valid p_rc");
+                black_box(simulate_obs(
+                    &ctx,
+                    &mut policy,
+                    &qos,
+                    &config,
+                    &obs,
+                    "bench",
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Journal rendering: encode the accumulated events of one instrumented
+/// run to JSONL bytes.
+fn render_overhead(c: &mut Criterion) {
+    let e = env_with(Obs::new(ObsMode::Json));
+    let bundle = Bundle::new(&e, 10);
+    let _ = csp_migration_comparison(&e, &bundle, 0);
+    c.bench_function("obs_render_det_jsonl", |b| {
+        b.iter(|| black_box(e.obs.render_det_jsonl()));
+    });
+}
+
+criterion_group!(
+    benches,
+    csp_comparison_overhead,
+    simulate_overhead,
+    render_overhead
+);
+criterion_main!(benches);

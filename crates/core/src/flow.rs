@@ -1,11 +1,14 @@
 //! The hybrid design-time/run-time flow.
 
-use clr_dse::{explore_based, explore_red, DesignPointDb, DseConfig, ExplorationMode, RedConfig};
+use clr_dse::{
+    explore_based_with, explore_red_with, DesignPointDb, DseConfig, ExplorationMode, RedConfig,
+};
 use clr_moea::GaParams;
+use clr_obs::Obs;
 use clr_platform::Platform;
 use clr_reliability::{ConfigSpace, FaultModel};
 use clr_runtime::{
-    simulate, AuraAgent, QosVariationModel, RuntimeContext, SimConfig, SimResult, UraPolicy,
+    simulate_obs, AuraAgent, QosVariationModel, RuntimeContext, SimConfig, SimResult, UraPolicy,
 };
 use clr_taskgraph::TaskGraph;
 
@@ -31,6 +34,7 @@ pub struct HybridFlowBuilder<'a> {
     qos_sigma_frac: f64,
     qos_correlation: f64,
     seed: u64,
+    obs: Obs,
 }
 
 impl<'a> HybridFlowBuilder<'a> {
@@ -93,6 +97,15 @@ impl<'a> HybridFlowBuilder<'a> {
         self
     }
 
+    /// Attaches an observability handle (default: disabled): design-time
+    /// stages and run-time simulations journal their progress through it.
+    /// The handle is shared — clone one [`Obs`] across flows to collect a
+    /// whole experiment in a single journal.
+    pub fn obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
     /// Runs the design-time stages and returns the completed flow.
     ///
     /// # Panics
@@ -106,14 +119,18 @@ impl<'a> HybridFlowBuilder<'a> {
         if let (Some(total), true) = (dse.max_points, self.red.is_some()) {
             dse.max_points = Some((total * 2 / 3).max(2));
         }
-        let based = explore_based(
-            self.graph,
-            self.platform,
-            self.fault_model,
-            self.config_space.clone(),
-            &dse,
-            self.seed,
-        );
+        let based = {
+            let _t = self.obs.wall_timer("flow.based");
+            explore_based_with(
+                self.graph,
+                self.platform,
+                self.fault_model,
+                self.config_space.clone(),
+                &dse,
+                self.seed,
+                &self.obs,
+            )
+        };
         let red = self.red.as_ref().map(|red_cfg| {
             // The Fig. 3 storage constraint bounds the *whole* stored
             // database, so the ReD stage inherits it unless the caller set
@@ -122,7 +139,8 @@ impl<'a> HybridFlowBuilder<'a> {
             if red_cfg.max_total.is_none() {
                 red_cfg.max_total = self.dse.max_points;
             }
-            explore_red(
+            let _t = self.obs.wall_timer("flow.red");
+            explore_red_with(
                 self.graph,
                 self.platform,
                 self.fault_model,
@@ -131,6 +149,7 @@ impl<'a> HybridFlowBuilder<'a> {
                 &based,
                 &red_cfg,
                 self.seed.wrapping_add(1),
+                &self.obs,
             )
         });
         HybridFlow {
@@ -141,6 +160,7 @@ impl<'a> HybridFlowBuilder<'a> {
             seed: self.seed,
             based,
             red,
+            obs: self.obs,
         }
     }
 }
@@ -155,6 +175,7 @@ pub struct HybridFlow<'a> {
     seed: u64,
     based: DesignPointDb,
     red: Option<DesignPointDb>,
+    obs: Obs,
 }
 
 impl<'a> HybridFlow<'a> {
@@ -170,7 +191,14 @@ impl<'a> HybridFlow<'a> {
             qos_sigma_frac: 0.25,
             qos_correlation: 0.3,
             seed: 0,
+            obs: Obs::off(),
         }
+    }
+
+    /// The observability handle the flow journals through (disabled unless
+    /// one was attached via [`HybridFlowBuilder::obs`]).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// The application graph.
@@ -224,7 +252,14 @@ impl<'a> HybridFlow<'a> {
         let ctx = self.context(choice);
         let qos = self.qos_model(choice);
         let mut policy = UraPolicy::new(p_rc).expect("p_rc must be in [0, 1]");
-        simulate(&ctx, &mut policy, &qos, config)
+        simulate_obs(
+            &ctx,
+            &mut policy,
+            &qos,
+            config,
+            &self.obs,
+            &label("ura", choice),
+        )
     }
 
     /// Runs an AuRA Monte-Carlo simulation over the chosen database: the
@@ -248,9 +283,32 @@ impl<'a> HybridFlow<'a> {
         let mut agent =
             AuraAgent::new(ctx.len(), p_rc, gamma, alpha).expect("agent parameters must be valid");
         if prior_episodes > 0 {
-            agent.train_prior(&ctx, &qos, prior_episodes, config.episode_cycles, self.seed);
+            agent.train_prior_obs(
+                &ctx,
+                &qos,
+                prior_episodes,
+                config.episode_cycles,
+                self.seed,
+                0,
+                &self.obs,
+            );
         }
-        simulate(&ctx, &mut agent, &qos, config)
+        simulate_obs(
+            &ctx,
+            &mut agent,
+            &qos,
+            config,
+            &self.obs,
+            &label("aura", choice),
+        )
+    }
+}
+
+/// Journal label for a run-time simulation: policy plus database choice.
+fn label(policy: &str, choice: DbChoice) -> String {
+    match choice {
+        DbChoice::Based => format!("{policy}-based"),
+        DbChoice::Red => format!("{policy}-red"),
     }
 }
 
@@ -299,5 +357,42 @@ mod tests {
         let ura = f.simulate_ura(DbChoice::Based, 0.5, &SimConfig::quick(5));
         let aura = f.simulate_aura(DbChoice::Based, 0.5, 0.6, 0.1, 10, &SimConfig::quick(5));
         assert!(ura.events > 0 && aura.events > 0);
+    }
+
+    #[test]
+    fn attached_obs_journals_the_whole_flow() {
+        use clr_obs::{Event, Obs, ObsMode};
+        let graph = TgffGenerator::new(TgffConfig::with_tasks(8)).generate(6);
+        let platform = Platform::dac19();
+        let obs = Obs::new(ObsMode::Json);
+        let f = HybridFlow::builder(&graph, &platform)
+            .ga(GaParams::small())
+            .red(RedConfig {
+                ga: GaParams::small(),
+                ..RedConfig::default()
+            })
+            .seed(6)
+            .obs(obs.clone())
+            .run();
+        let _ = f.simulate_aura(DbChoice::Red, 0.5, 0.6, 0.1, 10, &SimConfig::quick(2));
+        let events = obs.det_events();
+        let stages: Vec<&str> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::DseStage { stage, .. } => Some(stage.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(stages, ["based", "red"]);
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, Event::GaGen { hv: Some(_), .. })));
+        assert!(events.iter().any(|e| matches!(e, Event::Episode { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, Event::SimStart { label, .. } if label == "aura-red")));
+        assert!(events.iter().any(|e| matches!(e, Event::Decision { .. })));
+        // The shared handle is reachable from the finished flow.
+        assert!(f.obs().enabled());
     }
 }

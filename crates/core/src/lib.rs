@@ -43,6 +43,7 @@ pub use scenario::{ScenarioConfig, ScenarioInstance, ScenarioKind, ScenarioSuite
 // full stack.
 pub use clr_dse as dse;
 pub use clr_moea as moea;
+pub use clr_obs as obs;
 pub use clr_platform as platform;
 pub use clr_reliability as reliability;
 pub use clr_runtime as runtime;

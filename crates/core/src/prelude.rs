@@ -17,12 +17,13 @@ pub use clr_dse::{
     ExplorationMode, PointOrigin, ProblemVariant, QosSpec, RedConfig,
 };
 pub use clr_moea::{GaParams, HvGa, Nsga2, ParetoArchive};
+pub use clr_obs::{Obs, ObsMode};
 pub use clr_platform::{Interconnect, Pe, PeId, PeKind, PeType, PeTypeId, Platform, Prr, PrrId};
 pub use clr_reliability::{
     AswMethod, ClrConfig, ConfigSpace, FaultInjector, FaultModel, HwMethod, SswMethod, TaskMetrics,
 };
 pub use clr_runtime::{
-    simulate, AdaptationPolicy, AuraAgent, EventStream, HvPolicy, QosVariationModel,
+    simulate, simulate_obs, AdaptationPolicy, AuraAgent, EventStream, HvPolicy, QosVariationModel,
     RuntimeContext, SimConfig, SimResult, UraPolicy, VariationMode,
 };
 pub use clr_sched::{

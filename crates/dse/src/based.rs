@@ -1,6 +1,7 @@
 //! The system-level MOEA producing the BaseD database (paper Eq. 5).
 
 use clr_moea::{HvGa, Nsga2, Problem};
+use clr_obs::{Event, Obs};
 use clr_platform::Platform;
 use clr_reliability::{ConfigSpace, FaultModel};
 use clr_taskgraph::TaskGraph;
@@ -33,6 +34,36 @@ pub fn explore_based(
     config: &DseConfig,
     seed: u64,
 ) -> DesignPointDb {
+    explore_based_with(
+        graph,
+        platform,
+        fault_model,
+        config_space,
+        config,
+        seed,
+        &Obs::off(),
+    )
+}
+
+/// [`explore_based`] with journal instrumentation: the hyper-volume GA
+/// attempts record per-generation `ga_gen` events (labelled
+/// `based-hv-<attempt>`), the NSGA-II enrichment pass records under
+/// `based-nsga2`, and a `dse_stage` event reports the final database size.
+/// With a disabled handle this is exactly [`explore_based`].
+///
+/// # Panics
+///
+/// Panics if the application cannot be mapped on the platform at all, or a
+/// supplied reference point's dimension disagrees with the mode.
+pub fn explore_based_with(
+    graph: &TaskGraph,
+    platform: &Platform,
+    fault_model: FaultModel,
+    config_space: ConfigSpace,
+    config: &DseConfig,
+    seed: u64,
+    obs: &Obs,
+) -> DesignPointDb {
     let problem = ClrMappingProblem::new(graph, platform, fault_model, config_space, config.mode);
     let reference = match &config.reference {
         Some(r) => {
@@ -54,7 +85,8 @@ pub fn explore_based(
     let mut reference = reference;
     let mut db = DesignPointDb::new("based");
     for attempt in 0..4 {
-        let hv = HvGa::new(problem.clone(), config.ga, reference.clone());
+        let hv = HvGa::new(problem.clone(), config.ga, reference.clone())
+            .with_obs(obs.clone(), format!("based-hv-{attempt}"));
         let archive = hv.run(seed.wrapping_add(attempt));
         for (mapping, _objectives) in archive.into_entries() {
             let metrics = evaluator.evaluate(&mapping);
@@ -72,7 +104,7 @@ pub fn explore_based(
     // the hyper-volume fitness concentrates around the knee, while
     // NSGA-II's crowding pressure spreads along the whole front — the
     // union gives the run-time layer more adaptation choices.
-    let nsga = Nsga2::new(problem, config.ga);
+    let nsga = Nsga2::new(problem, config.ga).with_obs(obs.clone(), "based-nsga2");
     for ind in nsga.run(seed ^ 0x4e53_4741_0000_0002) {
         if !ind.is_feasible() {
             continue;
@@ -92,6 +124,13 @@ pub fn explore_based(
     // the budgeted number of points, preserving the extremes.
     if let Some(cap) = config.max_points {
         enforce_storage(&mut db, config.mode, cap);
+    }
+    if obs.enabled() {
+        obs.emit(Event::DseStage {
+            stage: "based".to_string(),
+            points: db.len(),
+        });
+        obs.gauge_set("dse.based.points", db.len() as f64);
     }
     db
 }

@@ -46,10 +46,10 @@ mod point;
 mod problem;
 mod red;
 
-pub use based::explore_based;
+pub use based::{explore_based, explore_based_with};
 pub use codec::CodecError;
 pub use database::DesignPointDb;
 pub use enumerate::{enumerate_exact, SpaceTooLarge};
 pub use point::{DesignPoint, PointOrigin, QosSpec};
 pub use problem::{ClrMappingProblem, DseConfig, ExplorationMode, ProblemVariant};
-pub use red::{explore_red, RedConfig};
+pub use red::{explore_red, explore_red_with, RedConfig};

@@ -11,6 +11,7 @@
 //! degradation of the seed's own QoS/performance metrics.
 
 use clr_moea::{Evaluation, GaParams, Nsga2, Problem};
+use clr_obs::{Event, Obs};
 use clr_platform::Platform;
 use clr_reliability::{ConfigSpace, FaultModel};
 use clr_sched::{reconfiguration_cost, Mapping};
@@ -74,6 +75,43 @@ pub fn explore_red(
     config: &RedConfig,
     seed: u64,
 ) -> DesignPointDb {
+    explore_red_with(
+        graph,
+        platform,
+        fault_model,
+        config_space,
+        mode,
+        based,
+        config,
+        seed,
+        &Obs::off(),
+    )
+}
+
+/// [`explore_red`] with journal instrumentation: one `red_seed` event per
+/// BaseD seed point (candidates found below the seed's average `dRC`, and
+/// how many were actually kept after dedup), emitted in seed order from
+/// the serial merge, plus a `dse_stage` summary and aggregated pool
+/// statistics for the per-seed fan-out. The inner neighbourhood GAs stay
+/// un-instrumented — they run on worker threads. With a disabled handle
+/// this is exactly [`explore_red`].
+///
+/// # Panics
+///
+/// Panics if `based` is empty (there is nothing to seed from) or its
+/// mappings do not fit the graph/platform.
+#[allow(clippy::too_many_arguments)]
+pub fn explore_red_with(
+    graph: &TaskGraph,
+    platform: &Platform,
+    fault_model: FaultModel,
+    config_space: ConfigSpace,
+    mode: ExplorationMode,
+    based: &DesignPointDb,
+    config: &RedConfig,
+    seed: u64,
+    obs: &Obs,
+) -> DesignPointDb {
     assert!(!based.is_empty(), "based database must not be empty");
     let based_mappings: Vec<Mapping> = based.iter().map(|p| p.mapping.clone()).collect();
 
@@ -92,45 +130,62 @@ pub fn explore_red(
         ..config.ga
     };
     let seed_points: Vec<&DesignPoint> = based.iter().collect();
-    let per_seed = clr_par::par_map(config.ga.threads, &seed_points, |i, seed_point| {
-        let inner =
-            ClrMappingProblem::new(graph, platform, fault_model, config_space.clone(), mode);
-        let evaluator = inner.evaluator().clone();
-        let seed_objs = inner.objectives(&seed_point.mapping);
-        let seed_avg_drc = average_drc(graph, platform, &based_mappings, &seed_point.mapping);
-        let problem = RedProblem {
-            inner,
-            graph,
-            platform,
-            seed_mapping: seed_point.mapping.clone(),
-            seed_objectives: seed_objs,
-            based_mappings: &based_mappings,
-            tolerance: config.tolerance,
-        };
-        let front = Nsga2::new(problem, inner_ga).run(seed.wrapping_add(i as u64 * 7919));
+    let (per_seed, pool) =
+        clr_par::par_map_stats(config.ga.threads, &seed_points, |i, seed_point| {
+            let inner =
+                ClrMappingProblem::new(graph, platform, fault_model, config_space.clone(), mode);
+            let evaluator = inner.evaluator().clone();
+            let seed_objs = inner.objectives(&seed_point.mapping);
+            let seed_avg_drc = average_drc(graph, platform, &based_mappings, &seed_point.mapping);
+            let problem = RedProblem {
+                inner,
+                graph,
+                platform,
+                seed_mapping: seed_point.mapping.clone(),
+                seed_objectives: seed_objs,
+                based_mappings: &based_mappings,
+                tolerance: config.tolerance,
+            };
+            let front = Nsga2::new(problem, inner_ga).run(seed.wrapping_add(i as u64 * 7919));
 
-        // Keep the candidates that actually beat the seed on average dRC.
-        let mut candidates: Vec<(Mapping, f64)> = front
-            .into_iter()
-            .filter(clr_moea::Individual::is_feasible)
-            .map(|ind| {
-                let drc = *ind.objectives.last().expect("red problem appends drc");
-                (ind.solution, drc)
-            })
-            .filter(|(_, drc)| *drc + 1e-9 < seed_avg_drc)
-            .collect();
-        candidates.sort_by(|a, b| a.1.total_cmp(&b.1));
-        candidates
-            .into_iter()
-            .take(config.max_extra_per_seed)
-            .map(|(mapping, _)| {
-                let metrics = evaluator.evaluate(&mapping);
-                DesignPoint::new(mapping, metrics, PointOrigin::ReconfigAware)
-            })
-            .collect::<Vec<DesignPoint>>()
-    });
-    for point in per_seed.into_iter().flatten() {
-        db.push_if_new(point);
+            // Keep the candidates that actually beat the seed on average dRC.
+            let mut candidates: Vec<(Mapping, f64)> = front
+                .into_iter()
+                .filter(clr_moea::Individual::is_feasible)
+                .map(|ind| {
+                    let drc = *ind.objectives.last().expect("red problem appends drc");
+                    (ind.solution, drc)
+                })
+                .filter(|(_, drc)| *drc + 1e-9 < seed_avg_drc)
+                .collect();
+            candidates.sort_by(|a, b| a.1.total_cmp(&b.1));
+            let found = candidates.len();
+            let points = candidates
+                .into_iter()
+                .take(config.max_extra_per_seed)
+                .map(|(mapping, _)| {
+                    let metrics = evaluator.evaluate(&mapping);
+                    DesignPoint::new(mapping, metrics, PointOrigin::ReconfigAware)
+                })
+                .collect::<Vec<DesignPoint>>();
+            (found, points)
+        });
+    // Serial merge in seed order: the journal events (and the database) are
+    // bit-identical for every thread count.
+    for (index, (candidates, points)) in per_seed.into_iter().enumerate() {
+        let mut kept = 0usize;
+        for point in points {
+            if db.push_if_new(point) {
+                kept += 1;
+            }
+        }
+        if obs.enabled() {
+            obs.emit(Event::RedSeed {
+                index,
+                candidates,
+                kept,
+            });
+        }
     }
 
     // Honour the total storage constraint: extras are evicted worst (highest
@@ -160,6 +215,20 @@ pub fn explore_red(
                 None => break,
             }
         }
+    }
+    if obs.enabled() {
+        obs.emit_nondet(Event::Pool {
+            site: "red.seeds".to_string(),
+            items: pool.items,
+            workers: pool.workers,
+            per_worker: pool.per_worker,
+            queue_hwm: pool.queue_hwm,
+        });
+        obs.emit(Event::DseStage {
+            stage: "red".to_string(),
+            points: db.len(),
+        });
+        obs.gauge_set("dse.red.points", db.len() as f64);
     }
     db
 }
@@ -329,6 +398,60 @@ mod tests {
         let (based, red) = pipeline(6);
         let extras = red.count_origin(PointOrigin::ReconfigAware);
         assert_eq!(red.len(), based.len() + extras);
+    }
+
+    #[test]
+    fn obs_journals_one_red_seed_event_per_based_point() {
+        let graph = TgffGenerator::new(TgffConfig::with_tasks(8)).generate(4);
+        let platform = Platform::dac19();
+        let fm = FaultModel::default();
+        let dse_cfg = DseConfig {
+            ga: GaParams::small(),
+            mode: ExplorationMode::Csp,
+            reference: None,
+            max_points: None,
+        };
+        let based = explore_based(&graph, &platform, fm, ConfigSpace::fine(), &dse_cfg, 4);
+        let red_cfg = RedConfig {
+            ga: GaParams::small(),
+            ..RedConfig::default()
+        };
+        let obs = Obs::new(clr_obs::ObsMode::Json);
+        let red = explore_red_with(
+            &graph,
+            &platform,
+            fm,
+            ConfigSpace::fine(),
+            ExplorationMode::Csp,
+            &based,
+            &red_cfg,
+            4,
+            &obs,
+        );
+        let events = obs.det_events();
+        let seeds: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::RedSeed {
+                    index,
+                    candidates,
+                    kept,
+                } => Some((*index, *candidates, *kept)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(seeds.len(), based.len());
+        // Seed events arrive in seed order and never keep more than found.
+        for (i, (index, candidates, kept)) in seeds.iter().enumerate() {
+            assert_eq!(*index, i);
+            assert!(kept <= candidates);
+        }
+        let total_kept: usize = seeds.iter().map(|(_, _, k)| k).sum();
+        assert_eq!(red.len(), based.len() + total_kept);
+        assert!(events.iter().any(|e| matches!(
+            e,
+            Event::DseStage { stage, points } if stage == "red" && *points == red.len()
+        )));
     }
 
     #[test]

@@ -52,6 +52,7 @@ fn main() -> std::io::Result<()> {
         .storage_limit(env.storage_limit)
         .qos_variation(env.qos_sigma_frac, env.qos_correlation)
         .seed(env.seed)
+        .obs(env.obs.clone())
         .run();
     fs::write(
         format!("{out}/design_points.csv"),
@@ -67,8 +68,8 @@ fn main() -> std::io::Result<()> {
     let qos = flow.qos_model(DbChoice::Red);
     let mut policy = UraPolicy::new(0.5).expect("valid p_rc");
     let config = env.sim_config(env.seed ^ 0xa27).with_trace(usize::MAX);
-    let run = simulate(&ctx, &mut policy, &qos, &config);
-    let analysis = TraceAnalysis::of(&run.trace, 10);
+    let run = simulate_obs(&ctx, &mut policy, &qos, &config, &env.obs, "artifacts-ura");
+    let analysis = TraceAnalysis::of(run.trace(), 10);
     fs::write(format!("{out}/ura_trace_analysis.txt"), analysis.report())?;
     println!(
         "uRA run: {} events, {} reconfigs, decision work {} point-scans\n\n{}",
@@ -77,5 +78,8 @@ fn main() -> std::io::Result<()> {
         run.decision_work,
         analysis.report()
     );
+    for p in env.obs.export(out, "artifacts")? {
+        eprintln!("  journal: {}", p.display());
+    }
     Ok(())
 }

@@ -11,37 +11,44 @@ fn main() {
     let env = Env::from_env();
     println!("# Fig. 6 — dRC trace over the first 50 QoS changes (80 tasks)");
     let bundle = Bundle::new(&env, 80);
-    let c = csp_migration_comparison(&env, &bundle, 50);
+    // The trace retention is a keep-the-*last*-N ring buffer while Fig. 6
+    // plots the *first* 50 events, so retain everything and slice here.
+    let c = csp_migration_comparison(&env, &bundle, usize::MAX);
+    let baseline = &c.baseline.trace()[..c.baseline.trace().len().min(50)];
+    let proposed = &c.proposed.trace()[..c.proposed.trace().len().min(50)];
 
     let mut table = Table::new(
         "Reconfiguration cost per event (first 50 events)",
         &["event", "time", "based_drc", "red_drc"],
     );
-    let n = c.baseline.trace.len().min(c.proposed.trace.len());
+    let n = baseline.len().min(proposed.len());
     for i in 0..n {
-        let b = &c.baseline.trace[i];
-        let r = &c.proposed.trace[i];
+        let b = &baseline[i];
+        let r = &proposed[i];
         table.row([(i + 1).to_string(), f1(b.time), f1(b.drc), f1(r.drc)]);
     }
     table.emit("fig6");
 
-    let based_moves = c.baseline.trace.iter().filter(|t| t.drc > 0.0).count();
-    let red_moves = c.proposed.trace.iter().filter(|t| t.drc > 0.0).count();
-    let based_max = c
-        .baseline
-        .trace
-        .iter()
-        .map(|t| t.drc)
-        .fold(0.0f64, f64::max);
-    let red_max = c
-        .proposed
-        .trace
-        .iter()
-        .map(|t| t.drc)
-        .fold(0.0f64, f64::max);
+    let based_moves = baseline.iter().filter(|t| t.drc > 0.0).count();
+    let red_moves = proposed.iter().filter(|t| t.drc > 0.0).count();
+    let based_max = baseline.iter().map(|t| t.drc).fold(0.0f64, f64::max);
+    let red_max = proposed.iter().map(|t| t.drc).fold(0.0f64, f64::max);
     println!(
         "\nIn this window: BaseD reconfigured {based_moves}× (ΔdRC max {based_max:.1}), \
          ReD reconfigured {red_moves}× (max {red_max:.1}).\n\
          Paper reports 31 vs 24 reconfigurations with a considerably larger ΔdRC for BaseD."
     );
+    export_journal(&env);
+}
+
+/// Writes the run journal next to the CSVs when `CLR_OBS` is enabled.
+fn export_journal(env: &Env) {
+    match env.obs.export("results", "fig6") {
+        Ok(paths) => {
+            for p in paths {
+                eprintln!("  journal: {}", p.display());
+            }
+        }
+        Err(e) => eprintln!("  journal export failed: {e}"),
+    }
 }

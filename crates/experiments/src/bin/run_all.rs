@@ -1,7 +1,9 @@
 //! Convenience driver: regenerates every table and figure in sequence by
 //! invoking the sibling experiment binaries' code paths directly would
 //! duplicate their reporting, so this simply shells out to the binaries
-//! next to itself (same target directory), forwarding `CLR_FULL`.
+//! next to itself (same target directory), forwarding the environment
+//! (`CLR_FULL`, `CLR_QUICK`, `CLR_OBS`, `CLR_THREADS`) — so with
+//! `CLR_OBS=json` every binary drops its own journal under `results/`.
 
 use std::path::PathBuf;
 use std::process::Command;

@@ -39,4 +39,12 @@ fn main() {
     table.emit("table4");
     let avg = reductions.iter().sum::<f64>() / reductions.len().max(1) as f64;
     println!("\nMean reduction: {avg:.1}% (paper reports 23–56% across sizes).");
+    match env.obs.export("results", "table4") {
+        Ok(paths) => {
+            for p in paths {
+                eprintln!("  journal: {}", p.display());
+            }
+        }
+        Err(e) => eprintln!("  journal export failed: {e}"),
+    }
 }

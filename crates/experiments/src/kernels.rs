@@ -27,7 +27,8 @@ impl Bundle {
         }
     }
 
-    /// Runs the design-time stages (BaseD + ReD) in the given mode.
+    /// Runs the design-time stages (BaseD + ReD) in the given mode,
+    /// journalling through the environment's observability handle.
     pub fn flow(&self, env: &Env, mode: ExplorationMode) -> HybridFlow<'_> {
         HybridFlow::builder(&self.graph, &self.platform)
             .ga(env.ga)
@@ -36,6 +37,7 @@ impl Bundle {
             .storage_limit(env.storage_limit)
             .qos_variation(env.qos_sigma_frac, env.qos_correlation)
             .seed(env.seed)
+            .obs(env.obs.clone())
             .run()
     }
 }
@@ -99,22 +101,26 @@ pub fn csp_migration_comparison(env: &Env, bundle: &Bundle, trace: usize) -> Com
     let ctx_based = flow.context(DbChoice::Based);
     let baseline = replicated(replicas, seed, |s| {
         let mut policy = HvPolicy::new();
-        simulate(
+        simulate_obs(
             &ctx_based,
             &mut policy,
             &qos,
             &env.sim_config(s).with_trace(trace),
+            &env.obs,
+            "csp-based",
         )
     });
 
     let ctx_red = flow.context(DbChoice::Red);
     let proposed = replicated(replicas, seed, |s| {
         let mut policy = UraPolicy::new(0.0).expect("0 is a valid p_rc");
-        simulate(
+        simulate_obs(
             &ctx_red,
             &mut policy,
             &qos,
             &env.sim_config(s).with_trace(trace),
+            &env.obs,
+            "csp-red",
         )
     });
 
@@ -142,13 +148,27 @@ pub fn red_vs_based(env: &Env, bundle: &Bundle, p_rc: f64) -> Comparison {
     let ctx_based = flow.context(DbChoice::Based);
     let baseline = replicated(env.replicas, seed, |s| {
         let mut policy = UraPolicy::new(p_rc).expect("valid p_rc");
-        simulate(&ctx_based, &mut policy, &qos, &env.sim_config(s))
+        simulate_obs(
+            &ctx_based,
+            &mut policy,
+            &qos,
+            &env.sim_config(s),
+            &env.obs,
+            "ura-based",
+        )
     });
 
     let ctx_red = flow.context(DbChoice::Red);
     let proposed = replicated(env.replicas, seed, |s| {
         let mut policy = UraPolicy::new(p_rc).expect("valid p_rc");
-        simulate(&ctx_red, &mut policy, &qos, &env.sim_config(s))
+        simulate_obs(
+            &ctx_red,
+            &mut policy,
+            &qos,
+            &env.sim_config(s),
+            &env.obs,
+            "ura-red",
+        )
     });
 
     Comparison { baseline, proposed }
@@ -182,7 +202,7 @@ pub fn aura_vs_ura(env: &Env, bundle: &Bundle, p_rc: f64) -> Comparison {
 
     let baseline = replicated(env.replicas, seed, |s| {
         let mut ura = UraPolicy::new(p_rc).expect("valid p_rc");
-        simulate(&ctx, &mut ura, &qos, &env.sim_config(s))
+        simulate_obs(&ctx, &mut ura, &qos, &env.sim_config(s), &env.obs, "t7-ura")
     });
 
     let prior_episodes = if env.sim_cycles >= 1_000_000.0 {
@@ -192,8 +212,23 @@ pub fn aura_vs_ura(env: &Env, bundle: &Bundle, p_rc: f64) -> Comparison {
     };
     let proposed = replicated(env.replicas, seed, |s| {
         let mut agent = AuraAgent::new(ctx.len(), p_rc, 0.3, 0.05).expect("valid agent parameters");
-        agent.train_prior(&ctx, &qos, prior_episodes, 1_000.0, env.seed ^ 0xa17a);
-        simulate(&ctx, &mut agent, &qos, &env.sim_config(s))
+        agent.train_prior_obs(
+            &ctx,
+            &qos,
+            prior_episodes,
+            1_000.0,
+            env.seed ^ 0xa17a,
+            0,
+            &env.obs,
+        );
+        simulate_obs(
+            &ctx,
+            &mut agent,
+            &qos,
+            &env.sim_config(s),
+            &env.obs,
+            "t7-aura",
+        )
     });
 
     Comparison { baseline, proposed }
@@ -318,7 +353,7 @@ mod tests {
         assert!(c.baseline.events > 0);
         // The reconfiguration-cost-aware arm must not pay more on average.
         assert!(c.proposed.avg_reconfig_cost <= c.baseline.avg_reconfig_cost + 1e-9);
-        assert!(c.baseline.trace.len() <= 10);
+        assert!(c.baseline.trace().len() <= 10);
     }
 
     #[test]

@@ -8,7 +8,13 @@
 //! Scale is controlled by the `CLR_FULL` environment variable: unset, the
 //! experiments run at a laptop-friendly reduced scale (smaller GA budgets,
 //! 200 k simulated cycles); `CLR_FULL=1` switches to the paper's setup
-//! (one million application execution cycles, full GA budgets).
+//! (one million application execution cycles, full GA budgets);
+//! `CLR_QUICK=1` selects the tiny smoke scale of [`Env::quick`].
+//!
+//! Observability is controlled by `CLR_OBS` (see [`clr_core::obs`]): with
+//! `CLR_OBS=json` or `CLR_OBS=chrome`, [`Env::from_env`] attaches an
+//! enabled [`Obs`] handle and the binaries export the run journal next to
+//! their CSVs under `results/`.
 
 pub mod kernels;
 pub mod report;
@@ -37,16 +43,24 @@ pub struct Env {
     pub qos_sigma_frac: f64,
     /// Correlation between the two QoS requirements.
     pub qos_correlation: f64,
+    /// Observability handle threaded through every flow and simulation
+    /// (cloning an [`Env`] shares the journal).
+    pub obs: Obs,
 }
 
 impl Env {
-    /// Scale selected by `CLR_FULL` (see the [crate docs](crate)).
+    /// Scale selected by `CLR_FULL` / `CLR_QUICK`, with the observability
+    /// mode selected by `CLR_OBS` (see the [crate docs](crate)).
     pub fn from_env() -> Self {
-        if std::env::var("CLR_FULL").is_ok_and(|v| v == "1") {
+        let mut env = if std::env::var("CLR_FULL").is_ok_and(|v| v == "1") {
             Self::paper()
+        } else if std::env::var("CLR_QUICK").is_ok_and(|v| v == "1") {
+            Self::quick()
         } else {
             Self::reduced()
-        }
+        };
+        env.obs = Obs::from_env();
+        env
     }
 
     /// The paper's scale: GA defaults (population 100, 60 generations) and
@@ -62,6 +76,7 @@ impl Env {
             replicas: 3,
             qos_sigma_frac: 0.25,
             qos_correlation: 0.3,
+            obs: Obs::off(),
         }
     }
 
@@ -88,6 +103,7 @@ impl Env {
             replicas: 3,
             qos_sigma_frac: 0.25,
             qos_correlation: 0.3,
+            obs: Obs::off(),
         }
     }
 
@@ -106,6 +122,7 @@ impl Env {
             replicas: 1,
             qos_sigma_frac: 0.25,
             qos_correlation: 0.3,
+            obs: Obs::off(),
         }
     }
 

@@ -10,10 +10,11 @@
 //! to a non-dominated archive — the optimiser's result is the archive, i.e.
 //! the collection `p_i` whose summed hyper-volume Eq. (5) maximises.
 
+use clr_obs::{Event, Obs};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::hypervolume::signed_hypervolume_fitness;
+use crate::hypervolume::{hypervolume, signed_hypervolume_fitness};
 use crate::{GaParams, ParetoArchive, Problem};
 
 /// The hyper-volume-maximisation GA.
@@ -52,6 +53,8 @@ pub struct HvGa<P: Problem> {
     problem: P,
     params: GaParams,
     reference: Vec<f64>,
+    obs: Obs,
+    label: String,
 }
 
 impl<P: Problem> HvGa<P> {
@@ -62,7 +65,20 @@ impl<P: Problem> HvGa<P> {
             problem,
             params,
             reference,
+            obs: Obs::off(),
+            label: "hvga".to_string(),
         }
+    }
+
+    /// Attaches an observability handle and a run label; per-generation
+    /// `ga_gen` events (including the Eq. 5 hyper-volume series), a `gen`
+    /// logical-clock span, and aggregated pool statistics are recorded
+    /// under that label.
+    #[must_use]
+    pub fn with_obs(mut self, obs: Obs, label: impl Into<String>) -> Self {
+        self.obs = obs;
+        self.label = label.into();
+        self
     }
 
     /// The wrapped problem.
@@ -90,14 +106,16 @@ impl<P: Problem> HvGa<P> {
         let p = &self.params;
         let mut rng = StdRng::seed_from_u64(seed ^ 0x4856_4741_8d5a_11c3);
         let mut archive = ParetoArchive::unbounded();
+        let mut pool = clr_par::PoolStats::default();
 
         let initial: Vec<P::Solution> = (0..p.population)
             .map(|_| self.problem.random_solution(&mut rng))
             .collect();
         // (solution, fitness, feasible?)
-        let mut pop = self.score_all(initial, &mut archive);
+        let mut pop = self.score_all(initial, &mut archive, &mut pool);
+        self.emit_generation(0, &pop, &archive);
 
-        for _ in 0..p.generations {
+        for gen in 0..p.generations {
             let mut children = Vec::with_capacity(p.population);
             while children.len() < p.population {
                 let a = self.tournament(&pop, &mut rng);
@@ -112,7 +130,7 @@ impl<P: Problem> HvGa<P> {
                 }
                 children.push(child);
             }
-            let mut next = self.score_all(children, &mut archive);
+            let mut next = self.score_all(children, &mut archive, &mut pool);
             // Elitism: keep the single best of the old generation. The old
             // population is about to be dropped, so swapping the elite into
             // slot 0 is allocation-free (the displaced child was already
@@ -126,8 +144,51 @@ impl<P: Problem> HvGa<P> {
                 std::mem::swap(&mut next[0], &mut pop[best]);
             }
             pop = next;
+            self.emit_generation(gen + 1, &pop, &archive);
+        }
+        if self.obs.enabled() {
+            self.obs.emit(Event::Span {
+                label: self.label.clone(),
+                clock: "gen".to_string(),
+                start: 0.0,
+                end: p.generations as f64,
+            });
+            self.obs.emit_nondet(Event::Pool {
+                site: format!("moea.hvga.{}", self.label),
+                items: pool.items,
+                workers: pool.workers,
+                per_worker: pool.per_worker,
+                queue_hwm: pool.queue_hwm,
+            });
         }
         archive
+    }
+
+    /// Emits one `ga_gen` journal event (serially, from the master loop)
+    /// with the current population and archive statistics, including the
+    /// Eq. 5 hyper-volume of the archive w.r.t. the reference point. The
+    /// hyper-volume is only computed when observability is enabled, so the
+    /// disabled path stays overhead-free.
+    fn emit_generation(
+        &self,
+        gen: usize,
+        pop: &[(P::Solution, f64, bool)],
+        archive: &ParetoArchive<P::Solution>,
+    ) {
+        if !self.obs.enabled() {
+            return;
+        }
+        let hv = hypervolume(&archive.objectives(), &self.reference).ok();
+        self.obs.emit(Event::GaGen {
+            algo: "hvga".to_string(),
+            label: self.label.clone(),
+            gen,
+            evals: pop.len(),
+            feasible: pop.iter().filter(|(_, _, ok)| *ok).count(),
+            front: archive.len(),
+            archive: archive.len(),
+            hv,
+        });
     }
 
     /// Evaluates a batch of solutions on the worker pool, then — serially,
@@ -137,10 +198,12 @@ impl<P: Problem> HvGa<P> {
         &self,
         solutions: Vec<P::Solution>,
         archive: &mut ParetoArchive<P::Solution>,
+        pool: &mut clr_par::PoolStats,
     ) -> Vec<(P::Solution, f64, bool)> {
-        let evals = clr_par::par_map(self.params.threads, &solutions, |_, s| {
+        let (evals, stats) = clr_par::par_map_stats(self.params.threads, &solutions, |_, s| {
             self.problem.evaluate(s)
         });
+        pool.merge(&stats);
         solutions
             .into_iter()
             .zip(evals)
@@ -297,6 +360,53 @@ mod tests {
         for (_, o) in &archive {
             assert!(o.iter().all(|x| x.is_finite()), "{o:?} archived");
         }
+    }
+
+    #[test]
+    fn obs_records_one_ga_gen_per_generation_with_hv_series() {
+        use clr_obs::{Event, Obs, ObsMode};
+        let obs = Obs::new(ObsMode::Json);
+        let params = GaParams::small();
+        HvGa::new(Diagonal, params, vec![1.0, 1.0])
+            .with_obs(obs.clone(), "unit-hv")
+            .run(5);
+        let events = obs.det_events();
+        let gens: Vec<&Event> = events
+            .iter()
+            .filter(|e| matches!(e, Event::GaGen { .. }))
+            .collect();
+        // Initial population + one per generation.
+        assert_eq!(gens.len(), params.generations + 1);
+        for (i, e) in gens.iter().enumerate() {
+            let Event::GaGen {
+                algo,
+                label,
+                gen,
+                evals,
+                hv,
+                ..
+            } = e
+            else {
+                unreachable!()
+            };
+            assert_eq!(algo, "hvga");
+            assert_eq!(label, "unit-hv");
+            assert_eq!(*gen, i);
+            assert_eq!(*evals, params.population);
+            assert!(hv.is_some(), "hyper-volume series must be populated");
+        }
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, Event::Span { clock, .. } if clock == "gen")));
+    }
+
+    #[test]
+    fn obs_instrumentation_does_not_change_results() {
+        let plain = HvGa::new(Diagonal, GaParams::small(), vec![1.0, 1.0]).run(5);
+        let observed = HvGa::new(Diagonal, GaParams::small(), vec![1.0, 1.0])
+            .with_obs(clr_obs::Obs::new(clr_obs::ObsMode::Json), "x")
+            .run(5);
+        assert_eq!(plain.objectives(), observed.objectives());
     }
 
     #[test]

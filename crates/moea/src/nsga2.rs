@@ -1,5 +1,6 @@
 //! Constraint-dominated NSGA-II (Deb et al. 2002).
 
+use clr_obs::{Event, Obs};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -51,12 +52,29 @@ impl<S> Individual<S> {
 pub struct Nsga2<P: Problem> {
     problem: P,
     params: GaParams,
+    obs: Obs,
+    label: String,
 }
 
 impl<P: Problem> Nsga2<P> {
     /// Creates an optimiser.
     pub fn new(problem: P, params: GaParams) -> Self {
-        Self { problem, params }
+        Self {
+            problem,
+            params,
+            obs: Obs::off(),
+            label: "nsga2".to_string(),
+        }
+    }
+
+    /// Attaches an observability handle and a run label; per-generation
+    /// `ga_gen` events, a `gen` logical-clock span, and aggregated pool
+    /// statistics are recorded under that label.
+    #[must_use]
+    pub fn with_obs(mut self, obs: Obs, label: impl Into<String>) -> Self {
+        self.obs = obs;
+        self.label = label.into();
+        self
     }
 
     /// The wrapped problem.
@@ -93,10 +111,12 @@ impl<P: Problem> Nsga2<P> {
         let initial: Vec<P::Solution> = (0..p.population)
             .map(|_| self.problem.random_solution(&mut rng))
             .collect();
-        let mut pop = self.evaluate_all(initial);
+        let mut pool = clr_par::PoolStats::default();
+        let mut pop = self.evaluate_all(initial, &mut pool);
         assign_rank_and_crowding(&mut pop);
+        self.emit_generation(0, p.population, &pop);
 
-        for _ in 0..p.generations {
+        for gen in 0..p.generations {
             let mut children = Vec::with_capacity(p.population);
             while children.len() < p.population {
                 let a = tournament(&pop, p.tournament, &mut rng);
@@ -112,20 +132,59 @@ impl<P: Problem> Nsga2<P> {
                 }
                 children.push(child);
             }
-            pop.extend(self.evaluate_all(children));
+            pop.extend(self.evaluate_all(children, &mut pool));
             assign_rank_and_crowding(&mut pop);
             pop = environmental_selection(pop, p.population);
+            self.emit_generation(gen + 1, p.population, &pop);
         }
         assign_rank_and_crowding(&mut pop);
+        if self.obs.enabled() {
+            self.obs.emit(Event::Span {
+                label: self.label.clone(),
+                clock: "gen".to_string(),
+                start: 0.0,
+                end: p.generations as f64,
+            });
+            self.obs.emit_nondet(Event::Pool {
+                site: format!("moea.nsga2.{}", self.label),
+                items: pool.items,
+                workers: pool.workers,
+                per_worker: pool.per_worker,
+                queue_hwm: pool.queue_hwm,
+            });
+        }
         pop
+    }
+
+    /// Emits one `ga_gen` journal event (serially, from the master loop).
+    /// NSGA-II has no reference point, so the hyper-volume field is absent.
+    fn emit_generation(&self, gen: usize, evals: usize, pop: &[Individual<P::Solution>]) {
+        if !self.obs.enabled() {
+            return;
+        }
+        self.obs.emit(Event::GaGen {
+            algo: "nsga2".to_string(),
+            label: self.label.clone(),
+            gen,
+            evals,
+            feasible: pop.iter().filter(|i| i.is_feasible()).count(),
+            front: pop.iter().filter(|i| i.rank == 0).count(),
+            archive: pop.len(),
+            hv: None,
+        });
     }
 
     /// Evaluates a batch of genotypes on the worker pool, preserving input
     /// order.
-    fn evaluate_all(&self, solutions: Vec<P::Solution>) -> Vec<Individual<P::Solution>> {
-        let evals = clr_par::par_map(self.params.threads, &solutions, |_, s| {
+    fn evaluate_all(
+        &self,
+        solutions: Vec<P::Solution>,
+        pool: &mut clr_par::PoolStats,
+    ) -> Vec<Individual<P::Solution>> {
+        let (evals, stats) = clr_par::par_map_stats(self.params.threads, &solutions, |_, s| {
             self.problem.evaluate(s)
         });
+        pool.merge(&stats);
         solutions
             .into_iter()
             .zip(evals)

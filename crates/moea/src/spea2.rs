@@ -6,6 +6,7 @@
 //! ship SPEA2 alongside NSGA-II; providing both lets the ablation benches
 //! compare engine choices on the CLR mapping problem.
 
+use clr_obs::{Event, Obs};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -49,12 +50,29 @@ use crate::{Evaluation, GaParams, Problem};
 pub struct Spea2<P: Problem> {
     problem: P,
     params: GaParams,
+    obs: Obs,
+    label: String,
 }
 
 impl<P: Problem> Spea2<P> {
     /// Creates an optimiser (the archive size equals the population size).
     pub fn new(problem: P, params: GaParams) -> Self {
-        Self { problem, params }
+        Self {
+            problem,
+            params,
+            obs: Obs::off(),
+            label: "spea2".to_string(),
+        }
+    }
+
+    /// Attaches an observability handle and a run label; per-generation
+    /// `ga_gen` events, a `gen` logical-clock span, and aggregated pool
+    /// statistics are recorded under that label.
+    #[must_use]
+    pub fn with_obs(mut self, obs: Obs, label: impl Into<String>) -> Self {
+        self.obs = obs;
+        self.label = label.into();
+        self
     }
 
     /// The wrapped problem.
@@ -74,10 +92,11 @@ impl<P: Problem> Spea2<P> {
         let initial: Vec<P::Solution> = (0..p.population)
             .map(|_| self.problem.random_solution(&mut rng))
             .collect();
-        let mut population = self.evaluate_all(initial);
+        let mut pool = clr_par::PoolStats::default();
+        let mut population = self.evaluate_all(initial, &mut pool);
         let mut archive: Vec<Entry<P::Solution>> = Vec::new();
 
-        for _ in 0..=p.generations {
+        for gen in 0..=p.generations {
             // --- Fitness over the union. --------------------------------
             let mut union: Vec<Entry<P::Solution>> = Vec::new();
             union.append(&mut population);
@@ -95,6 +114,7 @@ impl<P: Problem> Spea2<P> {
             } else {
                 idx.into_iter().take(cap).collect()
             };
+            let front = chosen.iter().filter(|&&i| fitness[i] < 1.0).count();
             let mut keep = vec![false; union.len()];
             for &i in &chosen {
                 keep[i] = true;
@@ -106,6 +126,20 @@ impl<P: Problem> Spea2<P> {
                 }
             }
             archive = next_archive;
+            if self.obs.enabled() {
+                // Serial master-loop emission: one `ga_gen` per generation
+                // (no reference point, so no hyper-volume series).
+                self.obs.emit(Event::GaGen {
+                    algo: "spea2".to_string(),
+                    label: self.label.clone(),
+                    gen,
+                    evals: p.population,
+                    feasible: archive.iter().filter(|e| e.eval.is_feasible()).count(),
+                    front,
+                    archive: archive.len(),
+                    hv: None,
+                });
+            }
 
             // --- Mating from the archive. --------------------------------
             let arch_fitness = spea2_fitness(&archive);
@@ -125,7 +159,22 @@ impl<P: Problem> Spea2<P> {
                     child
                 })
                 .collect();
-            population = self.evaluate_all(children);
+            population = self.evaluate_all(children, &mut pool);
+        }
+        if self.obs.enabled() {
+            self.obs.emit(Event::Span {
+                label: self.label.clone(),
+                clock: "gen".to_string(),
+                start: 0.0,
+                end: p.generations as f64,
+            });
+            self.obs.emit_nondet(Event::Pool {
+                site: format!("moea.spea2.{}", self.label),
+                items: pool.items,
+                workers: pool.workers,
+                per_worker: pool.per_worker.clone(),
+                queue_hwm: pool.queue_hwm,
+            });
         }
 
         // --- Extract the feasible non-dominated archive members. ---------
@@ -156,10 +205,15 @@ impl<P: Problem> Spea2<P> {
 
     /// Evaluates a batch of genotypes on the worker pool, preserving input
     /// order.
-    fn evaluate_all(&self, solutions: Vec<P::Solution>) -> Vec<Entry<P::Solution>> {
-        let evals = clr_par::par_map(self.params.threads, &solutions, |_, s| {
+    fn evaluate_all(
+        &self,
+        solutions: Vec<P::Solution>,
+        pool: &mut clr_par::PoolStats,
+    ) -> Vec<Entry<P::Solution>> {
+        let (evals, stats) = clr_par::par_map_stats(self.params.threads, &solutions, |_, s| {
             self.problem.evaluate(s)
         });
+        pool.merge(&stats);
         solutions
             .into_iter()
             .zip(evals)

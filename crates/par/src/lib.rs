@@ -7,6 +7,9 @@
 //! - [`par_map`] — an indexed map over a slice, executed by a scoped
 //!   worker pool (`std::thread::scope`) whose workers pull indices from a
 //!   shared atomic injector queue. Worker panics propagate to the caller.
+//! - [`par_map_stats`] — the same map, additionally reporting a
+//!   [`PoolStats`] (items per worker, queue high-water mark) for the
+//!   observability layer's non-deterministic journal section.
 //! - [`splitmix64`] / [`derive_seed`] — the per-index RNG-stream
 //!   derivation that keeps parallel Monte-Carlo replication deterministic.
 //! - [`available_threads`] / [`resolve_threads`] — thread-count policy:
@@ -98,21 +101,82 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    par_map_stats(threads, items, f).0
+}
+
+/// Scheduling statistics of one [`par_map_stats`] fan-out.
+///
+/// The per-worker split and the queue high-water mark depend on OS
+/// scheduling, so these numbers are **non-deterministic** — observability
+/// consumers must keep them out of any byte-compared journal section.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Work items executed.
+    pub items: usize,
+    /// Worker threads used (1 for the inline serial path).
+    pub workers: usize,
+    /// Items executed by each worker.
+    pub per_worker: Vec<u64>,
+    /// Largest queue backlog (items not yet pulled) observed when a worker
+    /// pulled an index. The injector queue is pre-filled, so for a batch of
+    /// `n` items this is close to `n`; it becomes informative when
+    /// comparing batch sizes across sites.
+    pub queue_hwm: usize,
+}
+
+impl PoolStats {
+    /// Folds `other` into `self`, aggregating stats across multiple
+    /// fan-outs of the same site (e.g. one per GA generation): items add,
+    /// per-worker tallies add element-wise, worker count and queue
+    /// high-water mark take the maximum.
+    pub fn merge(&mut self, other: &PoolStats) {
+        self.items += other.items;
+        self.workers = self.workers.max(other.workers);
+        if self.per_worker.len() < other.per_worker.len() {
+            self.per_worker.resize(other.per_worker.len(), 0);
+        }
+        for (acc, &w) in self.per_worker.iter_mut().zip(&other.per_worker) {
+            *acc += w;
+        }
+        self.queue_hwm = self.queue_hwm.max(other.queue_hwm);
+    }
+}
+
+/// [`par_map`] that also reports how the work was scheduled.
+///
+/// Returns the in-input-order results (identical to [`par_map`] — the
+/// stats gathering never influences them) together with a [`PoolStats`]
+/// describing the fan-out.
+pub fn par_map_stats<T, R, F>(threads: usize, items: &[T], f: F) -> (Vec<R>, PoolStats)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
     let n = items.len();
     let workers = resolve_threads(threads).min(n);
     if workers <= 1 {
-        return items
+        let out = items
             .iter()
             .enumerate()
             .map(|(i, item)| f(i, item))
             .collect();
+        let stats = PoolStats {
+            items: n,
+            workers: 1.min(n),
+            per_worker: if n > 0 { vec![n as u64] } else { Vec::new() },
+            queue_hwm: n,
+        };
+        return (out, stats);
     }
 
     let injector = AtomicUsize::new(0);
+    let queue_hwm = AtomicUsize::new(0);
     let buckets: Vec<Vec<(usize, R)>> = thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 let injector = &injector;
+                let queue_hwm = &queue_hwm;
                 let f = &f;
                 scope.spawn(move || {
                     let mut local = Vec::new();
@@ -121,6 +185,7 @@ where
                         if i >= n {
                             break;
                         }
+                        queue_hwm.fetch_max(n - i, Ordering::Relaxed);
                         local.push((i, f(i, &items[i])));
                     }
                     local
@@ -136,6 +201,14 @@ where
             .collect()
     });
 
+    let per_worker: Vec<u64> = buckets.iter().map(|b| b.len() as u64).collect();
+    let stats = PoolStats {
+        items: n,
+        workers,
+        per_worker,
+        queue_hwm: queue_hwm.load(Ordering::Relaxed),
+    };
+
     // The workspace forbids unsafe code, so instead of writing into raw
     // slots the workers return (index, result) pairs merged here.
     let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
@@ -145,10 +218,11 @@ where
             slots[i] = Some(r);
         }
     }
-    slots
+    let out = slots
         .into_iter()
         .map(|slot| slot.expect("worker pool visits every index"))
-        .collect()
+        .collect();
+    (out, stats)
 }
 
 #[cfg(test)]
@@ -232,5 +306,53 @@ mod tests {
         assert_eq!(resolve_threads(3), 3);
         assert!(resolve_threads(0) >= 1);
         assert!(available_threads() >= 1);
+    }
+
+    #[test]
+    fn stats_account_for_every_item() {
+        let items: Vec<u64> = (0..100).collect();
+        for threads in [1, 4] {
+            let (out, stats) = par_map_stats(threads, &items, |_, x| x + 1);
+            assert_eq!(out, par_map(threads, &items, |_, x| x + 1));
+            assert_eq!(stats.items, 100);
+            assert_eq!(stats.workers, threads);
+            assert_eq!(stats.per_worker.len(), threads);
+            assert_eq!(stats.per_worker.iter().sum::<u64>(), 100);
+            assert!(stats.queue_hwm <= 100);
+            assert!(stats.queue_hwm >= 1);
+        }
+    }
+
+    #[test]
+    fn stats_on_empty_input_are_empty() {
+        let (out, stats) = par_map_stats(4, &[], |_, x: &u64| *x);
+        assert!(out.is_empty());
+        assert_eq!(stats, PoolStats::default());
+    }
+
+    #[test]
+    fn merge_aggregates_across_fanouts() {
+        let mut acc = PoolStats::default();
+        acc.merge(&PoolStats {
+            items: 10,
+            workers: 2,
+            per_worker: vec![6, 4],
+            queue_hwm: 10,
+        });
+        acc.merge(&PoolStats {
+            items: 8,
+            workers: 4,
+            per_worker: vec![2, 2, 2, 2],
+            queue_hwm: 8,
+        });
+        assert_eq!(
+            acc,
+            PoolStats {
+                items: 18,
+                workers: 4,
+                per_worker: vec![8, 6, 2, 2],
+                queue_hwm: 10,
+            }
+        );
     }
 }

@@ -269,13 +269,33 @@ impl FaultInjector {
         seed: u64,
         threads: usize,
     ) -> InjectionEstimate {
+        self.estimate_obs(trials, seed, threads, &clr_obs::Obs::off(), "inject")
+    }
+
+    /// [`estimate_with_threads`](Self::estimate_with_threads) with journal
+    /// instrumentation: after the serial chunk reduction an `inject` event
+    /// records the campaign tally under `label`, plus aggregated pool
+    /// statistics for the trial fan-out. With a disabled handle this is
+    /// exactly [`estimate_with_threads`](Self::estimate_with_threads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials == 0`.
+    pub fn estimate_obs(
+        &self,
+        trials: u32,
+        seed: u64,
+        threads: usize,
+        obs: &clr_obs::Obs,
+        label: &str,
+    ) -> InjectionEstimate {
         assert!(trials > 0, "at least one trial is required");
         let scrambled = seed ^ 0x1417_ec70_4a11_0001;
         let chunks: Vec<(u32, u32)> = (0..trials)
             .step_by(TRIAL_CHUNK as usize)
             .map(|start| (start, trials.min(start + TRIAL_CHUNK)))
             .collect();
-        let partials = clr_par::par_map(threads, &chunks, |_, &(start, end)| {
+        let (partials, pool) = clr_par::par_map_stats(threads, &chunks, |_, &(start, end)| {
             let mut errors = 0u32;
             let mut time_sum = 0.0f64;
             let mut max_time = 0.0f64;
@@ -301,12 +321,30 @@ impl FaultInjector {
             time_sum += t;
             max_time = max_time.max(m);
         }
-        InjectionEstimate {
+        let estimate = InjectionEstimate {
             trials,
             err_prob: f64::from(errors) / f64::from(trials),
             avg_time: time_sum / f64::from(trials),
             max_time,
+        };
+        if obs.enabled() {
+            obs.emit_nondet(clr_obs::Event::Pool {
+                site: format!("inject.{label}"),
+                items: pool.items,
+                workers: pool.workers,
+                per_worker: pool.per_worker,
+                queue_hwm: pool.queue_hwm,
+            });
+            obs.emit(clr_obs::Event::Inject {
+                label: label.to_string(),
+                trials: u64::from(trials),
+                errors: u64::from(errors),
+                err_prob: estimate.err_prob,
+            });
+            obs.counter_add("inject.trials", u64::from(trials));
+            obs.counter_add("inject.errors", u64::from(errors));
         }
+        estimate
     }
 }
 
@@ -466,6 +504,32 @@ mod tests {
         assert_eq!(serial.err_prob.to_bits(), parallel.err_prob.to_bits());
         assert_eq!(serial.avg_time.to_bits(), parallel.avg_time.to_bits());
         assert_eq!(serial.max_time.to_bits(), parallel.max_time.to_bits());
+    }
+
+    #[test]
+    fn obs_journals_the_campaign_tally() {
+        let injector = FaultInjector::new(&im(), &pe(), ClrConfig::NONE, harsh());
+        let obs = clr_obs::Obs::new(clr_obs::ObsMode::Json);
+        let est = injector.estimate_obs(5_000, 9, 1, &obs, "unit");
+        let events = obs.det_events();
+        let tally = events
+            .iter()
+            .find_map(|e| match e {
+                clr_obs::Event::Inject {
+                    label,
+                    trials,
+                    errors,
+                    err_prob,
+                } => Some((label.clone(), *trials, *errors, *err_prob)),
+                _ => None,
+            })
+            .expect("inject event journaled");
+        assert_eq!(tally.0, "unit");
+        assert_eq!(tally.1, 5_000);
+        assert!((tally.3 - est.err_prob).abs() < f64::EPSILON);
+        assert_eq!(tally.2 as f64 / 5_000.0, est.err_prob);
+        // The instrumented run returns the identical estimate.
+        assert_eq!(est, injector.estimate(5_000, 9));
     }
 
     #[test]

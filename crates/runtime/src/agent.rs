@@ -27,6 +27,7 @@
 //! demonstrably reduces cold-start cost (see the `ablations` binary).
 
 use clr_dse::QosSpec;
+use clr_obs::{Event, Obs};
 use serde::{Deserialize, Serialize};
 
 use crate::sim::{simulate, AdaptationPolicy, SimConfig};
@@ -142,13 +143,42 @@ impl AuraAgent {
         seed: u64,
         threads: usize,
     ) {
+        self.train_prior_obs(
+            ctx,
+            qos,
+            episodes,
+            cycles_per_episode,
+            seed,
+            threads,
+            &Obs::off(),
+        );
+    }
+
+    /// [`train_prior_with`](Self::train_prior_with) plus journal
+    /// instrumentation: one `episode` event per prior episode (step count
+    /// and discounted return), emitted from the serial value-update loop
+    /// in episode order, an `episode` logical-clock span, and aggregated
+    /// pool statistics in the non-deterministic section. The inner probe
+    /// simulations stay un-instrumented — they run on worker threads.
+    #[allow(clippy::too_many_arguments)]
+    pub fn train_prior_obs(
+        &mut self,
+        ctx: &RuntimeContext<'_>,
+        qos: &QosVariationModel,
+        episodes: usize,
+        cycles_per_episode: f64,
+        seed: u64,
+        threads: usize,
+        obs: &Obs,
+    ) {
         let indices: Vec<u64> = (0..episodes as u64).collect();
+        let mut pool = clr_par::PoolStats::default();
         for batch in indices.chunks(PRIOR_BATCH) {
             // Frozen policy snapshot: every episode of the batch sees the
             // value functions as of the batch start, which decouples the
             // episodes from each other and from evaluation order.
             let snapshot = self.clone();
-            let trajectories = clr_par::par_map(threads, batch, |_, &ep| {
+            let (trajectories, stats) = clr_par::par_map_stats(threads, batch, |_, &ep| {
                 let mut probe = snapshot.clone();
                 probe.episode.clear();
                 let config = SimConfig {
@@ -165,11 +195,40 @@ impl AuraAgent {
                 let _ = simulate(ctx, &mut probe, qos, &config);
                 probe.episode
             });
+            pool.merge(&stats);
             // Value updates are sequential in episode order.
-            for trajectory in trajectories {
+            for (offset, trajectory) in trajectories.into_iter().enumerate() {
+                if obs.enabled() {
+                    // Discounted return of the trajectory, accumulated
+                    // backward exactly as `end_episode` does.
+                    let mut g = 0.0f64;
+                    for &(_, reward) in trajectory.iter().rev() {
+                        g = reward + self.gamma * g;
+                    }
+                    obs.emit(Event::Episode {
+                        index: batch[offset],
+                        steps: trajectory.len(),
+                        ret: g,
+                    });
+                }
                 self.episode = trajectory;
                 self.end_episode();
             }
+        }
+        if obs.enabled() {
+            obs.emit(Event::Span {
+                label: "aura.prior".to_string(),
+                clock: "episode".to_string(),
+                start: 0.0,
+                end: episodes as f64,
+            });
+            obs.emit_nondet(Event::Pool {
+                site: "aura.prior".to_string(),
+                items: pool.items,
+                workers: pool.workers,
+                per_worker: pool.per_worker,
+                queue_hwm: pool.queue_hwm,
+            });
         }
     }
 }
@@ -199,6 +258,27 @@ impl AdaptationPolicy for AuraAgent {
             |s| self.values[s],
             self.gamma,
         )
+        .map(|(p, _)| p)
+    }
+
+    fn decide_scored(
+        &mut self,
+        ctx: &RuntimeContext<'_>,
+        current: usize,
+        spec: &QosSpec,
+    ) -> (Option<usize>, Option<f64>, Option<f64>) {
+        let feas = ctx.feasible(spec);
+        match ura_argmax(
+            ctx,
+            current,
+            &feas,
+            self.p_rc,
+            |s| self.values[s],
+            self.gamma,
+        ) {
+            Some((p, ret)) => (Some(p), Some(ret), Some(self.p_rc)),
+            None => (None, None, Some(self.p_rc)),
+        }
     }
 
     fn observe(&mut self, ctx: &RuntimeContext<'_>, from: usize, to: usize) {

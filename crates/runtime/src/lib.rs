@@ -57,6 +57,7 @@ pub use context::RuntimeContext;
 pub use hv_policy::HvPolicy;
 pub use qos::{EventStream, QosEvent, QosVariationModel, VariationMode};
 pub use sim::{
-    simulate, simulate_replications, AdaptationPolicy, SimConfig, SimResult, TraceRecord,
+    simulate, simulate_obs, simulate_replications, AdaptationPolicy, SimConfig, SimResult,
+    TraceRecord,
 };
 pub use ura::UraPolicy;

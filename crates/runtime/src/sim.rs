@@ -1,7 +1,10 @@
 //! Discrete-event Monte-Carlo simulation of run-time adaptation
 //! (paper §5.1–5.2).
 
+use std::collections::VecDeque;
+
 use clr_dse::QosSpec;
+use clr_obs::{Event, Obs};
 use serde::{Deserialize, Serialize};
 
 use crate::{EventStream, QosVariationModel, RuntimeContext};
@@ -16,6 +19,21 @@ pub trait AdaptationPolicy {
     /// current configuration).
     fn decide(&mut self, ctx: &RuntimeContext<'_>, current: usize, spec: &QosSpec)
         -> Option<usize>;
+
+    /// [`decide`](Self::decide) plus the policy's introspection data for
+    /// decision records: `(choice, winning RET score, p_RC)`. Policies
+    /// without a scalar score (e.g. [`crate::HvPolicy`]) inherit this
+    /// default, which reports no score; the simulation uses this method so
+    /// journal decision records carry the Algorithm 1 internals whenever
+    /// the policy exposes them.
+    fn decide_scored(
+        &mut self,
+        ctx: &RuntimeContext<'_>,
+        current: usize,
+        spec: &QosSpec,
+    ) -> (Option<usize>, Option<f64>, Option<f64>) {
+        (self.decide(ctx, current, spec), None, None)
+    }
 
     /// Notified after each executed transition (including staying put).
     fn observe(&mut self, _ctx: &RuntimeContext<'_>, _from: usize, _to: usize) {}
@@ -38,7 +56,11 @@ pub struct SimConfig {
     pub seed: u64,
     /// Index of the initially active design point.
     pub initial_point: usize,
-    /// Cap on the number of retained trace records (0 = keep none).
+    /// Cap on the number of retained trace records (0 = keep none). The
+    /// trace is a ring buffer: when more than `max_trace` events occur, the
+    /// **last** `max_trace` records are kept — the tail of a run is what
+    /// post-mortem debugging needs. Use [`simulate_obs`] with an enabled
+    /// [`Obs`] handle to journal *every* decision instead.
     pub max_trace: usize,
 }
 
@@ -64,7 +86,7 @@ impl SimConfig {
         }
     }
 
-    /// Returns a copy retaining up to `n` trace records.
+    /// Returns a copy retaining up to the *last* `n` trace records.
     pub fn with_trace(mut self, n: usize) -> Self {
         self.max_trace = n;
         self
@@ -112,8 +134,18 @@ pub struct SimResult {
     /// database). This is the run-time DSE latency the paper's conclusion
     /// warns grows with the number of stored points.
     pub decision_work: u64,
-    /// Retained per-event records (up to `SimConfig::max_trace`).
-    pub trace: Vec<TraceRecord>,
+    /// Retained per-event records: the **last** `SimConfig::max_trace`
+    /// events, in time order. Private so the simulation loop is the single
+    /// pathway producing trace data; read via [`SimResult::trace`].
+    trace: Vec<TraceRecord>,
+}
+
+impl SimResult {
+    /// The retained trace: the last `SimConfig::max_trace` adaptation
+    /// events, in time order.
+    pub fn trace(&self) -> &[TraceRecord] {
+        &self.trace
+    }
 }
 
 /// Runs the discrete-event Monte-Carlo simulation.
@@ -131,12 +163,47 @@ pub fn simulate<P: AdaptationPolicy + ?Sized>(
     qos: &QosVariationModel,
     config: &SimConfig,
 ) -> SimResult {
+    simulate_obs(ctx, policy, qos, config, &Obs::off(), "sim")
+}
+
+/// Upper bucket bounds of the `sim.drc` reconfiguration-cost histogram.
+const DRC_BUCKET_BOUNDS: [f64; 8] = [0.0, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0];
+
+/// [`simulate`] with journal instrumentation: emits one `sim_start`
+/// event, one `decision` record per QoS event (feasible-set size, chosen
+/// point, `dRC`, the policy's RET score and `p_RC` when available), a
+/// `sim_end` summary, and a simulated-cycle logical-clock span, plus
+/// `sim.*` recorder counters and a `sim.drc` cost histogram.
+///
+/// Everything is emitted from the (serial) event loop, so journals are
+/// bit-identical across thread counts. `label` names this simulation in
+/// the journal; make it unique per run when simulating several databases.
+/// With a disabled handle this is exactly [`simulate`].
+///
+/// # Panics
+///
+/// Panics if `initial_point` is out of range for the context's database.
+pub fn simulate_obs<P: AdaptationPolicy + ?Sized>(
+    ctx: &RuntimeContext<'_>,
+    policy: &mut P,
+    qos: &QosVariationModel,
+    config: &SimConfig,
+    obs: &Obs,
+    label: &str,
+) -> SimResult {
     assert!(
         config.initial_point < ctx.len(),
         "initial point {} out of range ({} stored)",
         config.initial_point,
         ctx.len()
     );
+    if obs.enabled() {
+        obs.emit(Event::SimStart {
+            label: label.to_string(),
+            points: ctx.len(),
+            seed: config.seed,
+        });
+    }
     let mut events = EventStream::new(*qos, config.mean_event_gap, config.seed);
     let mut current = config.initial_point;
     let mut last_time = 0.0f64;
@@ -153,6 +220,9 @@ pub fn simulate<P: AdaptationPolicy + ?Sized>(
         decision_work: 0,
         trace: Vec::new(),
     };
+    // Ring buffer of the most recent `max_trace` records; overflow evicts
+    // the oldest, so the retained window is the tail of the run.
+    let mut ring: VecDeque<TraceRecord> = VecDeque::new();
     let mut energy_time_integral = 0.0f64;
 
     loop {
@@ -173,7 +243,12 @@ pub fn simulate<P: AdaptationPolicy + ?Sized>(
 
         result.events += 1;
         result.decision_work += ctx.len() as u64;
-        let decision = policy.decide(ctx, current, &event.spec);
+        let feasible = if obs.enabled() {
+            ctx.feasible(&event.spec).len()
+        } else {
+            0
+        };
+        let (decision, score, p_rc) = policy.decide_scored(ctx, current, &event.spec);
         let (to, violated) = match decision {
             Some(p) => (p, false),
             None => (current, true),
@@ -191,18 +266,46 @@ pub fn simulate<P: AdaptationPolicy + ?Sized>(
         if drc > result.max_reconfig_cost {
             result.max_reconfig_cost = drc;
         }
-        if result.trace.len() < config.max_trace {
-            result.trace.push(TraceRecord {
-                time: event.time,
-                spec: event.spec,
+        // Single trace pathway: the same decision data feeds the in-memory
+        // ring buffer and the journal decision record.
+        let record = TraceRecord {
+            time: event.time,
+            spec: event.spec,
+            from: current,
+            to,
+            drc,
+            violated,
+        };
+        if config.max_trace > 0 {
+            if ring.len() == config.max_trace {
+                ring.pop_front();
+            }
+            ring.push_back(record);
+        }
+        if obs.enabled() {
+            obs.emit(Event::Decision {
+                event: result.events,
+                cycle: event.time,
+                feasible,
                 from: current,
                 to,
                 drc,
+                score,
+                p_rc,
                 violated,
             });
+            obs.counter_add("sim.events", 1);
+            if to != current {
+                obs.counter_add("sim.reconfigurations", 1);
+            }
+            if violated {
+                obs.counter_add("sim.violations", 1);
+            }
+            obs.histogram_record("sim.drc", &DRC_BUCKET_BOUNDS, drc);
         }
         current = to;
     }
+    result.trace = ring.into();
 
     result.avg_reconfig_cost = if result.events > 0 {
         result.total_reconfig_cost / result.events as f64
@@ -214,6 +317,21 @@ pub fn simulate<P: AdaptationPolicy + ?Sized>(
     } else {
         0.0
     };
+    if obs.enabled() {
+        obs.emit(Event::SimEnd {
+            label: label.to_string(),
+            events: result.events,
+            reconfigurations: result.reconfigurations,
+            violations: result.violations,
+            total_drc: result.total_reconfig_cost,
+        });
+        obs.emit(Event::Span {
+            label: label.to_string(),
+            clock: "cycle".to_string(),
+            start: 0.0,
+            end: config.total_cycles,
+        });
+    }
     result
 }
 
@@ -225,6 +343,11 @@ pub fn simulate<P: AdaptationPolicy + ?Sized>(
 /// Replication `i` simulates with a fresh policy from `make_policy(i)` and
 /// an RNG stream derived from `(config.seed, i)`, so results are in
 /// replication order and bit-identical for every thread count.
+///
+/// Replications run **un-instrumented**: their inner [`simulate`] calls
+/// execute on worker threads, where journal emission would make event
+/// order depend on scheduling. Use [`simulate_obs`] on a single run when
+/// per-decision records are needed.
 ///
 /// # Panics
 ///
@@ -367,12 +490,91 @@ mod tests {
         let qos = QosVariationModel::calibrated(&db, 0.25, 0.3);
         let mut pol = UraPolicy::new(0.5).unwrap();
         let r = simulate(&ctx, &mut pol, &qos, &SimConfig::quick(4).with_trace(50));
-        assert!(r.trace.len() <= 50);
-        assert!(!r.trace.is_empty());
+        assert!(r.trace().len() <= 50);
+        assert!(!r.trace().is_empty());
         // Trace times are increasing.
-        for w in r.trace.windows(2) {
+        for w in r.trace().windows(2) {
             assert!(w[1].time > w[0].time);
         }
+    }
+
+    #[test]
+    fn trace_ring_buffer_keeps_the_last_records() {
+        let (g, p, db) = fixture(38);
+        let ctx = RuntimeContext::new(&g, &p, &db);
+        let qos = QosVariationModel::calibrated(&db, 0.25, 0.3);
+        let full = simulate(
+            &ctx,
+            &mut UraPolicy::new(0.5).unwrap(),
+            &qos,
+            &SimConfig::quick(6).with_trace(usize::MAX),
+        );
+        assert!(full.trace().len() > 10, "need overflow for this test");
+        let capped = simulate(
+            &ctx,
+            &mut UraPolicy::new(0.5).unwrap(),
+            &qos,
+            &SimConfig::quick(6).with_trace(10),
+        );
+        // Overflow evicts the oldest records: the capped trace is exactly
+        // the tail of the full trace.
+        assert_eq!(
+            capped.trace(),
+            &full.trace()[full.trace().len() - 10..],
+            "ring buffer must keep the last N records"
+        );
+    }
+
+    #[test]
+    fn max_trace_zero_keeps_nothing() {
+        let (g, p, db) = fixture(39);
+        let ctx = RuntimeContext::new(&g, &p, &db);
+        let qos = QosVariationModel::calibrated(&db, 0.25, 0.3);
+        let r = simulate(
+            &ctx,
+            &mut UraPolicy::new(0.5).unwrap(),
+            &qos,
+            &SimConfig::quick(8).with_trace(0),
+        );
+        assert!(r.events > 0);
+        assert!(r.trace().is_empty());
+    }
+
+    #[test]
+    fn obs_journals_one_decision_per_event_and_sim_bracketing() {
+        use clr_obs::{Event, Obs, ObsMode};
+        let (g, p, db) = fixture(40);
+        let ctx = RuntimeContext::new(&g, &p, &db);
+        let qos = QosVariationModel::calibrated(&db, 0.25, 0.3);
+        let obs = Obs::new(ObsMode::Json);
+        let mut pol = UraPolicy::new(0.5).unwrap();
+        let r = simulate_obs(&ctx, &mut pol, &qos, &SimConfig::quick(9), &obs, "unit");
+        let events = obs.det_events();
+        let decisions: Vec<&Event> = events
+            .iter()
+            .filter(|e| matches!(e, Event::Decision { .. }))
+            .collect();
+        assert_eq!(decisions.len(), r.events, "one decision record per event");
+        for e in &decisions {
+            let Event::Decision {
+                to, score, p_rc, ..
+            } = e
+            else {
+                unreachable!()
+            };
+            assert!(*to < db.len());
+            // uRA exposes both its winning score and its p_RC parameter.
+            assert!(p_rc == &Some(0.5));
+            assert!(score.is_some() || matches!(e, Event::Decision { violated: true, .. }));
+        }
+        assert!(matches!(events.first(), Some(Event::SimStart { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, Event::SimEnd { events, .. } if *events == r.events)));
+        // Instrumentation must not perturb the simulation itself.
+        let mut pol2 = UraPolicy::new(0.5).unwrap();
+        let plain = simulate(&ctx, &mut pol2, &qos, &SimConfig::quick(9));
+        assert_eq!(plain, r);
     }
 
     #[test]

@@ -61,13 +61,14 @@ impl UraPolicy {
         spec: &QosSpec,
     ) -> Option<usize> {
         let feas = ctx.feasible(spec);
-        ura_argmax(ctx, current, &feas, self.p_rc, |_| 0.0, 0.0)
+        ura_argmax(ctx, current, &feas, self.p_rc, |_| 0.0, 0.0).map(|(p, _)| p)
     }
 }
 
 /// Shared arg-max of Algorithm 1's scoring loop, parameterised by a state
 /// value function so AuRA (`score += γ·V(p)`) reuses it; uRA passes
-/// `γ = 0`.
+/// `γ = 0`. Returns the winner and its `RET` score (surfaced in journal
+/// decision records).
 pub(crate) fn ura_argmax(
     ctx: &RuntimeContext<'_>,
     current: usize,
@@ -75,7 +76,7 @@ pub(crate) fn ura_argmax(
     p_rc: f64,
     value: impl Fn(usize) -> f64,
     gamma: f64,
-) -> Option<usize> {
+) -> Option<(usize, f64)> {
     feasible
         .iter()
         .copied()
@@ -93,7 +94,7 @@ pub(crate) fn ura_argmax(
                 .then(a.2.total_cmp(&b.2))
                 .then(b.0.cmp(&a.0))
         })
-        .map(|(p, _, _)| p)
+        .map(|(p, ret, _)| (p, ret))
 }
 
 impl AdaptationPolicy for UraPolicy {
@@ -104,6 +105,19 @@ impl AdaptationPolicy for UraPolicy {
         spec: &QosSpec,
     ) -> Option<usize> {
         self.select(ctx, current, spec)
+    }
+
+    fn decide_scored(
+        &mut self,
+        ctx: &RuntimeContext<'_>,
+        current: usize,
+        spec: &QosSpec,
+    ) -> (Option<usize>, Option<f64>, Option<f64>) {
+        let feas = ctx.feasible(spec);
+        match ura_argmax(ctx, current, &feas, self.p_rc, |_| 0.0, 0.0) {
+            Some((p, ret)) => (Some(p), Some(ret), Some(self.p_rc)),
+            None => (None, None, Some(self.p_rc)),
+        }
     }
 }
 

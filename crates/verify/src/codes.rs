@@ -3,8 +3,9 @@
 //!
 //! Codes are grouped by pipeline stage: `CLR00x` task graphs, `CLR01x`
 //! platforms, `CLR02x` mappings/schedules, `CLR03x` design-point
-//! databases, `CLR04x` run-time policies. Codes are append-only — a
-//! retired lint's number is never reused.
+//! databases, `CLR04x` run-time policies, `CLR05x` observability
+//! journals. Codes are append-only — a retired lint's number is never
+//! reused.
 
 use crate::Severity;
 
@@ -91,11 +92,26 @@ pub enum LintCode {
     /// CLR041: an AuRA agent claiming `γ = 0` diverges from uRA — the
     /// Algorithm-1 equivalence is broken.
     AuraUraDivergence,
+
+    // ----- observability journals (CLR05x) ------------------------------
+    /// CLR050: a journal line is not a well-formed schema-1 event.
+    JournalSchemaInvalid,
+    /// CLR051: journal logical time runs backwards (sequence numbers not
+    /// strictly increasing, or decision cycles regress within one
+    /// simulation bracket).
+    JournalNonMonotoneSeq,
+    /// CLR052: a decision record references a design-point index outside
+    /// the enclosing simulation's stored database.
+    JournalDecisionIndexOutOfRange,
+    /// CLR053: the journal does not survive a parse/re-encode round trip
+    /// byte-for-byte — the file was hand-edited or written by a foreign
+    /// encoder.
+    JournalRoundTripMismatch,
 }
 
 impl LintCode {
     /// Every registered lint, in code order.
-    pub const ALL: [LintCode; 27] = [
+    pub const ALL: [LintCode; 31] = [
         LintCode::GraphCycle,
         LintCode::EdgeEndpointOutOfRange,
         LintCode::EmptyImplementationSet,
@@ -123,6 +139,10 @@ impl LintCode {
         LintCode::DrcMatrixMismatch,
         LintCode::PolicyParamOutOfRange,
         LintCode::AuraUraDivergence,
+        LintCode::JournalSchemaInvalid,
+        LintCode::JournalNonMonotoneSeq,
+        LintCode::JournalDecisionIndexOutOfRange,
+        LintCode::JournalRoundTripMismatch,
     ];
 
     /// The stable `CLRnnn` code string.
@@ -155,6 +175,10 @@ impl LintCode {
             LintCode::DrcMatrixMismatch => "CLR037",
             LintCode::PolicyParamOutOfRange => "CLR040",
             LintCode::AuraUraDivergence => "CLR041",
+            LintCode::JournalSchemaInvalid => "CLR050",
+            LintCode::JournalNonMonotoneSeq => "CLR051",
+            LintCode::JournalDecisionIndexOutOfRange => "CLR052",
+            LintCode::JournalRoundTripMismatch => "CLR053",
         }
     }
 
@@ -208,6 +232,14 @@ impl LintCode {
             LintCode::DrcMatrixMismatch => "persisted dRC matrices must match recomputation",
             LintCode::PolicyParamOutOfRange => "policy parameters must lie in their domains",
             LintCode::AuraUraDivergence => "AuRA at γ = 0 must reproduce uRA decisions",
+            LintCode::JournalSchemaInvalid => "journal lines must be well-formed schema-1 events",
+            LintCode::JournalNonMonotoneSeq => "journal logical time must be monotone",
+            LintCode::JournalDecisionIndexOutOfRange => {
+                "decision records must index into the enclosing simulation's database"
+            }
+            LintCode::JournalRoundTripMismatch => {
+                "journals must survive a parse/re-encode round trip"
+            }
         }
     }
 
@@ -270,6 +302,18 @@ impl LintCode {
             LintCode::PolicyParamOutOfRange => "clamp the parameter into its documented domain",
             LintCode::AuraUraDivergence => {
                 "audit the agent's value function; γ = 0 must subsume uRA"
+            }
+            LintCode::JournalSchemaInvalid => {
+                "regenerate the journal with CLR_OBS=json; do not hand-edit it"
+            }
+            LintCode::JournalNonMonotoneSeq => {
+                "export through Obs::export; do not merge or reorder journal files"
+            }
+            LintCode::JournalDecisionIndexOutOfRange => {
+                "re-run the simulation; the journal disagrees with its own sim_start"
+            }
+            LintCode::JournalRoundTripMismatch => {
+                "regenerate the journal; foreign encoders are not byte-stable"
             }
         }
     }

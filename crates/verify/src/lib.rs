@@ -3,8 +3,9 @@
 //!
 //! Every artifact the methodology produces — task graphs (built, generated
 //! or TGFF-parsed), platform models, mappings, schedules, design-point
-//! databases and runtime-agent policies — is audited against a registry of
-//! stable lint codes (`CLR001`–`CLR041`). Each [`LintCode`] carries a
+//! databases, runtime-agent policies and observability journals — is
+//! audited against a registry of
+//! stable lint codes (`CLR001`–`CLR053`). Each [`LintCode`] carries a
 //! severity ([`Severity::Deny`] fails an audit, [`Severity::Warn`] does
 //! not) and a one-line fix hint; findings accumulate in a [`Report`]
 //! renderable for humans or as JSON.
@@ -35,6 +36,7 @@ mod codes;
 mod database;
 mod diag;
 mod graph;
+mod journal;
 mod mapping;
 mod platform;
 mod policy;
@@ -43,6 +45,7 @@ pub use codes::LintCode;
 pub use database::{check_database, check_database_standalone, check_drc_matrix};
 pub use diag::{Diagnostic, Report, Severity};
 pub use graph::{check_graph_facts, check_task_graph, GraphFacts};
+pub use journal::check_journal;
 pub use mapping::{check_mapping, check_schedule};
 pub use platform::{check_platform, check_platform_facts, check_platform_supports, PlatformFacts};
 pub use policy::{check_aura_subsumes_ura, check_policy_params};

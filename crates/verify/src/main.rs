@@ -2,10 +2,11 @@
 //! registry and exit nonzero when a deny-level invariant is broken.
 //!
 //! ```text
-//! clr-verify [--json] all           end-to-end audit of the bundled artifacts
-//! clr-verify [--json] tgff <FILE>.. parse and lint TGFF task graphs
-//! clr-verify [--json] db <FILE>..   decode and lint design-point databases
-//! clr-verify list                   print the lint registry
+//! clr-verify [--json] all             end-to-end audit of the bundled artifacts
+//! clr-verify [--json] tgff <FILE>..   parse and lint TGFF task graphs
+//! clr-verify [--json] db <FILE>..     decode and lint design-point databases
+//! clr-verify [--json] journal <FILE>.. lint observability journals (*.obs.jsonl)
+//! clr-verify list                     print the lint registry
 //! ```
 //!
 //! Exit codes: `0` clean or warn-only, `1` at least one deny-level
@@ -26,11 +27,12 @@ use clr_taskgraph::{
 };
 use clr_verify::{
     check_aura_subsumes_ura, check_database, check_database_standalone, check_drc_matrix,
-    check_mapping, check_platform, check_platform_supports, check_policy_params, check_schedule,
-    check_task_graph, LintCode, Report,
+    check_journal, check_mapping, check_platform, check_platform_supports, check_policy_params,
+    check_schedule, check_task_graph, LintCode, Report,
 };
 
-const USAGE: &str = "usage: clr-verify [--json] <all | tgff FILE.. | db FILE.. | list>";
+const USAGE: &str =
+    "usage: clr-verify [--json] <all | tgff FILE.. | db FILE.. | journal FILE.. | list>";
 
 fn main() -> ExitCode {
     let mut json = false;
@@ -66,6 +68,10 @@ fn main() -> ExitCode {
             Err(code) => return code,
         },
         "db" => match audit_files(operands, audit_db_file) {
+            Ok(r) => r,
+            Err(code) => return code,
+        },
+        "journal" => match audit_files(operands, audit_journal_file) {
             Ok(r) => r,
             Err(code) => return code,
         },
@@ -155,6 +161,16 @@ fn audit_db_file(text: &str, path: &str) -> Result<Report, String> {
         ExplorationMode::Full,
         RedConfig::default().tolerance,
     ))
+}
+
+/// Lints one observability journal (either section; see
+/// [`check_journal`]).
+fn audit_journal_file(text: &str, path: &str) -> Result<Report, String> {
+    eprintln!(
+        "clr-verify: {path}: journal ({} lines)",
+        text.lines().filter(|l| !l.trim().is_empty()).count()
+    );
+    Ok(check_journal(text, path))
 }
 
 /// End-to-end audit of the bundled artifacts: presets, TGFF generation,
