@@ -24,6 +24,13 @@
 #                                    the deterministic journal sections must
 #                                    be byte-identical and pass the
 #                                    clr-verify journal lints (CLR05x)
+#   8. clr-serve replay smoke      — publish the exported database as a
+#                                    snapshot (clr-verify snapshot, CLR06x),
+#                                    generate a seeded multi-tenant trace and
+#                                    replay it at CLR_THREADS=1 and 8: the
+#                                    decision CSVs and journals must be
+#                                    byte-identical, and the journal must
+#                                    pass the CLR05x lints
 #
 # Any failure aborts the script (set -e); clr-verify exits nonzero on
 # deny-level findings, so a model regression fails CI like a test would.
@@ -85,5 +92,25 @@ cmp "$JOURNAL_SERIAL" "$JOURNAL" \
 if [ -n "$CSV_BACKUP" ]; then
   mv "$CSV_BACKUP" results/table4.csv
 fi
+
+step "clr-serve replay (multi-tenant trace, thread-count byte-compare)"
+cargo build --release --quiet -p clr-serve --bin clr-serve
+SERVE=target/release/clr-serve
+SNAP=target/ci-based.snap
+"$SERVE" snapshot "$DB_PARALLEL" "$SNAP" --graph jpeg --platform dac19
+"$VERIFY" snapshot "$SNAP"
+TRACE=target/ci-serve-trace.jsonl
+FLEET=(--tenant "cam=$SNAP@ura:0.8" --tenant "nav=$SNAP@aura:0.5,0.6,0.1" --tenant "audio=$SNAP@hv")
+"$SERVE" gen-trace --out "$TRACE" --seed 11 --cycles 20000 --mean-gap 100 "${FLEET[@]}"
+OUT1=target/ci-serve-t1
+OUT8=target/ci-serve-t8
+rm -rf "$OUT1" "$OUT8"
+CLR_THREADS=1 "$SERVE" replay --trace "$TRACE" --out-dir "$OUT1" "${FLEET[@]}" 2>/dev/null
+CLR_THREADS=8 "$SERVE" replay --trace "$TRACE" --out-dir "$OUT8" "${FLEET[@]}" 2>/dev/null
+cmp "$OUT1/decisions.csv" "$OUT8/decisions.csv" \
+  || { echo "decision outputs diverged across thread counts"; exit 1; }
+cmp "$OUT1/replay.obs.jsonl" "$OUT8/replay.obs.jsonl" \
+  || { echo "replay journals diverged across thread counts"; exit 1; }
+"$VERIFY" journal "$OUT8/replay.obs.jsonl"
 
 printf '\nci.sh: all gates passed.\n'

@@ -1,0 +1,139 @@
+//! Serving-layer benches: indexed vs linear feasibility queries over
+//! stored databases, and multi-tenant replay throughput across worker
+//! counts.
+//!
+//! The feasibility group is the tentpole comparison: the
+//! `FeasibilityIndex` answers `feasible(spec)` in O(log n + k) against
+//! the O(n) linear scan, returning exactly the same index set (a proptest
+//! law in `clr-dse`), so the two rows differ only in time. The replay
+//! group measures engine throughput; its outputs are bit-identical at
+//! every thread count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use clr_core::dse::{DesignPoint, FeasibilityIndex, PointOrigin};
+use clr_core::prelude::*;
+use clr_core::sched::SystemMetrics;
+use clr_core::serve::{generate_trace, replay, PolicySpec, ReplayConfig, Tenant};
+use clr_experiments::kernels::Bundle;
+use clr_experiments::Env;
+
+/// Deterministic pseudo-random database of `n` stored points with metric
+/// spreads comparable to an explored BaseD artifact.
+fn synthetic_db(n: usize) -> DesignPointDb {
+    let mut db = DesignPointDb::new("bench");
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    for _ in 0..n {
+        db.push(DesignPoint::new(
+            Mapping::new(vec![]),
+            SystemMetrics {
+                makespan: 50.0 + 150.0 * next(),
+                reliability: 0.5 + 0.5 * next(),
+                energy: 1.0 + next(),
+                peak_power: 1.0 + next(),
+                mean_mttf: 100.0 + 100.0 * next(),
+            },
+            PointOrigin::Pareto,
+        ));
+    }
+    db
+}
+
+/// A spread of requirements from very tight to very lax, so both query
+/// paths see every selectivity regime.
+fn spec_sweep() -> Vec<QosSpec> {
+    let mut specs = Vec::new();
+    for i in 0..8 {
+        let s_max = 40.0 + 25.0 * f64::from(i);
+        for j in 0..4 {
+            let f_min = 0.45 + 0.15 * f64::from(j);
+            specs.push(QosSpec::new(s_max, f_min));
+        }
+    }
+    specs
+}
+
+/// Indexed vs linear `feasible(spec)` on 1k- and 4k-point databases.
+fn feasibility_query(c: &mut Criterion) {
+    let specs = spec_sweep();
+    for n in [1_000usize, 4_000] {
+        let db = synthetic_db(n);
+        let index = FeasibilityIndex::new(&db);
+        let mut group = c.benchmark_group(&format!("feasibility_{n}_points"));
+        let mut buf: Vec<usize> = Vec::new();
+        group.bench_function("indexed", |b| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for spec in &specs {
+                    index.query_into(spec, &mut buf);
+                    total += buf.len();
+                }
+                black_box(total)
+            });
+        });
+        group.bench_function("linear", |b| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for spec in &specs {
+                    db.feasible_indices_into(spec, &mut buf);
+                    total += buf.len();
+                }
+                black_box(total)
+            });
+        });
+        group.finish();
+    }
+}
+
+/// Multi-tenant replay throughput at 1/4/8 worker threads.
+fn replay_throughput(c: &mut Criterion) {
+    let env = Env::quick();
+    let fleet_spec: [(&str, usize, PolicySpec); 3] = [
+        ("cam", 8, PolicySpec::Ura { p_rc: 0.8 }),
+        (
+            "nav",
+            10,
+            PolicySpec::Aura {
+                p_rc: 0.5,
+                gamma: 0.6,
+                alpha: 0.1,
+            },
+        ),
+        ("audio", 12, PolicySpec::Hv),
+    ];
+    let mut tenants = Vec::new();
+    for (name, n, policy) in fleet_spec {
+        let bundle = Bundle::new(&env, n);
+        let db = bundle.flow(&env, ExplorationMode::Full).based().clone();
+        tenants.push(
+            Tenant::from_parts(name, bundle.graph, bundle.platform, db, policy)
+                .expect("explored databases are non-empty"),
+        );
+    }
+    let trace = generate_trace(&tenants, 1, 50_000.0, 50.0);
+    let mut group = c.benchmark_group(&format!("serve_replay_{}_events", trace.len()));
+    for threads in [1usize, 4, 8] {
+        let config = ReplayConfig {
+            threads,
+            ..ReplayConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("threads={threads}")),
+            &threads,
+            |b, _| {
+                b.iter(|| black_box(replay(&tenants, &trace, &config).unwrap()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, feasibility_query, replay_throughput);
+criterion_main!(benches);

@@ -48,5 +48,6 @@ pub use clr_platform as platform;
 pub use clr_reliability as reliability;
 pub use clr_runtime as runtime;
 pub use clr_sched as sched;
+pub use clr_serve as serve;
 pub use clr_stats as stats;
 pub use clr_taskgraph as taskgraph;

@@ -110,9 +110,18 @@ impl DesignPointDb {
     /// Indices of points satisfying a QoS specification — the `FEAS` set of
     /// Algorithm 1, line 3.
     pub fn feasible_indices(&self, spec: &QosSpec) -> Vec<usize> {
-        (0..self.points.len())
-            .filter(|&i| self.points[i].satisfies(spec))
-            .collect()
+        let mut out = Vec::new();
+        self.feasible_indices_into(spec, &mut out);
+        out
+    }
+
+    /// [`feasible_indices`](Self::feasible_indices) into a caller-owned
+    /// buffer (cleared first), so hot loops reuse one allocation across
+    /// events. For repeated queries over an immutable database prefer
+    /// [`crate::FeasibilityIndex`], which answers in O(log n + k).
+    pub fn feasible_indices_into(&self, spec: &QosSpec, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend((0..self.points.len()).filter(|&i| self.points[i].satisfies(spec)));
     }
 
     /// Indices of the points non-dominated in the QoS plane

@@ -42,6 +42,7 @@ mod based;
 mod codec;
 mod database;
 mod enumerate;
+mod index;
 mod point;
 mod problem;
 mod red;
@@ -50,6 +51,7 @@ pub use based::{explore_based, explore_based_with};
 pub use codec::CodecError;
 pub use database::DesignPointDb;
 pub use enumerate::{enumerate_exact, SpaceTooLarge};
+pub use index::FeasibilityIndex;
 pub use point::{DesignPoint, PointOrigin, QosSpec};
 pub use problem::{ClrMappingProblem, DseConfig, ExplorationMode, ProblemVariant};
 pub use red::{explore_red, explore_red_with, RedConfig};

@@ -268,10 +268,20 @@ impl AdaptationPolicy for AuraAgent {
         spec: &QosSpec,
     ) -> (Option<usize>, Option<f64>, Option<f64>) {
         let feas = ctx.feasible(spec);
+        self.decide_scored_from(ctx, current, spec, &feas)
+    }
+
+    fn decide_scored_from(
+        &mut self,
+        ctx: &RuntimeContext<'_>,
+        current: usize,
+        _spec: &QosSpec,
+        feasible: &[usize],
+    ) -> (Option<usize>, Option<f64>, Option<f64>) {
         match ura_argmax(
             ctx,
             current,
-            &feas,
+            feasible,
             self.p_rc,
             |s| self.values[s],
             self.gamma,

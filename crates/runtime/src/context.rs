@@ -1,15 +1,16 @@
 //! Shared run-time adaptation context: the stored database plus
 //! pre-computed reconfiguration distances and normalisers.
 
-use clr_dse::{DesignPointDb, QosSpec};
+use clr_dse::{DesignPointDb, FeasibilityIndex, QosSpec};
 use clr_platform::Platform;
 use clr_sched::reconfiguration_cost;
 use clr_stats::Normalizer;
 use clr_taskgraph::TaskGraph;
 
 /// Pre-computed run-time state: the pairwise `dRC` matrix between stored
-/// design points and the min–max normalisers Algorithm 1 applies to
-/// `R(p)` and `dRC(p)`.
+/// design points, the min–max normalisers Algorithm 1 applies to `R(p)`
+/// and `dRC(p)`, and a [`FeasibilityIndex`] answering the `FEAS` filter
+/// in O(log n + k) instead of a per-event linear scan.
 ///
 /// The matrix makes each adaptation decision O(|DB|) instead of
 /// O(|DB| · |tasks|), which is what lets the Monte-Carlo evaluation run
@@ -17,6 +18,7 @@ use clr_taskgraph::TaskGraph;
 #[derive(Debug, Clone)]
 pub struct RuntimeContext<'a> {
     db: &'a DesignPointDb,
+    index: FeasibilityIndex,
     /// `drc[from][to]`.
     drc: Vec<Vec<f64>>,
     energy_norm: Normalizer,
@@ -61,6 +63,7 @@ impl<'a> RuntimeContext<'a> {
         let drc_norm = Normalizer::new(0.0, max_drc).expect("drc range is valid");
         Self {
             db,
+            index: FeasibilityIndex::new(db),
             drc,
             energy_norm,
             drc_norm,
@@ -112,9 +115,23 @@ impl<'a> RuntimeContext<'a> {
             .normalize(self.db.point(point).metrics.energy)
     }
 
-    /// Indices of points satisfying `spec` (Algorithm 1's `FEAS`).
+    /// Indices of points satisfying `spec` (Algorithm 1's `FEAS`),
+    /// ascending — answered through the [`FeasibilityIndex`], which is
+    /// property-tested to return exactly the linear scan's index set.
     pub fn feasible(&self, spec: &QosSpec) -> Vec<usize> {
-        self.db.feasible_indices(spec)
+        self.index.query(spec)
+    }
+
+    /// [`feasible`](Self::feasible) into a caller-owned buffer (cleared
+    /// first), so per-event hot loops reuse one allocation across the
+    /// whole event stream instead of allocating a fresh `Vec` per query.
+    pub fn feasible_into(&self, spec: &QosSpec, out: &mut Vec<usize>) {
+        self.index.query_into(spec, out);
+    }
+
+    /// The feasibility index over the stored database.
+    pub fn feasibility_index(&self) -> &FeasibilityIndex {
+        &self.index
     }
 }
 
@@ -197,5 +214,22 @@ mod tests {
         let ctx = RuntimeContext::new(&g, &p, &db);
         let spec = QosSpec::new(f64::INFINITY, 0.0);
         assert_eq!(ctx.feasible(&spec).len(), db.len());
+    }
+
+    #[test]
+    fn indexed_feasible_equals_linear_scan_exactly() {
+        let (g, p, db) = fixture();
+        let ctx = RuntimeContext::new(&g, &p, &db);
+        let mut makespans: Vec<f64> = db.iter().map(|p| p.metrics.makespan).collect();
+        makespans.sort_by(f64::total_cmp);
+        let mut buf = Vec::new();
+        for &s_max in &makespans {
+            for f_min in [0.0, 0.5, 0.9, 0.99, 1.0] {
+                let spec = QosSpec::new(s_max, f_min);
+                assert_eq!(ctx.feasible(&spec), db.feasible_indices(&spec));
+                ctx.feasible_into(&spec, &mut buf);
+                assert_eq!(buf, db.feasible_indices(&spec));
+            }
+        }
     }
 }

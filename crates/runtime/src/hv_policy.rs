@@ -39,9 +39,21 @@ impl HvPolicy {
     /// the requirement `(S_SPEC, max error rate)`, or `None` when nothing
     /// is feasible.
     pub fn select(&self, ctx: &RuntimeContext<'_>, spec: &QosSpec) -> Option<usize> {
+        self.select_from(ctx, spec, &ctx.feasible(spec))
+    }
+
+    /// [`select`](Self::select) over a feasible set the caller already
+    /// computed (exactly `ctx.feasible(spec)`).
+    pub fn select_from(
+        &self,
+        ctx: &RuntimeContext<'_>,
+        spec: &QosSpec,
+        feasible: &[usize],
+    ) -> Option<usize> {
         let reference = [spec.max_makespan, spec.max_error_rate()];
-        ctx.feasible(spec)
-            .into_iter()
+        feasible
+            .iter()
+            .copied()
             .map(|p| {
                 let m = &ctx.db().point(p).metrics;
                 let fit = signed_hypervolume_fitness(&[m.makespan, m.error_rate()], &reference);
@@ -60,6 +72,16 @@ impl AdaptationPolicy for HvPolicy {
         spec: &QosSpec,
     ) -> Option<usize> {
         self.select(ctx, spec)
+    }
+
+    fn decide_scored_from(
+        &mut self,
+        ctx: &RuntimeContext<'_>,
+        _current: usize,
+        spec: &QosSpec,
+        feasible: &[usize],
+    ) -> (Option<usize>, Option<f64>, Option<f64>) {
+        (self.select_from(ctx, spec, feasible), None, None)
     }
 }
 

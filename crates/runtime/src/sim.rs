@@ -35,6 +35,25 @@ pub trait AdaptationPolicy {
         (self.decide(ctx, current, spec), None, None)
     }
 
+    /// [`decide_scored`](Self::decide_scored) with the feasible set
+    /// already computed by the caller (ascending indices, exactly
+    /// `ctx.feasible(spec)`). Hot loops compute feasibility once per
+    /// event into a reusable buffer and hand the slice to the policy, so
+    /// a decision performs no allocation and no second database filter.
+    /// The default recomputes internally — existing policies stay
+    /// correct, merely unoptimised — and the workspace policies override
+    /// it; overriders must return exactly what `decide_scored` would.
+    fn decide_scored_from(
+        &mut self,
+        ctx: &RuntimeContext<'_>,
+        current: usize,
+        spec: &QosSpec,
+        feasible: &[usize],
+    ) -> (Option<usize>, Option<f64>, Option<f64>) {
+        let _ = feasible;
+        self.decide_scored(ctx, current, spec)
+    }
+
     /// Notified after each executed transition (including staying put).
     fn observe(&mut self, _ctx: &RuntimeContext<'_>, _from: usize, _to: usize) {}
 
@@ -224,6 +243,9 @@ pub fn simulate_obs<P: AdaptationPolicy + ?Sized>(
     // the oldest, so the retained window is the tail of the run.
     let mut ring: VecDeque<TraceRecord> = VecDeque::new();
     let mut energy_time_integral = 0.0f64;
+    // One feasibility query per event, reusing a single buffer for the
+    // whole run (`feasible_into` + `decide_scored_from`).
+    let mut feas_buf: Vec<usize> = Vec::new();
 
     loop {
         let event = events.next_event();
@@ -243,12 +265,10 @@ pub fn simulate_obs<P: AdaptationPolicy + ?Sized>(
 
         result.events += 1;
         result.decision_work += ctx.len() as u64;
-        let feasible = if obs.enabled() {
-            ctx.feasible(&event.spec).len()
-        } else {
-            0
-        };
-        let (decision, score, p_rc) = policy.decide_scored(ctx, current, &event.spec);
+        ctx.feasible_into(&event.spec, &mut feas_buf);
+        let feasible = feas_buf.len();
+        let (decision, score, p_rc) =
+            policy.decide_scored_from(ctx, current, &event.spec, &feas_buf);
         let (to, violated) = match decision {
             Some(p) => (p, false),
             None => (current, true),

@@ -114,7 +114,17 @@ impl AdaptationPolicy for UraPolicy {
         spec: &QosSpec,
     ) -> (Option<usize>, Option<f64>, Option<f64>) {
         let feas = ctx.feasible(spec);
-        match ura_argmax(ctx, current, &feas, self.p_rc, |_| 0.0, 0.0) {
+        self.decide_scored_from(ctx, current, spec, &feas)
+    }
+
+    fn decide_scored_from(
+        &mut self,
+        ctx: &RuntimeContext<'_>,
+        current: usize,
+        _spec: &QosSpec,
+        feasible: &[usize],
+    ) -> (Option<usize>, Option<f64>, Option<f64>) {
+        match ura_argmax(ctx, current, feasible, self.p_rc, |_| 0.0, 0.0) {
             Some((p, ret)) => (Some(p), Some(ret), Some(self.p_rc)),
             None => (None, None, Some(self.p_rc)),
         }

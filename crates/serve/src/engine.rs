@@ -1,0 +1,569 @@
+//! The deterministic multi-tenant event engine.
+//!
+//! [`replay`] drives a batched QoS-event [`Trace`] through a fleet of
+//! [`Tenant`]s: events are routed to tenants by name, each tenant's
+//! events are processed in file order through its own
+//! [`clr_runtime::RuntimeContext`] and [`clr_runtime::AdaptationPolicy`],
+//! and independent tenants fan out across `clr-par` workers.
+//!
+//! ## Determinism contract
+//!
+//! A replay is a pure function of `(tenants, trace, config)`:
+//!
+//! - tenants share no mutable state, and each tenant's policy instance
+//!   is built fresh inside its worker, so no learned state leaks across
+//!   tenants or replays;
+//! - `clr_par::par_map` returns tenant outcomes in input order whatever
+//!   the thread count;
+//! - journal emission ([`ReplayReport::emit_obs`]) and CSV rendering
+//!   walk the collected outcomes serially, after the parallel section.
+//!
+//! `ci.sh` enforces the consequence: `clr-serve replay` byte-identical
+//! decision CSVs and deterministic journal sections at `CLR_THREADS=1`
+//! and `8`.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use clr_dse::QosSpec;
+use clr_obs::{Event, Obs};
+use clr_runtime::RuntimeContext;
+
+use crate::{Tenant, Trace, TraceEvent};
+
+/// Replay parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplayConfig {
+    /// Worker threads for the tenant fan-out (`0` = automatic: the
+    /// `CLR_THREADS` environment variable, falling back to available
+    /// parallelism). The result never depends on this.
+    pub threads: usize,
+    /// Episode length in cycles for learning policies' value updates
+    /// (`f64::INFINITY` disables episode boundaries).
+    pub episode_cycles: f64,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        Self {
+            threads: 0,
+            episode_cycles: 1_000.0,
+        }
+    }
+}
+
+/// One served decision, as recorded per tenant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionRecord {
+    /// 1-based event ordinal within the tenant's stream.
+    pub event: usize,
+    /// Event time (monotonised: a regressing input timestamp is served
+    /// at the tenant's current clock).
+    pub time: f64,
+    /// The requirement served.
+    pub spec: QosSpec,
+    /// Size of the feasible set.
+    pub feasible: usize,
+    /// Active point before the event.
+    pub from: usize,
+    /// Active point after the event.
+    pub to: usize,
+    /// Reconfiguration cost paid.
+    pub drc: f64,
+    /// The policy's winning RET score, when it exposes one.
+    pub score: Option<f64>,
+    /// The policy's `p_RC` parameter, when it exposes one.
+    pub p_rc: Option<f64>,
+    /// `true` if no stored point satisfied the requirement.
+    pub violated: bool,
+}
+
+/// Aggregate outcome of one tenant's replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantOutcome {
+    /// Tenant name.
+    pub name: String,
+    /// Stored design points in the tenant's database.
+    pub points: usize,
+    /// Events served.
+    pub events: usize,
+    /// Events that moved the operating point.
+    pub reconfigurations: usize,
+    /// Events with an empty feasible set.
+    pub violations: usize,
+    /// Sum of paid reconfiguration costs.
+    pub total_drc: f64,
+    /// Every decision, in service order.
+    pub decisions: Vec<DecisionRecord>,
+}
+
+/// The outcome of a full replay: per-tenant outcomes in fleet order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayReport {
+    outcomes: Vec<TenantOutcome>,
+    /// Trace events addressed to no tenant in the fleet (counted, not
+    /// served — a trace may legitimately cover a larger fleet).
+    pub dropped: usize,
+}
+
+/// A replay could not start.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayError {
+    /// Two tenants share a name, making event routing ambiguous.
+    DuplicateTenant(String),
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::DuplicateTenant(name) => write!(f, "duplicate tenant name {name:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+impl ReplayReport {
+    /// Per-tenant outcomes, in fleet order.
+    pub fn outcomes(&self) -> &[TenantOutcome] {
+        &self.outcomes
+    }
+
+    /// Total events served across all tenants.
+    pub fn total_events(&self) -> usize {
+        self.outcomes.iter().map(|o| o.events).sum()
+    }
+
+    /// Renders every decision as CSV
+    /// (`tenant,event,time,s_max,f_min,feasible,from,to,drc,score,p_rc,violated`),
+    /// tenants in fleet order — the byte-comparable decision output.
+    pub fn decisions_csv(&self) -> String {
+        let mut out = String::from(
+            "tenant,event,time,s_max,f_min,feasible,from,to,drc,score,p_rc,violated\n",
+        );
+        let opt = |x: Option<f64>| x.map(|v| format!("{v}")).unwrap_or_default();
+        for o in &self.outcomes {
+            for d in &o.decisions {
+                let _ = writeln!(
+                    out,
+                    "{},{},{},{},{},{},{},{},{},{},{},{}",
+                    o.name,
+                    d.event,
+                    d.time,
+                    d.spec.max_makespan,
+                    d.spec.min_reliability,
+                    d.feasible,
+                    d.from,
+                    d.to,
+                    d.drc,
+                    opt(d.score),
+                    opt(d.p_rc),
+                    d.violated
+                );
+            }
+        }
+        out
+    }
+
+    /// Emits the report into an observability journal: per tenant one
+    /// `sim_start`/`sim_end` bracket with a `decision` record per served
+    /// event, plus `serve.*` recorder metrics. Call from serial code only
+    /// (the deterministic-section contract); [`replay`] has already
+    /// collected the outcomes, so this is pure iteration.
+    pub fn emit_obs(&self, obs: &Obs) {
+        if !obs.enabled() {
+            return;
+        }
+        for o in &self.outcomes {
+            obs.emit(Event::SimStart {
+                label: o.name.clone(),
+                points: o.points,
+                seed: 0,
+            });
+            for d in &o.decisions {
+                obs.emit(Event::Decision {
+                    event: d.event,
+                    cycle: d.time,
+                    feasible: d.feasible,
+                    from: d.from,
+                    to: d.to,
+                    drc: d.drc,
+                    score: d.score,
+                    p_rc: d.p_rc,
+                    violated: d.violated,
+                });
+                obs.counter_add("serve.events", 1);
+                if d.to != d.from {
+                    obs.counter_add("serve.reconfigurations", 1);
+                }
+                if d.violated {
+                    obs.counter_add("serve.violations", 1);
+                }
+                obs.histogram_record("serve.drc", &DRC_BUCKET_BOUNDS, d.drc);
+            }
+            obs.emit(Event::SimEnd {
+                label: o.name.clone(),
+                events: o.events,
+                reconfigurations: o.reconfigurations,
+                violations: o.violations,
+                total_drc: o.total_drc,
+            });
+        }
+        if self.dropped > 0 {
+            obs.counter_add("serve.dropped", self.dropped as u64);
+        }
+    }
+}
+
+/// Upper bucket bounds of the `serve.drc` reconfiguration-cost histogram
+/// (mirrors the simulator's `sim.drc`).
+const DRC_BUCKET_BOUNDS: [f64; 8] = [0.0, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0];
+
+/// Replays a trace through a tenant fleet. See the
+/// [module docs](self) for the determinism contract.
+///
+/// Degrades gracefully on edge inputs: an empty fleet serves nothing
+/// (all events dropped), an empty trace yields zero-event outcomes,
+/// all-infeasible specs count violations while the tenants hold their
+/// initial points, and duplicate or regressing timestamps are served in
+/// file order on a monotonised clock.
+///
+/// # Errors
+///
+/// [`ReplayError::DuplicateTenant`] when two tenants share a name.
+pub fn replay(
+    tenants: &[Tenant],
+    trace: &Trace,
+    config: &ReplayConfig,
+) -> Result<ReplayReport, ReplayError> {
+    let mut by_name: HashMap<&str, usize> = HashMap::with_capacity(tenants.len());
+    for (idx, tenant) in tenants.iter().enumerate() {
+        if by_name.insert(tenant.name(), idx).is_some() {
+            return Err(ReplayError::DuplicateTenant(tenant.name().to_string()));
+        }
+    }
+
+    // Route events to tenants; file order within a tenant is preserved.
+    let mut routed: Vec<Vec<&TraceEvent>> = vec![Vec::new(); tenants.len()];
+    let mut dropped = 0usize;
+    for event in trace.events() {
+        match by_name.get(event.tenant.as_str()) {
+            Some(&idx) => routed[idx].push(event),
+            None => dropped += 1,
+        }
+    }
+
+    let work: Vec<(usize, Vec<&TraceEvent>)> = routed.into_iter().enumerate().collect();
+    let episode_cycles = config.episode_cycles;
+    let outcomes = clr_par::par_map(config.threads, &work, |_, (idx, events)| {
+        replay_tenant(&tenants[*idx], events, episode_cycles)
+    });
+
+    Ok(ReplayReport { outcomes, dropped })
+}
+
+/// Serves one tenant's event stream (runs on a worker thread; touches
+/// only that tenant's state).
+fn replay_tenant(tenant: &Tenant, events: &[&TraceEvent], episode_cycles: f64) -> TenantOutcome {
+    let ctx = RuntimeContext::new(tenant.graph(), tenant.platform(), tenant.db());
+    let mut policy = tenant.policy().build(tenant.db().len());
+    let mut current = tenant.initial_point();
+    let mut now = 0.0f64;
+    let mut next_episode_end = episode_cycles;
+    let mut feas_buf: Vec<usize> = Vec::new();
+
+    let mut outcome = TenantOutcome {
+        name: tenant.name().to_string(),
+        points: tenant.db().len(),
+        events: 0,
+        reconfigurations: 0,
+        violations: 0,
+        total_drc: 0.0,
+        decisions: Vec::with_capacity(events.len()),
+    };
+
+    for event in events {
+        // Monotonised clock: duplicate timestamps serve in file order at
+        // the same instant; a regressing timestamp serves "now".
+        let time = if event.time.is_finite() {
+            event.time.max(now)
+        } else {
+            now
+        };
+        now = time;
+        if episode_cycles.is_finite() && episode_cycles > 0.0 {
+            while next_episode_end <= time {
+                policy.end_episode();
+                next_episode_end += episode_cycles;
+            }
+        }
+
+        ctx.feasible_into(&event.spec, &mut feas_buf);
+        let (decision, score, p_rc) =
+            policy.decide_scored_from(&ctx, current, &event.spec, &feas_buf);
+        let (to, violated) = match decision {
+            Some(p) => (p, false),
+            None => (current, true),
+        };
+        let drc = ctx.drc(current, to);
+        policy.observe(&ctx, current, to);
+
+        outcome.events += 1;
+        if violated {
+            outcome.violations += 1;
+        }
+        if to != current {
+            outcome.reconfigurations += 1;
+        }
+        outcome.total_drc += drc;
+        outcome.decisions.push(DecisionRecord {
+            event: outcome.events,
+            time,
+            spec: event.spec,
+            feasible: feas_buf.len(),
+            from: current,
+            to,
+            drc,
+            score,
+            p_rc,
+            violated,
+        });
+        current = to;
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate_trace, PolicySpec, Snapshot};
+    use clr_dse::{explore_based, DesignPointDb, DseConfig, ExplorationMode};
+    use clr_moea::GaParams;
+    use clr_obs::ObsMode;
+    use clr_platform::Platform;
+    use clr_reliability::{ConfigSpace, FaultModel};
+    use clr_taskgraph::{TgffConfig, TgffGenerator};
+
+    fn explored_db(seed: u64) -> (clr_taskgraph::TaskGraph, Platform, DesignPointDb) {
+        let graph = TgffGenerator::new(TgffConfig::with_tasks(8)).generate(seed);
+        let platform = Platform::dac19();
+        let cfg = DseConfig {
+            ga: GaParams::small(),
+            mode: ExplorationMode::Full,
+            reference: None,
+            max_points: None,
+        };
+        let db = explore_based(
+            &graph,
+            &platform,
+            FaultModel::default(),
+            ConfigSpace::fine(),
+            &cfg,
+            seed,
+        );
+        (graph, platform, db)
+    }
+
+    fn tenant(name: &str, seed: u64, policy: PolicySpec) -> Tenant {
+        let (graph, platform, db) = explored_db(seed);
+        Tenant::from_parts(name, graph, platform, db, policy).unwrap()
+    }
+
+    fn fleet() -> Vec<Tenant> {
+        vec![
+            tenant("cam0", 61, PolicySpec::Ura { p_rc: 0.5 }),
+            tenant(
+                "nav",
+                62,
+                PolicySpec::Aura {
+                    p_rc: 0.5,
+                    gamma: 0.6,
+                    alpha: 0.1,
+                },
+            ),
+            tenant("audio", 63, PolicySpec::Hv),
+        ]
+    }
+
+    #[test]
+    fn empty_trace_yields_zero_event_outcomes() {
+        let tenants = fleet();
+        let report = replay(&tenants, &Trace::default(), &ReplayConfig::default()).unwrap();
+        assert_eq!(report.outcomes().len(), 3);
+        assert_eq!(report.total_events(), 0);
+        assert_eq!(report.dropped, 0);
+        // The CSV still has its header.
+        assert_eq!(report.decisions_csv().lines().count(), 1);
+    }
+
+    #[test]
+    fn empty_fleet_drops_everything_gracefully() {
+        let tenants = fleet();
+        let trace = generate_trace(&tenants, 7, 2_000.0, 100.0);
+        assert!(!trace.is_empty());
+        let report = replay(&[], &trace, &ReplayConfig::default()).unwrap();
+        assert!(report.outcomes().is_empty());
+        assert_eq!(report.dropped, trace.len());
+    }
+
+    #[test]
+    fn single_event_single_tenant() {
+        let tenants = vec![tenant("solo", 64, PolicySpec::Ura { p_rc: 0.5 })];
+        let trace = Trace::new(vec![TraceEvent {
+            tenant: "solo".into(),
+            time: 10.0,
+            spec: QosSpec::new(f64::MAX, 0.0),
+        }]);
+        let report = replay(&tenants, &trace, &ReplayConfig::default()).unwrap();
+        let o = &report.outcomes()[0];
+        assert_eq!(o.events, 1);
+        assert_eq!(o.violations, 0);
+        assert_eq!(o.decisions[0].feasible, o.points);
+    }
+
+    #[test]
+    fn all_infeasible_specs_hold_position_and_count_violations() {
+        let tenants = vec![tenant("solo", 65, PolicySpec::Ura { p_rc: 0.5 })];
+        let impossible = QosSpec::new(0.0, 1.0);
+        let trace = Trace::new(
+            (0..5)
+                .map(|i| TraceEvent {
+                    tenant: "solo".into(),
+                    time: f64::from(i) * 10.0,
+                    spec: impossible,
+                })
+                .collect(),
+        );
+        let report = replay(&tenants, &trace, &ReplayConfig::default()).unwrap();
+        let o = &report.outcomes()[0];
+        assert_eq!(o.violations, 5);
+        assert_eq!(o.reconfigurations, 0);
+        assert!(o.decisions.iter().all(|d| d.to == 0 && d.violated));
+    }
+
+    #[test]
+    fn duplicate_timestamps_serve_in_file_order() {
+        let tenants = vec![tenant("solo", 66, PolicySpec::Ura { p_rc: 1.0 })];
+        let lax = QosSpec::new(f64::MAX, 0.0);
+        let trace = Trace::new(vec![
+            TraceEvent {
+                tenant: "solo".into(),
+                time: 10.0,
+                spec: lax,
+            },
+            TraceEvent {
+                tenant: "solo".into(),
+                time: 10.0,
+                spec: QosSpec::new(0.0, 1.0),
+            },
+            // Regressing timestamp: monotonised to 10.0, still served.
+            TraceEvent {
+                tenant: "solo".into(),
+                time: 5.0,
+                spec: lax,
+            },
+        ]);
+        let report = replay(&tenants, &trace, &ReplayConfig::default()).unwrap();
+        let o = &report.outcomes()[0];
+        assert_eq!(o.events, 3);
+        assert_eq!(o.decisions[1].time, 10.0);
+        assert_eq!(o.decisions[2].time, 10.0);
+        assert!(o.decisions[1].violated);
+        assert!(!o.decisions[2].violated);
+    }
+
+    #[test]
+    fn duplicate_tenant_names_are_rejected() {
+        let t = tenant("twin", 67, PolicySpec::Hv);
+        let tenants = vec![t.clone(), t];
+        let err = replay(&tenants, &Trace::default(), &ReplayConfig::default()).unwrap_err();
+        assert_eq!(err, ReplayError::DuplicateTenant("twin".into()));
+    }
+
+    #[test]
+    fn replay_is_bit_identical_across_thread_counts() {
+        let tenants = fleet();
+        let trace = generate_trace(&tenants, 11, 5_000.0, 100.0);
+        assert!(trace.len() > 50, "trace has {} events", trace.len());
+        let run = |threads: usize| {
+            let config = ReplayConfig {
+                threads,
+                ..ReplayConfig::default()
+            };
+            let report = replay(&tenants, &trace, &config).unwrap();
+            let obs = Obs::new(ObsMode::Json);
+            report.emit_obs(&obs);
+            (
+                report.decisions_csv(),
+                obs.render_det_jsonl_labeled("replay"),
+                report,
+            )
+        };
+        let (csv1, journal1, report1) = run(1);
+        let (csv8, journal8, report8) = run(8);
+        assert_eq!(report1, report8);
+        assert_eq!(csv1, csv8, "decision CSV must be byte-identical");
+        assert_eq!(journal1, journal8, "journal must be byte-identical");
+        assert!(report1.total_events() > 0);
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_decisions() {
+        // Publishing a tenant's database through the snapshot container
+        // and reloading it serves identical decisions.
+        let (graph, platform, db) = explored_db(68);
+        let direct = Tenant::from_parts(
+            "t",
+            graph,
+            platform,
+            db.clone(),
+            PolicySpec::Ura { p_rc: 0.5 },
+        )
+        .unwrap();
+        let snap = Snapshot::new("jpeg", "dac19", db);
+        let decoded = Snapshot::from_bytes(&snap.to_bytes()).unwrap();
+        assert_eq!(decoded.db(), direct.db());
+    }
+
+    #[test]
+    fn trace_generation_is_deterministic_and_sorted() {
+        let tenants = fleet();
+        let a = generate_trace(&tenants, 21, 3_000.0, 100.0);
+        let b = generate_trace(&tenants, 21, 3_000.0, 100.0);
+        assert_eq!(a, b);
+        let c = generate_trace(&tenants, 22, 3_000.0, 100.0);
+        assert_ne!(a, c, "different seeds give different workloads");
+        for w in a.events().windows(2) {
+            assert!(w[1].time >= w[0].time, "merged trace is time-sorted");
+        }
+        // Every tenant is exercised.
+        for t in &tenants {
+            assert!(a.events().iter().any(|e| e.tenant == t.name()));
+        }
+    }
+
+    #[test]
+    fn journal_brackets_are_well_formed_per_tenant() {
+        let tenants = fleet();
+        let trace = generate_trace(&tenants, 31, 2_000.0, 100.0);
+        let report = replay(&tenants, &trace, &ReplayConfig::default()).unwrap();
+        let obs = Obs::new(ObsMode::Json);
+        report.emit_obs(&obs);
+        let events = obs.det_events();
+        let starts = events
+            .iter()
+            .filter(|e| matches!(e, Event::SimStart { .. }))
+            .count();
+        let ends = events
+            .iter()
+            .filter(|e| matches!(e, Event::SimEnd { .. }))
+            .count();
+        assert_eq!(starts, tenants.len());
+        assert_eq!(ends, tenants.len());
+        let decisions = events
+            .iter()
+            .filter(|e| matches!(e, Event::Decision { .. }))
+            .count();
+        assert_eq!(decisions, report.total_events());
+    }
+}

@@ -1,0 +1,34 @@
+//! clr-serve: the multi-tenant runtime decision engine.
+//!
+//! The design-time half of the methodology produces design-point
+//! databases (BaseD/ReD); this crate is the run-time serving layer that
+//! consumes them at fleet scale. Three pieces:
+//!
+//! - **Snapshot store** ([`Snapshot`]): a compact versioned binary
+//!   container for a published database plus the model descriptors
+//!   needed to rebuild its [`clr_runtime::RuntimeContext`], protected by
+//!   an FNV-1a integrity checksum. `examples/export_db.rs` emits it;
+//!   `clr-verify snapshot` lints it (CLR06x).
+//! - **Trace codec** ([`Trace`]): batched QoS-event workloads as JSONL,
+//!   either seeded-generated ([`generate_trace`]) or replayed from disk.
+//! - **Event engine** ([`replay`]): a deterministic event loop
+//!   multiplexing many [`Tenant`]s (application × database × policy),
+//!   fanning independent tenants across `clr-par` workers bit-identically
+//!   at any thread count, and emitting per-tenant decision journals
+//!   through `clr-obs`.
+//!
+//! The `clr-serve` binary fronts all three (`snapshot`, `inspect`,
+//! `gen-trace`, `replay`).
+
+mod engine;
+mod snapshot;
+mod tenant;
+mod trace;
+
+pub use engine::{replay, DecisionRecord, ReplayConfig, ReplayError, ReplayReport, TenantOutcome};
+pub use snapshot::{
+    fnv1a64, resolve_graph, resolve_platform, Snapshot, SnapshotError, FORMAT_VERSION, HEADER_LEN,
+    MAGIC,
+};
+pub use tenant::{PolicySpec, Tenant};
+pub use trace::{generate_trace, is_plain_name, Trace, TraceError, TraceEvent};

@@ -1,0 +1,324 @@
+//! `clr-serve` — publish design-time databases as snapshots and replay
+//! multi-tenant QoS-event traces through the runtime decision engine.
+//!
+//! ```text
+//! clr-serve snapshot <IN.db> <OUT.snap> [--graph G] [--platform P]
+//! clr-serve inspect <SNAP>..
+//! clr-serve gen-trace --out FILE --tenant NAME=SNAP@POLICY.. [--seed N]
+//!                     [--cycles C] [--mean-gap G]
+//! clr-serve replay --trace FILE --tenant NAME=SNAP@POLICY..
+//!                  [--out-dir DIR] [--threads N] [--episode-cycles C]
+//! ```
+//!
+//! A tenant argument is `NAME=SNAP@POLICY`: a plain name, a snapshot
+//! path, and a policy spec (`ura:<p_rc>`, `aura:<p_rc>,<gamma>,<alpha>`,
+//! or `hv`), split on the *last* `=` and `@` so snapshot paths may
+//! contain either character.
+//!
+//! `replay` writes `decisions.csv` plus a `replay.obs.jsonl` journal into
+//! `--out-dir` (CSV goes to stdout when no directory is given). Both
+//! outputs are byte-identical at any `--threads` value — `ci.sh` diffs
+//! them across thread counts.
+//!
+//! Exit codes: `0` success, `1` replay/serving failure, `2` usage / IO /
+//! decode error.
+
+use std::process::ExitCode;
+
+use clr_obs::{Obs, ObsMode};
+use clr_serve::{generate_trace, replay, PolicySpec, ReplayConfig, Snapshot, Tenant, Trace};
+
+const USAGE: &str = "usage: clr-serve <command>
+  snapshot <IN.db> <OUT.snap> [--graph G] [--platform P]
+  inspect <SNAP>..
+  gen-trace --out FILE --tenant NAME=SNAP@POLICY.. [--seed N] [--cycles C] [--mean-gap G]
+  replay --trace FILE --tenant NAME=SNAP@POLICY.. [--out-dir DIR] [--threads N] [--episode-cycles C]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    match command.as_str() {
+        "snapshot" => cmd_snapshot(&args[1..]),
+        "inspect" => cmd_inspect(&args[1..]),
+        "gen-trace" => cmd_gen_trace(&args[1..]),
+        "replay" => cmd_replay(&args[1..]),
+        other => {
+            eprintln!("clr-serve: unknown command {other:?}\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Prints a usage error and returns the usage exit code.
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("clr-serve: {message}\n{USAGE}");
+    ExitCode::from(2)
+}
+
+/// Positional operands plus `--flag value` pairs, borrowed from argv.
+type SplitArgs<'a> = (Vec<&'a str>, Vec<(&'a str, &'a str)>);
+
+/// Splits args into positional operands and `--flag value` pairs.
+fn split_flags(args: &[String]) -> Result<SplitArgs<'_>, String> {
+    let mut positional = Vec::new();
+    let mut flags = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if let Some(name) = arg.strip_prefix("--") {
+            let value = it
+                .next()
+                .ok_or_else(|| format!("flag --{name} needs a value"))?;
+            flags.push((name, value.as_str()));
+        } else {
+            positional.push(arg.as_str());
+        }
+    }
+    Ok((positional, flags))
+}
+
+/// Looks up the last occurrence of a flag.
+fn flag<'a>(flags: &[(&str, &'a str)], name: &str) -> Option<&'a str> {
+    flags
+        .iter()
+        .rev()
+        .find(|(n, _)| *n == name)
+        .map(|(_, v)| *v)
+}
+
+/// Parses every `--tenant NAME=SNAP@POLICY` argument into a fleet,
+/// loading each snapshot from disk.
+fn parse_fleet(flags: &[(&str, &str)]) -> Result<Vec<Tenant>, String> {
+    let mut tenants = Vec::new();
+    for (name, value) in flags.iter().filter(|(n, _)| *n == "tenant") {
+        let _ = name;
+        let (name, rest) = value
+            .split_once('=')
+            .ok_or_else(|| format!("tenant {value:?} is not NAME=SNAP@POLICY"))?;
+        let (path, policy) = rest
+            .rsplit_once('@')
+            .ok_or_else(|| format!("tenant {value:?} is not NAME=SNAP@POLICY"))?;
+        let policy: PolicySpec = policy.parse()?;
+        let snapshot = Snapshot::read_file(path).map_err(|e| format!("{path}: {e}"))?;
+        tenants.push(Tenant::from_snapshot(name, &snapshot, policy).map_err(|e| e.to_string())?);
+    }
+    if tenants.is_empty() {
+        return Err("at least one --tenant NAME=SNAP@POLICY is required".into());
+    }
+    Ok(tenants)
+}
+
+/// `snapshot`: wrap a text-codec database in the binary snapshot
+/// container.
+fn cmd_snapshot(args: &[String]) -> ExitCode {
+    let (positional, flags) = match split_flags(args) {
+        Ok(p) => p,
+        Err(e) => return usage_error(&e),
+    };
+    let [input, output] = positional[..] else {
+        return usage_error("snapshot takes <IN.db> <OUT.snap>");
+    };
+    let graph = flag(&flags, "graph").unwrap_or("jpeg");
+    let platform = flag(&flags, "platform").unwrap_or("dac19");
+    let text = match std::fs::read_to_string(input) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("clr-serve: cannot read {input}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let db = match clr_dse::DesignPointDb::from_text(&text) {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("clr-serve: {input}: database decode error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let snapshot = Snapshot::new(graph, platform, db);
+    if let Err(e) = snapshot.resolve() {
+        eprintln!("clr-serve: warning: {e} (snapshot written, but it will not replay here)");
+    }
+    if let Err(e) = snapshot.write_file(output) {
+        eprintln!("clr-serve: cannot write {output}: {e}");
+        return ExitCode::from(2);
+    }
+    println!(
+        "wrote {output}: graph {} platform {} points {}",
+        snapshot.graph_desc(),
+        snapshot.platform_desc(),
+        snapshot.db().len()
+    );
+    ExitCode::SUCCESS
+}
+
+/// `inspect`: decode snapshots and print their metadata.
+fn cmd_inspect(args: &[String]) -> ExitCode {
+    if args.is_empty() {
+        return usage_error("inspect takes at least one snapshot path");
+    }
+    for path in args {
+        match Snapshot::read_file(path) {
+            Ok(snap) => println!(
+                "{path}: graph {} platform {} points {} db {:?}",
+                snap.graph_desc(),
+                snap.platform_desc(),
+                snap.db().len(),
+                snap.db().name()
+            ),
+            Err(e) => {
+                eprintln!("clr-serve: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// `gen-trace`: seeded multi-tenant workload generation.
+fn cmd_gen_trace(args: &[String]) -> ExitCode {
+    let (positional, flags) = match split_flags(args) {
+        Ok(p) => p,
+        Err(e) => return usage_error(&e),
+    };
+    if !positional.is_empty() {
+        return usage_error("gen-trace takes flags only");
+    }
+    let Some(out) = flag(&flags, "out") else {
+        return usage_error("gen-trace needs --out FILE");
+    };
+    let parse_f64 = |name: &str, default: f64| -> Result<f64, String> {
+        flag(&flags, name)
+            .map_or(Ok(default), |v| {
+                v.parse().map_err(|_| format!("bad --{name} {v:?}"))
+            })
+            .and_then(|v: f64| {
+                if v.is_finite() && v > 0.0 {
+                    Ok(v)
+                } else {
+                    Err(format!("--{name} must be finite and positive"))
+                }
+            })
+    };
+    let seed: u64 = match flag(&flags, "seed").map_or(Ok(1), str::parse) {
+        Ok(s) => s,
+        Err(_) => return usage_error("bad --seed"),
+    };
+    let (cycles, mean_gap) = match (parse_f64("cycles", 10_000.0), parse_f64("mean-gap", 100.0)) {
+        (Ok(c), Ok(g)) => (c, g),
+        (Err(e), _) | (_, Err(e)) => return usage_error(&e),
+    };
+    let tenants = match parse_fleet(&flags) {
+        Ok(t) => t,
+        Err(e) => return usage_error(&e),
+    };
+    let trace = generate_trace(&tenants, seed, cycles, mean_gap);
+    if let Err(e) = std::fs::write(out, trace.to_jsonl()) {
+        eprintln!("clr-serve: cannot write {out}: {e}");
+        return ExitCode::from(2);
+    }
+    println!(
+        "wrote {out}: {} events for {} tenants (seed {seed}, {cycles} cycles)",
+        trace.len(),
+        tenants.len()
+    );
+    ExitCode::SUCCESS
+}
+
+/// `replay`: drive a trace through the engine, writing deterministic
+/// decision outputs.
+fn cmd_replay(args: &[String]) -> ExitCode {
+    let (positional, flags) = match split_flags(args) {
+        Ok(p) => p,
+        Err(e) => return usage_error(&e),
+    };
+    if !positional.is_empty() {
+        return usage_error("replay takes flags only");
+    }
+    let Some(trace_path) = flag(&flags, "trace") else {
+        return usage_error("replay needs --trace FILE");
+    };
+    let text = match std::fs::read_to_string(trace_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("clr-serve: cannot read {trace_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let trace = match Trace::from_jsonl(&text) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("clr-serve: {trace_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let tenants = match parse_fleet(&flags) {
+        Ok(t) => t,
+        Err(e) => return usage_error(&e),
+    };
+    let mut config = ReplayConfig::default();
+    if let Some(v) = flag(&flags, "threads") {
+        match v.parse() {
+            Ok(n) => config.threads = n,
+            Err(_) => return usage_error("bad --threads"),
+        }
+    }
+    if let Some(v) = flag(&flags, "episode-cycles") {
+        match v.parse::<f64>() {
+            Ok(c) if c > 0.0 => config.episode_cycles = c,
+            _ => return usage_error("bad --episode-cycles"),
+        }
+    }
+
+    let report = match replay(&tenants, &trace, &config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("clr-serve: {e}");
+            return ExitCode::from(1);
+        }
+    };
+
+    for o in report.outcomes() {
+        eprintln!(
+            "tenant {}: {} events, {} reconfigurations, {} violations, total dRC {}",
+            o.name, o.events, o.reconfigurations, o.violations, o.total_drc
+        );
+    }
+    if report.dropped > 0 {
+        eprintln!(
+            "clr-serve: {} events addressed no tenant in the fleet (dropped)",
+            report.dropped
+        );
+    }
+
+    match flag(&flags, "out-dir") {
+        Some(dir) => {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("clr-serve: cannot create {dir}: {e}");
+                return ExitCode::from(2);
+            }
+            let csv_path = format!("{dir}/decisions.csv");
+            if let Err(e) = std::fs::write(&csv_path, report.decisions_csv()) {
+                eprintln!("clr-serve: cannot write {csv_path}: {e}");
+                return ExitCode::from(2);
+            }
+            let obs = Obs::new(ObsMode::Json);
+            report.emit_obs(&obs);
+            match obs.export(dir, "replay") {
+                Ok(paths) => {
+                    for p in paths {
+                        eprintln!("wrote {}", p.display());
+                    }
+                    eprintln!("wrote {csv_path}");
+                }
+                Err(e) => {
+                    eprintln!("clr-serve: cannot export journal to {dir}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        None => print!("{}", report.decisions_csv()),
+    }
+    ExitCode::SUCCESS
+}

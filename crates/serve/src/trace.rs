@@ -1,0 +1,289 @@
+//! Batched QoS-event traces: the serving engine's input format.
+//!
+//! A trace is a JSONL document. The first line is a header; every other
+//! line is one QoS-requirement change addressed to a tenant by name:
+//!
+//! ```text
+//! {"type":"clr-trace","version":1}
+//! {"tenant":"cam0","time":103.25,"s_max":120.5,"f_min":0.92}
+//! {"tenant":"nav","time":110.0,"s_max":95.0,"f_min":0.97}
+//! ```
+//!
+//! Floats use Rust's shortest round-trip formatting, so a generated
+//! trace re-encodes byte-identically — the same discipline as the
+//! observability journals. Event order within the file is authoritative:
+//! the engine processes each tenant's events in file order (duplicate
+//! timestamps are legal and kept in order), so a trace is a reproducible
+//! workload, not a hint.
+
+use std::fmt::Write as _;
+
+use clr_dse::QosSpec;
+use clr_obs::{parse_json, Value};
+use clr_runtime::{EventStream, QosVariationModel};
+
+use crate::Tenant;
+
+/// Header line opening every trace document.
+const HEADER: &str = "{\"type\":\"clr-trace\",\"version\":1}";
+
+/// One QoS-requirement change addressed to a tenant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Target tenant name.
+    pub tenant: String,
+    /// Event time in application-cycle units.
+    pub time: f64,
+    /// The new requirement.
+    pub spec: QosSpec,
+}
+
+/// A parse failure while decoding a trace document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceError {
+    /// 1-based line number (0 = whole document).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+fn terr(line: usize, message: impl Into<String>) -> TraceError {
+    TraceError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// An ordered batch of QoS events for a tenant fleet.
+///
+/// # Examples
+///
+/// ```
+/// use clr_serve::Trace;
+/// let trace = Trace::new(vec![]);
+/// assert_eq!(Trace::from_jsonl(&trace.to_jsonl()).unwrap(), trace);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Wraps an event list (file order = replay order).
+    pub fn new(events: Vec<TraceEvent>) -> Self {
+        Self { events }
+    }
+
+    /// The events in file order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when the trace carries no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Renders the JSONL document (header + one line per event). Floats
+    /// use shortest-round-trip formatting; non-finite values are not
+    /// representable in the trace format (JSON has no `inf`/`NaN`
+    /// tokens), so all-infeasible workloads are expressed with finite
+    /// impossible specs such as `s_max = 0, f_min = 1`.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::from(HEADER);
+        out.push('\n');
+        for e in &self.events {
+            debug_assert!(
+                is_plain_name(&e.tenant),
+                "tenant names are [A-Za-z0-9_-]+, got {:?}",
+                e.tenant
+            );
+            debug_assert!(
+                e.time.is_finite()
+                    && e.spec.max_makespan.is_finite()
+                    && e.spec.min_reliability.is_finite(),
+                "trace events carry finite values only"
+            );
+            let _ = writeln!(
+                out,
+                "{{\"tenant\":\"{}\",\"time\":{},\"s_max\":{},\"f_min\":{}}}",
+                e.tenant, e.time, e.spec.max_makespan, e.spec.min_reliability
+            );
+        }
+        out
+    }
+
+    /// Parses a JSONL trace document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceError`] naming the first offending line: a
+    /// missing/wrong header, unparseable JSON, or missing fields.
+    pub fn from_jsonl(text: &str) -> Result<Self, TraceError> {
+        let mut lines = text.lines().enumerate();
+        let (_, header) = lines
+            .find(|(_, l)| !l.trim().is_empty())
+            .ok_or_else(|| terr(0, "empty document (expected a clr-trace header)"))?;
+        let hv = parse_json(header.trim()).map_err(|e| terr(1, format!("bad header: {e}")))?;
+        if hv.get("type").and_then(Value::as_str) != Some("clr-trace") {
+            return Err(terr(1, "missing `\"type\":\"clr-trace\"` header"));
+        }
+        match hv.get("version").and_then(Value::as_u64) {
+            Some(1) => {}
+            v => return Err(terr(1, format!("unsupported trace version {v:?}"))),
+        }
+        let mut events = Vec::new();
+        for (i, line) in lines {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let ln = i + 1;
+            let v = parse_json(line).map_err(|e| terr(ln, format!("bad event: {e}")))?;
+            let tenant = v
+                .get("tenant")
+                .and_then(Value::as_str)
+                .ok_or_else(|| terr(ln, "event without a `tenant` field"))?;
+            if !is_plain_name(tenant) {
+                return Err(terr(ln, format!("bad tenant name {tenant:?}")));
+            }
+            let field = |name: &str| {
+                v.get(name)
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| terr(ln, format!("event without a numeric `{name}` field")))
+            };
+            events.push(TraceEvent {
+                tenant: tenant.to_string(),
+                time: field("time")?,
+                spec: QosSpec::new(field("s_max")?, field("f_min")?),
+            });
+        }
+        Ok(Self::new(events))
+    }
+}
+
+/// Tenant names travel inside JSON string literals without escaping, so
+/// they are restricted to `[A-Za-z0-9_-]+`.
+pub fn is_plain_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+}
+
+/// Generates a deterministic multi-tenant trace: each tenant gets its own
+/// [`EventStream`] (QoS model calibrated against that tenant's database,
+/// RNG stream derived from `(seed, tenant index)`), events are drawn
+/// until `total_cycles`, then the per-tenant streams are merged by
+/// `(time, tenant index)`.
+///
+/// The result depends only on `(tenants, seed, total_cycles, mean_gap)` —
+/// the seeded workload half of the replay determinism contract.
+pub fn generate_trace(tenants: &[Tenant], seed: u64, total_cycles: f64, mean_gap: f64) -> Trace {
+    let mut tagged: Vec<(f64, usize, TraceEvent)> = Vec::new();
+    for (idx, tenant) in tenants.iter().enumerate() {
+        let qos = QosVariationModel::calibrated(tenant.db(), 0.25, 0.3);
+        let mut stream = EventStream::new(qos, mean_gap, clr_par::derive_seed(seed, idx as u64));
+        loop {
+            let event = stream.next_event();
+            if event.time >= total_cycles {
+                break;
+            }
+            tagged.push((
+                event.time,
+                idx,
+                TraceEvent {
+                    tenant: tenant.name().to_string(),
+                    time: event.time,
+                    spec: event.spec,
+                },
+            ));
+        }
+    }
+    tagged.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    Trace::new(tagged.into_iter().map(|(_, _, e)| e).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(tenant: &str, time: f64, s: f64, f: f64) -> TraceEvent {
+        TraceEvent {
+            tenant: tenant.to_string(),
+            time,
+            spec: QosSpec::new(s, f),
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trip_is_identity() {
+        let trace = Trace::new(vec![
+            ev("cam0", 103.25, 120.5, 0.92),
+            ev("nav", 110.0, 95.0, 0.97),
+            ev("cam0", 110.0, 118.0, 0.9), // duplicate timestamp is legal
+        ]);
+        let text = trace.to_jsonl();
+        let parsed = Trace::from_jsonl(&text).unwrap();
+        assert_eq!(parsed, trace);
+        // Byte-stable re-encoding.
+        assert_eq!(parsed.to_jsonl(), text);
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let trace = Trace::default();
+        assert!(trace.is_empty());
+        assert_eq!(Trace::from_jsonl(&trace.to_jsonl()).unwrap(), trace);
+    }
+
+    #[test]
+    fn header_is_required() {
+        assert!(Trace::from_jsonl("").is_err());
+        assert!(Trace::from_jsonl("{\"tenant\":\"a\",\"time\":1.0}").is_err());
+        let wrong_version = "{\"type\":\"clr-trace\",\"version\":2}\n";
+        assert!(Trace::from_jsonl(wrong_version).is_err());
+    }
+
+    #[test]
+    fn malformed_events_name_their_line() {
+        let text = format!("{HEADER}\n{{\"tenant\":\"a\",\"time\":1.0,\"s_max\":5.0}}\n");
+        let e = Trace::from_jsonl(&text).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("f_min"), "{e}");
+    }
+
+    #[test]
+    fn hostile_tenant_names_are_rejected() {
+        assert!(!is_plain_name(""));
+        assert!(!is_plain_name("a\"b"));
+        assert!(!is_plain_name("a b"));
+        assert!(is_plain_name("cam0-left_2"));
+        let text =
+            format!("{HEADER}\n{{\"tenant\":\"a b\",\"time\":1.0,\"s_max\":5.0,\"f_min\":0.5}}\n");
+        assert!(Trace::from_jsonl(&text).is_err());
+    }
+
+    #[test]
+    fn impossible_specs_round_trip() {
+        // The canonical all-infeasible requirement is finite: no real
+        // point has zero makespan at perfect reliability.
+        let trace = Trace::new(vec![ev("a", 1.0, 0.0, 1.0)]);
+        let parsed = Trace::from_jsonl(&trace.to_jsonl()).unwrap();
+        assert_eq!(parsed, trace);
+        assert_eq!(parsed.events()[0].spec.min_reliability, 1.0);
+    }
+}

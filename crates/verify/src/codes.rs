@@ -4,8 +4,8 @@
 //! Codes are grouped by pipeline stage: `CLR00x` task graphs, `CLR01x`
 //! platforms, `CLR02x` mappings/schedules, `CLR03x` design-point
 //! databases, `CLR04x` run-time policies, `CLR05x` observability
-//! journals. Codes are append-only — a retired lint's number is never
-//! reused.
+//! journals, `CLR06x` serving snapshots. Codes are append-only — a
+//! retired lint's number is never reused.
 
 use crate::Severity;
 
@@ -107,11 +107,29 @@ pub enum LintCode {
     /// byte-for-byte — the file was hand-edited or written by a foreign
     /// encoder.
     JournalRoundTripMismatch,
+
+    // ----- serving snapshots (CLR06x) -----------------------------------
+    /// CLR060: the snapshot container fails structural decoding (magic,
+    /// version, flags, declared length, payload meta, or the embedded
+    /// database codec).
+    SnapshotContainerInvalid,
+    /// CLR061: the payload checksum does not match — the snapshot was
+    /// corrupted or edited after export.
+    SnapshotChecksumMismatch,
+    /// CLR062: the feasibility index over the embedded database disagrees
+    /// with a linear feasibility scan for some QoS requirement.
+    SnapshotIndexDivergence,
+    /// CLR063: the snapshot does not survive a decode/re-encode round trip
+    /// byte-for-byte.
+    SnapshotRoundTripMismatch,
+    /// CLR064: a model descriptor names no bundled graph or platform, so
+    /// this installation cannot replay the snapshot.
+    SnapshotUnknownModel,
 }
 
 impl LintCode {
     /// Every registered lint, in code order.
-    pub const ALL: [LintCode; 31] = [
+    pub const ALL: [LintCode; 36] = [
         LintCode::GraphCycle,
         LintCode::EdgeEndpointOutOfRange,
         LintCode::EmptyImplementationSet,
@@ -143,6 +161,11 @@ impl LintCode {
         LintCode::JournalNonMonotoneSeq,
         LintCode::JournalDecisionIndexOutOfRange,
         LintCode::JournalRoundTripMismatch,
+        LintCode::SnapshotContainerInvalid,
+        LintCode::SnapshotChecksumMismatch,
+        LintCode::SnapshotIndexDivergence,
+        LintCode::SnapshotRoundTripMismatch,
+        LintCode::SnapshotUnknownModel,
     ];
 
     /// The stable `CLRnnn` code string.
@@ -179,6 +202,11 @@ impl LintCode {
             LintCode::JournalNonMonotoneSeq => "CLR051",
             LintCode::JournalDecisionIndexOutOfRange => "CLR052",
             LintCode::JournalRoundTripMismatch => "CLR053",
+            LintCode::SnapshotContainerInvalid => "CLR060",
+            LintCode::SnapshotChecksumMismatch => "CLR061",
+            LintCode::SnapshotIndexDivergence => "CLR062",
+            LintCode::SnapshotRoundTripMismatch => "CLR063",
+            LintCode::SnapshotUnknownModel => "CLR064",
         }
     }
 
@@ -189,7 +217,8 @@ impl LintCode {
             | LintCode::ZeroMemoryPe
             | LintCode::AcceleratedWithoutPrr
             | LintCode::PrrZeroBitstream
-            | LintCode::DuplicatePoints => Severity::Warn,
+            | LintCode::DuplicatePoints
+            | LintCode::SnapshotUnknownModel => Severity::Warn,
             _ => Severity::Deny,
         }
     }
@@ -239,6 +268,17 @@ impl LintCode {
             }
             LintCode::JournalRoundTripMismatch => {
                 "journals must survive a parse/re-encode round trip"
+            }
+            LintCode::SnapshotContainerInvalid => "snapshot containers must decode structurally",
+            LintCode::SnapshotChecksumMismatch => "snapshot payload checksums must match",
+            LintCode::SnapshotIndexDivergence => {
+                "the feasibility index must equal a linear feasibility scan"
+            }
+            LintCode::SnapshotRoundTripMismatch => {
+                "snapshots must survive a decode/re-encode round trip"
+            }
+            LintCode::SnapshotUnknownModel => {
+                "snapshot model descriptors should resolve to bundled models"
             }
         }
     }
@@ -314,6 +354,19 @@ impl LintCode {
             }
             LintCode::JournalRoundTripMismatch => {
                 "regenerate the journal; foreign encoders are not byte-stable"
+            }
+            LintCode::SnapshotContainerInvalid => {
+                "re-export with clr-serve snapshot; do not hand-edit the container"
+            }
+            LintCode::SnapshotChecksumMismatch => "re-export the snapshot from its source database",
+            LintCode::SnapshotIndexDivergence => {
+                "rebuild the index from the decoded database; report as an index bug"
+            }
+            LintCode::SnapshotRoundTripMismatch => {
+                "re-export the snapshot; foreign encoders are not byte-stable"
+            }
+            LintCode::SnapshotUnknownModel => {
+                "use a bundled descriptor (jpeg, tgff:<tasks>:<seed>; dac19, tiny)"
             }
         }
     }

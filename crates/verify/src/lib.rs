@@ -3,9 +3,9 @@
 //!
 //! Every artifact the methodology produces — task graphs (built, generated
 //! or TGFF-parsed), platform models, mappings, schedules, design-point
-//! databases, runtime-agent policies and observability journals — is
-//! audited against a registry of
-//! stable lint codes (`CLR001`–`CLR053`). Each [`LintCode`] carries a
+//! databases, runtime-agent policies, observability journals and serving
+//! snapshots — is audited against a registry of
+//! stable lint codes (`CLR001`–`CLR064`). Each [`LintCode`] carries a
 //! severity ([`Severity::Deny`] fails an audit, [`Severity::Warn`] does
 //! not) and a one-line fix hint; findings accumulate in a [`Report`]
 //! renderable for humans or as JSON.
@@ -40,6 +40,7 @@ mod journal;
 mod mapping;
 mod platform;
 mod policy;
+mod snapshot;
 
 pub use codes::LintCode;
 pub use database::{check_database, check_database_standalone, check_drc_matrix};
@@ -49,3 +50,4 @@ pub use journal::check_journal;
 pub use mapping::{check_mapping, check_schedule};
 pub use platform::{check_platform, check_platform_facts, check_platform_supports, PlatformFacts};
 pub use policy::{check_aura_subsumes_ura, check_policy_params};
+pub use snapshot::check_snapshot;

@@ -6,6 +6,7 @@
 //! clr-verify [--json] tgff <FILE>..   parse and lint TGFF task graphs
 //! clr-verify [--json] db <FILE>..     decode and lint design-point databases
 //! clr-verify [--json] journal <FILE>.. lint observability journals (*.obs.jsonl)
+//! clr-verify [--json] snapshot <FILE>.. lint serving snapshots (*.snap)
 //! clr-verify list                     print the lint registry
 //! ```
 //!
@@ -28,11 +29,10 @@ use clr_taskgraph::{
 use clr_verify::{
     check_aura_subsumes_ura, check_database, check_database_standalone, check_drc_matrix,
     check_journal, check_mapping, check_platform, check_platform_supports, check_policy_params,
-    check_schedule, check_task_graph, LintCode, Report,
+    check_schedule, check_snapshot, check_task_graph, LintCode, Report,
 };
 
-const USAGE: &str =
-    "usage: clr-verify [--json] <all | tgff FILE.. | db FILE.. | journal FILE.. | list>";
+const USAGE: &str = "usage: clr-verify [--json] <all | tgff FILE.. | db FILE.. | journal FILE.. | snapshot FILE.. | list>";
 
 fn main() -> ExitCode {
     let mut json = false;
@@ -72,6 +72,10 @@ fn main() -> ExitCode {
             Err(code) => return code,
         },
         "journal" => match audit_files(operands, audit_journal_file) {
+            Ok(r) => r,
+            Err(code) => return code,
+        },
+        "snapshot" => match audit_binary_files(operands, audit_snapshot_file) {
             Ok(r) => r,
             Err(code) => return code,
         },
@@ -133,6 +137,28 @@ fn audit_files(
     Ok(report)
 }
 
+/// Like [`audit_files`], for binary artifacts.
+fn audit_binary_files(
+    files: &[String],
+    audit: impl Fn(&[u8], &str) -> Report,
+) -> Result<Report, ExitCode> {
+    if files.is_empty() {
+        eprintln!("{USAGE}");
+        return Err(ExitCode::from(2));
+    }
+    let mut report = Report::new();
+    for path in files {
+        match std::fs::read(path) {
+            Ok(bytes) => report.merge(audit(&bytes, path)),
+            Err(e) => {
+                eprintln!("clr-verify: cannot read {path}: {e}");
+                return Err(ExitCode::from(2));
+            }
+        }
+    }
+    Ok(report)
+}
+
 /// Parses one TGFF document and lints every graph-level invariant.
 fn audit_tgff_file(text: &str, path: &str) -> Result<Report, String> {
     let graph = parse_tgff(text, &TgffParseOptions::default())
@@ -171,6 +197,13 @@ fn audit_journal_file(text: &str, path: &str) -> Result<Report, String> {
         text.lines().filter(|l| !l.trim().is_empty()).count()
     );
     Ok(check_journal(text, path))
+}
+
+/// Lints one serving snapshot: container structure, checksum, round
+/// trip, model resolution and index ≡ linear-scan equivalence.
+fn audit_snapshot_file(bytes: &[u8], path: &str) -> Report {
+    eprintln!("clr-verify: {path}: snapshot ({} bytes)", bytes.len());
+    check_snapshot(bytes, path)
 }
 
 /// End-to-end audit of the bundled artifacts: presets, TGFF generation,

@@ -1,19 +1,24 @@
 //! Exporting a BaseD design-point database through the text codec, ready
-//! for auditing with `clr-verify db`.
+//! for auditing with `clr-verify db`, plus the binary snapshot container
+//! the serving layer loads (`clr-verify snapshot`, `clr-serve replay`).
 //!
-//! Run with: `cargo run --release --example export_db [OUT_PATH]`
-//! (default output: `target/based.db`).
+//! Run with: `cargo run --release --example export_db [OUT_PATH] [SNAP_PATH]`
+//! (defaults: `target/based.db`, `target/based.snap`).
 
 use hybrid_clr::dse::{explore_based, DesignPointDb, DseConfig, ExplorationMode};
 use hybrid_clr::moea::GaParams;
 use hybrid_clr::prelude::*;
 use hybrid_clr::reliability::ConfigSpace;
+use hybrid_clr::serve::Snapshot;
 use hybrid_clr::taskgraph::jpeg_encoder;
 
 fn main() {
     let out = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "target/based.db".to_string());
+    let snap_out = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "target/based.snap".to_string());
     let graph = jpeg_encoder();
     let platform = Platform::dac19();
     let config = DseConfig {
@@ -36,4 +41,16 @@ fn main() {
     // Round-trip sanity before anyone audits the file.
     let back = DesignPointDb::from_text(&db.to_text()).expect("own output re-parses");
     assert_eq!(back, db, "text codec must round-trip");
+
+    // The same database, published as a checksummed serving snapshot with
+    // the descriptors a tenant needs to rebuild its runtime context.
+    let snapshot = Snapshot::new("jpeg", "dac19", db);
+    snapshot.write_file(&snap_out).expect("write snapshot file");
+    let reread = Snapshot::read_file(&snap_out).expect("own snapshot re-decodes");
+    assert_eq!(reread.db(), snapshot.db(), "snapshot codec must round-trip");
+    println!(
+        "wrote snapshot {snap_out} (graph {}, platform {})",
+        snapshot.graph_desc(),
+        snapshot.platform_desc()
+    );
 }
