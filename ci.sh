@@ -3,7 +3,10 @@
 #
 # Runs, in order:
 #   1. cargo fmt --check           — formatting wall
-#   2. cargo clippy -D warnings    — workspace lint wall (all targets)
+#   2. cargo clippy -D warnings    — workspace lint wall (all targets),
+#                                    then cargo doc with RUSTDOCFLAGS
+#                                    "-D warnings" so broken intra-doc
+#                                    links fail like any other lint
 #   3. cargo test -q, twice        — full test suite at CLR_THREADS=1 and
 #                                    CLR_THREADS=4: the parallel evaluation
 #                                    layer must be bit-identical at every
@@ -31,6 +34,13 @@
 #                                    decision CSVs and journals must be
 #                                    byte-identical, and the journal must
 #                                    pass the CLR05x lints
+#   9. clr-chaos campaign smoke    — audit a seeded fault plan (clr-verify
+#                                    plan, CLR070), then run a reduced chaos
+#                                    campaign over the preset fleet at
+#                                    CLR_THREADS=1 and 8: the survival CSVs
+#                                    and journals must be byte-identical and
+#                                    pass the campaign lints (CLR071/072)
+#                                    plus the CLR05x journal lints
 #
 # Any failure aborts the script (set -e); clr-verify exits nonzero on
 # deny-level findings, so a model regression fails CI like a test would.
@@ -45,6 +55,9 @@ cargo fmt --all -- --check
 
 step "cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets --quiet -- -D warnings
+
+step "cargo doc --workspace --no-deps (RUSTDOCFLAGS=-D warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
 step "cargo test -q (CLR_THREADS=1)"
 CLR_THREADS=1 cargo test --workspace -q
@@ -112,5 +125,22 @@ cmp "$OUT1/decisions.csv" "$OUT8/decisions.csv" \
 cmp "$OUT1/replay.obs.jsonl" "$OUT8/replay.obs.jsonl" \
   || { echo "replay journals diverged across thread counts"; exit 1; }
 "$VERIFY" journal "$OUT8/replay.obs.jsonl"
+
+step "clr-chaos campaign (fault-injection survival, thread-count byte-compare)"
+cargo build --release --quiet -p clr-chaos-cli --bin clr-chaos
+CHAOS=target/release/clr-chaos
+PLAN=target/ci-chaos.plan
+"$CHAOS" plan --seed 7 --all 0.05 --out "$PLAN"
+"$VERIFY" plan "$PLAN"
+CH1=target/ci-chaos-t1
+CH8=target/ci-chaos-t8
+rm -rf "$CH1" "$CH8"
+"$CHAOS" campaign --out-dir "$CH1" --seed 7 --cycles 6000 --threads 1 2>/dev/null
+"$CHAOS" campaign --out-dir "$CH8" --seed 7 --cycles 6000 --threads 8 2>/dev/null
+cmp "$CH1/campaign.csv" "$CH8/campaign.csv" \
+  || { echo "campaign survival CSVs diverged across thread counts"; exit 1; }
+cmp "$CH1/campaign.obs.jsonl" "$CH8/campaign.obs.jsonl" \
+  || { echo "campaign journals diverged across thread counts"; exit 1; }
+"$VERIFY" campaign "$CH8/campaign.csv" "$CH8/campaign.obs.jsonl"
 
 printf '\nci.sh: all gates passed.\n'

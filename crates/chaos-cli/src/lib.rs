@@ -1,0 +1,436 @@
+//! The `clr-chaos` campaign runner.
+//!
+//! A **campaign** drives the serve path through a grid of fault cells —
+//! one cell per [`FaultKind`] at a configurable rate, plus an `all@default`
+//! cell with every kind armed — over a small preset fleet, and reports
+//! per-cell survival as CSV ([`clr_chaos::CampaignRow`]).
+//!
+//! Each cell exercises the full degradation ladder:
+//!
+//! - **snapshot layer**: every tenant's snapshot bytes pass through
+//!   [`corrupt_snapshot_bytes`] per load attempt; decode failures are
+//!   retried a bounded number of times and fall back to the pristine
+//!   last-known-good copy when the budget is exhausted;
+//! - **trace layer**: the workload text passes through [`corrupt_trace`];
+//!   malformed lines are skipped-and-journalled by
+//!   [`Trace::from_jsonl_lenient`], a damaged header falls back to the
+//!   pristine trace, and reordered timestamps are absorbed by the
+//!   engine's monotonised clock;
+//! - **decision layer**: the same [`FaultPlan`] rides into
+//!   [`ReplayConfig::faults`], where the engine's fallback ladder
+//!   (last-known-good → hypervolume baseline → hold → quarantine)
+//!   absorbs budget, policy and transient-infeasibility faults.
+//!
+//! Every stage is a pure function of `(fleet, seed, rates)`, so a
+//! campaign's CSV and deterministic journal are byte-identical at any
+//! `CLR_THREADS` value — `ci.sh` step 9 enforces exactly that.
+
+use clr_chaos::{
+    corrupt_snapshot_bytes, corrupt_trace, CampaignRow, FaultKind, FaultPlan, FaultRates,
+    SnapshotDamage, CAMPAIGN_CSV_HEADER,
+};
+use clr_core::Result;
+use clr_dse::{explore_based, DseConfig, ExplorationMode};
+use clr_moea::GaParams;
+use clr_obs::{Event, Obs};
+use clr_reliability::{ConfigSpace, FaultModel};
+use clr_serve::{
+    generate_trace, replay, resolve_graph, resolve_platform, PolicySpec, ReplayConfig, ServeStatus,
+    Snapshot, Tenant, Trace,
+};
+
+/// Campaign parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CampaignConfig {
+    /// Base seed: the workload trace uses it directly, each cell's fault
+    /// plan derives its own seed from it.
+    pub seed: u64,
+    /// Injection rate for the per-kind cells (the `all@default` cell
+    /// always uses [`FaultRates::default_campaign`]).
+    pub rate: f64,
+    /// Workload length in simulated cycles.
+    pub cycles: f64,
+    /// Mean inter-event gap in cycles.
+    pub mean_gap: f64,
+    /// Worker threads for the replay fan-out (`0` = automatic). The
+    /// campaign output never depends on this.
+    pub threads: usize,
+    /// Quarantine a tenant after this many consecutive decision faults
+    /// (`0` disables quarantine).
+    pub quarantine_after: usize,
+    /// Snapshot decode attempts before falling back to the pristine
+    /// last-known-good copy.
+    pub snapshot_attempts: u64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        Self {
+            seed: 1,
+            rate: 0.02,
+            cycles: 20_000.0,
+            mean_gap: 100.0,
+            threads: 0,
+            quarantine_after: 3,
+            snapshot_attempts: 3,
+        }
+    }
+}
+
+/// One preset tenant: name, policy, and the pristine snapshot bytes that
+/// are both the corruption input and the last-known-good fallback.
+#[derive(Debug, Clone)]
+pub struct PresetTenant {
+    /// Tenant name.
+    pub name: &'static str,
+    /// Adaptation policy.
+    pub policy: PolicySpec,
+    /// Pristine serialized snapshot.
+    pub bytes: Vec<u8>,
+}
+
+/// Builds the preset campaign fleet: three tenants over TGFF-generated
+/// applications (8 tasks, seeds 61–63) on the DAC'19 platform, explored
+/// with the small GA budget, mirroring the serve engine's test fleet.
+pub fn preset_fleet() -> Vec<PresetTenant> {
+    [
+        ("cam0", 61, PolicySpec::Ura { p_rc: 0.5 }),
+        (
+            "nav",
+            62,
+            PolicySpec::Aura {
+                p_rc: 0.5,
+                gamma: 0.6,
+                alpha: 0.1,
+            },
+        ),
+        ("audio", 63, PolicySpec::Hv),
+    ]
+    .into_iter()
+    .map(|(name, seed, policy)| {
+        let desc = format!("tgff:8:{seed}");
+        let graph = resolve_graph(&desc).expect("preset graph descriptor resolves");
+        let platform = resolve_platform("dac19").expect("preset platform descriptor resolves");
+        let cfg = DseConfig {
+            ga: GaParams::small(),
+            mode: ExplorationMode::Full,
+            reference: None,
+            max_points: None,
+        };
+        let db = explore_based(
+            &graph,
+            &platform,
+            FaultModel::default(),
+            ConfigSpace::fine(),
+            &cfg,
+            seed,
+        );
+        PresetTenant {
+            name,
+            policy,
+            bytes: Snapshot::new(desc, "dac19", db).to_bytes(),
+        }
+    })
+    .collect()
+}
+
+/// Rebuilds the pristine (uncorrupted) tenants of a fleet.
+pub fn pristine_tenants(fleet: &[PresetTenant]) -> Result<Vec<Tenant>> {
+    fleet
+        .iter()
+        .map(|t| {
+            Ok(Tenant::from_snapshot(
+                t.name,
+                &Snapshot::from_bytes(&t.bytes)?,
+                t.policy,
+            )?)
+        })
+        .collect()
+}
+
+/// Renders campaign rows as the full CSV document (header + rows,
+/// trailing newline).
+pub fn campaign_csv(rows: &[CampaignRow]) -> String {
+    let mut out = String::from(CAMPAIGN_CSV_HEADER);
+    for row in rows {
+        out.push('\n');
+        out.push_str(&row.csv_line());
+    }
+    out.push('\n');
+    out
+}
+
+/// Runs the full campaign grid over a fleet, appending one journal
+/// [`Event::Fault`] per absorbed load-time fault (the replay engine
+/// journals the decision-layer ones) into `obs`.
+///
+/// # Errors
+///
+/// Propagates invalid fault rates, undecodable pristine snapshots, and
+/// replay-setup failures as [`clr_core::Error`]. Injected faults never
+/// error — absorbing them is the point.
+pub fn run_campaign(
+    fleet: &[PresetTenant],
+    config: &CampaignConfig,
+    obs: &Obs,
+) -> Result<Vec<CampaignRow>> {
+    let pristine = pristine_tenants(fleet)?;
+    let trace_text =
+        generate_trace(&pristine, config.seed, config.cycles, config.mean_gap).to_jsonl();
+    drop(pristine);
+
+    let mut cells: Vec<(String, String, String, FaultRates, f64)> = FaultKind::ALL
+        .into_iter()
+        .map(|kind| {
+            (
+                format!("{}@{:?}", kind.name(), config.rate),
+                kind.layer().to_string(),
+                kind.name().to_string(),
+                FaultRates::only(kind, config.rate),
+                config.rate,
+            )
+        })
+        .collect();
+    cells.push((
+        "all@default".to_string(),
+        "all".to_string(),
+        "all".to_string(),
+        FaultRates::default_campaign(),
+        0.02,
+    ));
+
+    let mut rows = Vec::with_capacity(cells.len());
+    for (idx, (cell, layer, kind, rates, rate)) in cells.into_iter().enumerate() {
+        let seed = config.seed.wrapping_add(1 + idx as u64);
+        rows.push(run_cell(
+            &CellSpec {
+                cell,
+                layer,
+                kind,
+                rates,
+                rate,
+                seed,
+            },
+            fleet,
+            &trace_text,
+            config,
+            obs,
+        )?);
+    }
+    Ok(rows)
+}
+
+/// One grid cell's identity and fault mix.
+struct CellSpec {
+    cell: String,
+    layer: String,
+    kind: String,
+    rates: FaultRates,
+    rate: f64,
+    seed: u64,
+}
+
+/// Emits one `fault` journal event for a load-time fault absorbed by the
+/// campaign runner.
+fn fault_event(
+    obs: &Obs,
+    label: &str,
+    layer: &str,
+    kind: &str,
+    tenant: &str,
+    event: usize,
+    action: &str,
+) {
+    obs.emit(Event::Fault {
+        label: label.to_string(),
+        layer: layer.to_string(),
+        kind: kind.to_string(),
+        tenant: tenant.to_string(),
+        event,
+        action: action.to_string(),
+    });
+    obs.counter_add("chaos.faults.absorbed", 1);
+}
+
+/// Runs one cell: corrupt → load (with retry/LKG) → lenient decode →
+/// chaos replay → aggregate.
+fn run_cell(
+    spec: &CellSpec,
+    fleet: &[PresetTenant],
+    trace_text: &str,
+    config: &CampaignConfig,
+    obs: &Obs,
+) -> Result<CampaignRow> {
+    let plan = FaultPlan::new(spec.seed, spec.rates)?;
+    let mut injected = 0usize;
+    let mut retries = 0usize;
+
+    // Snapshot layer: bounded decode retry, then last-known-good.
+    let mut tenants = Vec::with_capacity(fleet.len());
+    for (i, preset) in fleet.iter().enumerate() {
+        let mut loaded = None;
+        let mut last_kind = FaultKind::SnapshotBitFlip;
+        for attempt in 0..config.snapshot_attempts.max(1) {
+            // Distinct fault-plan sites per (tenant, attempt), so the
+            // damage schedule is independent of iteration order.
+            let site = (i as u64) * config.snapshot_attempts.max(1) + attempt;
+            let (bytes, damage) = corrupt_snapshot_bytes(&preset.bytes, &plan, site);
+            if damage == SnapshotDamage::None {
+                loaded = Some(Snapshot::from_bytes(&bytes)?);
+                break;
+            }
+            injected += 1;
+            last_kind = match damage {
+                SnapshotDamage::Truncate { .. } => FaultKind::SnapshotTruncate,
+                _ => FaultKind::SnapshotBitFlip,
+            };
+            match Snapshot::from_bytes(&bytes) {
+                Ok(snap) => {
+                    // The damage slipped past the integrity checksum;
+                    // serve it anyway — the runtime layer quarantines
+                    // models it cannot build.
+                    fault_event(
+                        obs,
+                        &spec.cell,
+                        "snapshot",
+                        last_kind.name(),
+                        preset.name,
+                        attempt as usize,
+                        "tolerated",
+                    );
+                    loaded = Some(snap);
+                    break;
+                }
+                Err(_) => {
+                    retries += 1;
+                    fault_event(
+                        obs,
+                        &spec.cell,
+                        "snapshot",
+                        last_kind.name(),
+                        preset.name,
+                        attempt as usize,
+                        "retry",
+                    );
+                }
+            }
+        }
+        let snapshot = match loaded {
+            Some(snap) => snap,
+            None => {
+                fault_event(
+                    obs,
+                    &spec.cell,
+                    "snapshot",
+                    last_kind.name(),
+                    preset.name,
+                    config.snapshot_attempts as usize,
+                    "lkg",
+                );
+                Snapshot::from_bytes(&preset.bytes)?
+            }
+        };
+        let tenant = match Tenant::from_snapshot(preset.name, &snapshot, preset.policy) {
+            Ok(tenant) => tenant,
+            Err(_) => {
+                // A tolerated-but-unresolvable snapshot still falls back.
+                fault_event(
+                    obs,
+                    &spec.cell,
+                    "snapshot",
+                    last_kind.name(),
+                    preset.name,
+                    config.snapshot_attempts as usize,
+                    "lkg",
+                );
+                Tenant::from_snapshot(
+                    preset.name,
+                    &Snapshot::from_bytes(&preset.bytes)?,
+                    preset.policy,
+                )?
+            }
+        };
+        tenants.push(tenant);
+    }
+
+    // Trace layer: lenient decode with skip-and-journal, LKG on a
+    // damaged header.
+    let (text, damage) = corrupt_trace(trace_text, &plan);
+    injected += damage.malformed + damage.reordered;
+    if damage.reordered > 0 {
+        // Reordered timestamps are absorbed silently by the engine's
+        // monotonised clock; surface the count as a metric.
+        obs.counter_add("chaos.trace.reordered", damage.reordered as u64);
+    }
+    let (trace, errors) = Trace::from_jsonl_lenient(&text);
+    let mut skipped = 0usize;
+    let trace = if trace.is_empty() && !errors.is_empty() {
+        // The mandatory header itself was hit, so the whole document was
+        // rejected: replay the pristine last-known-good workload.
+        fault_event(
+            obs,
+            &spec.cell,
+            "trace",
+            FaultKind::TraceMalformed.name(),
+            "",
+            0,
+            "lkg",
+        );
+        Trace::from_jsonl(trace_text)?
+    } else {
+        skipped = errors.len();
+        for e in &errors {
+            fault_event(
+                obs,
+                &spec.cell,
+                "trace",
+                FaultKind::TraceMalformed.name(),
+                "",
+                e.line,
+                "skip",
+            );
+        }
+        trace
+    };
+
+    // Decision layer: the engine's own ladder absorbs the rest.
+    let replay_config = ReplayConfig {
+        threads: config.threads,
+        faults: plan,
+        quarantine_after: config.quarantine_after,
+        ..ReplayConfig::default()
+    };
+    let report = replay(&tenants, &trace, &replay_config)?;
+    report.emit_obs(obs);
+
+    let outcomes = report.outcomes();
+    let events = report.total_events();
+    let served = report.total_served();
+    let degraded = outcomes.iter().map(|o| o.degraded).sum::<usize>();
+    let normal = outcomes
+        .iter()
+        .flat_map(|o| o.decisions.iter())
+        .filter(|d| d.status == ServeStatus::Normal)
+        .count();
+    injected += outcomes.iter().map(|o| o.faults).sum::<usize>();
+
+    Ok(CampaignRow {
+        cell: spec.cell.clone(),
+        layer: spec.layer.clone(),
+        kind: spec.kind.clone(),
+        rate: spec.rate,
+        seed: spec.seed,
+        events,
+        served,
+        normal,
+        degraded,
+        quarantined: outcomes.iter().map(|o| o.quarantined).sum(),
+        violations: outcomes.iter().map(|o| o.violations).sum(),
+        injected,
+        // Every injected fault was absorbed by some rung (retry, skip,
+        // fallback, quarantine) — reaching this point is the proof.
+        absorbed: injected,
+        retries,
+        skipped,
+    })
+}

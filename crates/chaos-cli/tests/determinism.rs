@@ -1,0 +1,149 @@
+//! End-to-end chaos-campaign properties: survival at the default fault
+//! rate, byte-identical outputs across thread counts, and — via
+//! proptest — bit-identical chaos replays for *arbitrary* fault plans.
+//!
+//! The preset fleet is expensive to explore (three small-GA runs), so
+//! all tests share one lazily built copy.
+
+use std::sync::OnceLock;
+
+use clr_chaos::{FaultKind, FaultPlan, FaultRates};
+use clr_chaos_cli::{
+    campaign_csv, preset_fleet, pristine_tenants, run_campaign, CampaignConfig, PresetTenant,
+};
+use clr_obs::{Obs, ObsMode};
+use clr_serve::{generate_trace, replay, ReplayConfig, Trace};
+use proptest::prelude::*;
+
+fn fleet() -> &'static [PresetTenant] {
+    static FLEET: OnceLock<Vec<PresetTenant>> = OnceLock::new();
+    FLEET.get_or_init(preset_fleet)
+}
+
+fn trace_text() -> &'static str {
+    static TRACE: OnceLock<String> = OnceLock::new();
+    TRACE.get_or_init(|| {
+        let tenants = pristine_tenants(fleet()).unwrap();
+        generate_trace(&tenants, 1, 20_000.0, 100.0).to_jsonl()
+    })
+}
+
+/// Runs a campaign and returns its two byte-comparable outputs: the CSV
+/// document and the deterministic journal section.
+fn campaign_outputs(config: &CampaignConfig) -> (String, String) {
+    let obs = Obs::new(ObsMode::Json);
+    let rows = run_campaign(fleet(), config, &obs).unwrap();
+    (campaign_csv(&rows), obs.render_det_jsonl())
+}
+
+#[test]
+fn campaign_is_byte_identical_across_thread_counts() {
+    let serial = campaign_outputs(&CampaignConfig {
+        threads: 1,
+        ..CampaignConfig::default()
+    });
+    let parallel = campaign_outputs(&CampaignConfig {
+        threads: 8,
+        ..CampaignConfig::default()
+    });
+    assert_eq!(serial.0, parallel.0, "campaign CSVs diverged");
+    assert_eq!(serial.1, parallel.1, "campaign journals diverged");
+}
+
+#[test]
+fn default_campaign_survives_with_many_kinds_exercised() {
+    let obs = Obs::new(ObsMode::Json);
+    let rows = run_campaign(fleet(), &CampaignConfig::default(), &obs).unwrap();
+    // One cell per fault kind plus the combined cell.
+    assert_eq!(rows.len(), FaultKind::ALL.len() + 1);
+    for row in &rows {
+        assert!(row.events > 0, "cell {} routed no events", row.cell);
+        assert!(
+            row.survival() >= 0.95,
+            "cell {} served only {:.1}% of events",
+            row.cell,
+            100.0 * row.survival()
+        );
+        assert_eq!(
+            row.absorbed, row.injected,
+            "cell {} left faults unabsorbed",
+            row.cell
+        );
+    }
+    let exercised = rows.iter().filter(|r| r.injected > 0).count();
+    assert!(
+        exercised >= 4,
+        "only {exercised} cells injected any faults at the default rate"
+    );
+    let all = rows.last().unwrap();
+    assert_eq!(all.cell, "all@default");
+    assert!(all.injected > 0 && all.degraded > 0);
+    // The campaign CSV round-trips through the shared parser.
+    let parsed = clr_chaos::parse_campaign_csv(&campaign_csv(&rows)).unwrap();
+    assert_eq!(parsed, rows);
+}
+
+#[test]
+fn heavy_snapshot_damage_is_retried_and_absorbed() {
+    let obs = Obs::off();
+    let rows = run_campaign(
+        fleet(),
+        &CampaignConfig {
+            rate: 0.7,
+            threads: 1,
+            ..CampaignConfig::default()
+        },
+        &obs,
+    )
+    .unwrap();
+    for kind in [FaultKind::SnapshotBitFlip, FaultKind::SnapshotTruncate] {
+        let row = rows.iter().find(|r| r.kind == kind.name()).unwrap();
+        assert!(
+            row.injected > 0,
+            "cell {} injected nothing at 70%",
+            row.cell
+        );
+        assert!(row.retries > 0, "cell {} never retried a decode", row.cell);
+        // Snapshot damage is fully absorbed at load time: every event is
+        // still served from a decoded or last-known-good snapshot.
+        assert_eq!(row.served, row.events, "cell {}", row.cell);
+    }
+    let malformed = rows
+        .iter()
+        .find(|r| r.kind == FaultKind::TraceMalformed.name())
+        .unwrap();
+    assert!(malformed.skipped > 0 || malformed.injected > 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The tentpole invariant: for an *arbitrary* fault plan — any seed,
+    /// any rate, any subset of kinds armed — the chaos replay is
+    /// bit-identical at 1 and 8 worker threads.
+    #[test]
+    fn any_fault_plan_replays_bit_identically(
+        seed in 0u64..1024,
+        rate in 0.0f64..0.35,
+        mask in 1u8..128,
+    ) {
+        let mut rates = FaultRates::zero();
+        for (bit, kind) in FaultKind::ALL.into_iter().enumerate() {
+            if mask & (1 << bit) != 0 {
+                *rates.rate_mut(kind) = rate;
+            }
+        }
+        let plan = FaultPlan::new(seed, rates).unwrap();
+        let tenants = pristine_tenants(fleet()).unwrap();
+        let trace = Trace::from_jsonl(trace_text()).unwrap();
+        let config = |threads| ReplayConfig {
+            threads,
+            faults: plan,
+            ..ReplayConfig::default()
+        };
+        let serial = replay(&tenants, &trace, &config(1)).unwrap();
+        let parallel = replay(&tenants, &trace, &config(8)).unwrap();
+        prop_assert_eq!(serial.decisions_csv(), parallel.decisions_csv());
+        prop_assert!(serial == parallel, "reports diverged for plan {:?}", plan);
+    }
+}

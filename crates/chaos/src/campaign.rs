@@ -1,0 +1,260 @@
+//! The campaign CSV schema: one row per (fault kind, rate) grid cell.
+//!
+//! `clr-chaos campaign` renders rows with [`CampaignRow::csv_line`];
+//! `clr-verify campaign` parses them back with [`parse_campaign_csv`]
+//! and cross-checks counts against the journal.
+
+use std::fmt;
+
+/// Header line of `campaign.csv` (no trailing newline).
+pub const CAMPAIGN_CSV_HEADER: &str = "cell,layer,kind,rate,seed,events,served,normal,degraded,\
+quarantined,violations,injected,absorbed,retries,skipped,survival";
+
+/// One campaign grid cell's outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignRow {
+    /// Cell label, e.g. `budget@0.02` or `all@default`.
+    pub cell: String,
+    /// Layer the cell's faults target (`snapshot` / `trace` / `decision`
+    /// / `all`).
+    pub layer: String,
+    /// Fault-kind name (a [`crate::FaultKind::name`] value, or `all`).
+    pub kind: String,
+    /// Injection rate for the cell.
+    pub rate: f64,
+    /// Fault-plan seed for the cell.
+    pub seed: u64,
+    /// Trace events routed to tenants (after lenient trace decode).
+    pub events: usize,
+    /// Decisions served, normally or degraded (everything except
+    /// quarantined events).
+    pub served: usize,
+    /// Decisions served through the normal policy path.
+    pub normal: usize,
+    /// Decisions served degraded (last-known-good or baseline fallback).
+    pub degraded: usize,
+    /// Events swallowed by a quarantined tenant.
+    pub quarantined: usize,
+    /// Decisions that had to hold a dRC-violating point.
+    pub violations: usize,
+    /// Faults injected across all layers.
+    pub injected: usize,
+    /// Injected faults absorbed by the ladder (retry / skip / fallback /
+    /// quarantine) — equals `injected` whenever the run finished.
+    pub absorbed: usize,
+    /// Snapshot decode retries spent.
+    pub retries: usize,
+    /// Malformed trace lines skipped-and-journalled.
+    pub skipped: usize,
+}
+
+impl CampaignRow {
+    /// Served fraction in `[0, 1]`; `1.0` for an event-free cell.
+    pub fn survival(&self) -> f64 {
+        if self.events == 0 {
+            1.0
+        } else {
+            self.served as f64 / self.events as f64
+        }
+    }
+
+    /// Renders the row as one CSV line (no trailing newline). `rate` and
+    /// `survival` use shortest round-trip formatting so re-rendering a
+    /// parsed row is byte-identical.
+    pub fn csv_line(&self) -> String {
+        format!(
+            "{},{},{},{:?},{},{},{},{},{},{},{},{},{},{},{},{:?}",
+            self.cell,
+            self.layer,
+            self.kind,
+            self.rate,
+            self.seed,
+            self.events,
+            self.served,
+            self.normal,
+            self.degraded,
+            self.quarantined,
+            self.violations,
+            self.injected,
+            self.absorbed,
+            self.retries,
+            self.skipped,
+            self.survival()
+        )
+    }
+}
+
+/// Why a campaign CSV failed to parse.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignCsvError {
+    /// 1-based line number (0 = whole document).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for CampaignCsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "campaign csv line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CampaignCsvError {}
+
+/// Parses a full `campaign.csv` document (header + rows).
+///
+/// # Errors
+///
+/// A [`CampaignCsvError`] naming the first bad line: wrong header, wrong
+/// field count, an unparsable field, or a `survival` column inconsistent
+/// with `served / events`.
+pub fn parse_campaign_csv(text: &str) -> Result<Vec<CampaignRow>, CampaignCsvError> {
+    let err = |line: usize, message: String| CampaignCsvError { line, message };
+    let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l));
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| err(0, "empty document".into()))?;
+    if header.trim_end() != CAMPAIGN_CSV_HEADER {
+        return Err(err(1, format!("bad header {header:?}")));
+    }
+    let mut rows = Vec::new();
+    for (ln, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 16 {
+            return Err(err(ln, format!("expected 16 fields, got {}", fields.len())));
+        }
+        fn num<T: std::str::FromStr>(
+            fields: &[&str],
+            idx: usize,
+            ln: usize,
+            name: &str,
+        ) -> Result<T, CampaignCsvError> {
+            fields[idx].parse().map_err(|_| CampaignCsvError {
+                line: ln,
+                message: format!("bad {name} {:?}", fields[idx]),
+            })
+        }
+        let row = CampaignRow {
+            cell: fields[0].to_string(),
+            layer: fields[1].to_string(),
+            kind: fields[2].to_string(),
+            rate: num(&fields, 3, ln, "rate")?,
+            seed: num(&fields, 4, ln, "seed")?,
+            events: num(&fields, 5, ln, "events")?,
+            served: num(&fields, 6, ln, "served")?,
+            normal: num(&fields, 7, ln, "normal")?,
+            degraded: num(&fields, 8, ln, "degraded")?,
+            quarantined: num(&fields, 9, ln, "quarantined")?,
+            violations: num(&fields, 10, ln, "violations")?,
+            injected: num(&fields, 11, ln, "injected")?,
+            absorbed: num(&fields, 12, ln, "absorbed")?,
+            retries: num(&fields, 13, ln, "retries")?,
+            skipped: num(&fields, 14, ln, "skipped")?,
+        };
+        let survival: f64 = num(&fields, 15, ln, "survival")?;
+        if (survival - row.survival()).abs() > 1e-12 {
+            return Err(err(
+                ln,
+                format!(
+                    "survival {survival} inconsistent with served/events = {}",
+                    row.survival()
+                ),
+            ));
+        }
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CampaignRow {
+        CampaignRow {
+            cell: "budget@0.02".into(),
+            layer: "decision".into(),
+            kind: "budget".into(),
+            rate: 0.02,
+            seed: 99,
+            events: 400,
+            served: 396,
+            normal: 380,
+            degraded: 16,
+            quarantined: 4,
+            violations: 2,
+            injected: 20,
+            absorbed: 20,
+            retries: 0,
+            skipped: 0,
+        }
+    }
+
+    #[test]
+    fn csv_round_trip_is_identity() {
+        let rows = vec![
+            sample(),
+            CampaignRow {
+                cell: "all@default".into(),
+                layer: "all".into(),
+                kind: "all".into(),
+                rate: 0.02,
+                seed: 100,
+                events: 0,
+                served: 0,
+                normal: 0,
+                degraded: 0,
+                quarantined: 0,
+                violations: 0,
+                injected: 3,
+                absorbed: 3,
+                retries: 3,
+                skipped: 0,
+            },
+        ];
+        let mut text = String::from(CAMPAIGN_CSV_HEADER);
+        for row in &rows {
+            text.push('\n');
+            text.push_str(&row.csv_line());
+        }
+        text.push('\n');
+        let parsed = parse_campaign_csv(&text).unwrap();
+        assert_eq!(parsed, rows);
+        // Re-render is byte-identical.
+        for (row, orig) in parsed.iter().zip(&rows) {
+            assert_eq!(row.csv_line(), orig.csv_line());
+        }
+    }
+
+    #[test]
+    fn survival_counts_event_free_cells_as_full() {
+        let mut row = sample();
+        assert!((row.survival() - 0.99).abs() < 1e-12);
+        row.events = 0;
+        row.served = 0;
+        assert_eq!(row.survival(), 1.0);
+    }
+
+    #[test]
+    fn bad_documents_are_rejected() {
+        assert!(parse_campaign_csv("").is_err());
+        assert!(parse_campaign_csv("nope\n").is_err());
+        let short = format!("{CAMPAIGN_CSV_HEADER}\na,b,c\n");
+        assert!(parse_campaign_csv(&short).is_err());
+        let bad_num = format!(
+            "{CAMPAIGN_CSV_HEADER}\n{}",
+            sample().csv_line().replace(",99,", ",x,")
+        );
+        assert!(parse_campaign_csv(&bad_num).is_err());
+        // Inconsistent survival column is caught.
+        let row = sample();
+        let line = row.csv_line();
+        let lied = format!("{}0.5", &line[..line.rfind(',').unwrap() + 1]);
+        let doc = format!("{CAMPAIGN_CSV_HEADER}\n{lied}\n");
+        let e = parse_campaign_csv(&doc).unwrap_err();
+        assert!(e.message.contains("inconsistent"), "{e}");
+    }
+}

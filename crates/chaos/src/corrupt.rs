@@ -1,0 +1,219 @@
+//! Deterministic corruption operators for serve-path artifacts.
+//!
+//! Each operator is a pure function of the artifact bytes and a
+//! [`FaultPlan`] site, so a campaign corrupts the same bytes the same
+//! way on every run and at every thread count.
+
+use crate::plan::{FaultKind, FaultPlan};
+
+/// Maps a 64-bit hash onto `[0, 1)` using its top 53 bits (the largest
+/// integer range exactly representable in an `f64`, so the mapping is
+/// portable and exact).
+pub fn unit_f64(hash: u64) -> f64 {
+    crate::plan::unit_from_hash(hash)
+}
+
+/// What [`corrupt_snapshot_bytes`] did to the artifact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotDamage {
+    /// No fault fired for this attempt; bytes are untouched.
+    None,
+    /// One bit was flipped at the given byte offset.
+    BitFlip {
+        /// Offset of the flipped byte.
+        offset: usize,
+    },
+    /// The artifact was truncated to the given length.
+    Truncate {
+        /// Surviving prefix length in bytes.
+        len: usize,
+    },
+}
+
+/// Applies the plan's snapshot faults to a load `attempt` (0-based).
+///
+/// Bit-flip and truncation are decided independently per attempt, so a
+/// bounded retry loop in the loader eventually sees a clean attempt with
+/// probability 1 for any rate < 1. When both fire on the same attempt,
+/// truncation wins (it subsumes the flip). Returns the possibly-damaged
+/// bytes plus a description of the damage for journalling.
+pub fn corrupt_snapshot_bytes(
+    bytes: &[u8],
+    plan: &FaultPlan,
+    attempt: u64,
+) -> (Vec<u8>, SnapshotDamage) {
+    if bytes.is_empty() {
+        return (Vec::new(), SnapshotDamage::None);
+    }
+    if plan.fires(FaultKind::SnapshotTruncate, attempt, 1) {
+        let hash = plan.site_hash(FaultKind::SnapshotTruncate, attempt, 2);
+        // Keep at least one byte and drop at least one, so the damage is
+        // real but the decoder still has something to reject.
+        let len = 1 + (hash as usize) % bytes.len().max(2).saturating_sub(1);
+        return (
+            bytes[..len.min(bytes.len() - 1)].to_vec(),
+            SnapshotDamage::Truncate {
+                len: len.min(bytes.len() - 1),
+            },
+        );
+    }
+    if plan.fires(FaultKind::SnapshotBitFlip, attempt, 1) {
+        let hash = plan.site_hash(FaultKind::SnapshotBitFlip, attempt, 2);
+        let offset = (hash as usize) % bytes.len();
+        let bit = (hash >> 32) % 8;
+        let mut out = bytes.to_vec();
+        out[offset] ^= 1 << bit;
+        return (out, SnapshotDamage::BitFlip { offset });
+    }
+    (bytes.to_vec(), SnapshotDamage::None)
+}
+
+/// Summary of what [`corrupt_trace`] did to a JSONL trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceDamage {
+    /// Lines whose payload was garbled.
+    pub malformed: usize,
+    /// Adjacent line pairs swapped (producing out-of-order timestamps).
+    pub reordered: usize,
+}
+
+/// Applies the plan's trace faults to a JSONL trace text.
+///
+/// Per line `i`, `TraceMalformed` garbles the line by knocking out its
+/// leading `{` (guaranteeing a parse error rather than a silently
+/// different event), and `TraceReorder` swaps line `i` with line `i + 1`
+/// (already-swapped lines are not re-swapped). Malformation is decided
+/// before reordering, on original line indices, so the damage set is
+/// independent of evaluation order.
+pub fn corrupt_trace(text: &str, plan: &FaultPlan) -> (String, TraceDamage) {
+    let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+    let mut damage = TraceDamage::default();
+    for (i, line) in lines.iter_mut().enumerate() {
+        if !line.is_empty() && plan.fires(FaultKind::TraceMalformed, i as u64, 0) {
+            // `X` prefix: definitely not JSON, trivially spotted in fixtures.
+            *line = format!("X{}", &line[1..]);
+            damage.malformed += 1;
+        }
+    }
+    let mut i = 0;
+    while i + 1 < lines.len() {
+        if plan.fires(FaultKind::TraceReorder, i as u64, 1) {
+            lines.swap(i, i + 1);
+            damage.reordered += 1;
+            i += 2; // don't undo the swap by matching on the moved line
+        } else {
+            i += 1;
+        }
+    }
+    let mut out = lines.join("\n");
+    if text.ends_with('\n') && !out.is_empty() {
+        out.push('\n');
+    }
+    (out, damage)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FaultRates;
+
+    fn plan(rates: FaultRates) -> FaultPlan {
+        FaultPlan::new(5, rates).unwrap()
+    }
+
+    #[test]
+    fn unit_f64_covers_the_unit_interval() {
+        assert_eq!(unit_f64(0), 0.0);
+        let top = unit_f64(u64::MAX);
+        assert!((0.999..1.0).contains(&top));
+    }
+
+    #[test]
+    fn inert_plan_leaves_bytes_untouched() {
+        let bytes = b"CLRSNAP1 payload".to_vec();
+        let (out, damage) = corrupt_snapshot_bytes(&bytes, &FaultPlan::inert(1), 0);
+        assert_eq!(out, bytes);
+        assert_eq!(damage, SnapshotDamage::None);
+    }
+
+    #[test]
+    fn bitflip_changes_exactly_one_bit() {
+        let p = plan(FaultRates::only(FaultKind::SnapshotBitFlip, 1.0));
+        let bytes = vec![0u8; 64];
+        let (out, damage) = corrupt_snapshot_bytes(&bytes, &p, 0);
+        let SnapshotDamage::BitFlip { offset } = damage else {
+            panic!("expected a bit flip, got {damage:?}");
+        };
+        assert_eq!(out.len(), bytes.len());
+        let flipped: u32 = out.iter().map(|b| b.count_ones()).sum();
+        assert_eq!(flipped, 1);
+        assert_ne!(out[offset], 0);
+        // Same attempt → same damage; different attempt → (almost surely)
+        // a different site.
+        assert_eq!(corrupt_snapshot_bytes(&bytes, &p, 0).0, out);
+    }
+
+    #[test]
+    fn truncation_strictly_shrinks() {
+        let p = plan(FaultRates::only(FaultKind::SnapshotTruncate, 1.0));
+        let bytes = vec![7u8; 100];
+        for attempt in 0..16 {
+            let (out, damage) = corrupt_snapshot_bytes(&bytes, &p, attempt);
+            let SnapshotDamage::Truncate { len } = damage else {
+                panic!("expected truncation, got {damage:?}");
+            };
+            assert_eq!(out.len(), len);
+            assert!(!out.is_empty() && out.len() < bytes.len());
+        }
+    }
+
+    #[test]
+    fn retry_eventually_sees_a_clean_attempt() {
+        let p = plan(FaultRates {
+            snapshot_bitflip: 0.5,
+            snapshot_truncate: 0.5,
+            ..FaultRates::zero()
+        });
+        let bytes = vec![1u8; 32];
+        let clean = (0..32u64).any(|a| {
+            matches!(
+                corrupt_snapshot_bytes(&bytes, &p, a).1,
+                SnapshotDamage::None
+            )
+        });
+        assert!(clean, "no clean attempt in 32 tries at 75% damage rate");
+    }
+
+    #[test]
+    fn trace_malformation_is_per_line_and_counted() {
+        let text = "{\"a\":1}\n{\"b\":2}\n{\"c\":3}\n{\"d\":4}\n";
+        let p = plan(FaultRates::only(FaultKind::TraceMalformed, 1.0));
+        let (out, damage) = corrupt_trace(text, &p);
+        assert_eq!(damage.malformed, 4);
+        assert_eq!(damage.reordered, 0);
+        assert!(out.lines().all(|l| l.starts_with('X')));
+        assert!(out.ends_with('\n'));
+    }
+
+    #[test]
+    fn trace_reorder_swaps_disjoint_pairs() {
+        let text = "l0\nl1\nl2\nl3\nl4\nl5\n";
+        let p = plan(FaultRates::only(FaultKind::TraceReorder, 1.0));
+        let (out, damage) = corrupt_trace(text, &p);
+        assert_eq!(damage.reordered, 3);
+        assert_eq!(out, "l1\nl0\nl3\nl2\nl5\nl4\n");
+    }
+
+    #[test]
+    fn trace_corruption_is_deterministic() {
+        let text: String = (0..50).map(|i| format!("{{\"t\":{i}}}\n")).collect();
+        let p = plan(FaultRates {
+            trace_malformed: 0.3,
+            trace_reorder: 0.3,
+            ..FaultRates::zero()
+        });
+        assert_eq!(corrupt_trace(&text, &p), corrupt_trace(&text, &p));
+        let (_, damage) = corrupt_trace(&text, &p);
+        assert!(damage.malformed > 0 && damage.reordered > 0);
+    }
+}

@@ -1,0 +1,31 @@
+//! clr-chaos: deterministic fault injection for the serve path.
+//!
+//! The methodology's premise is surviving faults through cross-layer
+//! mitigation — so the serving stack itself must be evaluated *under*
+//! injected faults, not only on clean inputs. This crate supplies the
+//! injection half of that evaluation:
+//!
+//! - **[`FaultPlan`]**: a seeded, splitmix-derived description of which
+//!   faults fire where. A plan is a pure function of `(seed, rates,
+//!   site)`, so the same plan injects the same faults at any
+//!   `CLR_THREADS` — the serve engine's bit-identity contract survives
+//!   chaos testing.
+//! - **Corruption operators** ([`corrupt_snapshot_bytes`],
+//!   [`corrupt_trace`]): deterministic bit-flips/truncation for binary
+//!   snapshot artifacts and malformed/out-of-order line damage for JSONL
+//!   traces.
+//! - **Campaign schema** ([`CampaignRow`]): the per-layer
+//!   survival/degradation CSV emitted by `clr-chaos campaign`, parsed
+//!   back by `clr-verify`'s CLR07x lints.
+//!
+//! The degradation ladder that *absorbs* these faults lives in
+//! `clr-serve`'s replay engine; the `clr-chaos` binary
+//! (`plan | inject | campaign | report`) drives whole campaigns.
+
+mod campaign;
+mod corrupt;
+mod plan;
+
+pub use campaign::{parse_campaign_csv, CampaignCsvError, CampaignRow, CAMPAIGN_CSV_HEADER};
+pub use corrupt::{corrupt_snapshot_bytes, corrupt_trace, unit_f64, SnapshotDamage, TraceDamage};
+pub use plan::{FaultKind, FaultPlan, FaultPlanError, FaultRates};

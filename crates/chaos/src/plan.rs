@@ -1,0 +1,454 @@
+//! Seeded fault plans: which fault fires at which site, decided purely.
+
+use std::fmt;
+
+use clr_par::splitmix64;
+
+/// One injectable fault kind, tagged with the serve-path layer it hits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum FaultKind {
+    /// Snapshot layer: a payload bit is flipped before decode.
+    SnapshotBitFlip,
+    /// Snapshot layer: the artifact is truncated before decode.
+    SnapshotTruncate,
+    /// Trace layer: an event line is malformed (a required field is
+    /// garbled away).
+    TraceMalformed,
+    /// Trace layer: an event line is swapped with its successor, so
+    /// timestamps regress.
+    TraceReorder,
+    /// Decision layer: the tenant's decision-time budget is exhausted —
+    /// the policy cannot run for this event.
+    BudgetExhausted,
+    /// Decision layer: the policy errors (models a crashed or corrupted
+    /// agent returning garbage).
+    PolicyFailure,
+    /// Decision layer: the database is transiently infeasible — the
+    /// feasible set reads as empty for this event.
+    TransientInfeasible,
+}
+
+impl FaultKind {
+    /// Every fault kind, in declaration order (= plan codec order).
+    pub const ALL: [FaultKind; 7] = [
+        FaultKind::SnapshotBitFlip,
+        FaultKind::SnapshotTruncate,
+        FaultKind::TraceMalformed,
+        FaultKind::TraceReorder,
+        FaultKind::BudgetExhausted,
+        FaultKind::PolicyFailure,
+        FaultKind::TransientInfeasible,
+    ];
+
+    /// The stable textual name (plan codec, campaign CSV, journals).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::SnapshotBitFlip => "snapshot_bitflip",
+            FaultKind::SnapshotTruncate => "snapshot_truncate",
+            FaultKind::TraceMalformed => "trace_malformed",
+            FaultKind::TraceReorder => "trace_reorder",
+            FaultKind::BudgetExhausted => "budget",
+            FaultKind::PolicyFailure => "policy",
+            FaultKind::TransientInfeasible => "infeasible",
+        }
+    }
+
+    /// The serve-path layer this kind is injected at.
+    pub fn layer(self) -> &'static str {
+        match self {
+            FaultKind::SnapshotBitFlip | FaultKind::SnapshotTruncate => "snapshot",
+            FaultKind::TraceMalformed | FaultKind::TraceReorder => "trace",
+            FaultKind::BudgetExhausted
+            | FaultKind::PolicyFailure
+            | FaultKind::TransientInfeasible => "decision",
+        }
+    }
+
+    /// Parses the stable textual name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.iter().copied().find(|k| k.name() == name)
+    }
+
+    /// A per-kind salt decorrelating the kinds' decision streams.
+    fn salt(self) -> u64 {
+        // Distinct odd constants; any fixed assignment works, it only has
+        // to be stable because plans are persisted by seed + rates.
+        match self {
+            FaultKind::SnapshotBitFlip => 0x9E37_79B9_7F4A_7C15,
+            FaultKind::SnapshotTruncate => 0xC2B2_AE3D_27D4_EB4F,
+            FaultKind::TraceMalformed => 0x1656_67B1_9E37_79F9,
+            FaultKind::TraceReorder => 0x2545_F491_4F6C_DD1D,
+            FaultKind::BudgetExhausted => 0xFF51_AFD7_ED55_8CCD,
+            FaultKind::PolicyFailure => 0xC4CE_B9FE_1A85_EC53,
+            FaultKind::TransientInfeasible => 0x8765_4321_0FED_CBA9,
+        }
+    }
+}
+
+/// Per-kind injection probabilities, each in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultRates {
+    /// Snapshot-payload bit-flip probability per load attempt.
+    pub snapshot_bitflip: f64,
+    /// Snapshot truncation probability per load attempt.
+    pub snapshot_truncate: f64,
+    /// Per-line trace malformation probability.
+    pub trace_malformed: f64,
+    /// Per-line trace reorder (swap-with-successor) probability.
+    pub trace_reorder: f64,
+    /// Per-decision budget-exhaustion probability.
+    pub budget: f64,
+    /// Per-decision policy-failure probability.
+    pub policy: f64,
+    /// Per-decision transient-infeasibility probability.
+    pub infeasible: f64,
+}
+
+impl FaultRates {
+    /// All-zero rates: a plan that never fires.
+    pub fn zero() -> Self {
+        Self {
+            snapshot_bitflip: 0.0,
+            snapshot_truncate: 0.0,
+            trace_malformed: 0.0,
+            trace_reorder: 0.0,
+            budget: 0.0,
+            policy: 0.0,
+            infeasible: 0.0,
+        }
+    }
+
+    /// The default campaign rates: 2% per site and kind — low enough
+    /// that the ladder keeps ≥95% of decisions served, high enough that
+    /// every rung is exercised on a few-thousand-event trace.
+    pub fn default_campaign() -> Self {
+        Self {
+            snapshot_bitflip: 0.02,
+            snapshot_truncate: 0.02,
+            trace_malformed: 0.02,
+            trace_reorder: 0.02,
+            budget: 0.02,
+            policy: 0.02,
+            infeasible: 0.02,
+        }
+    }
+
+    /// Rates with only `kind` firing, at probability `rate` — one cell of
+    /// a per-layer campaign grid.
+    pub fn only(kind: FaultKind, rate: f64) -> Self {
+        let mut rates = Self::zero();
+        *rates.rate_mut(kind) = rate;
+        rates
+    }
+
+    /// The rate of one kind.
+    pub fn rate(&self, kind: FaultKind) -> f64 {
+        match kind {
+            FaultKind::SnapshotBitFlip => self.snapshot_bitflip,
+            FaultKind::SnapshotTruncate => self.snapshot_truncate,
+            FaultKind::TraceMalformed => self.trace_malformed,
+            FaultKind::TraceReorder => self.trace_reorder,
+            FaultKind::BudgetExhausted => self.budget,
+            FaultKind::PolicyFailure => self.policy,
+            FaultKind::TransientInfeasible => self.infeasible,
+        }
+    }
+
+    /// Mutable access to one kind's rate (for building mixes kind-by-kind).
+    pub fn rate_mut(&mut self, kind: FaultKind) -> &mut f64 {
+        match kind {
+            FaultKind::SnapshotBitFlip => &mut self.snapshot_bitflip,
+            FaultKind::SnapshotTruncate => &mut self.snapshot_truncate,
+            FaultKind::TraceMalformed => &mut self.trace_malformed,
+            FaultKind::TraceReorder => &mut self.trace_reorder,
+            FaultKind::BudgetExhausted => &mut self.budget,
+            FaultKind::PolicyFailure => &mut self.policy,
+            FaultKind::TransientInfeasible => &mut self.infeasible,
+        }
+    }
+
+    /// `true` when every rate is finite and within `[0, 1]`.
+    pub fn is_valid(&self) -> bool {
+        FaultKind::ALL
+            .iter()
+            .all(|&k| self.rate(k).is_finite() && (0.0..=1.0).contains(&self.rate(k)))
+    }
+}
+
+/// Why a fault plan failed to construct or decode.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultPlanError {
+    /// A rate is non-finite or outside `[0, 1]`.
+    RateOutOfRange {
+        /// The offending kind.
+        kind: FaultKind,
+        /// The offending value.
+        rate: f64,
+    },
+    /// The plan text failed to parse.
+    Parse {
+        /// 1-based line number (0 = whole document).
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::RateOutOfRange { kind, rate } => {
+                write!(f, "rate {rate} for {} outside [0, 1]", kind.name())
+            }
+            Self::Parse { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
+/// Magic first line of the plan text codec.
+const HEADER: &str = "clr-fault-plan v1";
+
+/// A seeded fault-injection plan: a pure function from `(kind, site,
+/// sub-site)` to fire/don't-fire, plus deterministic corruption
+/// parameters.
+///
+/// Two plans with the same seed and rates make identical decisions
+/// everywhere, and a decision depends only on its site coordinates —
+/// never on evaluation order — so injection composes with the serve
+/// engine's parallel tenant fan-out without breaking bit-identity.
+///
+/// # Examples
+///
+/// ```
+/// use clr_chaos::{FaultKind, FaultPlan, FaultRates};
+/// let plan = FaultPlan::new(7, FaultRates::default_campaign()).unwrap();
+/// let hit = plan.fires(FaultKind::BudgetExhausted, 0, 12);
+/// // Pure: the same site always gets the same answer.
+/// assert_eq!(hit, plan.fires(FaultKind::BudgetExhausted, 0, 12));
+/// assert_eq!(FaultPlan::from_text(&plan.to_text()).unwrap(), plan);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    rates: FaultRates,
+}
+
+impl FaultPlan {
+    /// Builds a plan from a seed and per-kind rates.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultPlanError::RateOutOfRange`] when a rate is non-finite or
+    /// outside `[0, 1]`.
+    pub fn new(seed: u64, rates: FaultRates) -> Result<Self, FaultPlanError> {
+        for kind in FaultKind::ALL {
+            let rate = rates.rate(kind);
+            if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
+                return Err(FaultPlanError::RateOutOfRange { kind, rate });
+            }
+        }
+        Ok(Self { seed, rates })
+    }
+
+    /// A plan that never fires (rate 0 everywhere) — replaying under it
+    /// is byte-identical to replaying without chaos.
+    pub fn inert(seed: u64) -> Self {
+        Self {
+            seed,
+            rates: FaultRates::zero(),
+        }
+    }
+
+    /// The plan seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The per-kind rates.
+    pub fn rates(&self) -> &FaultRates {
+        &self.rates
+    }
+
+    /// The raw site hash for `(kind, site, sub)` — also used to derive
+    /// deterministic corruption parameters (which bit to flip, where to
+    /// truncate).
+    pub fn site_hash(&self, kind: FaultKind, site: u64, sub: u64) -> u64 {
+        splitmix64(self.seed ^ kind.salt() ^ splitmix64(site.wrapping_mul(2).wrapping_add(1)) ^ sub)
+    }
+
+    /// Does `kind` fire at `(site, sub)`? Sites are caller-defined
+    /// coordinates: the serve engine uses `(tenant index, event ordinal)`,
+    /// artifact corruption uses `(attempt, line/byte index)`.
+    pub fn fires(&self, kind: FaultKind, site: u64, sub: u64) -> bool {
+        let rate = self.rates.rate(kind);
+        if rate <= 0.0 {
+            return false;
+        }
+        unit_from_hash(self.site_hash(kind, site, sub)) < rate
+    }
+
+    /// Serialises the plan into its line-oriented text form (shortest
+    /// round-trip float formatting, so `from_text(to_text(p)) == p`
+    /// bit-for-bit).
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{HEADER}");
+        let _ = writeln!(out, "seed {}", self.seed);
+        for kind in FaultKind::ALL {
+            let _ = writeln!(out, "{} {:?}", kind.name(), self.rates.rate(kind));
+        }
+        out
+    }
+
+    /// Parses a plan from its text form.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultPlanError::Parse`] naming the first offending line, or
+    /// [`FaultPlanError::RateOutOfRange`] for a decoded rate outside its
+    /// domain.
+    pub fn from_text(text: &str) -> Result<Self, FaultPlanError> {
+        let perr = |line: usize, message: String| FaultPlanError::Parse { line, message };
+        let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l.trim()));
+        let (_, header) = lines
+            .next()
+            .ok_or_else(|| perr(0, "empty document".into()))?;
+        if header != HEADER {
+            return Err(perr(
+                1,
+                format!("bad header {header:?}, expected {HEADER:?}"),
+            ));
+        }
+        let (s_line, seed_line) = lines
+            .next()
+            .ok_or_else(|| perr(0, "missing seed line".into()))?;
+        let seed: u64 = seed_line
+            .strip_prefix("seed ")
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| perr(s_line, "expected `seed <u64>`".into()))?;
+        let mut rates = FaultRates::zero();
+        for (ln, line) in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let (name, value) = line
+                .split_once(' ')
+                .ok_or_else(|| perr(ln, format!("expected `<kind> <rate>`, got {line:?}")))?;
+            let kind = FaultKind::from_name(name)
+                .ok_or_else(|| perr(ln, format!("unknown fault kind {name:?}")))?;
+            let rate: f64 = value
+                .parse()
+                .map_err(|_| perr(ln, format!("bad rate {value:?}")))?;
+            *rates.rate_mut(kind) = rate;
+        }
+        Self::new(seed, rates)
+    }
+}
+
+/// Maps a 64-bit hash onto `[0, 1)` using the top 53 bits (exactly
+/// representable in an `f64`, so the mapping is portable and exact).
+pub(crate) fn unit_from_hash(hash: u64) -> f64 {
+    (hash >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_pure_functions_of_their_sites() {
+        let plan = FaultPlan::new(42, FaultRates::default_campaign()).unwrap();
+        for kind in FaultKind::ALL {
+            for site in 0..4u64 {
+                for sub in 0..64u64 {
+                    assert_eq!(plan.fires(kind, site, sub), plan.fires(kind, site, sub));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fire_frequency_tracks_the_rate() {
+        let plan = FaultPlan::new(7, FaultRates::only(FaultKind::BudgetExhausted, 0.1)).unwrap();
+        let fired = (0..20_000u64)
+            .filter(|&sub| plan.fires(FaultKind::BudgetExhausted, 3, sub))
+            .count();
+        // 10% ± generous slack.
+        assert!((1_600..=2_400).contains(&fired), "fired {fired}");
+        // Other kinds stay silent under an `only` rate set.
+        assert!(!(0..20_000u64).any(|s| plan.fires(FaultKind::PolicyFailure, 3, s)));
+    }
+
+    #[test]
+    fn inert_plans_never_fire() {
+        let plan = FaultPlan::inert(9);
+        for kind in FaultKind::ALL {
+            assert!(!(0..1_000u64).any(|s| plan.fires(kind, 0, s)));
+        }
+    }
+
+    #[test]
+    fn kinds_are_decorrelated() {
+        let plan = FaultPlan::new(11, FaultRates::default_campaign()).unwrap();
+        // The same site must not fire all kinds in lockstep.
+        let patterns: Vec<Vec<bool>> = FaultKind::ALL
+            .iter()
+            .map(|&k| (0..512u64).map(|s| plan.fires(k, 1, s)).collect())
+            .collect();
+        for (i, a) in patterns.iter().enumerate() {
+            for b in patterns.iter().skip(i + 1) {
+                assert_ne!(a, b, "two kinds share a decision stream");
+            }
+        }
+    }
+
+    #[test]
+    fn codec_round_trip_is_identity() {
+        let plan = FaultPlan::new(
+            u64::MAX,
+            FaultRates {
+                snapshot_bitflip: 0.125,
+                snapshot_truncate: 0.0,
+                trace_malformed: 1.0,
+                trace_reorder: 1e-3,
+                budget: 0.333_333_333_333,
+                policy: 0.02,
+                infeasible: 0.07,
+            },
+        )
+        .unwrap();
+        let text = plan.to_text();
+        let decoded = FaultPlan::from_text(&text).unwrap();
+        assert_eq!(decoded, plan);
+        assert_eq!(decoded.to_text(), text, "byte-stable re-encoding");
+    }
+
+    #[test]
+    fn bad_plans_are_rejected() {
+        assert!(matches!(
+            FaultPlan::new(1, FaultRates::only(FaultKind::BudgetExhausted, 1.5)),
+            Err(FaultPlanError::RateOutOfRange { .. })
+        ));
+        assert!(matches!(
+            FaultPlan::new(1, FaultRates::only(FaultKind::PolicyFailure, f64::NAN)),
+            Err(FaultPlanError::RateOutOfRange { .. })
+        ));
+        assert!(FaultPlan::from_text("nonsense\n").is_err());
+        assert!(FaultPlan::from_text("clr-fault-plan v1\nseed x\n").is_err());
+        assert!(FaultPlan::from_text("clr-fault-plan v1\nseed 1\nwat 0.5\n").is_err());
+        assert!(FaultPlan::from_text("clr-fault-plan v1\nseed 1\nbudget 2.0\n").is_err());
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in FaultKind::ALL {
+            assert_eq!(FaultKind::from_name(kind.name()), Some(kind));
+            assert!(!kind.layer().is_empty());
+        }
+        assert_eq!(FaultKind::from_name("mystery"), None);
+    }
+}

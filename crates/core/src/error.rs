@@ -1,0 +1,202 @@
+//! The workspace-wide error API.
+//!
+//! Lower crates keep their own precise error types ([`CodecError`],
+//! [`SnapshotError`], [`TraceError`], …); this module unifies them into
+//! one [`enum@Error`] with `From` conversions, so application code —
+//! CLIs, examples, the `experiments` bins — can use a single
+//! [`Result<T>`](Result) and `?` across layer boundaries instead of
+//! stringly-typed `Result<_, String>` plumbing.
+//!
+//! The enum is `#[non_exhaustive]`: downstream matches need a wildcard
+//! arm, so future layers can add variants without a breaking release.
+
+use std::fmt;
+use std::io;
+
+use clr_dse::CodecError;
+use clr_runtime::RuntimeError;
+use clr_serve::{FaultPlanError, ReplayError, SnapshotError, TraceError};
+use clr_taskgraph::TgffParseError;
+
+/// The unified workspace result type.
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+/// Any error the hybrid-clr stack can surface to application code.
+///
+/// # Examples
+///
+/// ```
+/// use clr_core::prelude::{Error, Result};
+///
+/// fn load(text: &str) -> Result<clr_serve::Trace> {
+///     // `?` converts the layer's typed error into the unified enum.
+///     Ok(clr_serve::Trace::from_jsonl(text)?)
+/// }
+/// assert!(matches!(load("garbage"), Err(Error::Trace(_))));
+/// ```
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// An operating-system I/O failure.
+    Io(io::Error),
+    /// A design-point database failed to decode ([`clr_dse::CodecError`]).
+    Codec(CodecError),
+    /// A snapshot container was rejected ([`clr_serve::SnapshotError`]).
+    Snapshot(SnapshotError),
+    /// A QoS trace failed to decode ([`clr_serve::TraceError`]).
+    Trace(TraceError),
+    /// A TGFF document failed to parse ([`clr_taskgraph::TgffParseError`]).
+    Tgff(TgffParseError),
+    /// Run-time inputs were invalid ([`clr_runtime::RuntimeError`]).
+    Runtime(RuntimeError),
+    /// A fleet replay could not start ([`clr_serve::ReplayError`]).
+    Replay(ReplayError),
+    /// A fault plan was invalid ([`clr_serve::FaultPlanError`]).
+    FaultPlan(FaultPlanError),
+    /// No stored design point satisfies the requirement.
+    Infeasible {
+        /// Human-readable description of the unsatisfiable requirement.
+        detail: String,
+    },
+    /// An adaptation policy failed to produce a decision.
+    PolicyFailure {
+        /// What the policy reported.
+        detail: String,
+    },
+    /// A `clr-verify` lint wall rejected an artifact.
+    Lint {
+        /// The rendered lint findings.
+        detail: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "i/o error: {e}"),
+            Self::Codec(e) => write!(f, "database codec error: {e}"),
+            Self::Snapshot(e) => write!(f, "snapshot error: {e}"),
+            Self::Trace(e) => write!(f, "trace error: {e}"),
+            Self::Tgff(e) => write!(f, "tgff parse error: {e}"),
+            Self::Runtime(e) => write!(f, "runtime error: {e}"),
+            Self::Replay(e) => write!(f, "replay error: {e}"),
+            Self::FaultPlan(e) => write!(f, "fault plan error: {e}"),
+            Self::Infeasible { detail } => write!(f, "infeasible requirement: {detail}"),
+            Self::PolicyFailure { detail } => write!(f, "policy failure: {detail}"),
+            Self::Lint { detail } => write!(f, "lint wall rejected artifact: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            Self::Codec(e) => Some(e),
+            Self::Snapshot(e) => Some(e),
+            Self::Trace(e) => Some(e),
+            Self::Tgff(e) => Some(e),
+            Self::Runtime(e) => Some(e),
+            Self::Replay(e) => Some(e),
+            Self::FaultPlan(e) => Some(e),
+            Self::Infeasible { .. } | Self::PolicyFailure { .. } | Self::Lint { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for Error {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<CodecError> for Error {
+    fn from(e: CodecError) -> Self {
+        Self::Codec(e)
+    }
+}
+
+impl From<SnapshotError> for Error {
+    fn from(e: SnapshotError) -> Self {
+        Self::Snapshot(e)
+    }
+}
+
+impl From<TraceError> for Error {
+    fn from(e: TraceError) -> Self {
+        Self::Trace(e)
+    }
+}
+
+impl From<TgffParseError> for Error {
+    fn from(e: TgffParseError) -> Self {
+        Self::Tgff(e)
+    }
+}
+
+impl From<RuntimeError> for Error {
+    fn from(e: RuntimeError) -> Self {
+        Self::Runtime(e)
+    }
+}
+
+impl From<ReplayError> for Error {
+    fn from(e: ReplayError) -> Self {
+        Self::Replay(e)
+    }
+}
+
+impl From<FaultPlanError> for Error {
+    fn from(e: FaultPlanError) -> Self {
+        Self::FaultPlan(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn question_mark_converts_each_layer_error() {
+        fn codec() -> Result<clr_dse::DesignPointDb> {
+            Ok(clr_dse::DesignPointDb::from_text("garbage")?)
+        }
+        fn snapshot() -> Result<clr_serve::Snapshot> {
+            Ok(clr_serve::Snapshot::from_bytes(b"nonsense")?)
+        }
+        fn trace() -> Result<clr_serve::Trace> {
+            Ok(clr_serve::Trace::from_jsonl("nonsense")?)
+        }
+        fn tgff() -> Result<clr_taskgraph::TaskGraph> {
+            Ok(clr_taskgraph::parse_tgff(
+                "nonsense",
+                &clr_taskgraph::TgffParseOptions::default(),
+            )?)
+        }
+        fn plan() -> Result<clr_serve::FaultPlan> {
+            Ok(clr_serve::FaultPlan::from_text("nonsense")?)
+        }
+        fn io() -> Result<String> {
+            Ok(std::fs::read_to_string("/nonexistent/definitely/missing")?)
+        }
+        assert!(matches!(codec(), Err(Error::Codec(_))));
+        assert!(matches!(snapshot(), Err(Error::Snapshot(_))));
+        assert!(matches!(trace(), Err(Error::Trace(_))));
+        assert!(matches!(tgff(), Err(Error::Tgff(_))));
+        assert!(matches!(plan(), Err(Error::FaultPlan(_))));
+        assert!(matches!(io(), Err(Error::Io(_))));
+    }
+
+    #[test]
+    fn displays_name_the_failing_layer() {
+        let e = Error::from(RuntimeError::EmptyDatabase);
+        assert!(e.to_string().contains("runtime error"));
+        let e = Error::Infeasible {
+            detail: "s_max 0".into(),
+        };
+        assert!(e.to_string().contains("infeasible"));
+        use std::error::Error as _;
+        assert!(Error::from(RuntimeError::EmptyDatabase).source().is_some());
+        assert!(e.source().is_none());
+    }
+}

@@ -111,7 +111,7 @@ impl<'a> HybridFlowBuilder<'a> {
     /// # Panics
     ///
     /// Panics if the application cannot be mapped on the platform (see
-    /// [`explore_based`]).
+    /// [`clr_dse::explore_based`]).
     pub fn run(self) -> HybridFlow<'a> {
         // When a storage budget is set and the ReD stage runs, BaseD gets
         // two thirds of it so the reconfiguration-aware extras have room.

@@ -32,10 +32,12 @@
 //! assert!(result.events > 0);
 //! ```
 
+mod error;
 mod flow;
 pub mod prelude;
 pub mod scenario;
 
+pub use error::{Error, Result};
 pub use flow::{DbChoice, HybridFlow, HybridFlowBuilder};
 pub use scenario::{ScenarioConfig, ScenarioInstance, ScenarioKind, ScenarioSuite};
 

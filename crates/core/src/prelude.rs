@@ -13,8 +13,8 @@
 //! ```
 
 pub use clr_dse::{
-    explore_based, explore_red, ClrMappingProblem, DesignPoint, DesignPointDb, DseConfig,
-    ExplorationMode, PointOrigin, ProblemVariant, QosSpec, RedConfig,
+    explore_based, explore_red, ClrMappingProblem, CodecError, DesignPoint, DesignPointDb,
+    DseConfig, ExplorationMode, FeasibilityIndex, PointOrigin, ProblemVariant, QosSpec, RedConfig,
 };
 pub use clr_moea::{GaParams, HvGa, Nsga2, ParetoArchive};
 pub use clr_obs::{Obs, ObsMode};
@@ -23,15 +23,24 @@ pub use clr_reliability::{
     AswMethod, ClrConfig, ConfigSpace, FaultInjector, FaultModel, HwMethod, SswMethod, TaskMetrics,
 };
 pub use clr_runtime::{
-    simulate, simulate_obs, AdaptationPolicy, AuraAgent, EventStream, HvPolicy, QosVariationModel,
-    RuntimeContext, SimConfig, SimResult, UraPolicy, VariationMode,
+    simulate, simulate_checked, simulate_obs, AdaptationPolicy, AuraAgent, EventStream, HvPolicy,
+    QosVariationModel, RuntimeContext, RuntimeError, SimConfig, SimResult, UraPolicy,
+    VariationMode,
 };
 pub use clr_sched::{
     gantt_ascii, heft_mapping, list_schedule, reconfiguration_cost, schedule_csv, Evaluator, Gene,
     Mapping, Schedule, SystemMetrics,
 };
+pub use clr_serve::{
+    generate_trace, replay, FaultKind, FaultPlan, FaultRates, PolicySpec, ReplayConfig,
+    ReplayReport, ServeStatus, Snapshot, SnapshotError, Tenant, Trace, TraceError, TraceEvent,
+};
 pub use clr_stats::{Normal, Summary};
 pub use clr_taskgraph::{
-    jpeg_encoder, Edge, Implementation, SwStack, Task, TaskGraph, TaskGraphBuilder, TaskId,
-    TgffConfig, TgffGenerator,
+    jpeg_encoder, parse_tgff, Edge, Implementation, SwStack, Task, TaskGraph, TaskGraphBuilder,
+    TaskId, TgffConfig, TgffGenerator, TgffParseError, TgffParseOptions,
 };
+
+pub use crate::error::{Error, Result};
+pub use crate::scenario::{ScenarioConfig, ScenarioInstance, ScenarioKind, ScenarioSuite};
+pub use crate::{DbChoice, HybridFlow, HybridFlowBuilder};

@@ -376,7 +376,7 @@ mod tests {
         let mut text = sample_db().to_text();
         text = text.replace("104.25", "NaN");
         let decoded = DesignPointDb::from_text(&text).unwrap();
-        assert!(decoded.point(0).metrics.makespan.is_nan());
+        assert!(decoded.get(0).unwrap().metrics.makespan.is_nan());
         assert_ne!(decoded, DesignPointDb::from_text(&text).unwrap());
     }
 }

@@ -56,13 +56,19 @@ impl DesignPointDb {
 
     /// The point at `index`.
     ///
-    /// Convenience shim over [`DesignPointDb::get`] for call sites that
-    /// have already bounds-checked the index (e.g. iterating `0..len()`);
-    /// prefer `get` when the index comes from external input.
+    /// Deprecated panicking shim over [`DesignPointDb::get`]: every
+    /// workspace call site has migrated to `get` (with explicit handling
+    /// feeding the serve path's degradation ladder), and new code should
+    /// do the same — an out-of-range index from a corrupted artifact must
+    /// degrade, not abort the process.
     ///
     /// # Panics
     ///
     /// Panics if `index` is out of range.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `get(index)` and handle `None` explicitly"
+    )]
     pub fn point(&self, index: usize) -> &DesignPoint {
         self.get(index).unwrap_or_else(|| {
             panic!(
@@ -252,6 +258,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn get_is_total_and_point_agrees_in_range() {
         let mut db = DesignPointDb::new("t");
         db.push(pt(10.0, 0.9, 5.0, PointOrigin::Pareto));
@@ -260,6 +267,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     #[should_panic(expected = "out of range")]
     fn point_panics_with_context() {
         let db = DesignPointDb::new("t");

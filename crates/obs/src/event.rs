@@ -131,6 +131,28 @@ pub enum Event {
         /// Estimated error probability.
         err_prob: f64,
     },
+    /// One injected-or-absorbed fault on the serve path: which layer it
+    /// hit, what kind it was, and which degradation-ladder rung absorbed
+    /// it. Emitted serially from collected outcomes, so fault journals are
+    /// bit-identical across thread counts like every deterministic event.
+    Fault {
+        /// Campaign-cell or run label the fault belongs to.
+        label: String,
+        /// Layer the fault was injected at: `snapshot`, `trace` or
+        /// `decision`.
+        layer: String,
+        /// Fault kind (`bitflip`, `truncate`, `malformed`, `reorder`,
+        /// `budget`, `policy`, `infeasible`, …).
+        kind: String,
+        /// Affected tenant name (empty for fleet-wide load faults).
+        tenant: String,
+        /// 1-based event ordinal within the tenant's stream (0 for
+        /// load-time faults).
+        event: usize,
+        /// Ladder action that absorbed the fault: `retry`, `skip`, `lkg`,
+        /// `baseline`, `hold` or `quarantine`.
+        action: String,
+    },
     /// A logical-clock span: a named interval measured in generations,
     /// simulated cycles or episodes — never wall time, so spans are
     /// bit-identical across thread counts.
@@ -211,6 +233,7 @@ impl Event {
             Event::Decision { .. } => "decision",
             Event::SimEnd { .. } => "sim_end",
             Event::Inject { .. } => "inject",
+            Event::Fault { .. } => "fault",
             Event::Span { .. } => "span",
             Event::Counter { .. } => "counter",
             Event::Gauge { .. } => "gauge",
@@ -304,6 +327,21 @@ impl Event {
                 ",\"label\":{},\"trials\":{trials},\"errors\":{errors},\"err_prob\":{}",
                 json::escape(label),
                 fmt_f64(*err_prob)
+            ),
+            Event::Fault {
+                label,
+                layer,
+                kind,
+                tenant,
+                event,
+                action,
+            } => format!(
+                ",\"label\":{},\"layer\":{},\"kind\":{},\"tenant\":{},\"event\":{event},\"action\":{}",
+                json::escape(label),
+                json::escape(layer),
+                json::escape(kind),
+                json::escape(tenant),
+                json::escape(action)
             ),
             Event::Span {
                 label,
@@ -470,6 +508,14 @@ impl Event {
                 errors: u64_field("errors")?,
                 err_prob: f64_field("err_prob")?,
             },
+            "fault" => Event::Fault {
+                label: str_field("label")?,
+                layer: str_field("layer")?,
+                kind: str_field("kind")?,
+                tenant: str_field("tenant")?,
+                event: usize_field("event")?,
+                action: str_field("action")?,
+            },
             "span" => Event::Span {
                 label: str_field("label")?,
                 clock: str_field("clock")?,
@@ -611,6 +657,14 @@ mod tests {
                 trials: 10_000,
                 errors: 12,
                 err_prob: 0.0012,
+            },
+            Event::Fault {
+                label: "budget@0.01".into(),
+                layer: "decision".into(),
+                kind: "budget".into(),
+                tenant: "cam0".into(),
+                event: 17,
+                action: "lkg".into(),
             },
             Event::Span {
                 label: "based-hv-0".into(),

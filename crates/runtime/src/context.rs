@@ -7,6 +7,8 @@ use clr_sched::reconfiguration_cost;
 use clr_stats::Normalizer;
 use clr_taskgraph::TaskGraph;
 
+use crate::RuntimeError;
+
 /// Pre-computed run-time state: the pairwise `dRC` matrix between stored
 /// design points, the min–max normalisers Algorithm 1 applies to `R(p)`
 /// and `dRC(p)`, and a [`FeasibilityIndex`] answering the `FEAS` filter
@@ -30,11 +32,32 @@ impl<'a> RuntimeContext<'a> {
     ///
     /// # Panics
     ///
-    /// Panics if the database is empty or a stored mapping does not fit
-    /// the graph (databases produced by `clr-dse` always fit).
+    /// Panics where [`RuntimeContext::try_new`] would error — prefer
+    /// `try_new` when the database comes from external input (a loaded
+    /// snapshot, a decoded artifact) so the failure can flow into the
+    /// serve path's degradation ladder instead of aborting the process.
     pub fn new(graph: &TaskGraph, platform: &Platform, db: &'a DesignPointDb) -> Self {
-        assert!(!db.is_empty(), "runtime context needs a non-empty database");
-        let n = db.len();
+        Self::try_new(graph, platform, db).unwrap_or_else(|e| panic!("invalid runtime inputs: {e}"))
+    }
+
+    /// Builds the context, reporting invalid inputs as a typed
+    /// [`RuntimeError`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::EmptyDatabase`] for an empty database and
+    /// [`RuntimeError::NonFiniteMetric`] when a stored energy or a derived
+    /// reconfiguration cost is not finite.
+    pub fn try_new(
+        graph: &TaskGraph,
+        platform: &Platform,
+        db: &'a DesignPointDb,
+    ) -> Result<Self, RuntimeError> {
+        if db.is_empty() {
+            return Err(RuntimeError::EmptyDatabase);
+        }
+        let points = db.points();
+        let n = points.len();
         let mut drc = vec![vec![0.0f64; n]; n];
         let mut max_drc = 0.0f64;
         for (i, row) in drc.iter_mut().enumerate() {
@@ -42,32 +65,38 @@ impl<'a> RuntimeContext<'a> {
                 if i == j {
                     continue;
                 }
-                let c = reconfiguration_cost(
-                    graph,
-                    platform,
-                    &db.point(i).mapping,
-                    &db.point(j).mapping,
-                )
-                .total();
+                let c =
+                    reconfiguration_cost(graph, platform, &points[i].mapping, &points[j].mapping)
+                        .total();
+                if !c.is_finite() {
+                    return Err(RuntimeError::NonFiniteMetric {
+                        what: format!("dRC({i},{j})"),
+                    });
+                }
                 *cell = c;
                 if c > max_drc {
                     max_drc = c;
                 }
             }
         }
-        let energy_norm = Normalizer::from_values(db.iter().map(|p| p.metrics.energy))
-            .expect("db energies are finite");
+        let energy_norm = Normalizer::from_values(db.iter().map(|p| p.metrics.energy)).ok_or(
+            RuntimeError::NonFiniteMetric {
+                what: "energy".to_string(),
+            },
+        )?;
         // A single-point database (or identical-cost points) gives a
         // degenerate [0, 0] range; `Normalizer` maps it to 0 rather than
         // dividing by zero.
-        let drc_norm = Normalizer::new(0.0, max_drc).expect("drc range is valid");
-        Self {
+        let drc_norm = Normalizer::new(0.0, max_drc).ok_or(RuntimeError::NonFiniteMetric {
+            what: "dRC range".to_string(),
+        })?;
+        Ok(Self {
             db,
             index: FeasibilityIndex::new(db),
             drc,
             energy_norm,
             drc_norm,
-        }
+        })
     }
 
     /// The stored database.
@@ -110,9 +139,13 @@ impl<'a> RuntimeContext<'a> {
         if self.energy_norm.max() <= self.energy_norm.min() {
             return 0.0;
         }
-        1.0 - self
-            .energy_norm
-            .normalize(self.db.point(point).metrics.energy)
+        let Some(p) = self.db.get(point) else {
+            // Out-of-range indices score as worst-performance rather than
+            // panicking mid-decision; the caller's feasible sets only
+            // contain valid indices, so this is unreachable in practice.
+            return 0.0;
+        };
+        1.0 - self.energy_norm.normalize(p.metrics.energy)
     }
 
     /// Indices of points satisfying `spec` (Algorithm 1's `FEAS`),
@@ -182,10 +215,11 @@ mod tests {
         let ctx = RuntimeContext::new(&g, &p, &db);
         let best = (0..db.len())
             .min_by(|&a, &b| {
-                db.point(a)
+                db.get(a)
+                    .unwrap()
                     .metrics
                     .energy
-                    .partial_cmp(&db.point(b).metrics.energy)
+                    .partial_cmp(&db.get(b).unwrap().metrics.energy)
                     .unwrap()
             })
             .unwrap();
@@ -202,7 +236,7 @@ mod tests {
         // normalised scores must be exactly 0, never NaN or inf.
         let (g, p, db) = fixture();
         let mut single = DesignPointDb::new("single");
-        single.push(db.point(0).clone());
+        single.push(db.get(0).unwrap().clone());
         let ctx = RuntimeContext::new(&g, &p, &single);
         assert_eq!(ctx.norm_performance(0), 0.0);
         assert_eq!(ctx.norm_drc(0, 0), 0.0);
@@ -214,6 +248,16 @@ mod tests {
         let ctx = RuntimeContext::new(&g, &p, &db);
         let spec = QosSpec::new(f64::INFINITY, 0.0);
         assert_eq!(ctx.feasible(&spec).len(), db.len());
+    }
+
+    #[test]
+    fn try_new_reports_empty_databases_as_typed_errors() {
+        let (g, p, _db) = fixture();
+        let empty = DesignPointDb::new("empty");
+        assert_eq!(
+            RuntimeContext::try_new(&g, &p, &empty).unwrap_err(),
+            RuntimeError::EmptyDatabase
+        );
     }
 
     #[test]

@@ -1,0 +1,41 @@
+//! Typed construction/validation errors for the run-time layer.
+
+use std::fmt;
+
+/// Why a runtime structure could not be built or a run could not start.
+///
+/// The serve path routes these into its degradation ladder instead of
+/// panicking: a tenant whose context cannot be built is quarantined, not
+/// a process abort.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RuntimeError {
+    /// The database holds no points — there is nothing to adapt over.
+    EmptyDatabase,
+    /// A stored metric (or a derived quantity) is non-finite.
+    NonFiniteMetric {
+        /// Which quantity, e.g. `"energy"` or `"dRC(2,5)"`.
+        what: String,
+    },
+    /// The requested initial operating point is out of range.
+    BadInitialPoint {
+        /// The requested index.
+        index: usize,
+        /// Number of stored points.
+        len: usize,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptyDatabase => write!(f, "runtime context needs a non-empty database"),
+            Self::NonFiniteMetric { what } => write!(f, "non-finite {what} in stored database"),
+            Self::BadInitialPoint { index, len } => {
+                write!(f, "initial point {index} out of range ({len} stored)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}

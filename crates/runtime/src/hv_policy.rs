@@ -54,10 +54,10 @@ impl HvPolicy {
         feasible
             .iter()
             .copied()
-            .map(|p| {
-                let m = &ctx.db().point(p).metrics;
+            .filter_map(|p| {
+                let m = &ctx.db().get(p)?.metrics;
                 let fit = signed_hypervolume_fitness(&[m.makespan, m.error_rate()], &reference);
-                (p, fit)
+                Some((p, fit))
             })
             .max_by(|a, b| a.1.total_cmp(&b.1).then(b.0.cmp(&a.0)))
             .map(|(p, _)| p)

@@ -46,6 +46,7 @@
 mod agent;
 mod analysis;
 mod context;
+mod error;
 mod hv_policy;
 mod qos;
 mod sim;
@@ -54,10 +55,11 @@ mod ura;
 pub use agent::{AuraAgent, PRIOR_BATCH};
 pub use analysis::TraceAnalysis;
 pub use context::RuntimeContext;
+pub use error::RuntimeError;
 pub use hv_policy::HvPolicy;
 pub use qos::{EventStream, QosEvent, QosVariationModel, VariationMode};
 pub use sim::{
-    simulate, simulate_obs, simulate_replications, AdaptationPolicy, SimConfig, SimResult,
-    TraceRecord,
+    simulate, simulate_checked, simulate_obs, simulate_replications, AdaptationPolicy, SimConfig,
+    SimResult, TraceRecord,
 };
 pub use ura::UraPolicy;

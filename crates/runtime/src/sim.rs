@@ -7,7 +7,7 @@ use clr_dse::QosSpec;
 use clr_obs::{Event, Obs};
 use serde::{Deserialize, Serialize};
 
-use crate::{EventStream, QosVariationModel, RuntimeContext};
+use crate::{EventStream, QosVariationModel, RuntimeContext, RuntimeError};
 
 /// A run-time adaptation policy driving the discrete-event simulation.
 ///
@@ -185,6 +185,30 @@ pub fn simulate<P: AdaptationPolicy + ?Sized>(
     simulate_obs(ctx, policy, qos, config, &Obs::off(), "sim")
 }
 
+/// [`simulate`] with the configuration validated up front: a bad
+/// `initial_point` comes back as a typed [`RuntimeError`] instead of a
+/// panic, so callers holding externally supplied configurations (CLIs,
+/// the serve path) can degrade instead of aborting.
+///
+/// # Errors
+///
+/// [`RuntimeError::BadInitialPoint`] when `config.initial_point` is out
+/// of range for the context's database.
+pub fn simulate_checked<P: AdaptationPolicy + ?Sized>(
+    ctx: &RuntimeContext<'_>,
+    policy: &mut P,
+    qos: &QosVariationModel,
+    config: &SimConfig,
+) -> Result<SimResult, RuntimeError> {
+    if config.initial_point >= ctx.len() {
+        return Err(RuntimeError::BadInitialPoint {
+            index: config.initial_point,
+            len: ctx.len(),
+        });
+    }
+    Ok(simulate(ctx, policy, qos, config))
+}
+
 /// Upper bucket bounds of the `sim.drc` reconfiguration-cost histogram.
 const DRC_BUCKET_BOUNDS: [f64; 8] = [0.0, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0];
 
@@ -251,7 +275,10 @@ pub fn simulate_obs<P: AdaptationPolicy + ?Sized>(
         let event = events.next_event();
         let horizon = event.time.min(config.total_cycles);
         // Accumulate dwell energy of the active point.
-        energy_time_integral += ctx.db().point(current).metrics.energy * (horizon - last_time);
+        // `current` starts validated (the assert above) and every later
+        // value is a feasible index, so the lookup cannot miss.
+        let dwell_energy = ctx.db().get(current).map_or(0.0, |p| p.metrics.energy);
+        energy_time_integral += dwell_energy * (horizon - last_time);
         last_time = horizon;
 
         // Episode boundaries passed before this event.
@@ -595,6 +622,27 @@ mod tests {
         let mut pol2 = UraPolicy::new(0.5).unwrap();
         let plain = simulate(&ctx, &mut pol2, &qos, &SimConfig::quick(9));
         assert_eq!(plain, r);
+    }
+
+    #[test]
+    fn simulate_checked_rejects_bad_initial_points() {
+        let (g, p, db) = fixture(41);
+        let ctx = RuntimeContext::new(&g, &p, &db);
+        let qos = QosVariationModel::calibrated(&db, 0.25, 0.3);
+        let mut pol = UraPolicy::new(0.5).unwrap();
+        let bad = SimConfig {
+            initial_point: db.len(),
+            ..SimConfig::quick(1)
+        };
+        assert_eq!(
+            simulate_checked(&ctx, &mut pol, &qos, &bad).unwrap_err(),
+            crate::RuntimeError::BadInitialPoint {
+                index: db.len(),
+                len: db.len()
+            }
+        );
+        let good = simulate_checked(&ctx, &mut pol, &qos, &SimConfig::quick(1)).unwrap();
+        assert!(good.events > 0);
     }
 
     #[test]

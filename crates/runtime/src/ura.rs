@@ -195,16 +195,17 @@ mod tests {
         let chosen = UraPolicy::new(1.0).unwrap().select(&ctx, 0, &spec).unwrap();
         let best = (0..f.db.len())
             .min_by(|&a, &b| {
-                f.db.point(a)
+                f.db.get(a)
+                    .unwrap()
                     .metrics
                     .energy
-                    .partial_cmp(&f.db.point(b).metrics.energy)
+                    .partial_cmp(&f.db.get(b).unwrap().metrics.energy)
                     .unwrap()
             })
             .unwrap();
         assert_eq!(
-            f.db.point(chosen).metrics.energy,
-            f.db.point(best).metrics.energy
+            f.db.get(chosen).unwrap().metrics.energy,
+            f.db.get(best).unwrap().metrics.energy
         );
     }
 
@@ -233,7 +234,7 @@ mod tests {
         // at every p_RC setting.
         let f = fixture(25);
         let mut single = clr_dse::DesignPointDb::new("single");
-        single.push(f.db.point(0).clone());
+        single.push(f.db.get(0).unwrap().clone());
         let ctx = RuntimeContext::new(&f.graph, &f.platform, &single);
         let spec = QosSpec::new(f64::INFINITY, 0.0);
         for p_rc in [0.0, 0.5, 1.0] {
@@ -257,6 +258,6 @@ mod tests {
         }
         let chosen = UraPolicy::new(0.8).unwrap().select(&ctx, 0, &spec).unwrap();
         assert!(feas.contains(&chosen));
-        assert!(f.db.point(chosen).satisfies(&spec));
+        assert!(f.db.get(chosen).unwrap().satisfies(&spec));
     }
 }

@@ -21,13 +21,37 @@
 //! `ci.sh` enforces the consequence: `clr-serve replay` byte-identical
 //! decision CSVs and deterministic journal sections at `CLR_THREADS=1`
 //! and `8`.
+//!
+//! ## Degradation ladder
+//!
+//! The engine survives injected decision-layer faults (a seeded
+//! [`clr_chaos::FaultPlan`] in [`ReplayConfig::faults`]) instead of
+//! panicking. When a fault fires on an event — the policy errors, its
+//! time budget is exhausted, or the feasibility index transiently reads
+//! empty — the decision is served through a fixed fallback order:
+//!
+//! 1. **Last-known-good** ([`ServeStatus::DegradedLkg`]): the most
+//!    recent successfully decided point, when it still satisfies the
+//!    requirement;
+//! 2. **Hypervolume baseline** ([`ServeStatus::DegradedBaseline`]):
+//!    [`clr_runtime::HvPolicy`]'s max-hypervolume feasible point;
+//! 3. **Hold** ([`ServeStatus::DegradedHold`]): keep the current point
+//!    and count a violation.
+//!
+//! A tenant whose stream hits [`ReplayConfig::quarantine_after`]
+//! *consecutive* faults is quarantined: its remaining events are
+//! recorded (status `quarantined`) but no longer served. Because a
+//! fault plan is a pure function of `(seed, rates, tenant index, event
+//! ordinal)`, the ladder composes with the parallel tenant fan-out —
+//! chaos replays stay bit-identical at any thread count.
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
+use clr_chaos::{FaultKind, FaultPlan};
 use clr_dse::QosSpec;
 use clr_obs::{Event, Obs};
-use clr_runtime::RuntimeContext;
+use clr_runtime::{HvPolicy, RuntimeContext};
 
 use crate::{Tenant, Trace, TraceEvent};
 
@@ -41,6 +65,13 @@ pub struct ReplayConfig {
     /// Episode length in cycles for learning policies' value updates
     /// (`f64::INFINITY` disables episode boundaries).
     pub episode_cycles: f64,
+    /// The fault-injection plan driving the degradation ladder. The
+    /// default is [`FaultPlan::inert`]: no faults, byte-identical to a
+    /// pre-chaos replay.
+    pub faults: FaultPlan,
+    /// Quarantine a tenant after this many *consecutive* faulted events
+    /// (`0` disables quarantine).
+    pub quarantine_after: usize,
 }
 
 impl Default for ReplayConfig {
@@ -48,7 +79,51 @@ impl Default for ReplayConfig {
         Self {
             threads: 0,
             episode_cycles: 1_000.0,
+            faults: FaultPlan::inert(0),
+            quarantine_after: 3,
         }
+    }
+}
+
+/// How a decision was served: normally, through a degradation rung, or
+/// not at all (quarantined).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeStatus {
+    /// The tenant's own policy decided.
+    Normal,
+    /// Fault absorbed by re-serving the last-known-good point.
+    DegradedLkg,
+    /// Fault absorbed by the max-hypervolume baseline policy.
+    DegradedBaseline,
+    /// Fault absorbed by holding the current point (counts a violation).
+    DegradedHold,
+    /// The tenant is quarantined; the event was recorded, not served.
+    Quarantined,
+}
+
+impl ServeStatus {
+    /// The stable textual tag (CSV `status` column, journal `action`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Normal => "normal",
+            Self::DegradedLkg => "lkg",
+            Self::DegradedBaseline => "baseline",
+            Self::DegradedHold => "hold",
+            Self::Quarantined => "quarantined",
+        }
+    }
+
+    /// `true` for the three fallback rungs.
+    pub fn is_degraded(self) -> bool {
+        matches!(
+            self,
+            Self::DegradedLkg | Self::DegradedBaseline | Self::DegradedHold
+        )
+    }
+
+    /// `true` when the decision was actually served (degraded or not).
+    pub fn is_served(self) -> bool {
+        self != Self::Quarantined
     }
 }
 
@@ -76,6 +151,10 @@ pub struct DecisionRecord {
     pub p_rc: Option<f64>,
     /// `true` if no stored point satisfied the requirement.
     pub violated: bool,
+    /// How the decision was served (which ladder rung, if any).
+    pub status: ServeStatus,
+    /// The injected fault this decision absorbed, if one fired.
+    pub fault: Option<FaultKind>,
 }
 
 /// Aggregate outcome of one tenant's replay.
@@ -91,10 +170,26 @@ pub struct TenantOutcome {
     pub reconfigurations: usize,
     /// Events with an empty feasible set.
     pub violations: usize,
+    /// Events served through a degradation rung.
+    pub degraded: usize,
+    /// Events recorded while the tenant was quarantined (not served).
+    pub quarantined: usize,
+    /// Injected decision-layer faults (every one is absorbed by a rung).
+    pub faults: usize,
     /// Sum of paid reconfiguration costs.
     pub total_drc: f64,
+    /// Why the tenant could not serve at all (its runtime context failed
+    /// to build), when that happened; all its events are then quarantined.
+    pub failure: Option<String>,
     /// Every decision, in service order.
     pub decisions: Vec<DecisionRecord>,
+}
+
+impl TenantOutcome {
+    /// Events actually served, normally or degraded.
+    pub fn served(&self) -> usize {
+        self.events - self.quarantined
+    }
 }
 
 /// The outcome of a full replay: per-tenant outcomes in fleet order.
@@ -134,19 +229,25 @@ impl ReplayReport {
         self.outcomes.iter().map(|o| o.events).sum()
     }
 
+    /// Total decisions actually served (degraded or normal) across all
+    /// tenants.
+    pub fn total_served(&self) -> usize {
+        self.outcomes.iter().map(TenantOutcome::served).sum()
+    }
+
     /// Renders every decision as CSV
-    /// (`tenant,event,time,s_max,f_min,feasible,from,to,drc,score,p_rc,violated`),
+    /// (`tenant,event,time,s_max,f_min,feasible,from,to,drc,score,p_rc,violated,status`),
     /// tenants in fleet order — the byte-comparable decision output.
     pub fn decisions_csv(&self) -> String {
         let mut out = String::from(
-            "tenant,event,time,s_max,f_min,feasible,from,to,drc,score,p_rc,violated\n",
+            "tenant,event,time,s_max,f_min,feasible,from,to,drc,score,p_rc,violated,status\n",
         );
         let opt = |x: Option<f64>| x.map(|v| format!("{v}")).unwrap_or_default();
         for o in &self.outcomes {
             for d in &o.decisions {
                 let _ = writeln!(
                     out,
-                    "{},{},{},{},{},{},{},{},{},{},{},{}",
+                    "{},{},{},{},{},{},{},{},{},{},{},{},{}",
                     o.name,
                     d.event,
                     d.time,
@@ -158,7 +259,8 @@ impl ReplayReport {
                     d.drc,
                     opt(d.score),
                     opt(d.p_rc),
-                    d.violated
+                    d.violated,
+                    d.status.as_str()
                 );
             }
         }
@@ -200,6 +302,36 @@ impl ReplayReport {
                     obs.counter_add("serve.violations", 1);
                 }
                 obs.histogram_record("serve.drc", &DRC_BUCKET_BOUNDS, d.drc);
+                // One `fault` journal event per absorbed fault (the
+                // rung that served it is the action) and one per
+                // quarantined event — `clr-verify` cross-checks these
+                // counts against the campaign CSV (CLR072).
+                if let Some(kind) = d.fault {
+                    obs.emit(Event::Fault {
+                        label: o.name.clone(),
+                        layer: kind.layer().to_string(),
+                        kind: kind.name().to_string(),
+                        tenant: o.name.clone(),
+                        event: d.event,
+                        action: d.status.as_str().to_string(),
+                    });
+                    obs.counter_add("serve.faults.injected", 1);
+                    obs.counter_add("serve.faults.absorbed", 1);
+                }
+                if d.status == ServeStatus::Quarantined {
+                    obs.emit(Event::Fault {
+                        label: o.name.clone(),
+                        layer: "decision".to_string(),
+                        kind: "quarantine".to_string(),
+                        tenant: o.name.clone(),
+                        event: d.event,
+                        action: "quarantine".to_string(),
+                    });
+                    obs.counter_add("serve.quarantined", 1);
+                }
+                if d.status.is_degraded() {
+                    obs.counter_add("serve.degraded", 1);
+                }
             }
             obs.emit(Event::SimEnd {
                 label: o.name.clone(),
@@ -219,8 +351,8 @@ impl ReplayReport {
 /// (mirrors the simulator's `sim.drc`).
 const DRC_BUCKET_BOUNDS: [f64; 8] = [0.0, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0];
 
-/// Replays a trace through a tenant fleet. See the
-/// [module docs](self) for the determinism contract.
+/// Replays a trace through a tenant fleet. See the crate docs for the
+/// determinism contract.
 ///
 /// Degrades gracefully on edge inputs: an empty fleet serves nothing
 /// (all events dropped), an empty trace yields zero-event outcomes,
@@ -254,66 +386,184 @@ pub fn replay(
     }
 
     let work: Vec<(usize, Vec<&TraceEvent>)> = routed.into_iter().enumerate().collect();
-    let episode_cycles = config.episode_cycles;
     let outcomes = clr_par::par_map(config.threads, &work, |_, (idx, events)| {
-        replay_tenant(&tenants[*idx], events, episode_cycles)
+        replay_tenant(&tenants[*idx], *idx, events, config)
     });
 
     Ok(ReplayReport { outcomes, dropped })
 }
 
-/// Serves one tenant's event stream (runs on a worker thread; touches
-/// only that tenant's state).
-fn replay_tenant(tenant: &Tenant, events: &[&TraceEvent], episode_cycles: f64) -> TenantOutcome {
-    let ctx = RuntimeContext::new(tenant.graph(), tenant.platform(), tenant.db());
-    let mut policy = tenant.policy().build(tenant.db().len());
-    let mut current = tenant.initial_point();
-    let mut now = 0.0f64;
-    let mut next_episode_end = episode_cycles;
-    let mut feas_buf: Vec<usize> = Vec::new();
+/// The decision-layer fault kinds, in the fixed priority order used when
+/// several fire on the same event.
+const DECISION_FAULTS: [FaultKind; 3] = [
+    FaultKind::TransientInfeasible,
+    FaultKind::BudgetExhausted,
+    FaultKind::PolicyFailure,
+];
 
+/// Serves one tenant's event stream (runs on a worker thread; touches
+/// only that tenant's state). `tenant_idx` is the tenant's fleet index —
+/// one half of the fault plan's site coordinates, so injection is
+/// independent of worker scheduling.
+fn replay_tenant(
+    tenant: &Tenant,
+    tenant_idx: usize,
+    events: &[&TraceEvent],
+    config: &ReplayConfig,
+) -> TenantOutcome {
     let mut outcome = TenantOutcome {
         name: tenant.name().to_string(),
         points: tenant.db().len(),
         events: 0,
         reconfigurations: 0,
         violations: 0,
+        degraded: 0,
+        quarantined: 0,
+        faults: 0,
         total_drc: 0.0,
+        failure: None,
         decisions: Vec::with_capacity(events.len()),
     };
 
-    for event in events {
+    let mut now = 0.0f64;
+    let mut monotonise = |t: f64| {
         // Monotonised clock: duplicate timestamps serve in file order at
         // the same instant; a regressing timestamp serves "now".
-        let time = if event.time.is_finite() {
-            event.time.max(now)
-        } else {
-            now
-        };
+        let time = if t.is_finite() { t.max(now) } else { now };
         now = time;
-        if episode_cycles.is_finite() && episode_cycles > 0.0 {
+        time
+    };
+
+    // A tenant whose runtime context cannot be built (e.g. a corrupted
+    // artifact with non-finite metrics) is the ladder's terminal case:
+    // it is quarantined outright instead of panicking the worker.
+    let ctx = match RuntimeContext::try_new(tenant.graph(), tenant.platform(), tenant.db()) {
+        Ok(ctx) => ctx,
+        Err(e) => {
+            outcome.failure = Some(e.to_string());
+            let current = tenant.initial_point();
+            for event in events {
+                let time = monotonise(event.time);
+                outcome.events += 1;
+                outcome.quarantined += 1;
+                outcome.decisions.push(DecisionRecord {
+                    event: outcome.events,
+                    time,
+                    spec: event.spec,
+                    feasible: 0,
+                    from: current,
+                    to: current,
+                    drc: 0.0,
+                    score: None,
+                    p_rc: None,
+                    violated: false,
+                    status: ServeStatus::Quarantined,
+                    fault: None,
+                });
+            }
+            return outcome;
+        }
+    };
+
+    let plan = &config.faults;
+    let baseline = HvPolicy::new();
+    let mut policy = tenant.policy().build(tenant.db().len());
+    let mut current = tenant.initial_point();
+    let mut lkg: Option<usize> = None;
+    let mut consecutive_faults = 0usize;
+    let mut quarantined = false;
+    let mut next_episode_end = config.episode_cycles;
+    let mut feas_buf: Vec<usize> = Vec::new();
+
+    for event in events {
+        let time = monotonise(event.time);
+        outcome.events += 1;
+        let ordinal = outcome.events as u64;
+
+        if quarantined {
+            outcome.quarantined += 1;
+            outcome.decisions.push(DecisionRecord {
+                event: outcome.events,
+                time,
+                spec: event.spec,
+                feasible: 0,
+                from: current,
+                to: current,
+                drc: 0.0,
+                score: None,
+                p_rc: None,
+                violated: false,
+                status: ServeStatus::Quarantined,
+                fault: None,
+            });
+            continue;
+        }
+
+        if config.episode_cycles.is_finite() && config.episode_cycles > 0.0 {
             while next_episode_end <= time {
                 policy.end_episode();
-                next_episode_end += episode_cycles;
+                next_episode_end += config.episode_cycles;
             }
         }
 
         ctx.feasible_into(&event.spec, &mut feas_buf);
-        let (decision, score, p_rc) =
-            policy.decide_scored_from(&ctx, current, &event.spec, &feas_buf);
-        let (to, violated) = match decision {
-            Some(p) => (p, false),
-            None => (current, true),
+        let fault = DECISION_FAULTS
+            .iter()
+            .copied()
+            .find(|&k| plan.fires(k, tenant_idx as u64, ordinal));
+        if fault == Some(FaultKind::TransientInfeasible) {
+            // The feasibility index is the faulted component: the
+            // feasible set transiently reads empty.
+            feas_buf.clear();
+        }
+
+        let (to, violated, score, p_rc, status) = match fault {
+            None => {
+                let (decision, score, p_rc) =
+                    policy.decide_scored_from(&ctx, current, &event.spec, &feas_buf);
+                match decision {
+                    Some(p) => (p, false, score, p_rc, ServeStatus::Normal),
+                    None => (current, true, score, p_rc, ServeStatus::Normal),
+                }
+            }
+            Some(kind) => {
+                // The ladder: last-known-good → hypervolume baseline →
+                // hold (+violation).
+                let lkg_usable = lkg.filter(|&l| {
+                    // Under a transient-infeasibility fault the index is
+                    // down, so the stale point is served unverified.
+                    kind == FaultKind::TransientInfeasible || feas_buf.binary_search(&l).is_ok()
+                });
+                if let Some(l) = lkg_usable {
+                    (l, false, None, None, ServeStatus::DegradedLkg)
+                } else if let Some(b) = baseline.select_from(&ctx, &event.spec, &feas_buf) {
+                    (b, false, None, None, ServeStatus::DegradedBaseline)
+                } else {
+                    (current, true, None, None, ServeStatus::DegradedHold)
+                }
+            }
         };
         let drc = ctx.drc(current, to);
         policy.observe(&ctx, current, to);
 
-        outcome.events += 1;
         if violated {
             outcome.violations += 1;
         }
         if to != current {
             outcome.reconfigurations += 1;
+        }
+        if fault.is_some() {
+            outcome.faults += 1;
+            outcome.degraded += 1;
+            consecutive_faults += 1;
+            if config.quarantine_after > 0 && consecutive_faults >= config.quarantine_after {
+                quarantined = true;
+            }
+        } else {
+            consecutive_faults = 0;
+            if !violated {
+                lkg = Some(to);
+            }
         }
         outcome.total_drc += drc;
         outcome.decisions.push(DecisionRecord {
@@ -327,6 +577,8 @@ fn replay_tenant(tenant: &Tenant, events: &[&TraceEvent], episode_cycles: f64) -
             score,
             p_rc,
             violated,
+            status,
+            fault,
         });
         current = to;
     }
@@ -505,6 +757,258 @@ mod tests {
         assert_eq!(csv1, csv8, "decision CSV must be byte-identical");
         assert_eq!(journal1, journal8, "journal must be byte-identical");
         assert!(report1.total_events() > 0);
+    }
+
+    #[test]
+    fn inert_fault_plan_serves_everything_normally() {
+        let tenants = fleet();
+        let trace = generate_trace(&tenants, 13, 3_000.0, 100.0);
+        let report = replay(&tenants, &trace, &ReplayConfig::default()).unwrap();
+        assert_eq!(report.total_served(), report.total_events());
+        for o in report.outcomes() {
+            assert_eq!(o.degraded, 0);
+            assert_eq!(o.quarantined, 0);
+            assert_eq!(o.faults, 0);
+            assert!(o.failure.is_none());
+            assert!(o
+                .decisions
+                .iter()
+                .all(|d| d.status == ServeStatus::Normal && d.fault.is_none()));
+        }
+        // The CSV carries the status column.
+        assert!(report
+            .decisions_csv()
+            .lines()
+            .nth(1)
+            .unwrap()
+            .ends_with(",normal"));
+    }
+
+    #[test]
+    fn fallback_order_is_lkg_then_baseline_then_hold() {
+        use clr_chaos::FaultRates;
+        let tenants = vec![tenant("solo", 64, PolicySpec::Ura { p_rc: 0.5 })];
+        let lax = QosSpec::new(f64::MAX, 0.0);
+        let impossible = QosSpec::new(0.0, 1.0);
+        // Find a seed where, for tenant 0, event 1 is clean and events
+        // 2–4 are faulted — fault plans are pure functions, so the search
+        // is deterministic.
+        let seed = (0..10_000u64)
+            .find(|&s| {
+                let p = FaultPlan::new(s, FaultRates::only(FaultKind::PolicyFailure, 0.5)).unwrap();
+                let hit = |e| p.fires(FaultKind::PolicyFailure, 0, e);
+                !hit(1) && hit(2) && hit(3) && hit(4)
+            })
+            .expect("a clean-then-faulted seed exists");
+        let plan = FaultPlan::new(seed, FaultRates::only(FaultKind::PolicyFailure, 0.5)).unwrap();
+        let config = ReplayConfig {
+            faults: plan,
+            quarantine_after: 0, // isolate the fallback order from quarantine
+            ..ReplayConfig::default()
+        };
+        let mk = |time, spec| TraceEvent {
+            tenant: "solo".into(),
+            time,
+            spec,
+        };
+        // Event 1 decides normally (establishing the LKG), event 2 must
+        // fall back to it, event 3 (LKG infeasible, baseline available)
+        // must take the baseline, event 4 (nothing feasible) must hold.
+        let trace = Trace::new(vec![
+            mk(0.0, lax),
+            mk(10.0, lax),
+            mk(20.0, impossible),
+            mk(30.0, impossible),
+        ]);
+        let report = replay(&tenants, &trace, &config).unwrap();
+        let d = &report.outcomes()[0].decisions;
+        assert_eq!(d[0].status, ServeStatus::Normal);
+        assert!(!d[0].violated);
+        assert_eq!(d[1].status, ServeStatus::DegradedLkg);
+        assert_eq!(d[1].to, d[0].to, "LKG re-serves the last good point");
+        assert_eq!(d[1].fault, Some(FaultKind::PolicyFailure));
+        // Impossible spec: no LKG (infeasible), no baseline → hold.
+        assert_eq!(d[2].status, ServeStatus::DegradedHold);
+        assert!(d[2].violated);
+        assert_eq!(d[2].to, d[1].to);
+        assert_eq!(d[3].status, ServeStatus::DegradedHold);
+        assert_eq!(report.outcomes()[0].degraded, 3);
+        assert_eq!(report.outcomes()[0].quarantined, 0);
+    }
+
+    #[test]
+    fn first_event_fault_takes_the_baseline_rung() {
+        use clr_chaos::FaultRates;
+        // Rate 1.0: every event is faulted. With no LKG established the
+        // ladder must land on the hypervolume baseline.
+        let tenants = vec![tenant("solo", 64, PolicySpec::Ura { p_rc: 0.5 })];
+        let plan = FaultPlan::new(3, FaultRates::only(FaultKind::BudgetExhausted, 1.0)).unwrap();
+        let config = ReplayConfig {
+            faults: plan,
+            quarantine_after: 0,
+            ..ReplayConfig::default()
+        };
+        let trace = Trace::new(vec![TraceEvent {
+            tenant: "solo".into(),
+            time: 0.0,
+            spec: QosSpec::new(f64::MAX, 0.0),
+        }]);
+        let report = replay(&tenants, &trace, &config).unwrap();
+        let d = &report.outcomes()[0].decisions[0];
+        assert_eq!(d.status, ServeStatus::DegradedBaseline);
+        assert!(!d.violated);
+        // The baseline rung is exactly HvPolicy's choice.
+        let t = &tenants[0];
+        let ctx = RuntimeContext::new(t.graph(), t.platform(), t.db());
+        let expect = HvPolicy::new().select(&ctx, &QosSpec::new(f64::MAX, 0.0));
+        assert_eq!(Some(d.to), expect);
+    }
+
+    #[test]
+    fn quarantine_fires_after_exactly_k_consecutive_faults() {
+        use clr_chaos::FaultRates;
+        let k = 3usize;
+        let tenants = vec![tenant("solo", 64, PolicySpec::Ura { p_rc: 0.5 })];
+        let plan = FaultPlan::new(9, FaultRates::only(FaultKind::PolicyFailure, 1.0)).unwrap();
+        let config = ReplayConfig {
+            faults: plan,
+            quarantine_after: k,
+            ..ReplayConfig::default()
+        };
+        let lax = QosSpec::new(f64::MAX, 0.0);
+        let trace = Trace::new(
+            (0..6)
+                .map(|i| TraceEvent {
+                    tenant: "solo".into(),
+                    time: f64::from(i) * 10.0,
+                    spec: lax,
+                })
+                .collect(),
+        );
+        let report = replay(&tenants, &trace, &config).unwrap();
+        let o = &report.outcomes()[0];
+        // Events 1..=k are served degraded; everything after is
+        // quarantined — not k-1, not k+1.
+        for d in &o.decisions[..k] {
+            assert!(d.status.is_degraded(), "event {} should degrade", d.event);
+        }
+        for d in &o.decisions[k..] {
+            assert_eq!(d.status, ServeStatus::Quarantined);
+        }
+        assert_eq!(o.quarantined, 6 - k);
+        assert_eq!(o.served(), k);
+        assert_eq!(o.faults, k);
+        // Quarantine disabled: the same plan degrades every event instead.
+        let relaxed = ReplayConfig {
+            quarantine_after: 0,
+            ..config
+        };
+        let report = replay(&tenants, &trace, &relaxed).unwrap();
+        assert_eq!(report.outcomes()[0].quarantined, 0);
+        assert_eq!(report.outcomes()[0].degraded, 6);
+    }
+
+    #[test]
+    fn clean_event_resets_the_quarantine_counter() {
+        use clr_chaos::FaultRates;
+        // Find a seed whose fault pattern for events 1..=5 is
+        // fault,fault,clean,fault,fault — no 3 consecutive, so a K=3
+        // quarantine must never trigger.
+        let rates = FaultRates::only(FaultKind::BudgetExhausted, 0.5);
+        let seed = (0..100_000u64)
+            .find(|&s| {
+                let p = FaultPlan::new(s, rates).unwrap();
+                let hit = |e| p.fires(FaultKind::BudgetExhausted, 0, e);
+                hit(1) && hit(2) && !hit(3) && hit(4) && hit(5)
+            })
+            .expect("pattern seed exists");
+        let tenants = vec![tenant("solo", 64, PolicySpec::Ura { p_rc: 0.5 })];
+        let config = ReplayConfig {
+            faults: FaultPlan::new(seed, rates).unwrap(),
+            quarantine_after: 3,
+            ..ReplayConfig::default()
+        };
+        let lax = QosSpec::new(f64::MAX, 0.0);
+        let trace = Trace::new(
+            (0..5)
+                .map(|i| TraceEvent {
+                    tenant: "solo".into(),
+                    time: f64::from(i) * 10.0,
+                    spec: lax,
+                })
+                .collect(),
+        );
+        let report = replay(&tenants, &trace, &config).unwrap();
+        let o = &report.outcomes()[0];
+        assert_eq!(o.quarantined, 0, "interrupted runs must not quarantine");
+        assert_eq!(o.degraded, 4);
+        assert_eq!(o.decisions[2].status, ServeStatus::Normal);
+    }
+
+    #[test]
+    fn chaos_replay_is_bit_identical_across_thread_counts() {
+        use clr_chaos::FaultRates;
+        let tenants = fleet();
+        let trace = generate_trace(&tenants, 11, 5_000.0, 100.0);
+        let plan = FaultPlan::new(77, FaultRates::default_campaign()).unwrap();
+        let run = |threads: usize| {
+            let config = ReplayConfig {
+                threads,
+                faults: plan,
+                ..ReplayConfig::default()
+            };
+            let report = replay(&tenants, &trace, &config).unwrap();
+            let obs = Obs::new(ObsMode::Json);
+            report.emit_obs(&obs);
+            (
+                report.decisions_csv(),
+                obs.render_det_jsonl_labeled("chaos"),
+                report,
+            )
+        };
+        let (csv1, journal1, report1) = run(1);
+        let (csv8, journal8, report8) = run(8);
+        assert_eq!(report1, report8);
+        assert_eq!(csv1, csv8);
+        assert_eq!(journal1, journal8);
+        // The default campaign rate actually exercises the ladder …
+        let degraded: usize = report1.outcomes().iter().map(|o| o.degraded).sum();
+        assert!(degraded > 0, "no fault fired at the default rate");
+        // … while keeping service above the survival bar.
+        assert!(
+            report1.total_served() * 100 >= report1.total_events() * 95,
+            "served {}/{}",
+            report1.total_served(),
+            report1.total_events()
+        );
+    }
+
+    #[test]
+    fn fault_journal_events_match_decision_records() {
+        use clr_chaos::FaultRates;
+        let tenants = fleet();
+        let trace = generate_trace(&tenants, 17, 4_000.0, 100.0);
+        let config = ReplayConfig {
+            faults: FaultPlan::new(5, FaultRates::default_campaign()).unwrap(),
+            ..ReplayConfig::default()
+        };
+        let report = replay(&tenants, &trace, &config).unwrap();
+        let obs = Obs::new(ObsMode::Json);
+        report.emit_obs(&obs);
+        let events = obs.det_events();
+        let fault_events = events
+            .iter()
+            .filter(|e| matches!(e, Event::Fault { action, .. } if action != "quarantine"))
+            .count();
+        let quarantine_events = events
+            .iter()
+            .filter(|e| matches!(e, Event::Fault { action, .. } if action == "quarantine"))
+            .count();
+        let faults: usize = report.outcomes().iter().map(|o| o.faults).sum();
+        let quarantined: usize = report.outcomes().iter().map(|o| o.quarantined).sum();
+        assert!(faults > 0);
+        assert_eq!(fault_events, faults, "one fault event per absorbed fault");
+        assert_eq!(quarantine_events, quarantined);
     }
 
     #[test]

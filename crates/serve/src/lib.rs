@@ -25,7 +25,10 @@ mod snapshot;
 mod tenant;
 mod trace;
 
-pub use engine::{replay, DecisionRecord, ReplayConfig, ReplayError, ReplayReport, TenantOutcome};
+pub use clr_chaos::{FaultKind, FaultPlan, FaultPlanError, FaultRates};
+pub use engine::{
+    replay, DecisionRecord, ReplayConfig, ReplayError, ReplayReport, ServeStatus, TenantOutcome,
+};
 pub use snapshot::{
     fnv1a64, resolve_graph, resolve_platform, Snapshot, SnapshotError, FORMAT_VERSION, HEADER_LEN,
     MAGIC,

@@ -151,28 +151,75 @@ impl Trace {
             if line.is_empty() {
                 continue;
             }
-            let ln = i + 1;
-            let v = parse_json(line).map_err(|e| terr(ln, format!("bad event: {e}")))?;
-            let tenant = v
-                .get("tenant")
-                .and_then(Value::as_str)
-                .ok_or_else(|| terr(ln, "event without a `tenant` field"))?;
-            if !is_plain_name(tenant) {
-                return Err(terr(ln, format!("bad tenant name {tenant:?}")));
-            }
-            let field = |name: &str| {
-                v.get(name)
-                    .and_then(Value::as_f64)
-                    .ok_or_else(|| terr(ln, format!("event without a numeric `{name}` field")))
-            };
-            events.push(TraceEvent {
-                tenant: tenant.to_string(),
-                time: field("time")?,
-                spec: QosSpec::new(field("s_max")?, field("f_min")?),
-            });
+            events.push(parse_event_line(line, i + 1)?);
         }
         Ok(Self::new(events))
     }
+
+    /// Parses a JSONL trace document leniently: bad event lines are
+    /// skipped and reported instead of aborting the decode — the
+    /// skip-and-journal rung of the serve path's degradation ladder. The
+    /// returned errors are in line order, one per skipped line, so the
+    /// caller can journal each absorbed fault.
+    ///
+    /// The header is still mandatory: a document that does not identify
+    /// itself as a clr-trace is a wrong *file*, not a damaged one, and
+    /// parses to an empty trace with a single line-0/1 error.
+    pub fn from_jsonl_lenient(text: &str) -> (Self, Vec<TraceError>) {
+        let mut lines = text.lines().enumerate();
+        let Some((_, header)) = lines.find(|(_, l)| !l.trim().is_empty()) else {
+            return (
+                Self::default(),
+                vec![terr(0, "empty document (expected a clr-trace header)")],
+            );
+        };
+        let header_ok = parse_json(header.trim()).is_ok_and(|hv| {
+            hv.get("type").and_then(Value::as_str) == Some("clr-trace")
+                && hv.get("version").and_then(Value::as_u64) == Some(1)
+        });
+        if !header_ok {
+            return (
+                Self::default(),
+                vec![terr(1, "missing or unsupported clr-trace header")],
+            );
+        }
+        let mut events = Vec::new();
+        let mut errors = Vec::new();
+        for (i, line) in lines {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let ln = i + 1;
+            match parse_event_line(line, ln) {
+                Ok(event) => events.push(event),
+                Err(e) => errors.push(e),
+            }
+        }
+        (Self::new(events), errors)
+    }
+}
+
+/// Decodes one (non-header) trace event line.
+fn parse_event_line(line: &str, ln: usize) -> Result<TraceEvent, TraceError> {
+    let v = parse_json(line).map_err(|e| terr(ln, format!("bad event: {e}")))?;
+    let tenant = v
+        .get("tenant")
+        .and_then(Value::as_str)
+        .ok_or_else(|| terr(ln, "event without a `tenant` field"))?;
+    if !is_plain_name(tenant) {
+        return Err(terr(ln, format!("bad tenant name {tenant:?}")));
+    }
+    let field = |name: &str| {
+        v.get(name)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| terr(ln, format!("event without a numeric `{name}` field")))
+    };
+    Ok(TraceEvent {
+        tenant: tenant.to_string(),
+        time: field("time")?,
+        spec: QosSpec::new(field("s_max")?, field("f_min")?),
+    })
 }
 
 /// Tenant names travel inside JSON string literals without escaping, so
@@ -275,6 +322,46 @@ mod tests {
         let text =
             format!("{HEADER}\n{{\"tenant\":\"a b\",\"time\":1.0,\"s_max\":5.0,\"f_min\":0.5}}\n");
         assert!(Trace::from_jsonl(&text).is_err());
+    }
+
+    #[test]
+    fn lenient_decode_skips_and_reports_bad_lines() {
+        let good = Trace::new(vec![
+            ev("cam0", 1.0, 120.0, 0.9),
+            ev("nav", 2.0, 95.0, 0.95),
+            ev("cam0", 3.0, 110.0, 0.9),
+        ]);
+        let mut lines: Vec<String> = good.to_jsonl().lines().map(String::from).collect();
+        // Damage the middle event (line 3 of the document).
+        lines[2] = format!("X{}", &lines[2][1..]);
+        let text = format!("{}\n", lines.join("\n"));
+
+        assert!(Trace::from_jsonl(&text).is_err(), "strict decode aborts");
+        let (trace, skipped) = Trace::from_jsonl_lenient(&text);
+        assert_eq!(trace.len(), 2, "good lines survive");
+        assert_eq!(trace.events()[0], good.events()[0]);
+        assert_eq!(trace.events()[1], good.events()[2]);
+        assert_eq!(skipped.len(), 1);
+        assert_eq!(skipped[0].line, 3, "skip reports name their line");
+    }
+
+    #[test]
+    fn lenient_decode_on_clean_input_matches_strict() {
+        let good = Trace::new(vec![ev("a", 1.0, 10.0, 0.5), ev("b", 2.0, 20.0, 0.6)]);
+        let text = good.to_jsonl();
+        let (trace, skipped) = Trace::from_jsonl_lenient(&text);
+        assert_eq!(trace, Trace::from_jsonl(&text).unwrap());
+        assert!(skipped.is_empty());
+    }
+
+    #[test]
+    fn lenient_decode_still_requires_a_header() {
+        let (trace, errs) = Trace::from_jsonl_lenient("not a trace\n");
+        assert!(trace.is_empty());
+        assert_eq!(errs.len(), 1);
+        let (trace, errs) = Trace::from_jsonl_lenient("");
+        assert!(trace.is_empty());
+        assert_eq!(errs.len(), 1);
     }
 
     #[test]

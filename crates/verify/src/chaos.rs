@@ -1,0 +1,193 @@
+//! Chaos-campaign lints (`CLR07x`): fault-plan codec integrity, the
+//! campaign CSV schema, and the CSV ↔ journal quarantine-consistency
+//! law.
+//!
+//! A campaign produces two artifacts from one run — `campaign.csv`
+//! (per-cell survival counts) and `campaign.obs.jsonl` (one `fault`
+//! journal event per absorbed fault and per quarantined event). The
+//! engine emits exactly one quarantine `fault` event per quarantined
+//! decision, so the CSV's `quarantined` column must sum to the journal's
+//! quarantine event count; a mismatch means the artifacts come from
+//! different runs or were edited.
+
+use clr_chaos::{parse_campaign_csv, FaultPlan};
+use clr_obs::Event;
+
+use crate::{Diagnostic, LintCode, Report};
+
+/// Audits one fault-plan document ([`LintCode::FaultPlanRoundTripMismatch`],
+/// CLR070): it must parse, validate its rates, and re-encode to its
+/// exact input bytes.
+pub fn check_fault_plan(text: &str, artifact: &str) -> Report {
+    let mut report = Report::new();
+    let plan = match FaultPlan::from_text(text) {
+        Ok(plan) => plan,
+        Err(e) => {
+            report.push(Diagnostic::new(
+                LintCode::FaultPlanRoundTripMismatch,
+                artifact,
+                "plan",
+                e.to_string(),
+            ));
+            return report;
+        }
+    };
+    if plan.to_text() != text {
+        report.push(Diagnostic::new(
+            LintCode::FaultPlanRoundTripMismatch,
+            artifact,
+            "plan",
+            "decode/re-encode is not byte-identical",
+        ));
+    }
+    report
+}
+
+/// Audits one campaign CSV document ([`LintCode::CampaignCsvSchemaInvalid`],
+/// CLR071) against the shared 16-column schema, including the
+/// `survival ≡ served / events` consistency rule.
+pub fn check_campaign_csv(text: &str, artifact: &str) -> Report {
+    let mut report = Report::new();
+    if let Err(e) = parse_campaign_csv(text) {
+        report.push(Diagnostic::new(
+            LintCode::CampaignCsvSchemaInvalid,
+            artifact,
+            format!("line {}", e.line),
+            e.message,
+        ));
+    }
+    report
+}
+
+/// Cross-checks a campaign CSV against its journal
+/// ([`LintCode::QuarantineJournalMismatch`], CLR072): the CSV's
+/// `quarantined` totals must equal the journal's count of quarantine
+/// `fault` events. Schema failures in the CSV surface as CLR071.
+pub fn check_campaign_consistency(csv: &str, journal: &str, artifact: &str) -> Report {
+    let mut report = check_campaign_csv(csv, artifact);
+    if !report.is_empty() {
+        return report;
+    }
+    let rows = parse_campaign_csv(csv).expect("schema-checked above");
+    let csv_quarantined: usize = rows.iter().map(|r| r.quarantined).sum();
+    let journal_quarantined = journal
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .filter_map(|l| Event::from_json_line(l).ok())
+        .filter(|(_, event)| {
+            matches!(
+                event,
+                Event::Fault { kind, action, .. }
+                    if kind == "quarantine" && action == "quarantine"
+            )
+        })
+        .count();
+    if csv_quarantined != journal_quarantined {
+        report.push(Diagnostic::new(
+            LintCode::QuarantineJournalMismatch,
+            artifact,
+            "quarantine",
+            format!(
+                "CSV counts {csv_quarantined} quarantined events, \
+                 journal has {journal_quarantined} quarantine fault events"
+            ),
+        ));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clr_chaos::{FaultRates, CAMPAIGN_CSV_HEADER};
+
+    fn plan_text() -> String {
+        FaultPlan::new(7, FaultRates::default_campaign())
+            .unwrap()
+            .to_text()
+    }
+
+    fn csv_line(quarantined: usize) -> String {
+        let served = 100 - quarantined;
+        let survival = served as f64 / 100.0;
+        format!(
+            "budget@0.02,decision,budget,0.02,7,100,{served},{},4,{quarantined},0,4,4,0,0,{survival:?}",
+            served - 4
+        )
+    }
+
+    fn quarantine_event_line(seq: u64) -> String {
+        Event::Fault {
+            label: "t".into(),
+            layer: "decision".into(),
+            kind: "quarantine".into(),
+            tenant: "t".into(),
+            event: 1,
+            action: "quarantine".into(),
+        }
+        .to_json_line(seq)
+    }
+
+    #[test]
+    fn clean_plan_audits_clean() {
+        assert!(check_fault_plan(&plan_text(), "t").is_empty());
+    }
+
+    #[test]
+    fn garbage_plan_is_clr070() {
+        let report = check_fault_plan("not a plan", "t");
+        assert!(report.has_code(LintCode::FaultPlanRoundTripMismatch));
+        assert_eq!(report.exit_code(), 1);
+    }
+
+    #[test]
+    fn non_canonical_plan_encoding_is_clr070() {
+        let padded = format!("{}\n", plan_text());
+        assert!(check_fault_plan(&padded, "t").has_code(LintCode::FaultPlanRoundTripMismatch));
+    }
+
+    #[test]
+    fn clean_campaign_csv_audits_clean() {
+        let doc = format!("{CAMPAIGN_CSV_HEADER}\n{}\n", csv_line(2));
+        assert!(check_campaign_csv(&doc, "t").is_empty());
+    }
+
+    #[test]
+    fn malformed_campaign_csv_is_clr071() {
+        let report = check_campaign_csv("cell,layer\nbad\n", "t");
+        assert!(report.has_code(LintCode::CampaignCsvSchemaInvalid));
+        assert_eq!(report.exit_code(), 1);
+    }
+
+    #[test]
+    fn quarantine_counts_must_match_the_journal() {
+        let doc = format!("{CAMPAIGN_CSV_HEADER}\n{}\n", csv_line(2));
+        let journal = format!(
+            "{}\n{}\n",
+            quarantine_event_line(1),
+            quarantine_event_line(2)
+        );
+        assert!(check_campaign_consistency(&doc, &journal, "t").is_empty());
+
+        let short = format!("{}\n", quarantine_event_line(1));
+        let report = check_campaign_consistency(&doc, &short, "t");
+        assert!(report.has_code(LintCode::QuarantineJournalMismatch));
+        assert_eq!(report.exit_code(), 1);
+    }
+
+    #[test]
+    fn non_quarantine_fault_events_do_not_count() {
+        let doc = format!("{CAMPAIGN_CSV_HEADER}\n{}\n", csv_line(0));
+        let absorbed = Event::Fault {
+            label: "t".into(),
+            layer: "decision".into(),
+            kind: "budget".into(),
+            tenant: "t".into(),
+            event: 1,
+            action: "lkg".into(),
+        }
+        .to_json_line(1);
+        let journal = format!("{absorbed}\n");
+        assert!(check_campaign_consistency(&doc, &journal, "t").is_empty());
+    }
+}

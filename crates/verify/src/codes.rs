@@ -4,8 +4,8 @@
 //! Codes are grouped by pipeline stage: `CLR00x` task graphs, `CLR01x`
 //! platforms, `CLR02x` mappings/schedules, `CLR03x` design-point
 //! databases, `CLR04x` run-time policies, `CLR05x` observability
-//! journals, `CLR06x` serving snapshots. Codes are append-only — a
-//! retired lint's number is never reused.
+//! journals, `CLR06x` serving snapshots, `CLR07x` chaos campaigns.
+//! Codes are append-only — a retired lint's number is never reused.
 
 use crate::Severity;
 
@@ -125,11 +125,24 @@ pub enum LintCode {
     /// CLR064: a model descriptor names no bundled graph or platform, so
     /// this installation cannot replay the snapshot.
     SnapshotUnknownModel,
+
+    // ----- chaos campaigns (CLR07x) -------------------------------------
+    /// CLR070: a fault plan fails to parse, validate, or survive a
+    /// text-codec round trip byte-for-byte.
+    FaultPlanRoundTripMismatch,
+    /// CLR071: a campaign CSV violates the schema (header, field count,
+    /// numeric fields, or a `survival` column inconsistent with
+    /// `served / events`).
+    CampaignCsvSchemaInvalid,
+    /// CLR072: the campaign CSV's quarantine totals disagree with the
+    /// journal's quarantine `fault` events — the two artifacts describe
+    /// different runs.
+    QuarantineJournalMismatch,
 }
 
 impl LintCode {
     /// Every registered lint, in code order.
-    pub const ALL: [LintCode; 36] = [
+    pub const ALL: [LintCode; 39] = [
         LintCode::GraphCycle,
         LintCode::EdgeEndpointOutOfRange,
         LintCode::EmptyImplementationSet,
@@ -166,6 +179,9 @@ impl LintCode {
         LintCode::SnapshotIndexDivergence,
         LintCode::SnapshotRoundTripMismatch,
         LintCode::SnapshotUnknownModel,
+        LintCode::FaultPlanRoundTripMismatch,
+        LintCode::CampaignCsvSchemaInvalid,
+        LintCode::QuarantineJournalMismatch,
     ];
 
     /// The stable `CLRnnn` code string.
@@ -207,6 +223,9 @@ impl LintCode {
             LintCode::SnapshotIndexDivergence => "CLR062",
             LintCode::SnapshotRoundTripMismatch => "CLR063",
             LintCode::SnapshotUnknownModel => "CLR064",
+            LintCode::FaultPlanRoundTripMismatch => "CLR070",
+            LintCode::CampaignCsvSchemaInvalid => "CLR071",
+            LintCode::QuarantineJournalMismatch => "CLR072",
         }
     }
 
@@ -279,6 +298,15 @@ impl LintCode {
             }
             LintCode::SnapshotUnknownModel => {
                 "snapshot model descriptors should resolve to bundled models"
+            }
+            LintCode::FaultPlanRoundTripMismatch => {
+                "fault plans must validate and survive a codec round trip"
+            }
+            LintCode::CampaignCsvSchemaInvalid => {
+                "campaign CSVs must follow the 16-column survival schema"
+            }
+            LintCode::QuarantineJournalMismatch => {
+                "campaign quarantine totals must match the journal's fault events"
             }
         }
     }
@@ -367,6 +395,15 @@ impl LintCode {
             }
             LintCode::SnapshotUnknownModel => {
                 "use a bundled descriptor (jpeg, tgff:<tasks>:<seed>; dac19, tiny)"
+            }
+            LintCode::FaultPlanRoundTripMismatch => {
+                "regenerate with clr-chaos plan; do not hand-edit rates"
+            }
+            LintCode::CampaignCsvSchemaInvalid => {
+                "regenerate with clr-chaos campaign; do not hand-edit the CSV"
+            }
+            LintCode::QuarantineJournalMismatch => {
+                "keep campaign.csv and campaign.obs.jsonl from the same run"
             }
         }
     }

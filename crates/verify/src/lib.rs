@@ -32,6 +32,7 @@
 //! assert_eq!(report.exit_code(), 1);
 //! ```
 
+mod chaos;
 mod codes;
 mod database;
 mod diag;
@@ -42,6 +43,7 @@ mod platform;
 mod policy;
 mod snapshot;
 
+pub use chaos::{check_campaign_consistency, check_campaign_csv, check_fault_plan};
 pub use codes::LintCode;
 pub use database::{check_database, check_database_standalone, check_drc_matrix};
 pub use diag::{Diagnostic, Report, Severity};

@@ -7,6 +7,10 @@
 //! clr-verify [--json] db <FILE>..     decode and lint design-point databases
 //! clr-verify [--json] journal <FILE>.. lint observability journals (*.obs.jsonl)
 //! clr-verify [--json] snapshot <FILE>.. lint serving snapshots (*.snap)
+//! clr-verify [--json] plan <FILE>..   lint fault plans (clr-fault-plan v1)
+//! clr-verify [--json] campaign <CSV> [JOURNAL]
+//!                                     lint a campaign CSV, cross-checking
+//!                                     quarantine counts against its journal
 //! clr-verify list                     print the lint registry
 //! ```
 //!
@@ -27,12 +31,14 @@ use clr_taskgraph::{
     fork_join_graph, jpeg_encoder, parse_tgff, TgffConfig, TgffGenerator, TgffParseOptions,
 };
 use clr_verify::{
-    check_aura_subsumes_ura, check_database, check_database_standalone, check_drc_matrix,
-    check_journal, check_mapping, check_platform, check_platform_supports, check_policy_params,
-    check_schedule, check_snapshot, check_task_graph, LintCode, Report,
+    check_aura_subsumes_ura, check_campaign_consistency, check_campaign_csv, check_database,
+    check_database_standalone, check_drc_matrix, check_fault_plan, check_journal, check_mapping,
+    check_platform, check_platform_supports, check_policy_params, check_schedule, check_snapshot,
+    check_task_graph, LintCode, Report,
 };
 
-const USAGE: &str = "usage: clr-verify [--json] <all | tgff FILE.. | db FILE.. | journal FILE.. | snapshot FILE.. | list>";
+const USAGE: &str = "usage: clr-verify [--json] <all | tgff FILE.. | db FILE.. | journal FILE.. \
+| snapshot FILE.. | plan FILE.. | campaign CSV [JOURNAL] | list>";
 
 fn main() -> ExitCode {
     let mut json = false;
@@ -76,6 +82,14 @@ fn main() -> ExitCode {
             Err(code) => return code,
         },
         "snapshot" => match audit_binary_files(operands, audit_snapshot_file) {
+            Ok(r) => r,
+            Err(code) => return code,
+        },
+        "plan" => match audit_files(operands, audit_plan_file) {
+            Ok(r) => r,
+            Err(code) => return code,
+        },
+        "campaign" => match audit_campaign(operands) {
             Ok(r) => r,
             Err(code) => return code,
         },
@@ -187,6 +201,45 @@ fn audit_db_file(text: &str, path: &str) -> Result<Report, String> {
         ExplorationMode::Full,
         RedConfig::default().tolerance,
     ))
+}
+
+/// Lints one fault-plan document (CLR070).
+fn audit_plan_file(text: &str, path: &str) -> Result<Report, String> {
+    eprintln!("clr-verify: {path}: fault plan");
+    Ok(check_fault_plan(text, path))
+}
+
+/// Lints a campaign CSV (CLR071) and, when a journal operand is given,
+/// the quarantine-consistency law between the two (CLR072).
+fn audit_campaign(operands: &[String]) -> Result<Report, ExitCode> {
+    let (csv_path, journal_path) = match operands {
+        [csv] => (csv, None),
+        [csv, journal] => (csv, Some(journal)),
+        _ => {
+            eprintln!("{USAGE}");
+            return Err(ExitCode::from(2));
+        }
+    };
+    let read = |path: &String| {
+        std::fs::read_to_string(path).map_err(|e| {
+            eprintln!("clr-verify: cannot read {path}: {e}");
+            ExitCode::from(2)
+        })
+    };
+    let csv = read(csv_path)?;
+    eprintln!(
+        "clr-verify: {csv_path}: campaign CSV ({} lines)",
+        csv.lines().count()
+    );
+    match journal_path {
+        None => Ok(check_campaign_csv(&csv, csv_path)),
+        Some(journal_path) => {
+            let journal = read(journal_path)?;
+            let mut report = check_campaign_consistency(&csv, &journal, csv_path);
+            report.merge(check_journal(&journal, journal_path));
+            Ok(report)
+        }
+    }
 }
 
 /// Lints one observability journal (either section; see

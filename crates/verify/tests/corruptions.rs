@@ -79,7 +79,7 @@ fn dominated_pareto_insertion_fires_clr031() {
     let (_, _, _, mut db) = explored_db();
     // Forge a "Pareto" point strictly worse than point 0 on every Full-mode
     // objective (makespan, error rate, energy).
-    let base = db.point(0).clone();
+    let base = db.get(0).unwrap().clone();
     let mut worse = base.clone();
     worse.metrics.makespan += 10.0;
     worse.metrics.reliability = (base.metrics.reliability - 0.05).max(0.0);
@@ -106,7 +106,7 @@ fn degraded_red_extra_fires_clr032() {
     let worst_makespan = worst(|m| m.makespan);
     let worst_error = worst(clr_sched::SystemMetrics::error_rate);
     let worst_energy = worst(|m| m.energy);
-    let mut extra = db.point(0).clone();
+    let mut extra = db.get(0).unwrap().clone();
     extra.metrics.makespan = worst_makespan * 2.0;
     extra.metrics.reliability = (1.0 - worst_error * 2.0).clamp(0.0, 1.0);
     extra.metrics.energy = worst_energy * 2.0;
@@ -119,7 +119,7 @@ fn degraded_red_extra_fires_clr032() {
 #[test]
 fn duplicate_insertion_fires_clr033_as_warning() {
     let (_, _, _, mut db) = explored_db();
-    db.push(db.point(0).clone()); // push() skips the dedup of push_if_new
+    db.push(db.get(0).unwrap().clone()); // push() skips the dedup of push_if_new
     let report = check_database_standalone(&db, ExplorationMode::Full, TOLERANCE);
     assert!(
         report.has_code(LintCode::DuplicatePoints),
@@ -171,7 +171,7 @@ fn tampered_metrics_fire_clr036() {
     let (graph, platform, fm, mut db) = explored_db();
     // Shave the stored makespan: still in range, still non-dominated, but
     // no longer what the mapping actually evaluates to.
-    let mut p = db.point(0).clone();
+    let mut p = db.get(0).unwrap().clone();
     p.metrics.makespan += 5.0;
     p.metrics.energy += 5.0;
     db.push(p);
@@ -196,8 +196,8 @@ fn tampered_drc_cell_fires_clr037() {
                     reconfiguration_cost(
                         &graph,
                         &platform,
-                        &db.point(i).mapping,
-                        &db.point(j).mapping,
+                        &db.get(i).unwrap().mapping,
+                        &db.get(j).unwrap().mapping,
                     )
                     .total()
                 })

@@ -9,7 +9,6 @@
 //! Run with: `cargo run --release --example design_space_explorer`
 
 use hybrid_clr::prelude::*;
-use hybrid_clr::{DbChoice, HybridFlow};
 
 fn main() {
     let graph = TgffGenerator::new(TgffConfig::with_tasks(30)).generate(11);

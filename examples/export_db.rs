@@ -5,12 +5,7 @@
 //! Run with: `cargo run --release --example export_db [OUT_PATH] [SNAP_PATH]`
 //! (defaults: `target/based.db`, `target/based.snap`).
 
-use hybrid_clr::dse::{explore_based, DesignPointDb, DseConfig, ExplorationMode};
-use hybrid_clr::moea::GaParams;
 use hybrid_clr::prelude::*;
-use hybrid_clr::reliability::ConfigSpace;
-use hybrid_clr::serve::Snapshot;
-use hybrid_clr::taskgraph::jpeg_encoder;
 
 fn main() {
     let out = std::env::args()

@@ -9,7 +9,6 @@
 //! Run with: `cargo run --release --example fault_injection`
 
 use hybrid_clr::prelude::*;
-use hybrid_clr::reliability::FaultInjector;
 
 fn main() {
     let pe = PeType::new("core", PeKind::GeneralPurpose)

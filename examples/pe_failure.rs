@@ -9,8 +9,6 @@
 //!
 //! Run with: `cargo run --release --example pe_failure`
 
-use hybrid_clr::core::scenario::{ScenarioConfig, ScenarioSuite};
-use hybrid_clr::core::DbChoice;
 use hybrid_clr::prelude::*;
 
 fn main() {

@@ -8,7 +8,6 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use hybrid_clr::prelude::*;
-use hybrid_clr::{DbChoice, HybridFlow};
 
 fn main() {
     // 1. The application and platform.

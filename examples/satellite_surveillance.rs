@@ -15,7 +15,6 @@
 //! Run with: `cargo run --release --example satellite_surveillance`
 
 use hybrid_clr::prelude::*;
-use hybrid_clr::{DbChoice, HybridFlow};
 
 /// One orbit phase: a label and the QoS requirement in force.
 struct Phase {
@@ -103,7 +102,7 @@ fn main() {
             Some(next) => {
                 let drc = ctx.drc(current, next);
                 current = next;
-                let m = &db.point(current).metrics;
+                let m = &db.get(current).unwrap().metrics;
                 dynamic_energy_sum += m.energy;
                 println!(
                     "{:<44} -> point {:>2}: energy {:>7.0}, reliability {:.5}, dRC paid {:.1}",
@@ -111,7 +110,7 @@ fn main() {
                 );
             }
             None => {
-                dynamic_energy_sum += db.point(current).metrics.energy;
+                dynamic_energy_sum += db.get(current).unwrap().metrics.energy;
                 println!(
                     "{:<44} -> no stored point satisfies the requirement; holding point {current}",
                     phase.name

@@ -45,11 +45,11 @@ fn policies_only_choose_feasible_points() {
 
     let ura = UraPolicy::new(0.5).unwrap();
     if let Some(choice) = ura.select(&ctx, 0, &spec) {
-        assert!(db.point(choice).satisfies(&spec));
+        assert!(db.get(choice).unwrap().satisfies(&spec));
     }
     let hv = HvPolicy::new();
     if let Some(choice) = hv.select(&ctx, &spec) {
-        assert!(db.point(choice).satisfies(&spec));
+        assert!(db.get(choice).unwrap().satisfies(&spec));
     }
 }
 

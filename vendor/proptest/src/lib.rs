@@ -68,7 +68,7 @@ pub mod collection {
     use rand::rngs::StdRng;
     use rand::Rng;
 
-    /// Length specifications accepted by [`vec`]: an exact length or a
+    /// Length specifications accepted by [`vec()`]: an exact length or a
     /// half-open range of lengths.
     pub trait SizeRange {
         /// Draws a concrete length.
