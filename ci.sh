@@ -41,6 +41,14 @@
 #                                    and journals must be byte-identical and
 #                                    pass the campaign lints (CLR071/072)
 #                                    plus the CLR05x journal lints
+#  10. clr-audit (source lints)    — workspace-wide CLR1xx source audit:
+#                                    wall-clock reads, unordered containers,
+#                                    partial_cmp float sorts, unseeded RNGs,
+#                                    raw spawns, panicking decision paths,
+#                                    lossy codec casts, deprecated APIs and
+#                                    annotation hygiene; any deny finding
+#                                    fails the gate, and the JSON report is
+#                                    left in target/ next to the journals
 #
 # Any failure aborts the script (set -e); clr-verify exits nonzero on
 # deny-level findings, so a model regression fails CI like a test would.
@@ -142,5 +150,12 @@ cmp "$CH1/campaign.csv" "$CH8/campaign.csv" \
 cmp "$CH1/campaign.obs.jsonl" "$CH8/campaign.obs.jsonl" \
   || { echo "campaign journals diverged across thread counts"; exit 1; }
 "$VERIFY" campaign "$CH8/campaign.csv" "$CH8/campaign.obs.jsonl"
+
+step "clr-audit (workspace-wide CLR1xx source lints)"
+cargo build --release --quiet -p clr-audit --bin clr-audit
+AUDIT=target/release/clr-audit
+AUDIT_REPORT=target/ci-audit.json
+"$AUDIT" --json > "$AUDIT_REPORT" \
+  || { cat "$AUDIT_REPORT"; echo "clr-audit found deny-level source findings"; exit 1; }
 
 printf '\nci.sh: all gates passed.\n'

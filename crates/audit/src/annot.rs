@@ -1,0 +1,201 @@
+//! `clr-audit:` control comments: explicit, validated suppression.
+//!
+//! Two forms exist, both line-comment only (doc comments cannot carry
+//! annotations — their content starts with `/` or `!`, which fails the
+//! prefix match by construction):
+//!
+//! ```text
+//! // clr-audit: allow(CLR102) comparator feeds no persisted output
+//! // clr-audit: nondet(begin) timing is reporting-only
+//! // clr-audit: nondet(end)
+//! ```
+//!
+//! `allow` suppresses one code on its own line or the next
+//! code-bearing line; `nondet(begin)`/`nondet(end)` bracket a
+//! wall-clock region that feeds only the journal's nondeterministic
+//! section.
+//!
+//! The tool validates its own escape hatch: a reasonless or unparsable
+//! annotation is CLR109, an allow that suppresses nothing is CLR108,
+//! and an unbalanced nondet section is CLR110. The meta codes
+//! CLR108–CLR110 can never themselves be allowed.
+
+use crate::codes::AuditCode;
+
+/// The marker every control comment starts with (after trimming).
+pub const MARKER: &str = "clr-audit:";
+
+/// One parsed control comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Annotation {
+    /// `allow(CLRnnn) reason` — suppress `code` on the annotated line.
+    Allow {
+        /// The suppressed lint.
+        code: AuditCode,
+        /// The mandatory human justification.
+        reason: String,
+    },
+    /// `nondet(begin) reason` — opens a wall-clock-permitted region.
+    NondetBegin {
+        /// The mandatory human justification.
+        reason: String,
+    },
+    /// `nondet(end)` — closes the innermost open region.
+    NondetEnd,
+}
+
+impl Annotation {
+    /// Renders the annotation back to its canonical comment text
+    /// (without the leading `//`). Parsing the result yields the same
+    /// annotation — the property the round-trip proptest pins down.
+    pub fn render(&self) -> String {
+        match self {
+            Annotation::Allow { code, reason } => {
+                format!("{MARKER} allow({}) {reason}", code.code())
+            }
+            Annotation::NondetBegin { reason } => format!("{MARKER} nondet(begin) {reason}"),
+            Annotation::NondetEnd => format!("{MARKER} nondet(end)"),
+        }
+    }
+}
+
+/// Why a control comment failed to parse (reported as CLR109).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnnotationError {
+    /// Human-readable cause.
+    pub detail: String,
+}
+
+/// Parses a line comment's content (the text after `//`).
+///
+/// Returns `None` when the comment is not a control comment at all,
+/// `Some(Ok(..))` for a valid annotation and `Some(Err(..))` for a
+/// malformed one.
+pub fn parse_comment(text: &str) -> Option<Result<Annotation, AnnotationError>> {
+    let trimmed = text.trim_start();
+    let rest = trimmed.strip_prefix(MARKER)?;
+    Some(parse_directive(rest.trim()))
+}
+
+fn parse_directive(rest: &str) -> Result<Annotation, AnnotationError> {
+    let err = |detail: String| Err(AnnotationError { detail });
+    if let Some(args) = rest.strip_prefix("allow(") {
+        let Some(close) = args.find(')') else {
+            return err("allow(: missing closing parenthesis".to_string());
+        };
+        let code_text = args[..close].trim();
+        let reason = args[close + 1..].trim();
+        let Some(code) = AuditCode::from_code(code_text) else {
+            return err(format!("allow names unknown code {code_text:?}"));
+        };
+        if code.is_meta() {
+            return err(format!(
+                "{} is an annotation-hygiene lint and cannot be allowed",
+                code.code()
+            ));
+        }
+        if reason.is_empty() {
+            return err(format!("allow({code_text}) carries no reason"));
+        }
+        return Ok(Annotation::Allow {
+            code,
+            reason: reason.to_string(),
+        });
+    }
+    if let Some(args) = rest.strip_prefix("nondet(begin)") {
+        let reason = args.trim();
+        if reason.is_empty() {
+            return err("nondet(begin) carries no reason".to_string());
+        }
+        return Ok(Annotation::NondetBegin {
+            reason: reason.to_string(),
+        });
+    }
+    if rest.trim_end() == "nondet(end)" || rest.starts_with("nondet(end)") {
+        return Ok(Annotation::NondetEnd);
+    }
+    err(format!(
+        "unrecognized directive {rest:?} (expected allow(CLR1xx) <reason>, \
+         nondet(begin) <reason>, or nondet(end))"
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn non_control_comments_are_ignored() {
+        assert!(parse_comment(" ordinary comment").is_none());
+        assert!(parse_comment("! doc comment body").is_none());
+        assert!(parse_comment("/ outer doc body").is_none());
+        // Doc-comment content always starts with `/` or `!`, so an
+        // annotation shown *inside* docs can never be live.
+        assert!(parse_comment("/ clr-audit: allow(CLR102) example").is_none());
+    }
+
+    #[test]
+    fn allow_parses_code_and_reason() {
+        let a = parse_comment(" clr-audit: allow(CLR102) comparator is test-only")
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            a,
+            Annotation::Allow {
+                code: AuditCode::PartialCmpOnFloats,
+                reason: "comparator is test-only".to_string(),
+            }
+        );
+    }
+
+    #[test]
+    fn reasonless_unknown_and_meta_allows_are_malformed() {
+        for bad in [
+            "clr-audit: allow(CLR102)",
+            "clr-audit: allow(CLR102)   ",
+            "clr-audit: allow(CLR999) whatever",
+            "clr-audit: allow(CLR031) wrong family",
+            "clr-audit: allow(CLR108) allowing the allow lint",
+            "clr-audit: allow(CLR102 no close",
+            "clr-audit: disable(CLR102) unknown verb",
+            "clr-audit: nondet(begin)",
+        ] {
+            assert!(
+                parse_comment(bad).unwrap().is_err(),
+                "{bad} should be malformed"
+            );
+        }
+    }
+
+    #[test]
+    fn nondet_markers_parse() {
+        assert_eq!(
+            parse_comment("clr-audit: nondet(begin) wall timers feed only the nondet journal")
+                .unwrap()
+                .unwrap(),
+            Annotation::NondetBegin {
+                reason: "wall timers feed only the nondet journal".to_string()
+            }
+        );
+        assert_eq!(
+            parse_comment("clr-audit: nondet(end)").unwrap().unwrap(),
+            Annotation::NondetEnd
+        );
+    }
+
+    #[test]
+    fn render_round_trips() {
+        for a in [
+            Annotation::Allow {
+                code: AuditCode::WallClock,
+                reason: "reporting only".to_string(),
+            },
+            Annotation::NondetBegin {
+                reason: "timing loop".to_string(),
+            },
+            Annotation::NondetEnd,
+        ] {
+            assert_eq!(parse_comment(&a.render()).unwrap().unwrap(), a);
+        }
+    }
+}

@@ -1,0 +1,345 @@
+//! Findings, reports, renderers and the warn baseline.
+
+use std::fmt;
+
+use crate::codes::{AuditCode, Severity};
+
+/// One source finding: a lint code anchored to a `file:line` span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The violated lint.
+    pub code: AuditCode,
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// What exactly was observed.
+    pub detail: String,
+}
+
+impl Finding {
+    /// The severity inherited from the lint code.
+    pub fn severity(&self) -> Severity {
+        self.code.severity()
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] {}:{}: {}\n  hint: {}",
+            self.code.code(),
+            self.severity(),
+            self.path,
+            self.line,
+            self.detail,
+            self.code.fix_hint()
+        )
+    }
+}
+
+/// An accumulated audit over one or more source files.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AuditReport {
+    findings: Vec<Finding>,
+    files: usize,
+    grandfathered: usize,
+}
+
+impl AuditReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorbs one file's findings and bumps the scanned-file count.
+    pub fn absorb_file(&mut self, findings: Vec<Finding>) {
+        self.findings.extend(findings);
+        self.files += 1;
+    }
+
+    /// All findings, sorted by `(path, line, code)`.
+    pub fn findings(&self) -> &[Finding] {
+        &self.findings
+    }
+
+    /// Number of files scanned.
+    pub fn files_scanned(&self) -> usize {
+        self.files
+    }
+
+    /// Number of warn findings removed by the baseline.
+    pub fn grandfathered(&self) -> usize {
+        self.grandfathered
+    }
+
+    /// Number of deny-level findings.
+    pub fn deny_count(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|d| d.severity() == Severity::Deny)
+            .count()
+    }
+
+    /// Number of warn-level findings (after baseline subtraction).
+    pub fn warn_count(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|d| d.severity() == Severity::Warn)
+            .count()
+    }
+
+    /// `true` if some finding carries the given code.
+    pub fn has_code(&self, code: AuditCode) -> bool {
+        self.findings.iter().any(|d| d.code == code)
+    }
+
+    /// The process exit code: `0` clean or warn-only, `1` on any deny.
+    pub fn exit_code(&self) -> i32 {
+        i32::from(self.deny_count() > 0)
+    }
+
+    /// Sorts findings into the canonical `(path, line, code)` order so
+    /// reports are byte-identical across directory-walk orders.
+    pub fn finish(&mut self) {
+        self.findings
+            .sort_by(|a, b| (&a.path, a.line, a.code).cmp(&(&b.path, b.line, b.code)));
+    }
+
+    /// Subtracts baseline-granted warn findings (deny findings are
+    /// never grandfatherable), recording how many were dropped.
+    pub fn apply_baseline(&mut self, baseline: &Baseline) {
+        let mut budget = baseline.entries.clone();
+        let mut kept = Vec::with_capacity(self.findings.len());
+        for finding in self.findings.drain(..) {
+            let grandfathered = finding.severity() == Severity::Warn
+                && budget.iter_mut().any(|(code, path, left)| {
+                    let hit = *code == finding.code && *path == finding.path && *left > 0;
+                    if hit {
+                        *left -= 1;
+                    }
+                    hit
+                });
+            if grandfathered {
+                self.grandfathered += 1;
+            } else {
+                kept.push(finding);
+            }
+        }
+        self.findings = kept;
+    }
+
+    /// Renders the report for humans.
+    pub fn render_human(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for d in &self.findings {
+            let _ = writeln!(out, "{d}");
+        }
+        let _ = writeln!(
+            out,
+            "{} finding(s) over {} file(s): {} deny, {} warn ({} grandfathered)",
+            self.findings.len(),
+            self.files,
+            self.deny_count(),
+            self.warn_count(),
+            self.grandfathered
+        );
+        out
+    }
+
+    /// Renders the report as a JSON document.
+    pub fn render_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("{\"findings\":[");
+        for (i, d) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"code\":{},\"severity\":{},\"file\":{},\"line\":{},\"detail\":{},\"hint\":{}}}",
+                json_string(d.code.code()),
+                json_string(&d.severity().to_string()),
+                json_string(&d.path),
+                d.line,
+                json_string(&d.detail),
+                json_string(d.code.fix_hint()),
+            );
+        }
+        let _ = write!(
+            out,
+            "],\"files\":{},\"deny\":{},\"warn\":{},\"grandfathered\":{}}}",
+            self.files,
+            self.deny_count(),
+            self.warn_count(),
+            self.grandfathered
+        );
+        out
+    }
+}
+
+/// The checked-in grandfather list for warn findings.
+///
+/// Format: one `<code> <path> <max-count>` entry per line; `#` starts a
+/// comment. An entry tolerates up to `max-count` findings of `code` in
+/// `path` — counts rather than line numbers, so unrelated edits do not
+/// invalidate the baseline. Deny codes in a baseline are rejected: the
+/// baseline exists to grandfather warns, never to bypass the gate.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    entries: Vec<(AuditCode, String, usize)>,
+}
+
+impl Baseline {
+    /// Parses a baseline document.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the offending line when an entry
+    /// is malformed, names an unknown code, or names a deny-level code.
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let mut entries = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            let [code_text, path, count] = fields.as_slice() else {
+                return Err(format!(
+                    "baseline line {}: expected `<code> <path> <max-count>`, got {raw:?}",
+                    idx + 1
+                ));
+            };
+            let Some(code) = AuditCode::from_code(code_text) else {
+                return Err(format!(
+                    "baseline line {}: unknown code {code_text:?}",
+                    idx + 1
+                ));
+            };
+            if code.severity() == Severity::Deny {
+                return Err(format!(
+                    "baseline line {}: {} is deny-level and cannot be grandfathered",
+                    idx + 1,
+                    code.code()
+                ));
+            }
+            let count: usize = count
+                .parse()
+                .map_err(|_| format!("baseline line {}: bad count {count:?}", idx + 1))?;
+            entries.push((code, (*path).to_string(), count));
+        }
+        Ok(Self { entries })
+    }
+
+    /// `true` when the baseline grants nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Escapes a string into a JSON string literal (RFC 8259 §7).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(code: AuditCode, path: &str, line: usize) -> Finding {
+        Finding {
+            code,
+            path: path.to_string(),
+            line,
+            detail: "x".to_string(),
+        }
+    }
+
+    fn sample() -> AuditReport {
+        let mut r = AuditReport::new();
+        r.absorb_file(vec![
+            finding(AuditCode::PartialCmpOnFloats, "b.rs", 9),
+            finding(AuditCode::LossyCastInCodec, "a.rs", 3),
+        ]);
+        r.finish();
+        r
+    }
+
+    #[test]
+    fn counts_ordering_and_exit_code() {
+        let r = sample();
+        assert_eq!(r.deny_count(), 1);
+        assert_eq!(r.warn_count(), 1);
+        assert_eq!(r.exit_code(), 1);
+        assert_eq!(r.findings()[0].path, "a.rs", "sorted by path first");
+        assert!(r.has_code(AuditCode::LossyCastInCodec));
+    }
+
+    #[test]
+    fn baseline_grandfathers_warns_but_never_denies() {
+        let mut r = sample();
+        let b = Baseline::from_text("CLR106 a.rs 1\n").unwrap();
+        r.apply_baseline(&b);
+        assert_eq!(r.warn_count(), 0);
+        assert_eq!(r.grandfathered(), 1);
+        assert_eq!(r.deny_count(), 1, "deny findings survive any baseline");
+    }
+
+    #[test]
+    fn baseline_counts_cap_the_grandfathering() {
+        let mut r = AuditReport::new();
+        r.absorb_file(vec![
+            finding(AuditCode::LossyCastInCodec, "a.rs", 1),
+            finding(AuditCode::LossyCastInCodec, "a.rs", 2),
+        ]);
+        r.finish();
+        let b = Baseline::from_text("# comment\nCLR106 a.rs 1 # trailing\n\n").unwrap();
+        r.apply_baseline(&b);
+        assert_eq!(r.warn_count(), 1);
+        assert_eq!(r.grandfathered(), 1);
+    }
+
+    #[test]
+    fn baselines_reject_deny_codes_and_junk() {
+        assert!(Baseline::from_text("CLR102 a.rs 1").is_err());
+        assert!(Baseline::from_text("CLR999 a.rs 1").is_err());
+        assert!(Baseline::from_text("CLR106 a.rs lots").is_err());
+        assert!(Baseline::from_text("CLR106 a.rs").is_err());
+        assert!(Baseline::from_text("# only comments\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn json_rendering_is_well_formed() {
+        let json = sample().render_json();
+        assert!(json.starts_with("{\"findings\":["));
+        assert!(json.ends_with("\"files\":1,\"deny\":1,\"warn\":1,\"grandfathered\":0}"));
+        assert!(json.contains("\"code\":\"CLR102\""));
+        assert!(json.contains("\"line\":9"));
+    }
+
+    #[test]
+    fn json_escaping_handles_specials() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+}

@@ -1,0 +1,70 @@
+//! Properties of the suppression machinery: annotations render/parse as
+//! a lossless round trip, and an `allow` never suppresses a different
+//! code than the one it names.
+
+use clr_audit::{audit_source, parse_comment, Annotation, AuditCode};
+use proptest::prelude::*;
+
+/// Maps a draw onto one of the suppressible (non-meta) codes.
+fn non_meta_code(idx: usize) -> AuditCode {
+    let pool: Vec<AuditCode> = AuditCode::ALL
+        .iter()
+        .copied()
+        .filter(|c| !c.is_meta())
+        .collect();
+    pool[idx % pool.len()]
+}
+
+proptest! {
+    #[test]
+    fn allow_annotations_render_parse_round_trip(idx in 0usize..64, n in 0u32..1_000_000) {
+        let annotation = Annotation::Allow {
+            code: non_meta_code(idx),
+            reason: format!("justification-{n}"),
+        };
+        let parsed = parse_comment(&annotation.render()).unwrap().unwrap();
+        prop_assert_eq!(parsed, annotation);
+    }
+
+    #[test]
+    fn nondet_annotations_render_parse_round_trip(n in 0u32..1_000_000) {
+        let begin = Annotation::NondetBegin {
+            reason: format!("timing-block-{n}"),
+        };
+        prop_assert_eq!(parse_comment(&begin.render()).unwrap().unwrap(), begin);
+        prop_assert_eq!(
+            parse_comment(&Annotation::NondetEnd.render()).unwrap().unwrap(),
+            Annotation::NondetEnd
+        );
+    }
+
+    #[test]
+    fn an_allow_suppresses_only_the_code_it_names(idx in 0usize..64, n in 0u32..1_000_000) {
+        let named = non_meta_code(idx);
+        // One seeded CLR102 violation, guarded by allow(<named>).
+        let source = format!(
+            "fn f(v: &mut Vec<f64>) {{\n    \
+             // clr-audit: allow({}) reason-{n}\n    \
+             v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}}\n",
+            named.code()
+        );
+        let fired: Vec<&str> = audit_source("crates/x/src/lib.rs", &source)
+            .iter()
+            .map(|f| f.code.code())
+            .collect();
+        if named == AuditCode::PartialCmpOnFloats {
+            prop_assert!(
+                fired.is_empty(),
+                "allow(CLR102) must suppress the seeded violation, got {fired:?}"
+            );
+        } else {
+            // The violation survives, and the mismatched allow dangles.
+            prop_assert_eq!(
+                &fired,
+                &["CLR108", "CLR102"],
+                "allow({}) must not touch CLR102",
+                named.code()
+            );
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Every registered CLR1xx code has a seeded-violation fixture that
+//! fires it exactly once — the registry can never grow a code without a
+//! proof that the scanner actually detects it.
+
+use clr_audit::{audit_source, AuditCode};
+
+/// Audits a fixture under a virtual path (path-scoped rules need one)
+/// and asserts exactly one finding with the expected code.
+fn assert_fires_once(code: AuditCode, virtual_path: &str, source: &str) {
+    let findings = audit_source(virtual_path, source);
+    let hits: Vec<_> = findings.iter().filter(|f| f.code == code).collect();
+    assert_eq!(
+        hits.len(),
+        1,
+        "{} should fire exactly once in {virtual_path}, got {findings:?}",
+        code.code()
+    );
+    assert_eq!(
+        findings.len(),
+        1,
+        "fixture for {} must seed no other finding, got {findings:?}",
+        code.code()
+    );
+    assert_eq!(hits[0].path, virtual_path);
+    assert!(hits[0].line > 0);
+}
+
+#[test]
+fn clr100_wall_clock() {
+    assert_fires_once(
+        AuditCode::WallClock,
+        "crates/x/src/lib.rs",
+        include_str!("fixtures/clr100.rs"),
+    );
+}
+
+#[test]
+fn clr101_unordered_container() {
+    assert_fires_once(
+        AuditCode::UnorderedContainer,
+        "crates/x/src/lib.rs",
+        include_str!("fixtures/clr101.rs"),
+    );
+}
+
+#[test]
+fn clr102_partial_cmp() {
+    assert_fires_once(
+        AuditCode::PartialCmpOnFloats,
+        "crates/x/src/lib.rs",
+        include_str!("fixtures/clr102.rs"),
+    );
+}
+
+#[test]
+fn clr103_unseeded_rng() {
+    assert_fires_once(
+        AuditCode::UnseededRng,
+        "crates/x/src/lib.rs",
+        include_str!("fixtures/clr103.rs"),
+    );
+}
+
+#[test]
+fn clr104_raw_thread_spawn() {
+    assert_fires_once(
+        AuditCode::RawThreadSpawn,
+        "crates/x/src/lib.rs",
+        include_str!("fixtures/clr104.rs"),
+    );
+}
+
+#[test]
+fn clr105_panic_in_decision_path() {
+    // Fires only under a decision-path virtual location.
+    let source = include_str!("fixtures/clr105.rs");
+    assert!(audit_source("crates/x/src/lib.rs", source).is_empty());
+    assert_fires_once(
+        AuditCode::PanicInDecisionPath,
+        "crates/chaos/src/injector.rs",
+        source,
+    );
+}
+
+#[test]
+fn clr106_lossy_cast_in_codec() {
+    // Fires only under a codec virtual location.
+    let source = include_str!("fixtures/clr106.rs");
+    assert!(audit_source("crates/x/src/lib.rs", source).is_empty());
+    assert_fires_once(
+        AuditCode::LossyCastInCodec,
+        "crates/dse/src/codec.rs",
+        source,
+    );
+}
+
+#[test]
+fn clr107_deprecated_api() {
+    assert_fires_once(
+        AuditCode::DeprecatedApi,
+        "crates/x/src/lib.rs",
+        include_str!("fixtures/clr107.rs"),
+    );
+}
+
+#[test]
+fn clr108_dangling_allow() {
+    assert_fires_once(
+        AuditCode::DanglingAllow,
+        "crates/x/src/lib.rs",
+        include_str!("fixtures/clr108.rs"),
+    );
+}
+
+#[test]
+fn clr109_malformed_annotation() {
+    assert_fires_once(
+        AuditCode::MalformedAnnotation,
+        "crates/x/src/lib.rs",
+        include_str!("fixtures/clr109.rs"),
+    );
+}
+
+#[test]
+fn clr110_unbalanced_nondet() {
+    assert_fires_once(
+        AuditCode::UnbalancedNondetSection,
+        "crates/x/src/lib.rs",
+        include_str!("fixtures/clr110.rs"),
+    );
+}
+
+#[test]
+fn every_registered_code_has_a_fixture_test() {
+    // The fixture files are named after the codes; this meta-check keeps
+    // the set in lockstep with the registry so a new code cannot land
+    // without a seeded proof.
+    let fixture_names = [
+        "clr100.rs",
+        "clr101.rs",
+        "clr102.rs",
+        "clr103.rs",
+        "clr104.rs",
+        "clr105.rs",
+        "clr106.rs",
+        "clr107.rs",
+        "clr108.rs",
+        "clr109.rs",
+        "clr110.rs",
+    ];
+    assert_eq!(fixture_names.len(), AuditCode::ALL.len());
+    for (name, code) in fixture_names.iter().zip(AuditCode::ALL) {
+        assert_eq!(*name, format!("{}.rs", code.code().to_lowercase()));
+    }
+}
+
+#[test]
+fn clean_fixture_is_clean() {
+    assert!(audit_source("crates/x/src/lib.rs", include_str!("fixtures/clean.rs")).is_empty());
+}

@@ -1,0 +1,10 @@
+// A fixture with no findings: deterministic containers, total_cmp,
+// and no annotations at all.
+pub fn sort_floats(v: &mut [f64]) {
+    v.sort_by(|a, b| a.total_cmp(b));
+}
+
+pub fn build_index() {
+    let m: std::collections::BTreeMap<u8, u8> = Default::default();
+    let _ = m;
+}

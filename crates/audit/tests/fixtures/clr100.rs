@@ -1,0 +1,4 @@
+// Seeded violation: a wall-clock read outside any nondet section.
+pub fn elapsed_marker() {
+    let _ = std::time::Instant::now();
+}

@@ -1,0 +1,5 @@
+// Seeded violation: a randomized-iteration-order container in live code.
+pub fn build_index() {
+    let m: std::collections::HashMap<u8, u8> = Default::default();
+    let _ = m;
+}

@@ -1,0 +1,4 @@
+// Seeded violation: a float sort through partial_cmp.
+pub fn sort_floats(v: &mut [f64]) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}

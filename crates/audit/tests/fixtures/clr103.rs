@@ -1,0 +1,5 @@
+// Seeded violation: an unseeded thread-local RNG.
+pub fn roll() -> u64 {
+    let mut rng = thread_rng();
+    rng.next_u64()
+}

@@ -1,0 +1,4 @@
+// Seeded violation: raw thread fan-out outside crates/par.
+pub fn fan_out() {
+    std::thread::spawn(|| {}).join().ok();
+}

@@ -1,0 +1,5 @@
+// Seeded violation: a panic in a decision path (the fixture test scans
+// this file under a crates/chaos virtual path).
+pub fn decide(x: Option<u8>) -> u8 {
+    x.unwrap()
+}

@@ -1,0 +1,5 @@
+// Seeded violation: a lossy cast in codec code (the fixture test scans
+// this file under a codec virtual path).
+pub fn pack(x: u64) -> u32 {
+    x as u32
+}

@@ -1,0 +1,4 @@
+// Seeded violation: a call to the deprecated DesignPointDb::point.
+pub fn legacy_read(db: &clr_dse::DesignPointDb) {
+    let _ = db.point(0);
+}

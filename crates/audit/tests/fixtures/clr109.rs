@@ -1,0 +1,3 @@
+// Seeded violation: an allow annotation without a justification.
+// clr-audit: allow(CLR102)
+pub fn undocumented() {}

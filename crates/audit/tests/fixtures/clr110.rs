@@ -1,0 +1,3 @@
+// Seeded violation: a nondet section that never closes.
+// clr-audit: nondet(begin) timing block that forgot its end marker
+pub fn timed() {}

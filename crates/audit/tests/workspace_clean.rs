@@ -1,0 +1,29 @@
+//! The dogfood gate: the workspace that ships this analyzer is itself
+//! audit-clean, with an empty baseline.
+
+use std::path::Path;
+
+use clr_audit::{audit_workspace, Baseline};
+
+#[test]
+fn the_workspace_is_audit_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = audit_workspace(&root).expect("workspace scan");
+    assert!(report.files_scanned() > 100, "walker found the workspace");
+    assert!(
+        report.findings().is_empty(),
+        "the tree must stay audit-clean:\n{}",
+        report.render_human()
+    );
+}
+
+#[test]
+fn the_checked_in_baseline_is_empty() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let text = std::fs::read_to_string(root.join("audit.baseline")).expect("baseline exists");
+    let baseline = Baseline::from_text(&text).expect("baseline parses");
+    assert!(
+        baseline.is_empty(),
+        "nothing is grandfathered — fix findings instead of baselining them"
+    );
+}

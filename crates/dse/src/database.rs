@@ -262,6 +262,7 @@ mod tests {
     fn get_is_total_and_point_agrees_in_range() {
         let mut db = DesignPointDb::new("t");
         db.push(pt(10.0, 0.9, 5.0, PointOrigin::Pareto));
+        // clr-audit: allow(CLR107) this test exercises the deprecated accessor itself
         assert_eq!(db.get(0), Some(db.point(0)));
         assert!(db.get(1).is_none());
     }
@@ -271,6 +272,7 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn point_panics_with_context() {
         let db = DesignPointDb::new("t");
+        // clr-audit: allow(CLR107) this test pins the deprecated accessor's panic message
         let _ = db.point(3);
     }
 

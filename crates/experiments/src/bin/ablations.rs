@@ -304,12 +304,7 @@ fn lifetime_objective(env: &Env) {
         );
         let best = db
             .iter()
-            .min_by(|a, b| {
-                a.metrics
-                    .energy
-                    .partial_cmp(&b.metrics.energy)
-                    .expect("energies are finite")
-            })
+            .min_by(|a, b| a.metrics.energy.total_cmp(&b.metrics.energy))
             .expect("db non-empty");
         table.row([
             format!("{mode:?}"),

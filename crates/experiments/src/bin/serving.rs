@@ -64,9 +64,11 @@ fn main() {
             threads,
             ..ReplayConfig::default()
         };
+        // clr-audit: nondet(begin) throughput numbers are stderr reporting only, never journaled
         let start = Instant::now();
         let report = replay(&tenants, &trace, &config).expect("unique tenant names");
         let elapsed = start.elapsed().as_secs_f64();
+        // clr-audit: nondet(end)
         let events = report.total_events();
         eprintln!(
             "  threads={threads}: {events} decisions in {:.3}s ({:.0} events/s)",

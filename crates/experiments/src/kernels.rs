@@ -306,12 +306,7 @@ pub fn motivation(env: &Env, bundle: &Bundle) -> Vec<MotivationSystem> {
                 fixed_energy
             } else {
                 db.iter()
-                    .max_by(|a, b| {
-                        a.metrics
-                            .reliability
-                            .partial_cmp(&b.metrics.reliability)
-                            .expect("reliabilities are finite")
-                    })
+                    .max_by(|a, b| a.metrics.reliability.total_cmp(&b.metrics.reliability))
                     .map(|p| p.metrics.energy)
                     .expect("db is non-empty")
             };

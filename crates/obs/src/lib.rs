@@ -194,11 +194,13 @@ impl Obs {
     /// Starts a wall-clock timer that emits a [`Event::Wall`] into the
     /// non-deterministic section when dropped. Inert when disabled.
     pub fn wall_timer(&self, label: &str) -> WallTimer {
+        // clr-audit: nondet(begin) wall timers feed only the journal's nondeterministic section
         WallTimer {
             obs: self.clone(),
             label: label.to_string(),
             start: self.enabled().then(Instant::now),
         }
+        // clr-audit: nondet(end)
     }
 
     /// The deterministic events emitted so far (for tests).

@@ -10,7 +10,7 @@
 //! must only be set from serial (master-thread) code; the wiring in this
 //! workspace follows that rule.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Mutex;
 
 use crate::event::Event;
@@ -40,7 +40,7 @@ enum Cell {
 /// [`Recorder::snapshot_events`], which sorts metrics by name so the
 /// emitted journal lines are order-independent.
 pub struct Recorder {
-    shards: [Mutex<HashMap<&'static str, Cell>>; SHARDS],
+    shards: [Mutex<BTreeMap<&'static str, Cell>>; SHARDS],
 }
 
 impl std::fmt::Debug for Recorder {
@@ -69,7 +69,7 @@ impl Recorder {
     /// Creates an empty recorder.
     pub fn new() -> Self {
         Recorder {
-            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            shards: std::array::from_fn(|_| Mutex::new(BTreeMap::new())),
         }
     }
 

@@ -54,7 +54,7 @@ mod tests {
             .iter()
             .map(super::pe::PeType::masking_factor)
             .collect();
-        maskings.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        maskings.sort_by(f64::total_cmp);
         maskings.dedup();
         assert_eq!(maskings.len(), 3);
     }

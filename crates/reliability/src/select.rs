@@ -91,11 +91,7 @@ pub fn cheapest_config_meeting(
         .iter()
         .map(|cfg| (*cfg, TaskMetrics::evaluate(im, pe_type, cfg, fm)))
         .filter(|(_, m)| m.err_prob <= max_err_prob)
-        .min_by(|a, b| {
-            a.1.energy()
-                .partial_cmp(&b.1.energy())
-                .expect("energies are finite")
-        })
+        .min_by(|a, b| a.1.energy().total_cmp(&b.1.energy()))
 }
 
 #[cfg(test)]

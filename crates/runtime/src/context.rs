@@ -219,8 +219,7 @@ mod tests {
                     .unwrap()
                     .metrics
                     .energy
-                    .partial_cmp(&db.get(b).unwrap().metrics.energy)
-                    .unwrap()
+                    .total_cmp(&db.get(b).unwrap().metrics.energy)
             })
             .unwrap();
         assert!((ctx.norm_performance(best) - 1.0).abs() < 1e-12);

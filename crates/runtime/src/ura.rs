@@ -199,8 +199,7 @@ mod tests {
                     .unwrap()
                     .metrics
                     .energy
-                    .partial_cmp(&f.db.get(b).unwrap().metrics.energy)
-                    .unwrap()
+                    .total_cmp(&f.db.get(b).unwrap().metrics.energy)
             })
             .unwrap();
         assert_eq!(
@@ -250,7 +249,7 @@ mod tests {
         // Tight spec: only some points feasible. Use a spec around the
         // median point.
         let mut makespans: Vec<f64> = f.db.iter().map(|p| p.metrics.makespan).collect();
-        makespans.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        makespans.sort_by(f64::total_cmp);
         let spec = QosSpec::new(makespans[makespans.len() / 2], 0.0);
         let feas = ctx.feasible(&spec);
         if feas.is_empty() {

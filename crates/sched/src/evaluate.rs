@@ -173,11 +173,7 @@ fn peak_power(schedule: &Schedule, metrics: &[TaskMetrics]) -> f64 {
     }
     // Ends before starts at the same instant so touching intervals do not
     // double-count.
-    events.sort_by(|a, b| {
-        a.0.partial_cmp(&b.0)
-            .expect("schedule times are finite")
-            .then(a.1.partial_cmp(&b.1).expect("powers are finite"))
-    });
+    events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
     let mut current = 0.0f64;
     let mut peak = 0.0f64;
     for (_, dw) in events {

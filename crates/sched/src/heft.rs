@@ -91,11 +91,7 @@ pub fn heft_mapping(
 
     // --- Greedy earliest-finish-time placement in rank order. -----------
     let mut order: Vec<TaskId> = graph.task_ids().collect();
-    order.sort_by(|a, b| {
-        rank[b.index()]
-            .partial_cmp(&rank[a.index()])
-            .expect("ranks are finite")
-    });
+    order.sort_by(|a, b| rank[b.index()].total_cmp(&rank[a.index()]));
 
     let mut pe_free = vec![0.0f64; platform.num_pes()];
     let mut finish = vec![0.0f64; n];

@@ -333,7 +333,7 @@ mod tests {
             // PE exclusivity: entries on one PE never overlap.
             for pe in 0..p.num_pes() {
                 let mut on_pe: Vec<_> = s.entries().iter().filter(|e| e.pe == pe).collect();
-                on_pe.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
+                on_pe.sort_by(|a, b| a.start.total_cmp(&b.start));
                 for w in on_pe.windows(2) {
                     prop_assert!(w[1].start >= w[0].end - 1e-9);
                 }

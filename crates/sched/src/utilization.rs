@@ -132,7 +132,7 @@ pub fn validate_schedule(
         .unwrap_or(0);
     for pe in 0..num_pes {
         let mut on_pe: Vec<_> = schedule.entries().iter().filter(|e| e.pe == pe).collect();
-        on_pe.sort_by(|a, b| a.start.partial_cmp(&b.start).expect("times are finite"));
+        on_pe.sort_by(|a, b| a.start.total_cmp(&b.start));
         for w in on_pe.windows(2) {
             if w[1].start < w[0].end - 1e-9 {
                 violations.push(ScheduleViolation::PeOverlap {

@@ -45,7 +45,7 @@
 //! ordinal)`, the ladder composes with the parallel tenant fan-out —
 //! chaos replays stay bit-identical at any thread count.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use clr_chaos::{FaultKind, FaultPlan};
@@ -368,7 +368,7 @@ pub fn replay(
     trace: &Trace,
     config: &ReplayConfig,
 ) -> Result<ReplayReport, ReplayError> {
-    let mut by_name: HashMap<&str, usize> = HashMap::with_capacity(tenants.len());
+    let mut by_name: BTreeMap<&str, usize> = BTreeMap::new();
     for (idx, tenant) in tenants.iter().enumerate() {
         if by_name.insert(tenant.name(), idx).is_some() {
             return Err(ReplayError::DuplicateTenant(tenant.name().to_string()));

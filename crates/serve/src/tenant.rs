@@ -47,17 +47,44 @@ pub enum PolicySpec {
 }
 
 impl PolicySpec {
+    /// Checks the spec's parameters through the runtime crate's own
+    /// policy constructors, so the accepted ranges can never drift.
+    /// [`Tenant::from_parts`] calls this, which makes the `expect`s in
+    /// [`PolicySpec::build`] unreachable for any spec a tenant carries —
+    /// including specs assembled directly through the public fields,
+    /// which `FromStr` never saw.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the out-of-range parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            Self::Ura { p_rc } => {
+                UraPolicy::new(p_rc).map_err(|v| format!("p_rc {v} outside [0, 1]"))?;
+            }
+            Self::Aura { p_rc, gamma, alpha } => {
+                AuraAgent::new(1, p_rc, gamma, alpha)
+                    .map_err(|v| format!("aura parameter {v} out of range"))?;
+            }
+            Self::Hv => {}
+        }
+        Ok(())
+    }
+
     /// Instantiates a fresh policy over `num_states` stored points.
     /// Engines build one instance per replay, never sharing learned
     /// state across replays — a replay is a pure function of its inputs.
     pub fn build(&self, num_states: usize) -> Box<dyn AdaptationPolicy> {
         match *self {
             Self::Ura { p_rc } => {
-                Box::new(UraPolicy::new(p_rc).expect("validated at construction"))
+                // clr-audit: allow(CLR105) Tenant::from_parts validates every spec this builds
+                Box::new(UraPolicy::new(p_rc).expect("checked by PolicySpec::validate"))
             }
-            Self::Aura { p_rc, gamma, alpha } => Box::new(
-                AuraAgent::new(num_states, p_rc, gamma, alpha).expect("validated at construction"),
-            ),
+            Self::Aura { p_rc, gamma, alpha } => {
+                let agent = AuraAgent::new(num_states, p_rc, gamma, alpha);
+                // clr-audit: allow(CLR105) Tenant::from_parts validates every spec this builds
+                Box::new(agent.expect("checked by PolicySpec::validate"))
+            }
             Self::Hv => Box::new(HvPolicy::new()),
         }
     }
@@ -138,8 +165,8 @@ impl Tenant {
     ///
     /// # Errors
     ///
-    /// [`SnapshotError::Meta`] for an invalid tenant name or an empty
-    /// database.
+    /// [`SnapshotError::Meta`] for an invalid tenant name, an empty
+    /// database, or an out-of-range policy parameter.
     pub fn from_parts(
         name: impl Into<String>,
         graph: TaskGraph,
@@ -158,6 +185,9 @@ impl Tenant {
                 "tenant {name:?} has an empty database — nothing to serve"
             )));
         }
+        policy
+            .validate()
+            .map_err(|v| SnapshotError::Meta(format!("tenant {name:?} policy: {v}")))?;
         Ok(Self {
             name,
             graph,
@@ -276,6 +306,27 @@ mod tests {
             PolicySpec::Hv,
         );
         assert!(matches!(bad, Err(SnapshotError::Meta(_))));
+    }
+
+    #[test]
+    fn out_of_range_policies_are_rejected_even_when_built_directly() {
+        // `FromStr` never produces this spec; the public fields can.
+        let bad = Tenant::from_parts(
+            "a",
+            jpeg_encoder(),
+            Platform::dac19(),
+            one_point_db(),
+            PolicySpec::Ura { p_rc: 2.0 },
+        );
+        assert!(matches!(bad, Err(SnapshotError::Meta(_))));
+        assert!(PolicySpec::Aura {
+            p_rc: 0.5,
+            gamma: 1.5,
+            alpha: 0.1
+        }
+        .validate()
+        .is_err());
+        assert!(PolicySpec::Hv.validate().is_ok());
     }
 
     #[test]

@@ -118,7 +118,7 @@ pub fn percentile(sample: &[f64], q: f64) -> Option<f64> {
         return None;
     }
     let mut sorted: Vec<f64> = sample.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("sample must not contain NaN"));
+    sorted.sort_by(f64::total_cmp);
     let rank = q / 100.0 * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;

@@ -22,7 +22,7 @@
 //! implementation per configured PE type, scaled by its task type, so the
 //! graph is immediately usable by the DSE.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use clr_platform::PeTypeId;
 
@@ -214,7 +214,7 @@ pub fn parse_tgff(doc: &str, options: &TgffParseOptions) -> Result<TaskGraph, Tg
         return Err(TgffParseError::NoTaskGraph);
     }
 
-    let index: HashMap<&str, usize> = tasks
+    let index: BTreeMap<&str, usize> = tasks
         .iter()
         .enumerate()
         .map(|(i, (name, _))| (name.as_str(), i))

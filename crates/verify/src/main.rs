@@ -107,10 +107,24 @@ fn main() -> ExitCode {
     ExitCode::from(u8::try_from(report.exit_code()).unwrap_or(1))
 }
 
-/// Prints the lint registry as an aligned table.
+/// Prints the full lint registry as an aligned table: the CLR0xx
+/// artifact lints owned by this crate, then the CLR1xx source lints
+/// owned by `clr-audit`. A cross-crate test keeps the two code ranges
+/// disjoint, so the merged listing can never show a collision.
 fn print_registry() {
     println!("{:<8} {:<5} description", "code", "level");
+    println!("— CLR0xx artifact lints (clr-verify) —");
     for lint in LintCode::ALL {
+        println!(
+            "{:<8} {:<5} {}",
+            lint.code(),
+            lint.severity().to_string(),
+            lint.description()
+        );
+        println!("{:<14} fix: {}", "", lint.fix_hint());
+    }
+    println!("— CLR1xx source lints (clr-audit) —");
+    for lint in clr_audit::AuditCode::ALL {
         println!(
             "{:<8} {:<5} {}",
             lint.code(),

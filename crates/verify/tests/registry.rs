@@ -1,0 +1,43 @@
+//! The two lint families share one namespace (`CLRnnn`) across two
+//! crates. This test is the single source of truth that keeps them
+//! disjoint: a code added to either registry that collides with — or
+//! strays into — the other family fails here.
+
+use clr_audit::AuditCode;
+use clr_verify::LintCode;
+
+#[test]
+fn artifact_and_source_lint_codes_never_collide() {
+    let artifact: Vec<&str> = LintCode::ALL.iter().map(LintCode::code).collect();
+    let source: Vec<&str> = AuditCode::ALL.iter().map(AuditCode::code).collect();
+    for code in &source {
+        assert!(
+            !artifact.contains(code),
+            "{code} is registered in both clr-verify and clr-audit"
+        );
+    }
+    // The families also keep their numeric ranges: artifact lints stay
+    // below CLR100, source lints at or above it.
+    for code in &artifact {
+        assert!(
+            *code < "CLR100",
+            "{code}: CLR0xx artifact lints must stay below CLR100"
+        );
+    }
+    for code in &source {
+        assert!(
+            ("CLR100".."CLR200").contains(code),
+            "{code}: CLR1xx source lints must stay in [CLR100, CLR200)"
+        );
+    }
+}
+
+#[test]
+fn merged_registry_is_globally_unique_and_sorted_per_family() {
+    let mut all: Vec<&str> = LintCode::ALL.iter().map(LintCode::code).collect();
+    all.extend(AuditCode::ALL.iter().map(AuditCode::code));
+    let mut dedup = all.clone();
+    dedup.sort_unstable();
+    dedup.dedup();
+    assert_eq!(all.len(), dedup.len(), "duplicate code across families");
+}

@@ -53,7 +53,7 @@ fn main() {
         .criticalities()
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("criticalities are finite"))
+        .max_by(|a, b| a.1.total_cmp(b.1))
         .map(|(i, _)| i)
         .expect("graph is non-empty");
     mapping.genes_mut()[crit].clr = ClrConfig::new(
@@ -65,7 +65,7 @@ fn main() {
     let (metrics, schedule) = eval.evaluate_with_schedule(&mapping);
     println!("\nschedule (task: PE, start → end):");
     let mut entries: Vec<_> = schedule.entries().to_vec();
-    entries.sort_by(|a, b| a.start.partial_cmp(&b.start).expect("times are finite"));
+    entries.sort_by(|a, b| a.start.total_cmp(&b.start));
     for e in entries {
         println!(
             "  {:<4} PE{}  {:>7.1} → {:>7.1}",

@@ -81,12 +81,7 @@ fn main() {
     let fixed = db
         .iter()
         .filter(|p| p.satisfies(strict))
-        .min_by(|a, b| {
-            a.metrics
-                .energy
-                .partial_cmp(&b.metrics.energy)
-                .expect("energies are finite")
-        })
+        .min_by(|a, b| a.metrics.energy.total_cmp(&b.metrics.energy))
         .expect("strictest phase is achievable");
     println!(
         "fixed worst-case configuration: energy {:.0}, reliability {:.5}\n",
