@@ -41,7 +41,18 @@
 #                                    and journals must be byte-identical and
 #                                    pass the campaign lints (CLR071/072)
 #                                    plus the CLR05x journal lints
-#  10. clr-audit (source lints)    — workspace-wide CLR1xx source audit:
+#  10. clr-served daemon smoke    — wire-encode the step-8 trace into a
+#                                    CLRWIRE1 frame stream, pump it through
+#                                    the resident clr-served daemon (file
+#                                    stdin/stdout), wire-decode the response
+#                                    frames and byte-compare against the
+#                                    batch replay's decisions.csv: the
+#                                    incremental engine and the batch path
+#                                    must be the same code path; then flip
+#                                    one payload byte and assert the daemon
+#                                    rejects the stream with a checksum
+#                                    error (nonzero exit)
+#  11. clr-audit (source lints)    — workspace-wide CLR1xx source audit:
 #                                    wall-clock reads, unordered containers,
 #                                    partial_cmp float sorts, unseeded RNGs,
 #                                    raw spawns, panicking decision paths,
@@ -150,6 +161,33 @@ cmp "$CH1/campaign.csv" "$CH8/campaign.csv" \
 cmp "$CH1/campaign.obs.jsonl" "$CH8/campaign.obs.jsonl" \
   || { echo "campaign journals diverged across thread counts"; exit 1; }
 "$VERIFY" campaign "$CH8/campaign.csv" "$CH8/campaign.obs.jsonl"
+
+step "clr-served daemon (wire round-trip vs batch replay + corruption gate)"
+cargo build --release --quiet -p clr-serve --bin clr-served
+SERVED=target/release/clr-served
+FRAMES=target/ci-serve-frames.bin
+RESPONSES=target/ci-serve-responses.bin
+SERVED_LOG=target/ci-served.log
+"$SERVE" wire-encode --trace "$TRACE" --out "$FRAMES"
+CLR_THREADS=8 "$SERVED" "${FLEET[@]}" --batch 64 \
+  < "$FRAMES" > "$RESPONSES" 2> "$SERVED_LOG"
+grep -q "drained" "$SERVED_LOG" \
+  || { cat "$SERVED_LOG"; echo "clr-served did not report a clean drain"; exit 1; }
+DAEMON_CSV=target/ci-served-decisions.csv
+"$SERVE" wire-decode --in "$RESPONSES" --tenants cam,nav,audio > "$DAEMON_CSV"
+cmp "$OUT8/decisions.csv" "$DAEMON_CSV" \
+  || { echo "daemon responses diverged from batch replay decisions"; exit 1; }
+# Corruption gate: the first frame's payload starts with seq=1 (u64 LE),
+# so byte 33 is 0x00 — overwriting it with 0xff guarantees a checksum
+# mismatch the daemon must refuse to serve past.
+CORRUPT=target/ci-serve-frames-corrupt.bin
+cp "$FRAMES" "$CORRUPT"
+printf '\xff' | dd of="$CORRUPT" bs=1 seek=33 conv=notrunc status=none
+if "$SERVED" "${FLEET[@]}" < "$CORRUPT" > /dev/null 2> "$SERVED_LOG"; then
+  echo "clr-served accepted a corrupt frame stream"; exit 1
+fi
+grep -qi "checksum" "$SERVED_LOG" \
+  || { cat "$SERVED_LOG"; echo "corrupt-stream failure did not mention the checksum"; exit 1; }
 
 step "clr-audit (workspace-wide CLR1xx source lints)"
 cargo build --release --quiet -p clr-audit --bin clr-audit

@@ -17,6 +17,8 @@ const PAR_PATHS: &[&str] = &["crates/par/"];
 const DECISION_PATHS: &[&str] = &[
     "crates/serve/src/engine.rs",
     "crates/serve/src/tenant.rs",
+    "crates/serve/src/session.rs",
+    "crates/serve/src/daemon.rs",
     "crates/chaos/src/",
 ];
 
@@ -25,6 +27,7 @@ const DECISION_PATHS: &[&str] = &[
 const CODEC_PATHS: &[&str] = &[
     "crates/serve/src/snapshot.rs",
     "crates/serve/src/trace.rs",
+    "crates/serve/src/wire.rs",
     "crates/obs/src/json.rs",
     "crates/obs/src/event.rs",
     "crates/dse/src/codec.rs",

@@ -1,0 +1,102 @@
+//! `CLRWIRE1` wire-protocol benches, modeled on kimberlite's kmb-bench
+//! wire suite: frame encode and decode across payload sizes from the
+//! realistic small request (~64 B on the wire) up to the 16 KiB frames
+//! a batched client can pipeline, plus a response round-trip carrying a
+//! full `DecisionRecord`.
+//!
+//! The codec is pure (no I/O): encode allocates the frame buffer,
+//! decode validates magic/version/kind/reserved bytes, the declared
+//! length, and the FNV-1a checksum before touching the payload. These
+//! benches track the per-frame overhead the `clr-served` transport adds
+//! on top of the decision engine itself — `BENCH_serve.json` (the
+//! `serve_load` harness) reports the combined number.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use clr_core::prelude::*;
+use clr_core::serve::wire::{ErrorFrame, Frame, Request, Response};
+use clr_core::serve::{DecisionRecord, ServeStatus};
+
+/// A request frame padded (via its tenant name, the only variable-width
+/// request field) so the encoded frame is close to `size` bytes.
+fn request_of_size(size: usize) -> Frame {
+    // header 32 B + seq/time/s_max/f_min 32 B + name length prefix 2 B.
+    let name_len = size.saturating_sub(66).max(2);
+    Frame::Request(Request {
+        seq: 7,
+        tenant: "t".repeat(name_len),
+        time: 1_234.5,
+        spec: QosSpec::new(150.0, 0.75),
+    })
+}
+
+/// An error frame padded via its message, for the large-frame regime —
+/// the other variable-width payload the daemon emits.
+fn error_of_size(size: usize) -> Frame {
+    Frame::Error(ErrorFrame {
+        seq: 9,
+        message: "x".repeat(size.saturating_sub(42).max(2)),
+    })
+}
+
+/// A realistic response frame: short tenant name, full decision record.
+fn response() -> Frame {
+    Frame::Response(Response {
+        seq: 42,
+        tenant: "cam0".into(),
+        decision: DecisionRecord {
+            event: 42,
+            time: 4_242.0,
+            spec: QosSpec::new(120.0, 0.8),
+            feasible: 17,
+            from: 3,
+            to: 5,
+            drc: 0.25,
+            score: Some(0.9),
+            p_rc: Some(0.5),
+            violated: false,
+            status: ServeStatus::Normal,
+            fault: None,
+        },
+    })
+}
+
+/// Encode throughput at 64 B, 1 KiB and 16 KiB frames.
+fn frame_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire_frame_encode");
+    for size in [64usize, 1_024, 16 * 1_024] {
+        let frame = request_of_size(size);
+        group.bench_with_input(BenchmarkId::new("request", size), &frame, |b, frame| {
+            b.iter(|| black_box(frame.to_bytes()));
+        });
+        let frame = error_of_size(size);
+        group.bench_with_input(BenchmarkId::new("error", size), &frame, |b, frame| {
+            b.iter(|| black_box(frame.to_bytes()));
+        });
+    }
+    group.bench_function("response", |b| {
+        let frame = response();
+        b.iter(|| black_box(frame.to_bytes()));
+    });
+    group.finish();
+}
+
+/// Decode (validate + parse) throughput at the same sizes.
+fn frame_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire_frame_decode");
+    for size in [64usize, 1_024, 16 * 1_024] {
+        let bytes = request_of_size(size).to_bytes();
+        group.bench_with_input(BenchmarkId::new("request", size), &bytes, |b, bytes| {
+            b.iter(|| black_box(Frame::from_bytes(bytes).unwrap()));
+        });
+    }
+    group.bench_function("response", |b| {
+        let bytes = response().to_bytes();
+        b.iter(|| black_box(Frame::from_bytes(&bytes).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, frame_encode, frame_decode);
+criterion_main!(benches);

@@ -13,7 +13,12 @@ use crate::{EventStream, QosVariationModel, RuntimeContext, RuntimeError};
 ///
 /// [`crate::UraPolicy`] is stateless; [`crate::AuraAgent`] learns from the
 /// `observe`/`end_episode` callbacks.
-pub trait AdaptationPolicy {
+///
+/// `Send` is a supertrait so boxed policies can live inside resident
+/// serving state that migrates across worker threads (clr-serve's
+/// sharded tenant sessions); every policy is plain owned data, so the
+/// bound costs implementors nothing.
+pub trait AdaptationPolicy: Send {
     /// Selects the next design point for the new requirement, or `None`
     /// when no stored point is feasible (the system then keeps its
     /// current configuration).

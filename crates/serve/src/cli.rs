@@ -1,0 +1,141 @@
+//! Shared command-line plumbing for the `clr-serve` and `clr-served`
+//! binaries.
+//!
+//! Flag parsing is **strict**: every command declares the flags it
+//! accepts, and an unknown or typo'd `--flag` is a usage error (the
+//! binaries exit 2), matching clr-audit's CLI contract. Flags always
+//! take a value (`--flag VALUE`); the last occurrence wins, except
+//! `--tenant`, which repeats to build a fleet.
+
+use crate::{PolicySpec, Snapshot, Tenant};
+
+/// Positional operands plus `--flag value` pairs, borrowed from argv.
+pub type SplitArgs<'a> = (Vec<&'a str>, Vec<(&'a str, &'a str)>);
+
+/// Splits args into positional operands and `--flag value` pairs,
+/// rejecting any flag not in `allowed`.
+///
+/// # Errors
+///
+/// A message naming the unknown flag (with the accepted set) or the
+/// flag missing its value — the caller turns it into a usage error.
+pub fn split_flags<'a>(args: &'a [String], allowed: &[&str]) -> Result<SplitArgs<'a>, String> {
+    let mut positional = Vec::new();
+    let mut flags = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if let Some(name) = arg.strip_prefix("--") {
+            if !allowed.contains(&name) {
+                let mut accepted: Vec<String> = allowed.iter().map(|f| format!("--{f}")).collect();
+                accepted.sort_unstable();
+                return Err(if accepted.is_empty() {
+                    format!("unknown flag --{name} (this command takes no flags)")
+                } else {
+                    format!("unknown flag --{name} (accepted: {})", accepted.join(", "))
+                });
+            }
+            let value = it
+                .next()
+                .ok_or_else(|| format!("flag --{name} needs a value"))?;
+            flags.push((name, value.as_str()));
+        } else {
+            positional.push(arg.as_str());
+        }
+    }
+    Ok((positional, flags))
+}
+
+/// Looks up the last occurrence of a flag.
+pub fn flag<'a>(flags: &[(&str, &'a str)], name: &str) -> Option<&'a str> {
+    flags
+        .iter()
+        .rev()
+        .find(|(n, _)| *n == name)
+        .map(|(_, v)| *v)
+}
+
+/// Parses every `--tenant NAME=SNAP@POLICY` argument into a fleet,
+/// loading each snapshot from disk.
+///
+/// # Errors
+///
+/// A usage-style message for a malformed argument, an unreadable or
+/// corrupt snapshot, an invalid policy spec, or an empty fleet.
+pub fn parse_fleet(flags: &[(&str, &str)]) -> Result<Vec<Tenant>, String> {
+    let mut tenants = Vec::new();
+    for (_, value) in flags.iter().filter(|(n, _)| *n == "tenant") {
+        let (name, rest) = value
+            .split_once('=')
+            .ok_or_else(|| format!("tenant {value:?} is not NAME=SNAP@POLICY"))?;
+        let (path, policy) = rest
+            .rsplit_once('@')
+            .ok_or_else(|| format!("tenant {value:?} is not NAME=SNAP@POLICY"))?;
+        let policy: PolicySpec = policy.parse()?;
+        let snapshot = Snapshot::read_file(path).map_err(|e| format!("{path}: {e}"))?;
+        tenants.push(Tenant::from_snapshot(name, &snapshot, policy).map_err(|e| e.to_string())?);
+    }
+    if tenants.is_empty() {
+        return Err("at least one --tenant NAME=SNAP@POLICY is required".into());
+    }
+    Ok(tenants)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn known_flags_and_positionals_split() {
+        let args = argv(&["a.db", "--graph", "jpeg", "b.snap", "--platform", "dac19"]);
+        let (pos, flags) = split_flags(&args, &["graph", "platform"]).unwrap();
+        assert_eq!(pos, vec!["a.db", "b.snap"]);
+        assert_eq!(flag(&flags, "graph"), Some("jpeg"));
+        assert_eq!(flag(&flags, "platform"), Some("dac19"));
+        assert_eq!(flag(&flags, "missing"), None);
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected_not_ignored() {
+        let args = argv(&["--treads", "4"]);
+        let err = split_flags(&args, &["threads", "trace"]).unwrap_err();
+        assert!(err.contains("--treads"), "err: {err}");
+        assert!(
+            err.contains("--threads"),
+            "the accepted set is listed: {err}"
+        );
+        let err = split_flags(&args, &[]).unwrap_err();
+        assert!(err.contains("no flags"), "err: {err}");
+    }
+
+    #[test]
+    fn missing_value_is_rejected() {
+        let args = argv(&["--seed"]);
+        let err = split_flags(&args, &["seed"]).unwrap_err();
+        assert!(err.contains("needs a value"), "err: {err}");
+    }
+
+    #[test]
+    fn last_flag_occurrence_wins() {
+        let args = argv(&["--seed", "1", "--seed", "2"]);
+        let (_, flags) = split_flags(&args, &["seed"]).unwrap();
+        assert_eq!(flag(&flags, "seed"), Some("2"));
+    }
+
+    #[test]
+    fn fleet_requires_at_least_one_tenant() {
+        let err = parse_fleet(&[]).unwrap_err();
+        assert!(err.contains("--tenant"), "err: {err}");
+    }
+
+    #[test]
+    fn malformed_tenant_specs_are_named() {
+        for bad in ["no-equals", "name=no-at-sign"] {
+            let err = parse_fleet(&[("tenant", bad)]).unwrap_err();
+            assert!(err.contains("NAME=SNAP@POLICY"), "{bad}: {err}");
+        }
+    }
+}

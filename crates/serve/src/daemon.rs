@@ -1,0 +1,539 @@
+//! The resident serving loop behind the `clr-served` binary.
+//!
+//! A [`Daemon`] holds one [`TenantSession`] per tenant, sharded across
+//! `min(threads, tenants)` mutex-protected shards by fleet index. Each
+//! admitted batch of [`Request`]s is partitioned by shard and fanned out
+//! over `clr_par::par_map` — one worker item per shard, so every lock is
+//! uncontended — then the responses are merged back into **arrival
+//! order** before they are written. Within a shard, events are fed in
+//! arrival order, so each tenant sees exactly the subsequence of the
+//! input stream addressed to it: a daemon fed a time-sorted trace
+//! produces decision-for-decision the same records as one batch
+//! [`crate::replay`] call. `ci.sh` byte-compares the two.
+//!
+//! ## Admission, backpressure, drain
+//!
+//! [`serve_stream`] admits at most [`DaemonConfig::batch`] frames before
+//! it must serve and flush them — the bounded queue. Backpressure is the
+//! transport's: while the daemon serves a batch it does not read, so a
+//! pipe or socket buffer fills and the client blocks. A batch closes
+//! early on end-of-stream or an explicit [`Frame::Shutdown`]; both drain
+//! gracefully (every admitted request is served and flushed before the
+//! loop exits). Interactive closed-loop clients whose request window is
+//! smaller than `batch` should run `--batch 1`, otherwise admission
+//! waits for frames the client will never send.
+//!
+//! ## Error policy
+//!
+//! A request addressed to no tenant in the fleet is answered with a
+//! [`Frame::Error`] echoing its `seq` — never silently dropped (the
+//! bug class this layer's batch path was cured of). A structurally
+//! corrupt frame (bad magic, checksum mismatch, truncation) is fatal:
+//! framing can no longer be trusted, so the daemon writes a last error
+//! frame and returns [`DaemonError::Wire`].
+
+// clr-audit: allow(CLR101) name router is lookup-only; nothing iterates it
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::sync::Mutex;
+
+use crate::wire::{ErrorFrame, Frame, Request, Response, WireError};
+use crate::{ReplayConfig, ReplayError, Tenant, TenantOutcome, TenantSession};
+
+/// Daemon parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DaemonConfig {
+    /// Maximum frames admitted per serve/flush cycle (the bounded
+    /// queue). Clamped to at least 1.
+    pub batch: usize,
+    /// The engine configuration (threads, episode boundaries, fault
+    /// plan, quarantine threshold) — shared verbatim with batch replay
+    /// so the two paths cannot diverge.
+    pub replay: ReplayConfig,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        Self {
+            batch: 256,
+            replay: ReplayConfig::default(),
+        }
+    }
+}
+
+/// Why the daemon stopped serving.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DaemonError {
+    /// The fleet could not be seated (duplicate tenant names).
+    Replay(ReplayError),
+    /// The request stream is structurally corrupt; framing can no
+    /// longer be trusted.
+    Wire(WireError),
+    /// The response stream could not be written.
+    Io(String),
+}
+
+impl std::fmt::Display for DaemonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Replay(e) => write!(f, "{e}"),
+            Self::Wire(e) => write!(f, "request stream: {e}"),
+            Self::Io(e) => write!(f, "response stream: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DaemonError {}
+
+impl From<ReplayError> for DaemonError {
+    fn from(e: ReplayError) -> Self {
+        Self::Replay(e)
+    }
+}
+
+/// What one [`serve_stream`] run did, with the drained per-tenant
+/// outcomes (fleet order — the same shape batch replay reports).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DaemonReport {
+    /// Requests served with a response frame (quarantined decisions
+    /// included: recording is serving).
+    pub served: usize,
+    /// Requests answered with an error frame (unknown tenant) plus
+    /// protocol-violating frames (a client sending response/error
+    /// kinds).
+    pub rejected: usize,
+    /// Serve/flush cycles executed.
+    pub batches: usize,
+    /// `true` when an explicit [`Frame::Shutdown`] closed the stream,
+    /// `false` on plain end-of-stream (both drain fully).
+    pub clean_shutdown: bool,
+    /// Per-tenant outcomes accumulated by the sessions, in fleet order.
+    pub outcomes: Vec<TenantOutcome>,
+}
+
+/// One shard: the sessions of every tenant with `idx % shards == s`.
+struct Shard<'a> {
+    sessions: Vec<TenantSession<'a>>,
+}
+
+/// The resident engine: sharded sessions plus the name router.
+///
+/// [`serve_stream`] is the framed transport front; the load harness
+/// drives [`Daemon::handle_batch`] directly to measure the engine
+/// without transport I/O.
+pub struct Daemon<'a> {
+    /// Name router (lookup only, so hash order cannot leak into any
+    /// output — responses are merged by arrival position).
+    // clr-audit: allow(CLR101) lookup-only router; responses merge by arrival position
+    by_name: HashMap<&'a str, usize>,
+    shards: Vec<Mutex<Shard<'a>>>,
+    /// `tenant_idx → (shard, slot)`.
+    locate: Vec<(usize, usize)>,
+    tenant_count: usize,
+    threads: usize,
+}
+
+impl std::fmt::Debug for Daemon<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Daemon")
+            .field("tenants", &self.tenant_count)
+            .field("shards", &self.shards.len())
+            .field("threads", &self.threads)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> Daemon<'a> {
+    /// Seats one session per tenant, sharded for the configured thread
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// [`DaemonError::Replay`] when two tenants share a name.
+    pub fn new(tenants: &'a [Tenant], config: &DaemonConfig) -> Result<Self, DaemonError> {
+        // clr-audit: allow(CLR101) lookup-only router; never iterated, order cannot leak
+        let mut by_name: HashMap<&str, usize> = HashMap::with_capacity(tenants.len());
+        for (idx, tenant) in tenants.iter().enumerate() {
+            if by_name.insert(tenant.name(), idx).is_some() {
+                return Err(ReplayError::DuplicateTenant(tenant.name().to_string()).into());
+            }
+        }
+        let threads = clr_par::resolve_threads(config.replay.threads);
+        let shard_count = threads.min(tenants.len()).max(1);
+        let mut shards: Vec<Shard<'a>> = (0..shard_count)
+            .map(|_| Shard {
+                sessions: Vec::new(),
+            })
+            .collect();
+        let mut locate = Vec::with_capacity(tenants.len());
+        for (idx, tenant) in tenants.iter().enumerate() {
+            let shard = idx % shard_count;
+            locate.push((shard, shards[shard].sessions.len()));
+            shards[shard]
+                .sessions
+                .push(TenantSession::new(tenant, idx, &config.replay));
+        }
+        Ok(Self {
+            by_name,
+            shards: shards.into_iter().map(Mutex::new).collect(),
+            locate,
+            tenant_count: tenants.len(),
+            threads,
+        })
+    }
+
+    /// Tenants seated.
+    pub fn tenant_count(&self) -> usize {
+        self.tenant_count
+    }
+
+    /// Serves one admitted batch, returning exactly one frame per
+    /// request, **in arrival order**: a [`Frame::Response`] echoing the
+    /// request's `seq`, or a [`Frame::Error`] for an unknown tenant.
+    ///
+    /// Deterministic: each shard feeds its requests in arrival order, so
+    /// every tenant sees its subsequence of the stream regardless of how
+    /// shards are scheduled across workers.
+    pub fn handle_batch(&self, requests: &[Request]) -> Vec<Frame> {
+        let mut out: Vec<Option<Frame>> = vec![None; requests.len()];
+        // (arrival position, session slot, request) per shard.
+        let mut per_shard: Vec<Vec<(usize, usize, &Request)>> =
+            (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for (pos, request) in requests.iter().enumerate() {
+            match self.by_name.get(request.tenant.as_str()) {
+                Some(&idx) => {
+                    let (shard, slot) = self.locate[idx];
+                    per_shard[shard].push((pos, slot, request));
+                }
+                None => {
+                    out[pos] = Some(Frame::Error(ErrorFrame {
+                        seq: request.seq,
+                        message: format!("unknown tenant {:?}", request.tenant),
+                    }));
+                }
+            }
+        }
+        let produced = clr_par::par_map(self.threads, &per_shard, |shard_idx, work| {
+            let mut shard = self.shards[shard_idx]
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            work.iter()
+                .map(|&(pos, slot, request)| {
+                    // Routing already matched the name; feed_at skips the
+                    // per-request TraceEvent (and its String clone).
+                    let decision = shard.sessions[slot].feed_at(request.time, request.spec);
+                    (
+                        pos,
+                        Frame::Response(Response {
+                            seq: request.seq,
+                            tenant: request.tenant.clone(),
+                            decision,
+                        }),
+                    )
+                })
+                .collect::<Vec<_>>()
+        });
+        for (pos, frame) in produced.into_iter().flatten() {
+            out[pos] = Some(frame);
+        }
+        out.into_iter().flatten().collect()
+    }
+
+    /// Drains the daemon, yielding every session's accumulated outcome
+    /// in fleet order (byte-comparable against a batch replay of the
+    /// same event stream).
+    pub fn into_outcomes(self) -> Vec<TenantOutcome> {
+        let mut slots: Vec<Option<TenantOutcome>> = (0..self.tenant_count).map(|_| None).collect();
+        for shard in self.shards {
+            let shard = shard
+                .into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            for session in shard.sessions {
+                let idx = session.tenant_idx();
+                slots[idx] = Some(session.into_outcome());
+            }
+        }
+        slots.into_iter().flatten().collect()
+    }
+}
+
+/// Runs the daemon loop over a framed transport: read up to
+/// `config.batch` request frames, serve them, write and flush the
+/// responses, repeat until end-of-stream or a shutdown frame. See the
+/// module docs for the admission and error policy.
+///
+/// # Errors
+///
+/// [`DaemonError`] on a duplicate fleet, a structurally corrupt request
+/// stream, or an unwritable response stream. Admitted requests are
+/// always served before an orderly exit; on a wire error a final error
+/// frame is written best-effort.
+pub fn serve_stream(
+    tenants: &[Tenant],
+    input: &mut dyn Read,
+    output: &mut dyn Write,
+    config: &DaemonConfig,
+) -> Result<DaemonReport, DaemonError> {
+    let daemon = Daemon::new(tenants, config)?;
+    let cap = config.batch.max(1);
+    let mut report = DaemonReport {
+        served: 0,
+        rejected: 0,
+        batches: 0,
+        clean_shutdown: false,
+        outcomes: Vec::new(),
+    };
+    let mut open = true;
+    while open {
+        let mut batch: Vec<Request> = Vec::with_capacity(cap);
+        while batch.len() < cap {
+            match Frame::read_from(input) {
+                Ok(None) => {
+                    open = false;
+                    break;
+                }
+                Ok(Some(Frame::Request(request))) => batch.push(request),
+                Ok(Some(Frame::Shutdown)) => {
+                    report.clean_shutdown = true;
+                    open = false;
+                    break;
+                }
+                Ok(Some(other)) => {
+                    // A client must only send requests; answer the
+                    // violation in stream position and keep serving.
+                    let error = Frame::Error(ErrorFrame {
+                        seq: 0,
+                        message: format!("unexpected frame kind {}", other.kind()),
+                    });
+                    error
+                        .write_to(output)
+                        .map_err(|e| DaemonError::Io(e.to_string()))?;
+                    report.rejected += 1;
+                }
+                Err(e) => {
+                    // Framing is lost; tell the peer why, then stop.
+                    let error = Frame::Error(ErrorFrame {
+                        seq: 0,
+                        message: format!("request stream corrupt: {e}"),
+                    });
+                    let _ = error.write_to(output);
+                    let _ = output.flush();
+                    return Err(DaemonError::Wire(e));
+                }
+            }
+        }
+        if !batch.is_empty() {
+            for frame in daemon.handle_batch(&batch) {
+                match &frame {
+                    Frame::Response(_) => report.served += 1,
+                    _ => report.rejected += 1,
+                }
+                frame
+                    .write_to(output)
+                    .map_err(|e| DaemonError::Io(e.to_string()))?;
+            }
+            report.batches += 1;
+        }
+        output.flush().map_err(|e| DaemonError::Io(e.to_string()))?;
+    }
+    report.outcomes = daemon.into_outcomes();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate_trace, replay, PolicySpec, Trace};
+    use clr_dse::{DesignPoint, DesignPointDb, PointOrigin, QosSpec};
+    use clr_platform::Platform;
+    use clr_sched::{Mapping, SystemMetrics};
+    use clr_taskgraph::jpeg_encoder;
+
+    fn small_db(n: usize, skew: f64) -> DesignPointDb {
+        let mapping = Mapping::first_fit(&jpeg_encoder(), &Platform::dac19()).unwrap();
+        let mut db = DesignPointDb::new("t");
+        for i in 0..n {
+            let f = i as f64 / n as f64;
+            db.push(DesignPoint::new(
+                mapping.clone(),
+                SystemMetrics {
+                    makespan: 50.0 + 100.0 * f * skew,
+                    reliability: 0.6 + 0.35 * f,
+                    energy: 1.0 + f,
+                    peak_power: 1.0,
+                    mean_mttf: 100.0,
+                },
+                PointOrigin::Pareto,
+            ));
+        }
+        db
+    }
+
+    fn fleet(n: usize) -> Vec<Tenant> {
+        (0..n)
+            .map(|i| {
+                Tenant::from_parts(
+                    format!("t{i}"),
+                    jpeg_encoder(),
+                    Platform::dac19(),
+                    small_db(8, 1.0 + i as f64 * 0.1),
+                    PolicySpec::Ura { p_rc: 0.5 },
+                )
+                .unwrap()
+            })
+            .collect()
+    }
+
+    fn frames_for(trace: &Trace, shutdown: bool) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        for (i, event) in trace.events().iter().enumerate() {
+            bytes.extend_from_slice(
+                &Frame::Request(Request::from_event(i as u64 + 1, event)).to_bytes(),
+            );
+        }
+        if shutdown {
+            bytes.extend_from_slice(&Frame::Shutdown.to_bytes());
+        }
+        bytes
+    }
+
+    /// Decodes every frame in `bytes`, in order.
+    fn decode_all(mut bytes: &[u8]) -> Vec<Frame> {
+        let mut frames = Vec::new();
+        while !bytes.is_empty() {
+            let (frame, used) = Frame::from_bytes(bytes).unwrap();
+            frames.push(frame);
+            bytes = &bytes[used..];
+        }
+        frames
+    }
+
+    #[test]
+    fn daemon_outcomes_match_batch_replay_exactly() {
+        let tenants = fleet(5);
+        let trace = generate_trace(&tenants, 23, 3_000.0, 100.0);
+        assert!(trace.len() > 20);
+        let batch_report = replay(&tenants, &trace, &ReplayConfig::default()).unwrap();
+        for threads in [1usize, 8] {
+            let config = DaemonConfig {
+                batch: 7, // deliberately odd: spans several admission cycles
+                replay: ReplayConfig {
+                    threads,
+                    ..ReplayConfig::default()
+                },
+            };
+            let mut input = std::io::Cursor::new(frames_for(&trace, true));
+            let mut output = Vec::new();
+            let report = serve_stream(&tenants, &mut input, &mut output, &config).unwrap();
+            assert!(report.clean_shutdown);
+            assert_eq!(report.served, trace.len());
+            assert_eq!(report.rejected, 0);
+            assert_eq!(
+                report.outcomes,
+                batch_report.outcomes(),
+                "threads = {threads}"
+            );
+            // Responses come back in arrival order with echoed seqs and
+            // carry the same decisions the batch engine recorded.
+            let frames = decode_all(&output);
+            assert_eq!(frames.len(), trace.len());
+            let mut next_event: HashMap<String, usize> = HashMap::new();
+            for (i, frame) in frames.iter().enumerate() {
+                let Frame::Response(r) = frame else {
+                    panic!("frame {i} is not a response: {frame:?}")
+                };
+                assert_eq!(r.seq, i as u64 + 1);
+                let cursor = next_event.entry(r.tenant.clone()).or_insert(0);
+                let outcome = batch_report
+                    .outcomes()
+                    .iter()
+                    .find(|o| o.name == r.tenant)
+                    .unwrap();
+                assert_eq!(r.decision, outcome.decisions[*cursor]);
+                *cursor += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_tenants_get_error_frames_not_silence() {
+        let tenants = fleet(1);
+        let lax = QosSpec::new(f64::MAX, 0.0);
+        let trace = Trace::new(vec![
+            crate::TraceEvent {
+                tenant: "t0".into(),
+                time: 0.0,
+                spec: lax,
+            },
+            crate::TraceEvent {
+                tenant: "ghost".into(),
+                time: 1.0,
+                spec: lax,
+            },
+        ]);
+        let mut input = std::io::Cursor::new(frames_for(&trace, false));
+        let mut output = Vec::new();
+        let report =
+            serve_stream(&tenants, &mut input, &mut output, &DaemonConfig::default()).unwrap();
+        assert!(!report.clean_shutdown, "EOF drain, no shutdown frame");
+        assert_eq!(report.served, 1);
+        assert_eq!(report.rejected, 1);
+        let frames = decode_all(&output);
+        assert!(matches!(&frames[0], Frame::Response(r) if r.seq == 1));
+        let Frame::Error(e) = &frames[1] else {
+            panic!("expected an error frame, got {:?}", frames[1])
+        };
+        assert_eq!(e.seq, 2);
+        assert!(e.message.contains("ghost"), "message: {}", e.message);
+    }
+
+    #[test]
+    fn corrupt_frame_stops_the_daemon_with_a_wire_error() {
+        let tenants = fleet(1);
+        let mut bytes = Frame::Request(Request {
+            seq: 1,
+            tenant: "t0".into(),
+            time: 0.0,
+            spec: QosSpec::new(f64::MAX, 0.0),
+        })
+        .to_bytes();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        let mut input = std::io::Cursor::new(bytes);
+        let mut output = Vec::new();
+        let err =
+            serve_stream(&tenants, &mut input, &mut output, &DaemonConfig::default()).unwrap_err();
+        assert!(matches!(
+            err,
+            DaemonError::Wire(WireError::ChecksumMismatch { .. })
+        ));
+        // The peer was told why before the stream closed.
+        let frames = decode_all(&output);
+        assert!(matches!(&frames[0], Frame::Error(e) if e.message.contains("checksum")));
+    }
+
+    #[test]
+    fn empty_stream_drains_cleanly() {
+        let tenants = fleet(2);
+        let mut input = std::io::Cursor::new(Vec::new());
+        let mut output = Vec::new();
+        let report =
+            serve_stream(&tenants, &mut input, &mut output, &DaemonConfig::default()).unwrap();
+        assert_eq!(report.served, 0);
+        assert_eq!(report.batches, 0);
+        assert_eq!(report.outcomes.len(), 2);
+        assert!(report.outcomes.iter().all(|o| o.events == 0));
+        assert!(output.is_empty());
+    }
+
+    #[test]
+    fn duplicate_fleet_is_rejected_at_seating() {
+        let mut tenants = fleet(1);
+        tenants.push(tenants[0].clone());
+        let err = Daemon::new(&tenants, &DaemonConfig::default()).unwrap_err();
+        assert_eq!(
+            err,
+            DaemonError::Replay(ReplayError::DuplicateTenant("t0".into()))
+        );
+    }
+}

@@ -51,9 +51,8 @@ use std::fmt::Write as _;
 use clr_chaos::{FaultKind, FaultPlan};
 use clr_dse::QosSpec;
 use clr_obs::{Event, Obs};
-use clr_runtime::{HvPolicy, RuntimeContext};
 
-use crate::{Tenant, Trace, TraceEvent};
+use crate::{Tenant, TenantSession, Trace, TraceEvent};
 
 /// Replay parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -199,6 +198,12 @@ pub struct ReplayReport {
     /// Trace events addressed to no tenant in the fleet (counted, not
     /// served — a trace may legitimately cover a larger fleet).
     pub dropped: usize,
+    /// The unknown tenant names the dropped events addressed, with their
+    /// event counts, in name order. Surfaced as `serve.dropped` counter
+    /// increments plus one journal `fault` event per name
+    /// ([`ReplayReport::emit_obs`]), warned about by `clr-serve replay`,
+    /// and denied by the CLR065 trace lint.
+    pub dropped_by_tenant: Vec<(String, usize)>,
 }
 
 /// A replay could not start.
@@ -218,7 +223,55 @@ impl std::fmt::Display for ReplayError {
 
 impl std::error::Error for ReplayError {}
 
+/// Header line of the decision CSV (shared by [`ReplayReport::decisions_csv`]
+/// and `clr-serve wire-decode`, so the two outputs stay byte-comparable).
+pub const DECISIONS_CSV_HEADER: &str =
+    "tenant,event,time,s_max,f_min,feasible,from,to,drc,score,p_rc,violated,status";
+
+impl DecisionRecord {
+    /// Renders this decision as one CSV row (no trailing newline), in
+    /// the [`DECISIONS_CSV_HEADER`] column order.
+    pub fn csv_row(&self, tenant: &str) -> String {
+        let opt = |x: Option<f64>| x.map(|v| format!("{v}")).unwrap_or_default();
+        format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            tenant,
+            self.event,
+            self.time,
+            self.spec.max_makespan,
+            self.spec.min_reliability,
+            self.feasible,
+            self.from,
+            self.to,
+            self.drc,
+            opt(self.score),
+            opt(self.p_rc),
+            self.violated,
+            self.status.as_str()
+        )
+    }
+}
+
 impl ReplayReport {
+    /// Assembles a report from externally collected outcomes (fleet
+    /// order) and per-unknown-tenant drop counts (name order) — the
+    /// incremental path's bridge to the batch path's renderers:
+    /// outcomes accumulated by [`TenantSession`]s or drained from a
+    /// daemon render through the same [`Self::decisions_csv`] /
+    /// [`Self::emit_obs`] code, so equality of outcomes is equality of
+    /// bytes.
+    pub fn from_parts(
+        outcomes: Vec<TenantOutcome>,
+        dropped_by_tenant: Vec<(String, usize)>,
+    ) -> Self {
+        let dropped = dropped_by_tenant.iter().map(|(_, n)| n).sum();
+        Self {
+            outcomes,
+            dropped,
+            dropped_by_tenant,
+        }
+    }
+
     /// Per-tenant outcomes, in fleet order.
     pub fn outcomes(&self) -> &[TenantOutcome] {
         &self.outcomes
@@ -239,29 +292,11 @@ impl ReplayReport {
     /// (`tenant,event,time,s_max,f_min,feasible,from,to,drc,score,p_rc,violated,status`),
     /// tenants in fleet order — the byte-comparable decision output.
     pub fn decisions_csv(&self) -> String {
-        let mut out = String::from(
-            "tenant,event,time,s_max,f_min,feasible,from,to,drc,score,p_rc,violated,status\n",
-        );
-        let opt = |x: Option<f64>| x.map(|v| format!("{v}")).unwrap_or_default();
+        let mut out = String::from(DECISIONS_CSV_HEADER);
+        out.push('\n');
         for o in &self.outcomes {
             for d in &o.decisions {
-                let _ = writeln!(
-                    out,
-                    "{},{},{},{},{},{},{},{},{},{},{},{},{}",
-                    o.name,
-                    d.event,
-                    d.time,
-                    d.spec.max_makespan,
-                    d.spec.min_reliability,
-                    d.feasible,
-                    d.from,
-                    d.to,
-                    d.drc,
-                    opt(d.score),
-                    opt(d.p_rc),
-                    d.violated,
-                    d.status.as_str()
-                );
+                let _ = writeln!(out, "{}", d.csv_row(&o.name));
             }
         }
         out
@@ -341,6 +376,20 @@ impl ReplayReport {
                 total_drc: o.total_drc,
             });
         }
+        // Dropped events are damage, not bookkeeping: one journal `fault`
+        // event per unknown tenant name (the `event` field carries the
+        // count) so an operator reading the journal sees *which* names
+        // the trace addressed in vain.
+        for (name, count) in &self.dropped_by_tenant {
+            obs.emit(Event::Fault {
+                label: name.clone(),
+                layer: "serve".to_string(),
+                kind: "unknown_tenant".to_string(),
+                tenant: name.clone(),
+                event: *count,
+                action: "dropped".to_string(),
+            });
+        }
         if self.dropped > 0 {
             obs.counter_add("serve.dropped", self.dropped as u64);
         }
@@ -376,213 +425,42 @@ pub fn replay(
     }
 
     // Route events to tenants; file order within a tenant is preserved.
+    // Events addressed to no tenant are *dropped*, counted per unknown
+    // name so callers can surface them (journal, CLI warning, CLR065).
     let mut routed: Vec<Vec<&TraceEvent>> = vec![Vec::new(); tenants.len()];
     let mut dropped = 0usize;
+    let mut dropped_names: BTreeMap<&str, usize> = BTreeMap::new();
     for event in trace.events() {
         match by_name.get(event.tenant.as_str()) {
             Some(&idx) => routed[idx].push(event),
-            None => dropped += 1,
+            None => {
+                dropped += 1;
+                *dropped_names.entry(event.tenant.as_str()).or_insert(0) += 1;
+            }
         }
     }
 
+    // The batch path is a thin loop over the incremental state machine:
+    // one `TenantSession` per tenant, fed its routed events in file
+    // order. `clr-served` drives the *same* sessions event by event, so
+    // batch and incremental serving cannot drift.
     let work: Vec<(usize, Vec<&TraceEvent>)> = routed.into_iter().enumerate().collect();
     let outcomes = clr_par::par_map(config.threads, &work, |_, (idx, events)| {
-        replay_tenant(&tenants[*idx], *idx, events, config)
+        let mut session = TenantSession::new(&tenants[*idx], *idx, config);
+        for event in events {
+            session.feed(event);
+        }
+        session.into_outcome()
     });
 
-    Ok(ReplayReport { outcomes, dropped })
-}
-
-/// The decision-layer fault kinds, in the fixed priority order used when
-/// several fire on the same event.
-const DECISION_FAULTS: [FaultKind; 3] = [
-    FaultKind::TransientInfeasible,
-    FaultKind::BudgetExhausted,
-    FaultKind::PolicyFailure,
-];
-
-/// Serves one tenant's event stream (runs on a worker thread; touches
-/// only that tenant's state). `tenant_idx` is the tenant's fleet index —
-/// one half of the fault plan's site coordinates, so injection is
-/// independent of worker scheduling.
-fn replay_tenant(
-    tenant: &Tenant,
-    tenant_idx: usize,
-    events: &[&TraceEvent],
-    config: &ReplayConfig,
-) -> TenantOutcome {
-    let mut outcome = TenantOutcome {
-        name: tenant.name().to_string(),
-        points: tenant.db().len(),
-        events: 0,
-        reconfigurations: 0,
-        violations: 0,
-        degraded: 0,
-        quarantined: 0,
-        faults: 0,
-        total_drc: 0.0,
-        failure: None,
-        decisions: Vec::with_capacity(events.len()),
-    };
-
-    let mut now = 0.0f64;
-    let mut monotonise = |t: f64| {
-        // Monotonised clock: duplicate timestamps serve in file order at
-        // the same instant; a regressing timestamp serves "now".
-        let time = if t.is_finite() { t.max(now) } else { now };
-        now = time;
-        time
-    };
-
-    // A tenant whose runtime context cannot be built (e.g. a corrupted
-    // artifact with non-finite metrics) is the ladder's terminal case:
-    // it is quarantined outright instead of panicking the worker.
-    let ctx = match RuntimeContext::try_new(tenant.graph(), tenant.platform(), tenant.db()) {
-        Ok(ctx) => ctx,
-        Err(e) => {
-            outcome.failure = Some(e.to_string());
-            let current = tenant.initial_point();
-            for event in events {
-                let time = monotonise(event.time);
-                outcome.events += 1;
-                outcome.quarantined += 1;
-                outcome.decisions.push(DecisionRecord {
-                    event: outcome.events,
-                    time,
-                    spec: event.spec,
-                    feasible: 0,
-                    from: current,
-                    to: current,
-                    drc: 0.0,
-                    score: None,
-                    p_rc: None,
-                    violated: false,
-                    status: ServeStatus::Quarantined,
-                    fault: None,
-                });
-            }
-            return outcome;
-        }
-    };
-
-    let plan = &config.faults;
-    let baseline = HvPolicy::new();
-    let mut policy = tenant.policy().build(tenant.db().len());
-    let mut current = tenant.initial_point();
-    let mut lkg: Option<usize> = None;
-    let mut consecutive_faults = 0usize;
-    let mut quarantined = false;
-    let mut next_episode_end = config.episode_cycles;
-    let mut feas_buf: Vec<usize> = Vec::new();
-
-    for event in events {
-        let time = monotonise(event.time);
-        outcome.events += 1;
-        let ordinal = outcome.events as u64;
-
-        if quarantined {
-            outcome.quarantined += 1;
-            outcome.decisions.push(DecisionRecord {
-                event: outcome.events,
-                time,
-                spec: event.spec,
-                feasible: 0,
-                from: current,
-                to: current,
-                drc: 0.0,
-                score: None,
-                p_rc: None,
-                violated: false,
-                status: ServeStatus::Quarantined,
-                fault: None,
-            });
-            continue;
-        }
-
-        if config.episode_cycles.is_finite() && config.episode_cycles > 0.0 {
-            while next_episode_end <= time {
-                policy.end_episode();
-                next_episode_end += config.episode_cycles;
-            }
-        }
-
-        ctx.feasible_into(&event.spec, &mut feas_buf);
-        let fault = DECISION_FAULTS
-            .iter()
-            .copied()
-            .find(|&k| plan.fires(k, tenant_idx as u64, ordinal));
-        if fault == Some(FaultKind::TransientInfeasible) {
-            // The feasibility index is the faulted component: the
-            // feasible set transiently reads empty.
-            feas_buf.clear();
-        }
-
-        let (to, violated, score, p_rc, status) = match fault {
-            None => {
-                let (decision, score, p_rc) =
-                    policy.decide_scored_from(&ctx, current, &event.spec, &feas_buf);
-                match decision {
-                    Some(p) => (p, false, score, p_rc, ServeStatus::Normal),
-                    None => (current, true, score, p_rc, ServeStatus::Normal),
-                }
-            }
-            Some(kind) => {
-                // The ladder: last-known-good → hypervolume baseline →
-                // hold (+violation).
-                let lkg_usable = lkg.filter(|&l| {
-                    // Under a transient-infeasibility fault the index is
-                    // down, so the stale point is served unverified.
-                    kind == FaultKind::TransientInfeasible || feas_buf.binary_search(&l).is_ok()
-                });
-                if let Some(l) = lkg_usable {
-                    (l, false, None, None, ServeStatus::DegradedLkg)
-                } else if let Some(b) = baseline.select_from(&ctx, &event.spec, &feas_buf) {
-                    (b, false, None, None, ServeStatus::DegradedBaseline)
-                } else {
-                    (current, true, None, None, ServeStatus::DegradedHold)
-                }
-            }
-        };
-        let drc = ctx.drc(current, to);
-        policy.observe(&ctx, current, to);
-
-        if violated {
-            outcome.violations += 1;
-        }
-        if to != current {
-            outcome.reconfigurations += 1;
-        }
-        if fault.is_some() {
-            outcome.faults += 1;
-            outcome.degraded += 1;
-            consecutive_faults += 1;
-            if config.quarantine_after > 0 && consecutive_faults >= config.quarantine_after {
-                quarantined = true;
-            }
-        } else {
-            consecutive_faults = 0;
-            if !violated {
-                lkg = Some(to);
-            }
-        }
-        outcome.total_drc += drc;
-        outcome.decisions.push(DecisionRecord {
-            event: outcome.events,
-            time,
-            spec: event.spec,
-            feasible: feas_buf.len(),
-            from: current,
-            to,
-            drc,
-            score,
-            p_rc,
-            violated,
-            status,
-            fault,
-        });
-        current = to;
-    }
-    outcome
+    Ok(ReplayReport {
+        outcomes,
+        dropped,
+        dropped_by_tenant: dropped_names
+            .into_iter()
+            .map(|(name, count)| (name.to_string(), count))
+            .collect(),
+    })
 }
 
 #[cfg(test)]
@@ -594,6 +472,7 @@ mod tests {
     use clr_obs::ObsMode;
     use clr_platform::Platform;
     use clr_reliability::{ConfigSpace, FaultModel};
+    use clr_runtime::{HvPolicy, RuntimeContext};
     use clr_taskgraph::{TgffConfig, TgffGenerator};
 
     fn explored_db(seed: u64) -> (clr_taskgraph::TaskGraph, Platform, DesignPointDb) {
@@ -656,6 +535,58 @@ mod tests {
         let report = replay(&[], &trace, &ReplayConfig::default()).unwrap();
         assert!(report.outcomes().is_empty());
         assert_eq!(report.dropped, trace.len());
+        let counted: usize = report.dropped_by_tenant.iter().map(|(_, n)| n).sum();
+        assert_eq!(counted, trace.len());
+        assert_eq!(report.dropped_by_tenant.len(), 3, "one entry per name");
+    }
+
+    #[test]
+    fn dropped_events_are_journaled_per_unknown_tenant() {
+        // Two tenants in the fleet, a trace addressing a third: the
+        // drops must surface as a counter and a journal fault event, not
+        // vanish into a silent tally.
+        let tenants = vec![tenant("cam0", 61, PolicySpec::Ura { p_rc: 0.5 })];
+        let lax = QosSpec::new(f64::MAX, 0.0);
+        let mk = |name: &str, time| TraceEvent {
+            tenant: name.into(),
+            time,
+            spec: lax,
+        };
+        let trace = Trace::new(vec![
+            mk("cam0", 0.0),
+            mk("ghost", 1.0),
+            mk("ghost", 2.0),
+            mk("phantom", 3.0),
+        ]);
+        let report = replay(&tenants, &trace, &ReplayConfig::default()).unwrap();
+        assert_eq!(report.dropped, 3);
+        assert_eq!(
+            report.dropped_by_tenant,
+            vec![("ghost".to_string(), 2), ("phantom".to_string(), 1)]
+        );
+        let obs = Obs::new(ObsMode::Json);
+        report.emit_obs(&obs);
+        let dropped_events: Vec<(String, usize)> = obs
+            .det_events()
+            .iter()
+            .filter_map(|e| match e {
+                Event::Fault {
+                    kind,
+                    tenant,
+                    event,
+                    action,
+                    ..
+                } if action == "dropped" => {
+                    assert_eq!(kind, "unknown_tenant");
+                    Some((tenant.clone(), *event))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            dropped_events,
+            vec![("ghost".to_string(), 2), ("phantom".to_string(), 1)]
+        );
     }
 
     #[test]

@@ -20,15 +20,22 @@
 //! The `clr-serve` binary fronts all three (`snapshot`, `inspect`,
 //! `gen-trace`, `replay`).
 
+pub mod cli;
+mod daemon;
 mod engine;
+mod session;
 mod snapshot;
 mod tenant;
 mod trace;
+pub mod wire;
 
 pub use clr_chaos::{FaultKind, FaultPlan, FaultPlanError, FaultRates};
+pub use daemon::{serve_stream, Daemon, DaemonConfig, DaemonError, DaemonReport};
 pub use engine::{
     replay, DecisionRecord, ReplayConfig, ReplayError, ReplayReport, ServeStatus, TenantOutcome,
+    DECISIONS_CSV_HEADER,
 };
+pub use session::TenantSession;
 pub use snapshot::{
     fnv1a64, resolve_graph, resolve_platform, Snapshot, SnapshotError, FORMAT_VERSION, HEADER_LEN,
     MAGIC,

@@ -8,6 +8,8 @@
 //!                     [--cycles C] [--mean-gap G]
 //! clr-serve replay --trace FILE --tenant NAME=SNAP@POLICY..
 //!                  [--out-dir DIR] [--threads N] [--episode-cycles C]
+//! clr-serve wire-encode --trace FILE --out FILE [--shutdown BOOL]
+//! clr-serve wire-decode --in FILE --tenants NAME,NAME,..
 //! ```
 //!
 //! A tenant argument is `NAME=SNAP@POLICY`: a plain name, a snapshot
@@ -20,19 +22,36 @@
 //! outputs are byte-identical at any `--threads` value — `ci.sh` diffs
 //! them across thread counts.
 //!
+//! `wire-encode` turns a JSONL trace into a `CLRWIRE1` request-frame
+//! stream for `clr-served` (appending a shutdown frame unless
+//! `--shutdown false`); `wire-decode` turns the daemon's response-frame
+//! stream back into the decision CSV, grouping rows by tenant in the
+//! `--tenants` fleet order so the result is byte-comparable against
+//! `replay`'s `decisions.csv`. `ci.sh` closes that loop as its daemon
+//! smoke test.
+//!
+//! Flag parsing is strict: an unknown or typo'd `--flag` is a usage
+//! error, not silently ignored.
+//!
 //! Exit codes: `0` success, `1` replay/serving failure, `2` usage / IO /
 //! decode error.
 
 use std::process::ExitCode;
 
 use clr_obs::{Obs, ObsMode};
-use clr_serve::{generate_trace, replay, PolicySpec, ReplayConfig, Snapshot, Tenant, Trace};
+use clr_serve::cli::{flag, parse_fleet, split_flags};
+use clr_serve::wire::{Frame, Request};
+use clr_serve::{
+    generate_trace, is_plain_name, replay, ReplayConfig, Snapshot, Trace, DECISIONS_CSV_HEADER,
+};
 
 const USAGE: &str = "usage: clr-serve <command>
   snapshot <IN.db> <OUT.snap> [--graph G] [--platform P]
   inspect <SNAP>..
   gen-trace --out FILE --tenant NAME=SNAP@POLICY.. [--seed N] [--cycles C] [--mean-gap G]
-  replay --trace FILE --tenant NAME=SNAP@POLICY.. [--out-dir DIR] [--threads N] [--episode-cycles C]";
+  replay --trace FILE --tenant NAME=SNAP@POLICY.. [--out-dir DIR] [--threads N] [--episode-cycles C]
+  wire-encode --trace FILE --out FILE [--shutdown BOOL]
+  wire-decode --in FILE --tenants NAME,NAME,..";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -45,6 +64,8 @@ fn main() -> ExitCode {
         "inspect" => cmd_inspect(&args[1..]),
         "gen-trace" => cmd_gen_trace(&args[1..]),
         "replay" => cmd_replay(&args[1..]),
+        "wire-encode" => cmd_wire_encode(&args[1..]),
+        "wire-decode" => cmd_wire_decode(&args[1..]),
         other => {
             eprintln!("clr-serve: unknown command {other:?}\n{USAGE}");
             ExitCode::from(2)
@@ -58,62 +79,10 @@ fn usage_error(message: &str) -> ExitCode {
     ExitCode::from(2)
 }
 
-/// Positional operands plus `--flag value` pairs, borrowed from argv.
-type SplitArgs<'a> = (Vec<&'a str>, Vec<(&'a str, &'a str)>);
-
-/// Splits args into positional operands and `--flag value` pairs.
-fn split_flags(args: &[String]) -> Result<SplitArgs<'_>, String> {
-    let mut positional = Vec::new();
-    let mut flags = Vec::new();
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        if let Some(name) = arg.strip_prefix("--") {
-            let value = it
-                .next()
-                .ok_or_else(|| format!("flag --{name} needs a value"))?;
-            flags.push((name, value.as_str()));
-        } else {
-            positional.push(arg.as_str());
-        }
-    }
-    Ok((positional, flags))
-}
-
-/// Looks up the last occurrence of a flag.
-fn flag<'a>(flags: &[(&str, &'a str)], name: &str) -> Option<&'a str> {
-    flags
-        .iter()
-        .rev()
-        .find(|(n, _)| *n == name)
-        .map(|(_, v)| *v)
-}
-
-/// Parses every `--tenant NAME=SNAP@POLICY` argument into a fleet,
-/// loading each snapshot from disk.
-fn parse_fleet(flags: &[(&str, &str)]) -> Result<Vec<Tenant>, String> {
-    let mut tenants = Vec::new();
-    for (name, value) in flags.iter().filter(|(n, _)| *n == "tenant") {
-        let _ = name;
-        let (name, rest) = value
-            .split_once('=')
-            .ok_or_else(|| format!("tenant {value:?} is not NAME=SNAP@POLICY"))?;
-        let (path, policy) = rest
-            .rsplit_once('@')
-            .ok_or_else(|| format!("tenant {value:?} is not NAME=SNAP@POLICY"))?;
-        let policy: PolicySpec = policy.parse()?;
-        let snapshot = Snapshot::read_file(path).map_err(|e| format!("{path}: {e}"))?;
-        tenants.push(Tenant::from_snapshot(name, &snapshot, policy).map_err(|e| e.to_string())?);
-    }
-    if tenants.is_empty() {
-        return Err("at least one --tenant NAME=SNAP@POLICY is required".into());
-    }
-    Ok(tenants)
-}
-
 /// `snapshot`: wrap a text-codec database in the binary snapshot
 /// container.
 fn cmd_snapshot(args: &[String]) -> ExitCode {
-    let (positional, flags) = match split_flags(args) {
+    let (positional, flags) = match split_flags(args, &["graph", "platform"]) {
         Ok(p) => p,
         Err(e) => return usage_error(&e),
     };
@@ -155,10 +124,14 @@ fn cmd_snapshot(args: &[String]) -> ExitCode {
 
 /// `inspect`: decode snapshots and print their metadata.
 fn cmd_inspect(args: &[String]) -> ExitCode {
-    if args.is_empty() {
+    let (positional, _) = match split_flags(args, &[]) {
+        Ok(p) => p,
+        Err(e) => return usage_error(&e),
+    };
+    if positional.is_empty() {
         return usage_error("inspect takes at least one snapshot path");
     }
-    for path in args {
+    for path in positional {
         match Snapshot::read_file(path) {
             Ok(snap) => println!(
                 "{path}: graph {} platform {} points {} db {:?}",
@@ -178,7 +151,8 @@ fn cmd_inspect(args: &[String]) -> ExitCode {
 
 /// `gen-trace`: seeded multi-tenant workload generation.
 fn cmd_gen_trace(args: &[String]) -> ExitCode {
-    let (positional, flags) = match split_flags(args) {
+    let allowed = ["out", "tenant", "seed", "cycles", "mean-gap"];
+    let (positional, flags) = match split_flags(args, &allowed) {
         Ok(p) => p,
         Err(e) => return usage_error(&e),
     };
@@ -229,7 +203,8 @@ fn cmd_gen_trace(args: &[String]) -> ExitCode {
 /// `replay`: drive a trace through the engine, writing deterministic
 /// decision outputs.
 fn cmd_replay(args: &[String]) -> ExitCode {
-    let (positional, flags) = match split_flags(args) {
+    let allowed = ["trace", "tenant", "out-dir", "threads", "episode-cycles"];
+    let (positional, flags) = match split_flags(args, &allowed) {
         Ok(p) => p,
         Err(e) => return usage_error(&e),
     };
@@ -286,9 +261,16 @@ fn cmd_replay(args: &[String]) -> ExitCode {
         );
     }
     if report.dropped > 0 {
+        let names: Vec<String> = report
+            .dropped_by_tenant
+            .iter()
+            .map(|(name, count)| format!("{name:?} ({count})"))
+            .collect();
         eprintln!(
-            "clr-serve: {} events addressed no tenant in the fleet (dropped)",
-            report.dropped
+            "clr-serve: warning: {} events dropped — trace addresses tenants absent \
+             from the fleet: {}",
+            report.dropped,
+            names.join(", ")
         );
     }
 
@@ -319,6 +301,133 @@ fn cmd_replay(args: &[String]) -> ExitCode {
             }
         }
         None => print!("{}", report.decisions_csv()),
+    }
+    ExitCode::SUCCESS
+}
+
+/// `wire-encode`: a JSONL trace as a `CLRWIRE1` request-frame stream
+/// (seq = 1-based event index), shutdown-terminated by default.
+fn cmd_wire_encode(args: &[String]) -> ExitCode {
+    let (positional, flags) = match split_flags(args, &["trace", "out", "shutdown"]) {
+        Ok(p) => p,
+        Err(e) => return usage_error(&e),
+    };
+    if !positional.is_empty() {
+        return usage_error("wire-encode takes flags only");
+    }
+    let (Some(trace_path), Some(out)) = (flag(&flags, "trace"), flag(&flags, "out")) else {
+        return usage_error("wire-encode needs --trace FILE and --out FILE");
+    };
+    let shutdown = match flag(&flags, "shutdown").unwrap_or("true") {
+        "true" => true,
+        "false" => false,
+        other => return usage_error(&format!("bad --shutdown {other:?} (true or false)")),
+    };
+    let text = match std::fs::read_to_string(trace_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("clr-serve: cannot read {trace_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let trace = match Trace::from_jsonl(&text) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("clr-serve: {trace_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut bytes = Vec::new();
+    for (i, event) in trace.events().iter().enumerate() {
+        bytes.extend_from_slice(
+            &Frame::Request(Request::from_event(i as u64 + 1, event)).to_bytes(),
+        );
+    }
+    if shutdown {
+        bytes.extend_from_slice(&Frame::Shutdown.to_bytes());
+    }
+    if let Err(e) = std::fs::write(out, &bytes) {
+        eprintln!("clr-serve: cannot write {out}: {e}");
+        return ExitCode::from(2);
+    }
+    eprintln!(
+        "wrote {out}: {} request frames{} ({} bytes)",
+        trace.len(),
+        if shutdown { " + shutdown" } else { "" },
+        bytes.len()
+    );
+    ExitCode::SUCCESS
+}
+
+/// `wire-decode`: a `CLRWIRE1` response-frame stream back into the
+/// decision CSV, grouped by tenant in the given fleet order.
+fn cmd_wire_decode(args: &[String]) -> ExitCode {
+    let (positional, flags) = match split_flags(args, &["in", "tenants"]) {
+        Ok(p) => p,
+        Err(e) => return usage_error(&e),
+    };
+    if !positional.is_empty() {
+        return usage_error("wire-decode takes flags only");
+    }
+    let (Some(input), Some(tenants)) = (flag(&flags, "in"), flag(&flags, "tenants")) else {
+        return usage_error("wire-decode needs --in FILE and --tenants NAME,NAME,..");
+    };
+    let order: Vec<&str> = tenants.split(',').filter(|s| !s.is_empty()).collect();
+    if order.is_empty() || !order.iter().all(|name| is_plain_name(name)) {
+        return usage_error("bad --tenants (comma-separated plain names)");
+    }
+    let bytes = match std::fs::read(input) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("clr-serve: cannot read {input}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut rows: Vec<Vec<String>> = vec![Vec::new(); order.len()];
+    let mut rest = &bytes[..];
+    let mut errors = 0usize;
+    while !rest.is_empty() {
+        let (frame, used) = match Frame::from_bytes(rest) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("clr-serve: {input}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        rest = &rest[used..];
+        match frame {
+            Frame::Response(r) => {
+                let Some(idx) = order.iter().position(|&name| name == r.tenant) else {
+                    eprintln!(
+                        "clr-serve: {input}: response for tenant {:?} not in --tenants",
+                        r.tenant
+                    );
+                    return ExitCode::from(2);
+                };
+                rows[idx].push(r.decision.csv_row(&r.tenant));
+            }
+            Frame::Error(e) => {
+                eprintln!(
+                    "clr-serve: warning: error frame seq {}: {}",
+                    e.seq, e.message
+                );
+                errors += 1;
+            }
+            Frame::Shutdown => {}
+            Frame::Request(_) => {
+                eprintln!("clr-serve: {input}: request frame in a response stream");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    println!("{DECISIONS_CSV_HEADER}");
+    for tenant_rows in rows {
+        for row in tenant_rows {
+            println!("{row}");
+        }
+    }
+    if errors > 0 {
+        eprintln!("clr-serve: warning: {errors} requests were rejected by the daemon");
     }
     ExitCode::SUCCESS
 }

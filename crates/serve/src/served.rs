@@ -1,0 +1,122 @@
+//! `clr-served` — the long-running multi-tenant decision daemon.
+//!
+//! ```text
+//! clr-served --tenant NAME=SNAP@POLICY.. [--batch N] [--threads N]
+//!            [--episode-cycles C] [--quarantine-after K]
+//! ```
+//!
+//! Speaks the `CLRWIRE1` framed protocol on stdin/stdout: request
+//! frames in, response (or error) frames out, batched admission with
+//! bounded-queue backpressure, graceful drain on end-of-stream or an
+//! explicit shutdown frame. Responses for a time-sorted trace are
+//! decision-for-decision identical to one batch `clr-serve replay` of
+//! the same fleet — `ci.sh` byte-compares the two via
+//! `clr-serve wire-encode` / `wire-decode`.
+//!
+//! Diagnostics go to stderr (stdout carries only frames). On drain the
+//! daemon prints the same per-tenant summary lines `clr-serve replay`
+//! prints.
+//!
+//! Flag parsing is strict: an unknown or typo'd `--flag` is a usage
+//! error.
+//!
+//! Exit codes: `0` clean drain (shutdown frame or end-of-stream), `1`
+//! serving failure (corrupt request stream, unwritable responses), `2`
+//! usage error.
+
+use std::process::ExitCode;
+
+use clr_serve::cli::{flag, parse_fleet, split_flags};
+use clr_serve::{serve_stream, DaemonConfig};
+
+const USAGE: &str = "usage: clr-served --tenant NAME=SNAP@POLICY.. \
+[--batch N] [--threads N] [--episode-cycles C] [--quarantine-after K]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let allowed = [
+        "tenant",
+        "batch",
+        "threads",
+        "episode-cycles",
+        "quarantine-after",
+    ];
+    let (positional, flags) = match split_flags(&args, &allowed) {
+        Ok(p) => p,
+        Err(e) => return usage_error(&e),
+    };
+    if !positional.is_empty() {
+        return usage_error("clr-served takes flags only");
+    }
+    let mut config = DaemonConfig::default();
+    if let Some(v) = flag(&flags, "batch") {
+        match v.parse::<usize>() {
+            Ok(n) if n >= 1 => config.batch = n,
+            _ => return usage_error("bad --batch (a positive integer)"),
+        }
+    }
+    if let Some(v) = flag(&flags, "threads") {
+        match v.parse() {
+            Ok(n) => config.replay.threads = n,
+            Err(_) => return usage_error("bad --threads"),
+        }
+    }
+    if let Some(v) = flag(&flags, "episode-cycles") {
+        match v.parse::<f64>() {
+            Ok(c) if c > 0.0 => config.replay.episode_cycles = c,
+            _ => return usage_error("bad --episode-cycles"),
+        }
+    }
+    if let Some(v) = flag(&flags, "quarantine-after") {
+        match v.parse::<usize>() {
+            Ok(k) => config.replay.quarantine_after = k,
+            Err(_) => return usage_error("bad --quarantine-after"),
+        }
+    }
+    let tenants = match parse_fleet(&flags) {
+        Ok(t) => t,
+        Err(e) => return usage_error(&e),
+    };
+    eprintln!(
+        "clr-served: {} tenants seated, batch {}, serving on stdin/stdout",
+        tenants.len(),
+        config.batch
+    );
+
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut input = stdin.lock();
+    let mut output = stdout.lock();
+    match serve_stream(&tenants, &mut input, &mut output, &config) {
+        Ok(report) => {
+            for o in &report.outcomes {
+                eprintln!(
+                    "tenant {}: {} events, {} reconfigurations, {} violations, total dRC {}",
+                    o.name, o.events, o.reconfigurations, o.violations, o.total_drc
+                );
+            }
+            eprintln!(
+                "clr-served: drained — {} served, {} rejected, {} batches ({})",
+                report.served,
+                report.rejected,
+                report.batches,
+                if report.clean_shutdown {
+                    "shutdown frame"
+                } else {
+                    "end of stream"
+                }
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("clr-served: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+/// Prints a usage error and returns the usage exit code.
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("clr-served: {message}\n{USAGE}");
+    ExitCode::from(2)
+}

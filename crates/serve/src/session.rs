@@ -1,0 +1,430 @@
+//! Incremental per-tenant serving: one [`TenantSession`] is the resident
+//! state machine behind both the batch [`crate::replay`] loop and the
+//! `clr-served` daemon.
+//!
+//! A session owns everything one tenant needs to turn a QoS event into a
+//! decision — its [`clr_runtime::RuntimeContext`], a fresh policy
+//! instance, the monotonised clock, the degradation-ladder state
+//! (last-known-good, consecutive-fault counter, quarantine flag) and the
+//! fault plan's site coordinates — so `feed(event)` is a total function:
+//! every event produces a [`DecisionRecord`], whatever the input looks
+//! like. Batch replay is a thin loop over sessions (`new` + `feed`*),
+//! which is what makes the batch and incremental paths provably one code
+//! path: the proptest in `tests/feed_replay.rs` asserts byte-identical
+//! CSVs and journals between the two.
+//!
+//! ## Malformed timestamps
+//!
+//! A non-finite event time (`NaN`/`±inf`) cannot come from a JSONL trace
+//! (JSON has no such tokens) but can arrive through the wire protocol or
+//! the API. It used to be silently clamped to "now" and served as if
+//! nothing happened; a session instead classifies it as **malformed
+//! input**: the event is served through the degradation ladder at the
+//! current clock, recorded with [`clr_chaos::FaultKind::TraceMalformed`],
+//! journaled like any absorbed fault and counted toward quarantine.
+
+use clr_chaos::FaultKind;
+use clr_runtime::{AdaptationPolicy, HvPolicy, RuntimeContext};
+
+use crate::{DecisionRecord, ReplayConfig, ServeStatus, Tenant, TenantOutcome, TraceEvent};
+
+/// The decision-layer fault kinds, in the fixed priority order used when
+/// several fire on the same event.
+const DECISION_FAULTS: [FaultKind; 3] = [
+    FaultKind::TransientInfeasible,
+    FaultKind::BudgetExhausted,
+    FaultKind::PolicyFailure,
+];
+
+/// One tenant's resident decision state machine.
+///
+/// Feed events in the tenant's stream order; the session accumulates the
+/// same [`TenantOutcome`] a batch replay would produce. Sessions share no
+/// mutable state, so a fleet of sessions can be sharded across worker
+/// threads freely — a decision depends only on `(tenant, tenant_idx,
+/// config, events so far)`, never on scheduling.
+pub struct TenantSession<'a> {
+    tenant: &'a Tenant,
+    /// Fleet index: one half of the fault plan's site coordinates, so
+    /// injection is independent of worker scheduling.
+    tenant_idx: usize,
+    config: ReplayConfig,
+    /// `None` when the runtime context failed to build (corrupted
+    /// artifact): the ladder's terminal case, every event quarantines.
+    ctx: Option<RuntimeContext<'a>>,
+    baseline: HvPolicy,
+    policy: Box<dyn AdaptationPolicy>,
+    current: usize,
+    lkg: Option<usize>,
+    consecutive_faults: usize,
+    quarantined: bool,
+    next_episode_end: f64,
+    feas_buf: Vec<usize>,
+    now: f64,
+    outcome: TenantOutcome,
+}
+
+impl std::fmt::Debug for TenantSession<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TenantSession")
+            .field("tenant", &self.tenant.name())
+            .field("tenant_idx", &self.tenant_idx)
+            .field("events", &self.outcome.events)
+            .field("current", &self.current)
+            .field("quarantined", &self.quarantined)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> TenantSession<'a> {
+    /// Opens a session for `tenant` at fleet index `tenant_idx`.
+    ///
+    /// A tenant whose runtime context cannot be built (e.g. a corrupted
+    /// artifact with non-finite metrics) is quarantined outright instead
+    /// of panicking: the failure is recorded in the outcome and every fed
+    /// event is recorded-but-not-served.
+    pub fn new(tenant: &'a Tenant, tenant_idx: usize, config: &ReplayConfig) -> Self {
+        let mut outcome = TenantOutcome {
+            name: tenant.name().to_string(),
+            points: tenant.db().len(),
+            events: 0,
+            reconfigurations: 0,
+            violations: 0,
+            degraded: 0,
+            quarantined: 0,
+            faults: 0,
+            total_drc: 0.0,
+            failure: None,
+            decisions: Vec::new(),
+        };
+        let ctx = match RuntimeContext::try_new(tenant.graph(), tenant.platform(), tenant.db()) {
+            Ok(ctx) => Some(ctx),
+            Err(e) => {
+                outcome.failure = Some(e.to_string());
+                None
+            }
+        };
+        let quarantined = ctx.is_none();
+        Self {
+            tenant,
+            tenant_idx,
+            config: *config,
+            ctx,
+            baseline: HvPolicy::new(),
+            policy: tenant.policy().build(tenant.db().len()),
+            current: tenant.initial_point(),
+            lkg: None,
+            consecutive_faults: 0,
+            quarantined,
+            next_episode_end: config.episode_cycles,
+            feas_buf: Vec::new(),
+            now: 0.0,
+            outcome,
+        }
+    }
+
+    /// The tenant this session serves.
+    pub fn tenant(&self) -> &'a Tenant {
+        self.tenant
+    }
+
+    /// The session's fleet index (fault-plan site coordinate).
+    pub fn tenant_idx(&self) -> usize {
+        self.tenant_idx
+    }
+
+    /// Events fed so far.
+    pub fn events(&self) -> usize {
+        self.outcome.events
+    }
+
+    /// `true` once the session has stopped serving (K consecutive faults
+    /// or a failed runtime context).
+    pub fn is_quarantined(&self) -> bool {
+        self.quarantined
+    }
+
+    /// The accumulated outcome (identical to what a batch replay of the
+    /// same event sequence would report).
+    pub fn outcome(&self) -> &TenantOutcome {
+        &self.outcome
+    }
+
+    /// Closes the session, yielding its outcome.
+    pub fn into_outcome(self) -> TenantOutcome {
+        self.outcome
+    }
+
+    /// Serves one event, returning the decision record (also appended to
+    /// the session's outcome).
+    ///
+    /// Total by construction: malformed timestamps degrade (see the
+    /// module docs), quarantined sessions record without serving, empty
+    /// feasible sets hold position and count a violation. The event's
+    /// `tenant` field is the caller's routing concern and is not
+    /// re-checked here (a `debug_assert!` guards mismatches in dev
+    /// builds).
+    pub fn feed(&mut self, event: &TraceEvent) -> DecisionRecord {
+        debug_assert!(
+            event.tenant == self.tenant.name(),
+            "event for {:?} fed to session {:?}",
+            event.tenant,
+            self.tenant.name()
+        );
+        self.feed_at(event.time, event.spec)
+    }
+
+    /// [`feed`](Self::feed) without the event envelope: the wire path
+    /// (`clr-served`) has already routed the request by tenant name, so
+    /// it serves `(time, spec)` directly instead of materialising a
+    /// [`TraceEvent`] (and its owned name `String`) per request.
+    pub fn feed_at(&mut self, event_time: f64, spec: clr_dse::QosSpec) -> DecisionRecord {
+        // Monotonised clock: duplicate timestamps serve in file order at
+        // the same instant; a regressing timestamp serves "now"; a
+        // non-finite timestamp is malformed input, served "now" through
+        // the ladder.
+        let malformed = !event_time.is_finite();
+        let time = if malformed {
+            self.now
+        } else {
+            event_time.max(self.now)
+        };
+        self.now = time;
+        self.outcome.events += 1;
+        let ordinal = self.outcome.events as u64;
+
+        let (Some(ctx), false) = (self.ctx.as_ref(), self.quarantined) else {
+            self.outcome.quarantined += 1;
+            let record = DecisionRecord {
+                event: self.outcome.events,
+                time,
+                spec,
+                feasible: 0,
+                from: self.current,
+                to: self.current,
+                drc: 0.0,
+                score: None,
+                p_rc: None,
+                violated: false,
+                status: ServeStatus::Quarantined,
+                fault: None,
+            };
+            self.outcome.decisions.push(record.clone());
+            return record;
+        };
+
+        if self.config.episode_cycles.is_finite() && self.config.episode_cycles > 0.0 {
+            while self.next_episode_end <= time {
+                self.policy.end_episode();
+                self.next_episode_end += self.config.episode_cycles;
+            }
+        }
+
+        ctx.feasible_into(&spec, &mut self.feas_buf);
+        // Malformed input outranks injected decision faults: the event
+        // itself is the damage.
+        let fault = if malformed {
+            Some(FaultKind::TraceMalformed)
+        } else {
+            DECISION_FAULTS
+                .iter()
+                .copied()
+                .find(|&k| self.config.faults.fires(k, self.tenant_idx as u64, ordinal))
+        };
+        if fault == Some(FaultKind::TransientInfeasible) {
+            // The feasibility index is the faulted component: the
+            // feasible set transiently reads empty.
+            self.feas_buf.clear();
+        }
+
+        let (to, violated, score, p_rc, status) = match fault {
+            None => {
+                let (decision, score, p_rc) =
+                    self.policy
+                        .decide_scored_from(ctx, self.current, &spec, &self.feas_buf);
+                match decision {
+                    Some(p) => (p, false, score, p_rc, ServeStatus::Normal),
+                    None => (self.current, true, score, p_rc, ServeStatus::Normal),
+                }
+            }
+            Some(kind) => {
+                // The ladder: last-known-good → hypervolume baseline →
+                // hold (+violation).
+                let feas_buf = &self.feas_buf;
+                let lkg_usable = self.lkg.filter(|&l| {
+                    // Under a transient-infeasibility fault the index is
+                    // down, so the stale point is served unverified.
+                    kind == FaultKind::TransientInfeasible || feas_buf.binary_search(&l).is_ok()
+                });
+                if let Some(l) = lkg_usable {
+                    (l, false, None, None, ServeStatus::DegradedLkg)
+                } else if let Some(b) = self.baseline.select_from(ctx, &spec, &self.feas_buf) {
+                    (b, false, None, None, ServeStatus::DegradedBaseline)
+                } else {
+                    (self.current, true, None, None, ServeStatus::DegradedHold)
+                }
+            }
+        };
+        let drc = ctx.drc(self.current, to);
+        self.policy.observe(ctx, self.current, to);
+
+        if violated {
+            self.outcome.violations += 1;
+        }
+        if to != self.current {
+            self.outcome.reconfigurations += 1;
+        }
+        if fault.is_some() {
+            self.outcome.faults += 1;
+            self.outcome.degraded += 1;
+            self.consecutive_faults += 1;
+            if self.config.quarantine_after > 0
+                && self.consecutive_faults >= self.config.quarantine_after
+            {
+                self.quarantined = true;
+            }
+        } else {
+            self.consecutive_faults = 0;
+            if !violated {
+                self.lkg = Some(to);
+            }
+        }
+        self.outcome.total_drc += drc;
+        let record = DecisionRecord {
+            event: self.outcome.events,
+            time,
+            spec,
+            feasible: self.feas_buf.len(),
+            from: self.current,
+            to,
+            drc,
+            score,
+            p_rc,
+            violated,
+            status,
+            fault,
+        };
+        self.outcome.decisions.push(record.clone());
+        self.current = to;
+        record
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PolicySpec;
+    use clr_dse::{DesignPoint, DesignPointDb, PointOrigin, QosSpec};
+    use clr_platform::Platform;
+    use clr_sched::{Mapping, SystemMetrics};
+    use clr_taskgraph::jpeg_encoder;
+
+    fn small_db(n: usize) -> DesignPointDb {
+        let mapping = Mapping::first_fit(&jpeg_encoder(), &Platform::dac19()).unwrap();
+        let mut db = DesignPointDb::new("t");
+        for i in 0..n {
+            let f = i as f64 / n as f64;
+            db.push(DesignPoint::new(
+                mapping.clone(),
+                SystemMetrics {
+                    makespan: 50.0 + 100.0 * f,
+                    reliability: 0.6 + 0.35 * f,
+                    energy: 1.0 + f,
+                    peak_power: 1.0,
+                    mean_mttf: 100.0,
+                },
+                PointOrigin::Pareto,
+            ));
+        }
+        db
+    }
+
+    fn session_tenant() -> Tenant {
+        Tenant::from_parts(
+            "solo",
+            jpeg_encoder(),
+            Platform::dac19(),
+            small_db(8),
+            PolicySpec::Ura { p_rc: 0.5 },
+        )
+        .unwrap()
+    }
+
+    fn ev(time: f64, s: f64, f: f64) -> TraceEvent {
+        TraceEvent {
+            tenant: "solo".into(),
+            time,
+            spec: QosSpec::new(s, f),
+        }
+    }
+
+    #[test]
+    fn feed_accumulates_the_outcome_in_stream_order() {
+        let tenant = session_tenant();
+        let mut session = TenantSession::new(&tenant, 0, &ReplayConfig::default());
+        for i in 0..5 {
+            let d = session.feed(&ev(f64::from(i) * 10.0, f64::MAX, 0.0));
+            assert_eq!(d.event, i as usize + 1);
+            assert_eq!(d.status, ServeStatus::Normal);
+        }
+        assert_eq!(session.events(), 5);
+        assert_eq!(session.outcome().decisions.len(), 5);
+        assert!(!session.is_quarantined());
+        let outcome = session.into_outcome();
+        assert_eq!(outcome.events, 5);
+        assert_eq!(outcome.violations, 0);
+    }
+
+    #[test]
+    fn non_finite_timestamps_are_classified_malformed() {
+        let tenant = session_tenant();
+        let config = ReplayConfig {
+            quarantine_after: 0,
+            ..ReplayConfig::default()
+        };
+        let mut session = TenantSession::new(&tenant, 0, &config);
+        let clean = session.feed(&ev(10.0, f64::MAX, 0.0));
+        assert_eq!(clean.status, ServeStatus::Normal);
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let d = session.feed(&ev(bad, f64::MAX, 0.0));
+            assert_eq!(d.fault, Some(FaultKind::TraceMalformed));
+            assert!(d.status.is_degraded(), "malformed input must degrade");
+            assert_eq!(d.time, 10.0, "malformed input serves at the current clock");
+        }
+        assert_eq!(session.outcome().faults, 3);
+        // The ladder serves the last-known-good point, so service
+        // continues despite the damage.
+        assert_eq!(session.outcome().degraded, 3);
+    }
+
+    #[test]
+    fn consecutive_malformed_timestamps_quarantine() {
+        let tenant = session_tenant();
+        let config = ReplayConfig {
+            quarantine_after: 2,
+            ..ReplayConfig::default()
+        };
+        let mut session = TenantSession::new(&tenant, 0, &config);
+        session.feed(&ev(f64::NAN, f64::MAX, 0.0));
+        assert!(!session.is_quarantined());
+        session.feed(&ev(f64::NAN, f64::MAX, 0.0));
+        assert!(session.is_quarantined(), "K consecutive malformed events");
+        let d = session.feed(&ev(30.0, f64::MAX, 0.0));
+        assert_eq!(d.status, ServeStatus::Quarantined);
+    }
+
+    #[test]
+    fn malformed_first_event_serves_at_time_zero() {
+        let tenant = session_tenant();
+        let config = ReplayConfig {
+            quarantine_after: 0,
+            ..ReplayConfig::default()
+        };
+        let mut session = TenantSession::new(&tenant, 0, &config);
+        let d = session.feed(&ev(f64::NAN, f64::MAX, 0.0));
+        assert_eq!(d.time, 0.0);
+        assert_eq!(d.fault, Some(FaultKind::TraceMalformed));
+        // No LKG yet: the baseline rung serves it.
+        assert_eq!(d.status, ServeStatus::DegradedBaseline);
+    }
+}

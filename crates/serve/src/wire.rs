@@ -1,0 +1,808 @@
+//! `CLRWIRE1`: the length-prefixed framed binary protocol `clr-served`
+//! speaks.
+//!
+//! Every frame is a fixed 32-byte header followed by a checksummed
+//! payload — the same integrity discipline as the `CLRSNAP1` snapshot
+//! container:
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"CLRWIRE1"
+//! 8       2     protocol version, u16 LE (currently 1)
+//! 10      1     frame kind, u8 (1 request, 2 response, 3 error, 4 shutdown)
+//! 11      5     reserved, must be 0
+//! 16      8     payload length in bytes, u64 LE (capped at 64 KiB)
+//! 24      8     FNV-1a 64 checksum of the payload, u64 LE
+//! 32      n     payload
+//! ```
+//!
+//! All payload integers and float bit patterns are little-endian; floats
+//! travel as raw IEEE-754 bits, so a decision's numbers round-trip
+//! exactly and the daemon's responses can be byte-compared against batch
+//! replay output. Payloads:
+//!
+//! - **Request**: `seq` u64, `time` f64, `s_max` f64, `f_min` f64,
+//!   tenant name (u16 length + UTF-8, `[A-Za-z0-9_-]+`). Carries one QoS
+//!   requirement change addressed to a tenant — the wire form of a
+//!   [`TraceEvent`].
+//! - **Response**: `seq` u64, tenant name, then the full
+//!   [`DecisionRecord`]: `event` u64, `time`/`s_max`/`f_min` f64,
+//!   `feasible`/`from`/`to` u64, `drc` f64, optional `score`/`p_rc`
+//!   (presence u8 + f64), `violated` u8, `status` u8, `fault` u8
+//!   (0 = none, else 1 + index into [`FaultKind::ALL`]).
+//! - **Error**: `seq` u64 (0 when the offending frame's seq is
+//!   unrecoverable), message (u16 length + UTF-8).
+//! - **Shutdown**: empty payload; asks the daemon to drain and exit.
+//!
+//! A decoder rejects bad magic, unsupported versions, unknown kinds,
+//! nonzero reserved bytes, over-cap or mismatched lengths and checksum
+//! mismatches — a corrupted frame is refused loudly, never served.
+
+use std::io::{Read, Write};
+
+use clr_chaos::FaultKind;
+use clr_dse::QosSpec;
+
+use crate::{fnv1a64, is_plain_name, DecisionRecord, ServeStatus, TraceEvent};
+
+/// Magic bytes opening every frame.
+pub const WIRE_MAGIC: [u8; 8] = *b"CLRWIRE1";
+
+/// The protocol version this build speaks.
+pub const WIRE_VERSION: u16 = 1;
+
+/// Size of the fixed frame header.
+pub const WIRE_HEADER_LEN: usize = 32;
+
+/// Upper bound on a frame payload. Tenant names are short and decision
+/// records are fixed-size, so any larger declared length is hostile or
+/// corrupt input, refused before allocation.
+pub const MAX_PAYLOAD_LEN: usize = 64 * 1024;
+
+/// One protocol frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// A QoS requirement change addressed to a tenant.
+    Request(Request),
+    /// The decision serving one request.
+    Response(Response),
+    /// The request could not be served (unknown tenant, corrupt frame).
+    Error(ErrorFrame),
+    /// Drain everything admitted so far and exit gracefully.
+    Shutdown,
+}
+
+/// The wire form of one QoS event (`kind = 1`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen sequence number, echoed on the response.
+    pub seq: u64,
+    /// Target tenant name.
+    pub tenant: String,
+    /// Event time in application-cycle units. Non-finite bit patterns
+    /// are representable on the wire; the engine classifies them as
+    /// malformed input and serves them through the degradation ladder.
+    pub time: f64,
+    /// The new requirement.
+    pub spec: QosSpec,
+}
+
+impl Request {
+    /// The trace event this request carries.
+    pub fn to_event(&self) -> TraceEvent {
+        TraceEvent {
+            tenant: self.tenant.clone(),
+            time: self.time,
+            spec: self.spec,
+        }
+    }
+
+    /// Wraps a trace event as a request frame.
+    pub fn from_event(seq: u64, event: &TraceEvent) -> Self {
+        Self {
+            seq,
+            tenant: event.tenant.clone(),
+            time: event.time,
+            spec: event.spec,
+        }
+    }
+}
+
+/// The wire form of one served decision (`kind = 2`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// The request's sequence number.
+    pub seq: u64,
+    /// The tenant that served it.
+    pub tenant: String,
+    /// The decision, exactly as the batch engine would record it.
+    pub decision: DecisionRecord,
+}
+
+/// A request-level failure (`kind = 3`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrorFrame {
+    /// The offending request's sequence number (0 when unrecoverable).
+    pub seq: u64,
+    /// Human-readable reason.
+    pub message: String,
+}
+
+/// Why a frame failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The stream ended inside a frame (header or payload).
+    Truncated,
+    /// The first 8 bytes are not [`WIRE_MAGIC`].
+    BadMagic,
+    /// The header declares a version this build does not speak.
+    UnsupportedVersion {
+        /// Declared version.
+        version: u16,
+    },
+    /// The header's kind byte names no frame type.
+    BadKind {
+        /// Declared kind byte.
+        kind: u8,
+    },
+    /// Reserved header bytes are nonzero.
+    BadReserved,
+    /// The declared payload length exceeds [`MAX_PAYLOAD_LEN`].
+    OversizedPayload {
+        /// Declared length.
+        declared: u64,
+    },
+    /// The payload checksum does not match the header.
+    ChecksumMismatch {
+        /// Checksum declared in the header.
+        declared: u64,
+        /// Checksum of the bytes present.
+        actual: u64,
+    },
+    /// The payload's fields are malformed (bad name, bad enum code,
+    /// wrong length for its kind).
+    Malformed(String),
+    /// The underlying reader/writer failed.
+    Io(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Truncated => write!(f, "stream truncated inside a frame"),
+            Self::BadMagic => write!(f, "bad magic (not a CLRWIRE1 frame)"),
+            Self::UnsupportedVersion { version } => {
+                write!(
+                    f,
+                    "unsupported protocol version {version} (this build speaks {WIRE_VERSION})"
+                )
+            }
+            Self::BadKind { kind } => write!(f, "unknown frame kind {kind}"),
+            Self::BadReserved => write!(f, "reserved header bytes are nonzero"),
+            Self::OversizedPayload { declared } => {
+                write!(
+                    f,
+                    "declared payload length {declared} exceeds the {MAX_PAYLOAD_LEN}-byte cap"
+                )
+            }
+            Self::ChecksumMismatch { declared, actual } => {
+                write!(
+                    f,
+                    "payload checksum mismatch (header {declared:#018x}, payload {actual:#018x})"
+                )
+            }
+            Self::Malformed(m) => write!(f, "malformed payload: {m}"),
+            Self::Io(m) => write!(f, "io error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Stable status codes for [`ServeStatus`] on the wire (append-only).
+fn status_code(status: ServeStatus) -> u8 {
+    match status {
+        ServeStatus::Normal => 0,
+        ServeStatus::DegradedLkg => 1,
+        ServeStatus::DegradedBaseline => 2,
+        ServeStatus::DegradedHold => 3,
+        ServeStatus::Quarantined => 4,
+    }
+}
+
+fn status_from_code(code: u8) -> Option<ServeStatus> {
+    match code {
+        0 => Some(ServeStatus::Normal),
+        1 => Some(ServeStatus::DegradedLkg),
+        2 => Some(ServeStatus::DegradedBaseline),
+        3 => Some(ServeStatus::DegradedHold),
+        4 => Some(ServeStatus::Quarantined),
+        _ => None,
+    }
+}
+
+/// `0` = no fault, else `1 + index` into [`FaultKind::ALL`].
+fn fault_code(fault: Option<FaultKind>) -> u8 {
+    match fault {
+        None => 0,
+        Some(kind) => {
+            let idx = FaultKind::ALL
+                .iter()
+                .position(|&k| k == kind)
+                .unwrap_or_default();
+            u8::try_from(idx + 1).unwrap_or_default()
+        }
+    }
+}
+
+fn fault_from_code(code: u8) -> Result<Option<FaultKind>, WireError> {
+    if code == 0 {
+        return Ok(None);
+    }
+    FaultKind::ALL
+        .get(usize::from(code) - 1)
+        .copied()
+        .map(Some)
+        .ok_or_else(|| WireError::Malformed(format!("unknown fault code {code}")))
+}
+
+/// Little-endian payload writer.
+#[derive(Default)]
+struct PayloadWriter {
+    bytes: Vec<u8>,
+}
+
+impl PayloadWriter {
+    fn u64(&mut self, v: u64) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    fn u8(&mut self, v: u8) {
+        self.bytes.push(v);
+    }
+    fn opt_f64(&mut self, v: Option<f64>) {
+        match v {
+            Some(x) => {
+                self.u8(1);
+                self.f64(x);
+            }
+            None => {
+                self.u8(0);
+                self.f64(0.0);
+            }
+        }
+    }
+    fn name(&mut self, name: &str) {
+        debug_assert!(is_plain_name(name), "wire names are [A-Za-z0-9_-]+");
+        let len = u16::try_from(name.len()).unwrap_or(u16::MAX);
+        self.bytes.extend_from_slice(&len.to_le_bytes());
+        self.bytes
+            .extend_from_slice(&name.as_bytes()[..usize::from(len)]);
+    }
+}
+
+/// Little-endian payload reader.
+struct PayloadReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> PayloadReader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| WireError::Malformed("payload shorter than its fields".into()))?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let raw = self.take(8)?;
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(raw);
+        Ok(u64::from_le_bytes(buf))
+    }
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+    fn opt_f64(&mut self) -> Result<Option<f64>, WireError> {
+        let present = self.u8()?;
+        let value = self.f64()?;
+        match present {
+            0 => Ok(None),
+            1 => Ok(Some(value)),
+            other => Err(WireError::Malformed(format!(
+                "bad option flag {other} (expected 0 or 1)"
+            ))),
+        }
+    }
+    fn name(&mut self) -> Result<String, WireError> {
+        let raw = self.take(2)?;
+        let len = usize::from(u16::from_le_bytes([raw[0], raw[1]]));
+        let bytes = self.take(len)?;
+        let name = std::str::from_utf8(bytes)
+            .map_err(|_| WireError::Malformed("tenant name is not UTF-8".into()))?;
+        if !is_plain_name(name) {
+            return Err(WireError::Malformed(format!("bad tenant name {name:?}")));
+        }
+        Ok(name.to_string())
+    }
+    fn finish(self) -> Result<(), WireError> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(WireError::Malformed(format!(
+                "{} trailing payload bytes",
+                self.bytes.len() - self.pos
+            )))
+        }
+    }
+}
+
+impl Frame {
+    /// The header kind byte of this frame.
+    pub fn kind(&self) -> u8 {
+        match self {
+            Self::Request(_) => 1,
+            Self::Response(_) => 2,
+            Self::Error(_) => 3,
+            Self::Shutdown => 4,
+        }
+    }
+
+    /// Encodes the frame (header + payload).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut payload = PayloadWriter::default();
+        match self {
+            Self::Request(r) => {
+                payload.u64(r.seq);
+                payload.f64(r.time);
+                payload.f64(r.spec.max_makespan);
+                payload.f64(r.spec.min_reliability);
+                payload.name(&r.tenant);
+            }
+            Self::Response(r) => {
+                let d = &r.decision;
+                payload.u64(r.seq);
+                payload.name(&r.tenant);
+                payload.u64(d.event as u64);
+                payload.f64(d.time);
+                payload.f64(d.spec.max_makespan);
+                payload.f64(d.spec.min_reliability);
+                payload.u64(d.feasible as u64);
+                payload.u64(d.from as u64);
+                payload.u64(d.to as u64);
+                payload.f64(d.drc);
+                payload.opt_f64(d.score);
+                payload.opt_f64(d.p_rc);
+                payload.u8(u8::from(d.violated));
+                payload.u8(status_code(d.status));
+                payload.u8(fault_code(d.fault));
+            }
+            Self::Error(e) => {
+                payload.u64(e.seq);
+                let msg = e.message.as_bytes();
+                let len = u16::try_from(msg.len()).unwrap_or(u16::MAX);
+                payload.bytes.extend_from_slice(&len.to_le_bytes());
+                payload.bytes.extend_from_slice(&msg[..usize::from(len)]);
+            }
+            Self::Shutdown => {}
+        }
+        let payload = payload.bytes;
+        let mut out = Vec::with_capacity(WIRE_HEADER_LEN + payload.len());
+        out.extend_from_slice(&WIRE_MAGIC);
+        out.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+        out.push(self.kind());
+        out.extend_from_slice(&[0u8; 5]);
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Decodes one frame from a validated header + payload pair.
+    fn from_parts(kind: u8, payload: &[u8]) -> Result<Self, WireError> {
+        let mut r = PayloadReader::new(payload);
+        let frame = match kind {
+            1 => {
+                let seq = r.u64()?;
+                let time = r.f64()?;
+                let s_max = r.f64()?;
+                let f_min = r.f64()?;
+                let tenant = r.name()?;
+                Self::Request(Request {
+                    seq,
+                    tenant,
+                    time,
+                    spec: QosSpec::new(s_max, f_min),
+                })
+            }
+            2 => {
+                let seq = r.u64()?;
+                let tenant = r.name()?;
+                let event = usize::try_from(r.u64()?)
+                    .map_err(|_| WireError::Malformed("event ordinal overflows usize".into()))?;
+                let time = r.f64()?;
+                let s_max = r.f64()?;
+                let f_min = r.f64()?;
+                let idx = |v: u64| {
+                    usize::try_from(v)
+                        .map_err(|_| WireError::Malformed("point index overflows usize".into()))
+                };
+                let feasible = idx(r.u64()?)?;
+                let from = idx(r.u64()?)?;
+                let to = idx(r.u64()?)?;
+                let drc = r.f64()?;
+                let score = r.opt_f64()?;
+                let p_rc = r.opt_f64()?;
+                let violated = match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    other => {
+                        return Err(WireError::Malformed(format!(
+                            "bad violated flag {other} (expected 0 or 1)"
+                        )))
+                    }
+                };
+                let status = status_from_code(r.u8()?)
+                    .ok_or_else(|| WireError::Malformed("unknown status code".to_string()))?;
+                let fault = fault_from_code(r.u8()?)?;
+                Self::Response(Response {
+                    seq,
+                    tenant,
+                    decision: DecisionRecord {
+                        event,
+                        time,
+                        spec: QosSpec::new(s_max, f_min),
+                        feasible,
+                        from,
+                        to,
+                        drc,
+                        score,
+                        p_rc,
+                        violated,
+                        status,
+                        fault,
+                    },
+                })
+            }
+            3 => {
+                let seq = r.u64()?;
+                let raw = r.take(2)?;
+                let len = usize::from(u16::from_le_bytes([raw[0], raw[1]]));
+                let bytes = r.take(len)?;
+                let message = std::str::from_utf8(bytes)
+                    .map_err(|_| WireError::Malformed("error message is not UTF-8".into()))?
+                    .to_string();
+                Self::Error(ErrorFrame { seq, message })
+            }
+            4 => Self::Shutdown,
+            other => return Err(WireError::BadKind { kind: other }),
+        };
+        r.finish()?;
+        Ok(frame)
+    }
+
+    /// Decodes one frame from a byte buffer, returning the frame and the
+    /// total bytes consumed.
+    ///
+    /// # Errors
+    ///
+    /// Every structural violation is a typed [`WireError`]; see the
+    /// module docs for the rejection rules.
+    pub fn from_bytes(bytes: &[u8]) -> Result<(Self, usize), WireError> {
+        if bytes.len() < WIRE_HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        let (kind, declared_len, declared_sum) = decode_header(&bytes[..WIRE_HEADER_LEN])?;
+        let total =
+            WIRE_HEADER_LEN
+                .checked_add(declared_len)
+                .ok_or(WireError::OversizedPayload {
+                    declared: declared_len as u64,
+                })?;
+        if bytes.len() < total {
+            return Err(WireError::Truncated);
+        }
+        let payload = &bytes[WIRE_HEADER_LEN..total];
+        let actual = fnv1a64(payload);
+        if actual != declared_sum {
+            return Err(WireError::ChecksumMismatch {
+                declared: declared_sum,
+                actual,
+            });
+        }
+        Ok((Self::from_parts(kind, payload)?, total))
+    }
+
+    /// Writes the encoded frame to `w`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Io`] when the writer fails.
+    pub fn write_to(&self, w: &mut dyn Write) -> Result<(), WireError> {
+        w.write_all(&self.to_bytes())
+            .map_err(|e| WireError::Io(e.to_string()))
+    }
+
+    /// Reads one frame from `r`. Returns `Ok(None)` on a clean EOF at a
+    /// frame boundary; EOF inside a frame is [`WireError::Truncated`].
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] for structural violations or reader failures.
+    pub fn read_from(r: &mut dyn Read) -> Result<Option<Self>, WireError> {
+        let mut header = [0u8; WIRE_HEADER_LEN];
+        let mut filled = 0usize;
+        while filled < header.len() {
+            match r.read(&mut header[filled..]) {
+                Ok(0) if filled == 0 => return Ok(None),
+                Ok(0) => return Err(WireError::Truncated),
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(WireError::Io(e.to_string())),
+            }
+        }
+        let (kind, declared_len, declared_sum) = decode_header(&header)?;
+        let mut payload = vec![0u8; declared_len];
+        r.read_exact(&mut payload).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                WireError::Truncated
+            } else {
+                WireError::Io(e.to_string())
+            }
+        })?;
+        let actual = fnv1a64(&payload);
+        if actual != declared_sum {
+            return Err(WireError::ChecksumMismatch {
+                declared: declared_sum,
+                actual,
+            });
+        }
+        Ok(Some(Self::from_parts(kind, &payload)?))
+    }
+}
+
+/// Validates a frame header, returning `(kind, payload_len, checksum)`.
+fn decode_header(header: &[u8]) -> Result<(u8, usize, u64), WireError> {
+    debug_assert_eq!(header.len(), WIRE_HEADER_LEN);
+    if header[0..8] != WIRE_MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let version = u16::from_le_bytes([header[8], header[9]]);
+    if version != WIRE_VERSION {
+        return Err(WireError::UnsupportedVersion { version });
+    }
+    let kind = header[10];
+    if !(1..=4).contains(&kind) {
+        return Err(WireError::BadKind { kind });
+    }
+    if header[11..16] != [0u8; 5] {
+        return Err(WireError::BadReserved);
+    }
+    let mut len8 = [0u8; 8];
+    len8.copy_from_slice(&header[16..24]);
+    let declared = u64::from_le_bytes(len8);
+    let declared_len = usize::try_from(declared)
+        .ok()
+        .filter(|&n| n <= MAX_PAYLOAD_LEN)
+        .ok_or(WireError::OversizedPayload { declared })?;
+    let mut sum8 = [0u8; 8];
+    sum8.copy_from_slice(&header[24..32]);
+    Ok((kind, declared_len, u64::from_le_bytes(sum8)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_request() -> Frame {
+        Frame::Request(Request {
+            seq: 7,
+            tenant: "cam0".into(),
+            time: 103.25,
+            spec: QosSpec::new(120.5, 0.92),
+        })
+    }
+
+    fn sample_response() -> Frame {
+        Frame::Response(Response {
+            seq: 7,
+            tenant: "cam0".into(),
+            decision: DecisionRecord {
+                event: 3,
+                time: 103.25,
+                spec: QosSpec::new(120.5, 0.92),
+                feasible: 12,
+                from: 2,
+                to: 5,
+                drc: 1.75,
+                score: Some(0.875),
+                p_rc: None,
+                violated: false,
+                status: ServeStatus::Normal,
+                fault: None,
+            },
+        })
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let frames = [
+            sample_request(),
+            sample_response(),
+            Frame::Error(ErrorFrame {
+                seq: 9,
+                message: "unknown tenant \"ghost\"".into(),
+            }),
+            Frame::Shutdown,
+        ];
+        for frame in frames {
+            let bytes = frame.to_bytes();
+            let (decoded, consumed) = Frame::from_bytes(&bytes).unwrap();
+            assert_eq!(consumed, bytes.len());
+            assert_eq!(decoded, frame);
+            // Streaming decode agrees with buffer decode.
+            let mut cursor = std::io::Cursor::new(bytes);
+            assert_eq!(Frame::read_from(&mut cursor).unwrap(), Some(frame));
+            assert_eq!(Frame::read_from(&mut cursor).unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_round_trip_bitwise() {
+        for time in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let frame = Frame::Request(Request {
+                seq: 1,
+                tenant: "t".into(),
+                time,
+                spec: QosSpec::new(1.0, 0.5),
+            });
+            let (decoded, _) = Frame::from_bytes(&frame.to_bytes()).unwrap();
+            let Frame::Request(r) = decoded else {
+                panic!("kind changed in flight")
+            };
+            assert_eq!(r.time.to_bits(), time.to_bits());
+        }
+    }
+
+    #[test]
+    fn every_ladder_status_and_fault_round_trips() {
+        let statuses = [
+            ServeStatus::Normal,
+            ServeStatus::DegradedLkg,
+            ServeStatus::DegradedBaseline,
+            ServeStatus::DegradedHold,
+            ServeStatus::Quarantined,
+        ];
+        for status in statuses {
+            for fault in std::iter::once(None).chain(FaultKind::ALL.map(Some)) {
+                let mut frame = sample_response();
+                let Frame::Response(r) = &mut frame else {
+                    unreachable!()
+                };
+                r.decision.status = status;
+                r.decision.fault = fault;
+                let (decoded, _) = Frame::from_bytes(&frame.to_bytes()).unwrap();
+                assert_eq!(decoded, frame);
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_payload_is_rejected_by_checksum() {
+        let mut bytes = sample_request().to_bytes();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        assert!(matches!(
+            Frame::from_bytes(&bytes),
+            Err(WireError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupted_header_fields_are_rejected() {
+        let good = sample_request().to_bytes();
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        assert_eq!(
+            Frame::from_bytes(&bad_magic).unwrap_err(),
+            WireError::BadMagic
+        );
+
+        let mut bad_version = good.clone();
+        bad_version[8] = 99;
+        assert!(matches!(
+            Frame::from_bytes(&bad_version),
+            Err(WireError::UnsupportedVersion { version: 99 })
+        ));
+
+        let mut bad_kind = good.clone();
+        bad_kind[10] = 42;
+        assert!(matches!(
+            Frame::from_bytes(&bad_kind),
+            Err(WireError::BadKind { kind: 42 })
+        ));
+
+        let mut bad_reserved = good.clone();
+        bad_reserved[12] = 1;
+        assert_eq!(
+            Frame::from_bytes(&bad_reserved).unwrap_err(),
+            WireError::BadReserved
+        );
+
+        let mut oversized = good.clone();
+        oversized[16..24].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            Frame::from_bytes(&oversized),
+            Err(WireError::OversizedPayload { .. })
+        ));
+
+        assert_eq!(
+            Frame::from_bytes(&good[..WIRE_HEADER_LEN - 1]).unwrap_err(),
+            WireError::Truncated
+        );
+        assert_eq!(
+            Frame::from_bytes(&good[..good.len() - 1]).unwrap_err(),
+            WireError::Truncated
+        );
+    }
+
+    #[test]
+    fn trailing_payload_bytes_are_malformed() {
+        // Hand-grow the payload while fixing length and checksum: the
+        // structure is then valid but the request has trailing garbage.
+        let Frame::Request(req) = sample_request() else {
+            unreachable!()
+        };
+        let inner = Frame::Request(req).to_bytes();
+        let mut payload = inner[WIRE_HEADER_LEN..].to_vec();
+        payload.push(0xAB);
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&WIRE_MAGIC);
+        bytes.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+        bytes.push(1);
+        bytes.extend_from_slice(&[0u8; 5]);
+        bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        assert!(matches!(
+            Frame::from_bytes(&bytes),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn hostile_tenant_names_are_rejected() {
+        let frame = Frame::Request(Request {
+            seq: 1,
+            tenant: "ok".into(),
+            time: 1.0,
+            spec: QosSpec::new(1.0, 0.5),
+        });
+        let mut bytes = frame.to_bytes();
+        // Overwrite the name bytes "ok" (the final two payload bytes)
+        // with a character outside [A-Za-z0-9_-], refreshing the
+        // checksum so only the semantic check can object.
+        let len = bytes.len();
+        bytes[len - 2] = b'a';
+        bytes[len - 1] = b' ';
+        let payload = bytes[WIRE_HEADER_LEN..].to_vec();
+        bytes[24..32].copy_from_slice(&fnv1a64(&payload).to_le_bytes());
+        assert!(matches!(
+            Frame::from_bytes(&bytes),
+            Err(WireError::Malformed(_))
+        ));
+    }
+}

@@ -1,0 +1,247 @@
+//! Integration tests driving the real `clr-serve` and `clr-served`
+//! binaries.
+//!
+//! Covers the strict-flag contract (an unknown or typo'd `--flag` is a
+//! usage error with exit code 2, never silently ignored) and the
+//! daemon end-to-end loop: `gen-trace` → `wire-encode` → `clr-served`
+//! → `wire-decode` must reproduce `replay`'s `decisions.csv`
+//! byte-for-byte — the same loop `ci.sh` closes as its daemon smoke
+//! test.
+
+use std::fs::File;
+use std::path::PathBuf;
+use std::process::{Command, Output, Stdio};
+
+use clr_dse::{explore_based, DseConfig, ExplorationMode};
+use clr_moea::GaParams;
+use clr_platform::Platform;
+use clr_reliability::{ConfigSpace, FaultModel};
+use clr_serve::Snapshot;
+use clr_taskgraph::{TgffConfig, TgffGenerator};
+
+fn serve(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_clr-serve"))
+        .args(args)
+        .output()
+        .expect("clr-serve must run")
+}
+
+fn served(args: &[&str], stdin: Stdio, stdout: Stdio) -> Output {
+    let child = Command::new(env!("CARGO_BIN_EXE_clr-served"))
+        .args(args)
+        .stdin(stdin)
+        .stdout(stdout)
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("clr-served must start");
+    child.wait_with_output().expect("clr-served must finish")
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// A scratch directory holding a servable snapshot, unique per test so
+/// `cargo test`'s parallel runner cannot interleave artifacts.
+fn scratch(test: &str) -> (PathBuf, String) {
+    let dir = std::env::temp_dir().join(format!("clr-serve-cli-{test}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let graph_desc = "tgff:8:81";
+    let graph = TgffGenerator::new(TgffConfig::with_tasks(8)).generate(81);
+    let platform = Platform::dac19();
+    let cfg = DseConfig {
+        ga: GaParams::small(),
+        mode: ExplorationMode::Full,
+        reference: None,
+        max_points: None,
+    };
+    let db = explore_based(
+        &graph,
+        &platform,
+        FaultModel::default(),
+        ConfigSpace::fine(),
+        &cfg,
+        81,
+    );
+    let snap = dir.join("fleet.snap");
+    Snapshot::new(graph_desc, "dac19", db)
+        .write_file(&snap)
+        .expect("snapshot written");
+    (dir, snap.to_string_lossy().into_owned())
+}
+
+#[test]
+fn unknown_flag_is_a_usage_error_not_silently_ignored() {
+    // `--tenants` is the classic typo for `--tenant`.
+    let out = serve(&["replay", "--trace", "t.jsonl", "--tenants", "a=b@hv"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr_of(&out));
+    let err = stderr_of(&out);
+    assert!(err.contains("unknown flag --tenants"), "{err}");
+    assert!(
+        err.contains("--tenant"),
+        "must list the accepted flags: {err}"
+    );
+    assert!(err.contains("usage:"), "{err}");
+}
+
+#[test]
+fn every_subcommand_rejects_unknown_flags() {
+    for cmd in [
+        &["snapshot", "a.db", "b.snap", "--graf", "jpeg"][..],
+        &["inspect", "a.snap", "--verbose", "yes"][..],
+        &["gen-trace", "--out", "t", "--sede", "1"][..],
+        &["wire-encode", "--trace", "t", "--output", "f"][..],
+        &["wire-decode", "--in", "f", "--tenant", "a"][..],
+    ] {
+        let out = serve(cmd);
+        assert_eq!(out.status.code(), Some(2), "{cmd:?}: {}", stderr_of(&out));
+        assert!(
+            stderr_of(&out).contains("unknown flag"),
+            "{cmd:?}: {}",
+            stderr_of(&out)
+        );
+    }
+}
+
+#[test]
+fn served_rejects_unknown_flags_with_a_usage_error() {
+    let out = served(
+        &["--thread", "4", "--tenant", "a=b@hv"],
+        Stdio::null(),
+        Stdio::null(),
+    );
+    assert_eq!(out.status.code(), Some(2), "{}", stderr_of(&out));
+    let err = stderr_of(&out);
+    assert!(err.contains("unknown flag --thread"), "{err}");
+    assert!(err.contains("usage:"), "{err}");
+}
+
+#[test]
+fn daemon_responses_are_byte_identical_to_batch_replay() {
+    let (dir, snap) = scratch("e2e");
+    let cam0 = format!("cam0={snap}@ura:0.5");
+    let nav = format!("nav={snap}@aura:0.5,0.6,0.1");
+    let trace = dir.join("trace.jsonl").to_string_lossy().into_owned();
+    let frames = dir.join("frames.bin");
+    let responses = dir.join("responses.bin");
+    let out_dir = dir.join("batch").to_string_lossy().into_owned();
+
+    let gen = serve(&[
+        "gen-trace",
+        "--out",
+        &trace,
+        "--tenant",
+        &cam0,
+        "--tenant",
+        &nav,
+        "--seed",
+        "7",
+        "--cycles",
+        "2000",
+        "--mean-gap",
+        "100",
+    ]);
+    assert_eq!(gen.status.code(), Some(0), "{}", stderr_of(&gen));
+
+    let replayed = serve(&[
+        "replay",
+        "--trace",
+        &trace,
+        "--tenant",
+        &cam0,
+        "--tenant",
+        &nav,
+        "--out-dir",
+        &out_dir,
+    ]);
+    assert_eq!(replayed.status.code(), Some(0), "{}", stderr_of(&replayed));
+    let batch_csv = std::fs::read_to_string(format!("{out_dir}/decisions.csv")).expect("batch CSV");
+
+    let encoded = serve(&[
+        "wire-encode",
+        "--trace",
+        &trace,
+        "--out",
+        &frames.to_string_lossy(),
+    ]);
+    assert_eq!(encoded.status.code(), Some(0), "{}", stderr_of(&encoded));
+
+    let daemon = served(
+        &["--tenant", &cam0, "--tenant", &nav, "--batch", "8"],
+        Stdio::from(File::open(&frames).expect("frames readable")),
+        Stdio::from(File::create(&responses).expect("responses writable")),
+    );
+    assert_eq!(daemon.status.code(), Some(0), "{}", stderr_of(&daemon));
+    let log = stderr_of(&daemon);
+    assert!(log.contains("drained"), "{log}");
+    assert!(log.contains("shutdown frame"), "{log}");
+    assert!(log.contains("0 rejected"), "{log}");
+
+    let decoded = serve(&[
+        "wire-decode",
+        "--in",
+        &responses.to_string_lossy(),
+        "--tenants",
+        "cam0,nav",
+    ]);
+    assert_eq!(decoded.status.code(), Some(0), "{}", stderr_of(&decoded));
+    let daemon_csv = String::from_utf8(decoded.stdout).expect("CSV is UTF-8");
+    assert_eq!(
+        daemon_csv, batch_csv,
+        "daemon responses must reproduce batch replay byte-for-byte"
+    );
+    assert!(
+        daemon_csv.lines().count() > 2,
+        "the comparison must cover real decisions, not an empty stream"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn daemon_fails_loudly_on_a_corrupt_frame_stream() {
+    let (dir, snap) = scratch("corrupt");
+    let cam0 = format!("cam0={snap}@hv");
+    let trace = dir.join("trace.jsonl").to_string_lossy().into_owned();
+    let frames = dir.join("frames.bin");
+
+    let gen = serve(&[
+        "gen-trace",
+        "--out",
+        &trace,
+        "--tenant",
+        &cam0,
+        "--seed",
+        "3",
+        "--cycles",
+        "500",
+    ]);
+    assert_eq!(gen.status.code(), Some(0), "{}", stderr_of(&gen));
+    let encoded = serve(&[
+        "wire-encode",
+        "--trace",
+        &trace,
+        "--out",
+        &frames.to_string_lossy(),
+    ]);
+    assert_eq!(encoded.status.code(), Some(0), "{}", stderr_of(&encoded));
+
+    // Flip one payload byte in the first frame: the checksum must catch
+    // it and the daemon must refuse to keep serving a lost framing.
+    let mut bytes = std::fs::read(&frames).expect("frames readable");
+    bytes[40] ^= 0xFF;
+    std::fs::write(&frames, &bytes).expect("frames writable");
+
+    let daemon = served(
+        &["--tenant", &cam0],
+        Stdio::from(File::open(&frames).expect("frames readable")),
+        Stdio::null(),
+    );
+    assert_eq!(daemon.status.code(), Some(1), "{}", stderr_of(&daemon));
+    assert!(
+        stderr_of(&daemon).contains("checksum"),
+        "{}",
+        stderr_of(&daemon)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

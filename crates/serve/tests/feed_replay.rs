@@ -1,0 +1,170 @@
+//! Property: feeding a generated trace event-by-event through
+//! [`TenantSession::feed`] is **byte-identical** — decisions CSV and obs
+//! journal — to one batch [`replay`] call, at engine thread counts 1
+//! and 8, with and without chaos injection.
+//!
+//! This is the tentpole's contract: batch and incremental serving are
+//! one code path, so they cannot drift. The incremental side here is
+//! driven exactly the way `clr-served` drives sessions (route by name,
+//! feed in file order), and its outcomes are rendered through the same
+//! [`ReplayReport`] renderers the batch side uses.
+
+use std::sync::OnceLock;
+
+use clr_chaos::{FaultPlan, FaultRates};
+use clr_dse::{explore_based, DseConfig, ExplorationMode};
+use clr_moea::GaParams;
+use clr_obs::{Obs, ObsMode};
+use clr_platform::Platform;
+use clr_reliability::{ConfigSpace, FaultModel};
+use clr_serve::{
+    generate_trace, replay, PolicySpec, ReplayConfig, ReplayReport, Tenant, TenantSession, Trace,
+};
+use clr_taskgraph::{TgffConfig, TgffGenerator};
+use proptest::prelude::*;
+
+fn tenant(name: &str, seed: u64, policy: PolicySpec) -> Tenant {
+    let graph = TgffGenerator::new(TgffConfig::with_tasks(8)).generate(seed);
+    let platform = Platform::dac19();
+    let cfg = DseConfig {
+        ga: GaParams::small(),
+        mode: ExplorationMode::Full,
+        reference: None,
+        max_points: None,
+    };
+    let db = explore_based(
+        &graph,
+        &platform,
+        FaultModel::default(),
+        ConfigSpace::fine(),
+        &cfg,
+        seed,
+    );
+    Tenant::from_parts(name, graph, platform, db, policy).unwrap()
+}
+
+/// The fleet is expensive to explore, so it is built once and shared by
+/// every generated case (tenants are immutable; sessions own all state).
+fn fleet() -> &'static [Tenant] {
+    static FLEET: OnceLock<Vec<Tenant>> = OnceLock::new();
+    FLEET.get_or_init(|| {
+        vec![
+            tenant("cam0", 81, PolicySpec::Ura { p_rc: 0.5 }),
+            tenant(
+                "nav",
+                82,
+                PolicySpec::Aura {
+                    p_rc: 0.5,
+                    gamma: 0.6,
+                    alpha: 0.1,
+                },
+            ),
+            tenant("audio", 83, PolicySpec::Hv),
+        ]
+    })
+}
+
+/// Renders a report's byte-comparable artifacts: the decisions CSV and
+/// the deterministic journal section.
+fn render(report: &ReplayReport) -> (String, String) {
+    let obs = Obs::new(ObsMode::Json);
+    report.emit_obs(&obs);
+    (
+        report.decisions_csv(),
+        obs.render_det_jsonl_labeled("feed-replay"),
+    )
+}
+
+/// The incremental path: one session per tenant, events routed by name
+/// and fed one at a time in file order — exactly what the daemon does.
+fn feed_incrementally(tenants: &[Tenant], trace: &Trace, config: &ReplayConfig) -> ReplayReport {
+    let mut sessions: Vec<TenantSession<'_>> = tenants
+        .iter()
+        .enumerate()
+        .map(|(idx, t)| TenantSession::new(t, idx, config))
+        .collect();
+    let mut dropped: Vec<(String, usize)> = Vec::new();
+    for event in trace.events() {
+        match sessions
+            .iter_mut()
+            .find(|s| s.tenant().name() == event.tenant)
+        {
+            Some(session) => {
+                let record = session.feed(event);
+                // feed's return value is the same record it accumulates.
+                assert_eq!(
+                    record,
+                    *session.outcome().decisions.last().unwrap(),
+                    "feed must return the accumulated record"
+                );
+            }
+            None => match dropped.iter_mut().find(|(n, _)| *n == event.tenant) {
+                Some((_, n)) => *n += 1,
+                None => dropped.push((event.tenant.clone(), 1)),
+            },
+        }
+    }
+    dropped.sort();
+    ReplayReport::from_parts(
+        sessions
+            .into_iter()
+            .map(TenantSession::into_outcome)
+            .collect(),
+        dropped,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn feed_is_byte_identical_to_batch_replay(
+        seed in 0u64..1_000_000,
+        cycles in 500.0f64..4_000.0,
+    ) {
+        let tenants = fleet();
+        let trace = generate_trace(tenants, seed, cycles, 100.0);
+        let config = ReplayConfig::default();
+        let incremental = feed_incrementally(tenants, &trace, &config);
+        for threads in [1usize, 8] {
+            let batch = replay(
+                tenants,
+                &trace,
+                &ReplayConfig { threads, ..config },
+            )
+            .unwrap();
+            prop_assert_eq!(batch.outcomes(), incremental.outcomes());
+            let (batch_csv, batch_journal) = render(&batch);
+            let (inc_csv, inc_journal) = render(&incremental);
+            prop_assert_eq!(&batch_csv, &inc_csv, "CSV must be byte-identical (threads {})", threads);
+            prop_assert_eq!(&batch_journal, &inc_journal, "journal must be byte-identical (threads {})", threads);
+        }
+    }
+
+    #[test]
+    fn feed_matches_batch_under_chaos_injection(
+        seed in 0u64..1_000_000,
+        plan_seed in 0u64..10_000,
+    ) {
+        let tenants = fleet();
+        let trace = generate_trace(tenants, seed, 2_000.0, 100.0);
+        let config = ReplayConfig {
+            faults: FaultPlan::new(plan_seed, FaultRates::default_campaign()).unwrap(),
+            quarantine_after: 2,
+            ..ReplayConfig::default()
+        };
+        let incremental = feed_incrementally(tenants, &trace, &config);
+        for threads in [1usize, 8] {
+            let batch = replay(
+                tenants,
+                &trace,
+                &ReplayConfig { threads, ..config },
+            )
+            .unwrap();
+            let (batch_csv, batch_journal) = render(&batch);
+            let (inc_csv, inc_journal) = render(&incremental);
+            prop_assert_eq!(&batch_csv, &inc_csv, "chaos CSV must be byte-identical (threads {})", threads);
+            prop_assert_eq!(&batch_journal, &inc_journal, "chaos journal must be byte-identical (threads {})", threads);
+        }
+    }
+}

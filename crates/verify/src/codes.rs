@@ -108,7 +108,7 @@ pub enum LintCode {
     /// encoder.
     JournalRoundTripMismatch,
 
-    // ----- serving snapshots (CLR06x) -----------------------------------
+    // ----- serving snapshots & traces (CLR06x) --------------------------
     /// CLR060: the snapshot container fails structural decoding (magic,
     /// version, flags, declared length, payload meta, or the embedded
     /// database codec).
@@ -125,6 +125,9 @@ pub enum LintCode {
     /// CLR064: a model descriptor names no bundled graph or platform, so
     /// this installation cannot replay the snapshot.
     SnapshotUnknownModel,
+    /// CLR065: a trace event addresses a tenant absent from the serving
+    /// fleet — the engine would drop the event at replay.
+    TraceUnknownTenant,
 
     // ----- chaos campaigns (CLR07x) -------------------------------------
     /// CLR070: a fault plan fails to parse, validate, or survive a
@@ -142,7 +145,7 @@ pub enum LintCode {
 
 impl LintCode {
     /// Every registered lint, in code order.
-    pub const ALL: [LintCode; 39] = [
+    pub const ALL: [LintCode; 40] = [
         LintCode::GraphCycle,
         LintCode::EdgeEndpointOutOfRange,
         LintCode::EmptyImplementationSet,
@@ -179,6 +182,7 @@ impl LintCode {
         LintCode::SnapshotIndexDivergence,
         LintCode::SnapshotRoundTripMismatch,
         LintCode::SnapshotUnknownModel,
+        LintCode::TraceUnknownTenant,
         LintCode::FaultPlanRoundTripMismatch,
         LintCode::CampaignCsvSchemaInvalid,
         LintCode::QuarantineJournalMismatch,
@@ -223,6 +227,7 @@ impl LintCode {
             LintCode::SnapshotIndexDivergence => "CLR062",
             LintCode::SnapshotRoundTripMismatch => "CLR063",
             LintCode::SnapshotUnknownModel => "CLR064",
+            LintCode::TraceUnknownTenant => "CLR065",
             LintCode::FaultPlanRoundTripMismatch => "CLR070",
             LintCode::CampaignCsvSchemaInvalid => "CLR071",
             LintCode::QuarantineJournalMismatch => "CLR072",
@@ -298,6 +303,9 @@ impl LintCode {
             }
             LintCode::SnapshotUnknownModel => {
                 "snapshot model descriptors should resolve to bundled models"
+            }
+            LintCode::TraceUnknownTenant => {
+                "trace events must address tenants present in the serving fleet"
             }
             LintCode::FaultPlanRoundTripMismatch => {
                 "fault plans must validate and survive a codec round trip"
@@ -395,6 +403,9 @@ impl LintCode {
             }
             LintCode::SnapshotUnknownModel => {
                 "use a bundled descriptor (jpeg, tgff:<tasks>:<seed>; dac19, tiny)"
+            }
+            LintCode::TraceUnknownTenant => {
+                "regenerate the trace for this fleet, or seat the missing tenants"
             }
             LintCode::FaultPlanRoundTripMismatch => {
                 "regenerate with clr-chaos plan; do not hand-edit rates"

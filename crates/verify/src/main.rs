@@ -11,6 +11,9 @@
 //! clr-verify [--json] campaign <CSV> [JOURNAL]
 //!                                     lint a campaign CSV, cross-checking
 //!                                     quarantine counts against its journal
+//! clr-verify [--json] trace <FILE> <NAME,NAME,..>
+//!                                     lint a QoS-event trace against a
+//!                                     fleet's tenant names (CLR065)
 //! clr-verify list                     print the lint registry
 //! ```
 //!
@@ -27,6 +30,7 @@ use clr_reliability::{ConfigSpace, FaultModel};
 use clr_runtime::{AuraAgent, RuntimeContext};
 use clr_sched::heft_mapping;
 use clr_sched::Evaluator;
+use clr_serve::Trace;
 use clr_taskgraph::{
     fork_join_graph, jpeg_encoder, parse_tgff, TgffConfig, TgffGenerator, TgffParseOptions,
 };
@@ -34,11 +38,11 @@ use clr_verify::{
     check_aura_subsumes_ura, check_campaign_consistency, check_campaign_csv, check_database,
     check_database_standalone, check_drc_matrix, check_fault_plan, check_journal, check_mapping,
     check_platform, check_platform_supports, check_policy_params, check_schedule, check_snapshot,
-    check_task_graph, LintCode, Report,
+    check_task_graph, check_trace, LintCode, Report,
 };
 
 const USAGE: &str = "usage: clr-verify [--json] <all | tgff FILE.. | db FILE.. | journal FILE.. \
-| snapshot FILE.. | plan FILE.. | campaign CSV [JOURNAL] | list>";
+| snapshot FILE.. | plan FILE.. | campaign CSV [JOURNAL] | trace FILE NAME,NAME,.. | list>";
 
 fn main() -> ExitCode {
     let mut json = false;
@@ -90,6 +94,10 @@ fn main() -> ExitCode {
             Err(code) => return code,
         },
         "campaign" => match audit_campaign(operands) {
+            Ok(r) => r,
+            Err(code) => return code,
+        },
+        "trace" => match audit_trace(operands) {
             Ok(r) => r,
             Err(code) => return code,
         },
@@ -254,6 +262,40 @@ fn audit_campaign(operands: &[String]) -> Result<Report, ExitCode> {
             Ok(report)
         }
     }
+}
+
+/// Lints a QoS-event trace against a comma-separated fleet of tenant
+/// names (CLR065: every event must address a seated tenant).
+fn audit_trace(operands: &[String]) -> Result<Report, ExitCode> {
+    let [trace_path, fleet_spec] = operands else {
+        eprintln!("{USAGE}");
+        return Err(ExitCode::from(2));
+    };
+    let fleet: Vec<&str> = fleet_spec.split(',').filter(|s| !s.is_empty()).collect();
+    if fleet.is_empty() {
+        eprintln!("clr-verify: trace needs a non-empty NAME,NAME,.. fleet list");
+        return Err(ExitCode::from(2));
+    }
+    let text = match std::fs::read_to_string(trace_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("clr-verify: cannot read {trace_path}: {e}");
+            return Err(ExitCode::from(2));
+        }
+    };
+    let trace = match Trace::from_jsonl(&text) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("clr-verify: {trace_path}: {e}");
+            return Err(ExitCode::from(2));
+        }
+    };
+    eprintln!(
+        "clr-verify: {trace_path}: trace ({} events, fleet of {})",
+        trace.len(),
+        fleet.len()
+    );
+    Ok(check_trace(&trace, &fleet, trace_path))
 }
 
 /// Lints one observability journal (either section; see

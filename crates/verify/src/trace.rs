@@ -1,0 +1,97 @@
+//! Trace lints (`CLR065`): QoS-event traces against a serving fleet.
+//!
+//! A trace is only meaningful relative to the fleet that will replay
+//! it: an event addressed to a tenant not in the fleet is silently
+//! recorded as dropped by the engine, so deployments that ship a trace
+//! with a fleet manifest should gate on this check first. One finding
+//! is emitted **per unknown tenant name** (not per event), carrying the
+//! event count and the first offending event's ordinal.
+
+use std::collections::BTreeMap;
+
+use clr_serve::Trace;
+
+use crate::{Diagnostic, LintCode, Report};
+
+/// Lints a parsed trace against the tenant names of a serving fleet
+/// (CLR065): every event must address a seated tenant.
+///
+/// `fleet` is the set of tenant names that will serve the trace;
+/// `label` names the trace artifact in findings.
+pub fn check_trace(trace: &Trace, fleet: &[&str], label: &str) -> Report {
+    let mut report = Report::new();
+    // name → (event count, first 1-based event ordinal)
+    let mut unknown: BTreeMap<&str, (usize, usize)> = BTreeMap::new();
+    for (ordinal, event) in trace.events().iter().enumerate() {
+        if !fleet.contains(&event.tenant.as_str()) {
+            let entry = unknown
+                .entry(event.tenant.as_str())
+                .or_insert((0, ordinal + 1));
+            entry.0 += 1;
+        }
+    }
+    for (name, (count, first)) in unknown {
+        report.push(Diagnostic::new(
+            LintCode::TraceUnknownTenant,
+            format!("trace:{label}"),
+            format!("tenant {name:?}"),
+            format!(
+                "{count} event(s) address tenant {name:?}, absent from the \
+                 fleet ({} tenants); first at event {first} — the engine \
+                 would drop them",
+                fleet.len()
+            ),
+        ));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clr_dse::QosSpec;
+    use clr_serve::TraceEvent;
+
+    fn ev(tenant: &str, time: f64) -> TraceEvent {
+        TraceEvent {
+            tenant: tenant.into(),
+            time,
+            spec: QosSpec::new(100.0, 0.5),
+        }
+    }
+
+    #[test]
+    fn trace_covered_by_fleet_is_clean() {
+        let trace = Trace::new(vec![ev("cam0", 0.0), ev("nav", 1.0), ev("cam0", 2.0)]);
+        let report = check_trace(&trace, &["cam0", "nav", "audio"], "t");
+        assert!(report.is_empty(), "{report:?}");
+    }
+
+    #[test]
+    fn unknown_tenants_deny_one_finding_per_name() {
+        let trace = Trace::new(vec![
+            ev("cam0", 0.0),
+            ev("ghost", 1.0),
+            ev("phantom", 2.0),
+            ev("ghost", 3.0),
+        ]);
+        let report = check_trace(&trace, &["cam0"], "t");
+        assert_eq!(report.len(), 2, "{report:?}");
+        assert!(report.has_code(LintCode::TraceUnknownTenant));
+        assert_eq!(report.exit_code(), 1, "CLR065 is deny-level");
+        let ghost = &report.diagnostics()[0];
+        assert!(ghost.location.contains("ghost"));
+        assert!(ghost.detail.contains("2 event(s)"), "{}", ghost.detail);
+        assert!(
+            ghost.detail.contains("first at event 2"),
+            "{}",
+            ghost.detail
+        );
+    }
+
+    #[test]
+    fn empty_trace_is_clean_even_against_an_empty_fleet() {
+        let report = check_trace(&Trace::default(), &[], "t");
+        assert!(report.is_empty());
+    }
+}
