@@ -52,7 +52,20 @@
 #                                    one payload byte and assert the daemon
 #                                    rejects the stream with a checksum
 #                                    error (nonzero exit)
-#  11. clr-audit (source lints)    — workspace-wide CLR1xx source audit:
+#  11. clr-serve stats smoke       — splice a CLRWIRE1 stats-query frame
+#                                    into the step-10 request stream, run
+#                                    the daemon at CLR_THREADS=1 and 8 and
+#                                    byte-compare the schema-1 fleet
+#                                    snapshots; the snapshot must pass the
+#                                    clr-verify stats lints (CLR066-068)
+#                                    and render through stats --json,
+#                                    the Prometheus exposition, and top
+#  12. bench artifact schema       — run telemetry_bench at the quick
+#                                    scale and check every committed
+#                                    results/BENCH_*.json carries the
+#                                    schema-versioned shape (schema,
+#                                    commit, per-group events_per_sec)
+#  13. clr-audit (source lints)    — workspace-wide CLR1xx source audit:
 #                                    wall-clock reads, unordered containers,
 #                                    partial_cmp float sorts, unseeded RNGs,
 #                                    raw spawns, panicking decision paths,
@@ -188,6 +201,48 @@ if "$SERVED" "${FLEET[@]}" < "$CORRUPT" > /dev/null 2> "$SERVED_LOG"; then
 fi
 grep -qi "checksum" "$SERVED_LOG" \
   || { cat "$SERVED_LOG"; echo "corrupt-stream failure did not mention the checksum"; exit 1; }
+
+step "clr-serve stats (live Stats frame, thread-count byte-compare + CLR06x lints)"
+STATS_REQ=target/ci-stats-request.bin
+STATS_STREAM=target/ci-stats-stream.bin
+"$SERVE" stats --request-out "$STATS_REQ" --flight true --seq 90001 2>/dev/null
+# The step-10 stream ends with a header-only shutdown frame (32 bytes);
+# splice the stats query just before it so the daemon answers, then drains.
+head -c -32 "$FRAMES" > "$STATS_STREAM"
+cat "$STATS_REQ" >> "$STATS_STREAM"
+tail -c 32 "$FRAMES" >> "$STATS_STREAM"
+STATS_T1=target/ci-stats-resp-t1.bin
+STATS_T8=target/ci-stats-resp-t8.bin
+CLR_THREADS=1 "$SERVED" "${FLEET[@]}" --batch 64 \
+  < "$STATS_STREAM" > "$STATS_T1" 2>/dev/null
+CLR_THREADS=8 "$SERVED" "${FLEET[@]}" --batch 64 \
+  < "$STATS_STREAM" > "$STATS_T8" 2>/dev/null
+SNAP1=target/ci-stats-t1.json
+SNAP8=target/ci-stats-t8.json
+"$SERVE" stats --in "$STATS_T1" --json > "$SNAP1"
+"$SERVE" stats --in "$STATS_T8" --json > "$SNAP8"
+cmp "$SNAP1" "$SNAP8" \
+  || { echo "fleet snapshots diverged across thread counts"; exit 1; }
+"$VERIFY" stats "$SNAP8"
+"$SERVE" stats --snapshot "$SNAP8" | grep -q "^clr_serve_events_total" \
+  || { echo "Prometheus exposition missing clr_serve_events_total"; exit 1; }
+"$SERVE" top --snapshot "$SNAP8" | grep -q "^cam " \
+  || { echo "clr-serve top did not render tenant cam"; exit 1; }
+
+step "bench artifact schema (results/BENCH_*.json)"
+cargo build --release --quiet -p clr-experiments --bin telemetry_bench
+BENCH_BACKUP=target/ci-bench-telemetry.json.bak
+cp results/BENCH_telemetry.json "$BENCH_BACKUP" 2>/dev/null || BENCH_BACKUP=
+CLR_QUICK=1 ./target/release/telemetry_bench >/dev/null 2>&1
+for f in results/BENCH_*.json; do
+  for key in '"schema"' '"commit"' '"events_per_sec"'; do
+    grep -q "$key" "$f" \
+      || { echo "$f missing the $key field"; exit 1; }
+  done
+done
+if [ -n "$BENCH_BACKUP" ]; then
+  mv "$BENCH_BACKUP" results/BENCH_telemetry.json
+fi
 
 step "clr-audit (workspace-wide CLR1xx source lints)"
 cargo build --release --quiet -p clr-audit --bin clr-audit

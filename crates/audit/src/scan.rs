@@ -19,6 +19,7 @@ const DECISION_PATHS: &[&str] = &[
     "crates/serve/src/tenant.rs",
     "crates/serve/src/session.rs",
     "crates/serve/src/daemon.rs",
+    "crates/serve/src/health.rs",
     "crates/chaos/src/",
 ];
 
@@ -30,6 +31,7 @@ const CODEC_PATHS: &[&str] = &[
     "crates/serve/src/wire.rs",
     "crates/obs/src/json.rs",
     "crates/obs/src/event.rs",
+    "crates/obs/src/telemetry.rs",
     "crates/dse/src/codec.rs",
     "crates/chaos/src/plan.rs",
 ];

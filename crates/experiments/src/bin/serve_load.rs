@@ -11,7 +11,10 @@
 //!   batched dispatch, response encode) as fast as the daemon drains it.
 //!
 //! Results go to stderr and to `results/BENCH_serve.json`, the first
-//! artifact of the `BENCH_*.json` perf trajectory (ROADMAP item 4).
+//! artifact of the `BENCH_*.json` perf trajectory (ROADMAP item 4) —
+//! schema-versioned (`schema`, `commit`, per-group `events_per_sec`) so
+//! a series of BENCH files is machine-comparable across commits;
+//! `ci.sh` validates the shape.
 //! `CLR_QUICK=1` shrinks the fleet and event counts to smoke scale;
 //! `CLR_THREADS` sizes the worker pool as everywhere else.
 //!
@@ -260,12 +263,15 @@ fn main() {
     );
 
     let json = format!(
-        "{{\n  \"bench\": \"serve_load\",\n  \"tenants\": {},\n  \"threads\": {threads},\n  \
+        "{{\n  \"schema\": {},\n  \"bench\": \"serve_load\",\n  \"commit\": {:?},\n  \
+         \"tenants\": {},\n  \"threads\": {threads},\n  \"groups\": {{\n    \
          \"closed_loop\": {{\"events\": {}, \"window\": {}, \"elapsed_s\": {closed_elapsed:.4}, \
-         \"events_per_sec\": {closed_rate:.0}}},\n  \
+         \"events_per_sec\": {closed_rate:.0}}},\n    \
          \"open_loop\": {{\"events\": {}, \"batch\": {}, \"elapsed_s\": {open_elapsed:.4}, \
-         \"events_per_sec\": {open_rate:.0}, \"bytes_in\": {bytes_in}, \"bytes_out\": {bytes_out}}},\n  \
+         \"events_per_sec\": {open_rate:.0}, \"bytes_in\": {bytes_in}, \"bytes_out\": {bytes_out}}}\n  }},\n  \
          \"wire\": [\n{}\n  ]\n}}\n",
+        clr_experiments::report::BENCH_SCHEMA_VERSION,
+        clr_experiments::report::bench_commit(),
         scale.tenants,
         scale.closed_events,
         scale.window,

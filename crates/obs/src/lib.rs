@@ -45,10 +45,15 @@
 pub mod event;
 mod json;
 pub mod recorder;
+pub mod telemetry;
 
 pub use event::{Event, SCHEMA_VERSION};
 pub use json::{parse as parse_json, Value};
 pub use recorder::Recorder;
+pub use telemetry::{
+    BitWindow, QuantileHistogram, Ring, RollingWindow, TelemetrySnapshot, TenantTelemetry,
+    WindowStat, TELEMETRY_SCHEMA_VERSION,
+};
 
 use std::io::Write as _;
 use std::sync::{Arc, Mutex};

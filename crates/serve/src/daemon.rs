@@ -17,9 +17,12 @@
 //! it must serve and flush them — the bounded queue. Backpressure is the
 //! transport's: while the daemon serves a batch it does not read, so a
 //! pipe or socket buffer fills and the client blocks. A batch closes
-//! early on end-of-stream or an explicit [`Frame::Shutdown`]; both drain
-//! gracefully (every admitted request is served and flushed before the
-//! loop exits). Interactive closed-loop clients whose request window is
+//! early on end-of-stream, an explicit [`Frame::Shutdown`], or a
+//! [`Frame::Stats`] query — pending requests are served before the
+//! query is answered, so the snapshot is a pure function of the stream
+//! prefix before it (byte-identical at any `CLR_THREADS`). Shutdown and
+//! end-of-stream drain gracefully (every admitted request is served and
+//! flushed before the loop exits). Interactive closed-loop clients whose request window is
 //! smaller than `batch` should run `--batch 1`, otherwise admission
 //! waits for frames the client will never send.
 //!
@@ -33,12 +36,19 @@
 //! frame and returns [`DaemonError::Wire`].
 
 // clr-audit: allow(CLR101) name router is lookup-only; nothing iterates it
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::io::{Read, Write};
 use std::sync::Mutex;
 
-use crate::wire::{ErrorFrame, Frame, Request, Response, WireError};
-use crate::{ReplayConfig, ReplayError, Tenant, TenantOutcome, TenantSession};
+use crate::wire::{
+    ErrorFrame, Frame, Request, Response, StatsRequest, StatsResponse, WireError, MAX_PAYLOAD_LEN,
+    STATS_VERSION,
+};
+use crate::{
+    fleet_snapshot, DecisionRecord, HealthState, ReplayConfig, ReplayError, Tenant, TenantOutcome,
+    TenantSession, FLIGHT_RECORDER_LEN,
+};
+use clr_obs::TelemetrySnapshot;
 
 /// Daemon parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -104,11 +114,17 @@ pub struct DaemonReport {
     pub rejected: usize,
     /// Serve/flush cycles executed.
     pub batches: usize,
+    /// Stats queries answered with a snapshot frame.
+    pub stats: usize,
     /// `true` when an explicit [`Frame::Shutdown`] closed the stream,
     /// `false` on plain end-of-stream (both drain fully).
     pub clean_shutdown: bool,
     /// Per-tenant outcomes accumulated by the sessions, in fleet order.
     pub outcomes: Vec<TenantOutcome>,
+    /// Requests addressed to tenants absent from the fleet, counted per
+    /// offending name (sorted by name — same shape batch replay's
+    /// `dropped_by_tenant` reports).
+    pub dropped_by_tenant: Vec<(String, u64)>,
 }
 
 /// One shard: the sessions of every tenant with `idx % shards == s`.
@@ -129,6 +145,10 @@ pub struct Daemon<'a> {
     shards: Vec<Mutex<Shard<'a>>>,
     /// `tenant_idx → (shard, slot)`.
     locate: Vec<(usize, usize)>,
+    /// Unknown-tenant request counts, keyed by the offending name.
+    /// Recorded in the serial routing pass, so a BTreeMap keeps the
+    /// report order independent of arrival interleaving across batches.
+    dropped: Mutex<BTreeMap<String, u64>>,
     tenant_count: usize,
     threads: usize,
 }
@@ -177,6 +197,7 @@ impl<'a> Daemon<'a> {
             by_name,
             shards: shards.into_iter().map(Mutex::new).collect(),
             locate,
+            dropped: Mutex::new(BTreeMap::new()),
             tenant_count: tenants.len(),
             threads,
         })
@@ -206,6 +227,12 @@ impl<'a> Daemon<'a> {
                     per_shard[shard].push((pos, slot, request));
                 }
                 None => {
+                    let mut dropped = self
+                        .dropped
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    *dropped.entry(request.tenant.clone()).or_insert(0) += 1;
+                    drop(dropped);
                     out[pos] = Some(Frame::Error(ErrorFrame {
                         seq: request.seq,
                         message: format!("unknown tenant {:?}", request.tenant),
@@ -237,6 +264,112 @@ impl<'a> Daemon<'a> {
             out[pos] = Some(frame);
         }
         out.into_iter().flatten().collect()
+    }
+
+    /// Unknown-tenant request counts so far, sorted by offending name.
+    pub fn dropped_counts(&self) -> Vec<(String, u64)> {
+        self.dropped
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+            .map(|(name, &n)| (name.clone(), n))
+            .collect()
+    }
+
+    /// A point-in-time fleet telemetry snapshot in fleet order,
+    /// optionally narrowed to one tenant.
+    ///
+    /// Called between batches (never concurrently with
+    /// [`Daemon::handle_batch`] on the same stream), so the snapshot is
+    /// a pure function of the request prefix served so far — the
+    /// determinism harness byte-compares it across thread counts.
+    pub fn telemetry(
+        &self,
+        label: &str,
+        include_flight: bool,
+        tenant: Option<&str>,
+    ) -> TelemetrySnapshot {
+        let mut states: Vec<(String, HealthState, Vec<DecisionRecord>)> =
+            Vec::with_capacity(self.tenant_count);
+        for idx in 0..self.tenant_count {
+            let (shard, slot) = self.locate[idx];
+            let shard = self.shards[shard]
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let session = &shard.sessions[slot];
+            if tenant.is_some_and(|t| t != session.tenant().name()) {
+                continue;
+            }
+            let health = session.health().clone();
+            // Only the flight tail leaves the lock: the last K served
+            // decisions, cloned oldest → newest, and only when the
+            // snapshot will actually render them.
+            let tail: Vec<DecisionRecord> = if include_flight || health.quarantine_entries > 0 {
+                let mut tail: Vec<DecisionRecord> = session
+                    .outcome()
+                    .decisions
+                    .iter()
+                    .rev()
+                    .filter(|d| d.status.is_served())
+                    .take(FLIGHT_RECORDER_LEN)
+                    .cloned()
+                    .collect();
+                tail.reverse();
+                tail
+            } else {
+                Vec::new()
+            };
+            states.push((session.tenant().name().to_string(), health, tail));
+        }
+        fleet_snapshot(
+            label,
+            states.iter().map(|(n, h, d)| (n.as_str(), h, d.as_slice())),
+            &self.dropped_counts(),
+            include_flight,
+        )
+    }
+
+    /// Answers one stats query: a [`Frame::StatsResponse`] carrying the
+    /// snapshot JSON, or a [`Frame::Error`] echoing the query's `seq`
+    /// when the query speaks a different stats version, names a tenant
+    /// outside the fleet, or the fleet snapshot would overflow the wire
+    /// payload cap.
+    pub fn stats_response(&self, query: &StatsRequest) -> Frame {
+        if query.version != STATS_VERSION {
+            return Frame::Error(ErrorFrame {
+                seq: query.seq,
+                message: format!(
+                    "unsupported stats version {} (daemon speaks {STATS_VERSION})",
+                    query.version
+                ),
+            });
+        }
+        if let Some(name) = &query.tenant {
+            if !self.by_name.contains_key(name.as_str()) {
+                return Frame::Error(ErrorFrame {
+                    seq: query.seq,
+                    message: format!("unknown tenant {name:?}"),
+                });
+            }
+        }
+        let snapshot = self
+            .telemetry("fleet", query.flight, query.tenant.as_deref())
+            .to_json();
+        // seq u64 + u32 text length precede the snapshot in the payload.
+        if snapshot.len() + 12 > MAX_PAYLOAD_LEN {
+            return Frame::Error(ErrorFrame {
+                seq: query.seq,
+                message: format!(
+                    "fleet snapshot is {} bytes, over the {MAX_PAYLOAD_LEN}-byte frame cap; \
+                     narrow the query with a tenant filter",
+                    snapshot.len()
+                ),
+            });
+        }
+        Frame::StatsResponse(StatsResponse {
+            seq: query.seq,
+            snapshot,
+        })
     }
 
     /// Drains the daemon, yielding every session's accumulated outcome
@@ -280,12 +413,15 @@ pub fn serve_stream(
         served: 0,
         rejected: 0,
         batches: 0,
+        stats: 0,
         clean_shutdown: false,
         outcomes: Vec::new(),
+        dropped_by_tenant: Vec::new(),
     };
     let mut open = true;
     while open {
         let mut batch: Vec<Request> = Vec::with_capacity(cap);
+        let mut stats_query: Option<StatsRequest> = None;
         while batch.len() < cap {
             match Frame::read_from(input) {
                 Ok(None) => {
@@ -293,6 +429,13 @@ pub fn serve_stream(
                     break;
                 }
                 Ok(Some(Frame::Request(request))) => batch.push(request),
+                Ok(Some(Frame::Stats(query))) => {
+                    // Close the batch early: the pending requests are
+                    // served first, so the snapshot is a pure function
+                    // of the stream prefix up to this query.
+                    stats_query = Some(query);
+                    break;
+                }
                 Ok(Some(Frame::Shutdown)) => {
                     report.clean_shutdown = true;
                     open = false;
@@ -334,8 +477,19 @@ pub fn serve_stream(
             }
             report.batches += 1;
         }
+        if let Some(query) = stats_query {
+            let frame = daemon.stats_response(&query);
+            match &frame {
+                Frame::StatsResponse(_) => report.stats += 1,
+                _ => report.rejected += 1,
+            }
+            frame
+                .write_to(output)
+                .map_err(|e| DaemonError::Io(e.to_string()))?;
+        }
         output.flush().map_err(|e| DaemonError::Io(e.to_string()))?;
     }
+    report.dropped_by_tenant = daemon.dropped_counts();
     report.outcomes = daemon.into_outcomes();
     Ok(report)
 }
@@ -510,6 +664,64 @@ mod tests {
         // The peer was told why before the stream closed.
         let frames = decode_all(&output);
         assert!(matches!(&frames[0], Frame::Error(e) if e.message.contains("checksum")));
+    }
+
+    #[test]
+    fn stats_queries_are_answered_mid_stream() {
+        let tenants = fleet(3);
+        let trace = generate_trace(&tenants, 7, 2_000.0, 100.0);
+        let mut bytes = Vec::new();
+        for (i, event) in trace.events().iter().enumerate() {
+            bytes.extend_from_slice(
+                &Frame::Request(Request::from_event(i as u64 + 1, event)).to_bytes(),
+            );
+        }
+        let probe_seq = trace.len() as u64 + 1;
+        bytes.extend_from_slice(&Frame::Stats(StatsRequest::fleet(probe_seq, false)).to_bytes());
+        bytes.extend_from_slice(
+            &Frame::Stats(StatsRequest {
+                seq: probe_seq + 1,
+                version: 9,
+                flight: false,
+                tenant: None,
+            })
+            .to_bytes(),
+        );
+        bytes.extend_from_slice(
+            &Frame::Stats(StatsRequest {
+                seq: probe_seq + 2,
+                version: STATS_VERSION,
+                flight: false,
+                tenant: Some("ghost".into()),
+            })
+            .to_bytes(),
+        );
+        bytes.extend_from_slice(&Frame::Shutdown.to_bytes());
+        let mut input = std::io::Cursor::new(bytes);
+        let mut output = Vec::new();
+        let report =
+            serve_stream(&tenants, &mut input, &mut output, &DaemonConfig::default()).unwrap();
+        assert!(report.clean_shutdown);
+        assert_eq!(report.served, trace.len());
+        assert_eq!(report.stats, 1);
+        assert_eq!(report.rejected, 2, "bad version + ghost filter");
+        let frames = decode_all(&output);
+        let Frame::StatsResponse(r) = &frames[trace.len()] else {
+            panic!("expected a stats response, got {:?}", frames[trace.len()])
+        };
+        assert_eq!(r.seq, probe_seq);
+        // The answered snapshot decodes and covers every served event.
+        let snapshot = clr_obs::TelemetrySnapshot::from_json(&r.snapshot).unwrap();
+        assert_eq!(snapshot.events, trace.len() as u64);
+        assert_eq!(snapshot.tenants.len(), 3);
+        assert!(matches!(
+            &frames[trace.len() + 1],
+            Frame::Error(e) if e.seq == probe_seq + 1 && e.message.contains("stats version")
+        ));
+        assert!(matches!(
+            &frames[trace.len() + 2],
+            Frame::Error(e) if e.seq == probe_seq + 2 && e.message.contains("ghost")
+        ));
     }
 
     #[test]

@@ -71,6 +71,10 @@ pub struct ReplayConfig {
     /// Quarantine a tenant after this many *consecutive* faulted events
     /// (`0` disables quarantine).
     pub quarantine_after: usize,
+    /// Accumulate per-tenant [`crate::HealthState`] telemetry (on by
+    /// default; turn off to shave the last few percent off the serve
+    /// hot path when nobody will ask for stats).
+    pub telemetry: bool,
 }
 
 impl Default for ReplayConfig {
@@ -80,6 +84,7 @@ impl Default for ReplayConfig {
             episode_cycles: 1_000.0,
             faults: FaultPlan::inert(0),
             quarantine_after: 3,
+            telemetry: true,
         }
     }
 }
@@ -182,6 +187,10 @@ pub struct TenantOutcome {
     pub failure: Option<String>,
     /// Every decision, in service order.
     pub decisions: Vec<DecisionRecord>,
+    /// Live telemetry registry (quantiles, dwell occupancy, rolling
+    /// rates, flight recorder), accumulated alongside the counters
+    /// above when [`ReplayConfig::telemetry`] is on.
+    pub health: crate::HealthState,
 }
 
 impl TenantOutcome {
@@ -222,6 +231,49 @@ impl std::fmt::Display for ReplayError {
 }
 
 impl std::error::Error for ReplayError {}
+
+/// Renders the shared per-tenant summary (one line per tenant, fleet
+/// order) plus a trailing dropped-events warning when any event
+/// addressed a tenant absent from the fleet. Malformed-timestamp
+/// absorptions come from the same [`TenantOutcome::health`] registry
+/// the telemetry snapshot reports, so the CLI summary and `stats` can
+/// never disagree.
+pub fn summary_lines(
+    outcomes: &[TenantOutcome],
+    dropped_by_tenant: &[(String, usize)],
+) -> Vec<String> {
+    let malformed_slot = FaultKind::ALL
+        .iter()
+        .position(|k| *k == FaultKind::TraceMalformed)
+        .unwrap_or(0);
+    let mut lines: Vec<String> = outcomes
+        .iter()
+        .map(|o| {
+            let mut line = format!(
+                "tenant {}: {} events, {} reconfigurations, {} violations, total dRC {}",
+                o.name, o.events, o.reconfigurations, o.violations, o.total_drc
+            );
+            let malformed = o.health.faults_by_kind[malformed_slot];
+            if malformed > 0 {
+                let _ = write!(line, ", {malformed} malformed");
+            }
+            line
+        })
+        .collect();
+    let dropped: usize = dropped_by_tenant.iter().map(|(_, n)| n).sum();
+    if dropped > 0 {
+        let names: Vec<String> = dropped_by_tenant
+            .iter()
+            .map(|(name, count)| format!("{name:?} ({count})"))
+            .collect();
+        lines.push(format!(
+            "warning: {dropped} events dropped — trace addresses tenants absent \
+             from the fleet: {}",
+            names.join(", ")
+        ));
+    }
+    lines
+}
 
 /// Header line of the decision CSV (shared by [`ReplayReport::decisions_csv`]
 /// and `clr-serve wire-decode`, so the two outputs stay byte-comparable).
@@ -286,6 +338,35 @@ impl ReplayReport {
     /// tenants.
     pub fn total_served(&self) -> usize {
         self.outcomes.iter().map(TenantOutcome::served).sum()
+    }
+
+    /// The shared CLI summary: one line per tenant plus (when events
+    /// were dropped) a trailing warning line, fed from the same
+    /// [`TenantOutcome::health`] registries the telemetry snapshot
+    /// reports — `clr-serve replay` and `clr-served` print these
+    /// verbatim (with their own program prefix on the warning).
+    pub fn summary_lines(&self) -> Vec<String> {
+        summary_lines(&self.outcomes, &self.dropped_by_tenant)
+    }
+
+    /// Assembles the schema-v1 fleet telemetry snapshot from the
+    /// per-tenant health registries (fleet order) and the
+    /// unknown-tenant drop counts (name order) — the same numbers the
+    /// CLI summary and a live daemon's `Stats` response report.
+    pub fn telemetry(&self, label: &str, include_flight: bool) -> clr_obs::TelemetrySnapshot {
+        let dropped: Vec<(String, u64)> = self
+            .dropped_by_tenant
+            .iter()
+            .map(|(name, n)| (name.clone(), u64::try_from(*n).unwrap_or(u64::MAX)))
+            .collect();
+        crate::health::fleet_snapshot(
+            label,
+            self.outcomes
+                .iter()
+                .map(|o| (o.name.as_str(), &o.health, o.decisions.as_slice())),
+            &dropped,
+            include_flight,
+        )
     }
 
     /// Renders every decision as CSV

@@ -23,6 +23,7 @@
 pub mod cli;
 mod daemon;
 mod engine;
+pub mod health;
 mod session;
 mod snapshot;
 mod tenant;
@@ -32,8 +33,12 @@ pub mod wire;
 pub use clr_chaos::{FaultKind, FaultPlan, FaultPlanError, FaultRates};
 pub use daemon::{serve_stream, Daemon, DaemonConfig, DaemonError, DaemonReport};
 pub use engine::{
-    replay, DecisionRecord, ReplayConfig, ReplayError, ReplayReport, ServeStatus, TenantOutcome,
-    DECISIONS_CSV_HEADER,
+    replay, summary_lines, DecisionRecord, ReplayConfig, ReplayError, ReplayReport, ServeStatus,
+    TenantOutcome, DECISIONS_CSV_HEADER,
+};
+pub use health::{
+    fleet_snapshot, flight_rows, render_prometheus, telemetry_from_journal, HealthState,
+    FLIGHT_RECORDER_LEN, HEALTH_WINDOW,
 };
 pub use session::TenantSession;
 pub use snapshot::{

@@ -10,6 +10,9 @@
 //!                  [--out-dir DIR] [--threads N] [--episode-cycles C]
 //! clr-serve wire-encode --trace FILE --out FILE [--shutdown BOOL]
 //! clr-serve wire-decode --in FILE --tenants NAME,NAME,..
+//! clr-serve stats --request-out FILE [--tenant NAME] [--flight BOOL] [--seq N]
+//! clr-serve stats (--in RESPONSES | --snapshot FILE) [--json]
+//! clr-serve top (--in RESPONSES | --snapshot FILE | --journal FILE) [--limit N]
 //! ```
 //!
 //! A tenant argument is `NAME=SNAP@POLICY`: a plain name, a snapshot
@@ -30,19 +33,31 @@
 //! `replay`'s `decisions.csv`. `ci.sh` closes that loop as its daemon
 //! smoke test.
 //!
+//! `stats` speaks the live-telemetry side of the protocol: with
+//! `--request-out` it encodes a `CLRWIRE1` stats-query frame (splice it
+//! into a request stream before the shutdown frame); with `--in` it
+//! pulls the snapshot out of the daemon's response stream; with
+//! `--snapshot` it re-renders a saved snapshot line. Output is
+//! Prometheus-style text unless `--json` asks for the canonical
+//! schema-v1 JSON line. `top` renders the same snapshot (or a
+//! `replay.obs.jsonl` journal) as a fleet health table, worst p99 slack
+//! first.
+//!
 //! Flag parsing is strict: an unknown or typo'd `--flag` is a usage
-//! error, not silently ignored.
+//! error, not silently ignored. (`--json` on `stats`/`top` is the one
+//! bare switch — it takes no value.)
 //!
 //! Exit codes: `0` success, `1` replay/serving failure, `2` usage / IO /
 //! decode error.
 
 use std::process::ExitCode;
 
-use clr_obs::{Obs, ObsMode};
+use clr_obs::{Obs, ObsMode, TelemetrySnapshot};
 use clr_serve::cli::{flag, parse_fleet, split_flags};
-use clr_serve::wire::{Frame, Request};
+use clr_serve::wire::{Frame, Request, StatsRequest, STATS_VERSION};
 use clr_serve::{
-    generate_trace, is_plain_name, replay, ReplayConfig, Snapshot, Trace, DECISIONS_CSV_HEADER,
+    generate_trace, is_plain_name, render_prometheus, replay, telemetry_from_journal, ReplayConfig,
+    Snapshot, Trace, DECISIONS_CSV_HEADER,
 };
 
 const USAGE: &str = "usage: clr-serve <command>
@@ -51,7 +66,10 @@ const USAGE: &str = "usage: clr-serve <command>
   gen-trace --out FILE --tenant NAME=SNAP@POLICY.. [--seed N] [--cycles C] [--mean-gap G]
   replay --trace FILE --tenant NAME=SNAP@POLICY.. [--out-dir DIR] [--threads N] [--episode-cycles C]
   wire-encode --trace FILE --out FILE [--shutdown BOOL]
-  wire-decode --in FILE --tenants NAME,NAME,..";
+  wire-decode --in FILE --tenants NAME,NAME,..
+  stats --request-out FILE [--tenant NAME] [--flight BOOL] [--seq N]
+  stats (--in RESPONSES | --snapshot FILE) [--json]
+  top (--in RESPONSES | --snapshot FILE | --journal FILE) [--limit N]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -66,6 +84,8 @@ fn main() -> ExitCode {
         "replay" => cmd_replay(&args[1..]),
         "wire-encode" => cmd_wire_encode(&args[1..]),
         "wire-decode" => cmd_wire_decode(&args[1..]),
+        "stats" => cmd_stats(&args[1..]),
+        "top" => cmd_top(&args[1..]),
         other => {
             eprintln!("clr-serve: unknown command {other:?}\n{USAGE}");
             ExitCode::from(2)
@@ -254,24 +274,12 @@ fn cmd_replay(args: &[String]) -> ExitCode {
         }
     };
 
-    for o in report.outcomes() {
-        eprintln!(
-            "tenant {}: {} events, {} reconfigurations, {} violations, total dRC {}",
-            o.name, o.events, o.reconfigurations, o.violations, o.total_drc
-        );
-    }
-    if report.dropped > 0 {
-        let names: Vec<String> = report
-            .dropped_by_tenant
-            .iter()
-            .map(|(name, count)| format!("{name:?} ({count})"))
-            .collect();
-        eprintln!(
-            "clr-serve: warning: {} events dropped — trace addresses tenants absent \
-             from the fleet: {}",
-            report.dropped,
-            names.join(", ")
-        );
+    for line in report.summary_lines() {
+        if line.starts_with("warning:") {
+            eprintln!("clr-serve: {line}");
+        } else {
+            eprintln!("{line}");
+        }
     }
 
     match flag(&flags, "out-dir") {
@@ -413,9 +421,11 @@ fn cmd_wire_decode(args: &[String]) -> ExitCode {
                 );
                 errors += 1;
             }
-            Frame::Shutdown => {}
-            Frame::Request(_) => {
-                eprintln!("clr-serve: {input}: request frame in a response stream");
+            // A stats response is valid daemon output in a mixed
+            // stream; the CSV only wants decisions.
+            Frame::Shutdown | Frame::StatsResponse(_) => {}
+            Frame::Request(_) | Frame::Stats(_) => {
+                eprintln!("clr-serve: {input}: request-side frame in a response stream");
                 return ExitCode::from(2);
             }
         }
@@ -428,6 +438,220 @@ fn cmd_wire_decode(args: &[String]) -> ExitCode {
     }
     if errors > 0 {
         eprintln!("clr-serve: warning: {errors} requests were rejected by the daemon");
+    }
+    ExitCode::SUCCESS
+}
+
+/// Strips a bare `--json` switch (the one valueless flag) before strict
+/// flag splitting, returning the remaining args and whether it was set.
+fn take_json_switch(args: &[String]) -> (Vec<String>, bool) {
+    let mut json = false;
+    let rest = args
+        .iter()
+        .filter(|a| {
+            if a.as_str() == "--json" {
+                json = true;
+                false
+            } else {
+                true
+            }
+        })
+        .cloned()
+        .collect();
+    (rest, json)
+}
+
+/// Pulls the telemetry snapshot out of a `CLRWIRE1` response stream:
+/// the first stats-response frame wins; error frames are surfaced.
+fn snapshot_from_frames(path: &str) -> Result<TelemetrySnapshot, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut rest = &bytes[..];
+    while !rest.is_empty() {
+        let (frame, used) = Frame::from_bytes(rest).map_err(|e| format!("{path}: {e}"))?;
+        rest = &rest[used..];
+        match frame {
+            Frame::StatsResponse(r) => {
+                return TelemetrySnapshot::from_json(&r.snapshot)
+                    .map_err(|e| format!("{path}: stats response seq {}: {e}", r.seq));
+            }
+            Frame::Error(e) => {
+                eprintln!(
+                    "clr-serve: warning: error frame seq {}: {}",
+                    e.seq, e.message
+                );
+            }
+            _ => {}
+        }
+    }
+    Err(format!("{path}: no stats response frame in the stream"))
+}
+
+/// Loads a snapshot from whichever source flag is present.
+fn load_snapshot(flags: &[(&str, &str)]) -> Result<TelemetrySnapshot, String> {
+    match (
+        flag(flags, "in"),
+        flag(flags, "snapshot"),
+        flag(flags, "journal"),
+    ) {
+        (Some(path), None, None) => snapshot_from_frames(path),
+        (None, Some(path), None) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            TelemetrySnapshot::from_json(&text).map_err(|e| format!("{path}: {e}"))
+        }
+        (None, None, Some(path)) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            telemetry_from_journal(&text).map_err(|e| format!("{path}: {e}"))
+        }
+        _ => Err("exactly one snapshot source is required".into()),
+    }
+}
+
+/// `stats`: encode a stats-query frame, or render a fleet snapshot from
+/// a response stream / saved snapshot line.
+fn cmd_stats(args: &[String]) -> ExitCode {
+    let (args, json) = take_json_switch(args);
+    let allowed = ["request-out", "tenant", "flight", "seq", "in", "snapshot"];
+    let (positional, flags) = match split_flags(&args, &allowed) {
+        Ok(p) => p,
+        Err(e) => return usage_error(&e),
+    };
+    if !positional.is_empty() {
+        return usage_error("stats takes flags only");
+    }
+    if let Some(out) = flag(&flags, "request-out") {
+        if flag(&flags, "in").is_some() || flag(&flags, "snapshot").is_some() {
+            return usage_error("--request-out excludes --in and --snapshot");
+        }
+        let tenant = match flag(&flags, "tenant") {
+            Some(name) if is_plain_name(name) => Some(name.to_string()),
+            Some(name) => return usage_error(&format!("bad --tenant {name:?} (a plain name)")),
+            None => None,
+        };
+        let flight = match flag(&flags, "flight").unwrap_or("false") {
+            "true" => true,
+            "false" => false,
+            other => return usage_error(&format!("bad --flight {other:?} (true or false)")),
+        };
+        let seq: u64 = match flag(&flags, "seq").map_or(Ok(1), str::parse) {
+            Ok(s) => s,
+            Err(_) => return usage_error("bad --seq"),
+        };
+        let frame = Frame::Stats(StatsRequest {
+            seq,
+            version: STATS_VERSION,
+            flight,
+            tenant,
+        });
+        let bytes = frame.to_bytes();
+        if let Err(e) = std::fs::write(out, &bytes) {
+            eprintln!("clr-serve: cannot write {out}: {e}");
+            return ExitCode::from(2);
+        }
+        eprintln!("wrote {out}: 1 stats request frame ({} bytes)", bytes.len());
+        return ExitCode::SUCCESS;
+    }
+    let snapshot = match load_snapshot(&flags) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("clr-serve: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        println!("{}", snapshot.to_json());
+    } else {
+        print!("{}", render_prometheus(&snapshot));
+    }
+    ExitCode::SUCCESS
+}
+
+/// `top`: the fleet health table — one row per tenant, worst p99 slack
+/// first (least headroom at the tail), fault-rate desc as tie-break.
+fn cmd_top(args: &[String]) -> ExitCode {
+    let (args, json) = take_json_switch(args);
+    if json {
+        return usage_error("top renders a table; use stats --json for the raw snapshot");
+    }
+    let allowed = ["in", "snapshot", "journal", "limit"];
+    let (positional, flags) = match split_flags(&args, &allowed) {
+        Ok(p) => p,
+        Err(e) => return usage_error(&e),
+    };
+    if !positional.is_empty() {
+        return usage_error("top takes flags only");
+    }
+    let limit: usize = match flag(&flags, "limit").map_or(Ok(usize::MAX), str::parse) {
+        Ok(0) | Err(_) => return usage_error("bad --limit (a positive integer)"),
+        Ok(n) => n,
+    };
+    let snapshot = match load_snapshot(&flags) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("clr-serve: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut rows: Vec<&clr_obs::TenantTelemetry> = snapshot.tenants.iter().collect();
+    rows.sort_by(|a, b| {
+        let p99 = |t: &clr_obs::TenantTelemetry| {
+            t.histogram("slack")
+                .and_then(clr_obs::QuantileHistogram::p99)
+                .unwrap_or(f64::INFINITY)
+        };
+        let faults = |t: &clr_obs::TenantTelemetry| t.window_mean("fault_rate").unwrap_or(0.0);
+        p99(a)
+            .total_cmp(&p99(b))
+            .then(faults(b).total_cmp(&faults(a)))
+            .then_with(|| a.name.cmp(&b.name))
+    });
+    let fmt_q = |q: Option<f64>| q.map_or("-".to_string(), |v| format!("{v:.2}"));
+    let fmt_rate = |r: Option<f64>| r.map_or("-".to_string(), |v| format!("{v:.3}"));
+    println!(
+        "{:<12} {:<12} {:>8} {:>8} {:>10} {:>10} {:>8} {:>8} {:>5}  DWELL",
+        "TENANT",
+        "STATUS",
+        "EVENTS",
+        "SERVED",
+        "SLACK-P50",
+        "SLACK-P99",
+        "FAULT/W",
+        "VIOL/W",
+        "QUAR"
+    );
+    for t in rows.iter().take(limit) {
+        let slack = t.histogram("slack");
+        let dwell: Vec<String> = t
+            .counters
+            .iter()
+            .filter(|(name, v)| name.starts_with("dwell.") && *v > 0)
+            .map(|(name, v)| format!("{} {v}", &name["dwell.".len()..]))
+            .collect();
+        println!(
+            "{:<12} {:<12} {:>8} {:>8} {:>10} {:>10} {:>8} {:>8} {:>5}  {}",
+            t.name,
+            t.status,
+            t.events,
+            t.counter("served").unwrap_or(0),
+            fmt_q(slack.and_then(clr_obs::QuantileHistogram::p50)),
+            fmt_q(slack.and_then(clr_obs::QuantileHistogram::p99)),
+            fmt_rate(t.window_mean("fault_rate")),
+            fmt_rate(t.window_mean("violation_rate")),
+            t.counter("quarantine.entries").unwrap_or(0),
+            dwell.join(", ")
+        );
+    }
+    if snapshot.tenants.len() > limit {
+        eprintln!(
+            "clr-serve: {} of {} tenants shown (--limit {limit})",
+            limit,
+            snapshot.tenants.len()
+        );
+    }
+    if !snapshot.dropped.is_empty() {
+        let total: u64 = snapshot.dropped.iter().map(|(_, n)| n).sum();
+        eprintln!("clr-serve: warning: {total} events dropped for unknown tenants");
     }
     ExitCode::SUCCESS
 }

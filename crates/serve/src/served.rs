@@ -2,13 +2,16 @@
 //!
 //! ```text
 //! clr-served --tenant NAME=SNAP@POLICY.. [--batch N] [--threads N]
-//!            [--episode-cycles C] [--quarantine-after K]
+//!            [--episode-cycles C] [--quarantine-after K] [--telemetry BOOL]
 //! ```
 //!
 //! Speaks the `CLRWIRE1` framed protocol on stdin/stdout: request
 //! frames in, response (or error) frames out, batched admission with
 //! bounded-queue backpressure, graceful drain on end-of-stream or an
-//! explicit shutdown frame. Responses for a time-sorted trace are
+//! explicit shutdown frame. A stats-query frame is answered in stream
+//! position with a schema-v1 fleet telemetry snapshot (byte-identical
+//! at any `--threads` value); `--telemetry false` turns the health
+//! registries off, and stats queries then report empty tenants. Responses for a time-sorted trace are
 //! decision-for-decision identical to one batch `clr-serve replay` of
 //! the same fleet — `ci.sh` byte-compares the two via
 //! `clr-serve wire-encode` / `wire-decode`.
@@ -30,7 +33,7 @@ use clr_serve::cli::{flag, parse_fleet, split_flags};
 use clr_serve::{serve_stream, DaemonConfig};
 
 const USAGE: &str = "usage: clr-served --tenant NAME=SNAP@POLICY.. \
-[--batch N] [--threads N] [--episode-cycles C] [--quarantine-after K]";
+[--batch N] [--threads N] [--episode-cycles C] [--quarantine-after K] [--telemetry BOOL]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -40,6 +43,7 @@ fn main() -> ExitCode {
         "threads",
         "episode-cycles",
         "quarantine-after",
+        "telemetry",
     ];
     let (positional, flags) = match split_flags(&args, &allowed) {
         Ok(p) => p,
@@ -73,6 +77,13 @@ fn main() -> ExitCode {
             Err(_) => return usage_error("bad --quarantine-after"),
         }
     }
+    if let Some(v) = flag(&flags, "telemetry") {
+        match v {
+            "true" => config.replay.telemetry = true,
+            "false" => config.replay.telemetry = false,
+            other => return usage_error(&format!("bad --telemetry {other:?} (true or false)")),
+        }
+    }
     let tenants = match parse_fleet(&flags) {
         Ok(t) => t,
         Err(e) => return usage_error(&e),
@@ -89,17 +100,27 @@ fn main() -> ExitCode {
     let mut output = stdout.lock();
     match serve_stream(&tenants, &mut input, &mut output, &config) {
         Ok(report) => {
-            for o in &report.outcomes {
-                eprintln!(
-                    "tenant {}: {} events, {} reconfigurations, {} violations, total dRC {}",
-                    o.name, o.events, o.reconfigurations, o.violations, o.total_drc
-                );
+            // The same summary source `clr-serve replay` prints, so a
+            // drained daemon and a batch replay of the same trace agree
+            // line for line (dropped counts included).
+            let dropped: Vec<(String, usize)> = report
+                .dropped_by_tenant
+                .iter()
+                .map(|(name, n)| (name.clone(), usize::try_from(*n).unwrap_or(usize::MAX)))
+                .collect();
+            for line in clr_serve::summary_lines(&report.outcomes, &dropped) {
+                if line.starts_with("warning:") {
+                    eprintln!("clr-served: {line}");
+                } else {
+                    eprintln!("{line}");
+                }
             }
             eprintln!(
-                "clr-served: drained — {} served, {} rejected, {} batches ({})",
+                "clr-served: drained — {} served, {} rejected, {} batches, {} stats ({})",
                 report.served,
                 report.rejected,
                 report.batches,
+                report.stats,
                 if report.clean_shutdown {
                     "shutdown frame"
                 } else {

@@ -26,7 +26,9 @@
 use clr_chaos::FaultKind;
 use clr_runtime::{AdaptationPolicy, HvPolicy, RuntimeContext};
 
-use crate::{DecisionRecord, ReplayConfig, ServeStatus, Tenant, TenantOutcome, TraceEvent};
+use crate::{
+    DecisionRecord, HealthState, ReplayConfig, ServeStatus, Tenant, TenantOutcome, TraceEvent,
+};
 
 /// The decision-layer fault kinds, in the fixed priority order used when
 /// several fire on the same event.
@@ -60,6 +62,10 @@ pub struct TenantSession<'a> {
     quarantined: bool,
     next_episode_end: f64,
     feas_buf: Vec<usize>,
+    /// Per-point makespans, extracted once at seat time so the
+    /// per-decision slack computation reads a dense array instead of
+    /// chasing into the full design-point records.
+    makespans: Vec<f64>,
     now: f64,
     outcome: TenantOutcome,
 }
@@ -96,6 +102,7 @@ impl<'a> TenantSession<'a> {
             total_drc: 0.0,
             failure: None,
             decisions: Vec::new(),
+            health: HealthState::new(),
         };
         let ctx = match RuntimeContext::try_new(tenant.graph(), tenant.platform(), tenant.db()) {
             Ok(ctx) => Some(ctx),
@@ -105,6 +112,12 @@ impl<'a> TenantSession<'a> {
             }
         };
         let quarantined = ctx.is_none();
+        if quarantined && config.telemetry {
+            // A failed runtime context is a quarantine entry at seat
+            // time: the registry reports it before any event arrives.
+            outcome.health.last_status = ServeStatus::Quarantined;
+            outcome.health.note_quarantine_entry();
+        }
         Self {
             tenant,
             tenant_idx,
@@ -118,6 +131,14 @@ impl<'a> TenantSession<'a> {
             quarantined,
             next_episode_end: config.episode_cycles,
             feas_buf: Vec::new(),
+            makespans: (0..tenant.db().len())
+                .map(|i| {
+                    tenant
+                        .db()
+                        .get(i)
+                        .map_or(f64::INFINITY, |p| p.metrics.makespan)
+                })
+                .collect(),
             now: 0.0,
             outcome,
         }
@@ -142,6 +163,12 @@ impl<'a> TenantSession<'a> {
     /// or a failed runtime context).
     pub fn is_quarantined(&self) -> bool {
         self.quarantined
+    }
+
+    /// The live health registry — what a `Stats` query reports for this
+    /// tenant.
+    pub fn health(&self) -> &HealthState {
+        &self.outcome.health
     }
 
     /// The accumulated outcome (identical to what a batch replay of the
@@ -209,6 +236,9 @@ impl<'a> TenantSession<'a> {
                 status: ServeStatus::Quarantined,
                 fault: None,
             };
+            if self.config.telemetry {
+                self.outcome.health.observe(&record, 0.0);
+            }
             self.outcome.decisions.push(record.clone());
             return record;
         };
@@ -274,6 +304,7 @@ impl<'a> TenantSession<'a> {
         if to != self.current {
             self.outcome.reconfigurations += 1;
         }
+        let mut entered_quarantine = false;
         if fault.is_some() {
             self.outcome.faults += 1;
             self.outcome.degraded += 1;
@@ -282,6 +313,7 @@ impl<'a> TenantSession<'a> {
                 && self.consecutive_faults >= self.config.quarantine_after
             {
                 self.quarantined = true;
+                entered_quarantine = true;
             }
         } else {
             self.consecutive_faults = 0;
@@ -304,6 +336,18 @@ impl<'a> TenantSession<'a> {
             status,
             fault,
         };
+        if self.config.telemetry {
+            // Decision "latency" in simulated time: how much makespan
+            // headroom the served point leaves under the requirement.
+            let slack = self
+                .makespans
+                .get(to)
+                .map_or(0.0, |m| (spec.max_makespan - m).max(0.0));
+            self.outcome.health.observe(&record, slack);
+            if entered_quarantine {
+                self.outcome.health.note_quarantine_entry();
+            }
+        }
         self.outcome.decisions.push(record.clone());
         self.current = to;
         record

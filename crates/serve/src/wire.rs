@@ -9,7 +9,8 @@
 //! offset  size  field
 //! 0       8     magic  b"CLRWIRE1"
 //! 8       2     protocol version, u16 LE (currently 1)
-//! 10      1     frame kind, u8 (1 request, 2 response, 3 error, 4 shutdown)
+//! 10      1     frame kind, u8 (1 request, 2 response, 3 error,
+//!               4 shutdown, 5 stats request, 6 stats response)
 //! 11      5     reserved, must be 0
 //! 16      8     payload length in bytes, u64 LE (capped at 64 KiB)
 //! 24      8     FNV-1a 64 checksum of the payload, u64 LE
@@ -33,6 +34,18 @@
 //! - **Error**: `seq` u64 (0 when the offending frame's seq is
 //!   unrecoverable), message (u16 length + UTF-8).
 //! - **Shutdown**: empty payload; asks the daemon to drain and exit.
+//! - **Stats request** (`kind = 5`): `seq` u64, `stats_version` u16,
+//!   `flight` u8, optional tenant filter (u16 length + UTF-8, length 0
+//!   = whole fleet). Asks a live daemon for its telemetry snapshot.
+//!   The version field is decoded leniently so a daemon can answer a
+//!   too-new request with a clean error frame instead of a decode
+//!   failure; a pre-stats daemon rejects kind 5 outright with its
+//!   `unknown frame kind 5` error frame — the version gate for old
+//!   peers.
+//! - **Stats response** (`kind = 6`): `seq` u64, then the
+//!   [`clr_obs::TelemetrySnapshot`] v1 JSON line (u32 length + UTF-8).
+//!   A snapshot that would not fit the payload cap is never encoded —
+//!   the daemon answers an error frame suggesting a tenant filter.
 //!
 //! A decoder rejects bad magic, unsupported versions, unknown kinds,
 //! nonzero reserved bytes, over-cap or mismatched lengths and checksum
@@ -56,8 +69,15 @@ pub const WIRE_HEADER_LEN: usize = 32;
 
 /// Upper bound on a frame payload. Tenant names are short and decision
 /// records are fixed-size, so any larger declared length is hostile or
-/// corrupt input, refused before allocation.
+/// corrupt input, refused before allocation. Telemetry snapshots are
+/// the one variable-size payload; the daemon refuses to encode one
+/// over this cap (answering an error frame instead).
 pub const MAX_PAYLOAD_LEN: usize = 64 * 1024;
+
+/// The stats-payload schema this build speaks (independent of
+/// [`WIRE_VERSION`]: the frame layer decodes any declared stats
+/// version, the daemon answers a mismatch with an error frame).
+pub const STATS_VERSION: u16 = 1;
 
 /// One protocol frame.
 #[derive(Debug, Clone, PartialEq)]
@@ -70,6 +90,10 @@ pub enum Frame {
     Error(ErrorFrame),
     /// Drain everything admitted so far and exit gracefully.
     Shutdown,
+    /// A live telemetry query.
+    Stats(StatsRequest),
+    /// The telemetry snapshot answering one stats query.
+    StatsResponse(StatsResponse),
 }
 
 /// The wire form of one QoS event (`kind = 1`).
@@ -117,6 +141,43 @@ pub struct Response {
     pub tenant: String,
     /// The decision, exactly as the batch engine would record it.
     pub decision: DecisionRecord,
+}
+
+/// A live telemetry query (`kind = 5`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsRequest {
+    /// Client-chosen sequence number, echoed on the response.
+    pub seq: u64,
+    /// The stats schema the client speaks ([`STATS_VERSION`]); the
+    /// daemon answers other versions with an error frame.
+    pub version: u16,
+    /// Ask for every tenant's flight-recorder tail (quarantined
+    /// tenants' tails are always included).
+    pub flight: bool,
+    /// Restrict the snapshot to one tenant (also the escape hatch when
+    /// a whole-fleet snapshot would exceed the payload cap).
+    pub tenant: Option<String>,
+}
+
+impl StatsRequest {
+    /// A whole-fleet query at this build's stats version.
+    pub fn fleet(seq: u64, flight: bool) -> Self {
+        Self {
+            seq,
+            version: STATS_VERSION,
+            flight,
+            tenant: None,
+        }
+    }
+}
+
+/// The snapshot answering one stats query (`kind = 6`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsResponse {
+    /// The query's sequence number.
+    pub seq: u64,
+    /// The [`clr_obs::TelemetrySnapshot`] v1 canonical JSON line.
+    pub snapshot: String,
 }
 
 /// A request-level failure (`kind = 3`).
@@ -256,6 +317,9 @@ impl PayloadWriter {
     fn u64(&mut self, v: u64) {
         self.bytes.extend_from_slice(&v.to_le_bytes());
     }
+    fn u16(&mut self, v: u16) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
     fn f64(&mut self, v: f64) {
         self.bytes.extend_from_slice(&v.to_bits().to_le_bytes());
     }
@@ -309,6 +373,10 @@ impl<'a> PayloadReader<'a> {
         buf.copy_from_slice(raw);
         Ok(u64::from_le_bytes(buf))
     }
+    fn u16(&mut self) -> Result<u16, WireError> {
+        let raw = self.take(2)?;
+        Ok(u16::from_le_bytes([raw[0], raw[1]]))
+    }
     fn f64(&mut self) -> Result<f64, WireError> {
         Ok(f64::from_bits(self.u64()?))
     }
@@ -357,6 +425,8 @@ impl Frame {
             Self::Response(_) => 2,
             Self::Error(_) => 3,
             Self::Shutdown => 4,
+            Self::Stats(_) => 5,
+            Self::StatsResponse(_) => 6,
         }
     }
 
@@ -397,6 +467,24 @@ impl Frame {
                 payload.bytes.extend_from_slice(&msg[..usize::from(len)]);
             }
             Self::Shutdown => {}
+            Self::Stats(s) => {
+                payload.u64(s.seq);
+                payload.u16(s.version);
+                payload.u8(u8::from(s.flight));
+                match &s.tenant {
+                    Some(name) => payload.name(name),
+                    None => payload.u16(0), // length 0 = whole fleet
+                }
+            }
+            Self::StatsResponse(s) => {
+                payload.u64(s.seq);
+                let text = s.snapshot.as_bytes();
+                let len = u32::try_from(text.len()).unwrap_or(u32::MAX);
+                payload.bytes.extend_from_slice(&len.to_le_bytes());
+                payload
+                    .bytes
+                    .extend_from_slice(&text[..usize::try_from(len).unwrap_or(0)]);
+            }
         }
         let payload = payload.bytes;
         let mut out = Vec::with_capacity(WIRE_HEADER_LEN + payload.len());
@@ -487,6 +575,50 @@ impl Frame {
                 Self::Error(ErrorFrame { seq, message })
             }
             4 => Self::Shutdown,
+            5 => {
+                let seq = r.u64()?;
+                let version = r.u16()?;
+                let flight = match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    other => {
+                        return Err(WireError::Malformed(format!(
+                            "bad flight flag {other} (expected 0 or 1)"
+                        )))
+                    }
+                };
+                // Length 0 means "whole fleet"; any other length is a
+                // plain tenant name.
+                let len = usize::from(r.u16()?);
+                let tenant = if len == 0 {
+                    None
+                } else {
+                    let bytes = r.take(len)?;
+                    let name = std::str::from_utf8(bytes)
+                        .map_err(|_| WireError::Malformed("tenant name is not UTF-8".into()))?;
+                    if !is_plain_name(name) {
+                        return Err(WireError::Malformed(format!("bad tenant name {name:?}")));
+                    }
+                    Some(name.to_string())
+                };
+                Self::Stats(StatsRequest {
+                    seq,
+                    version,
+                    flight,
+                    tenant,
+                })
+            }
+            6 => {
+                let seq = r.u64()?;
+                let raw = r.take(4)?;
+                let len = usize::try_from(u32::from_le_bytes([raw[0], raw[1], raw[2], raw[3]]))
+                    .map_err(|_| WireError::Malformed("snapshot length overflows usize".into()))?;
+                let bytes = r.take(len)?;
+                let snapshot = std::str::from_utf8(bytes)
+                    .map_err(|_| WireError::Malformed("snapshot is not UTF-8".into()))?
+                    .to_string();
+                Self::StatsResponse(StatsResponse { seq, snapshot })
+            }
             other => return Err(WireError::BadKind { kind: other }),
         };
         r.finish()?;
@@ -584,7 +716,7 @@ fn decode_header(header: &[u8]) -> Result<(u8, usize, u64), WireError> {
         return Err(WireError::UnsupportedVersion { version });
     }
     let kind = header[10];
-    if !(1..=4).contains(&kind) {
+    if !(1..=6).contains(&kind) {
         return Err(WireError::BadKind { kind });
     }
     if header[11..16] != [0u8; 5] {
@@ -776,6 +908,80 @@ mod tests {
         bytes.extend_from_slice(&[0u8; 5]);
         bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
         bytes.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        assert!(matches!(
+            Frame::from_bytes(&bytes),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn stats_frames_round_trip() {
+        let frames = [
+            Frame::Stats(StatsRequest::fleet(11, true)),
+            Frame::Stats(StatsRequest {
+                seq: 12,
+                version: STATS_VERSION,
+                flight: false,
+                tenant: Some("cam0".into()),
+            }),
+            // A future stats version decodes at the frame layer; the
+            // daemon is the one that objects.
+            Frame::Stats(StatsRequest {
+                seq: 13,
+                version: 9,
+                flight: false,
+                tenant: None,
+            }),
+            Frame::StatsResponse(StatsResponse {
+                seq: 11,
+                snapshot: "{\"schema\":1,\"label\":\"fleet\",\"events\":0,\"dropped\":[],\
+                           \"tenants\":[]}"
+                    .into(),
+            }),
+        ];
+        for frame in frames {
+            let bytes = frame.to_bytes();
+            let (decoded, consumed) = Frame::from_bytes(&bytes).unwrap();
+            assert_eq!(consumed, bytes.len());
+            assert_eq!(decoded, frame);
+        }
+    }
+
+    #[test]
+    fn corrupt_stats_frames_are_rejected() {
+        // Payload bit flip → checksum mismatch.
+        let mut bytes = Frame::Stats(StatsRequest::fleet(1, false)).to_bytes();
+        bytes[WIRE_HEADER_LEN + 2] ^= 0x40;
+        assert!(matches!(
+            Frame::from_bytes(&bytes),
+            Err(WireError::ChecksumMismatch { .. })
+        ));
+
+        // A truncated response payload (checksum refreshed so only the
+        // structural check can object) is malformed, not served.
+        let good = Frame::StatsResponse(StatsResponse {
+            seq: 2,
+            snapshot: "{\"schema\":1}".into(),
+        })
+        .to_bytes();
+        let mut payload = good[WIRE_HEADER_LEN..].to_vec();
+        payload.truncate(payload.len() - 3); // declared text length now lies
+        let mut bytes = good[..WIRE_HEADER_LEN].to_vec();
+        bytes[16..24].copy_from_slice(&(payload.len() as u64).to_le_bytes());
+        bytes[24..32].copy_from_slice(&fnv1a64(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        assert!(matches!(
+            Frame::from_bytes(&bytes),
+            Err(WireError::Malformed(_))
+        ));
+
+        // A bad flight flag is malformed.
+        let good = Frame::Stats(StatsRequest::fleet(3, false)).to_bytes();
+        let mut payload = good[WIRE_HEADER_LEN..].to_vec();
+        payload[10] = 7; // the flight byte (after seq u64 + version u16)
+        let mut bytes = good[..WIRE_HEADER_LEN].to_vec();
+        bytes[24..32].copy_from_slice(&fnv1a64(&payload).to_le_bytes());
         bytes.extend_from_slice(&payload);
         assert!(matches!(
             Frame::from_bytes(&bytes),

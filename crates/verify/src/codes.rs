@@ -128,6 +128,17 @@ pub enum LintCode {
     /// CLR065: a trace event addresses a tenant absent from the serving
     /// fleet — the engine would drop the event at replay.
     TraceUnknownTenant,
+    /// CLR066: a telemetry snapshot fails to parse as schema-1 JSON, or
+    /// does not survive a decode/re-encode round trip byte-for-byte.
+    TelemetrySchemaInvalid,
+    /// CLR067: a rolling-window statistic is internally inconsistent
+    /// (length exceeds its capacity or event index, the index outruns
+    /// the tenant's event count, or the running sum is non-finite).
+    TelemetryWindowInconsistent,
+    /// CLR068: a quantile histogram is internally inconsistent (bucket
+    /// counts do not sum to the stored total, or the min/max bounds
+    /// disagree with the population).
+    TelemetryHistogramInconsistent,
 
     // ----- chaos campaigns (CLR07x) -------------------------------------
     /// CLR070: a fault plan fails to parse, validate, or survive a
@@ -145,7 +156,7 @@ pub enum LintCode {
 
 impl LintCode {
     /// Every registered lint, in code order.
-    pub const ALL: [LintCode; 40] = [
+    pub const ALL: [LintCode; 43] = [
         LintCode::GraphCycle,
         LintCode::EdgeEndpointOutOfRange,
         LintCode::EmptyImplementationSet,
@@ -183,6 +194,9 @@ impl LintCode {
         LintCode::SnapshotRoundTripMismatch,
         LintCode::SnapshotUnknownModel,
         LintCode::TraceUnknownTenant,
+        LintCode::TelemetrySchemaInvalid,
+        LintCode::TelemetryWindowInconsistent,
+        LintCode::TelemetryHistogramInconsistent,
         LintCode::FaultPlanRoundTripMismatch,
         LintCode::CampaignCsvSchemaInvalid,
         LintCode::QuarantineJournalMismatch,
@@ -228,6 +242,9 @@ impl LintCode {
             LintCode::SnapshotRoundTripMismatch => "CLR063",
             LintCode::SnapshotUnknownModel => "CLR064",
             LintCode::TraceUnknownTenant => "CLR065",
+            LintCode::TelemetrySchemaInvalid => "CLR066",
+            LintCode::TelemetryWindowInconsistent => "CLR067",
+            LintCode::TelemetryHistogramInconsistent => "CLR068",
             LintCode::FaultPlanRoundTripMismatch => "CLR070",
             LintCode::CampaignCsvSchemaInvalid => "CLR071",
             LintCode::QuarantineJournalMismatch => "CLR072",
@@ -306,6 +323,15 @@ impl LintCode {
             }
             LintCode::TraceUnknownTenant => {
                 "trace events must address tenants present in the serving fleet"
+            }
+            LintCode::TelemetrySchemaInvalid => {
+                "telemetry snapshots must be schema-1 and survive a codec round trip"
+            }
+            LintCode::TelemetryWindowInconsistent => {
+                "rolling-window statistics must be internally consistent"
+            }
+            LintCode::TelemetryHistogramInconsistent => {
+                "histogram bucket counts must sum to the stored total"
             }
             LintCode::FaultPlanRoundTripMismatch => {
                 "fault plans must validate and survive a codec round trip"
@@ -406,6 +432,15 @@ impl LintCode {
             }
             LintCode::TraceUnknownTenant => {
                 "regenerate the trace for this fleet, or seat the missing tenants"
+            }
+            LintCode::TelemetrySchemaInvalid => {
+                "re-query the daemon (clr-serve stats); do not hand-edit snapshots"
+            }
+            LintCode::TelemetryWindowInconsistent => {
+                "re-query the daemon; report a divergence as a health-registry bug"
+            }
+            LintCode::TelemetryHistogramInconsistent => {
+                "re-query the daemon; report a divergence as a histogram bug"
             }
             LintCode::FaultPlanRoundTripMismatch => {
                 "regenerate with clr-chaos plan; do not hand-edit rates"

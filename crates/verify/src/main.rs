@@ -14,6 +14,8 @@
 //! clr-verify [--json] trace <FILE> <NAME,NAME,..>
 //!                                     lint a QoS-event trace against a
 //!                                     fleet's tenant names (CLR065)
+//! clr-verify [--json] stats <FILE>..  lint fleet telemetry snapshots
+//!                                     (CLR066–CLR068)
 //! clr-verify list                     print the lint registry
 //! ```
 //!
@@ -38,11 +40,12 @@ use clr_verify::{
     check_aura_subsumes_ura, check_campaign_consistency, check_campaign_csv, check_database,
     check_database_standalone, check_drc_matrix, check_fault_plan, check_journal, check_mapping,
     check_platform, check_platform_supports, check_policy_params, check_schedule, check_snapshot,
-    check_task_graph, check_trace, LintCode, Report,
+    check_stats, check_task_graph, check_trace, LintCode, Report,
 };
 
 const USAGE: &str = "usage: clr-verify [--json] <all | tgff FILE.. | db FILE.. | journal FILE.. \
-| snapshot FILE.. | plan FILE.. | campaign CSV [JOURNAL] | trace FILE NAME,NAME,.. | list>";
+| snapshot FILE.. | plan FILE.. | campaign CSV [JOURNAL] | trace FILE NAME,NAME,.. \
+| stats FILE.. | list>";
 
 fn main() -> ExitCode {
     let mut json = false;
@@ -98,6 +101,10 @@ fn main() -> ExitCode {
             Err(code) => return code,
         },
         "trace" => match audit_trace(operands) {
+            Ok(r) => r,
+            Err(code) => return code,
+        },
+        "stats" => match audit_files(operands, audit_stats_file) {
             Ok(r) => r,
             Err(code) => return code,
         },
@@ -296,6 +303,16 @@ fn audit_trace(operands: &[String]) -> Result<Report, ExitCode> {
         fleet.len()
     );
     Ok(check_trace(&trace, &fleet, trace_path))
+}
+
+/// Lints one fleet telemetry snapshot (CLR066–CLR068: schema + round
+/// trip, window arithmetic, histogram population).
+fn audit_stats_file(text: &str, path: &str) -> Result<Report, String> {
+    eprintln!(
+        "clr-verify: {path}: telemetry snapshot ({} bytes)",
+        text.len()
+    );
+    Ok(check_stats(text, path))
 }
 
 /// Lints one observability journal (either section; see

@@ -1,0 +1,241 @@
+//! Telemetry-snapshot lints (`CLR066`–`CLR068`): fleet health snapshots
+//! as served by a `clr-served` stats query or `clr-serve replay`.
+//!
+//! A snapshot is the one artifact operators act on without the engine in
+//! hand, so it gets its own consistency gate: the schema-1 codec must
+//! round-trip byte-for-byte (CLR066 — any foreign or hand-edited encoder
+//! fails this), every rolling-window statistic must be arithmetically
+//! possible (CLR067), and every quantile histogram's sparse buckets must
+//! sum to its stored total with population-consistent bounds (CLR068).
+//! `ci.sh` runs `clr-verify stats` on the snapshot it byte-compares
+//! across thread counts.
+
+use clr_obs::{QuantileHistogram, TelemetrySnapshot, TenantTelemetry, WindowStat};
+
+use crate::{Diagnostic, LintCode, Report};
+
+/// Lints one telemetry snapshot line (CLR066–CLR068): schema-1 parse +
+/// byte round trip, window arithmetic, histogram population.
+///
+/// `text` is the raw snapshot as read from the wire or disk; `label`
+/// names the artifact in findings.
+pub fn check_stats(text: &str, label: &str) -> Report {
+    let mut report = Report::new();
+    let origin = format!("stats:{label}");
+    let snapshot = match TelemetrySnapshot::from_json(text) {
+        Ok(s) => s,
+        Err(e) => {
+            report.push(Diagnostic::new(
+                LintCode::TelemetrySchemaInvalid,
+                origin,
+                "snapshot".to_string(),
+                format!("snapshot does not parse as schema-1 telemetry: {e}"),
+            ));
+            return report;
+        }
+    };
+    let reencoded = snapshot.to_json();
+    if reencoded != text.trim_end_matches('\n') {
+        report.push(Diagnostic::new(
+            LintCode::TelemetrySchemaInvalid,
+            origin.clone(),
+            "snapshot".to_string(),
+            "snapshot does not survive a decode/re-encode round trip — \
+             it was hand-edited or written by a foreign encoder"
+                .to_string(),
+        ));
+    }
+    for tenant in &snapshot.tenants {
+        for (name, stat) in &tenant.windows {
+            check_window(&mut report, &origin, tenant, name, stat);
+        }
+        for (name, histogram) in &tenant.histograms {
+            check_histogram(&mut report, &origin, tenant, name, histogram);
+        }
+    }
+    report
+}
+
+/// CLR067: a window's (length, index, sum) triple must be reachable by
+/// pushing `index` values into a ring of capacity `window`.
+fn check_window(
+    report: &mut Report,
+    origin: &str,
+    tenant: &TenantTelemetry,
+    name: &str,
+    stat: &WindowStat,
+) {
+    let location = format!("tenant {:?} window {name:?}", tenant.name);
+    let expected_len = stat.index.min(stat.window);
+    if stat.len != expected_len {
+        report.push(Diagnostic::new(
+            LintCode::TelemetryWindowInconsistent,
+            origin.to_string(),
+            location.clone(),
+            format!(
+                "window holds {} values but {} pushes into capacity {} \
+                 can only leave {expected_len}",
+                stat.len, stat.index, stat.window
+            ),
+        ));
+    }
+    if stat.index > tenant.events {
+        report.push(Diagnostic::new(
+            LintCode::TelemetryWindowInconsistent,
+            origin.to_string(),
+            location.clone(),
+            format!(
+                "window index {} outruns the tenant's {} recorded events",
+                stat.index, tenant.events
+            ),
+        ));
+    }
+    if !stat.sum.is_finite() {
+        report.push(Diagnostic::new(
+            LintCode::TelemetryWindowInconsistent,
+            origin.to_string(),
+            location,
+            format!("window sum {} is not finite", stat.sum),
+        ));
+    }
+}
+
+/// CLR068: a histogram's sparse buckets must sum to its total, and its
+/// min/max bounds must exist exactly when the population does.
+fn check_histogram(
+    report: &mut Report,
+    origin: &str,
+    tenant: &TenantTelemetry,
+    name: &str,
+    histogram: &QuantileHistogram,
+) {
+    let location = format!("tenant {:?} histogram {name:?}", tenant.name);
+    let bucket_sum: u64 = histogram.counts().iter().sum();
+    if bucket_sum != histogram.total() {
+        report.push(Diagnostic::new(
+            LintCode::TelemetryHistogramInconsistent,
+            origin.to_string(),
+            location.clone(),
+            format!(
+                "bucket counts sum to {bucket_sum} but the stored total is {}",
+                histogram.total()
+            ),
+        ));
+    }
+    let min = histogram.min_value();
+    let max = histogram.max_value();
+    if (histogram.total() > 0) != (min.is_some() && max.is_some()) {
+        report.push(Diagnostic::new(
+            LintCode::TelemetryHistogramInconsistent,
+            origin.to_string(),
+            location.clone(),
+            format!(
+                "population {} disagrees with bounds min {min:?} max {max:?}",
+                histogram.total()
+            ),
+        ));
+    }
+    if let (Some(min), Some(max)) = (min, max) {
+        if min > max {
+            report.push(Diagnostic::new(
+                LintCode::TelemetryHistogramInconsistent,
+                origin.to_string(),
+                location,
+                format!("min {min} exceeds max {max}"),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small but fully-populated snapshot, built through the real
+    /// encoder so it round-trips by construction.
+    fn sample() -> String {
+        let mut hist = QuantileHistogram::new();
+        hist.record(1.5);
+        hist.record(40.0);
+        let mut window = clr_obs::RollingWindow::new(64);
+        window.push(1.0);
+        window.push(0.0);
+        let snapshot = TelemetrySnapshot {
+            schema: clr_obs::TELEMETRY_SCHEMA_VERSION,
+            label: "fleet".into(),
+            events: 2,
+            dropped: vec![("ghost".into(), 3)],
+            tenants: vec![TenantTelemetry {
+                name: "cam".into(),
+                events: 2,
+                status: "normal".into(),
+                counters: vec![("decisions".into(), 2)],
+                windows: vec![("fault_rate".into(), window.stat())],
+                histograms: vec![("slack".into(), hist)],
+                flight: vec![],
+            }],
+        };
+        snapshot.to_json()
+    }
+
+    #[test]
+    fn a_real_snapshot_is_clean() {
+        let report = check_stats(&sample(), "t");
+        assert!(report.is_empty(), "{report:?}");
+        // A trailing newline (as read from a file) is tolerated.
+        let report = check_stats(&format!("{}\n", sample()), "t");
+        assert!(report.is_empty(), "{report:?}");
+    }
+
+    #[test]
+    fn unparseable_or_wrong_schema_snapshots_deny_clr066() {
+        let report = check_stats("not json", "t");
+        assert!(report.has_code(LintCode::TelemetrySchemaInvalid));
+        assert_eq!(report.exit_code(), 1);
+        let wrong = sample().replace("\"schema\":1", "\"schema\":2");
+        let report = check_stats(&wrong, "t");
+        assert!(
+            report.has_code(LintCode::TelemetrySchemaInvalid),
+            "{report:?}"
+        );
+    }
+
+    #[test]
+    fn cosmetic_edits_break_the_round_trip() {
+        // Whitespace inside the line parses fine but re-encodes away.
+        let edited = sample().replace("\"events\":2", "\"events\": 2");
+        let report = check_stats(&edited, "t");
+        assert!(
+            report.has_code(LintCode::TelemetrySchemaInvalid),
+            "{report:?}"
+        );
+    }
+
+    #[test]
+    fn impossible_window_arithmetic_denies_clr067() {
+        // 2 pushes cannot leave 64 stored values.
+        let edited = sample().replace("\"len\":2", "\"len\":64");
+        let report = check_stats(&edited, "t");
+        assert!(
+            report.has_code(LintCode::TelemetryWindowInconsistent),
+            "{report:?}"
+        );
+        // An index past the tenant's event count is equally impossible.
+        let edited = sample().replace("\"index\":2", "\"index\":9");
+        let report = check_stats(&edited, "t");
+        assert!(
+            report.has_code(LintCode::TelemetryWindowInconsistent),
+            "{report:?}"
+        );
+    }
+
+    #[test]
+    fn histogram_population_mismatches_deny_clr068() {
+        let edited = sample().replace("\"total\":2", "\"total\":5");
+        let report = check_stats(&edited, "t");
+        assert!(
+            report.has_code(LintCode::TelemetryHistogramInconsistent),
+            "{report:?}"
+        );
+    }
+}
