@@ -55,7 +55,7 @@
 #  11. clr-serve stats smoke       — splice a CLRWIRE1 stats-query frame
 #                                    into the step-10 request stream, run
 #                                    the daemon at CLR_THREADS=1 and 8 and
-#                                    byte-compare the schema-1 fleet
+#                                    byte-compare the schema-2 fleet
 #                                    snapshots; the snapshot must pass the
 #                                    clr-verify stats lints (CLR066-068)
 #                                    and render through stats --json,
@@ -65,7 +65,24 @@
 #                                    results/BENCH_*.json carries the
 #                                    schema-versioned shape (schema,
 #                                    commit, per-group events_per_sec)
-#  13. clr-audit (source lints)    — workspace-wide CLR1xx source audit:
+#  13. clr-store replication       — publish the step-6 database as
+#                                    lineage generation 0, mutate one
+#                                    design point and publish generation
+#                                    1, pull the delta into a replica
+#                                    (the changeset must be a small
+#                                    fraction of the full container),
+#                                    GC the replica, audit both logs
+#                                    with the CLR08x store lints, then
+#                                    seal generation 1 as a CLRSNAP2
+#                                    rollout and hot-swap it into tenant
+#                                    cam mid-stream through clr-served
+#                                    at CLR_THREADS=1 and 8: response
+#                                    frames and obs journals must be
+#                                    byte-identical, the drain must
+#                                    report cam at generation 1, and the
+#                                    journal must carry the db_swap
+#                                    event and pass the CLR05x lints
+#  14. clr-audit (source lints)    — workspace-wide CLR1xx source audit:
 #                                    wall-clock reads, unordered containers,
 #                                    partial_cmp float sorts, unseeded RNGs,
 #                                    raw spawns, panicking decision paths,
@@ -242,6 +259,94 @@ for f in results/BENCH_*.json; do
 done
 if [ -n "$BENCH_BACKUP" ]; then
   mv "$BENCH_BACKUP" results/BENCH_telemetry.json
+fi
+
+step "clr-store replication (lineage publish, delta pull, GC, live SwapDb)"
+cargo build --release --quiet -p clr-store --bin clr-store
+cargo build --release --quiet -p clr-experiments --bin store_bench
+STORE_BIN=target/release/clr-store
+STORE_LOG=target/ci-store.log
+REPLICA_LOG=target/ci-store-replica.log
+rm -f "$STORE_LOG" "$REPLICA_LOG"
+# Generation 0: the exported BaseD database becomes a lineage root,
+# replicated to a second store by full-snapshot pull.
+"$STORE_BIN" publish "$STORE_LOG" "$DB_PARALLEL" --publisher ci --graph jpeg --platform dac19
+"$STORE_BIN" pull "$STORE_LOG" "$REPLICA_LOG"
+# Generation 1: mutate one design point's metrics and republish; the
+# replica pulls the delta, which must ride a changeset, not a snapshot.
+DB_MUT=target/ci-based-mut.db
+awk '/^metrics / && !done {$2="999.5"; done=1} {print}' "$DB_PARALLEL" > "$DB_MUT"
+"$STORE_BIN" publish "$STORE_LOG" "$DB_MUT" --publisher ci --graph jpeg --platform dac19
+PULL_LOG=target/ci-store-pull.log
+"$STORE_BIN" pull "$STORE_LOG" "$REPLICA_LOG" --mode delta | tee "$PULL_LOG"
+grep -q "via changeset" "$PULL_LOG" \
+  || { echo "delta pull did not ship a changeset"; exit 1; }
+"$STORE_BIN" verify "$STORE_LOG"
+"$STORE_BIN" verify "$REPLICA_LOG"
+"$STORE_BIN" log "$STORE_LOG"
+CS_FILE=target/ci-store.changeset
+"$STORE_BIN" changeset "$STORE_LOG" --from 0 --to 1 --out "$CS_FILE"
+"$VERIFY" store "$STORE_LOG" "$CS_FILE"
+# Node-local GC on the replica (keep the head only): the CLR08x lints
+# must still pass — collection below the floor is not a lineage hole.
+"$STORE_BIN" gc "$REPLICA_LOG" --keep 0
+"$VERIFY" store "$REPLICA_LOG"
+# Seal generation 1 back out as a CLRSNAP2 rollout artifact and audit
+# it through the same snapshot lints a v1 export gets.
+SWAP_SNAP=target/ci-rollout.snap
+"$STORE_BIN" export "$STORE_LOG" "$SWAP_SNAP" --generation 1
+"$VERIFY" snapshot "$SWAP_SNAP"
+# Mid-stream hot swap: split the step-8 trace in half, splice a SwapDb
+# frame for tenant cam between the halves, and serve the spliced stream
+# at CLR_THREADS=1 and 8. Response frames and obs journals must be
+# byte-identical, the drain must seat cam at generation 1, and the
+# journal must carry the db_swap event in stream position.
+SWAP_REQ=target/ci-swap-request.bin
+"$SERVE" swap-db --request-out "$SWAP_REQ" --tenant cam --path "$SWAP_SNAP" \
+  --expect 1 --seq 90002 2>/dev/null
+TRACE_LINES=$(wc -l < "$TRACE")
+MID=$(( (TRACE_LINES - 1) / 2 ))
+TRACE_A=target/ci-swap-trace-a.jsonl
+TRACE_B=target/ci-swap-trace-b.jsonl
+head -n $((MID + 1)) "$TRACE" > "$TRACE_A"
+head -n 1 "$TRACE" > "$TRACE_B"
+tail -n +$((MID + 2)) "$TRACE" >> "$TRACE_B"
+FRAMES_A=target/ci-swap-frames-a.bin
+FRAMES_B=target/ci-swap-frames-b.bin
+"$SERVE" wire-encode --trace "$TRACE_A" --out "$FRAMES_A" --shutdown false
+"$SERVE" wire-encode --trace "$TRACE_B" --out "$FRAMES_B"
+SWAP_STREAM=target/ci-swap-stream.bin
+cat "$FRAMES_A" "$SWAP_REQ" "$FRAMES_B" > "$SWAP_STREAM"
+SWAP_T1=target/ci-swap-resp-t1.bin
+SWAP_T8=target/ci-swap-resp-t8.bin
+SWAP_OBS1=target/ci-swap-obs-t1
+SWAP_OBS8=target/ci-swap-obs-t8
+rm -rf "$SWAP_OBS1" "$SWAP_OBS8"
+SWAP_LOG=target/ci-swap-served.log
+CLR_THREADS=1 "$SERVED" "${FLEET[@]}" --batch 64 --obs-dir "$SWAP_OBS1" \
+  < "$SWAP_STREAM" > "$SWAP_T1" 2>/dev/null
+CLR_THREADS=8 "$SERVED" "${FLEET[@]}" --batch 64 --obs-dir "$SWAP_OBS8" \
+  < "$SWAP_STREAM" > "$SWAP_T8" 2> "$SWAP_LOG"
+cmp "$SWAP_T1" "$SWAP_T8" \
+  || { echo "swap response frames diverged across thread counts"; exit 1; }
+cmp "$SWAP_OBS1/served.obs.jsonl" "$SWAP_OBS8/served.obs.jsonl" \
+  || { echo "swap journals diverged across thread counts"; exit 1; }
+grep -q '"type":"db_swap"' "$SWAP_OBS8/served.obs.jsonl" \
+  || { echo "journal is missing the db_swap event"; exit 1; }
+grep -q "tenant cam (gen 1)" "$SWAP_LOG" \
+  || { cat "$SWAP_LOG"; echo "drain did not seat cam at generation 1"; exit 1; }
+"$VERIFY" journal "$SWAP_OBS8/served.obs.jsonl"
+# The delta-sync economics artifact: quick-scale run, then check the
+# committed full-scale numbers keep the schema shape (step 12 greps).
+STORE_BENCH_BACKUP=target/ci-bench-store.json.bak
+cp results/BENCH_store.json "$STORE_BENCH_BACKUP" 2>/dev/null || STORE_BENCH_BACKUP=
+CLR_QUICK=1 ./target/release/store_bench >/dev/null 2>&1
+for key in '"schema"' '"commit"' '"events_per_sec"'; do
+  grep -q "$key" results/BENCH_store.json \
+    || { echo "results/BENCH_store.json missing the $key field"; exit 1; }
+done
+if [ -n "$STORE_BENCH_BACKUP" ]; then
+  mv "$STORE_BENCH_BACKUP" results/BENCH_store.json
 fi
 
 step "clr-audit (workspace-wide CLR1xx source lints)"

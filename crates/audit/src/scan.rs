@@ -20,6 +20,7 @@ const DECISION_PATHS: &[&str] = &[
     "crates/serve/src/session.rs",
     "crates/serve/src/daemon.rs",
     "crates/serve/src/health.rs",
+    "crates/store/src/lib.rs",
     "crates/chaos/src/",
 ];
 
@@ -33,6 +34,8 @@ const CODEC_PATHS: &[&str] = &[
     "crates/obs/src/event.rs",
     "crates/obs/src/telemetry.rs",
     "crates/dse/src/codec.rs",
+    "crates/store/src/changeset.rs",
+    "crates/store/src/backend.rs",
     "crates/chaos/src/plan.rs",
 ];
 

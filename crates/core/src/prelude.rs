@@ -32,8 +32,9 @@ pub use clr_sched::{
     Mapping, Schedule, SystemMetrics,
 };
 pub use clr_serve::{
-    generate_trace, replay, FaultKind, FaultPlan, FaultRates, PolicySpec, ReplayConfig,
-    ReplayReport, ServeStatus, Snapshot, SnapshotError, Tenant, Trace, TraceError, TraceEvent,
+    generate_trace, replay, FaultKind, FaultPlan, FaultRates, LineageSnapshot, PolicySpec,
+    ReplayConfig, ReplayReport, ServeStatus, Snapshot, SnapshotError, Tenant, Trace, TraceError,
+    TraceEvent,
 };
 pub use clr_stats::{Normal, Summary};
 pub use clr_taskgraph::{

@@ -120,6 +120,42 @@ fn decode_f64(s: &str, line: usize) -> Result<f64, CodecError> {
     s.parse().map_err(|_| err(line, format!("bad float {s:?}")))
 }
 
+/// The canonical v1 text block of one stored point — exactly the lines
+/// [`DesignPointDb::to_text`] emits for it (trailing newline included).
+///
+/// This is the unit of content addressing for snapshot lineage: two
+/// points with the same text block are the *same* point to the
+/// replication layer, and a point's version stamp hashes this block.
+pub fn point_text(p: &DesignPoint) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let origin = match p.origin {
+        PointOrigin::Pareto => "Pareto",
+        PointOrigin::ReconfigAware => "ReconfigAware",
+    };
+    let _ = writeln!(out, "point {origin}");
+    let m = &p.metrics;
+    // `{:?}` is Rust's shortest round-trip float form.
+    let _ = writeln!(
+        out,
+        "metrics {:?} {:?} {:?} {:?} {:?}",
+        m.makespan, m.reliability, m.energy, m.peak_power, m.mean_mttf
+    );
+    for g in p.mapping.genes() {
+        let _ = writeln!(
+            out,
+            "gene {} {} {} {} {} {}",
+            g.pe.index(),
+            g.impl_id.index(),
+            encode_hw(g.clr.hw),
+            encode_ssw(g.clr.ssw),
+            encode_asw(g.clr.asw),
+            g.priority
+        );
+    }
+    out
+}
+
 impl DesignPointDb {
     /// Serialises the database into the v1 text form.
     ///
@@ -138,30 +174,7 @@ impl DesignPointDb {
         let _ = writeln!(out, "name {}", self.name());
         let _ = writeln!(out, "points {}", self.len());
         for p in self {
-            let origin = match p.origin {
-                PointOrigin::Pareto => "Pareto",
-                PointOrigin::ReconfigAware => "ReconfigAware",
-            };
-            let _ = writeln!(out, "point {origin}");
-            let m = &p.metrics;
-            // `{:?}` is Rust's shortest round-trip float form.
-            let _ = writeln!(
-                out,
-                "metrics {:?} {:?} {:?} {:?} {:?}",
-                m.makespan, m.reliability, m.energy, m.peak_power, m.mean_mttf
-            );
-            for g in p.mapping.genes() {
-                let _ = writeln!(
-                    out,
-                    "gene {} {} {} {} {} {}",
-                    g.pe.index(),
-                    g.impl_id.index(),
-                    encode_hw(g.clr.hw),
-                    encode_ssw(g.clr.ssw),
-                    encode_asw(g.clr.asw),
-                    g.priority
-                );
-            }
+            out.push_str(&point_text(p));
         }
         out
     }

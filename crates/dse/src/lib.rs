@@ -48,7 +48,7 @@ mod problem;
 mod red;
 
 pub use based::{explore_based, explore_based_with};
-pub use codec::CodecError;
+pub use codec::{point_text, CodecError};
 pub use database::DesignPointDb;
 pub use enumerate::{enumerate_exact, SpaceTooLarge};
 pub use index::FeasibilityIndex;

@@ -5,7 +5,7 @@
 //! health registries on (the default) versus off
 //! (`ReplayConfig::telemetry = false`), plus micro-benches of the
 //! primitives a snapshot is made of — histogram record, rolling-window
-//! push, and the schema-1 snapshot codec round trip.
+//! push, and the schema-2 snapshot codec round trip.
 //!
 //! Results go to stderr and to `results/BENCH_telemetry.json`, in the
 //! same schema-versioned shape as `BENCH_serve.json` (`schema`,

@@ -12,8 +12,9 @@
 use crate::json::{self, fmt_f64, fmt_f64_array, fmt_opt_f64, fmt_u64_array, Value};
 
 /// Version stamped into every journal's leading `meta` event; bump when
-/// the schema of any event changes shape.
-pub const SCHEMA_VERSION: u64 = 1;
+/// the schema of any event changes shape. Version 2 added the `db_swap`
+/// event.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// One journal record.
 #[derive(Debug, Clone, PartialEq)]
@@ -153,6 +154,27 @@ pub enum Event {
         /// `baseline`, `hold` or `quarantine`.
         action: String,
     },
+    /// A tenant's database was hot-swapped (or the swap was refused)
+    /// between decisions on the serve path. Emitted serially in stream
+    /// order, so swap journals are bit-identical across thread counts.
+    DbSwap {
+        /// Run label the swap belongs to.
+        label: String,
+        /// The tenant whose database was addressed.
+        tenant: String,
+        /// 1-based ordinal of the last admitted request before the swap
+        /// (0 = before any request was served).
+        event: usize,
+        /// Generation serving before the attempt.
+        from_gen: u64,
+        /// Generation the command asked for.
+        to_gen: u64,
+        /// Design points in the database serving *after* the attempt.
+        points: usize,
+        /// Outcome: `swapped`, `verify-failed`, `unknown-tenant` or
+        /// `io-error`.
+        status: String,
+    },
     /// A logical-clock span: a named interval measured in generations,
     /// simulated cycles or episodes — never wall time, so spans are
     /// bit-identical across thread counts.
@@ -234,6 +256,7 @@ impl Event {
             Event::SimEnd { .. } => "sim_end",
             Event::Inject { .. } => "inject",
             Event::Fault { .. } => "fault",
+            Event::DbSwap { .. } => "db_swap",
             Event::Span { .. } => "span",
             Event::Counter { .. } => "counter",
             Event::Gauge { .. } => "gauge",
@@ -342,6 +365,20 @@ impl Event {
                 json::escape(kind),
                 json::escape(tenant),
                 json::escape(action)
+            ),
+            Event::DbSwap {
+                label,
+                tenant,
+                event,
+                from_gen,
+                to_gen,
+                points,
+                status,
+            } => format!(
+                ",\"label\":{},\"tenant\":{},\"event\":{event},\"from_gen\":{from_gen},\"to_gen\":{to_gen},\"points\":{points},\"status\":{}",
+                json::escape(label),
+                json::escape(tenant),
+                json::escape(status)
             ),
             Event::Span {
                 label,
@@ -516,6 +553,15 @@ impl Event {
                 event: usize_field("event")?,
                 action: str_field("action")?,
             },
+            "db_swap" => Event::DbSwap {
+                label: str_field("label")?,
+                tenant: str_field("tenant")?,
+                event: usize_field("event")?,
+                from_gen: u64_field("from_gen")?,
+                to_gen: u64_field("to_gen")?,
+                points: usize_field("points")?,
+                status: str_field("status")?,
+            },
             "span" => Event::Span {
                 label: str_field("label")?,
                 clock: str_field("clock")?,
@@ -665,6 +711,15 @@ mod tests {
                 tenant: "cam0".into(),
                 event: 17,
                 action: "lkg".into(),
+            },
+            Event::DbSwap {
+                label: "fleet".into(),
+                tenant: "cam0".into(),
+                event: 42,
+                from_gen: 0,
+                to_gen: 1,
+                points: 128,
+                status: "swapped".into(),
             },
             Event::Span {
                 label: "based-hv-0".into(),

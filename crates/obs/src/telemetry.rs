@@ -14,8 +14,9 @@
 use crate::json::{self, Value};
 
 /// Version stamp written into every [`TelemetrySnapshot`]; decoders
-/// reject other versions.
-pub const TELEMETRY_SCHEMA_VERSION: u64 = 1;
+/// reject other versions. Version 2 added the per-tenant active db
+/// `generation`.
+pub const TELEMETRY_SCHEMA_VERSION: u64 = 2;
 
 /// Fixed bucket count of every [`QuantileHistogram`]: one bucket per
 /// binary exponent from `2^-32` up to `2^63`, with underflow clamped
@@ -515,6 +516,9 @@ pub struct TenantTelemetry {
     /// Current ladder rung tag (`normal`, `lkg`, `baseline`, `hold`,
     /// `quarantined`).
     pub status: String,
+    /// Active snapshot-store generation of the tenant's database (0 for
+    /// an unlineaged CLRSNAP1 load).
+    pub generation: u64,
     /// Named counters, sorted by name.
     pub counters: Vec<(String, u64)>,
     /// Named rolling-window stats, sorted by name.
@@ -649,10 +653,11 @@ impl TelemetrySnapshot {
 
 fn encode_tenant(out: &mut String, t: &TenantTelemetry) {
     out.push_str(&format!(
-        "{{\"name\":{},\"events\":{},\"status\":{},\"counters\":[",
+        "{{\"name\":{},\"events\":{},\"status\":{},\"generation\":{},\"counters\":[",
         json::escape(&t.name),
         t.events,
-        json::escape(&t.status)
+        json::escape(&t.status),
+        t.generation
     ));
     for (i, (name, v)) in t.counters.iter().enumerate() {
         if i > 0 {
@@ -713,6 +718,7 @@ fn decode_tenant(v: &Value) -> Result<TenantTelemetry, String> {
     let name = req_str(v, "name")?.to_string();
     let events = req_u64(v, "events")?;
     let status = req_str(v, "status")?.to_string();
+    let generation = req_u64(v, "generation")?;
 
     let mut counters = Vec::new();
     for (i, pair) in req_arr(v, "counters")?.iter().enumerate() {
@@ -787,6 +793,7 @@ fn decode_tenant(v: &Value) -> Result<TenantTelemetry, String> {
         name,
         events,
         status,
+        generation,
         counters,
         windows,
         histograms,
@@ -954,6 +961,7 @@ mod tests {
                 name: "cam".to_string(),
                 events: 4,
                 status: "normal".to_string(),
+                generation: 1,
                 counters: vec![("decisions".to_string(), 4), ("served".to_string(), 3)],
                 windows: vec![("fault_rate".to_string(), w.stat())],
                 histograms: vec![("slack".to_string(), slack)],
@@ -977,7 +985,7 @@ mod tests {
         assert!(TelemetrySnapshot::from_json("{").is_err());
         assert!(TelemetrySnapshot::from_json("{\"schema\":9}").is_err());
         let mut snap = sample_snapshot();
-        snap.schema = 2;
+        snap.schema = 1;
         assert!(TelemetrySnapshot::from_json(&snap.to_json())
             .unwrap_err()
             .contains("unsupported telemetry schema"));

@@ -1,6 +1,8 @@
 //! Shared run-time adaptation context: the stored database plus
 //! pre-computed reconfiguration distances and normalisers.
 
+use std::borrow::Cow;
+
 use clr_dse::{DesignPointDb, FeasibilityIndex, QosSpec};
 use clr_platform::Platform;
 use clr_sched::reconfiguration_cost;
@@ -19,7 +21,10 @@ use crate::RuntimeError;
 /// for a million application cycles.
 #[derive(Debug, Clone)]
 pub struct RuntimeContext<'a> {
-    db: &'a DesignPointDb,
+    /// Borrowed for the common load-once serve path; owned
+    /// (`RuntimeContext<'static>`) when a database is hot-swapped in at
+    /// run time and must outlive whatever produced it.
+    db: Cow<'a, DesignPointDb>,
     index: FeasibilityIndex,
     /// `drc[from][to]`.
     drc: Vec<Vec<f64>>,
@@ -52,6 +57,30 @@ impl<'a> RuntimeContext<'a> {
         graph: &TaskGraph,
         platform: &Platform,
         db: &'a DesignPointDb,
+    ) -> Result<Self, RuntimeError> {
+        Self::try_from_cow(graph, platform, Cow::Borrowed(db))
+    }
+
+    /// Builds a context that **owns** its database — the hot-swap path:
+    /// a freshly pulled snapshot has no owner to borrow from, so the
+    /// context takes the database by value and the result is
+    /// `RuntimeContext<'static>` (it coerces into any shorter lifetime).
+    ///
+    /// # Errors
+    ///
+    /// As [`RuntimeContext::try_new`].
+    pub fn try_new_owned(
+        graph: &TaskGraph,
+        platform: &Platform,
+        db: DesignPointDb,
+    ) -> Result<RuntimeContext<'static>, RuntimeError> {
+        RuntimeContext::try_from_cow(graph, platform, Cow::Owned(db))
+    }
+
+    fn try_from_cow(
+        graph: &TaskGraph,
+        platform: &Platform,
+        db: Cow<'a, DesignPointDb>,
     ) -> Result<Self, RuntimeError> {
         if db.is_empty() {
             return Err(RuntimeError::EmptyDatabase);
@@ -90,9 +119,10 @@ impl<'a> RuntimeContext<'a> {
         let drc_norm = Normalizer::new(0.0, max_drc).ok_or(RuntimeError::NonFiniteMetric {
             what: "dRC range".to_string(),
         })?;
+        let index = FeasibilityIndex::new(db.as_ref());
         Ok(Self {
             db,
-            index: FeasibilityIndex::new(db),
+            index,
             drc,
             energy_norm,
             drc_norm,
@@ -100,8 +130,8 @@ impl<'a> RuntimeContext<'a> {
     }
 
     /// The stored database.
-    pub fn db(&self) -> &'a DesignPointDb {
-        self.db
+    pub fn db(&self) -> &DesignPointDb {
+        &self.db
     }
 
     /// Number of stored design points (= RL states).

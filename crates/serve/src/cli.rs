@@ -7,7 +7,7 @@
 //! take a value (`--flag VALUE`); the last occurrence wins, except
 //! `--tenant`, which repeats to build a fleet.
 
-use crate::{PolicySpec, Snapshot, Tenant};
+use crate::{LineageSnapshot, PolicySpec, Tenant};
 
 /// Positional operands plus `--flag value` pairs, borrowed from argv.
 pub type SplitArgs<'a> = (Vec<&'a str>, Vec<(&'a str, &'a str)>);
@@ -55,7 +55,9 @@ pub fn flag<'a>(flags: &[(&str, &'a str)], name: &str) -> Option<&'a str> {
 }
 
 /// Parses every `--tenant NAME=SNAP@POLICY` argument into a fleet,
-/// loading each snapshot from disk.
+/// loading each snapshot from disk. Both container generations seat:
+/// a CLRSNAP2 artifact records its lineage generation on the tenant, a
+/// CLRSNAP1 artifact seats as generation 0.
 ///
 /// # Errors
 ///
@@ -71,8 +73,13 @@ pub fn parse_fleet(flags: &[(&str, &str)]) -> Result<Vec<Tenant>, String> {
             .rsplit_once('@')
             .ok_or_else(|| format!("tenant {value:?} is not NAME=SNAP@POLICY"))?;
         let policy: PolicySpec = policy.parse()?;
-        let snapshot = Snapshot::read_file(path).map_err(|e| format!("{path}: {e}"))?;
-        tenants.push(Tenant::from_snapshot(name, &snapshot, policy).map_err(|e| e.to_string())?);
+        let snapshot = LineageSnapshot::read_file(path).map_err(|e| format!("{path}: {e}"))?;
+        let generation = snapshot.lineage().generation;
+        tenants.push(
+            Tenant::from_snapshot(name, snapshot.snapshot(), policy)
+                .map_err(|e| e.to_string())?
+                .with_generation(generation),
+        );
     }
     if tenants.is_empty() {
         return Err("at least one --tenant NAME=SNAP@POLICY is required".into());

@@ -41,12 +41,12 @@ use std::io::{Read, Write};
 use std::sync::Mutex;
 
 use crate::wire::{
-    ErrorFrame, Frame, Request, Response, StatsRequest, StatsResponse, WireError, MAX_PAYLOAD_LEN,
-    STATS_VERSION,
+    ErrorFrame, Frame, Request, Response, StatsRequest, StatsResponse, SwapDbRequest,
+    SwapDbResponse, SwapStatus, WireError, MAX_PAYLOAD_LEN, STATS_VERSION,
 };
 use crate::{
-    fleet_snapshot, DecisionRecord, HealthState, ReplayConfig, ReplayError, Tenant, TenantOutcome,
-    TenantSession, FLIGHT_RECORDER_LEN,
+    fleet_snapshot, DecisionRecord, HealthState, LineageSnapshot, ReplayConfig, ReplayError,
+    Tenant, TenantOutcome, TenantSession, FLIGHT_RECORDER_LEN,
 };
 use clr_obs::TelemetrySnapshot;
 
@@ -116,6 +116,9 @@ pub struct DaemonReport {
     pub batches: usize,
     /// Stats queries answered with a snapshot frame.
     pub stats: usize,
+    /// `SwapDb` requests answered with a swap-response frame (the
+    /// frame's status says whether the rollout applied).
+    pub swaps: usize,
     /// `true` when an explicit [`Frame::Shutdown`] closed the stream,
     /// `false` on plain end-of-stream (both drain fully).
     pub clean_shutdown: bool,
@@ -289,7 +292,7 @@ impl<'a> Daemon<'a> {
         include_flight: bool,
         tenant: Option<&str>,
     ) -> TelemetrySnapshot {
-        let mut states: Vec<(String, HealthState, Vec<DecisionRecord>)> =
+        let mut states: Vec<(String, u64, HealthState, Vec<DecisionRecord>)> =
             Vec::with_capacity(self.tenant_count);
         for idx in 0..self.tenant_count {
             let (shard, slot) = self.locate[idx];
@@ -300,6 +303,7 @@ impl<'a> Daemon<'a> {
             if tenant.is_some_and(|t| t != session.tenant().name()) {
                 continue;
             }
+            let generation = session.generation();
             let health = session.health().clone();
             // Only the flight tail leaves the lock: the last K served
             // decisions, cloned oldest → newest, and only when the
@@ -319,11 +323,18 @@ impl<'a> Daemon<'a> {
             } else {
                 Vec::new()
             };
-            states.push((session.tenant().name().to_string(), health, tail));
+            states.push((
+                session.tenant().name().to_string(),
+                generation,
+                health,
+                tail,
+            ));
         }
         fleet_snapshot(
             label,
-            states.iter().map(|(n, h, d)| (n.as_str(), h, d.as_slice())),
+            states
+                .iter()
+                .map(|(n, g, h, d)| (n.as_str(), *g, h, d.as_slice())),
             &self.dropped_counts(),
             include_flight,
         )
@@ -372,6 +383,48 @@ impl<'a> Daemon<'a> {
         })
     }
 
+    /// Applies one live database swap, answering with a
+    /// [`Frame::SwapDbResponse`] whose status says how the rollout
+    /// ended and whose `generation` is the tenant's active generation
+    /// *after* the attempt.
+    ///
+    /// Called between batches, like [`Daemon::stats_response`] — the
+    /// admission loop closes the batch on a `SwapDb` frame, so the swap
+    /// is a pure function of the stream prefix before it and the
+    /// served output stays byte-identical at any `CLR_THREADS`. The
+    /// frame carries the artifact *path* (containers outgrow the wire
+    /// payload cap); an unreadable file is `io-error`, a corrupt or
+    /// lineage-invalid container is `verify-failed`, and both leave the
+    /// running database serving as the last-known-good.
+    pub fn swap_response(&self, request: &SwapDbRequest) -> Frame {
+        let Some(&idx) = self.by_name.get(request.tenant.as_str()) else {
+            return Frame::SwapDbResponse(SwapDbResponse {
+                seq: request.seq,
+                tenant: request.tenant.clone(),
+                status: SwapStatus::UnknownTenant,
+                generation: 0,
+            });
+        };
+        let (shard, slot) = self.locate[idx];
+        let mut shard = self.shards[shard]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let session = &mut shard.sessions[slot];
+        let record = match std::fs::read(&request.path) {
+            Err(_) => session.note_swap_failure(SwapStatus::IoError),
+            Ok(bytes) => match LineageSnapshot::from_bytes(&bytes) {
+                Err(_) => session.note_swap_failure(SwapStatus::VerifyFailed),
+                Ok(snapshot) => session.swap_db(&snapshot, request.expected_generation),
+            },
+        };
+        Frame::SwapDbResponse(SwapDbResponse {
+            seq: request.seq,
+            tenant: request.tenant.clone(),
+            status: record.status,
+            generation: session.generation(),
+        })
+    }
+
     /// Drains the daemon, yielding every session's accumulated outcome
     /// in fleet order (byte-comparable against a batch replay of the
     /// same event stream).
@@ -414,14 +467,21 @@ pub fn serve_stream(
         rejected: 0,
         batches: 0,
         stats: 0,
+        swaps: 0,
         clean_shutdown: false,
         outcomes: Vec::new(),
         dropped_by_tenant: Vec::new(),
     };
+    /// A control frame that closes the admission batch early so it is
+    /// handled as a pure function of the stream prefix before it.
+    enum Control {
+        Stats(StatsRequest),
+        Swap(SwapDbRequest),
+    }
     let mut open = true;
     while open {
         let mut batch: Vec<Request> = Vec::with_capacity(cap);
-        let mut stats_query: Option<StatsRequest> = None;
+        let mut control: Option<Control> = None;
         while batch.len() < cap {
             match Frame::read_from(input) {
                 Ok(None) => {
@@ -433,7 +493,14 @@ pub fn serve_stream(
                     // Close the batch early: the pending requests are
                     // served first, so the snapshot is a pure function
                     // of the stream prefix up to this query.
-                    stats_query = Some(query);
+                    control = Some(Control::Stats(query));
+                    break;
+                }
+                Ok(Some(Frame::SwapDb(request))) => {
+                    // Same early close as a stats query: the swap lands
+                    // after every already-admitted request, whatever
+                    // the thread count.
+                    control = Some(Control::Swap(request));
                     break;
                 }
                 Ok(Some(Frame::Shutdown)) => {
@@ -477,15 +544,25 @@ pub fn serve_stream(
             }
             report.batches += 1;
         }
-        if let Some(query) = stats_query {
-            let frame = daemon.stats_response(&query);
-            match &frame {
-                Frame::StatsResponse(_) => report.stats += 1,
-                _ => report.rejected += 1,
+        match control {
+            None => {}
+            Some(Control::Stats(query)) => {
+                let frame = daemon.stats_response(&query);
+                match &frame {
+                    Frame::StatsResponse(_) => report.stats += 1,
+                    _ => report.rejected += 1,
+                }
+                frame
+                    .write_to(output)
+                    .map_err(|e| DaemonError::Io(e.to_string()))?;
             }
-            frame
-                .write_to(output)
-                .map_err(|e| DaemonError::Io(e.to_string()))?;
+            Some(Control::Swap(request)) => {
+                let frame = daemon.swap_response(&request);
+                report.swaps += 1;
+                frame
+                    .write_to(output)
+                    .map_err(|e| DaemonError::Io(e.to_string()))?;
+            }
         }
         output.flush().map_err(|e| DaemonError::Io(e.to_string()))?;
     }
@@ -736,6 +813,156 @@ mod tests {
         assert_eq!(report.outcomes.len(), 2);
         assert!(report.outcomes.iter().all(|o| o.events == 0));
         assert!(output.is_empty());
+    }
+
+    /// Writes a verified generation-`g` snapshot of `db` to `path`.
+    fn write_rollout(path: &std::path::Path, db: DesignPointDb, generation: u64) {
+        let snapshot = crate::Snapshot::new("jpeg", "dac19", db);
+        let lineage = crate::Lineage {
+            generation,
+            parent: (generation > 0).then(|| generation - 1),
+            publisher: "roll".into(),
+            stamps: crate::compute_stamps(snapshot.db(), generation),
+        };
+        let wrapped = LineageSnapshot::from_parts(lineage, snapshot);
+        wrapped.verify().expect("constructed rollout verifies");
+        wrapped.write_file(path).expect("rollout writes");
+    }
+
+    #[test]
+    fn mid_stream_swap_is_deterministic_and_reseats_the_tenant() {
+        let dir = std::env::temp_dir().join("clr-serve-daemon-swap");
+        std::fs::create_dir_all(&dir).unwrap();
+        let rollout = dir.join("t1-gen5.snap");
+        write_rollout(&rollout, small_db(12, 2.0), 5);
+
+        let tenants = fleet(3);
+        let trace = generate_trace(&tenants, 31, 3_000.0, 100.0);
+        let mut bytes = Vec::new();
+        let mid = trace.len() / 2;
+        for (i, event) in trace.events().iter().enumerate() {
+            if i == mid {
+                bytes.extend_from_slice(
+                    &Frame::SwapDb(SwapDbRequest {
+                        seq: 90_000,
+                        tenant: "t1".into(),
+                        expected_generation: Some(5),
+                        path: rollout.to_string_lossy().into_owned(),
+                    })
+                    .to_bytes(),
+                );
+            }
+            bytes.extend_from_slice(
+                &Frame::Request(Request::from_event(i as u64 + 1, event)).to_bytes(),
+            );
+        }
+        bytes.extend_from_slice(&Frame::Stats(StatsRequest::fleet(90_001, false)).to_bytes());
+        bytes.extend_from_slice(&Frame::Shutdown.to_bytes());
+
+        let mut outputs = Vec::new();
+        for threads in [1usize, 8] {
+            let config = DaemonConfig {
+                batch: 7,
+                replay: ReplayConfig {
+                    threads,
+                    ..ReplayConfig::default()
+                },
+            };
+            let mut input = std::io::Cursor::new(bytes.clone());
+            let mut output = Vec::new();
+            let report = serve_stream(&tenants, &mut input, &mut output, &config).unwrap();
+            assert!(report.clean_shutdown);
+            assert_eq!(report.served, trace.len());
+            assert_eq!(report.swaps, 1);
+            let swapped = report.outcomes.iter().find(|o| o.name == "t1").unwrap();
+            assert_eq!(swapped.generation, 5);
+            assert_eq!(swapped.points, 12);
+            assert_eq!(swapped.swaps.len(), 1);
+            assert_eq!(swapped.swaps[0].status, SwapStatus::Swapped);
+            assert_eq!(swapped.swaps[0].from_gen, 0);
+            assert_eq!(swapped.swaps[0].to_gen, 5);
+            // The untouched tenants never left their seeded database.
+            for o in report.outcomes.iter().filter(|o| o.name != "t1") {
+                assert_eq!(o.generation, 0);
+                assert!(o.swaps.is_empty());
+            }
+            outputs.push(output);
+        }
+        assert_eq!(
+            outputs[0], outputs[1],
+            "swap-under-traffic output must be byte-identical at threads 1 and 8"
+        );
+        let frames = decode_all(&outputs[0]);
+        let swap_ack = frames
+            .iter()
+            .find_map(|f| match f {
+                Frame::SwapDbResponse(r) => Some(r),
+                _ => None,
+            })
+            .expect("the swap was acknowledged in stream position");
+        assert_eq!(swap_ack.seq, 90_000);
+        assert_eq!(swap_ack.status, SwapStatus::Swapped);
+        assert_eq!(swap_ack.generation, 5);
+        // The closing stats snapshot reports the rolled-out generation.
+        let Some(Frame::StatsResponse(stats)) =
+            frames.iter().find(|f| matches!(f, Frame::StatsResponse(_)))
+        else {
+            panic!("expected a stats response")
+        };
+        let snapshot = TelemetrySnapshot::from_json(&stats.snapshot).unwrap();
+        let t1 = snapshot.tenants.iter().find(|t| t.name == "t1").unwrap();
+        assert_eq!(t1.generation, 5);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn swap_failures_keep_the_old_database_serving() {
+        let dir = std::env::temp_dir().join("clr-serve-daemon-swap-fail");
+        std::fs::create_dir_all(&dir).unwrap();
+        let corrupt = dir.join("corrupt.snap");
+        std::fs::write(&corrupt, b"not a container").unwrap();
+        let rollout = dir.join("gen3.snap");
+        write_rollout(&rollout, small_db(12, 2.0), 3);
+
+        let tenants = fleet(1);
+        let config = DaemonConfig::default();
+        let daemon = Daemon::new(&tenants, &config).unwrap();
+        let swap = |tenant: &str, path: &std::path::Path, expected: Option<u64>| {
+            daemon.swap_response(&SwapDbRequest {
+                seq: 7,
+                tenant: tenant.into(),
+                expected_generation: expected,
+                path: path.to_string_lossy().into_owned(),
+            })
+        };
+        let cases = [
+            (swap("ghost", &rollout, None), SwapStatus::UnknownTenant),
+            (swap("t0", &dir.join("missing"), None), SwapStatus::IoError),
+            (swap("t0", &corrupt, None), SwapStatus::VerifyFailed),
+            // A generation precondition that does not hold is refused.
+            (swap("t0", &rollout, Some(9)), SwapStatus::VerifyFailed),
+        ];
+        for (frame, expected_status) in cases {
+            let Frame::SwapDbResponse(r) = frame else {
+                panic!("expected a swap response, got {frame:?}")
+            };
+            assert_eq!(r.status, expected_status);
+            assert_eq!(r.generation, 0, "the seeded generation keeps serving");
+        }
+        // Every refusal was recorded; none of them re-seated the tenant.
+        let outcomes = daemon.into_outcomes();
+        assert_eq!(outcomes[0].generation, 0);
+        assert_eq!(outcomes[0].points, 8);
+        assert_eq!(
+            outcomes[0].swaps.len(),
+            3,
+            "unknown-tenant never reaches a session"
+        );
+        assert!(outcomes[0]
+            .swaps
+            .iter()
+            .all(|s| s.status != SwapStatus::Swapped));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -52,6 +52,7 @@ use clr_chaos::{FaultKind, FaultPlan};
 use clr_dse::QosSpec;
 use clr_obs::{Event, Obs};
 
+use crate::wire::SwapStatus;
 use crate::{Tenant, TenantSession, Trace, TraceEvent};
 
 /// Replay parameters.
@@ -161,6 +162,27 @@ pub struct DecisionRecord {
     pub fault: Option<FaultKind>,
 }
 
+/// One attempted live database swap, as recorded in the tenant's
+/// outcome (successful or not — a failed rollout is an operational
+/// event worth journaling, and the ladder's fallback to the running
+/// last-known-good database is only visible if the attempt is).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwapRecord {
+    /// Events served before the swap was applied (the swap takes effect
+    /// between event `event` and `event + 1` of the tenant's stream).
+    pub event: usize,
+    /// Active generation before the attempt.
+    pub from_gen: u64,
+    /// The offered snapshot's generation (equals `from_gen` when the
+    /// artifact never decoded).
+    pub to_gen: u64,
+    /// Stored points after the attempt (the new db's size on success,
+    /// the retained db's size on failure).
+    pub points: usize,
+    /// How the attempt ended.
+    pub status: SwapStatus,
+}
+
 /// Aggregate outcome of one tenant's replay.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TenantOutcome {
@@ -185,6 +207,11 @@ pub struct TenantOutcome {
     /// Why the tenant could not serve at all (its runtime context failed
     /// to build), when that happened; all its events are then quarantined.
     pub failure: Option<String>,
+    /// Active snapshot-store generation of the database that served the
+    /// *last* event (seated generation until a successful `SwapDb`).
+    pub generation: u64,
+    /// Every attempted live database swap, in stream order.
+    pub swaps: Vec<SwapRecord>,
     /// Every decision, in service order.
     pub decisions: Vec<DecisionRecord>,
     /// Live telemetry registry (quantiles, dwell occupancy, rolling
@@ -250,12 +277,20 @@ pub fn summary_lines(
         .iter()
         .map(|o| {
             let mut line = format!(
-                "tenant {}: {} events, {} reconfigurations, {} violations, total dRC {}",
-                o.name, o.events, o.reconfigurations, o.violations, o.total_drc
+                "tenant {} (gen {}): {} events, {} reconfigurations, {} violations, total dRC {}",
+                o.name, o.generation, o.events, o.reconfigurations, o.violations, o.total_drc
             );
             let malformed = o.health.faults_by_kind[malformed_slot];
             if malformed > 0 {
                 let _ = write!(line, ", {malformed} malformed");
+            }
+            if !o.swaps.is_empty() {
+                let applied = o
+                    .swaps
+                    .iter()
+                    .filter(|s| s.status == SwapStatus::Swapped)
+                    .count();
+                let _ = write!(line, ", {}/{} swaps applied", applied, o.swaps.len());
             }
             line
         })
@@ -349,7 +384,7 @@ impl ReplayReport {
         summary_lines(&self.outcomes, &self.dropped_by_tenant)
     }
 
-    /// Assembles the schema-v1 fleet telemetry snapshot from the
+    /// Assembles the schema-v2 fleet telemetry snapshot from the
     /// per-tenant health registries (fleet order) and the
     /// unknown-tenant drop counts (name order) — the same numbers the
     /// CLI summary and a live daemon's `Stats` response report.
@@ -361,9 +396,14 @@ impl ReplayReport {
             .collect();
         crate::health::fleet_snapshot(
             label,
-            self.outcomes
-                .iter()
-                .map(|o| (o.name.as_str(), &o.health, o.decisions.as_slice())),
+            self.outcomes.iter().map(|o| {
+                (
+                    o.name.as_str(),
+                    o.generation,
+                    &o.health,
+                    o.decisions.as_slice(),
+                )
+            }),
             &dropped,
             include_flight,
         )
@@ -398,7 +438,29 @@ impl ReplayReport {
                 points: o.points,
                 seed: 0,
             });
+            // Swaps are journaled in stream position: a record with
+            // `event == k` applied between the tenant's k-th and
+            // (k+1)-th decisions, so it is emitted there.
+            let emit_swap = |s: &SwapRecord| {
+                obs.emit(Event::DbSwap {
+                    label: o.name.clone(),
+                    tenant: o.name.clone(),
+                    event: s.event,
+                    from_gen: s.from_gen,
+                    to_gen: s.to_gen,
+                    points: s.points,
+                    status: s.status.label().to_string(),
+                });
+                obs.counter_add("serve.db_swaps", 1);
+                if s.status == SwapStatus::Swapped {
+                    obs.counter_add("serve.db_swaps.applied", 1);
+                }
+            };
+            let mut swaps = o.swaps.iter().peekable();
             for d in &o.decisions {
+                while let Some(s) = swaps.next_if(|s| s.event < d.event) {
+                    emit_swap(s);
+                }
                 obs.emit(Event::Decision {
                     event: d.event,
                     cycle: d.time,
@@ -448,6 +510,9 @@ impl ReplayReport {
                 if d.status.is_degraded() {
                     obs.counter_add("serve.degraded", 1);
                 }
+            }
+            for s in swaps {
+                emit_swap(s);
             }
             obs.emit(Event::SimEnd {
                 label: o.name.clone(),

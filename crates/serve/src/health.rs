@@ -148,7 +148,9 @@ impl HealthState {
         self.fault_window.mean()
     }
 
-    /// Renders the registry as one snapshot tenant entry. `decisions`
+    /// Renders the registry as one snapshot tenant entry. `generation`
+    /// is the tenant's active db generation (the registry itself tracks
+    /// decisions, not artifacts, so the caller supplies it). `decisions`
     /// is the tenant's decision log (or any suffix of it): the flight
     /// rows — the last [`FLIGHT_RECORDER_LEN`] *served* decisions — are
     /// derived from it on demand, and included when asked for or always
@@ -157,6 +159,7 @@ impl HealthState {
     pub fn telemetry(
         &self,
         name: &str,
+        generation: u64,
         include_flight: bool,
         decisions: &[DecisionRecord],
     ) -> TenantTelemetry {
@@ -186,6 +189,7 @@ impl HealthState {
             name: name.to_string(),
             events: self.decisions,
             status: self.last_status.as_str().to_string(),
+            generation,
             counters,
             windows: vec![
                 ("fault_rate".to_string(), self.fault_window.stat()),
@@ -220,10 +224,10 @@ pub fn flight_rows(name: &str, decisions: &[DecisionRecord]) -> Vec<String> {
     rows
 }
 
-/// Assembles the schema-v1 fleet snapshot from per-tenant registries
-/// (with their decision logs, for the flight recorder) in fleet
-/// (seating) order plus the unknown-tenant drop counts (name order).
-/// Both orders are scheduling-independent, so the snapshot is
+/// Assembles the fleet snapshot from per-tenant registries (with their
+/// active db generations and decision logs, for the flight recorder)
+/// in fleet (seating) order plus the unknown-tenant drop counts (name
+/// order). Both orders are scheduling-independent, so the snapshot is
 /// byte-identical at any thread count.
 pub fn fleet_snapshot<'a, I>(
     label: &str,
@@ -232,11 +236,13 @@ pub fn fleet_snapshot<'a, I>(
     include_flight: bool,
 ) -> TelemetrySnapshot
 where
-    I: IntoIterator<Item = (&'a str, &'a HealthState, &'a [DecisionRecord])>,
+    I: IntoIterator<Item = (&'a str, u64, &'a HealthState, &'a [DecisionRecord])>,
 {
     let tenants: Vec<TenantTelemetry> = tenants
         .into_iter()
-        .map(|(name, health, decisions)| health.telemetry(name, include_flight, decisions))
+        .map(|(name, generation, health, decisions)| {
+            health.telemetry(name, generation, include_flight, decisions)
+        })
         .collect();
     let events = tenants.iter().map(|t| t.events).sum();
     TelemetrySnapshot {
@@ -268,6 +274,10 @@ pub fn render_prometheus(snap: &TelemetrySnapshot) -> String {
         out.push_str(&format!(
             "clr_serve_status{{{label},state=\"{}\"}} 1\n",
             t.status
+        ));
+        out.push_str(&format!(
+            "clr_serve_generation{{{label}}} {}\n",
+            t.generation
         ));
         for (name, v) in &t.counters {
             let metric = name.replace('.', "_");
@@ -307,6 +317,9 @@ pub fn render_prometheus(snap: &TelemetrySnapshot) -> String {
 pub fn telemetry_from_journal(text: &str) -> Result<TelemetrySnapshot, String> {
     struct JournalTenant {
         health: HealthState,
+        /// Active db generation: 0 until a `db_swap` event with status
+        /// `swapped` moves it.
+        generation: u64,
         /// Fault / quarantine actions keyed by event ordinal, gathered
         /// before the per-decision fold below.
         actions: std::collections::BTreeMap<usize, (String, String)>,
@@ -332,6 +345,7 @@ pub fn telemetry_from_journal(text: &str) -> Result<TelemetrySnapshot, String> {
                         label.clone(),
                         JournalTenant {
                             health: HealthState::new(),
+                            generation: 0,
                             actions: std::collections::BTreeMap::new(),
                             decisions: Vec::new(),
                         },
@@ -352,6 +366,19 @@ pub fn telemetry_from_journal(text: &str) -> Result<TelemetrySnapshot, String> {
                     t.decisions.push((event, feasible, from, to, violated));
                 }
             }
+            // Only an applied rollout moves the generation; failed
+            // attempts leave the last-known-good artifact serving.
+            Event::DbSwap {
+                tenant,
+                to_gen,
+                status,
+                ..
+            } if status == "swapped" => {
+                if let Some(t) = tenants.get_mut(&tenant) {
+                    t.generation = to_gen;
+                }
+            }
+            Event::DbSwap { .. } => {}
             Event::Fault {
                 tenant,
                 event,
@@ -427,7 +454,7 @@ pub fn telemetry_from_journal(text: &str) -> Result<TelemetrySnapshot, String> {
             // histogram (and pass no decision log, so no synthesised
             // flight rows) rather than publish zeros as measurements.
             health.slack = QuantileHistogram::new();
-            health.telemetry(name, false, &[])
+            health.telemetry(name, t.generation, false, &[])
         })
         .collect();
     let events = entries.iter().map(|t| t.events).sum();
@@ -480,16 +507,17 @@ mod tests {
         assert_eq!(h.slack.total(), 2);
         assert_eq!(h.fault_window.index(), 3);
         assert_eq!(h.fault_window.sum(), 1);
-        let t = h.telemetry("cam", false, &log);
+        let t = h.telemetry("cam", 3, false, &log);
         assert_eq!(t.counter("decisions"), Some(3));
         assert_eq!(t.counter("fault.decision.policy"), Some(1));
         assert_eq!(t.counter("dwell.lkg"), Some(1));
         assert_eq!(t.status, "quarantined");
+        assert_eq!(t.generation, 3);
         assert!(
             t.flight.is_empty(),
             "no flight without request or quarantine"
         );
-        let with_flight = h.telemetry("cam", true, &log);
+        let with_flight = h.telemetry("cam", 3, true, &log);
         assert_eq!(
             with_flight.flight.len(),
             2,
@@ -505,7 +533,7 @@ mod tests {
         let mut h = HealthState::new();
         h.observe(&log[0], 1.0);
         h.note_quarantine_entry();
-        let t = h.telemetry("cam", false, &log);
+        let t = h.telemetry("cam", 0, false, &log);
         assert_eq!(t.flight.len(), 1);
         assert!(t.flight[0].starts_with("cam,1,"));
     }
@@ -537,7 +565,7 @@ mod tests {
         let b = HealthState::new();
         let snap = fleet_snapshot(
             "fleet",
-            [("nav", &a, &[][..]), ("cam", &b, &[][..])],
+            [("nav", 1, &a, &[][..]), ("cam", 0, &b, &[][..])],
             &[("ghost".to_string(), 2)],
             false,
         );
@@ -552,10 +580,11 @@ mod tests {
     fn prometheus_rendering_is_line_per_metric() {
         let mut h = HealthState::new();
         h.observe(&decision(1, ServeStatus::Normal, None), 10.0);
-        let snap = fleet_snapshot("fleet", [("cam", &h, &[][..])], &[], false);
+        let snap = fleet_snapshot("fleet", [("cam", 2, &h, &[][..])], &[], false);
         let text = render_prometheus(&snap);
         assert!(text.contains("clr_serve_events_total 1\n"));
         assert!(text.contains("clr_serve_decisions_total{tenant=\"cam\"} 1\n"));
+        assert!(text.contains("clr_serve_generation{tenant=\"cam\"} 2\n"));
         assert!(text.contains("clr_serve_slack_p50{tenant=\"cam\"}"));
         assert!(text.contains("clr_serve_fault_rate{tenant=\"cam\"} 0\n"));
     }

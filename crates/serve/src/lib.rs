@@ -34,7 +34,7 @@ pub use clr_chaos::{FaultKind, FaultPlan, FaultPlanError, FaultRates};
 pub use daemon::{serve_stream, Daemon, DaemonConfig, DaemonError, DaemonReport};
 pub use engine::{
     replay, summary_lines, DecisionRecord, ReplayConfig, ReplayError, ReplayReport, ServeStatus,
-    TenantOutcome, DECISIONS_CSV_HEADER,
+    SwapRecord, TenantOutcome, DECISIONS_CSV_HEADER,
 };
 pub use health::{
     fleet_snapshot, flight_rows, render_prometheus, telemetry_from_journal, HealthState,
@@ -42,8 +42,9 @@ pub use health::{
 };
 pub use session::TenantSession;
 pub use snapshot::{
-    fnv1a64, resolve_graph, resolve_platform, Snapshot, SnapshotError, FORMAT_VERSION, HEADER_LEN,
-    MAGIC,
+    compute_stamps, fnv1a64, resolve_graph, resolve_platform, Lineage, LineageSnapshot, PointStamp,
+    Snapshot, SnapshotError, FORMAT_VERSION, FORMAT_VERSION2, GENESIS_PUBLISHER, HEADER_LEN, MAGIC,
+    MAGIC2,
 };
 pub use tenant::{PolicySpec, Tenant};
 pub use trace::{generate_trace, is_plain_name, Trace, TraceError, TraceEvent};

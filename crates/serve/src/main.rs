@@ -13,6 +13,7 @@
 //! clr-serve stats --request-out FILE [--tenant NAME] [--flight BOOL] [--seq N]
 //! clr-serve stats (--in RESPONSES | --snapshot FILE) [--json]
 //! clr-serve top (--in RESPONSES | --snapshot FILE | --journal FILE) [--limit N]
+//! clr-serve swap-db --request-out FILE --tenant NAME --path SNAP [--expect GEN] [--seq N]
 //! ```
 //!
 //! A tenant argument is `NAME=SNAP@POLICY`: a plain name, a snapshot
@@ -39,7 +40,7 @@
 //! pulls the snapshot out of the daemon's response stream; with
 //! `--snapshot` it re-renders a saved snapshot line. Output is
 //! Prometheus-style text unless `--json` asks for the canonical
-//! schema-v1 JSON line. `top` renders the same snapshot (or a
+//! schema-v2 JSON line. `top` renders the same snapshot (or a
 //! `replay.obs.jsonl` journal) as a fleet health table, worst p99 slack
 //! first.
 //!
@@ -54,7 +55,7 @@ use std::process::ExitCode;
 
 use clr_obs::{Obs, ObsMode, TelemetrySnapshot};
 use clr_serve::cli::{flag, parse_fleet, split_flags};
-use clr_serve::wire::{Frame, Request, StatsRequest, STATS_VERSION};
+use clr_serve::wire::{Frame, Request, StatsRequest, SwapDbRequest, STATS_VERSION};
 use clr_serve::{
     generate_trace, is_plain_name, render_prometheus, replay, telemetry_from_journal, ReplayConfig,
     Snapshot, Trace, DECISIONS_CSV_HEADER,
@@ -69,7 +70,8 @@ const USAGE: &str = "usage: clr-serve <command>
   wire-decode --in FILE --tenants NAME,NAME,..
   stats --request-out FILE [--tenant NAME] [--flight BOOL] [--seq N]
   stats (--in RESPONSES | --snapshot FILE) [--json]
-  top (--in RESPONSES | --snapshot FILE | --journal FILE) [--limit N]";
+  top (--in RESPONSES | --snapshot FILE | --journal FILE) [--limit N]
+  swap-db --request-out FILE --tenant NAME --path SNAP [--expect GEN] [--seq N]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -86,6 +88,7 @@ fn main() -> ExitCode {
         "wire-decode" => cmd_wire_decode(&args[1..]),
         "stats" => cmd_stats(&args[1..]),
         "top" => cmd_top(&args[1..]),
+        "swap-db" => cmd_swap_db(&args[1..]),
         other => {
             eprintln!("clr-serve: unknown command {other:?}\n{USAGE}");
             ExitCode::from(2)
@@ -421,10 +424,21 @@ fn cmd_wire_decode(args: &[String]) -> ExitCode {
                 );
                 errors += 1;
             }
+            Frame::SwapDbResponse(r) => {
+                // Valid daemon output in a mixed stream; surfaced on
+                // stderr so the CSV stays byte-comparable.
+                eprintln!(
+                    "clr-serve: note: swap response seq {} tenant {}: {} (gen {})",
+                    r.seq,
+                    r.tenant,
+                    r.status.label(),
+                    r.generation
+                );
+            }
             // A stats response is valid daemon output in a mixed
             // stream; the CSV only wants decisions.
             Frame::Shutdown | Frame::StatsResponse(_) => {}
-            Frame::Request(_) | Frame::Stats(_) => {
+            Frame::Request(_) | Frame::Stats(_) | Frame::SwapDb(_) => {
                 eprintln!("clr-serve: {input}: request-side frame in a response stream");
                 return ExitCode::from(2);
             }
@@ -567,6 +581,57 @@ fn cmd_stats(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `swap-db`: encode a `CLRWIRE1` live database-swap request frame
+/// (splice it into a request stream between decision requests; the
+/// daemon applies it between batches and answers in stream position).
+fn cmd_swap_db(args: &[String]) -> ExitCode {
+    let allowed = ["request-out", "tenant", "path", "expect", "seq"];
+    let (positional, flags) = match split_flags(args, &allowed) {
+        Ok(p) => p,
+        Err(e) => return usage_error(&e),
+    };
+    if !positional.is_empty() {
+        return usage_error("swap-db takes flags only");
+    }
+    let (Some(out), Some(tenant), Some(path)) = (
+        flag(&flags, "request-out"),
+        flag(&flags, "tenant"),
+        flag(&flags, "path"),
+    ) else {
+        return usage_error("swap-db needs --request-out FILE, --tenant NAME and --path SNAP");
+    };
+    if !is_plain_name(tenant) {
+        return usage_error(&format!("bad --tenant {tenant:?} (a plain name)"));
+    }
+    let expected_generation = match flag(&flags, "expect") {
+        None => None,
+        Some(v) => match v.parse::<u64>() {
+            Ok(g) => Some(g),
+            Err(_) => return usage_error("bad --expect (a generation number)"),
+        },
+    };
+    let seq: u64 = match flag(&flags, "seq").map_or(Ok(1), str::parse) {
+        Ok(s) => s,
+        Err(_) => return usage_error("bad --seq"),
+    };
+    let frame = Frame::SwapDb(SwapDbRequest {
+        seq,
+        tenant: tenant.to_string(),
+        expected_generation,
+        path: path.to_string(),
+    });
+    let bytes = frame.to_bytes();
+    if let Err(e) = std::fs::write(out, &bytes) {
+        eprintln!("clr-serve: cannot write {out}: {e}");
+        return ExitCode::from(2);
+    }
+    eprintln!(
+        "wrote {out}: 1 swap-db request frame for tenant {tenant} ({} bytes)",
+        bytes.len()
+    );
+    ExitCode::SUCCESS
+}
+
 /// `top`: the fleet health table — one row per tenant, worst p99 slack
 /// first (least headroom at the tail), fault-rate desc as tie-break.
 fn cmd_top(args: &[String]) -> ExitCode {
@@ -609,9 +674,10 @@ fn cmd_top(args: &[String]) -> ExitCode {
     let fmt_q = |q: Option<f64>| q.map_or("-".to_string(), |v| format!("{v:.2}"));
     let fmt_rate = |r: Option<f64>| r.map_or("-".to_string(), |v| format!("{v:.3}"));
     println!(
-        "{:<12} {:<12} {:>8} {:>8} {:>10} {:>10} {:>8} {:>8} {:>5}  DWELL",
+        "{:<12} {:<12} {:>4} {:>8} {:>8} {:>10} {:>10} {:>8} {:>8} {:>5}  DWELL",
         "TENANT",
         "STATUS",
+        "GEN",
         "EVENTS",
         "SERVED",
         "SLACK-P50",
@@ -629,9 +695,10 @@ fn cmd_top(args: &[String]) -> ExitCode {
             .map(|(name, v)| format!("{} {v}", &name["dwell.".len()..]))
             .collect();
         println!(
-            "{:<12} {:<12} {:>8} {:>8} {:>10} {:>10} {:>8} {:>8} {:>5}  {}",
+            "{:<12} {:<12} {:>4} {:>8} {:>8} {:>10} {:>10} {:>8} {:>8} {:>5}  {}",
             t.name,
             t.status,
+            t.generation,
             t.events,
             t.counter("served").unwrap_or(0),
             fmt_q(slack.and_then(clr_obs::QuantileHistogram::p50)),

@@ -3,13 +3,14 @@
 //! ```text
 //! clr-served --tenant NAME=SNAP@POLICY.. [--batch N] [--threads N]
 //!            [--episode-cycles C] [--quarantine-after K] [--telemetry BOOL]
+//!            [--obs-dir DIR]
 //! ```
 //!
 //! Speaks the `CLRWIRE1` framed protocol on stdin/stdout: request
 //! frames in, response (or error) frames out, batched admission with
 //! bounded-queue backpressure, graceful drain on end-of-stream or an
 //! explicit shutdown frame. A stats-query frame is answered in stream
-//! position with a schema-v1 fleet telemetry snapshot (byte-identical
+//! position with a schema-v2 fleet telemetry snapshot (byte-identical
 //! at any `--threads` value); `--telemetry false` turns the health
 //! registries off, and stats queries then report empty tenants. Responses for a time-sorted trace are
 //! decision-for-decision identical to one batch `clr-serve replay` of
@@ -18,7 +19,10 @@
 //!
 //! Diagnostics go to stderr (stdout carries only frames). On drain the
 //! daemon prints the same per-tenant summary lines `clr-serve replay`
-//! prints.
+//! prints (active db generation included), and with `--obs-dir DIR`
+//! exports the drain as a `served.obs.jsonl` journal — `SwapDb` rollouts
+//! appear as `db_swap` events in stream position, auditable with
+//! `clr-verify journal`.
 //!
 //! Flag parsing is strict: an unknown or typo'd `--flag` is a usage
 //! error.
@@ -29,11 +33,13 @@
 
 use std::process::ExitCode;
 
+use clr_obs::{Obs, ObsMode};
 use clr_serve::cli::{flag, parse_fleet, split_flags};
-use clr_serve::{serve_stream, DaemonConfig};
+use clr_serve::{serve_stream, DaemonConfig, ReplayReport};
 
 const USAGE: &str = "usage: clr-served --tenant NAME=SNAP@POLICY.. \
-[--batch N] [--threads N] [--episode-cycles C] [--quarantine-after K] [--telemetry BOOL]";
+[--batch N] [--threads N] [--episode-cycles C] [--quarantine-after K] [--telemetry BOOL] \
+[--obs-dir DIR]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -44,6 +50,7 @@ fn main() -> ExitCode {
         "episode-cycles",
         "quarantine-after",
         "telemetry",
+        "obs-dir",
     ];
     let (positional, flags) = match split_flags(&args, &allowed) {
         Ok(p) => p,
@@ -116,17 +123,43 @@ fn main() -> ExitCode {
                 }
             }
             eprintln!(
-                "clr-served: drained — {} served, {} rejected, {} batches, {} stats ({})",
+                "clr-served: drained — {} served, {} rejected, {} batches, {} stats, \
+                 {} swaps ({})",
                 report.served,
                 report.rejected,
                 report.batches,
                 report.stats,
+                report.swaps,
                 if report.clean_shutdown {
                     "shutdown frame"
                 } else {
                     "end of stream"
                 }
             );
+            // `--obs-dir`: export the drain as an observability journal
+            // through the exact renderer batch replay uses, so a swap
+            // applied mid-stream shows up as a `db_swap` event in
+            // stream position and the journal byte-compares across
+            // thread counts like the response frames do.
+            if let Some(dir) = flag(&flags, "obs-dir") {
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    eprintln!("clr-served: cannot create {dir}: {e}");
+                    return ExitCode::from(2);
+                }
+                let obs = Obs::new(ObsMode::Json);
+                ReplayReport::from_parts(report.outcomes, dropped).emit_obs(&obs);
+                match obs.export(dir, "served") {
+                    Ok(paths) => {
+                        for p in paths {
+                            eprintln!("wrote {}", p.display());
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("clr-served: cannot export journal to {dir}: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {

@@ -26,8 +26,10 @@
 use clr_chaos::FaultKind;
 use clr_runtime::{AdaptationPolicy, HvPolicy, RuntimeContext};
 
+use crate::wire::SwapStatus;
 use crate::{
-    DecisionRecord, HealthState, ReplayConfig, ServeStatus, Tenant, TenantOutcome, TraceEvent,
+    DecisionRecord, HealthState, LineageSnapshot, ReplayConfig, ServeStatus, SwapRecord, Tenant,
+    TenantOutcome, TraceEvent,
 };
 
 /// The decision-layer fault kinds, in the fixed priority order used when
@@ -101,6 +103,8 @@ impl<'a> TenantSession<'a> {
             faults: 0,
             total_drc: 0.0,
             failure: None,
+            generation: tenant.generation(),
+            swaps: Vec::new(),
             decisions: Vec::new(),
             health: HealthState::new(),
         };
@@ -169,6 +173,100 @@ impl<'a> TenantSession<'a> {
     /// tenant.
     pub fn health(&self) -> &HealthState {
         &self.outcome.health
+    }
+
+    /// The active snapshot-store generation of the database serving
+    /// this session (the seated tenant's until a successful
+    /// [`TenantSession::swap_db`]).
+    pub fn generation(&self) -> u64 {
+        self.outcome.generation
+    }
+
+    /// Hot-swaps the session's database from a decoded lineage
+    /// snapshot, between decisions.
+    ///
+    /// The offered artifact must pass [`LineageSnapshot::verify`], match
+    /// `expected_generation` when one is given, and rebuild a runtime
+    /// context over the tenant's resolved graph/platform. On any of
+    /// those failures the running database is kept serving — the
+    /// ladder's last-known-good artifact — and the attempt is recorded
+    /// with [`SwapStatus::VerifyFailed`].
+    ///
+    /// A successful swap re-seats the session deterministically: fresh
+    /// policy instance, operating point back at the tenant's initial
+    /// index (clamped to the new database), cleared last-known-good and
+    /// fault streak (point indices are not comparable across
+    /// generations), and quarantine lifted — a verified rollout is the
+    /// recovery path for a tenant that stopped serving.
+    pub fn swap_db(
+        &mut self,
+        snapshot: &LineageSnapshot,
+        expected_generation: Option<u64>,
+    ) -> SwapRecord {
+        let from_gen = self.outcome.generation;
+        let to_gen = snapshot.lineage().generation;
+        let acceptable = snapshot.verify().is_ok()
+            && expected_generation.is_none_or(|expected| expected == to_gen);
+        let built = if acceptable {
+            RuntimeContext::try_new_owned(
+                self.tenant.graph(),
+                self.tenant.platform(),
+                snapshot.snapshot().db().clone(),
+            )
+            .ok()
+        } else {
+            None
+        };
+        let record = match built {
+            None => SwapRecord {
+                event: self.outcome.events,
+                from_gen,
+                to_gen,
+                points: self.outcome.points,
+                status: SwapStatus::VerifyFailed,
+            },
+            Some(ctx) => {
+                let db = snapshot.snapshot().db();
+                let points = db.len();
+                self.makespans = (0..points)
+                    .map(|i| db.get(i).map_or(f64::INFINITY, |p| p.metrics.makespan))
+                    .collect();
+                self.ctx = Some(ctx);
+                self.policy = self.tenant.policy().build(points);
+                self.current = self.tenant.initial_point().min(points - 1);
+                self.lkg = None;
+                self.consecutive_faults = 0;
+                self.quarantined = false;
+                self.outcome.failure = None;
+                self.outcome.points = points;
+                self.outcome.generation = to_gen;
+                SwapRecord {
+                    event: self.outcome.events,
+                    from_gen,
+                    to_gen,
+                    points,
+                    status: SwapStatus::Swapped,
+                }
+            }
+        };
+        self.outcome.swaps.push(record.clone());
+        record
+    }
+
+    /// Records a swap attempt that failed before an artifact could be
+    /// decoded (an unreadable file, a corrupt container): the running
+    /// database keeps serving, and the failed rollout still reaches the
+    /// journal.
+    pub fn note_swap_failure(&mut self, status: SwapStatus) -> SwapRecord {
+        let record = SwapRecord {
+            event: self.outcome.events,
+            from_gen: self.outcome.generation,
+            to_gen: self.outcome.generation,
+            points: self.outcome.points,
+            status,
+        };
+        self.outcome.swaps.push(record.clone());
+        record
     }
 
     /// The accumulated outcome (identical to what a batch replay of the

@@ -141,6 +141,9 @@ pub struct Tenant {
     db: DesignPointDb,
     policy: PolicySpec,
     initial_point: usize,
+    /// Snapshot-store generation of the loaded database (0 for an
+    /// unlineaged CLRSNAP1 artifact or an in-memory db).
+    generation: u64,
 }
 
 impl Tenant {
@@ -195,6 +198,7 @@ impl Tenant {
             db,
             policy,
             initial_point: 0,
+            generation: 0,
         })
     }
 
@@ -226,6 +230,20 @@ impl Tenant {
     /// The initially active design-point index.
     pub fn initial_point(&self) -> usize {
         self.initial_point
+    }
+
+    /// The snapshot-store generation of the loaded database (0 for an
+    /// unlineaged artifact). A live `SwapDb` updates the serving
+    /// session's generation, not the seated tenant's.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Returns the tenant stamped with the given lineage generation
+    /// (what `--tenant` seating records for a CLRSNAP2 artifact).
+    pub fn with_generation(mut self, generation: u64) -> Self {
+        self.generation = generation;
+        self
     }
 
     /// Returns the tenant starting from a different stored point.

@@ -10,7 +10,8 @@
 //! 0       8     magic  b"CLRWIRE1"
 //! 8       2     protocol version, u16 LE (currently 1)
 //! 10      1     frame kind, u8 (1 request, 2 response, 3 error,
-//!               4 shutdown, 5 stats request, 6 stats response)
+//!               4 shutdown, 5 stats request, 6 stats response,
+//!               7 swap-db request, 8 swap-db response)
 //! 11      5     reserved, must be 0
 //! 16      8     payload length in bytes, u64 LE (capped at 64 KiB)
 //! 24      8     FNV-1a 64 checksum of the payload, u64 LE
@@ -43,9 +44,20 @@
 //!   `unknown frame kind 5` error frame — the version gate for old
 //!   peers.
 //! - **Stats response** (`kind = 6`): `seq` u64, then the
-//!   [`clr_obs::TelemetrySnapshot`] v1 JSON line (u32 length + UTF-8).
+//!   [`clr_obs::TelemetrySnapshot`] JSON line (u32 length + UTF-8).
 //!   A snapshot that would not fit the payload cap is never encoded —
 //!   the daemon answers an error frame suggesting a tenant filter.
+//! - **Swap-db request** (`kind = 7`): `seq` u64, tenant name, optional
+//!   expected generation (presence u8 + u64), snapshot path (u16
+//!   length + UTF-8). Asks the daemon to hot-swap the database to the
+//!   CLRSNAP1/CLRSNAP2 container at the path — by reference, because a
+//!   database does not fit the payload cap. When the expected
+//!   generation is present and the loaded snapshot's generation
+//!   differs, the swap is refused (compare-and-swap for rollouts).
+//! - **Swap-db response** (`kind = 8`): `seq` u64, tenant name, status
+//!   u8 (0 swapped, 1 verify-failed, 2 unknown-tenant, 3 io-error),
+//!   active generation u64 — the generation actually serving after the
+//!   attempt, i.e. the last-known-good one when the swap was refused.
 //!
 //! A decoder rejects bad magic, unsupported versions, unknown kinds,
 //! nonzero reserved bytes, over-cap or mismatched lengths and checksum
@@ -77,7 +89,8 @@ pub const MAX_PAYLOAD_LEN: usize = 64 * 1024;
 /// The stats-payload schema this build speaks (independent of
 /// [`WIRE_VERSION`]: the frame layer decodes any declared stats
 /// version, the daemon answers a mismatch with an error frame).
-pub const STATS_VERSION: u16 = 1;
+/// Version 2 added the per-tenant active db generation.
+pub const STATS_VERSION: u16 = 2;
 
 /// One protocol frame.
 #[derive(Debug, Clone, PartialEq)]
@@ -94,6 +107,10 @@ pub enum Frame {
     Stats(StatsRequest),
     /// The telemetry snapshot answering one stats query.
     StatsResponse(StatsResponse),
+    /// A live database hot-swap command.
+    SwapDb(SwapDbRequest),
+    /// The outcome of one swap command.
+    SwapDbResponse(SwapDbResponse),
 }
 
 /// The wire form of one QoS event (`kind = 1`).
@@ -178,6 +195,83 @@ pub struct StatsResponse {
     pub seq: u64,
     /// The [`clr_obs::TelemetrySnapshot`] v1 canonical JSON line.
     pub snapshot: String,
+}
+
+/// A live database hot-swap command (`kind = 7`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwapDbRequest {
+    /// Client-chosen sequence number, echoed on the response.
+    pub seq: u64,
+    /// The tenant whose database is swapped.
+    pub tenant: String,
+    /// Compare-and-swap guard: refuse unless the loaded snapshot's
+    /// generation equals this (`None` = unconditional).
+    pub expected_generation: Option<u64>,
+    /// Filesystem path of the CLRSNAP1/CLRSNAP2 container to load —
+    /// by reference, since databases exceed the payload cap.
+    pub path: String,
+}
+
+/// How one swap command ended (`kind = 8`, the `status` byte).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwapStatus {
+    /// The tenant is now serving the new generation.
+    Swapped,
+    /// The snapshot failed verification (or the generation guard); the
+    /// tenant keeps serving its last-known-good database.
+    VerifyFailed,
+    /// No such tenant in the fleet.
+    UnknownTenant,
+    /// The snapshot file could not be read.
+    IoError,
+}
+
+impl SwapStatus {
+    /// Stable wire code (append-only).
+    pub fn code(self) -> u8 {
+        match self {
+            Self::Swapped => 0,
+            Self::VerifyFailed => 1,
+            Self::UnknownTenant => 2,
+            Self::IoError => 3,
+        }
+    }
+
+    /// Decodes a wire code.
+    pub fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(Self::Swapped),
+            1 => Some(Self::VerifyFailed),
+            2 => Some(Self::UnknownTenant),
+            3 => Some(Self::IoError),
+            _ => None,
+        }
+    }
+
+    /// Stable lowercase label (journal/summary vocabulary).
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Swapped => "swapped",
+            Self::VerifyFailed => "verify-failed",
+            Self::UnknownTenant => "unknown-tenant",
+            Self::IoError => "io-error",
+        }
+    }
+}
+
+/// The outcome of one swap command (`kind = 8`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwapDbResponse {
+    /// The command's sequence number.
+    pub seq: u64,
+    /// The tenant addressed.
+    pub tenant: String,
+    /// What happened.
+    pub status: SwapStatus,
+    /// The generation actually serving after the attempt (the
+    /// last-known-good one when the swap was refused; 0 for an unknown
+    /// tenant).
+    pub generation: u64,
 }
 
 /// A request-level failure (`kind = 3`).
@@ -427,6 +521,8 @@ impl Frame {
             Self::Shutdown => 4,
             Self::Stats(_) => 5,
             Self::StatsResponse(_) => 6,
+            Self::SwapDb(_) => 7,
+            Self::SwapDbResponse(_) => 8,
         }
     }
 
@@ -484,6 +580,30 @@ impl Frame {
                 payload
                     .bytes
                     .extend_from_slice(&text[..usize::try_from(len).unwrap_or(0)]);
+            }
+            Self::SwapDb(s) => {
+                payload.u64(s.seq);
+                payload.name(&s.tenant);
+                match s.expected_generation {
+                    Some(g) => {
+                        payload.u8(1);
+                        payload.u64(g);
+                    }
+                    None => {
+                        payload.u8(0);
+                        payload.u64(0);
+                    }
+                }
+                let path = s.path.as_bytes();
+                let len = u16::try_from(path.len()).unwrap_or(u16::MAX);
+                payload.bytes.extend_from_slice(&len.to_le_bytes());
+                payload.bytes.extend_from_slice(&path[..usize::from(len)]);
+            }
+            Self::SwapDbResponse(s) => {
+                payload.u64(s.seq);
+                payload.name(&s.tenant);
+                payload.u8(s.status.code());
+                payload.u64(s.generation);
             }
         }
         let payload = payload.bytes;
@@ -619,6 +739,49 @@ impl Frame {
                     .to_string();
                 Self::StatsResponse(StatsResponse { seq, snapshot })
             }
+            7 => {
+                let seq = r.u64()?;
+                let tenant = r.name()?;
+                let present = r.u8()?;
+                let value = r.u64()?;
+                let expected_generation = match present {
+                    0 => None,
+                    1 => Some(value),
+                    other => {
+                        return Err(WireError::Malformed(format!(
+                            "bad option flag {other} (expected 0 or 1)"
+                        )))
+                    }
+                };
+                let raw = r.take(2)?;
+                let len = usize::from(u16::from_le_bytes([raw[0], raw[1]]));
+                let bytes = r.take(len)?;
+                let path = std::str::from_utf8(bytes)
+                    .map_err(|_| WireError::Malformed("snapshot path is not UTF-8".into()))?
+                    .to_string();
+                if path.is_empty() {
+                    return Err(WireError::Malformed("empty snapshot path".into()));
+                }
+                Self::SwapDb(SwapDbRequest {
+                    seq,
+                    tenant,
+                    expected_generation,
+                    path,
+                })
+            }
+            8 => {
+                let seq = r.u64()?;
+                let tenant = r.name()?;
+                let status = SwapStatus::from_code(r.u8()?)
+                    .ok_or_else(|| WireError::Malformed("unknown swap status code".to_string()))?;
+                let generation = r.u64()?;
+                Self::SwapDbResponse(SwapDbResponse {
+                    seq,
+                    tenant,
+                    status,
+                    generation,
+                })
+            }
             other => return Err(WireError::BadKind { kind: other }),
         };
         r.finish()?;
@@ -716,7 +879,7 @@ fn decode_header(header: &[u8]) -> Result<(u8, usize, u64), WireError> {
         return Err(WireError::UnsupportedVersion { version });
     }
     let kind = header[10];
-    if !(1..=6).contains(&kind) {
+    if !(1..=8).contains(&kind) {
         return Err(WireError::BadKind { kind });
     }
     if header[11..16] != [0u8; 5] {
@@ -980,6 +1143,111 @@ mod tests {
         let good = Frame::Stats(StatsRequest::fleet(3, false)).to_bytes();
         let mut payload = good[WIRE_HEADER_LEN..].to_vec();
         payload[10] = 7; // the flight byte (after seq u64 + version u16)
+        let mut bytes = good[..WIRE_HEADER_LEN].to_vec();
+        bytes[24..32].copy_from_slice(&fnv1a64(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        assert!(matches!(
+            Frame::from_bytes(&bytes),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn swap_db_frames_round_trip() {
+        let frames = [
+            Frame::SwapDb(SwapDbRequest {
+                seq: 21,
+                tenant: "cam0".into(),
+                expected_generation: Some(3),
+                path: "out/fleet.snap".into(),
+            }),
+            Frame::SwapDb(SwapDbRequest {
+                seq: 22,
+                tenant: "nav".into(),
+                expected_generation: None,
+                path: "/tmp/gen 4 (with spaces).snap".into(),
+            }),
+            Frame::SwapDbResponse(SwapDbResponse {
+                seq: 21,
+                tenant: "cam0".into(),
+                status: SwapStatus::Swapped,
+                generation: 3,
+            }),
+            Frame::SwapDbResponse(SwapDbResponse {
+                seq: 22,
+                tenant: "nav".into(),
+                status: SwapStatus::VerifyFailed,
+                generation: 1,
+            }),
+        ];
+        for frame in frames {
+            let bytes = frame.to_bytes();
+            let (decoded, consumed) = Frame::from_bytes(&bytes).unwrap();
+            assert_eq!(consumed, bytes.len());
+            assert_eq!(decoded, frame);
+        }
+        // Every status code survives the wire.
+        for status in [
+            SwapStatus::Swapped,
+            SwapStatus::VerifyFailed,
+            SwapStatus::UnknownTenant,
+            SwapStatus::IoError,
+        ] {
+            assert_eq!(SwapStatus::from_code(status.code()), Some(status));
+        }
+        assert_eq!(SwapStatus::from_code(9), None);
+    }
+
+    #[test]
+    fn corrupt_swap_db_frames_are_rejected() {
+        // Payload bit flip → checksum mismatch.
+        let mut bytes = Frame::SwapDb(SwapDbRequest {
+            seq: 1,
+            tenant: "t".into(),
+            expected_generation: None,
+            path: "a.snap".into(),
+        })
+        .to_bytes();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        assert!(matches!(
+            Frame::from_bytes(&bytes),
+            Err(WireError::ChecksumMismatch { .. })
+        ));
+
+        // An empty path is malformed even with a valid checksum.
+        let good = Frame::SwapDb(SwapDbRequest {
+            seq: 1,
+            tenant: "t".into(),
+            expected_generation: None,
+            path: "x".into(),
+        })
+        .to_bytes();
+        let mut payload = good[WIRE_HEADER_LEN..].to_vec();
+        let plen = payload.len();
+        payload.truncate(plen - 1); // drop the path byte...
+        let at = payload.len() - 2;
+        payload[at..].copy_from_slice(&0u16.to_le_bytes()); // ...and declare length 0
+        let mut bytes = good[..WIRE_HEADER_LEN].to_vec();
+        bytes[16..24].copy_from_slice(&(payload.len() as u64).to_le_bytes());
+        bytes[24..32].copy_from_slice(&fnv1a64(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        assert!(matches!(
+            Frame::from_bytes(&bytes),
+            Err(WireError::Malformed(_))
+        ));
+
+        // An unknown status code is malformed.
+        let good = Frame::SwapDbResponse(SwapDbResponse {
+            seq: 2,
+            tenant: "t".into(),
+            status: SwapStatus::Swapped,
+            generation: 0,
+        })
+        .to_bytes();
+        let mut payload = good[WIRE_HEADER_LEN..].to_vec();
+        let status_at = payload.len() - 9; // status byte precedes the u64 generation
+        payload[status_at] = 9;
         let mut bytes = good[..WIRE_HEADER_LEN].to_vec();
         bytes[24..32].copy_from_slice(&fnv1a64(&payload).to_le_bytes());
         bytes.extend_from_slice(&payload);

@@ -1,6 +1,6 @@
 //! The live-telemetry contracts, end to end:
 //!
-//! 1. The schema-1 snapshot codec round-trips **byte-identically** for
+//! 1. The schema-2 snapshot codec round-trips **byte-identically** for
 //!    arbitrary observed histories (proptest).
 //! 2. A `Stats` frame answered mid-stream by [`serve_stream`] yields
 //!    the same bytes at `threads = 1` and `threads = 8`, and the
@@ -185,7 +185,7 @@ fn quarantine_freezes_the_flight_recorder() {
     // the newest row is the last *served* decision, not a quarantined one.
     let t = outcome
         .health
-        .telemetry(tenant.name(), false, &outcome.decisions);
+        .telemetry(tenant.name(), outcome.generation, false, &outcome.decisions);
     assert!(!t.flight.is_empty(), "quarantine forces flight rows out");
     let last_served = outcome
         .decisions
@@ -317,7 +317,7 @@ proptest! {
             .collect();
         let snap = fleet_snapshot(
             "prop",
-            [("cam", &health, log.as_slice())],
+            [("cam", shape % 9, &health, log.as_slice())],
             &dropped,
             include_flight,
         );
@@ -325,7 +325,7 @@ proptest! {
         let back = clr_obs::TelemetrySnapshot::from_json(&line)
             .expect("self-encoded snapshot decodes");
         prop_assert_eq!(back.to_json(), line, "decode(encode(s)) must re-encode identically");
-        prop_assert_eq!(back.schema, 1u64);
+        prop_assert_eq!(back.schema, 2u64);
         prop_assert_eq!(back.tenants.len(), 1);
         prop_assert_eq!(back.tenants[0].events, rows.len() as u64);
     }

@@ -1,0 +1,473 @@
+//! `clr-store` — the replicated snapshot store CLI.
+//!
+//! ```text
+//! clr-store publish <STORE.log> <DB_OR_SNAP> [--publisher ID] [--graph G] [--platform P]
+//! clr-store pull <SRC.log> <DST.log> [--mode auto|delta|full]
+//! clr-store gc <STORE.log> [--keep N]
+//! clr-store log <STORE.log>
+//! clr-store verify <STORE.log>
+//! clr-store export <STORE.log> <OUT.snap> [--generation N]
+//! clr-store changeset <STORE.log> --from A --to B --out FILE
+//! clr-store apply <STORE.log> --changeset FILE
+//! ```
+//!
+//! `publish` appends the next generation (the input may be a v1 text
+//! database, in which case `--graph`/`--platform` name the models, or an
+//! existing CLRSNAP1/CLRSNAP2 container). `pull` replicates from one
+//! store file into another: in `auto` mode (the default) it sends a
+//! changeset when the destination holds the source head's parent chain
+//! and falls back to full snapshots otherwise, printing the byte volume
+//! either way so sync cost is observable. `gc` is node-local (see the
+//! crate docs — no coordination needed). `export` seals one generation
+//! back out as a CLRSNAP2 file, which is exactly what the serve daemon's
+//! `SwapDb` frame loads.
+//!
+//! Flag parsing is strict (unknown flags are usage errors). Exit codes:
+//! `0` success, `1` store/verification failure, `2` usage / IO error.
+
+use std::process::ExitCode;
+
+use clr_serve::cli::{flag, split_flags};
+use clr_serve::{is_plain_name, LineageSnapshot, Snapshot};
+use clr_store::{Changeset, MergeOutcome, Store, StoreError};
+
+const USAGE: &str = "usage: clr-store <command>
+  publish <STORE.log> <DB_OR_SNAP> [--publisher ID] [--graph G] [--platform P]
+  pull <SRC.log> <DST.log> [--mode auto|delta|full]
+  gc <STORE.log> [--keep N]
+  log <STORE.log>
+  verify <STORE.log>
+  export <STORE.log> <OUT.snap> [--generation N]
+  changeset <STORE.log> --from A --to B --out FILE
+  apply <STORE.log> --changeset FILE";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    match command.as_str() {
+        "publish" => cmd_publish(&args[1..]),
+        "pull" => cmd_pull(&args[1..]),
+        "gc" => cmd_gc(&args[1..]),
+        "log" => cmd_log(&args[1..]),
+        "verify" => cmd_verify(&args[1..]),
+        "export" => cmd_export(&args[1..]),
+        "changeset" => cmd_changeset(&args[1..]),
+        "apply" => cmd_apply(&args[1..]),
+        other => {
+            eprintln!("clr-store: unknown command {other:?}\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Prints a usage error and returns the usage exit code.
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("clr-store: {message}\n{USAGE}");
+    ExitCode::from(2)
+}
+
+/// Opens a store replica, mapping failure to the usage/IO exit path.
+fn open_store(path: &str) -> Result<Store<clr_store::FileLogBackend>, ExitCode> {
+    Store::open(path).map_err(|e| {
+        eprintln!("clr-store: {path}: {e}");
+        ExitCode::from(2)
+    })
+}
+
+/// `publish`: append the next generation from a text database or an
+/// existing snapshot container.
+fn cmd_publish(args: &[String]) -> ExitCode {
+    let allowed = ["publisher", "graph", "platform"];
+    let (positional, flags) = match split_flags(args, &allowed) {
+        Ok(p) => p,
+        Err(e) => return usage_error(&e),
+    };
+    let [store_path, input] = positional[..] else {
+        return usage_error("publish takes <STORE.log> <DB_OR_SNAP>");
+    };
+    let publisher = flag(&flags, "publisher").unwrap_or("local");
+    if !is_plain_name(publisher) {
+        return usage_error(&format!("bad --publisher {publisher:?} (a plain name)"));
+    }
+    let bytes = match std::fs::read(input) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("clr-store: cannot read {input}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    // A snapshot container starts with its magic; anything else is
+    // treated as v1 database text.
+    let snapshot = if bytes.starts_with(b"CLRSNAP") {
+        match LineageSnapshot::from_bytes(&bytes) {
+            Ok(s) => s.into_snapshot(),
+            Err(e) => {
+                eprintln!("clr-store: {input}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        let Ok(text) = String::from_utf8(bytes) else {
+            eprintln!("clr-store: {input}: neither a snapshot container nor UTF-8 db text");
+            return ExitCode::from(2);
+        };
+        let db = match clr_dse::DesignPointDb::from_text(&text) {
+            Ok(db) => db,
+            Err(e) => {
+                eprintln!("clr-store: {input}: database decode error: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        Snapshot::new(
+            flag(&flags, "graph").unwrap_or("jpeg"),
+            flag(&flags, "platform").unwrap_or("dac19"),
+            db,
+        )
+    };
+    let mut store = match open_store(store_path) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    match store.publish(snapshot, publisher) {
+        Ok(snap) => {
+            let l = snap.lineage();
+            let changed = l
+                .stamps
+                .iter()
+                .filter(|s| s.generation == l.generation)
+                .count();
+            println!(
+                "published generation {} (parent {}, publisher {}, {} points, {changed} changed)",
+                l.generation,
+                l.parent.map_or_else(|| "none".into(), |p| p.to_string()),
+                l.publisher,
+                l.stamps.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("clr-store: {store_path}: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+/// `pull`: replicate missing generations from SRC into DST, preferring
+/// changeset delta sync when the destination can apply one.
+fn cmd_pull(args: &[String]) -> ExitCode {
+    let (positional, flags) = match split_flags(args, &["mode"]) {
+        Ok(p) => p,
+        Err(e) => return usage_error(&e),
+    };
+    let [src_path, dst_path] = positional[..] else {
+        return usage_error("pull takes <SRC.log> <DST.log>");
+    };
+    let mode = flag(&flags, "mode").unwrap_or("auto");
+    if !matches!(mode, "auto" | "delta" | "full") {
+        return usage_error(&format!("bad --mode {mode:?} (auto, delta or full)"));
+    }
+    let src = match open_store(src_path) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let mut dst = match open_store(dst_path) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let mut run = || -> Result<(), StoreError> {
+        let Some(src_head) = src.head()? else {
+            println!("pulled 0 generations ({src_path} is empty)");
+            return Ok(());
+        };
+        let src_head_gen = src_head.lineage().generation;
+        let dst_gens = dst.generations()?;
+        // Delta sync applies when the destination already holds a
+        // generation the source can diff from (the newest shared one).
+        let base = dst_gens
+            .iter()
+            .rev()
+            .find(|g| src.generations().is_ok_and(|s| s.contains(g)) && **g < src_head_gen)
+            .copied();
+        let use_delta = match (mode, base) {
+            ("full", _) | ("auto" | "delta", None) => None,
+            ("auto" | "delta", Some(b)) => Some(b),
+            _ => unreachable!("mode was validated"),
+        };
+        if mode == "delta"
+            && use_delta.is_none()
+            && src_head_gen > dst_gens.last().copied().unwrap_or(0)
+        {
+            return Err(StoreError::Changeset(
+                "no shared base generation for delta sync (pull --mode full first)".to_string(),
+            ));
+        }
+        let mut merged = 0usize;
+        let mut bytes = 0usize;
+        if let Some(base) = use_delta {
+            let cs = src.changeset(base, src_head_gen)?;
+            bytes += cs.byte_len();
+            let outcome = dst.merge_changeset(&cs)?;
+            merged += usize::from(outcome != MergeOutcome::KeptExisting);
+            println!(
+                "pulled generation {src_head_gen} via changeset from {base}: {} ops, {bytes} bytes ({outcome})",
+                cs.ops.len()
+            );
+        } else {
+            for g in src.generations()? {
+                if dst.generations()?.contains(&g) {
+                    continue;
+                }
+                let snap = src.get(g)?;
+                let b = snap.to_bytes().len();
+                let outcome = dst.merge(&snap)?;
+                bytes += b;
+                merged += usize::from(outcome != MergeOutcome::KeptExisting);
+                println!("pulled generation {g} via full snapshot: {b} bytes ({outcome})");
+            }
+        }
+        println!("pull complete: {merged} generations merged, {bytes} bytes transferred");
+        Ok(())
+    };
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("clr-store: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+/// `gc`: node-local collection of superseded generations.
+fn cmd_gc(args: &[String]) -> ExitCode {
+    let (positional, flags) = match split_flags(args, &["keep"]) {
+        Ok(p) => p,
+        Err(e) => return usage_error(&e),
+    };
+    let [store_path] = positional[..] else {
+        return usage_error("gc takes <STORE.log>");
+    };
+    let keep: usize = match flag(&flags, "keep").map_or(Ok(1), str::parse) {
+        Ok(n) => n,
+        Err(_) => return usage_error("bad --keep (a non-negative integer)"),
+    };
+    let mut store = match open_store(store_path) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    match store.gc(keep) {
+        Ok(removed) => {
+            let listed: Vec<String> = removed.iter().map(ToString::to_string).collect();
+            println!(
+                "collected {} generations (keep-depth {keep}){}{}",
+                removed.len(),
+                if removed.is_empty() { "" } else { ": " },
+                listed.join(", ")
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("clr-store: {store_path}: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+/// `log`: one line per held generation.
+fn cmd_log(args: &[String]) -> ExitCode {
+    let (positional, _) = match split_flags(args, &[]) {
+        Ok(p) => p,
+        Err(e) => return usage_error(&e),
+    };
+    let [store_path] = positional[..] else {
+        return usage_error("log takes <STORE.log>");
+    };
+    let store = match open_store(store_path) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    match store.log() {
+        Ok(entries) => {
+            for e in entries {
+                println!(
+                    "generation {} parent {} publisher {} points {} changed {} bytes {}",
+                    e.generation,
+                    e.parent.map_or_else(|| "none".into(), |p| p.to_string()),
+                    e.publisher,
+                    e.points,
+                    e.changed,
+                    e.bytes
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("clr-store: {store_path}: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+/// `verify`: full integrity sweep over every held generation.
+fn cmd_verify(args: &[String]) -> ExitCode {
+    let (positional, _) = match split_flags(args, &[]) {
+        Ok(p) => p,
+        Err(e) => return usage_error(&e),
+    };
+    let [store_path] = positional[..] else {
+        return usage_error("verify takes <STORE.log>");
+    };
+    let store = match open_store(store_path) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    match store.verify() {
+        Ok(()) => {
+            let count = store.generations().map_or(0, |g| g.len());
+            println!("verified {count} generations: ok");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("clr-store: {store_path}: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+/// `export`: seal one generation back out as a CLRSNAP2 file.
+fn cmd_export(args: &[String]) -> ExitCode {
+    let (positional, flags) = match split_flags(args, &["generation"]) {
+        Ok(p) => p,
+        Err(e) => return usage_error(&e),
+    };
+    let [store_path, out] = positional[..] else {
+        return usage_error("export takes <STORE.log> <OUT.snap>");
+    };
+    let store = match open_store(store_path) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let snap = match flag(&flags, "generation") {
+        Some(v) => match v.parse::<u64>() {
+            Ok(g) => store.get(g),
+            Err(_) => return usage_error("bad --generation (a non-negative integer)"),
+        },
+        None => match store.head() {
+            Ok(Some(s)) => Ok(s),
+            Ok(None) => Err(StoreError::MissingGeneration(0)),
+            Err(e) => Err(e),
+        },
+    };
+    match snap {
+        Ok(snap) => {
+            if let Err(e) = std::fs::write(out, snap.to_bytes()) {
+                eprintln!("clr-store: cannot write {out}: {e}");
+                return ExitCode::from(2);
+            }
+            println!(
+                "exported generation {} to {out} ({} points)",
+                snap.lineage().generation,
+                snap.lineage().stamps.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("clr-store: {store_path}: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+/// `changeset`: write the positional diff between two held generations.
+fn cmd_changeset(args: &[String]) -> ExitCode {
+    let (positional, flags) = match split_flags(args, &["from", "to", "out"]) {
+        Ok(p) => p,
+        Err(e) => return usage_error(&e),
+    };
+    let [store_path] = positional[..] else {
+        return usage_error("changeset takes <STORE.log> --from A --to B --out FILE");
+    };
+    let (Some(from), Some(to), Some(out)) = (
+        flag(&flags, "from"),
+        flag(&flags, "to"),
+        flag(&flags, "out"),
+    ) else {
+        return usage_error("changeset needs --from A --to B --out FILE");
+    };
+    let (Ok(from), Ok(to)) = (from.parse::<u64>(), to.parse::<u64>()) else {
+        return usage_error("bad --from/--to (generation numbers)");
+    };
+    let store = match open_store(store_path) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    match store.changeset(from, to) {
+        Ok(cs) => {
+            let text = cs.to_text();
+            if let Err(e) = std::fs::write(out, &text) {
+                eprintln!("clr-store: cannot write {out}: {e}");
+                return ExitCode::from(2);
+            }
+            println!(
+                "wrote {out}: {} → {} in {} ops, {} bytes",
+                from,
+                to,
+                cs.ops.len(),
+                text.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("clr-store: {store_path}: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+/// `apply`: merge a changeset file against the locally-held source
+/// generation.
+fn cmd_apply(args: &[String]) -> ExitCode {
+    let (positional, flags) = match split_flags(args, &["changeset"]) {
+        Ok(p) => p,
+        Err(e) => return usage_error(&e),
+    };
+    let [store_path] = positional[..] else {
+        return usage_error("apply takes <STORE.log> --changeset FILE");
+    };
+    let Some(cs_path) = flag(&flags, "changeset") else {
+        return usage_error("apply needs --changeset FILE");
+    };
+    let text = match std::fs::read_to_string(cs_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("clr-store: cannot read {cs_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let cs = match Changeset::from_text(&text) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("clr-store: {cs_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut store = match open_store(store_path) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    match store.merge_changeset(&cs) {
+        Ok(outcome) => {
+            println!(
+                "applied {} → {} ({outcome})",
+                cs.from_generation, cs.to_generation
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("clr-store: {store_path}: {e}");
+            ExitCode::from(1)
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Acceptance check for delta sync efficiency: a 100k-point database at
+//! 1% churn must sync via changeset in ≤5% of the full-snapshot byte
+//! volume (the `store_bench` experiment reports the full churn sweep to
+//! `results/BENCH_store.json`; this pins the headline number in CI).
+
+use clr_serve::Snapshot;
+use clr_store::{synth_db, Store};
+
+#[test]
+fn hundred_k_point_db_at_one_percent_churn_syncs_in_five_percent_of_bytes() {
+    let n = 100_000;
+    let mut store = Store::in_memory();
+    store
+        .publish(
+            Snapshot::new("jpeg", "dac19", synth_db("based", n, |_| 1)),
+            "pub",
+        )
+        .unwrap();
+    // Every 100th point changes content: exactly 1% churn.
+    store
+        .publish(
+            Snapshot::new(
+                "jpeg",
+                "dac19",
+                synth_db("based", n, |i| if i % 100 == 0 { 2 } else { 1 }),
+            ),
+            "pub",
+        )
+        .unwrap();
+
+    let full = store.get(1).unwrap().to_bytes().len();
+    let cs = store.changeset(0, 1).unwrap();
+    assert_eq!(cs.ops.len(), n / 100);
+    let delta = cs.byte_len();
+    assert!(
+        delta * 20 <= full,
+        "changeset is {delta} bytes, full snapshot {full} bytes — ratio {:.2}% exceeds 5%",
+        delta as f64 * 100.0 / full as f64
+    );
+
+    // And the delta is not just small, it is exact.
+    let mut replica = Store::in_memory();
+    replica.merge(&store.get(0).unwrap()).unwrap();
+    replica.merge_changeset(&cs).unwrap();
+    assert_eq!(
+        replica.head().unwrap().unwrap().to_bytes(),
+        store.get(1).unwrap().to_bytes()
+    );
+}

@@ -4,7 +4,8 @@
 //! Codes are grouped by pipeline stage: `CLR00x` task graphs, `CLR01x`
 //! platforms, `CLR02x` mappings/schedules, `CLR03x` design-point
 //! databases, `CLR04x` run-time policies, `CLR05x` observability
-//! journals, `CLR06x` serving snapshots, `CLR07x` chaos campaigns.
+//! journals, `CLR06x` serving snapshots, `CLR07x` chaos campaigns,
+//! `CLR08x` replicated snapshot stores.
 //! Codes are append-only — a retired lint's number is never reused.
 
 use crate::Severity;
@@ -128,7 +129,7 @@ pub enum LintCode {
     /// CLR065: a trace event addresses a tenant absent from the serving
     /// fleet — the engine would drop the event at replay.
     TraceUnknownTenant,
-    /// CLR066: a telemetry snapshot fails to parse as schema-1 JSON, or
+    /// CLR066: a telemetry snapshot fails to parse as schema-2 JSON, or
     /// does not survive a decode/re-encode round trip byte-for-byte.
     TelemetrySchemaInvalid,
     /// CLR067: a rolling-window statistic is internally inconsistent
@@ -152,11 +153,33 @@ pub enum LintCode {
     /// journal's quarantine `fault` events — the two artifacts describe
     /// different runs.
     QuarantineJournalMismatch,
+
+    // ----- replicated snapshot stores (CLR08x) ---------------------------
+    /// CLR080: the store's generation lineage is not acyclic — a parent
+    /// pointer is missing, self-referential, or not strictly below its
+    /// child.
+    StoreLineageCycle,
+    /// CLR081: a point stamp claims a generation ahead of the snapshot
+    /// that carries it, or a stamp hash does not address the stored
+    /// point's content.
+    StoreStampNotMonotone,
+    /// CLR082: a changeset references source-generation state that the
+    /// store does not hold (an op outside the `from` snapshot's bounds).
+    ChangesetOutsideSource,
+    /// CLR083: merging a replica's snapshot is not idempotent — merging
+    /// the same generation twice changed the store.
+    MergeNotIdempotent,
+    /// CLR084: merge is order-dependent — two replicas that exchange the
+    /// same generations in different orders diverge.
+    MergeNotCommutative,
+    /// CLR085: after garbage collection a kept generation's parent chain
+    /// no longer reaches a stored root or GC floor.
+    GcUnreachableGeneration,
 }
 
 impl LintCode {
     /// Every registered lint, in code order.
-    pub const ALL: [LintCode; 43] = [
+    pub const ALL: [LintCode; 49] = [
         LintCode::GraphCycle,
         LintCode::EdgeEndpointOutOfRange,
         LintCode::EmptyImplementationSet,
@@ -200,6 +223,12 @@ impl LintCode {
         LintCode::FaultPlanRoundTripMismatch,
         LintCode::CampaignCsvSchemaInvalid,
         LintCode::QuarantineJournalMismatch,
+        LintCode::StoreLineageCycle,
+        LintCode::StoreStampNotMonotone,
+        LintCode::ChangesetOutsideSource,
+        LintCode::MergeNotIdempotent,
+        LintCode::MergeNotCommutative,
+        LintCode::GcUnreachableGeneration,
     ];
 
     /// The stable `CLRnnn` code string.
@@ -248,6 +277,12 @@ impl LintCode {
             LintCode::FaultPlanRoundTripMismatch => "CLR070",
             LintCode::CampaignCsvSchemaInvalid => "CLR071",
             LintCode::QuarantineJournalMismatch => "CLR072",
+            LintCode::StoreLineageCycle => "CLR080",
+            LintCode::StoreStampNotMonotone => "CLR081",
+            LintCode::ChangesetOutsideSource => "CLR082",
+            LintCode::MergeNotIdempotent => "CLR083",
+            LintCode::MergeNotCommutative => "CLR084",
+            LintCode::GcUnreachableGeneration => "CLR085",
         }
     }
 
@@ -325,7 +360,7 @@ impl LintCode {
                 "trace events must address tenants present in the serving fleet"
             }
             LintCode::TelemetrySchemaInvalid => {
-                "telemetry snapshots must be schema-1 and survive a codec round trip"
+                "telemetry snapshots must be schema-2 and survive a codec round trip"
             }
             LintCode::TelemetryWindowInconsistent => {
                 "rolling-window statistics must be internally consistent"
@@ -341,6 +376,22 @@ impl LintCode {
             }
             LintCode::QuarantineJournalMismatch => {
                 "campaign quarantine totals must match the journal's fault events"
+            }
+            LintCode::StoreLineageCycle => {
+                "generation lineage must be acyclic with parents strictly below children"
+            }
+            LintCode::StoreStampNotMonotone => {
+                "point stamps must content-address their points at or before the snapshot generation"
+            }
+            LintCode::ChangesetOutsideSource => {
+                "changeset operations must stay within the source generation's bounds"
+            }
+            LintCode::MergeNotIdempotent => "merging the same generation twice must be a no-op",
+            LintCode::MergeNotCommutative => {
+                "replicas exchanging the same generations must converge in any order"
+            }
+            LintCode::GcUnreachableGeneration => {
+                "every generation kept by GC must reach a stored root or the GC floor"
             }
         }
     }
@@ -450,6 +501,24 @@ impl LintCode {
             }
             LintCode::QuarantineJournalMismatch => {
                 "keep campaign.csv and campaign.obs.jsonl from the same run"
+            }
+            LintCode::StoreLineageCycle => {
+                "re-publish through clr-store publish; do not hand-edit the log"
+            }
+            LintCode::StoreStampNotMonotone => {
+                "re-publish the generation; stamps are computed, never edited"
+            }
+            LintCode::ChangesetOutsideSource => {
+                "recompute the changeset against the generation actually held"
+            }
+            LintCode::MergeNotIdempotent => {
+                "report as a store bug; the merge order must be a join-semilattice"
+            }
+            LintCode::MergeNotCommutative => {
+                "report as a store bug; the publisher/byte tiebreak must be total"
+            }
+            LintCode::GcUnreachableGeneration => {
+                "run clr-store gc again; keep-depth must retain whole parent chains"
             }
         }
     }

@@ -1,7 +1,7 @@
 //! Lints for observability journals (`CLR05x`): the `*.obs.jsonl` files
 //! exported by [`clr_obs::Obs::export`].
 //!
-//! A journal is valid when every line is a well-formed schema-1 event
+//! A journal is valid when every line is a well-formed schema-versioned event
 //! ([`LintCode::JournalSchemaInvalid`]), logical time is monotone — the
 //! `seq` numbers strictly increase and decision cycles never regress
 //! within one `sim_start`/`sim_end` bracket

@@ -4,8 +4,9 @@
 //! Every artifact the methodology produces — task graphs (built, generated
 //! or TGFF-parsed), platform models, mappings, schedules, design-point
 //! databases, runtime-agent policies, observability journals, serving
-//! snapshots, QoS-event traces and fleet telemetry snapshots — is
-//! audited against a registry of stable lint codes (`CLR001`–`CLR072`). Each [`LintCode`] carries a
+//! snapshots, QoS-event traces, fleet telemetry snapshots and replicated
+//! snapshot stores — is
+//! audited against a registry of stable lint codes (`CLR001`–`CLR085`). Each [`LintCode`] carries a
 //! severity ([`Severity::Deny`] fails an audit, [`Severity::Warn`] does
 //! not) and a one-line fix hint; findings accumulate in a [`Report`]
 //! renderable for humans or as JSON.
@@ -43,6 +44,7 @@ mod platform;
 mod policy;
 mod snapshot;
 mod stats;
+mod store;
 mod trace;
 
 pub use chaos::{check_campaign_consistency, check_campaign_csv, check_fault_plan};
@@ -56,4 +58,5 @@ pub use platform::{check_platform, check_platform_facts, check_platform_supports
 pub use policy::{check_aura_subsumes_ura, check_policy_params};
 pub use snapshot::check_snapshot;
 pub use stats::check_stats;
+pub use store::{check_changeset, check_store};
 pub use trace::check_trace;

@@ -16,6 +16,12 @@
 //!                                     fleet's tenant names (CLR065)
 //! clr-verify [--json] stats <FILE>..  lint fleet telemetry snapshots
 //!                                     (CLR066–CLR068)
+//! clr-verify [--json] store <LOG> [CHANGESET]
+//!                                     lint a clr-store replica log —
+//!                                     lineage, stamps, merge laws, GC
+//!                                     reachability (CLR080–CLR085) —
+//!                                     and optionally a shipped
+//!                                     changeset against it (CLR082)
 //! clr-verify list                     print the lint registry
 //! ```
 //!
@@ -33,19 +39,21 @@ use clr_runtime::{AuraAgent, RuntimeContext};
 use clr_sched::heft_mapping;
 use clr_sched::Evaluator;
 use clr_serve::Trace;
+use clr_store::{Changeset, Store};
 use clr_taskgraph::{
     fork_join_graph, jpeg_encoder, parse_tgff, TgffConfig, TgffGenerator, TgffParseOptions,
 };
 use clr_verify::{
-    check_aura_subsumes_ura, check_campaign_consistency, check_campaign_csv, check_database,
-    check_database_standalone, check_drc_matrix, check_fault_plan, check_journal, check_mapping,
-    check_platform, check_platform_supports, check_policy_params, check_schedule, check_snapshot,
-    check_stats, check_task_graph, check_trace, LintCode, Report,
+    check_aura_subsumes_ura, check_campaign_consistency, check_campaign_csv, check_changeset,
+    check_database, check_database_standalone, check_drc_matrix, check_fault_plan, check_journal,
+    check_mapping, check_platform, check_platform_supports, check_policy_params, check_schedule,
+    check_snapshot, check_stats, check_store, check_task_graph, check_trace, Diagnostic, LintCode,
+    Report,
 };
 
 const USAGE: &str = "usage: clr-verify [--json] <all | tgff FILE.. | db FILE.. | journal FILE.. \
 | snapshot FILE.. | plan FILE.. | campaign CSV [JOURNAL] | trace FILE NAME,NAME,.. \
-| stats FILE.. | list>";
+| stats FILE.. | store LOG [CHANGESET] | list>";
 
 fn main() -> ExitCode {
     let mut json = false;
@@ -105,6 +113,10 @@ fn main() -> ExitCode {
             Err(code) => return code,
         },
         "stats" => match audit_files(operands, audit_stats_file) {
+            Ok(r) => r,
+            Err(code) => return code,
+        },
+        "store" => match audit_store(operands) {
             Ok(r) => r,
             Err(code) => return code,
         },
@@ -303,6 +315,79 @@ fn audit_trace(operands: &[String]) -> Result<Report, ExitCode> {
         fleet.len()
     );
     Ok(check_trace(&trace, &fleet, trace_path))
+}
+
+/// Lints a clr-store replica log (CLR080–CLR085) and, when a changeset
+/// operand is given, the shipped changeset against the generation it
+/// claims as its source (CLR082).
+fn audit_store(operands: &[String]) -> Result<Report, ExitCode> {
+    let (log_path, cs_path) = match operands {
+        [log] => (log, None),
+        [log, cs] => (log, Some(cs)),
+        _ => {
+            eprintln!("{USAGE}");
+            return Err(ExitCode::from(2));
+        }
+    };
+    // `Store::open` treats a missing log as empty (the backend creates
+    // it on first publish); for an audit that would silently pass, so
+    // require the path to exist like the other file subcommands.
+    if !std::path::Path::new(log_path).exists() {
+        eprintln!("clr-verify: cannot read {log_path}: No such file or directory (os error 2)");
+        return Err(ExitCode::from(2));
+    }
+    let store = match Store::open(log_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("clr-verify: cannot open store {log_path}: {e}");
+            return Err(ExitCode::from(2));
+        }
+    };
+    let generations = match store.generations() {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("clr-verify: cannot read store {log_path}: {e}");
+            return Err(ExitCode::from(2));
+        }
+    };
+    let mut report = Report::new();
+    let mut snapshots = Vec::new();
+    for generation in generations {
+        match store.get(generation) {
+            Ok(snapshot) => snapshots.push(snapshot),
+            // A held generation that no longer decodes is a damaged
+            // container, not a usage error — same code the snapshot
+            // audit assigns.
+            Err(e) => report.push(Diagnostic::new(
+                LintCode::SnapshotContainerInvalid,
+                format!("store:{log_path}"),
+                format!("generation {generation}"),
+                format!("stored container does not decode: {e}"),
+            )),
+        }
+    }
+    eprintln!(
+        "clr-verify: {log_path}: store ({} generations)",
+        snapshots.len()
+    );
+    report.merge(check_store(&snapshots, log_path));
+    if let Some(cs_path) = cs_path {
+        let text = match std::fs::read_to_string(cs_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("clr-verify: cannot read {cs_path}: {e}");
+                return Err(ExitCode::from(2));
+            }
+        };
+        let source = Changeset::from_text(&text).ok().and_then(|cs| {
+            snapshots
+                .iter()
+                .find(|s| s.lineage().generation == cs.from_generation)
+        });
+        eprintln!("clr-verify: {cs_path}: changeset ({} bytes)", text.len());
+        report.merge(check_changeset(&text, source, cs_path));
+    }
+    Ok(report)
 }
 
 /// Lints one fleet telemetry snapshot (CLR066–CLR068: schema + round

@@ -10,14 +10,18 @@
 //! grid of QoS requirements.
 
 use clr_dse::{FeasibilityIndex, QosSpec};
-use clr_serve::{Snapshot, SnapshotError};
+use clr_serve::{LineageSnapshot, Snapshot, SnapshotError, MAGIC2};
 
 use crate::{Diagnostic, LintCode, Report};
 
-/// Audits one snapshot artifact from its raw bytes.
+/// Audits one snapshot artifact from its raw bytes — either container
+/// generation: a plain `CLRSNAP1` export or a lineaged `CLRSNAP2`
+/// store/rollout artifact.
 ///
 /// Findings: [`LintCode::SnapshotContainerInvalid`] (CLR060) for any
-/// structural decode failure, [`LintCode::SnapshotChecksumMismatch`]
+/// structural decode failure (a `CLRSNAP2` lineage block that fails its
+/// own verification included — the serve path would refuse to hot-swap
+/// it), [`LintCode::SnapshotChecksumMismatch`]
 /// (CLR061) for payload corruption, [`LintCode::SnapshotIndexDivergence`]
 /// (CLR062) when the feasibility index disagrees with a linear scan,
 /// [`LintCode::SnapshotRoundTripMismatch`] (CLR063) when re-encoding is
@@ -25,7 +29,7 @@ use crate::{Diagnostic, LintCode, Report};
 /// warn) when a model descriptor names no bundled graph/platform.
 pub fn check_snapshot(bytes: &[u8], artifact: &str) -> Report {
     let mut report = Report::new();
-    let snapshot = match Snapshot::from_bytes(bytes) {
+    let lineaged = match LineageSnapshot::from_bytes(bytes) {
         Ok(s) => s,
         Err(e) => {
             let code = match e {
@@ -37,7 +41,16 @@ pub fn check_snapshot(bytes: &[u8], artifact: &str) -> Report {
         }
     };
 
-    if snapshot.to_bytes() != bytes {
+    // Re-encode through the codec the container actually used: a v1
+    // artifact must reproduce its v1 bytes (promotion is a read-side
+    // view, not a rewrite), a v2 artifact its lineaged bytes.
+    let is_v2 = bytes.len() >= 8 && bytes[0..8] == MAGIC2;
+    let reencoded = if is_v2 {
+        lineaged.to_bytes()
+    } else {
+        lineaged.snapshot().to_bytes()
+    };
+    if reencoded != bytes {
         report.push(Diagnostic::new(
             LintCode::SnapshotRoundTripMismatch,
             artifact,
@@ -46,6 +59,18 @@ pub fn check_snapshot(bytes: &[u8], artifact: &str) -> Report {
         ));
     }
 
+    if is_v2 {
+        if let Err(e) = lineaged.verify() {
+            report.push(Diagnostic::new(
+                LintCode::SnapshotContainerInvalid,
+                artifact,
+                "lineage",
+                e.to_string(),
+            ));
+        }
+    }
+
+    let snapshot = lineaged.snapshot();
     if let Err(e) = snapshot.resolve() {
         report.push(Diagnostic::new(
             LintCode::SnapshotUnknownModel,
@@ -55,7 +80,7 @@ pub fn check_snapshot(bytes: &[u8], artifact: &str) -> Report {
         ));
     }
 
-    report.merge(check_index_equivalence(&snapshot, artifact));
+    report.merge(check_index_equivalence(snapshot, artifact));
     report
 }
 
@@ -143,6 +168,34 @@ mod tests {
     #[test]
     fn clean_snapshot_audits_clean() {
         assert!(check_snapshot(&snapshot_bytes(), "t").is_empty());
+    }
+
+    #[test]
+    fn lineaged_v2_containers_audit_clean_too() {
+        let v1 = Snapshot::new(
+            "jpeg",
+            "dac19",
+            db(&[(10.0, 0.9), (20.0, 0.95), (5.0, 0.8)]),
+        );
+        let bytes = LineageSnapshot::genesis(v1, "export").to_bytes();
+        let report = check_snapshot(&bytes, "t");
+        assert!(report.is_empty(), "{report:?}");
+        // A corrupted lineage block is a container finding, not a panic.
+        let mut broken = bytes;
+        let needle = b"publisher export";
+        let at = broken
+            .windows(needle.len())
+            .position(|w| w == needle)
+            .expect("lineage block is embedded");
+        broken[at + 10] = b'!'; // "publisher !xport" — not a plain name
+                                // Re-seal the checksum so only the lineage invariant is at fault.
+        let sum = clr_serve::fnv1a64(&broken[clr_serve::HEADER_LEN..]);
+        broken[24..32].copy_from_slice(&sum.to_le_bytes());
+        let report = check_snapshot(&broken, "t");
+        assert!(
+            report.has_code(LintCode::SnapshotContainerInvalid),
+            "{report:?}"
+        );
     }
 
     #[test]

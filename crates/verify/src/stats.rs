@@ -2,7 +2,7 @@
 //! as served by a `clr-served` stats query or `clr-serve replay`.
 //!
 //! A snapshot is the one artifact operators act on without the engine in
-//! hand, so it gets its own consistency gate: the schema-1 codec must
+//! hand, so it gets its own consistency gate: the schema-2 codec must
 //! round-trip byte-for-byte (CLR066 — any foreign or hand-edited encoder
 //! fails this), every rolling-window statistic must be arithmetically
 //! possible (CLR067), and every quantile histogram's sparse buckets must
@@ -14,7 +14,7 @@ use clr_obs::{QuantileHistogram, TelemetrySnapshot, TenantTelemetry, WindowStat}
 
 use crate::{Diagnostic, LintCode, Report};
 
-/// Lints one telemetry snapshot line (CLR066–CLR068): schema-1 parse +
+/// Lints one telemetry snapshot line (CLR066–CLR068): schema-2 parse +
 /// byte round trip, window arithmetic, histogram population.
 ///
 /// `text` is the raw snapshot as read from the wire or disk; `label`
@@ -29,7 +29,7 @@ pub fn check_stats(text: &str, label: &str) -> Report {
                 LintCode::TelemetrySchemaInvalid,
                 origin,
                 "snapshot".to_string(),
-                format!("snapshot does not parse as schema-1 telemetry: {e}"),
+                format!("snapshot does not parse as schema-2 telemetry: {e}"),
             ));
             return report;
         }
@@ -169,6 +169,7 @@ mod tests {
                 name: "cam".into(),
                 events: 2,
                 status: "normal".into(),
+                generation: 1,
                 counters: vec![("decisions".into(), 2)],
                 windows: vec![("fault_rate".into(), window.stat())],
                 histograms: vec![("slack".into(), hist)],
@@ -192,7 +193,7 @@ mod tests {
         let report = check_stats("not json", "t");
         assert!(report.has_code(LintCode::TelemetrySchemaInvalid));
         assert_eq!(report.exit_code(), 1);
-        let wrong = sample().replace("\"schema\":1", "\"schema\":2");
+        let wrong = sample().replace("\"schema\":2", "\"schema\":3");
         let report = check_stats(&wrong, "t");
         assert!(
             report.has_code(LintCode::TelemetrySchemaInvalid),

@@ -41,3 +41,23 @@ fn merged_registry_is_globally_unique_and_sorted_per_family() {
     dedup.dedup();
     assert_eq!(all.len(), dedup.len(), "duplicate code across families");
 }
+
+#[test]
+fn the_store_family_is_registered_and_stays_in_its_decade() {
+    // CLR08x is the replicated-store family; every lint it documents
+    // must exist in the artifact registry, deny by default, and no lint
+    // from another decade may stray into it.
+    let store: Vec<&LintCode> = LintCode::ALL
+        .iter()
+        .filter(|l| l.code().starts_with("CLR08"))
+        .collect();
+    assert_eq!(store.len(), 6, "CLR080–CLR085 are registered");
+    for lint in store {
+        assert_eq!(
+            lint.severity().to_string(),
+            "deny",
+            "{}: store lints guard swap safety and must deny",
+            lint.code()
+        );
+    }
+}

@@ -38,14 +38,25 @@ fn main() {
     assert_eq!(back, db, "text codec must round-trip");
 
     // The same database, published as a checksummed serving snapshot with
-    // the descriptors a tenant needs to rebuild its runtime context.
-    let snapshot = Snapshot::new("jpeg", "dac19", db);
+    // the descriptors a tenant needs to rebuild its runtime context. An
+    // export is the root of its replication lineage: generation 0, the
+    // fixed "export" publisher, every point stamped at generation 0 — the
+    // CLRSNAP2 container `clr-store publish` and the hot-swap path build
+    // on.
+    let snapshot = LineageSnapshot::genesis(Snapshot::new("jpeg", "dac19", db), "export");
+    snapshot.verify().expect("a genesis lineage verifies");
     snapshot.write_file(&snap_out).expect("write snapshot file");
-    let reread = Snapshot::read_file(&snap_out).expect("own snapshot re-decodes");
-    assert_eq!(reread.db(), snapshot.db(), "snapshot codec must round-trip");
+    let reread = LineageSnapshot::read_file(&snap_out).expect("own snapshot re-decodes");
+    assert_eq!(
+        reread.snapshot().db(),
+        snapshot.snapshot().db(),
+        "snapshot codec must round-trip"
+    );
+    assert_eq!(reread.lineage().generation, 0, "exports are lineage roots");
     println!(
-        "wrote snapshot {snap_out} (graph {}, platform {})",
-        snapshot.graph_desc(),
-        snapshot.platform_desc()
+        "wrote snapshot {snap_out} (graph {}, platform {}, generation {})",
+        snapshot.snapshot().graph_desc(),
+        snapshot.snapshot().platform_desc(),
+        snapshot.lineage().generation,
     );
 }
