@@ -82,7 +82,26 @@
 #                                    report cam at generation 1, and the
 #                                    journal must carry the db_swap
 #                                    event and pass the CLR05x lints
-#  14. clr-audit (source lints)    — workspace-wide CLR1xx source audit:
+#  14. clr-learn online smoke      — seat an A/B learn fleet (cam pinned
+#                                    to the treatment arm, nav to control
+#                                    via the seeded assignment) on the
+#                                    step-8 snapshot, splice a regime
+#                                    shift (two differently-seeded trace
+#                                    halves) around a mid-stream Promote
+#                                    frame for cam, and drain through
+#                                    clr-served with --learn-dir at
+#                                    CLR_THREADS=1 and 8: response
+#                                    frames, obs journals and CLRLRN1
+#                                    checkpoints must be byte-identical,
+#                                    the journal must carry shadow and
+#                                    promote events and pass the CLR05x
+#                                    lints, checkpoints and journal must
+#                                    pass the CLR09x learn lints, the
+#                                    A/B report must show cam serving
+#                                    live post-promote, and learn_bench
+#                                    must emit the schema-shaped
+#                                    results/BENCH_learn.json
+#  15. clr-audit (source lints)    — workspace-wide CLR1xx source audit:
 #                                    wall-clock reads, unordered containers,
 #                                    partial_cmp float sorts, unseeded RNGs,
 #                                    raw spawns, panicking decision paths,
@@ -347,6 +366,78 @@ for key in '"schema"' '"commit"' '"events_per_sec"'; do
 done
 if [ -n "$STORE_BENCH_BACKUP" ]; then
   mv "$STORE_BENCH_BACKUP" results/BENCH_store.json
+fi
+
+step "clr-learn online serve (A/B fleet, mid-stream Promote, CLR09x gate)"
+# cam seed 1 → treatment (serves the online shadow table), nav seed 5 →
+# control (serves the frozen live incumbent): the seeded assignment is a
+# pure function of (seed, name), so the arms are pinned by construction.
+LEARN_FLEET=(--tenant "cam=$SNAP@aura+learn:0.5,0.6,0.2,0.05@1"
+             --tenant "nav=$SNAP@aura+learn:0.5,0.6,0.2,0.05@5"
+             --tenant "audio=$SNAP@aura:0.5,0.6,0.1")
+# A regime shift mid-stream: two trace halves from different seeds give
+# the learner a sample-path drift to adapt to, and the Promote frame for
+# cam lands exactly at the splice — learned state must swap live at a
+# deterministic stream position.
+LTRACE_A=target/ci-learn-trace-a.jsonl
+LTRACE_B=target/ci-learn-trace-b.jsonl
+"$SERVE" gen-trace --out "$LTRACE_A" --seed 31 --cycles 12000 --mean-gap 100 "${LEARN_FLEET[@]}"
+"$SERVE" gen-trace --out "$LTRACE_B" --seed 87 --cycles 12000 --mean-gap 100 "${LEARN_FLEET[@]}"
+LFRAMES_A=target/ci-learn-frames-a.bin
+LFRAMES_B=target/ci-learn-frames-b.bin
+"$SERVE" wire-encode --trace "$LTRACE_A" --out "$LFRAMES_A" --shutdown false
+"$SERVE" wire-encode --trace "$LTRACE_B" --out "$LFRAMES_B"
+PROMOTE_REQ=target/ci-learn-promote.bin
+"$SERVE" promote --request-out "$PROMOTE_REQ" --tenant cam --seq 95001 2>/dev/null
+LSTREAM=target/ci-learn-stream.bin
+cat "$LFRAMES_A" "$PROMOTE_REQ" "$LFRAMES_B" > "$LSTREAM"
+LEARN_LOG=target/ci-learn-served.log
+for T in 1 8; do
+  LDIR=target/ci-learn-t$T
+  rm -rf "$LDIR"
+  mkdir -p "$LDIR/ckpt" "$LDIR/obs"
+  CLR_THREADS=$T "$SERVED" "${LEARN_FLEET[@]}" --batch 64 \
+    --obs-dir "$LDIR/obs" --learn-dir "$LDIR/ckpt" \
+    < "$LSTREAM" > "$LDIR/responses.bin" 2> "$LEARN_LOG"
+done
+cmp target/ci-learn-t1/responses.bin target/ci-learn-t8/responses.bin \
+  || { echo "learn response frames diverged across thread counts"; exit 1; }
+cmp target/ci-learn-t1/obs/served.obs.jsonl target/ci-learn-t8/obs/served.obs.jsonl \
+  || { echo "learn journals diverged across thread counts"; exit 1; }
+for ckpt in cam.learn nav.learn; do
+  cmp "target/ci-learn-t1/ckpt/$ckpt" "target/ci-learn-t8/ckpt/$ckpt" \
+    || { echo "learner checkpoint $ckpt diverged across thread counts"; exit 1; }
+done
+LEARN_JOURNAL=target/ci-learn-t8/obs/served.obs.jsonl
+grep -q '"type":"shadow"' "$LEARN_JOURNAL" \
+  || { echo "journal is missing shadow events"; exit 1; }
+grep -q '"type":"promote"' "$LEARN_JOURNAL" \
+  || { echo "journal is missing the promote event"; exit 1; }
+grep -q "1 promotes" "$LEARN_LOG" \
+  || { cat "$LEARN_LOG"; echo "drain did not answer the Promote frame"; exit 1; }
+grep -q "cam: treatment serving live" "$LEARN_LOG" \
+  || { cat "$LEARN_LOG"; echo "cam is not serving the promoted table"; exit 1; }
+grep -q "nav: control serving live" "$LEARN_LOG" \
+  || { cat "$LEARN_LOG"; echo "nav is not pinned to the control arm"; exit 1; }
+"$VERIFY" journal "$LEARN_JOURNAL"
+"$VERIFY" learn target/ci-learn-t8/ckpt/cam.learn target/ci-learn-t8/ckpt/nav.learn \
+  "$LEARN_JOURNAL"
+AB_REPORT=target/ci-learn-ab.txt
+"$SERVE" ab --journal "$LEARN_JOURNAL" > "$AB_REPORT"
+grep -q "arm treatment" "$AB_REPORT" \
+  || { cat "$AB_REPORT"; echo "clr-serve ab did not refold the treatment arm"; exit 1; }
+# The drifting-fault-rate bench artifact: quick-scale run, then keep the
+# committed full-scale numbers (schema shape is checked by step 12).
+cargo build --release --quiet -p clr-experiments --bin learn_bench
+LEARN_BENCH_BACKUP=target/ci-bench-learn.json.bak
+cp results/BENCH_learn.json "$LEARN_BENCH_BACKUP" 2>/dev/null || LEARN_BENCH_BACKUP=
+CLR_QUICK=1 ./target/release/learn_bench >/dev/null 2>&1
+for key in '"schema"' '"commit"' '"events_per_sec"' '"prefetch_hit_rate_pct"'; do
+  grep -q "$key" results/BENCH_learn.json \
+    || { echo "results/BENCH_learn.json missing the $key field"; exit 1; }
+done
+if [ -n "$LEARN_BENCH_BACKUP" ]; then
+  mv "$LEARN_BENCH_BACKUP" results/BENCH_learn.json
 fi
 
 step "clr-audit (workspace-wide CLR1xx source lints)"

@@ -22,6 +22,7 @@ const DECISION_PATHS: &[&str] = &[
     "crates/serve/src/health.rs",
     "crates/store/src/lib.rs",
     "crates/chaos/src/",
+    "crates/learn/src/learner.rs",
 ];
 
 /// Codec code: byte-stable encoders/decoders where a lossy `as` cast
@@ -37,6 +38,7 @@ const CODEC_PATHS: &[&str] = &[
     "crates/store/src/changeset.rs",
     "crates/store/src/backend.rs",
     "crates/chaos/src/plan.rs",
+    "crates/learn/src/checkpoint.rs",
 ];
 
 /// Cast targets that can silently drop information (CLR106). Widening
@@ -46,8 +48,17 @@ const LOSSY_CAST_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "f
 
 /// Deprecated workspace methods (CLR107): method name → what to call
 /// instead. Append-only, like the code registry itself.
-const DEPRECATED_METHODS: &[(&str, &str)] =
-    &[("point", "DesignPointDb::point is deprecated; call get()")];
+const DEPRECATED_METHODS: &[(&str, &str)] = &[
+    ("point", "DesignPointDb::point is deprecated; call get()"),
+    (
+        "decide_scored",
+        "RuntimePolicy::decide_scored is deprecated; call decide(&DecisionInput)",
+    ),
+    (
+        "decide_scored_from",
+        "RuntimePolicy::decide_scored_from is deprecated; call decide(&DecisionInput)",
+    ),
+];
 
 /// Normalizes a path for scope matching and reporting: `/` separators,
 /// no leading `./`.
@@ -459,6 +470,20 @@ mod tests {
         assert_eq!(codes("a.rs", "fn f() { let _ = db.point(3); }"), ["CLR107"]);
         // Different identifiers sharing the suffix do not fire.
         assert!(codes("a.rs", "fn f() { let _ = t.initial_point(); }").is_empty());
+        // The pre-DecisionInput RuntimePolicy shims are registered too —
+        // call sites fire, the shim definitions themselves do not.
+        assert_eq!(
+            codes("a.rs", "fn f() { let _ = p.decide_scored(c, 0, s); }"),
+            ["CLR107"]
+        );
+        assert_eq!(
+            codes(
+                "a.rs",
+                "fn f() { let _ = p.decide_scored_from(c, 0, s, f); }"
+            ),
+            ["CLR107"]
+        );
+        assert!(codes("a.rs", "fn decide_scored(&mut self) {}").is_empty());
     }
 
     #[test]

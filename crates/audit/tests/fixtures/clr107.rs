@@ -1,4 +1,9 @@
-// Seeded violation: a call to the deprecated DesignPointDb::point.
-pub fn legacy_read(db: &clr_dse::DesignPointDb) {
-    let _ = db.point(0);
+// Seeded violation: a call to the deprecated RuntimePolicy shim that
+// predates the DecisionInput redesign.
+pub fn legacy_decide(
+    policy: &mut dyn clr_runtime::RuntimePolicy,
+    ctx: &clr_runtime::RuntimeContext<'_>,
+    spec: &clr_dse::QosSpec,
+) {
+    let _ = policy.decide_scored(ctx, 0, spec);
 }

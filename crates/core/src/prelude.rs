@@ -23,9 +23,9 @@ pub use clr_reliability::{
     AswMethod, ClrConfig, ConfigSpace, FaultInjector, FaultModel, HwMethod, SswMethod, TaskMetrics,
 };
 pub use clr_runtime::{
-    simulate, simulate_checked, simulate_obs, AdaptationPolicy, AuraAgent, EventStream, HvPolicy,
-    QosVariationModel, RuntimeContext, RuntimeError, SimConfig, SimResult, UraPolicy,
-    VariationMode,
+    simulate, simulate_checked, simulate_obs, AuraAgent, DecisionInput, DecisionOutcome,
+    EventStream, Feedback, HvPolicy, QosVariationModel, RuntimeContext, RuntimeError,
+    RuntimePolicy, SimConfig, SimResult, UraPolicy, VariationMode,
 };
 pub use clr_sched::{
     gantt_ascii, heft_mapping, list_schedule, reconfiguration_cost, schedule_csv, Evaluator, Gene,

@@ -1,0 +1,88 @@
+//! Learner hyper-parameters, carried by `PolicySpec` v2
+//! (`aura+learn:<p_rc>,<gamma>,<alpha>,<epsilon>@<seed>`).
+
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of one tenant's online learner.
+///
+/// The first three are the AuRA agent's own parameters (the incumbent
+/// value table is scored exactly like a frozen [`clr_runtime::AuraAgent`]
+/// would score it); `epsilon` and `seed` drive the candidate's seeded
+/// exploration and the deterministic A/B assignment.
+///
+/// # Examples
+///
+/// ```
+/// use clr_learn::LearnConfig;
+/// assert!(LearnConfig::new(0.5, 0.6, 0.1, 0.05, 7).is_ok());
+/// assert!(LearnConfig::new(0.5, 0.6, 0.1, 1.5, 7).is_err());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LearnConfig {
+    /// User modulation parameter `p_RC ∈ [0, 1]`.
+    pub p_rc: f64,
+    /// Discount factor `γ ∈ [0, 1)`.
+    pub gamma: f64,
+    /// Learning rate `α ∈ (0, 1]` of the candidate's TD updates.
+    pub alpha: f64,
+    /// Exploration rate `ε ∈ [0, 1)` of the candidate when it serves.
+    pub epsilon: f64,
+    /// Seed of the A/B assignment and the exploration stream.
+    pub seed: u64,
+}
+
+impl LearnConfig {
+    /// Builds a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the out-of-range parameter.
+    pub fn new(p_rc: f64, gamma: f64, alpha: f64, epsilon: f64, seed: u64) -> Result<Self, String> {
+        let cfg = Self {
+            p_rc,
+            gamma,
+            alpha,
+            epsilon,
+            seed,
+        };
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// Checks every parameter range, for configurations assembled through
+    /// the public fields (which [`LearnConfig::new`] never saw).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the out-of-range parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.p_rc.is_finite() && (0.0..=1.0).contains(&self.p_rc)) {
+            return Err(format!("p_rc {} outside [0, 1]", self.p_rc));
+        }
+        if !(self.gamma.is_finite() && (0.0..1.0).contains(&self.gamma)) {
+            return Err(format!("gamma {} outside [0, 1)", self.gamma));
+        }
+        if !(self.alpha.is_finite() && self.alpha > 0.0 && self.alpha <= 1.0) {
+            return Err(format!("alpha {} outside (0, 1]", self.alpha));
+        }
+        if !(self.epsilon.is_finite() && (0.0..1.0).contains(&self.epsilon)) {
+            return Err(format!("epsilon {} outside [0, 1)", self.epsilon));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_parameter_is_range_checked() {
+        assert!(LearnConfig::new(0.5, 0.6, 0.1, 0.0, 1).is_ok());
+        assert!(LearnConfig::new(-0.1, 0.6, 0.1, 0.0, 1).is_err());
+        assert!(LearnConfig::new(0.5, 1.0, 0.1, 0.0, 1).is_err());
+        assert!(LearnConfig::new(0.5, 0.6, 0.0, 0.0, 1).is_err());
+        assert!(LearnConfig::new(0.5, 0.6, 0.1, 1.0, 1).is_err());
+        assert!(LearnConfig::new(f64::NAN, 0.6, 0.1, 0.0, 1).is_err());
+    }
+}

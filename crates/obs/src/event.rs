@@ -13,8 +13,9 @@ use crate::json::{self, fmt_f64, fmt_f64_array, fmt_opt_f64, fmt_u64_array, Valu
 
 /// Version stamped into every journal's leading `meta` event; bump when
 /// the schema of any event changes shape. Version 2 added the `db_swap`
-/// event.
-pub const SCHEMA_VERSION: u64 = 2;
+/// event; version 3 added the `shadow` and `promote` events of the
+/// online-learning loop.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// One journal record.
 #[derive(Debug, Clone, PartialEq)]
@@ -175,6 +176,47 @@ pub enum Event {
         /// `io-error`.
         status: String,
     },
+    /// One scored decision's shadow evaluation: the incumbent and
+    /// candidate policies' picks on the same event and each pick's
+    /// one-step counterfactual regret. Emitted serially in stream order
+    /// right after the matching `decision`, so shadow journals are
+    /// bit-identical across thread counts.
+    Shadow {
+        /// Run label the evaluation belongs to.
+        label: String,
+        /// The tenant whose decision was shadow-scored.
+        tenant: String,
+        /// 1-based event ordinal within the tenant's stream.
+        event: usize,
+        /// Seeded A/B variant: `control` or `treatment`.
+        variant: String,
+        /// Which table served the pick: `live` or `shadow`.
+        serving: String,
+        /// The incumbent table's pick.
+        live_choice: usize,
+        /// The candidate table's pick (after any seeded exploration).
+        shadow_choice: usize,
+        /// One-step oracle regret of the incumbent's pick (≥ 0).
+        live_regret: f64,
+        /// One-step oracle regret of the candidate's pick (≥ 0).
+        shadow_regret: f64,
+    },
+    /// A candidate policy was promoted over the incumbent (or the
+    /// promotion was refused) between decisions on the serve path.
+    /// Emitted serially in stream order like `db_swap`.
+    Promote {
+        /// Run label the promotion belongs to.
+        label: String,
+        /// The tenant whose learner was addressed.
+        tenant: String,
+        /// 1-based ordinal of the last admitted request before the
+        /// promotion (0 = before any request was served).
+        event: usize,
+        /// Total promotions applied to the tenant *after* the attempt.
+        promotions: u64,
+        /// Outcome: `promoted`, `unknown-tenant` or `no-learner`.
+        status: String,
+    },
     /// A logical-clock span: a named interval measured in generations,
     /// simulated cycles or episodes — never wall time, so spans are
     /// bit-identical across thread counts.
@@ -257,6 +299,8 @@ impl Event {
             Event::Inject { .. } => "inject",
             Event::Fault { .. } => "fault",
             Event::DbSwap { .. } => "db_swap",
+            Event::Shadow { .. } => "shadow",
+            Event::Promote { .. } => "promote",
             Event::Span { .. } => "span",
             Event::Counter { .. } => "counter",
             Event::Gauge { .. } => "gauge",
@@ -376,6 +420,37 @@ impl Event {
                 status,
             } => format!(
                 ",\"label\":{},\"tenant\":{},\"event\":{event},\"from_gen\":{from_gen},\"to_gen\":{to_gen},\"points\":{points},\"status\":{}",
+                json::escape(label),
+                json::escape(tenant),
+                json::escape(status)
+            ),
+            Event::Shadow {
+                label,
+                tenant,
+                event,
+                variant,
+                serving,
+                live_choice,
+                shadow_choice,
+                live_regret,
+                shadow_regret,
+            } => format!(
+                ",\"label\":{},\"tenant\":{},\"event\":{event},\"variant\":{},\"serving\":{},\"live_choice\":{live_choice},\"shadow_choice\":{shadow_choice},\"live_regret\":{},\"shadow_regret\":{}",
+                json::escape(label),
+                json::escape(tenant),
+                json::escape(variant),
+                json::escape(serving),
+                fmt_f64(*live_regret),
+                fmt_f64(*shadow_regret)
+            ),
+            Event::Promote {
+                label,
+                tenant,
+                event,
+                promotions,
+                status,
+            } => format!(
+                ",\"label\":{},\"tenant\":{},\"event\":{event},\"promotions\":{promotions},\"status\":{}",
                 json::escape(label),
                 json::escape(tenant),
                 json::escape(status)
@@ -562,6 +637,24 @@ impl Event {
                 points: usize_field("points")?,
                 status: str_field("status")?,
             },
+            "shadow" => Event::Shadow {
+                label: str_field("label")?,
+                tenant: str_field("tenant")?,
+                event: usize_field("event")?,
+                variant: str_field("variant")?,
+                serving: str_field("serving")?,
+                live_choice: usize_field("live_choice")?,
+                shadow_choice: usize_field("shadow_choice")?,
+                live_regret: f64_field("live_regret")?,
+                shadow_regret: f64_field("shadow_regret")?,
+            },
+            "promote" => Event::Promote {
+                label: str_field("label")?,
+                tenant: str_field("tenant")?,
+                event: usize_field("event")?,
+                promotions: u64_field("promotions")?,
+                status: str_field("status")?,
+            },
             "span" => Event::Span {
                 label: str_field("label")?,
                 clock: str_field("clock")?,
@@ -720,6 +813,24 @@ mod tests {
                 to_gen: 1,
                 points: 128,
                 status: "swapped".into(),
+            },
+            Event::Shadow {
+                label: "fleet".into(),
+                tenant: "cam0".into(),
+                event: 17,
+                variant: "treatment".into(),
+                serving: "shadow".into(),
+                live_choice: 2,
+                shadow_choice: 3,
+                live_regret: 0.125,
+                shadow_regret: 0.0,
+            },
+            Event::Promote {
+                label: "fleet".into(),
+                tenant: "cam0".into(),
+                event: 42,
+                promotions: 1,
+                status: "promoted".into(),
             },
             Event::Span {
                 label: "based-hv-0".into(),

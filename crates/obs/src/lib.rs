@@ -430,7 +430,7 @@ mod tests {
         assert_eq!(lines.len(), 4);
         assert_eq!(
             lines[0],
-            "{\"seq\":0,\"type\":\"meta\",\"label\":\"t\",\"schema\":2}"
+            "{\"seq\":0,\"type\":\"meta\",\"label\":\"t\",\"schema\":3}"
         );
         assert_eq!(
             lines[1],

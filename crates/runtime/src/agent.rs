@@ -26,11 +26,10 @@
 //! reproduces uRA decision-for-decision (unit-tested), and the prior
 //! demonstrably reduces cold-start cost (see the `ablations` binary).
 
-use clr_dse::QosSpec;
 use clr_obs::{Event, Obs};
 use serde::{Deserialize, Serialize};
 
-use crate::sim::{simulate, AdaptationPolicy, SimConfig};
+use crate::sim::{simulate, DecisionInput, DecisionOutcome, Feedback, RuntimePolicy, SimConfig};
 use crate::ura::ura_argmax;
 use crate::{QosVariationModel, RuntimeContext};
 
@@ -100,6 +99,25 @@ impl AuraAgent {
     /// The current state-value estimates.
     pub fn values(&self) -> &[f64] {
         &self.values
+    }
+
+    /// Overwrites the state-value estimates wholesale — the checkpoint
+    /// restore and shadow-promotion path. Non-finite entries are rejected
+    /// so a corrupt artifact cannot poison the arg-max.
+    ///
+    /// # Errors
+    ///
+    /// Returns the replacement length when it does not match the state
+    /// count, or the state count when any entry is non-finite.
+    pub fn set_values(&mut self, values: &[f64]) -> Result<(), usize> {
+        if values.len() != self.values.len() {
+            return Err(values.len());
+        }
+        if values.iter().any(|v| !v.is_finite()) {
+            return Err(self.values.len());
+        }
+        self.values.copy_from_slice(values);
+        Ok(())
     }
 
     /// The immediate uRA-shaped reward of transitioning `from → to`.
@@ -242,58 +260,32 @@ fn prior_mask() -> u64 {
     0x00_70_72_69_6f_72_00_01 // "prior"
 }
 
-impl AdaptationPolicy for AuraAgent {
-    fn decide(
-        &mut self,
-        ctx: &RuntimeContext<'_>,
-        current: usize,
-        spec: &QosSpec,
-    ) -> Option<usize> {
-        let feas = ctx.feasible(spec);
-        ura_argmax(
-            ctx,
-            current,
-            &feas,
-            self.p_rc,
-            |s| self.values[s],
-            self.gamma,
-        )
-        .map(|(p, _)| p)
-    }
-
-    fn decide_scored(
-        &mut self,
-        ctx: &RuntimeContext<'_>,
-        current: usize,
-        spec: &QosSpec,
-    ) -> (Option<usize>, Option<f64>, Option<f64>) {
-        let feas = ctx.feasible(spec);
-        self.decide_scored_from(ctx, current, spec, &feas)
-    }
-
-    fn decide_scored_from(
-        &mut self,
-        ctx: &RuntimeContext<'_>,
-        current: usize,
-        _spec: &QosSpec,
-        feasible: &[usize],
-    ) -> (Option<usize>, Option<f64>, Option<f64>) {
+impl RuntimePolicy for AuraAgent {
+    fn decide(&mut self, input: &DecisionInput<'_, '_>) -> DecisionOutcome {
         match ura_argmax(
-            ctx,
-            current,
-            feasible,
+            input.ctx,
+            input.current,
+            input.feasible,
             self.p_rc,
             |s| self.values[s],
             self.gamma,
         ) {
-            Some((p, ret)) => (Some(p), Some(ret), Some(self.p_rc)),
-            None => (None, None, Some(self.p_rc)),
+            Some((p, ret)) => DecisionOutcome {
+                choice: Some(p),
+                score: Some(ret),
+                p_rc: Some(self.p_rc),
+            },
+            None => DecisionOutcome {
+                choice: None,
+                score: None,
+                p_rc: Some(self.p_rc),
+            },
         }
     }
 
-    fn observe(&mut self, ctx: &RuntimeContext<'_>, from: usize, to: usize) {
-        let r = self.reward(ctx, from, to);
-        self.episode.push((to, r));
+    fn observe(&mut self, feedback: &Feedback<'_, '_>) {
+        let r = self.reward(feedback.ctx, feedback.from, feedback.to);
+        self.episode.push((feedback.to, r));
     }
 
     fn end_episode(&mut self) {
@@ -316,6 +308,7 @@ impl AdaptationPolicy for AuraAgent {
 mod tests {
     use super::*;
     use crate::UraPolicy;
+    use clr_dse::QosSpec;
     use clr_dse::{explore_based, DesignPointDb, DseConfig, ExplorationMode};
     use clr_moea::GaParams;
     use clr_platform::Platform;
@@ -356,9 +349,16 @@ mod tests {
         let mut agent = AuraAgent::new(db.len(), 0.6, 0.0, 0.1).unwrap();
         let ura = UraPolicy::new(0.6).unwrap();
         let spec = QosSpec::new(f64::INFINITY, 0.0);
+        let feasible = ctx.feasible(&spec);
         for current in 0..db.len() {
+            let input = DecisionInput {
+                ctx: &ctx,
+                current,
+                spec: &spec,
+                feasible: &feasible,
+            };
             assert_eq!(
-                agent.decide(&ctx, current, &spec),
+                agent.decide(&input).choice,
                 ura.select(&ctx, current, &spec)
             );
         }
@@ -375,8 +375,16 @@ mod tests {
         // Two-step episode: enter state 0, then state 1. V(s) estimates the
         // return *after* entering s, so V(0) learns from the second step's
         // reward and V(1) (episode end) learns a zero return.
-        agent.observe(&ctx, 0, 0);
-        agent.observe(&ctx, 0, 1);
+        agent.observe(&Feedback {
+            ctx: &ctx,
+            from: 0,
+            to: 0,
+        });
+        agent.observe(&Feedback {
+            ctx: &ctx,
+            from: 0,
+            to: 1,
+        });
         agent.end_episode();
         let second_reward = ctx.norm_performance(1); // p_rc = 1
         assert!((agent.values()[0] - 0.2 * second_reward).abs() < 1e-12);
@@ -420,6 +428,13 @@ mod tests {
         let mut agent = AuraAgent::new(db.len(), 0.5, 0.6, 0.1).unwrap();
         agent.train_prior(&ctx, &qos, 10, 1000.0, 3);
         let impossible = QosSpec::new(0.0, 1.0);
-        assert_eq!(agent.decide(&ctx, 0, &impossible), None);
+        let feasible = ctx.feasible(&impossible);
+        let input = DecisionInput {
+            ctx: &ctx,
+            current: 0,
+            spec: &impossible,
+            feasible: &feasible,
+        };
+        assert_eq!(agent.decide(&input).choice, None);
     }
 }

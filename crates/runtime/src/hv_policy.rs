@@ -12,7 +12,7 @@ use clr_dse::QosSpec;
 use clr_moea::signed_hypervolume_fitness;
 use serde::{Deserialize, Serialize};
 
-use crate::sim::AdaptationPolicy;
+use crate::sim::{DecisionInput, DecisionOutcome, RuntimePolicy};
 use crate::RuntimeContext;
 
 /// Baseline policy: reconfigure to the feasible point with the largest
@@ -64,24 +64,9 @@ impl HvPolicy {
     }
 }
 
-impl AdaptationPolicy for HvPolicy {
-    fn decide(
-        &mut self,
-        ctx: &RuntimeContext<'_>,
-        _current: usize,
-        spec: &QosSpec,
-    ) -> Option<usize> {
-        self.select(ctx, spec)
-    }
-
-    fn decide_scored_from(
-        &mut self,
-        ctx: &RuntimeContext<'_>,
-        _current: usize,
-        spec: &QosSpec,
-        feasible: &[usize],
-    ) -> (Option<usize>, Option<f64>, Option<f64>) {
-        (self.select_from(ctx, spec, feasible), None, None)
+impl RuntimePolicy for HvPolicy {
+    fn decide(&mut self, input: &DecisionInput<'_, '_>) -> DecisionOutcome {
+        DecisionOutcome::bare(self.select_from(input.ctx, input.spec, input.feasible))
     }
 }
 
@@ -114,9 +99,24 @@ mod tests {
         );
         let ctx = RuntimeContext::new(&graph, &platform, &db);
         let spec = QosSpec::new(f64::INFINITY, 0.0);
+        let feasible = ctx.feasible(&spec);
         let mut p = HvPolicy::new();
-        let choice0 = p.decide(&ctx, 0, &spec);
-        let choice_last = p.decide(&ctx, db.len() - 1, &spec);
+        let choice0 = p
+            .decide(&DecisionInput {
+                ctx: &ctx,
+                current: 0,
+                spec: &spec,
+                feasible: &feasible,
+            })
+            .choice;
+        let choice_last = p
+            .decide(&DecisionInput {
+                ctx: &ctx,
+                current: db.len() - 1,
+                spec: &spec,
+                feasible: &feasible,
+            })
+            .choice;
         assert_eq!(choice0, choice_last);
         assert!(choice0.is_some());
     }

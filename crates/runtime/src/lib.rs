@@ -58,8 +58,10 @@ pub use context::RuntimeContext;
 pub use error::RuntimeError;
 pub use hv_policy::HvPolicy;
 pub use qos::{EventStream, QosEvent, QosVariationModel, VariationMode};
+#[allow(deprecated)]
+pub use sim::AdaptationPolicy;
 pub use sim::{
-    simulate, simulate_checked, simulate_obs, simulate_replications, AdaptationPolicy, SimConfig,
-    SimResult, TraceRecord,
+    simulate, simulate_checked, simulate_obs, simulate_replications, DecisionInput,
+    DecisionOutcome, Feedback, RuntimePolicy, SimConfig, SimResult, TraceRecord,
 };
-pub use ura::UraPolicy;
+pub use ura::{ura_argmax, UraPolicy};

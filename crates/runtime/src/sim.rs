@@ -9,6 +9,64 @@ use serde::{Deserialize, Serialize};
 
 use crate::{EventStream, QosVariationModel, RuntimeContext, RuntimeError};
 
+/// Everything a policy needs to make one adaptation decision.
+///
+/// Hot loops compute the feasible set once per event into a reusable
+/// buffer and hand the slice to the policy through this struct, so a
+/// decision performs no allocation and no second database filter.
+#[derive(Debug, Clone, Copy)]
+pub struct DecisionInput<'a, 'ctx> {
+    /// Shared run-time state: the stored database, the pairwise `dRC`
+    /// matrix and the min–max normalisers.
+    pub ctx: &'a RuntimeContext<'ctx>,
+    /// Index of the currently active design point.
+    pub current: usize,
+    /// The new QoS requirement that triggered this decision.
+    pub spec: &'a QosSpec,
+    /// Feasible stored points under `spec`, ascending — exactly
+    /// `ctx.feasible(spec)`.
+    pub feasible: &'a [usize],
+}
+
+/// A policy's answer to one [`DecisionInput`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DecisionOutcome {
+    /// The selected design point, or `None` when no stored point is
+    /// feasible (the system then keeps its current configuration).
+    pub choice: Option<usize>,
+    /// The winning RET score, when the policy has a scalar score
+    /// (e.g. [`crate::HvPolicy`] reports none). Journal decision records
+    /// carry it whenever present.
+    pub score: Option<f64>,
+    /// The policy's `p_RC` modulation parameter, when it has one.
+    pub p_rc: Option<f64>,
+}
+
+impl DecisionOutcome {
+    /// An outcome carrying only a choice — for policies without
+    /// introspection data.
+    pub fn bare(choice: Option<usize>) -> Self {
+        Self {
+            choice,
+            score: None,
+            p_rc: None,
+        }
+    }
+}
+
+/// Post-decision feedback: the transition that was actually executed
+/// (including staying put, and including degradation-ladder overrides
+/// the policy did not choose itself).
+#[derive(Debug, Clone, Copy)]
+pub struct Feedback<'a, 'ctx> {
+    /// Shared run-time state at the moment of the transition.
+    pub ctx: &'a RuntimeContext<'ctx>,
+    /// Active design point before the event.
+    pub from: usize,
+    /// Active design point after the event.
+    pub to: usize,
+}
+
 /// A run-time adaptation policy driving the discrete-event simulation.
 ///
 /// [`crate::UraPolicy`] is stateless; [`crate::AuraAgent`] learns from the
@@ -18,36 +76,46 @@ use crate::{EventStream, QosVariationModel, RuntimeContext, RuntimeError};
 /// serving state that migrates across worker threads (clr-serve's
 /// sharded tenant sessions); every policy is plain owned data, so the
 /// bound costs implementors nothing.
-pub trait AdaptationPolicy: Send {
-    /// Selects the next design point for the new requirement, or `None`
-    /// when no stored point is feasible (the system then keeps its
-    /// current configuration).
-    fn decide(&mut self, ctx: &RuntimeContext<'_>, current: usize, spec: &QosSpec)
-        -> Option<usize>;
+pub trait RuntimePolicy: Send {
+    /// Makes one adaptation decision: selects the next design point for
+    /// the new requirement (or none, keeping the current configuration)
+    /// plus whatever introspection data the policy exposes for journal
+    /// decision records.
+    fn decide(&mut self, input: &DecisionInput<'_, '_>) -> DecisionOutcome;
 
-    /// [`decide`](Self::decide) plus the policy's introspection data for
-    /// decision records: `(choice, winning RET score, p_RC)`. Policies
-    /// without a scalar score (e.g. [`crate::HvPolicy`]) inherit this
-    /// default, which reports no score; the simulation uses this method so
-    /// journal decision records carry the Algorithm 1 internals whenever
-    /// the policy exposes them.
+    /// Notified after each executed transition (including staying put).
+    /// The default is a no-op; learning policies accumulate experience
+    /// here.
+    fn observe(&mut self, _feedback: &Feedback<'_, '_>) {}
+
+    /// Notified at each episode boundary (a fixed number of application
+    /// cycles; paper: "typically a thousand application execution cycles").
+    fn end_episode(&mut self) {}
+
+    /// Deprecated pre-[`DecisionInput`] entry point, kept as a shim for
+    /// one release: computes the feasible set internally and delegates to
+    /// [`decide`](Self::decide).
+    #[deprecated(since = "0.11.0", note = "use decide(&DecisionInput) instead")]
     fn decide_scored(
         &mut self,
         ctx: &RuntimeContext<'_>,
         current: usize,
         spec: &QosSpec,
     ) -> (Option<usize>, Option<f64>, Option<f64>) {
-        (self.decide(ctx, current, spec), None, None)
+        let feasible = ctx.feasible(spec);
+        let out = self.decide(&DecisionInput {
+            ctx,
+            current,
+            spec,
+            feasible: &feasible,
+        });
+        (out.choice, out.score, out.p_rc)
     }
 
-    /// [`decide_scored`](Self::decide_scored) with the feasible set
-    /// already computed by the caller (ascending indices, exactly
-    /// `ctx.feasible(spec)`). Hot loops compute feasibility once per
-    /// event into a reusable buffer and hand the slice to the policy, so
-    /// a decision performs no allocation and no second database filter.
-    /// The default recomputes internally — existing policies stay
-    /// correct, merely unoptimised — and the workspace policies override
-    /// it; overriders must return exactly what `decide_scored` would.
+    /// Deprecated pre-[`DecisionInput`] entry point with a caller-computed
+    /// feasible set, kept as a shim for one release: delegates to
+    /// [`decide`](Self::decide).
+    #[deprecated(since = "0.11.0", note = "use decide(&DecisionInput) instead")]
     fn decide_scored_from(
         &mut self,
         ctx: &RuntimeContext<'_>,
@@ -55,17 +123,24 @@ pub trait AdaptationPolicy: Send {
         spec: &QosSpec,
         feasible: &[usize],
     ) -> (Option<usize>, Option<f64>, Option<f64>) {
-        let _ = feasible;
-        self.decide_scored(ctx, current, spec)
+        let out = self.decide(&DecisionInput {
+            ctx,
+            current,
+            spec,
+            feasible,
+        });
+        (out.choice, out.score, out.p_rc)
     }
-
-    /// Notified after each executed transition (including staying put).
-    fn observe(&mut self, _ctx: &RuntimeContext<'_>, _from: usize, _to: usize) {}
-
-    /// Notified at each episode boundary (a fixed number of application
-    /// cycles; paper: "typically a thousand application execution cycles").
-    fn end_episode(&mut self) {}
 }
+
+/// Deprecated former name of [`RuntimePolicy`], kept as a shim for one
+/// release. Every `RuntimePolicy` implements it, so existing bounds and
+/// `Box<dyn AdaptationPolicy>` trait objects keep compiling.
+#[deprecated(since = "0.11.0", note = "renamed to RuntimePolicy")]
+pub trait AdaptationPolicy: RuntimePolicy {}
+
+#[allow(deprecated)]
+impl<T: RuntimePolicy + ?Sized> AdaptationPolicy for T {}
 
 /// Simulation parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -181,7 +256,7 @@ impl SimResult {
 /// # Examples
 ///
 /// See the [crate-level example](crate).
-pub fn simulate<P: AdaptationPolicy + ?Sized>(
+pub fn simulate<P: RuntimePolicy + ?Sized>(
     ctx: &RuntimeContext<'_>,
     policy: &mut P,
     qos: &QosVariationModel,
@@ -199,7 +274,7 @@ pub fn simulate<P: AdaptationPolicy + ?Sized>(
 ///
 /// [`RuntimeError::BadInitialPoint`] when `config.initial_point` is out
 /// of range for the context's database.
-pub fn simulate_checked<P: AdaptationPolicy + ?Sized>(
+pub fn simulate_checked<P: RuntimePolicy + ?Sized>(
     ctx: &RuntimeContext<'_>,
     policy: &mut P,
     qos: &QosVariationModel,
@@ -231,7 +306,7 @@ const DRC_BUCKET_BOUNDS: [f64; 8] = [0.0, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0];
 /// # Panics
 ///
 /// Panics if `initial_point` is out of range for the context's database.
-pub fn simulate_obs<P: AdaptationPolicy + ?Sized>(
+pub fn simulate_obs<P: RuntimePolicy + ?Sized>(
     ctx: &RuntimeContext<'_>,
     policy: &mut P,
     qos: &QosVariationModel,
@@ -299,14 +374,23 @@ pub fn simulate_obs<P: AdaptationPolicy + ?Sized>(
         result.decision_work += ctx.len() as u64;
         ctx.feasible_into(&event.spec, &mut feas_buf);
         let feasible = feas_buf.len();
-        let (decision, score, p_rc) =
-            policy.decide_scored_from(ctx, current, &event.spec, &feas_buf);
+        let outcome = policy.decide(&DecisionInput {
+            ctx,
+            current,
+            spec: &event.spec,
+            feasible: &feas_buf,
+        });
+        let (decision, score, p_rc) = (outcome.choice, outcome.score, outcome.p_rc);
         let (to, violated) = match decision {
             Some(p) => (p, false),
             None => (current, true),
         };
         let drc = ctx.drc(current, to);
-        policy.observe(ctx, current, to);
+        policy.observe(&Feedback {
+            ctx,
+            from: current,
+            to,
+        });
 
         if violated {
             result.violations += 1;
@@ -414,7 +498,7 @@ pub fn simulate_replications<P, F>(
     threads: usize,
 ) -> Vec<SimResult>
 where
-    P: AdaptationPolicy,
+    P: RuntimePolicy,
     F: Fn(usize) -> P + Sync,
 {
     let indices: Vec<usize> = (0..replications).collect();

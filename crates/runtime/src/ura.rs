@@ -3,7 +3,7 @@
 use clr_dse::QosSpec;
 use serde::{Deserialize, Serialize};
 
-use crate::sim::AdaptationPolicy;
+use crate::sim::{DecisionInput, DecisionOutcome, RuntimePolicy};
 use crate::RuntimeContext;
 
 /// The uRA policy of Algorithm 1.
@@ -69,7 +69,11 @@ impl UraPolicy {
 /// value function so AuRA (`score += γ·V(p)`) reuses it; uRA passes
 /// `γ = 0`. Returns the winner and its `RET` score (surfaced in journal
 /// decision records).
-pub(crate) fn ura_argmax(
+///
+/// Public so external learners (clr-learn's shadow evaluation) score
+/// candidates with *exactly* the live tie-breaking: equal-RET candidates
+/// resolve toward the better performer, then the lower index.
+pub fn ura_argmax(
     ctx: &RuntimeContext<'_>,
     current: usize,
     feasible: &[usize],
@@ -97,36 +101,26 @@ pub(crate) fn ura_argmax(
         .map(|(p, ret, _)| (p, ret))
 }
 
-impl AdaptationPolicy for UraPolicy {
-    fn decide(
-        &mut self,
-        ctx: &RuntimeContext<'_>,
-        current: usize,
-        spec: &QosSpec,
-    ) -> Option<usize> {
-        self.select(ctx, current, spec)
-    }
-
-    fn decide_scored(
-        &mut self,
-        ctx: &RuntimeContext<'_>,
-        current: usize,
-        spec: &QosSpec,
-    ) -> (Option<usize>, Option<f64>, Option<f64>) {
-        let feas = ctx.feasible(spec);
-        self.decide_scored_from(ctx, current, spec, &feas)
-    }
-
-    fn decide_scored_from(
-        &mut self,
-        ctx: &RuntimeContext<'_>,
-        current: usize,
-        _spec: &QosSpec,
-        feasible: &[usize],
-    ) -> (Option<usize>, Option<f64>, Option<f64>) {
-        match ura_argmax(ctx, current, feasible, self.p_rc, |_| 0.0, 0.0) {
-            Some((p, ret)) => (Some(p), Some(ret), Some(self.p_rc)),
-            None => (None, None, Some(self.p_rc)),
+impl RuntimePolicy for UraPolicy {
+    fn decide(&mut self, input: &DecisionInput<'_, '_>) -> DecisionOutcome {
+        match ura_argmax(
+            input.ctx,
+            input.current,
+            input.feasible,
+            self.p_rc,
+            |_| 0.0,
+            0.0,
+        ) {
+            Some((p, ret)) => DecisionOutcome {
+                choice: Some(p),
+                score: Some(ret),
+                p_rc: Some(self.p_rc),
+            },
+            None => DecisionOutcome {
+                choice: None,
+                score: None,
+                p_rc: Some(self.p_rc),
+            },
         }
     }
 }

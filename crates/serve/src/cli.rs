@@ -69,8 +69,11 @@ pub fn parse_fleet(flags: &[(&str, &str)]) -> Result<Vec<Tenant>, String> {
         let (name, rest) = value
             .split_once('=')
             .ok_or_else(|| format!("tenant {value:?} is not NAME=SNAP@POLICY"))?;
+        // Split at the FIRST '@': the v2 policy grammar itself carries
+        // one (`aura+learn:..@<seed>`), so the path may not contain '@'
+        // but the policy may.
         let (path, policy) = rest
-            .rsplit_once('@')
+            .split_once('@')
             .ok_or_else(|| format!("tenant {value:?} is not NAME=SNAP@POLICY"))?;
         let policy: PolicySpec = policy.parse()?;
         let snapshot = LineageSnapshot::read_file(path).map_err(|e| format!("{path}: {e}"))?;
@@ -144,5 +147,16 @@ mod tests {
             let err = parse_fleet(&[("tenant", bad)]).unwrap_err();
             assert!(err.contains("NAME=SNAP@POLICY"), "{bad}: {err}");
         }
+    }
+
+    #[test]
+    fn learn_policy_seed_at_sign_splits_on_the_first_at() {
+        // The v2 grammar embeds '@' in the policy; the split must leave
+        // it there. A correct split fails on the missing snapshot file,
+        // not on the policy text.
+        let spec = "cam=/nonexistent/ci.snap@aura+learn:0.5,0.6,0.2,0.05@7";
+        let err = parse_fleet(&[("tenant", spec)]).unwrap_err();
+        assert!(err.contains("/nonexistent/ci.snap"), "err: {err}");
+        assert!(!err.contains("unknown policy"), "err: {err}");
     }
 }

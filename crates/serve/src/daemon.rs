@@ -41,17 +41,19 @@ use std::io::{Read, Write};
 use std::sync::Mutex;
 
 use crate::wire::{
-    ErrorFrame, Frame, Request, Response, StatsRequest, StatsResponse, SwapDbRequest,
-    SwapDbResponse, SwapStatus, WireError, MAX_PAYLOAD_LEN, STATS_VERSION,
+    ErrorFrame, Frame, PromoteRequest, PromoteResponse, PromoteStatus, Request, Response,
+    StatsRequest, StatsResponse, SwapDbRequest, SwapDbResponse, SwapStatus, WireError,
+    MAX_PAYLOAD_LEN, STATS_VERSION,
 };
 use crate::{
     fleet_snapshot, DecisionRecord, HealthState, LineageSnapshot, ReplayConfig, ReplayError,
     Tenant, TenantOutcome, TenantSession, FLIGHT_RECORDER_LEN,
 };
+use clr_learn::LearnerState;
 use clr_obs::TelemetrySnapshot;
 
 /// Daemon parameters.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DaemonConfig {
     /// Maximum frames admitted per serve/flush cycle (the bounded
     /// queue). Clamped to at least 1.
@@ -60,6 +62,11 @@ pub struct DaemonConfig {
     /// plan, quarantine threshold) — shared verbatim with batch replay
     /// so the two paths cannot diverge.
     pub replay: ReplayConfig,
+    /// Directory for `CLRLRN1` learner checkpoints (`<tenant>.learn`).
+    /// When set, learning tenants warm-start from a matching
+    /// checkpoint at seating and write one back at drain, so value
+    /// tables survive restarts. `None` = cold start, nothing written.
+    pub learn_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for DaemonConfig {
@@ -67,6 +74,7 @@ impl Default for DaemonConfig {
         Self {
             batch: 256,
             replay: ReplayConfig::default(),
+            learn_dir: None,
         }
     }
 }
@@ -81,6 +89,8 @@ pub enum DaemonError {
     Wire(WireError),
     /// The response stream could not be written.
     Io(String),
+    /// A learner checkpoint could not be written at drain.
+    Learn(String),
 }
 
 impl std::fmt::Display for DaemonError {
@@ -89,6 +99,7 @@ impl std::fmt::Display for DaemonError {
             Self::Replay(e) => write!(f, "{e}"),
             Self::Wire(e) => write!(f, "request stream: {e}"),
             Self::Io(e) => write!(f, "response stream: {e}"),
+            Self::Learn(e) => write!(f, "learn checkpoint: {e}"),
         }
     }
 }
@@ -119,6 +130,13 @@ pub struct DaemonReport {
     /// `SwapDb` requests answered with a swap-response frame (the
     /// frame's status says whether the rollout applied).
     pub swaps: usize,
+    /// `Promote` requests answered with a promote-response frame (the
+    /// frame's status says whether the shadow table shipped).
+    pub promotes: usize,
+    /// Learner checkpoint restore/save notes, in fleet order — the
+    /// binary prints these to stderr. Empty without a
+    /// [`DaemonConfig::learn_dir`].
+    pub learn_notes: Vec<String>,
     /// `true` when an explicit [`Frame::Shutdown`] closed the stream,
     /// `false` on plain end-of-stream (both drain fully).
     pub clean_shutdown: bool,
@@ -425,6 +443,117 @@ impl<'a> Daemon<'a> {
         })
     }
 
+    /// Applies one shadow→live policy promotion, answering with a
+    /// [`Frame::PromoteResponse`] whose status says whether the
+    /// candidate table shipped and whose `promotions` is the tenant's
+    /// running promotion count after the attempt.
+    ///
+    /// Called between batches, like [`Daemon::swap_response`] — the
+    /// admission loop closes the batch on a `Promote` frame, so the
+    /// promotion lands after every already-admitted request whatever
+    /// the thread count, and the served output stays byte-identical at
+    /// any `CLR_THREADS`.
+    pub fn promote_response(&self, request: &PromoteRequest) -> Frame {
+        let Some(&idx) = self.by_name.get(request.tenant.as_str()) else {
+            return Frame::PromoteResponse(PromoteResponse {
+                seq: request.seq,
+                tenant: request.tenant.clone(),
+                status: PromoteStatus::UnknownTenant,
+                promotions: 0,
+            });
+        };
+        let (shard, slot) = self.locate[idx];
+        let mut shard = self.shards[shard]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let record = shard.sessions[slot].promote();
+        Frame::PromoteResponse(PromoteResponse {
+            seq: request.seq,
+            tenant: request.tenant.clone(),
+            status: record.status,
+            promotions: record.promotions,
+        })
+    }
+
+    /// Warm-starts every learning tenant from a `CLRLRN1` checkpoint in
+    /// `dir` (named `<tenant>.learn`), returning one note per learning
+    /// tenant saying what happened. A missing, corrupt or mismatched
+    /// checkpoint is a cold start, never a seating failure — the note
+    /// says why.
+    pub fn restore_learners(&self, dir: &std::path::Path) -> Vec<String> {
+        let mut notes = Vec::new();
+        for idx in 0..self.tenant_count {
+            let (shard, slot) = self.locate[idx];
+            let mut shard = self.shards[shard]
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let session = &mut shard.sessions[slot];
+            if session.learner().is_none() {
+                continue;
+            }
+            let name = session.tenant().name().to_string();
+            let path = dir.join(format!("{name}.learn"));
+            match std::fs::read(&path) {
+                Err(_) => notes.push(format!(
+                    "learn: {name}: no checkpoint at {} (cold start)",
+                    path.display()
+                )),
+                Ok(bytes) => match LearnerState::from_bytes(&bytes) {
+                    Err(e) => notes.push(format!(
+                        "learn: {name}: checkpoint rejected: {e} (cold start)"
+                    )),
+                    Ok(state) => {
+                        let decisions = state.decisions();
+                        match session.restore_learner(state) {
+                            Ok(()) => notes.push(format!(
+                                "learn: {name}: restored {} ({decisions} decisions)",
+                                path.display()
+                            )),
+                            Err(e) => notes.push(format!(
+                                "learn: {name}: checkpoint refused: {e} (cold start)"
+                            )),
+                        }
+                    }
+                },
+            }
+        }
+        notes
+    }
+
+    /// Writes every learning tenant's `CLRLRN1` checkpoint into `dir`
+    /// (`<tenant>.learn`), creating the directory if needed. Checkpoint
+    /// bytes are a pure function of the served stream, so they are
+    /// byte-identical at any `CLR_THREADS`.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message for the first unwritable path.
+    pub fn save_learners(&self, dir: &std::path::Path) -> Result<Vec<String>, String> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        let mut notes = Vec::new();
+        for idx in 0..self.tenant_count {
+            let (shard, slot) = self.locate[idx];
+            let shard = self.shards[shard]
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let session = &shard.sessions[slot];
+            let Some(learner) = session.learner() else {
+                continue;
+            };
+            let path = dir.join(format!("{}.learn", session.tenant().name()));
+            std::fs::write(&path, learner.to_bytes())
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            notes.push(format!(
+                "learn: wrote {} ({} decisions, {} promotions)",
+                path.display(),
+                learner.decisions(),
+                learner.promotions()
+            ));
+        }
+        Ok(notes)
+    }
+
     /// Drains the daemon, yielding every session's accumulated outcome
     /// in fleet order (byte-comparable against a batch replay of the
     /// same event stream).
@@ -468,15 +597,21 @@ pub fn serve_stream(
         batches: 0,
         stats: 0,
         swaps: 0,
+        promotes: 0,
         clean_shutdown: false,
         outcomes: Vec::new(),
         dropped_by_tenant: Vec::new(),
+        learn_notes: Vec::new(),
     };
+    if let Some(dir) = &config.learn_dir {
+        report.learn_notes = daemon.restore_learners(dir);
+    }
     /// A control frame that closes the admission batch early so it is
     /// handled as a pure function of the stream prefix before it.
     enum Control {
         Stats(StatsRequest),
         Swap(SwapDbRequest),
+        Promote(PromoteRequest),
     }
     let mut open = true;
     while open {
@@ -501,6 +636,12 @@ pub fn serve_stream(
                     // after every already-admitted request, whatever
                     // the thread count.
                     control = Some(Control::Swap(request));
+                    break;
+                }
+                Ok(Some(Frame::Promote(request))) => {
+                    // Same early close: the promotion is a pure
+                    // function of the stream prefix before it.
+                    control = Some(Control::Promote(request));
                     break;
                 }
                 Ok(Some(Frame::Shutdown)) => {
@@ -563,8 +704,19 @@ pub fn serve_stream(
                     .write_to(output)
                     .map_err(|e| DaemonError::Io(e.to_string()))?;
             }
+            Some(Control::Promote(request)) => {
+                let frame = daemon.promote_response(&request);
+                report.promotes += 1;
+                frame
+                    .write_to(output)
+                    .map_err(|e| DaemonError::Io(e.to_string()))?;
+            }
         }
         output.flush().map_err(|e| DaemonError::Io(e.to_string()))?;
+    }
+    if let Some(dir) = &config.learn_dir {
+        let notes = daemon.save_learners(dir).map_err(DaemonError::Learn)?;
+        report.learn_notes.extend(notes);
     }
     report.dropped_by_tenant = daemon.dropped_counts();
     report.outcomes = daemon.into_outcomes();
@@ -652,6 +804,7 @@ mod tests {
                     threads,
                     ..ReplayConfig::default()
                 },
+                learn_dir: None,
             };
             let mut input = std::io::Cursor::new(frames_for(&trace, true));
             let mut output = Vec::new();
@@ -867,6 +1020,7 @@ mod tests {
                     threads,
                     ..ReplayConfig::default()
                 },
+                learn_dir: None,
             };
             let mut input = std::io::Cursor::new(bytes.clone());
             let mut output = Vec::new();
@@ -962,6 +1116,137 @@ mod tests {
             .swaps
             .iter()
             .all(|s| s.status != SwapStatus::Swapped));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn learn_fleet(n: usize) -> Vec<Tenant> {
+        (0..n)
+            .map(|i| {
+                Tenant::from_parts(
+                    format!("t{i}"),
+                    jpeg_encoder(),
+                    Platform::dac19(),
+                    small_db(8, 1.0 + i as f64 * 0.1),
+                    PolicySpec::AuraLearn {
+                        p_rc: 0.5,
+                        gamma: 0.6,
+                        alpha: 0.2,
+                        epsilon: 0.1,
+                        seed: 7,
+                    },
+                )
+                .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn mid_stream_promote_learns_and_checkpoints_survive_restart() {
+        let dir = std::env::temp_dir().join("clr-serve-daemon-learn");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let tenants = learn_fleet(3);
+        let trace = generate_trace(&tenants, 41, 4_000.0, 100.0);
+        assert!(trace.len() > 20);
+        let mut bytes = Vec::new();
+        let mid = trace.len() / 2;
+        for (i, event) in trace.events().iter().enumerate() {
+            if i == mid {
+                bytes.extend_from_slice(
+                    &Frame::Promote(PromoteRequest {
+                        seq: 91_000,
+                        tenant: "t1".into(),
+                    })
+                    .to_bytes(),
+                );
+            }
+            bytes.extend_from_slice(
+                &Frame::Request(Request::from_event(i as u64 + 1, event)).to_bytes(),
+            );
+        }
+        bytes.extend_from_slice(
+            &Frame::Promote(PromoteRequest {
+                seq: 91_001,
+                tenant: "ghost".into(),
+            })
+            .to_bytes(),
+        );
+        bytes.extend_from_slice(&Frame::Shutdown.to_bytes());
+
+        let mut outputs = Vec::new();
+        let mut checkpoints = Vec::new();
+        let mut first_run_decisions = 0;
+        for threads in [1usize, 8] {
+            let learn_dir = dir.join(format!("threads-{threads}"));
+            let config = DaemonConfig {
+                batch: 7,
+                replay: ReplayConfig {
+                    threads,
+                    ..ReplayConfig::default()
+                },
+                learn_dir: Some(learn_dir.clone()),
+            };
+            let mut input = std::io::Cursor::new(bytes.clone());
+            let mut output = Vec::new();
+            let report = serve_stream(&tenants, &mut input, &mut output, &config).unwrap();
+            assert!(report.clean_shutdown);
+            assert_eq!(report.promotes, 2, "t1 promote + ghost promote answered");
+            let t1 = report.outcomes.iter().find(|o| o.name == "t1").unwrap();
+            assert_eq!(t1.promotes.len(), 1);
+            assert_eq!(t1.promotes[0].status, PromoteStatus::Promoted);
+            let learn = t1.learn.expect("learning tenant carries a summary");
+            assert_eq!(learn.promotions, 1);
+            assert!(!t1.shadows.is_empty(), "every decision was shadow-scored");
+            first_run_decisions = learn.decisions;
+            // One CLRLRN1 checkpoint per learning tenant was written.
+            let cp: Vec<Vec<u8>> = (0..3)
+                .map(|i| std::fs::read(learn_dir.join(format!("t{i}.learn"))).unwrap())
+                .collect();
+            assert!(cp.iter().all(|b| clr_learn::is_learn_checkpoint(b)));
+            outputs.push(output);
+            checkpoints.push(cp);
+        }
+        assert_eq!(
+            outputs[0], outputs[1],
+            "promote-under-traffic output must be byte-identical at threads 1 and 8"
+        );
+        assert_eq!(
+            checkpoints[0], checkpoints[1],
+            "checkpoint bytes must be byte-identical at threads 1 and 8"
+        );
+        let ack = decode_all(&outputs[0])
+            .into_iter()
+            .find_map(|f| match f {
+                Frame::PromoteResponse(r) if r.seq == 91_000 => Some(r),
+                _ => None,
+            })
+            .expect("the promotion was acknowledged in stream position");
+        assert_eq!(ack.status, PromoteStatus::Promoted);
+        assert_eq!(ack.promotions, 1);
+
+        // Restart against the saved checkpoints: the learner warm-starts
+        // and keeps accumulating where the first run stopped.
+        let config = DaemonConfig {
+            batch: 7,
+            replay: ReplayConfig::default(),
+            learn_dir: Some(dir.join("threads-1")),
+        };
+        let mut input = std::io::Cursor::new(frames_for(&trace, true));
+        let mut output = Vec::new();
+        let report = serve_stream(&tenants, &mut input, &mut output, &config).unwrap();
+        assert!(
+            report.learn_notes.iter().any(|n| n.contains("restored")),
+            "notes: {:?}",
+            report.learn_notes
+        );
+        let t1 = report.outcomes.iter().find(|o| o.name == "t1").unwrap();
+        let learn = t1.learn.expect("learning tenant carries a summary");
+        assert_eq!(
+            learn.decisions,
+            2 * first_run_decisions,
+            "warm start keeps the first run's scored decisions"
+        );
+        assert_eq!(learn.promotions, 1, "promotion count survives the restart");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -3,7 +3,7 @@
 //! [`replay`] drives a batched QoS-event [`Trace`] through a fleet of
 //! [`Tenant`]s: events are routed to tenants by name, each tenant's
 //! events are processed in file order through its own
-//! [`clr_runtime::RuntimeContext`] and [`clr_runtime::AdaptationPolicy`],
+//! [`clr_runtime::RuntimeContext`] and [`clr_runtime::RuntimePolicy`],
 //! and independent tenants fan out across `clr-par` workers.
 //!
 //! ## Determinism contract
@@ -52,7 +52,7 @@ use clr_chaos::{FaultKind, FaultPlan};
 use clr_dse::QosSpec;
 use clr_obs::{Event, Obs};
 
-use crate::wire::SwapStatus;
+use crate::wire::{PromoteStatus, SwapStatus};
 use crate::{Tenant, TenantSession, Trace, TraceEvent};
 
 /// Replay parameters.
@@ -183,6 +183,65 @@ pub struct SwapRecord {
     pub status: SwapStatus,
 }
 
+/// One attempted candidate-policy promotion, as recorded in the
+/// tenant's outcome (a refused promotion — no learner seated — is an
+/// operational event worth journaling, like a failed swap).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PromoteRecord {
+    /// Events served before the promotion was applied (it takes effect
+    /// between event `event` and `event + 1` of the tenant's stream).
+    pub event: usize,
+    /// Total promotions applied to the tenant *after* the attempt.
+    pub promotions: u64,
+    /// How the attempt ended.
+    pub status: PromoteStatus,
+}
+
+/// Rolled-up online-learning state of one tenant, refreshed after every
+/// observed event — what `clr-serve ab` and the prefetch telemetry
+/// counters report without walking the full shadow stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LearnSummary {
+    /// Seeded A/B variant the tenant was assigned to.
+    pub variant: clr_learn::Variant,
+    /// Which value table is currently serving.
+    pub serving: clr_learn::Table,
+    /// Scored (clean-path) decisions so far.
+    pub decisions: u64,
+    /// Decisions on which seeded exploration overrode the candidate.
+    pub explored: u64,
+    /// Reconfigurations whose destination the prefetcher predicted.
+    pub prefetch_hits: u64,
+    /// Reconfigurations predicted wrongly (or not at all).
+    pub prefetch_misses: u64,
+    /// Reconfiguration cost overlapped with execution on hits.
+    pub prefetch_saved_drc: f64,
+    /// Cumulative one-step oracle regret of the incumbent's picks.
+    pub cum_live_regret: f64,
+    /// Cumulative one-step oracle regret of the candidate's picks.
+    pub cum_shadow_regret: f64,
+    /// Promotions applied so far.
+    pub promotions: u64,
+}
+
+impl LearnSummary {
+    /// Snapshots the rollup counters of a live learner.
+    pub fn of(l: &clr_learn::LearnerState) -> Self {
+        Self {
+            variant: l.variant(),
+            serving: l.serving(),
+            decisions: l.decisions(),
+            explored: l.explored(),
+            prefetch_hits: l.prefetch_hits(),
+            prefetch_misses: l.prefetch_misses(),
+            prefetch_saved_drc: l.prefetch_saved_drc(),
+            cum_live_regret: l.cum_live_regret(),
+            cum_shadow_regret: l.cum_shadow_regret(),
+            promotions: l.promotions(),
+        }
+    }
+}
+
 /// Aggregate outcome of one tenant's replay.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TenantOutcome {
@@ -214,6 +273,13 @@ pub struct TenantOutcome {
     pub swaps: Vec<SwapRecord>,
     /// Every decision, in service order.
     pub decisions: Vec<DecisionRecord>,
+    /// Shadow evaluations of clean scored decisions (learning tenants
+    /// only), stamped with stream ordinals, in service order.
+    pub shadows: Vec<clr_learn::ShadowRecord>,
+    /// Every attempted candidate promotion, in stream order.
+    pub promotes: Vec<PromoteRecord>,
+    /// Rolled-up online-learning state, `None` for frozen policies.
+    pub learn: Option<LearnSummary>,
     /// Live telemetry registry (quantiles, dwell occupancy, rolling
     /// rates, flight recorder), accumulated alongside the counters
     /// above when [`ReplayConfig::telemetry`] is on.
@@ -384,6 +450,78 @@ impl ReplayReport {
         summary_lines(&self.outcomes, &self.dropped_by_tenant)
     }
 
+    /// Renders the A/B rollout report: per learning tenant one line
+    /// (variant, serving table, scored decisions, cumulative regret of
+    /// both policies, prefetch hit rate), then per-variant aggregates
+    /// and a verdict comparing candidate vs incumbent regret. Empty
+    /// when no tenant runs an `aura+learn:` spec.
+    pub fn ab_lines(&self) -> Vec<String> {
+        use clr_learn::Variant;
+        let learners: Vec<(&str, &LearnSummary)> = self
+            .outcomes
+            .iter()
+            .filter_map(|o| o.learn.as_ref().map(|l| (o.name.as_str(), l)))
+            .collect();
+        if learners.is_empty() {
+            return Vec::new();
+        }
+        let mut lines = Vec::new();
+        for (name, l) in &learners {
+            let total_moves = l.prefetch_hits + l.prefetch_misses;
+            let hit_rate = if total_moves == 0 {
+                0.0
+            } else {
+                #[allow(clippy::cast_precision_loss)]
+                let r = l.prefetch_hits as f64 / total_moves as f64;
+                r
+            };
+            lines.push(format!(
+                "tenant {name}: {} serving {}, {} scored, regret live {} shadow {}, \
+                 prefetch {}/{} ({:.1}% hit), {} explored, {} promotions",
+                l.variant,
+                l.serving,
+                l.decisions,
+                l.cum_live_regret,
+                l.cum_shadow_regret,
+                l.prefetch_hits,
+                total_moves,
+                hit_rate * 100.0,
+                l.explored,
+                l.promotions
+            ));
+        }
+        for variant in [Variant::Control, Variant::Treatment] {
+            let arm: Vec<&LearnSummary> = learners
+                .iter()
+                .filter(|(_, l)| l.variant == variant)
+                .map(|(_, l)| *l)
+                .collect();
+            let decisions: u64 = arm.iter().map(|l| l.decisions).sum();
+            let live: f64 = arm.iter().map(|l| l.cum_live_regret).sum();
+            let shadow: f64 = arm.iter().map(|l| l.cum_shadow_regret).sum();
+            lines.push(format!(
+                "arm {variant}: {} tenants, {decisions} scored decisions, \
+                 cumulative regret live {live} shadow {shadow}",
+                arm.len()
+            ));
+        }
+        let live: f64 = learners.iter().map(|(_, l)| l.cum_live_regret).sum();
+        let shadow: f64 = learners.iter().map(|(_, l)| l.cum_shadow_regret).sum();
+        let saved: f64 = learners.iter().map(|(_, l)| l.prefetch_saved_drc).sum();
+        lines.push(format!(
+            "verdict: candidate cumulative regret {shadow} vs incumbent {live} — {}; \
+             prefetch overlapped {saved} dRC",
+            if shadow < live {
+                "candidate leads"
+            } else if shadow > live {
+                "incumbent leads"
+            } else {
+                "tied"
+            }
+        ));
+        lines
+    }
+
     /// Assembles the schema-v2 fleet telemetry snapshot from the
     /// per-tenant health registries (fleet order) and the
     /// unknown-tenant drop counts (name order) — the same numbers the
@@ -456,10 +594,31 @@ impl ReplayReport {
                     obs.counter_add("serve.db_swaps.applied", 1);
                 }
             };
+            // Promotions share the swaps' stream-position semantics; a
+            // shadow evaluation belongs to exactly one decision and is
+            // journaled right after it.
+            let emit_promote = |p: &PromoteRecord| {
+                obs.emit(Event::Promote {
+                    label: o.name.clone(),
+                    tenant: o.name.clone(),
+                    event: p.event,
+                    promotions: p.promotions,
+                    status: p.status.label().to_string(),
+                });
+                obs.counter_add("serve.promotes", 1);
+                if p.status == PromoteStatus::Promoted {
+                    obs.counter_add("serve.promotes.applied", 1);
+                }
+            };
             let mut swaps = o.swaps.iter().peekable();
+            let mut promotes = o.promotes.iter().peekable();
+            let mut shadows = o.shadows.iter().peekable();
             for d in &o.decisions {
                 while let Some(s) = swaps.next_if(|s| s.event < d.event) {
                     emit_swap(s);
+                }
+                while let Some(p) = promotes.next_if(|p| p.event < d.event) {
+                    emit_promote(p);
                 }
                 obs.emit(Event::Decision {
                     event: d.event,
@@ -472,6 +631,19 @@ impl ReplayReport {
                     p_rc: d.p_rc,
                     violated: d.violated,
                 });
+                while let Some(s) = shadows.next_if(|s| s.event <= d.event) {
+                    obs.emit(Event::Shadow {
+                        label: o.name.clone(),
+                        tenant: o.name.clone(),
+                        event: s.event,
+                        variant: s.variant.label().to_string(),
+                        serving: s.serving.label().to_string(),
+                        live_choice: s.live_choice,
+                        shadow_choice: s.shadow_choice,
+                        live_regret: s.live_regret,
+                        shadow_regret: s.shadow_regret,
+                    });
+                }
                 obs.counter_add("serve.events", 1);
                 if d.to != d.from {
                     obs.counter_add("serve.reconfigurations", 1);
@@ -513,6 +685,14 @@ impl ReplayReport {
             }
             for s in swaps {
                 emit_swap(s);
+            }
+            for p in promotes {
+                emit_promote(p);
+            }
+            if let Some(l) = &o.learn {
+                obs.counter_add("serve.prefetch_hit", l.prefetch_hits);
+                obs.counter_add("serve.prefetch_miss", l.prefetch_misses);
+                obs.counter_add("serve.explored", l.explored);
             }
             obs.emit(Event::SimEnd {
                 label: o.name.clone(),

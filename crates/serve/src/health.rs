@@ -467,6 +467,129 @@ pub fn telemetry_from_journal(text: &str) -> Result<TelemetrySnapshot, String> {
     })
 }
 
+/// Renders the A/B rollout report from a `replay.obs.jsonl` journal:
+/// one line per learning tenant (variant, serving table, scored
+/// decisions, cumulative counterfactual regret of both policies,
+/// promotions), then per-arm aggregates and a verdict comparing
+/// candidate vs incumbent regret. Empty when the journal carries no
+/// `shadow` events — i.e. no tenant ran an `aura+learn:` policy.
+///
+/// This is the offline sibling of
+/// [`crate::ReplayReport::ab_lines`]: that one reads the live
+/// learner summaries, this one refolds the journal, so the two agree
+/// on every number both can see (the journal does not carry prefetch
+/// counters per tenant, so those columns are absent here).
+///
+/// # Errors
+///
+/// Returns the first malformed journal line.
+pub fn ab_report_from_journal(text: &str) -> Result<Vec<String>, String> {
+    struct AbTenant {
+        variant: String,
+        serving: String,
+        decisions: u64,
+        live_regret: f64,
+        shadow_regret: f64,
+        promotions: u64,
+    }
+    let mut order: Vec<String> = Vec::new();
+    let mut tenants: std::collections::BTreeMap<String, AbTenant> =
+        std::collections::BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (_seq, event) =
+            Event::from_json_line(line).map_err(|e| format!("journal line {}: {e}", lineno + 1))?;
+        match event {
+            Event::Shadow {
+                tenant,
+                variant,
+                serving,
+                live_regret,
+                shadow_regret,
+                ..
+            } => {
+                let entry = tenants.entry(tenant.clone()).or_insert_with(|| {
+                    order.push(tenant.clone());
+                    AbTenant {
+                        variant: variant.clone(),
+                        serving: serving.clone(),
+                        decisions: 0,
+                        live_regret: 0.0,
+                        shadow_regret: 0.0,
+                        promotions: 0,
+                    }
+                });
+                entry.variant = variant;
+                entry.serving = serving;
+                entry.decisions += 1;
+                entry.live_regret += live_regret;
+                entry.shadow_regret += shadow_regret;
+            }
+            Event::Promote {
+                tenant,
+                promotions,
+                status,
+                ..
+            } if status == "promoted" => {
+                let entry = tenants.entry(tenant.clone()).or_insert_with(|| {
+                    order.push(tenant.clone());
+                    AbTenant {
+                        variant: String::new(),
+                        serving: String::new(),
+                        decisions: 0,
+                        live_regret: 0.0,
+                        shadow_regret: 0.0,
+                        promotions: 0,
+                    }
+                });
+                entry.promotions = entry.promotions.max(promotions);
+            }
+            _ => {}
+        }
+    }
+    if tenants.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut lines = Vec::new();
+    for name in &order {
+        let t = &tenants[name];
+        lines.push(format!(
+            "tenant {name}: {} serving {}, {} scored, regret live {} shadow {}, {} promotions",
+            t.variant, t.serving, t.decisions, t.live_regret, t.shadow_regret, t.promotions
+        ));
+    }
+    for variant in ["control", "treatment"] {
+        let arm: Vec<&AbTenant> = order
+            .iter()
+            .map(|name| &tenants[name])
+            .filter(|t| t.variant == variant)
+            .collect();
+        let decisions: u64 = arm.iter().map(|t| t.decisions).sum();
+        let live: f64 = arm.iter().map(|t| t.live_regret).sum();
+        let shadow: f64 = arm.iter().map(|t| t.shadow_regret).sum();
+        lines.push(format!(
+            "arm {variant}: {} tenants, {decisions} scored decisions, \
+             cumulative regret live {live} shadow {shadow}",
+            arm.len()
+        ));
+    }
+    let live: f64 = tenants.values().map(|t| t.live_regret).sum();
+    let shadow: f64 = tenants.values().map(|t| t.shadow_regret).sum();
+    lines.push(format!(
+        "verdict: candidate cumulative regret {shadow} vs incumbent {live} — {}",
+        if shadow < live {
+            "candidate leads"
+        } else if shadow > live {
+            "incumbent leads"
+        } else {
+            "tied"
+        }
+    ));
+    Ok(lines)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -33,12 +33,12 @@ pub mod wire;
 pub use clr_chaos::{FaultKind, FaultPlan, FaultPlanError, FaultRates};
 pub use daemon::{serve_stream, Daemon, DaemonConfig, DaemonError, DaemonReport};
 pub use engine::{
-    replay, summary_lines, DecisionRecord, ReplayConfig, ReplayError, ReplayReport, ServeStatus,
-    SwapRecord, TenantOutcome, DECISIONS_CSV_HEADER,
+    replay, summary_lines, DecisionRecord, LearnSummary, PromoteRecord, ReplayConfig, ReplayError,
+    ReplayReport, ServeStatus, SwapRecord, TenantOutcome, DECISIONS_CSV_HEADER,
 };
 pub use health::{
-    fleet_snapshot, flight_rows, render_prometheus, telemetry_from_journal, HealthState,
-    FLIGHT_RECORDER_LEN, HEALTH_WINDOW,
+    ab_report_from_journal, fleet_snapshot, flight_rows, render_prometheus, telemetry_from_journal,
+    HealthState, FLIGHT_RECORDER_LEN, HEALTH_WINDOW,
 };
 pub use session::TenantSession;
 pub use snapshot::{

@@ -14,6 +14,8 @@
 //! clr-serve stats (--in RESPONSES | --snapshot FILE) [--json]
 //! clr-serve top (--in RESPONSES | --snapshot FILE | --journal FILE) [--limit N]
 //! clr-serve swap-db --request-out FILE --tenant NAME --path SNAP [--expect GEN] [--seq N]
+//! clr-serve promote --request-out FILE --tenant NAME [--seq N]
+//! clr-serve ab --journal FILE
 //! ```
 //!
 //! A tenant argument is `NAME=SNAP@POLICY`: a plain name, a snapshot
@@ -55,10 +57,10 @@ use std::process::ExitCode;
 
 use clr_obs::{Obs, ObsMode, TelemetrySnapshot};
 use clr_serve::cli::{flag, parse_fleet, split_flags};
-use clr_serve::wire::{Frame, Request, StatsRequest, SwapDbRequest, STATS_VERSION};
+use clr_serve::wire::{Frame, PromoteRequest, Request, StatsRequest, SwapDbRequest, STATS_VERSION};
 use clr_serve::{
-    generate_trace, is_plain_name, render_prometheus, replay, telemetry_from_journal, ReplayConfig,
-    Snapshot, Trace, DECISIONS_CSV_HEADER,
+    ab_report_from_journal, generate_trace, is_plain_name, render_prometheus, replay,
+    telemetry_from_journal, ReplayConfig, Snapshot, Trace, DECISIONS_CSV_HEADER,
 };
 
 const USAGE: &str = "usage: clr-serve <command>
@@ -71,7 +73,9 @@ const USAGE: &str = "usage: clr-serve <command>
   stats --request-out FILE [--tenant NAME] [--flight BOOL] [--seq N]
   stats (--in RESPONSES | --snapshot FILE) [--json]
   top (--in RESPONSES | --snapshot FILE | --journal FILE) [--limit N]
-  swap-db --request-out FILE --tenant NAME --path SNAP [--expect GEN] [--seq N]";
+  swap-db --request-out FILE --tenant NAME --path SNAP [--expect GEN] [--seq N]
+  promote --request-out FILE --tenant NAME [--seq N]
+  ab --journal FILE";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -89,6 +93,8 @@ fn main() -> ExitCode {
         "stats" => cmd_stats(&args[1..]),
         "top" => cmd_top(&args[1..]),
         "swap-db" => cmd_swap_db(&args[1..]),
+        "promote" => cmd_promote(&args[1..]),
+        "ab" => cmd_ab(&args[1..]),
         other => {
             eprintln!("clr-serve: unknown command {other:?}\n{USAGE}");
             ExitCode::from(2)
@@ -284,6 +290,9 @@ fn cmd_replay(args: &[String]) -> ExitCode {
             eprintln!("{line}");
         }
     }
+    for line in report.ab_lines() {
+        eprintln!("{line}");
+    }
 
     match flag(&flags, "out-dir") {
         Some(dir) => {
@@ -435,10 +444,19 @@ fn cmd_wire_decode(args: &[String]) -> ExitCode {
                     r.generation
                 );
             }
+            Frame::PromoteResponse(r) => {
+                eprintln!(
+                    "clr-serve: note: promote response seq {} tenant {}: {} ({} promotions)",
+                    r.seq,
+                    r.tenant,
+                    r.status.label(),
+                    r.promotions
+                );
+            }
             // A stats response is valid daemon output in a mixed
             // stream; the CSV only wants decisions.
             Frame::Shutdown | Frame::StatsResponse(_) => {}
-            Frame::Request(_) | Frame::Stats(_) | Frame::SwapDb(_) => {
+            Frame::Request(_) | Frame::Stats(_) | Frame::SwapDb(_) | Frame::Promote(_) => {
                 eprintln!("clr-serve: {input}: request-side frame in a response stream");
                 return ExitCode::from(2);
             }
@@ -629,6 +647,82 @@ fn cmd_swap_db(args: &[String]) -> ExitCode {
         "wrote {out}: 1 swap-db request frame for tenant {tenant} ({} bytes)",
         bytes.len()
     );
+    ExitCode::SUCCESS
+}
+
+/// `promote`: encode a `CLRWIRE1` shadow→live promotion request frame
+/// (splice it into a request stream; the daemon applies it between
+/// batches — the A/B rollout's "ship it" step).
+fn cmd_promote(args: &[String]) -> ExitCode {
+    let allowed = ["request-out", "tenant", "seq"];
+    let (positional, flags) = match split_flags(args, &allowed) {
+        Ok(p) => p,
+        Err(e) => return usage_error(&e),
+    };
+    if !positional.is_empty() {
+        return usage_error("promote takes flags only");
+    }
+    let (Some(out), Some(tenant)) = (flag(&flags, "request-out"), flag(&flags, "tenant")) else {
+        return usage_error("promote needs --request-out FILE and --tenant NAME");
+    };
+    if !is_plain_name(tenant) {
+        return usage_error(&format!("bad --tenant {tenant:?} (a plain name)"));
+    }
+    let seq: u64 = match flag(&flags, "seq").map_or(Ok(1), str::parse) {
+        Ok(s) => s,
+        Err(_) => return usage_error("bad --seq"),
+    };
+    let frame = Frame::Promote(PromoteRequest {
+        seq,
+        tenant: tenant.to_string(),
+    });
+    let bytes = frame.to_bytes();
+    if let Err(e) = std::fs::write(out, &bytes) {
+        eprintln!("clr-serve: cannot write {out}: {e}");
+        return ExitCode::from(2);
+    }
+    eprintln!(
+        "wrote {out}: 1 promote request frame for tenant {tenant} ({} bytes)",
+        bytes.len()
+    );
+    ExitCode::SUCCESS
+}
+
+/// `ab`: the A/B rollout report refolded from a replay journal —
+/// per-tenant regret lines, per-arm aggregates and the promotion
+/// verdict.
+fn cmd_ab(args: &[String]) -> ExitCode {
+    let (positional, flags) = match split_flags(args, &["journal"]) {
+        Ok(p) => p,
+        Err(e) => return usage_error(&e),
+    };
+    if !positional.is_empty() {
+        return usage_error("ab takes flags only");
+    }
+    let Some(path) = flag(&flags, "journal") else {
+        return usage_error("ab needs --journal FILE");
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("clr-serve: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let lines = match ab_report_from_journal(&text) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("clr-serve: {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if lines.is_empty() {
+        eprintln!("clr-serve: {path}: no shadow events (no tenant ran an aura+learn policy)");
+        return ExitCode::from(1);
+    }
+    for line in lines {
+        println!("{line}");
+    }
     ExitCode::SUCCESS
 }
 

@@ -3,7 +3,7 @@
 //! ```text
 //! clr-served --tenant NAME=SNAP@POLICY.. [--batch N] [--threads N]
 //!            [--episode-cycles C] [--quarantine-after K] [--telemetry BOOL]
-//!            [--obs-dir DIR]
+//!            [--obs-dir DIR] [--learn-dir DIR]
 //! ```
 //!
 //! Speaks the `CLRWIRE1` framed protocol on stdin/stdout: request
@@ -24,6 +24,14 @@
 //! appear as `db_swap` events in stream position, auditable with
 //! `clr-verify journal`.
 //!
+//! With `--learn-dir DIR`, tenants running an `aura+learn:` policy
+//! warm-start from a `CLRLRN1` checkpoint (`DIR/<tenant>.learn`) at
+//! seating and write one back at drain, so online value tables survive
+//! restarts; a missing or mismatched checkpoint is a logged cold start,
+//! never a seating failure. A mid-stream `Promote` frame ships a
+//! tenant's shadow table to live in stream position (see
+//! `clr-serve promote`).
+//!
 //! Flag parsing is strict: an unknown or typo'd `--flag` is a usage
 //! error.
 //!
@@ -39,7 +47,7 @@ use clr_serve::{serve_stream, DaemonConfig, ReplayReport};
 
 const USAGE: &str = "usage: clr-served --tenant NAME=SNAP@POLICY.. \
 [--batch N] [--threads N] [--episode-cycles C] [--quarantine-after K] [--telemetry BOOL] \
-[--obs-dir DIR]";
+[--obs-dir DIR] [--learn-dir DIR]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -51,6 +59,7 @@ fn main() -> ExitCode {
         "quarantine-after",
         "telemetry",
         "obs-dir",
+        "learn-dir",
     ];
     let (positional, flags) = match split_flags(&args, &allowed) {
         Ok(p) => p,
@@ -91,6 +100,9 @@ fn main() -> ExitCode {
             other => return usage_error(&format!("bad --telemetry {other:?} (true or false)")),
         }
     }
+    if let Some(dir) = flag(&flags, "learn-dir") {
+        config.learn_dir = Some(std::path::PathBuf::from(dir));
+    }
     let tenants = match parse_fleet(&flags) {
         Ok(t) => t,
         Err(e) => return usage_error(&e),
@@ -122,14 +134,23 @@ fn main() -> ExitCode {
                     eprintln!("{line}");
                 }
             }
+            for note in &report.learn_notes {
+                eprintln!("clr-served: {note}");
+            }
+            for line in
+                ReplayReport::from_parts(report.outcomes.clone(), dropped.clone()).ab_lines()
+            {
+                eprintln!("{line}");
+            }
             eprintln!(
                 "clr-served: drained — {} served, {} rejected, {} batches, {} stats, \
-                 {} swaps ({})",
+                 {} swaps, {} promotes ({})",
                 report.served,
                 report.rejected,
                 report.batches,
                 report.stats,
                 report.swaps,
+                report.promotes,
                 if report.clean_shutdown {
                     "shutdown frame"
                 } else {

@@ -24,12 +24,13 @@
 //! journaled like any absorbed fault and counted toward quarantine.
 
 use clr_chaos::FaultKind;
-use clr_runtime::{AdaptationPolicy, HvPolicy, RuntimeContext};
+use clr_learn::LearnerState;
+use clr_runtime::{DecisionInput, Feedback, HvPolicy, RuntimeContext, RuntimePolicy};
 
-use crate::wire::SwapStatus;
+use crate::wire::{PromoteStatus, SwapStatus};
 use crate::{
-    DecisionRecord, HealthState, LineageSnapshot, ReplayConfig, ServeStatus, SwapRecord, Tenant,
-    TenantOutcome, TraceEvent,
+    DecisionRecord, HealthState, LineageSnapshot, PromoteRecord, ReplayConfig, ServeStatus,
+    SwapRecord, Tenant, TenantOutcome, TraceEvent,
 };
 
 /// The decision-layer fault kinds, in the fixed priority order used when
@@ -57,7 +58,11 @@ pub struct TenantSession<'a> {
     /// artifact): the ladder's terminal case, every event quarantines.
     ctx: Option<RuntimeContext<'a>>,
     baseline: HvPolicy,
-    policy: Box<dyn AdaptationPolicy>,
+    policy: Box<dyn RuntimePolicy>,
+    /// The online learner, when the tenant's spec is `aura+learn:` —
+    /// it decides and observes *instead of* `policy`, so a quarantined
+    /// session (which never observes) freezes learning automatically.
+    learn: Option<LearnerState>,
     current: usize,
     lkg: Option<usize>,
     consecutive_faults: usize,
@@ -106,6 +111,9 @@ impl<'a> TenantSession<'a> {
             generation: tenant.generation(),
             swaps: Vec::new(),
             decisions: Vec::new(),
+            shadows: Vec::new(),
+            promotes: Vec::new(),
+            learn: None,
             health: HealthState::new(),
         };
         let ctx = match RuntimeContext::try_new(tenant.graph(), tenant.platform(), tenant.db()) {
@@ -122,6 +130,14 @@ impl<'a> TenantSession<'a> {
             outcome.health.last_status = ServeStatus::Quarantined;
             outcome.health.note_quarantine_entry();
         }
+        let learn = tenant.policy().learn_config().map(|cfg| {
+            LearnerState::new(tenant.name(), tenant.db().len(), tenant.generation(), cfg)
+                // clr-audit: allow(CLR105) Tenant::from_parts validates every spec this builds
+                .expect("checked by PolicySpec::validate")
+        });
+        if let Some(l) = &learn {
+            outcome.learn = Some(crate::LearnSummary::of(l));
+        }
         Self {
             tenant,
             tenant_idx,
@@ -129,6 +145,7 @@ impl<'a> TenantSession<'a> {
             ctx,
             baseline: HvPolicy::new(),
             policy: tenant.policy().build(tenant.db().len()),
+            learn,
             current: tenant.initial_point(),
             lkg: None,
             consecutive_faults: 0,
@@ -233,6 +250,14 @@ impl<'a> TenantSession<'a> {
                     .collect();
                 self.ctx = Some(ctx);
                 self.policy = self.tenant.policy().build(points);
+                // The learner survives the hot-swap: tables re-seat to
+                // the new point count, counters and regret accumulators
+                // carry over (checkpoint lineage follows the new
+                // generation).
+                if let Some(l) = self.learn.as_mut() {
+                    l.reseat(points, to_gen);
+                    self.outcome.learn = Some(crate::LearnSummary::of(l));
+                }
                 self.current = self.tenant.initial_point().min(points - 1);
                 self.lkg = None;
                 self.consecutive_faults = 0;
@@ -267,6 +292,84 @@ impl<'a> TenantSession<'a> {
         };
         self.outcome.swaps.push(record.clone());
         record
+    }
+
+    /// Promotes the tenant's candidate policy over its incumbent,
+    /// between decisions. Deterministic given the stream position it is
+    /// applied at — the daemon applies it batch-flush-first, like
+    /// `SwapDb`. A tenant without a learner records the refusal.
+    pub fn promote(&mut self) -> PromoteRecord {
+        let record = match self.learn.as_mut() {
+            Some(l) => {
+                l.promote();
+                let promotions = l.promotions();
+                self.outcome.learn = Some(crate::LearnSummary::of(l));
+                PromoteRecord {
+                    event: self.outcome.events,
+                    promotions,
+                    status: PromoteStatus::Promoted,
+                }
+            }
+            None => PromoteRecord {
+                event: self.outcome.events,
+                promotions: 0,
+                status: PromoteStatus::NoLearner,
+            },
+        };
+        self.outcome.promotes.push(record.clone());
+        record
+    }
+
+    /// The live learner, when the tenant's spec asks for online
+    /// learning — checkpoint it with [`LearnerState::to_bytes`].
+    pub fn learner(&self) -> Option<&LearnerState> {
+        self.learn.as_ref()
+    }
+
+    /// Restores learner state from a decoded checkpoint (a restart's
+    /// warm start). The checkpoint must belong to this tenant, carry
+    /// the same hyper-parameters, and index the same number of stored
+    /// points at the same generation as the serving database.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the first mismatch; the session
+    /// keeps its current learner state on any error.
+    pub fn restore_learner(&mut self, state: LearnerState) -> Result<(), String> {
+        let Some(live) = self.learn.as_mut() else {
+            return Err(format!(
+                "tenant {:?} has no learner (policy {})",
+                self.tenant.name(),
+                self.tenant.policy()
+            ));
+        };
+        if state.tenant() != self.tenant.name() {
+            return Err(format!(
+                "checkpoint belongs to tenant {:?}, not {:?}",
+                state.tenant(),
+                self.tenant.name()
+            ));
+        }
+        if state.config() != live.config() {
+            return Err("checkpoint hyper-parameters differ from the tenant's spec".to_string());
+        }
+        if state.points() != self.outcome.points {
+            return Err(format!(
+                "checkpoint indexes {} points, the serving database stores {}",
+                state.points(),
+                self.outcome.points
+            ));
+        }
+        if state.generation() != self.outcome.generation {
+            return Err(format!(
+                "checkpoint is for generation {}, the session serves generation {}",
+                state.generation(),
+                self.outcome.generation
+            ));
+        }
+        *live = state;
+        self.outcome.learn = Some(crate::LearnSummary::of(live));
+        Ok(())
     }
 
     /// The accumulated outcome (identical to what a batch replay of the
@@ -343,7 +446,10 @@ impl<'a> TenantSession<'a> {
 
         if self.config.episode_cycles.is_finite() && self.config.episode_cycles > 0.0 {
             while self.next_episode_end <= time {
-                self.policy.end_episode();
+                match self.learn.as_mut() {
+                    Some(l) => l.end_episode(),
+                    None => self.policy.end_episode(),
+                }
                 self.next_episode_end += self.config.episode_cycles;
             }
         }
@@ -367,9 +473,19 @@ impl<'a> TenantSession<'a> {
 
         let (to, violated, score, p_rc, status) = match fault {
             None => {
-                let (decision, score, p_rc) =
-                    self.policy
-                        .decide_scored_from(ctx, self.current, &spec, &self.feas_buf);
+                let input = DecisionInput {
+                    ctx,
+                    current: self.current,
+                    spec: &spec,
+                    feasible: &self.feas_buf,
+                };
+                // The learner fronts the base policy when the spec asks
+                // for online learning; both speak `RuntimePolicy`.
+                let outcome = match self.learn.as_mut() {
+                    Some(l) => l.decide(&input),
+                    None => self.policy.decide(&input),
+                };
+                let (decision, score, p_rc) = (outcome.choice, outcome.score, outcome.p_rc);
                 match decision {
                     Some(p) => (p, false, score, p_rc, ServeStatus::Normal),
                     None => (self.current, true, score, p_rc, ServeStatus::Normal),
@@ -394,7 +510,28 @@ impl<'a> TenantSession<'a> {
             }
         };
         let drc = ctx.drc(self.current, to);
-        self.policy.observe(ctx, self.current, to);
+        let feedback = Feedback {
+            ctx,
+            from: self.current,
+            to,
+        };
+        match self.learn.as_mut() {
+            // The learner observes every *executed* transition —
+            // including ladder-served ones its decide never picked: the
+            // candidate learns from reality, not from its own plan.
+            Some(l) => l.observe(&feedback),
+            None => self.policy.observe(&feedback),
+        }
+        // Harvest the shadow evaluation of a clean scored decision,
+        // stamped with the stream ordinal (the learner counts only its
+        // own scored decisions; the journal speaks stream positions).
+        if let Some(l) = self.learn.as_mut() {
+            if let Some(mut shadow) = l.take_shadow() {
+                shadow.event = self.outcome.events;
+                self.outcome.shadows.push(shadow);
+            }
+            self.outcome.learn = Some(crate::LearnSummary::of(l));
+        }
 
         if violated {
             self.outcome.violations += 1;

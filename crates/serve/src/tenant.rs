@@ -9,8 +9,9 @@
 use std::fmt;
 
 use clr_dse::DesignPointDb;
+use clr_learn::LearnConfig;
 use clr_platform::Platform;
-use clr_runtime::{AdaptationPolicy, AuraAgent, HvPolicy, UraPolicy};
+use clr_runtime::{AuraAgent, HvPolicy, RuntimePolicy, UraPolicy};
 use clr_taskgraph::TaskGraph;
 
 use crate::{is_plain_name, Snapshot, SnapshotError};
@@ -18,12 +19,16 @@ use crate::{is_plain_name, Snapshot, SnapshotError};
 /// Which adaptation policy a tenant runs, with its parameters.
 ///
 /// The textual form (CLI / config files) is `ura:<p_rc>`,
-/// `aura:<p_rc>,<gamma>,<alpha>`, or `hv`:
+/// `aura:<p_rc>,<gamma>,<alpha>`,
+/// `aura+learn:<p_rc>,<gamma>,<alpha>,<epsilon>@<seed>`, or `hv`:
 ///
 /// ```
 /// use clr_serve::PolicySpec;
 /// let p: PolicySpec = "aura:0.5,0.6,0.1".parse().unwrap();
 /// assert_eq!(p.to_string(), "aura:0.5,0.6,0.1");
+/// let l: PolicySpec = "aura+learn:0.5,0.6,0.1,0.05@7".parse().unwrap();
+/// assert_eq!(l.to_string(), "aura+learn:0.5,0.6,0.1,0.05@7");
+/// assert!(l.learn_config().is_some());
 /// assert!("ura:1.5".parse::<PolicySpec>().is_err());
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -33,7 +38,7 @@ pub enum PolicySpec {
         /// User modulation parameter `p_RC ∈ [0, 1]`.
         p_rc: f64,
     },
-    /// The AuRA reinforcement-learning agent.
+    /// The AuRA reinforcement-learning agent (frozen at serve time).
     Aura {
         /// User modulation parameter `p_RC ∈ [0, 1]`.
         p_rc: f64,
@@ -41,6 +46,20 @@ pub enum PolicySpec {
         gamma: f64,
         /// Learning rate `α ∈ (0, 1]`.
         alpha: f64,
+    },
+    /// Online AuRA: in-loop learning with shadow evaluation, seeded A/B
+    /// rollout, and reconfiguration prefetch (the v2 spec grammar).
+    AuraLearn {
+        /// User modulation parameter `p_RC ∈ [0, 1]`.
+        p_rc: f64,
+        /// Discount factor `γ ∈ [0, 1)`.
+        gamma: f64,
+        /// Learning rate `α ∈ (0, 1]` of the candidate's TD updates.
+        alpha: f64,
+        /// Exploration rate `ε ∈ [0, 1)` of the serving candidate.
+        epsilon: f64,
+        /// Seed of the A/B assignment and the exploration stream.
+        seed: u64,
     },
     /// The hypervolume baseline (Rehman et al., ref. 11).
     Hv,
@@ -66,21 +85,61 @@ impl PolicySpec {
                 AuraAgent::new(1, p_rc, gamma, alpha)
                     .map_err(|v| format!("aura parameter {v} out of range"))?;
             }
+            Self::AuraLearn {
+                p_rc,
+                gamma,
+                alpha,
+                epsilon,
+                seed,
+            } => {
+                LearnConfig::new(p_rc, gamma, alpha, epsilon, seed)?;
+            }
             Self::Hv => {}
         }
         Ok(())
     }
 
+    /// The learner hyper-parameters this spec carries, `None` for the
+    /// frozen policies. A session with a learn config attaches a
+    /// [`clr_learn::LearnerState`] in front of the base policy.
+    pub fn learn_config(&self) -> Option<LearnConfig> {
+        match *self {
+            Self::AuraLearn {
+                p_rc,
+                gamma,
+                alpha,
+                epsilon,
+                seed,
+            } => Some(LearnConfig {
+                p_rc,
+                gamma,
+                alpha,
+                epsilon,
+                seed,
+            }),
+            Self::Ura { .. } | Self::Aura { .. } | Self::Hv => None,
+        }
+    }
+
     /// Instantiates a fresh policy over `num_states` stored points.
     /// Engines build one instance per replay, never sharing learned
     /// state across replays — a replay is a pure function of its inputs.
-    pub fn build(&self, num_states: usize) -> Box<dyn AdaptationPolicy> {
+    pub fn build(&self, num_states: usize) -> Box<dyn RuntimePolicy> {
         match *self {
             Self::Ura { p_rc } => {
                 // clr-audit: allow(CLR105) Tenant::from_parts validates every spec this builds
                 Box::new(UraPolicy::new(p_rc).expect("checked by PolicySpec::validate"))
             }
             Self::Aura { p_rc, gamma, alpha } => {
+                let agent = AuraAgent::new(num_states, p_rc, gamma, alpha);
+                // clr-audit: allow(CLR105) Tenant::from_parts validates every spec this builds
+                Box::new(agent.expect("checked by PolicySpec::validate"))
+            }
+            Self::AuraLearn {
+                p_rc, gamma, alpha, ..
+            } => {
+                // The base (incumbent-shaped) agent; the session layers a
+                // `LearnerState` over it when `learn_config()` is `Some`.
                 let agent = AuraAgent::new(num_states, p_rc, gamma, alpha);
                 // clr-audit: allow(CLR105) Tenant::from_parts validates every spec this builds
                 Box::new(agent.expect("checked by PolicySpec::validate"))
@@ -95,6 +154,13 @@ impl fmt::Display for PolicySpec {
         match self {
             Self::Ura { p_rc } => write!(f, "ura:{p_rc}"),
             Self::Aura { p_rc, gamma, alpha } => write!(f, "aura:{p_rc},{gamma},{alpha}"),
+            Self::AuraLearn {
+                p_rc,
+                gamma,
+                alpha,
+                epsilon,
+                seed,
+            } => write!(f, "aura+learn:{p_rc},{gamma},{alpha},{epsilon}@{seed}"),
             Self::Hv => write!(f, "hv"),
         }
     }
@@ -125,8 +191,39 @@ impl std::str::FromStr for PolicySpec {
                 .map_err(|v| format!("aura parameter {v} out of range"))?;
             return Ok(Self::Aura { p_rc, gamma, alpha });
         }
+        if let Some(args) = s.strip_prefix("aura+learn:") {
+            // v2 grammar: four comma-separated floats, then `@<seed>`.
+            let (nums, seed_text) = args
+                .split_once('@')
+                .ok_or_else(|| format!("aura+learn needs @<seed> — got {args:?}"))?;
+            let parts: Vec<&str> = nums.split(',').collect();
+            if parts.len() != 4 {
+                return Err(format!(
+                    "aura+learn takes p_rc,gamma,alpha,epsilon@seed — got {args:?}"
+                ));
+            }
+            let num = |p: &str| p.parse::<f64>().map_err(|_| format!("bad number {p:?}"));
+            let (p_rc, gamma, alpha, epsilon) = (
+                num(parts[0])?,
+                num(parts[1])?,
+                num(parts[2])?,
+                num(parts[3])?,
+            );
+            let seed: u64 = seed_text
+                .parse()
+                .map_err(|_| format!("bad seed {seed_text:?}"))?;
+            LearnConfig::new(p_rc, gamma, alpha, epsilon, seed)?;
+            return Ok(Self::AuraLearn {
+                p_rc,
+                gamma,
+                alpha,
+                epsilon,
+                seed,
+            });
+        }
         Err(format!(
-            "unknown policy {s:?} (expected ura:<p_rc>, aura:<p_rc>,<gamma>,<alpha>, or hv)"
+            "unknown policy {s:?} (expected ura:<p_rc>, aura:<p_rc>,<gamma>,<alpha>, \
+             aura+learn:<p_rc>,<gamma>,<alpha>,<epsilon>@<seed>, or hv)"
         ))
     }
 }
@@ -287,7 +384,15 @@ mod tests {
 
     #[test]
     fn policy_specs_parse_and_display() {
-        for text in ["ura:0.5", "ura:0", "ura:1", "aura:0.5,0.6,0.1", "hv"] {
+        for text in [
+            "ura:0.5",
+            "ura:0",
+            "ura:1",
+            "aura:0.5,0.6,0.1",
+            "aura+learn:0.5,0.6,0.1,0.05@7",
+            "aura+learn:0.5,0.6,0.1,0@0",
+            "hv",
+        ] {
             let p: PolicySpec = text.parse().unwrap();
             assert_eq!(p.to_string(), text);
         }
@@ -300,6 +405,53 @@ mod tests {
         assert!("aura:0.5,1.0,0.1".parse::<PolicySpec>().is_err()); // γ < 1
         assert!("aura:0.5,0.5".parse::<PolicySpec>().is_err());
         assert!("mystery".parse::<PolicySpec>().is_err());
+        // v2 grammar: strict about arity, the @seed marker, and ranges.
+        assert!("aura+learn:0.5,0.6,0.1,0.05".parse::<PolicySpec>().is_err()); // no @seed
+        assert!("aura+learn:0.5,0.6,0.1@7".parse::<PolicySpec>().is_err()); // 3 floats
+        assert!("aura+learn:0.5,0.6,0.1,1.5@7"
+            .parse::<PolicySpec>()
+            .is_err()); // ε ≥ 1
+        assert!("aura+learn:0.5,0.6,0.1,0.05@x"
+            .parse::<PolicySpec>()
+            .is_err()); // bad seed
+        assert!("aura+learn:0.5,0.6,0.1,0.05@-1"
+            .parse::<PolicySpec>()
+            .is_err());
+    }
+
+    #[test]
+    fn learn_config_is_carried_by_the_v2_spec_only() {
+        let l: PolicySpec = "aura+learn:0.5,0.6,0.1,0.05@7".parse().unwrap();
+        let cfg = l.learn_config().unwrap();
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.epsilon, 0.05);
+        assert!("aura:0.5,0.6,0.1"
+            .parse::<PolicySpec>()
+            .unwrap()
+            .learn_config()
+            .is_none());
+        assert!(PolicySpec::Hv.learn_config().is_none());
+    }
+
+    proptest::proptest! {
+        /// v1 and v2 spec grammars round-trip through Display ↔ FromStr.
+        #[test]
+        fn policy_spec_round_trips(
+            p_rc in 0.0f64..=1.0,
+            gamma in 0.0f64..0.999,
+            alpha in 0.001f64..=1.0,
+            epsilon in 0.0f64..0.999,
+            seed in 0u64..=u64::MAX,
+        ) {
+            for spec in [
+                PolicySpec::Ura { p_rc },
+                PolicySpec::Aura { p_rc, gamma, alpha },
+                PolicySpec::AuraLearn { p_rc, gamma, alpha, epsilon, seed },
+            ] {
+                let back: PolicySpec = spec.to_string().parse().unwrap();
+                proptest::prop_assert_eq!(back, spec);
+            }
+        }
     }
 
     #[test]

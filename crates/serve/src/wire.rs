@@ -11,7 +11,8 @@
 //! 8       2     protocol version, u16 LE (currently 1)
 //! 10      1     frame kind, u8 (1 request, 2 response, 3 error,
 //!               4 shutdown, 5 stats request, 6 stats response,
-//!               7 swap-db request, 8 swap-db response)
+//!               7 swap-db request, 8 swap-db response,
+//!               9 promote request, 10 promote response)
 //! 11      5     reserved, must be 0
 //! 16      8     payload length in bytes, u64 LE (capped at 64 KiB)
 //! 24      8     FNV-1a 64 checksum of the payload, u64 LE
@@ -58,6 +59,13 @@
 //!   u8 (0 swapped, 1 verify-failed, 2 unknown-tenant, 3 io-error),
 //!   active generation u64 — the generation actually serving after the
 //!   attempt, i.e. the last-known-good one when the swap was refused.
+//! - **Promote request** (`kind = 9`): `seq` u64, tenant name. Asks
+//!   the daemon to promote the tenant's shadow (candidate) value table
+//!   to live — the A/B rollout's "ship it" step. Only meaningful for
+//!   tenants running an `aura+learn` policy.
+//! - **Promote response** (`kind = 10`): `seq` u64, tenant name,
+//!   status u8 (0 promoted, 1 no-learner, 2 unknown-tenant), total
+//!   promotions u64 applied to that tenant so far (0 when refused).
 //!
 //! A decoder rejects bad magic, unsupported versions, unknown kinds,
 //! nonzero reserved bytes, over-cap or mismatched lengths and checksum
@@ -111,6 +119,10 @@ pub enum Frame {
     SwapDb(SwapDbRequest),
     /// The outcome of one swap command.
     SwapDbResponse(SwapDbResponse),
+    /// A shadow→live policy promotion command.
+    Promote(PromoteRequest),
+    /// The outcome of one promotion command.
+    PromoteResponse(PromoteResponse),
 }
 
 /// The wire form of one QoS event (`kind = 1`).
@@ -272,6 +284,71 @@ pub struct SwapDbResponse {
     /// last-known-good one when the swap was refused; 0 for an unknown
     /// tenant).
     pub generation: u64,
+}
+
+/// A shadow→live policy promotion command (`kind = 9`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PromoteRequest {
+    /// Client-chosen sequence number, echoed on the response.
+    pub seq: u64,
+    /// The tenant whose candidate table is promoted.
+    pub tenant: String,
+}
+
+/// How one promotion command ended (`kind = 10`, the `status` byte).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PromoteStatus {
+    /// The shadow table now serves as the live incumbent.
+    Promoted,
+    /// The tenant exists but runs a non-learning policy; nothing to
+    /// promote.
+    NoLearner,
+    /// No such tenant in the fleet.
+    UnknownTenant,
+}
+
+impl PromoteStatus {
+    /// Stable wire code (append-only).
+    pub fn code(self) -> u8 {
+        match self {
+            Self::Promoted => 0,
+            Self::NoLearner => 1,
+            Self::UnknownTenant => 2,
+        }
+    }
+
+    /// Decodes a wire code.
+    pub fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(Self::Promoted),
+            1 => Some(Self::NoLearner),
+            2 => Some(Self::UnknownTenant),
+            _ => None,
+        }
+    }
+
+    /// Stable lowercase label (journal/summary vocabulary).
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Promoted => "promoted",
+            Self::NoLearner => "no-learner",
+            Self::UnknownTenant => "unknown-tenant",
+        }
+    }
+}
+
+/// The outcome of one promotion command (`kind = 10`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PromoteResponse {
+    /// The command's sequence number.
+    pub seq: u64,
+    /// The tenant addressed.
+    pub tenant: String,
+    /// What happened.
+    pub status: PromoteStatus,
+    /// Total promotions applied to this tenant so far (0 when the
+    /// command was refused).
+    pub promotions: u64,
 }
 
 /// A request-level failure (`kind = 3`).
@@ -523,6 +600,8 @@ impl Frame {
             Self::StatsResponse(_) => 6,
             Self::SwapDb(_) => 7,
             Self::SwapDbResponse(_) => 8,
+            Self::Promote(_) => 9,
+            Self::PromoteResponse(_) => 10,
         }
     }
 
@@ -604,6 +683,16 @@ impl Frame {
                 payload.name(&s.tenant);
                 payload.u8(s.status.code());
                 payload.u64(s.generation);
+            }
+            Self::Promote(p) => {
+                payload.u64(p.seq);
+                payload.name(&p.tenant);
+            }
+            Self::PromoteResponse(p) => {
+                payload.u64(p.seq);
+                payload.name(&p.tenant);
+                payload.u8(p.status.code());
+                payload.u64(p.promotions);
             }
         }
         let payload = payload.bytes;
@@ -782,6 +871,25 @@ impl Frame {
                     generation,
                 })
             }
+            9 => {
+                let seq = r.u64()?;
+                let tenant = r.name()?;
+                Self::Promote(PromoteRequest { seq, tenant })
+            }
+            10 => {
+                let seq = r.u64()?;
+                let tenant = r.name()?;
+                let status = PromoteStatus::from_code(r.u8()?).ok_or_else(|| {
+                    WireError::Malformed("unknown promote status code".to_string())
+                })?;
+                let promotions = r.u64()?;
+                Self::PromoteResponse(PromoteResponse {
+                    seq,
+                    tenant,
+                    status,
+                    promotions,
+                })
+            }
             other => return Err(WireError::BadKind { kind: other }),
         };
         r.finish()?;
@@ -879,7 +987,7 @@ fn decode_header(header: &[u8]) -> Result<(u8, usize, u64), WireError> {
         return Err(WireError::UnsupportedVersion { version });
     }
     let kind = header[10];
-    if !(1..=8).contains(&kind) {
+    if !(1..=10).contains(&kind) {
         return Err(WireError::BadKind { kind });
     }
     if header[11..16] != [0u8; 5] {
@@ -1247,6 +1355,78 @@ mod tests {
         .to_bytes();
         let mut payload = good[WIRE_HEADER_LEN..].to_vec();
         let status_at = payload.len() - 9; // status byte precedes the u64 generation
+        payload[status_at] = 9;
+        let mut bytes = good[..WIRE_HEADER_LEN].to_vec();
+        bytes[24..32].copy_from_slice(&fnv1a64(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        assert!(matches!(
+            Frame::from_bytes(&bytes),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn promote_frames_round_trip() {
+        let frames = [
+            Frame::Promote(PromoteRequest {
+                seq: 31,
+                tenant: "cam0".into(),
+            }),
+            Frame::PromoteResponse(PromoteResponse {
+                seq: 31,
+                tenant: "cam0".into(),
+                status: PromoteStatus::Promoted,
+                promotions: 2,
+            }),
+            Frame::PromoteResponse(PromoteResponse {
+                seq: 32,
+                tenant: "nav".into(),
+                status: PromoteStatus::NoLearner,
+                promotions: 0,
+            }),
+        ];
+        for frame in frames {
+            let bytes = frame.to_bytes();
+            let (decoded, consumed) = Frame::from_bytes(&bytes).unwrap();
+            assert_eq!(consumed, bytes.len());
+            assert_eq!(decoded, frame);
+        }
+        // Every status code survives the wire.
+        for status in [
+            PromoteStatus::Promoted,
+            PromoteStatus::NoLearner,
+            PromoteStatus::UnknownTenant,
+        ] {
+            assert_eq!(PromoteStatus::from_code(status.code()), Some(status));
+        }
+        assert_eq!(PromoteStatus::from_code(9), None);
+    }
+
+    #[test]
+    fn corrupt_promote_frames_are_rejected() {
+        // Payload bit flip → checksum mismatch.
+        let mut bytes = Frame::Promote(PromoteRequest {
+            seq: 1,
+            tenant: "t".into(),
+        })
+        .to_bytes();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        assert!(matches!(
+            Frame::from_bytes(&bytes),
+            Err(WireError::ChecksumMismatch { .. })
+        ));
+
+        // An unknown status code is malformed.
+        let good = Frame::PromoteResponse(PromoteResponse {
+            seq: 2,
+            tenant: "t".into(),
+            status: PromoteStatus::Promoted,
+            promotions: 0,
+        })
+        .to_bytes();
+        let mut payload = good[WIRE_HEADER_LEN..].to_vec();
+        let status_at = payload.len() - 9; // status byte precedes the u64 count
         payload[status_at] = 9;
         let mut bytes = good[..WIRE_HEADER_LEN].to_vec();
         bytes[24..32].copy_from_slice(&fnv1a64(&payload).to_le_bytes());

@@ -1,0 +1,243 @@
+//! Online-learning determinism properties.
+//!
+//! The `aura+learn:` serving path adds three moving parts on top of the
+//! batch engine — incremental value updates, shadow scoring with
+//! counterfactual regret, and reconfiguration prefetch — and every one
+//! of them must stay a pure function of the tenant's serial event
+//! stream. These tests pin that down:
+//!
+//! - batch replay of a learning fleet is **byte-identical** (decisions
+//!   CSV and obs journal, shadow events included) at engine thread
+//!   counts 1 and 8;
+//! - a daemon serving the same fleet writes **byte-identical** `CLRLRN1`
+//!   checkpoints at `--threads 1` and `8`;
+//! - the A/B arm of every learner agrees with the deterministic
+//!   [`clr_learn::assign_variant`] of its `(seed, tenant)`;
+//! - the journal-refolded A/B report agrees with the live one;
+//! - a quarantined tenant's learner is **frozen** — quarantine recording
+//!   never updates value tables.
+
+use std::sync::OnceLock;
+
+use clr_chaos::{FaultKind, FaultPlan, FaultRates};
+use clr_dse::{explore_based, DseConfig, ExplorationMode};
+use clr_moea::GaParams;
+use clr_obs::{Obs, ObsMode};
+use clr_platform::Platform;
+use clr_reliability::{ConfigSpace, FaultModel};
+use clr_serve::wire::{Frame, Request};
+use clr_serve::{
+    ab_report_from_journal, generate_trace, replay, serve_stream, DaemonConfig, PolicySpec,
+    ReplayConfig, ReplayReport, ServeStatus, Tenant, TenantSession,
+};
+use clr_taskgraph::{TgffConfig, TgffGenerator};
+use proptest::prelude::*;
+
+const LEARN_SEED: u64 = 7;
+
+fn tenant(name: &str, seed: u64, policy: PolicySpec) -> Tenant {
+    let graph = TgffGenerator::new(TgffConfig::with_tasks(8)).generate(seed);
+    let platform = Platform::dac19();
+    let cfg = DseConfig {
+        ga: GaParams::small(),
+        mode: ExplorationMode::Full,
+        reference: None,
+        max_points: None,
+    };
+    let db = explore_based(
+        &graph,
+        &platform,
+        FaultModel::default(),
+        ConfigSpace::fine(),
+        &cfg,
+        seed,
+    );
+    Tenant::from_parts(name, graph, platform, db, policy).unwrap()
+}
+
+fn learn_spec() -> PolicySpec {
+    PolicySpec::AuraLearn {
+        p_rc: 0.5,
+        gamma: 0.6,
+        alpha: 0.2,
+        epsilon: 0.1,
+        seed: LEARN_SEED,
+    }
+}
+
+/// Three learning tenants plus one frozen `aura:` control — expensive
+/// to explore, so built once (tenants are immutable; sessions own all
+/// state).
+fn fleet() -> &'static [Tenant] {
+    static FLEET: OnceLock<Vec<Tenant>> = OnceLock::new();
+    FLEET.get_or_init(|| {
+        vec![
+            tenant("cam0", 91, learn_spec()),
+            tenant("nav", 92, learn_spec()),
+            tenant("audio", 93, learn_spec()),
+            tenant(
+                "radar",
+                94,
+                PolicySpec::Aura {
+                    p_rc: 0.5,
+                    gamma: 0.6,
+                    alpha: 0.1,
+                },
+            ),
+        ]
+    })
+}
+
+/// Renders a report's byte-comparable artifacts: the decisions CSV and
+/// the deterministic journal section.
+fn render(report: &ReplayReport) -> (String, String) {
+    let obs = Obs::new(ObsMode::Json);
+    report.emit_obs(&obs);
+    (
+        report.decisions_csv(),
+        obs.render_det_jsonl_labeled("learn"),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn learn_replay_is_byte_identical_across_threads(
+        seed in 0u64..1_000_000,
+        cycles in 500.0f64..3_000.0,
+    ) {
+        let tenants = fleet();
+        let trace = generate_trace(tenants, seed, cycles, 100.0);
+        let one = replay(tenants, &trace, &ReplayConfig { threads: 1, ..ReplayConfig::default() }).unwrap();
+        let eight = replay(tenants, &trace, &ReplayConfig { threads: 8, ..ReplayConfig::default() }).unwrap();
+        prop_assert_eq!(one.outcomes(), eight.outcomes());
+        let (csv_one, journal_one) = render(&one);
+        let (csv_eight, journal_eight) = render(&eight);
+        prop_assert_eq!(&csv_one, &csv_eight, "decisions CSV must be byte-identical");
+        prop_assert_eq!(&journal_one, &journal_eight, "journal (shadow events included) must be byte-identical");
+        prop_assert!(journal_one.contains("\"type\":\"shadow\""), "learning tenants journal shadow events");
+        // The journal-refolded A/B report and the live report agree line
+        // for line on everything the journal can see.
+        let refolded = ab_report_from_journal(&journal_one).unwrap();
+        prop_assert!(!refolded.is_empty());
+        let live = one.ab_lines();
+        prop_assert!(!live.is_empty());
+        for o in one.outcomes().iter().filter(|o| o.learn.is_some()) {
+            let l = o.learn.unwrap();
+            // Seeded A/B assignment is a pure function of (seed, name).
+            prop_assert_eq!(l.variant, clr_learn::assign_variant(LEARN_SEED, &o.name));
+            let refold_line = refolded.iter().find(|line| line.starts_with(&format!("tenant {}:", o.name))).unwrap();
+            prop_assert!(
+                refold_line.contains(&format!("regret live {} shadow {}", l.cum_live_regret, l.cum_shadow_regret)),
+                "journal refold disagrees: {} vs live {:?}", refold_line, l
+            );
+        }
+        // The frozen control tenant carries no learner.
+        let radar = one.outcomes().iter().find(|o| o.name == "radar").unwrap();
+        prop_assert!(radar.learn.is_none());
+        prop_assert!(radar.shadows.is_empty());
+    }
+
+    #[test]
+    fn daemon_checkpoints_are_byte_identical_across_threads(
+        seed in 0u64..1_000_000,
+    ) {
+        let tenants = fleet();
+        let trace = generate_trace(tenants, seed, 1_500.0, 100.0);
+        let mut bytes = Vec::new();
+        for (i, event) in trace.events().iter().enumerate() {
+            bytes.extend_from_slice(&Frame::Request(Request::from_event(i as u64 + 1, event)).to_bytes());
+        }
+        bytes.extend_from_slice(&Frame::Shutdown.to_bytes());
+        let dir = std::env::temp_dir().join(format!("clr-serve-learn-prop-{seed}"));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut checkpoints: Vec<Vec<Vec<u8>>> = Vec::new();
+        for threads in [1usize, 8] {
+            let learn_dir = dir.join(format!("threads-{threads}"));
+            let config = DaemonConfig {
+                batch: 5,
+                replay: ReplayConfig { threads, ..ReplayConfig::default() },
+                learn_dir: Some(learn_dir.clone()),
+            };
+            let mut input = std::io::Cursor::new(bytes.clone());
+            let mut output = Vec::new();
+            let report = serve_stream(tenants, &mut input, &mut output, &config).unwrap();
+            prop_assert!(report.clean_shutdown);
+            let cp: Vec<Vec<u8>> = ["cam0", "nav", "audio"]
+                .iter()
+                .map(|name| std::fs::read(learn_dir.join(format!("{name}.learn"))).unwrap())
+                .collect();
+            prop_assert!(cp.iter().all(|b| clr_learn::is_learn_checkpoint(b)));
+            // The frozen control tenant never writes a checkpoint.
+            prop_assert!(!learn_dir.join("radar.learn").exists());
+            checkpoints.push(cp);
+        }
+        prop_assert_eq!(
+            &checkpoints[0], &checkpoints[1],
+            "checkpoint bytes must be byte-identical at threads 1 and 8"
+        );
+        // Every checkpoint round-trips byte-exactly through the codec.
+        for bytes in &checkpoints[0] {
+            let state = clr_learn::LearnerState::from_bytes(bytes).unwrap();
+            prop_assert_eq!(&state.to_bytes(), bytes);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Quarantine is a learning freeze: the session's early return for a
+/// quarantined tenant never calls `decide`/`observe`, so the value
+/// tables, regret accumulators and prefetch counters all stop moving
+/// the moment the tenant enters quarantine.
+#[test]
+fn quarantine_freezes_learning() {
+    let tenants = vec![tenant("solo", 95, learn_spec())];
+    let trace = generate_trace(&tenants, 17, 6_000.0, 100.0);
+    let config = ReplayConfig {
+        faults: FaultPlan::new(3, FaultRates::only(FaultKind::PolicyFailure, 0.6)).unwrap(),
+        quarantine_after: 1,
+        ..ReplayConfig::default()
+    };
+    let mut session = TenantSession::new(&tenants[0], 0, &config);
+    let mut frozen: Option<(u64, f64, f64, u64, u64)> = None;
+    let mut quarantined_events = 0usize;
+    for event in trace.events() {
+        let record = session.feed(event);
+        if record.status != ServeStatus::Quarantined {
+            continue;
+        }
+        quarantined_events += 1;
+        let learner = session.learner().expect("learning tenant has a learner");
+        let now = (
+            learner.decisions(),
+            learner.cum_live_regret(),
+            learner.cum_shadow_regret(),
+            learner.prefetch_hits() + learner.prefetch_misses(),
+            learner.explored(),
+        );
+        match frozen {
+            None => frozen = Some(now),
+            Some(at_entry) => assert_eq!(
+                now, at_entry,
+                "a quarantined tenant's learner must not move"
+            ),
+        }
+    }
+    assert!(
+        frozen.is_some() && quarantined_events > 1,
+        "the chaos campaign must quarantine the tenant with events left to record \
+         (got {quarantined_events} quarantined events)"
+    );
+    let outcome = session.into_outcome();
+    assert!(outcome.health.quarantine_entries > 0);
+    // Shadow records stop at the freeze too: every recorded shadow
+    // belongs to a served (pre-quarantine) event.
+    let served: Vec<usize> = outcome
+        .decisions
+        .iter()
+        .filter(|d| d.status != ServeStatus::Quarantined)
+        .map(|d| d.event)
+        .collect();
+    assert!(outcome.shadows.iter().all(|s| served.contains(&s.event)));
+}

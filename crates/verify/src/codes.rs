@@ -5,7 +5,7 @@
 //! platforms, `CLR02x` mappings/schedules, `CLR03x` design-point
 //! databases, `CLR04x` run-time policies, `CLR05x` observability
 //! journals, `CLR06x` serving snapshots, `CLR07x` chaos campaigns,
-//! `CLR08x` replicated snapshot stores.
+//! `CLR08x` replicated snapshot stores, `CLR09x` online learners.
 //! Codes are append-only — a retired lint's number is never reused.
 
 use crate::Severity;
@@ -175,11 +175,24 @@ pub enum LintCode {
     /// CLR085: after garbage collection a kept generation's parent chain
     /// no longer reaches a stored root or GC floor.
     GcUnreachableGeneration,
+
+    // ----- online learners (CLR09x) ---------------------------------------
+    /// CLR090: a learner's regret accounting is broken — a shadow-scored
+    /// regret is negative or non-finite, an accumulator is corrupt, or a
+    /// promotion counter runs backwards.
+    RegretAccountingInvalid,
+    /// CLR091: the A/B assignment law is violated — a variant is not the
+    /// seeded assignment of `(seed, tenant)`, changes mid-stream, or the
+    /// serving table disagrees with the arm and promotion history.
+    AbAssignmentMismatch,
+    /// CLR092: a `CLRLRN1` learner checkpoint fails to decode or does not
+    /// survive a decode/re-encode round trip byte-for-byte.
+    LearnCheckpointRoundTripMismatch,
 }
 
 impl LintCode {
     /// Every registered lint, in code order.
-    pub const ALL: [LintCode; 49] = [
+    pub const ALL: [LintCode; 52] = [
         LintCode::GraphCycle,
         LintCode::EdgeEndpointOutOfRange,
         LintCode::EmptyImplementationSet,
@@ -229,6 +242,9 @@ impl LintCode {
         LintCode::MergeNotIdempotent,
         LintCode::MergeNotCommutative,
         LintCode::GcUnreachableGeneration,
+        LintCode::RegretAccountingInvalid,
+        LintCode::AbAssignmentMismatch,
+        LintCode::LearnCheckpointRoundTripMismatch,
     ];
 
     /// The stable `CLRnnn` code string.
@@ -283,6 +299,9 @@ impl LintCode {
             LintCode::MergeNotIdempotent => "CLR083",
             LintCode::MergeNotCommutative => "CLR084",
             LintCode::GcUnreachableGeneration => "CLR085",
+            LintCode::RegretAccountingInvalid => "CLR090",
+            LintCode::AbAssignmentMismatch => "CLR091",
+            LintCode::LearnCheckpointRoundTripMismatch => "CLR092",
         }
     }
 
@@ -392,6 +411,15 @@ impl LintCode {
             }
             LintCode::GcUnreachableGeneration => {
                 "every generation kept by GC must reach a stored root or the GC floor"
+            }
+            LintCode::RegretAccountingInvalid => {
+                "shadow regrets must be finite, non-negative and monotonically accounted"
+            }
+            LintCode::AbAssignmentMismatch => {
+                "the A/B arm must be the seeded assignment and stable per tenant"
+            }
+            LintCode::LearnCheckpointRoundTripMismatch => {
+                "learner checkpoints must survive a decode/re-encode round trip"
             }
         }
     }
@@ -519,6 +547,15 @@ impl LintCode {
             }
             LintCode::GcUnreachableGeneration => {
                 "run clr-store gc again; keep-depth must retain whole parent chains"
+            }
+            LintCode::RegretAccountingInvalid => {
+                "regenerate the artifact; regret is measured against the oracle and cannot go negative"
+            }
+            LintCode::AbAssignmentMismatch => {
+                "do not edit variants by hand; the arm is derived from (seed, tenant)"
+            }
+            LintCode::LearnCheckpointRoundTripMismatch => {
+                "let clr-served write checkpoints at drain; do not hand-edit them"
             }
         }
     }

@@ -4,9 +4,9 @@
 //! Every artifact the methodology produces — task graphs (built, generated
 //! or TGFF-parsed), platform models, mappings, schedules, design-point
 //! databases, runtime-agent policies, observability journals, serving
-//! snapshots, QoS-event traces, fleet telemetry snapshots and replicated
-//! snapshot stores — is
-//! audited against a registry of stable lint codes (`CLR001`–`CLR085`). Each [`LintCode`] carries a
+//! snapshots, QoS-event traces, fleet telemetry snapshots, replicated
+//! snapshot stores and online-learner artifacts — is
+//! audited against a registry of stable lint codes (`CLR001`–`CLR092`). Each [`LintCode`] carries a
 //! severity ([`Severity::Deny`] fails an audit, [`Severity::Warn`] does
 //! not) and a one-line fix hint; findings accumulate in a [`Report`]
 //! renderable for humans or as JSON.
@@ -39,6 +39,7 @@ mod database;
 mod diag;
 mod graph;
 mod journal;
+mod learn;
 mod mapping;
 mod platform;
 mod policy;
@@ -53,6 +54,7 @@ pub use database::{check_database, check_database_standalone, check_drc_matrix};
 pub use diag::{Diagnostic, Report, Severity};
 pub use graph::{check_graph_facts, check_task_graph, GraphFacts};
 pub use journal::check_journal;
+pub use learn::{check_learn_checkpoint, check_shadow_journal};
 pub use mapping::{check_mapping, check_schedule};
 pub use platform::{check_platform, check_platform_facts, check_platform_supports, PlatformFacts};
 pub use policy::{check_aura_subsumes_ura, check_policy_params};

@@ -16,6 +16,10 @@
 //!                                     fleet's tenant names (CLR065)
 //! clr-verify [--json] stats <FILE>..  lint fleet telemetry snapshots
 //!                                     (CLR066–CLR068)
+//! clr-verify [--json] learn <FILE>..  lint online-learner artifacts
+//!                                     (CLR090–CLR092): CLRLRN1
+//!                                     checkpoints, or journals holding
+//!                                     shadow/promote events
 //! clr-verify [--json] store <LOG> [CHANGESET]
 //!                                     lint a clr-store replica log —
 //!                                     lineage, stamps, merge laws, GC
@@ -46,14 +50,14 @@ use clr_taskgraph::{
 use clr_verify::{
     check_aura_subsumes_ura, check_campaign_consistency, check_campaign_csv, check_changeset,
     check_database, check_database_standalone, check_drc_matrix, check_fault_plan, check_journal,
-    check_mapping, check_platform, check_platform_supports, check_policy_params, check_schedule,
-    check_snapshot, check_stats, check_store, check_task_graph, check_trace, Diagnostic, LintCode,
-    Report,
+    check_learn_checkpoint, check_mapping, check_platform, check_platform_supports,
+    check_policy_params, check_schedule, check_shadow_journal, check_snapshot, check_stats,
+    check_store, check_task_graph, check_trace, Diagnostic, LintCode, Report,
 };
 
 const USAGE: &str = "usage: clr-verify [--json] <all | tgff FILE.. | db FILE.. | journal FILE.. \
 | snapshot FILE.. | plan FILE.. | campaign CSV [JOURNAL] | trace FILE NAME,NAME,.. \
-| stats FILE.. | store LOG [CHANGESET] | list>";
+| stats FILE.. | learn FILE.. | store LOG [CHANGESET] | list>";
 
 fn main() -> ExitCode {
     let mut json = false;
@@ -113,6 +117,10 @@ fn main() -> ExitCode {
             Err(code) => return code,
         },
         "stats" => match audit_files(operands, audit_stats_file) {
+            Ok(r) => r,
+            Err(code) => return code,
+        },
+        "learn" => match audit_binary_files(operands, audit_learn_file) {
             Ok(r) => r,
             Err(code) => return code,
         },
@@ -398,6 +406,25 @@ fn audit_stats_file(text: &str, path: &str) -> Result<Report, String> {
         text.len()
     );
     Ok(check_stats(text, path))
+}
+
+/// Lints one online-learner artifact (CLR090–CLR092). The operand is
+/// sniffed by magic: a `CLRLRN1` file audits as a checkpoint, anything
+/// else as journal text whose shadow/promote events are checked.
+fn audit_learn_file(bytes: &[u8], path: &str) -> Report {
+    if clr_learn::is_learn_checkpoint(bytes) {
+        eprintln!(
+            "clr-verify: {path}: learner checkpoint ({} bytes)",
+            bytes.len()
+        );
+        return check_learn_checkpoint(bytes, path);
+    }
+    let text = String::from_utf8_lossy(bytes);
+    eprintln!(
+        "clr-verify: {path}: journal ({} lines)",
+        text.lines().filter(|l| !l.trim().is_empty()).count()
+    );
+    check_shadow_journal(&text, path)
 }
 
 /// Lints one observability journal (either section; see

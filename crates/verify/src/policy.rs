@@ -1,7 +1,7 @@
 //! Runtime-policy lints (`CLR040`–`CLR041`).
 
 use clr_dse::QosSpec;
-use clr_runtime::{AdaptationPolicy, AuraAgent, RuntimeContext, UraPolicy};
+use clr_runtime::{AuraAgent, DecisionInput, RuntimeContext, RuntimePolicy, UraPolicy};
 
 use crate::{Diagnostic, LintCode, Report};
 
@@ -59,8 +59,16 @@ pub fn check_aura_subsumes_ura(
         }
     };
     for (s, spec) in specs.iter().enumerate() {
+        let feasible = ctx.feasible(spec);
         for current in 0..ctx.len() {
-            let via_agent = agent.decide(ctx, current, spec);
+            let via_agent = agent
+                .decide(&DecisionInput {
+                    ctx,
+                    current,
+                    spec,
+                    feasible: &feasible,
+                })
+                .choice;
             let via_ura = ura.select(ctx, current, spec);
             if via_agent != via_ura {
                 report.push(Diagnostic::new(
@@ -86,6 +94,7 @@ mod tests {
     use clr_dse::{DesignPoint, DesignPointDb, PointOrigin};
     use clr_platform::Platform;
     use clr_reliability::FaultModel;
+    use clr_runtime::Feedback;
     use clr_sched::{heft_mapping, Evaluator, Mapping};
     use clr_taskgraph::{jpeg_encoder, TaskGraph};
 
@@ -152,9 +161,21 @@ mod tests {
             // Episode (worse→better, better→worse, worse→better): with
             // α = 1, V(better) absorbs the negative reward of the
             // worse-ward transition while V(worse) stays positive.
-            agent.observe(&ctx, worse, better);
-            agent.observe(&ctx, better, worse);
-            agent.observe(&ctx, worse, better);
+            agent.observe(&Feedback {
+                ctx: &ctx,
+                from: worse,
+                to: better,
+            });
+            agent.observe(&Feedback {
+                ctx: &ctx,
+                from: better,
+                to: worse,
+            });
+            agent.observe(&Feedback {
+                ctx: &ctx,
+                from: worse,
+                to: better,
+            });
             agent.end_episode();
             let r = check_aura_subsumes_ura(&ctx, &mut agent, &specs, "agent");
             if r.has_code(LintCode::AuraUraDivergence) {
